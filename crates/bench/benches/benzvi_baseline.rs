@@ -1,0 +1,43 @@
+//! E6: Ben-Zvi Time-View vs ρ̂ ∘ timeslice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use txtime_bench::historical_chain;
+use txtime_benzvi::bridge;
+use txtime_core::{Expr, TransactionNumber, TxSpec};
+
+fn bench_benzvi(c: &mut Criterion) {
+    let chain = historical_chain(32, 60);
+    let b = bridge::load(&chain);
+    let tt = TransactionNumber(20);
+    let tv = 500;
+
+    let mut group = c.benchmark_group("e6_benzvi");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("trm_time_view", |bch| {
+        bch.iter(|| b.trm.time_view(tv, tt).len())
+    });
+    group.bench_function("ours_rho_hat_timeslice", |bch| {
+        let q = Expr::hrollback("r", TxSpec::At(tt));
+        bch.iter(|| {
+            q.eval(&b.database)
+                .unwrap()
+                .into_historical()
+                .unwrap()
+                .timeslice(tv)
+                .len()
+        })
+    });
+    group.bench_function("trm_full_history_assembled", |bch| {
+        bch.iter(|| b.trm.assemble_history(tt).len())
+    });
+    group.bench_function("ours_full_history_rho_hat", |bch| {
+        let q = Expr::hrollback("r", TxSpec::At(tt));
+        bch.iter(|| q.eval(&b.database).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_benzvi);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E8: concurrent transaction throughput and restart overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use txtime_bench::{version_chain, SEED};
+use txtime_core::{Command, Database, Expr, RelationType, Sentence};
+use txtime_txn::{ConcurrentManager, Transaction};
+
+fn setup(relations: usize) -> Database {
+    let mut cmds = Vec::new();
+    for r in 0..relations {
+        cmds.push(Command::define_relation(
+            format!("r{r}"),
+            RelationType::Rollback,
+        ));
+        cmds.push(Command::modify_state(
+            format!("r{r}"),
+            Expr::snapshot_const(version_chain(1, 10, 0.0).pop().unwrap()),
+        ));
+    }
+    Sentence::new(cmds).unwrap().eval().unwrap()
+}
+
+fn transactions(relations: usize, count: u64) -> Vec<Transaction> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    (1..=count)
+        .map(|id| {
+            let r = format!("r{}", rng.gen_range(0..relations));
+            Transaction::new(
+                id,
+                vec![Command::modify_state(
+                    r.clone(),
+                    Expr::current(r)
+                        .union(Expr::snapshot_const(version_chain(1, 1, 0.0).pop().unwrap())),
+                )],
+            )
+        })
+        .collect()
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_concurrency");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (workload, relations) in [("conflict", 1usize), ("disjoint", 16)] {
+        let initial = setup(relations);
+        let txns = transactions(relations, 64);
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(workload, threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let report = ConcurrentManager::new().run_from(
+                            initial.clone(),
+                            txns.clone(),
+                            threads,
+                        );
+                        assert_eq!(report.commits.len(), 64);
+                        report.restarts
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrency);
+criterion_main!(benches);

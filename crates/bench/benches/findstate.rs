@@ -1,0 +1,51 @@
+//! E9: FINDSTATE lookup — binary search vs linear scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use txtime_bench::{version_chain, SEED};
+use txtime_core::semantics::aux::find_state;
+use txtime_core::{Command, Expr, RelationType, Sentence, TransactionNumber};
+
+fn bench_findstate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_findstate");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &versions in &[16usize, 256, 4096] {
+        let chain = version_chain(versions, 4, 0.5);
+        let mut cmds = vec![Command::define_relation("r", RelationType::Rollback)];
+        for s in &chain {
+            cmds.push(Command::modify_state("r", Expr::snapshot_const(s.clone())));
+        }
+        let db = Sentence::new(cmds).unwrap().eval().unwrap();
+        let rel = db.state.lookup("r").unwrap();
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let probes: Vec<TransactionNumber> = (0..256)
+            .map(|_| TransactionNumber(rng.gen_range(0..versions as u64 + 3)))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("binary", versions), &probes, |b, probes| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter_map(|&t| find_state(rel, t))
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear", versions), &probes, |b, probes| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter_map(|&t| {
+                        rel.versions().iter().rev().find(|v| v.tx <= t).map(|v| &v.state)
+                    })
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_findstate);
+criterion_main!(benches);

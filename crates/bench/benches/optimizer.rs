@@ -1,0 +1,64 @@
+//! E7: unoptimized vs optimized expression evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use txtime_bench::{bench_gen_config, version_chain, SEED};
+use txtime_core::{Command, Expr, RelationType, Sentence};
+use txtime_optimizer::{optimize, SchemaCatalog};
+use txtime_snapshot::{DomainType, Predicate, Schema, Value};
+
+fn bench_optimizer(c: &mut Criterion) {
+    let emp_chain = version_chain(4, 400, 0.1);
+    let mut cmds = vec![Command::define_relation("emp", RelationType::Rollback)];
+    for s in &emp_chain {
+        cmds.push(Command::modify_state("emp", Expr::snapshot_const(s.clone())));
+    }
+    cmds.push(Command::define_relation("dept", RelationType::Rollback));
+    let dept_schema = Schema::new(vec![("dno", DomainType::Int)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let dept_state =
+        txtime_snapshot::generate::random_state(&mut rng, &dept_schema, &bench_gen_config(40));
+    cmds.push(Command::modify_state(
+        "dept",
+        Expr::snapshot_const(dept_state),
+    ));
+    let db = Sentence::new(cmds).unwrap().eval().unwrap();
+    let catalog = SchemaCatalog::from_database(&db);
+
+    let queries: Vec<(&str, Expr)> = vec![
+        (
+            "select_over_product",
+            Expr::current("emp").product(Expr::current("dept")).select(
+                Predicate::lt_const("grade", Value::Int(500))
+                    .and(Predicate::lt_const("dno", Value::Int(1000))),
+            ),
+        ),
+        (
+            "cascaded_selects",
+            Expr::current("emp")
+                .select(Predicate::gt_const("grade", Value::Int(100)))
+                .select(Predicate::lt_const("grade", Value::Int(5000)))
+                .select(Predicate::gt_const("id", Value::Int(10))),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("e7_optimizer");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, q) in &queries {
+        let o = optimize(q, &catalog);
+        assert_eq!(q.eval(&db).unwrap(), o.eval(&db).unwrap());
+        group.bench_with_input(BenchmarkId::new("original", name), q, |b, q| {
+            b.iter(|| q.eval(&db).expect("valid").len())
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", name), &o, |b, o| {
+            b.iter(|| o.eval(&db).expect("valid").len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Ben-Zvi's Time Relational Model (TRM) and Time-View operator.
+//!
+//! The paper's §5 singles out Ben-Zvi's PhD thesis \[1982\] as "one other
+//! attempt to incorporate both valid time and transaction time in an
+//! algebra": tuples carry implicit time attributes (effective-time start
+//! and end, registration-time start and end), and the algebra is extended
+//! with **Time-View(R, t_valid, t_tx)**, which "takes a relation and two
+//! times as arguments and produces the subset of tuples in the relation
+//! valid at the first time (the valid time) as of the second time (the
+//! transaction time)".
+//!
+//! We implement TRM as the comparison baseline:
+//!
+//! * [`TrmRelation`] — an append-only table of tuples stamped with an
+//!   effective (valid) period and a registration (transaction) period,
+//!   maintained through insert/delete/terminate-style procedures.
+//! * [`TrmRelation::time_view`] — the Time-View operator.
+//! * [`bridge`] — loads one logical history into both TRM and our
+//!   temporal relations, and states the correspondence the paper implies:
+//!   `Time-View(R, tv, tt) = timeslice(ρ̂(R, tt), tv)`. The paper's
+//!   critique is also made concrete: Time-View can only produce such
+//!   *slices*; the full historical state at a transaction time — what
+//!   ρ̂ returns in one step — must be reassembled from many Time-View
+//!   calls.
+
+pub mod bridge;
+pub mod relation;
+
+pub use relation::{TrmRelation, TrmTuple};

@@ -1,0 +1,230 @@
+//! The TRM relation: tuples with effective and registration periods.
+
+use txtime_historical::{Chronon, Period, TemporalElement};
+use txtime_snapshot::{Schema, SnapshotState, Tuple};
+
+use txtime_core::TransactionNumber;
+
+/// Registration end for rows that are still current.
+const OPEN: u64 = u64::MAX;
+
+/// One TRM row: a value tuple plus its four implicit time attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrmTuple {
+    /// The value attributes.
+    pub values: Tuple,
+    /// Effective (valid-time) period \[tes, tee).
+    pub effective: Period,
+    /// Registration (transaction-time) start — when this row was
+    /// recorded.
+    pub trs: u64,
+    /// Registration end — when this row was logically superseded
+    /// (`u64::MAX` while current).
+    pub tre: u64,
+}
+
+impl TrmTuple {
+    /// Whether the row was registered as of transaction `tt`.
+    pub fn registered_at(&self, tt: TransactionNumber) -> bool {
+        self.trs <= tt.0 && tt.0 < self.tre
+    }
+
+    /// Whether the row's fact was effective at valid time `tv`.
+    pub fn effective_at(&self, tv: Chronon) -> bool {
+        self.effective.contains(tv)
+    }
+}
+
+/// An append-only TRM relation.
+///
+/// Rows are never physically removed: logical deletion and supersession
+/// close the registration period, exactly as in Ben-Zvi's model (and in
+/// POSTGRES's no-overwrite storage).
+#[derive(Debug, Clone)]
+pub struct TrmRelation {
+    schema: Schema,
+    rows: Vec<TrmTuple>,
+}
+
+impl TrmRelation {
+    /// An empty TRM relation over `schema` (value attributes only; the
+    /// time attributes are implicit).
+    pub fn new(schema: Schema) -> TrmRelation {
+        TrmRelation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The value scheme.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows, including superseded ones.
+    pub fn rows(&self) -> &[TrmTuple] {
+        &self.rows
+    }
+
+    /// Number of physical rows (experiment E6's space proxy).
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Records that `values` is effective over `effective`, starting at
+    /// transaction `at`.
+    pub fn insert(&mut self, values: Tuple, effective: Period, at: TransactionNumber) {
+        debug_assert!(values.check(&self.schema).is_ok());
+        self.rows.push(TrmTuple {
+            values,
+            effective,
+            trs: at.0,
+            tre: OPEN,
+        });
+    }
+
+    /// Logically deletes every current row matching `values` (all of its
+    /// effective periods), at transaction `at`.
+    pub fn logical_delete(&mut self, values: &Tuple, at: TransactionNumber) -> usize {
+        let mut n = 0;
+        for row in &mut self.rows {
+            if row.tre == OPEN && &row.values == values {
+                row.tre = at.0;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Terminates matching current rows at valid time `tee_new`: rows
+    /// whose effective period extends past `tee_new` are superseded by a
+    /// clipped copy (Ben-Zvi's *terminate* procedure).
+    pub fn terminate(&mut self, values: &Tuple, tee_new: Chronon, at: TransactionNumber) -> usize {
+        let mut clipped = Vec::new();
+        let mut n = 0;
+        for row in &mut self.rows {
+            if row.tre == OPEN && &row.values == values && row.effective.end() > tee_new {
+                row.tre = at.0;
+                n += 1;
+                if row.effective.start() < tee_new {
+                    clipped.push(TrmTuple {
+                        values: row.values.clone(),
+                        effective: Period::new(row.effective.start(), tee_new)
+                            .expect("start < tee_new checked"),
+                        trs: at.0,
+                        tre: OPEN,
+                    });
+                }
+            }
+        }
+        self.rows.extend(clipped);
+        n
+    }
+
+    /// **Time-View(R, tv, tt)**: the snapshot of tuples effective at
+    /// valid time `tv` as recorded at transaction time `tt`.
+    pub fn time_view(&self, tv: Chronon, tt: TransactionNumber) -> SnapshotState {
+        let tuples: Vec<Tuple> = self
+            .rows
+            .iter()
+            .filter(|r| r.registered_at(tt) && r.effective_at(tv))
+            .map(|r| r.values.clone())
+            .collect();
+        SnapshotState::new(self.schema.clone(), tuples).expect("rows validated at insert")
+    }
+
+    /// Reassembles the full valid-time history of transaction time `tt`
+    /// from rows — what ρ̂ gives directly in our model, and what Time-View
+    /// alone can only produce slice by slice. Exposed so experiment E6
+    /// can compare the two access paths.
+    pub fn assemble_history(&self, tt: TransactionNumber) -> Vec<(Tuple, TemporalElement)> {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<Tuple, TemporalElement> = BTreeMap::new();
+        for r in self.rows.iter().filter(|r| r.registered_at(tt)) {
+            let e = TemporalElement::from(r.effective);
+            map.entry(r.values.clone())
+                .and_modify(|acc| *acc = acc.union(&e))
+                .or_insert(e);
+        }
+        map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_snapshot::{DomainType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("name", DomainType::Str)]).unwrap()
+    }
+
+    fn t(name: &str) -> Tuple {
+        Tuple::new(vec![Value::str(name)])
+    }
+
+    fn tx(n: u64) -> TransactionNumber {
+        TransactionNumber(n)
+    }
+
+    #[test]
+    fn time_view_filters_both_dimensions() {
+        let mut r = TrmRelation::new(schema());
+        r.insert(t("alice"), Period::new(0, 10).unwrap(), tx(1));
+        r.insert(t("bob"), Period::new(5, 20).unwrap(), tx(2));
+
+        // As of tx 1, only alice is known.
+        assert_eq!(r.time_view(7, tx(1)).len(), 1);
+        // As of tx 2, both are known and valid at 7.
+        assert_eq!(r.time_view(7, tx(2)).len(), 2);
+        // At valid time 15, only bob.
+        let v = r.time_view(15, tx(2));
+        assert_eq!(v.len(), 1);
+        assert!(v.contains(&t("bob")));
+        // Before anything was registered.
+        assert!(r.time_view(7, tx(0)).is_empty());
+    }
+
+    #[test]
+    fn logical_delete_closes_registration() {
+        let mut r = TrmRelation::new(schema());
+        r.insert(t("alice"), Period::new(0, 10).unwrap(), tx(1));
+        assert_eq!(r.logical_delete(&t("alice"), tx(3)), 1);
+        // Still visible as of tx 2 (the past is immutable)…
+        assert_eq!(r.time_view(5, tx(2)).len(), 1);
+        // …but gone as of tx 3.
+        assert!(r.time_view(5, tx(3)).is_empty());
+        // Physical row remains (append-only).
+        assert_eq!(r.row_count(), 1);
+    }
+
+    #[test]
+    fn terminate_clips_effective_time() {
+        let mut r = TrmRelation::new(schema());
+        r.insert(t("alice"), Period::new(0, 100).unwrap(), tx(1));
+        assert_eq!(r.terminate(&t("alice"), 10, tx(2)), 1);
+        // As of tx 2, alice is valid only before 10.
+        assert_eq!(r.time_view(5, tx(2)).len(), 1);
+        assert!(r.time_view(15, tx(2)).is_empty());
+        // The pre-terminate belief is preserved at tx 1.
+        assert_eq!(r.time_view(15, tx(1)).len(), 1);
+    }
+
+    #[test]
+    fn terminate_before_start_deletes_entirely() {
+        let mut r = TrmRelation::new(schema());
+        r.insert(t("a"), Period::new(5, 9).unwrap(), tx(1));
+        assert_eq!(r.terminate(&t("a"), 5, tx(2)), 1);
+        assert!(r.time_view(6, tx(2)).is_empty());
+    }
+
+    #[test]
+    fn assemble_history_merges_periods() {
+        let mut r = TrmRelation::new(schema());
+        r.insert(t("a"), Period::new(0, 5).unwrap(), tx(1));
+        r.insert(t("a"), Period::new(5, 9).unwrap(), tx(1));
+        let h = r.assemble_history(tx(1));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].1, TemporalElement::period(0, 9));
+    }
+}

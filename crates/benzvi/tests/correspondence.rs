@@ -1,0 +1,44 @@
+//! Property test: Time-View(R, tv, tt) = timeslice(ρ̂(R, tt), tv) on
+//! random histories.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use txtime_benzvi::bridge::load;
+use txtime_historical::generate::{random_historical_state, HistGenConfig};
+use txtime_historical::HistoricalState;
+use txtime_snapshot::generate::GenConfig;
+use txtime_snapshot::{DomainType, Schema};
+
+fn schema() -> Schema {
+    Schema::new(vec![("a0", DomainType::Int), ("a1", DomainType::Str)]).unwrap()
+}
+
+fn random_versions(seed: u64, count: usize) -> Vec<HistoricalState> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = HistGenConfig {
+        values: GenConfig {
+            arity: 2,
+            cardinality: 6,
+            int_range: 6,
+            str_pool: 3,
+        },
+        horizon: 20,
+        max_periods: 2,
+    };
+    (0..count)
+        .map(|_| random_historical_state(&mut rng, &schema(), &cfg))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn time_view_matches_rho_hat_timeslice(seed in any::<u64>(), count in 1usize..6) {
+        let versions = random_versions(seed, count);
+        let bridge = load(&versions);
+        bridge.check_correspondence(22).map_err(TestCaseError::fail)?;
+    }
+}

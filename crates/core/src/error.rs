@@ -1,0 +1,187 @@
+//! Errors for expression evaluation and command execution.
+//!
+//! The paper's semantic functions are *partial*: **E** "is a partial
+//! function on valid expressions only", and **C** leaves the database
+//! unchanged on invalid commands. We diagnose invalidity explicitly with
+//! these types; [`crate::Command::execute_total`] recovers the paper's
+//! total-function behaviour by mapping any error to "database unchanged".
+
+use std::fmt;
+
+use txtime_historical::HistoricalError;
+use txtime_snapshot::SnapshotError;
+
+use crate::semantics::domains::{RelationType, TransactionNumber};
+
+/// An error from evaluating an expression (the semantic function **E**).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The identifier is unbound (maps to ⊥) in the database state.
+    UndefinedRelation(String),
+    /// ρ with a non-∞ transaction number applied to a snapshot relation:
+    /// "The rollback operator cannot retrieve a past state of a snapshot
+    /// relation."
+    RollbackOnSnapshot(String),
+    /// ρ applied to an historical/temporal relation, or ρ̂ applied to a
+    /// snapshot/rollback relation.
+    RollbackTypeMismatch {
+        /// The relation name.
+        relation: String,
+        /// The relation's actual type.
+        actual: RelationType,
+        /// Whether the historical rollback ρ̂ (vs the snapshot ρ) was used.
+        historical: bool,
+    },
+    /// The relation has no states at all, so not even an empty state with
+    /// a known scheme can be produced.
+    EmptyRelation(String),
+    /// An operator received a snapshot state where an historical state was
+    /// required, or vice versa.
+    StateKindMismatch {
+        /// The operator that failed.
+        operator: &'static str,
+        /// True if an historical state was expected.
+        expected_historical: bool,
+    },
+    /// A value-level algebra error (scheme mismatch, unknown attribute…).
+    Snapshot(SnapshotError),
+    /// A valid-time-level algebra error.
+    Historical(HistoricalError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UndefinedRelation(i) => write!(f, "relation {i:?} is not defined"),
+            EvalError::RollbackOnSnapshot(i) => write!(
+                f,
+                "cannot roll back snapshot relation {i:?} to a past state; only ρ({i}, ∞) is legal"
+            ),
+            EvalError::RollbackTypeMismatch {
+                relation,
+                actual,
+                historical,
+            } => {
+                let op = if *historical { "ρ̂" } else { "ρ" };
+                write!(
+                    f,
+                    "{op} is not applicable to relation {relation:?} of type {actual}"
+                )
+            }
+            EvalError::EmptyRelation(i) => {
+                write!(f, "relation {i:?} has no states; its scheme is unknown")
+            }
+            EvalError::StateKindMismatch {
+                operator,
+                expected_historical,
+            } => {
+                let (want, got) = if *expected_historical {
+                    ("an historical", "a snapshot")
+                } else {
+                    ("a snapshot", "an historical")
+                };
+                write!(f, "operator {operator} expected {want} state but received {got} state")
+            }
+            EvalError::Snapshot(e) => write!(f, "{e}"),
+            EvalError::Historical(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<SnapshotError> for EvalError {
+    fn from(e: SnapshotError) -> EvalError {
+        EvalError::Snapshot(e)
+    }
+}
+
+impl From<HistoricalError> for EvalError {
+    fn from(e: HistoricalError) -> EvalError {
+        EvalError::Historical(e)
+    }
+}
+
+/// An error from executing a command (the semantic function **C**) or a
+/// sentence (**P**).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// `define_relation` on an identifier that is already bound; the paper
+    /// leaves the database unchanged in this case.
+    AlreadyDefined(String),
+    /// A command other than `define_relation` named an unbound identifier.
+    UndefinedRelation(String),
+    /// `modify_state` produced a state of the wrong kind for the
+    /// relation's type (e.g. an historical state for a rollback relation).
+    StateTypeMismatch {
+        /// The relation name.
+        relation: String,
+        /// The relation's type.
+        rtype: RelationType,
+    },
+    /// Expression evaluation failed inside a command.
+    Eval(EvalError),
+    /// A sentence must contain at least one command.
+    EmptySentence,
+    /// A scheme-evolution change could not be applied.
+    SchemeChange(String),
+    /// Internal invariant violation: transaction numbers in a state
+    /// sequence must be strictly increasing. Surfaced (rather than
+    /// panicking) so storage engines can report corruption.
+    NonMonotonicTransaction {
+        /// The relation name.
+        relation: String,
+        /// The offending transaction number.
+        tx: TransactionNumber,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::AlreadyDefined(i) => write!(f, "relation {i:?} is already defined"),
+            CoreError::UndefinedRelation(i) => write!(f, "relation {i:?} is not defined"),
+            CoreError::StateTypeMismatch { relation, rtype } => write!(
+                f,
+                "expression kind does not match type {rtype} of relation {relation:?}"
+            ),
+            CoreError::Eval(e) => write!(f, "{e}"),
+            CoreError::EmptySentence => write!(f, "a sentence must contain at least one command"),
+            CoreError::SchemeChange(msg) => write!(f, "scheme change failed: {msg}"),
+            CoreError::NonMonotonicTransaction { relation, tx } => write!(
+                f,
+                "transaction number {tx} would violate monotonicity of relation {relation:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<EvalError> for CoreError {
+    fn from(e: EvalError) -> CoreError {
+        CoreError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let e = EvalError::RollbackOnSnapshot("emp".into());
+        assert!(e.to_string().contains("emp"));
+        let c: CoreError = e.into();
+        assert!(matches!(c, CoreError::Eval(_)));
+    }
+
+    #[test]
+    fn kind_mismatch_message() {
+        let e = EvalError::StateKindMismatch {
+            operator: "union",
+            expected_historical: false,
+        };
+        assert!(e.to_string().contains("snapshot"));
+    }
+}

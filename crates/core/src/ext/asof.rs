@@ -1,0 +1,156 @@
+//! The *as-of* query transformer — rollback completeness made
+//! operational.
+//!
+//! §5 discusses completeness: "Codd proposed his snapshot algebra as the
+//! yardstick for snapshot completeness … Similar statements apply to …
+//! rollback completeness (i.e., supporting transaction time)". One
+//! concrete, checkable sense of rollback completeness is: *every
+//! snapshot-complete query can be asked of every past database state*.
+//!
+//! [`as_of`] witnesses this: it rewrites a query over current states
+//! (`ρ(I, ∞)` leaves) into the same query over the states at transaction
+//! `t` (`ρ(I, t)` leaves). Because the algebra operators are the
+//! unchanged snapshot operators, the transformed query computes exactly
+//! what the original would have computed had it been evaluated when `t`
+//! was the most recent transaction — which is the property tested in
+//! `crates/core/tests/update_mapping.rs`'s companion suite.
+
+use crate::semantics::domains::TransactionNumber;
+use crate::syntax::expr::{Expr, TxSpec};
+
+/// Rewrites every `ρ(I, ∞)`/`ρ̂(I, ∞)` leaf to `ρ(I, t)`/`ρ̂(I, t)`.
+///
+/// Leaves that already name an explicit transaction number are left
+/// alone: the query's own historical references are preserved.
+pub fn as_of(expr: &Expr, t: TransactionNumber) -> Expr {
+    map_leaves(expr, &|ident, spec, historical| {
+        let spec = match spec {
+            TxSpec::Current => TxSpec::At(t),
+            explicit => explicit,
+        };
+        if historical {
+            Expr::HRollback(ident.to_string(), spec)
+        } else {
+            Expr::Rollback(ident.to_string(), spec)
+        }
+    })
+}
+
+/// Structural map over the rollback leaves of an expression.
+pub fn map_leaves(expr: &Expr, f: &impl Fn(&str, TxSpec, bool) -> Expr) -> Expr {
+    match expr {
+        Expr::Rollback(i, spec) => f(i, *spec, false),
+        Expr::HRollback(i, spec) => f(i, *spec, true),
+        Expr::SnapshotConst(_) | Expr::HistoricalConst(_) => expr.clone(),
+        Expr::Union(a, b) => Expr::Union(
+            Box::new(map_leaves(a, f)),
+            Box::new(map_leaves(b, f)),
+        ),
+        Expr::Difference(a, b) => Expr::Difference(
+            Box::new(map_leaves(a, f)),
+            Box::new(map_leaves(b, f)),
+        ),
+        Expr::Product(a, b) => Expr::Product(
+            Box::new(map_leaves(a, f)),
+            Box::new(map_leaves(b, f)),
+        ),
+        Expr::Project(attrs, e) => Expr::Project(attrs.clone(), Box::new(map_leaves(e, f))),
+        Expr::Select(p, e) => Expr::Select(p.clone(), Box::new(map_leaves(e, f))),
+        Expr::HUnion(a, b) => Expr::HUnion(
+            Box::new(map_leaves(a, f)),
+            Box::new(map_leaves(b, f)),
+        ),
+        Expr::HDifference(a, b) => Expr::HDifference(
+            Box::new(map_leaves(a, f)),
+            Box::new(map_leaves(b, f)),
+        ),
+        Expr::HProduct(a, b) => Expr::HProduct(
+            Box::new(map_leaves(a, f)),
+            Box::new(map_leaves(b, f)),
+        ),
+        Expr::HProject(attrs, e) => Expr::HProject(attrs.clone(), Box::new(map_leaves(e, f))),
+        Expr::HSelect(p, e) => Expr::HSelect(p.clone(), Box::new(map_leaves(e, f))),
+        Expr::Delta(g, v, e) => {
+            Expr::Delta(g.clone(), v.clone(), Box::new(map_leaves(e, f)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use txtime_snapshot::{DomainType, Predicate, Schema, SnapshotState, Value};
+
+    fn snap(vals: &[i64]) -> SnapshotState {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    fn db() -> Database {
+        Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[1, 2]))), // tx 2
+            Command::modify_state("r", Expr::snapshot_const(snap(&[2, 3]))), // tx 3
+            Command::modify_state("r", Expr::snapshot_const(snap(&[3, 4]))), // tx 4
+        ])
+        .unwrap()
+        .eval()
+        .unwrap()
+    }
+
+    #[test]
+    fn as_of_rewrites_current_leaves() {
+        let q = Expr::current("r").select(Predicate::gt_const("x", Value::Int(1)));
+        let q2 = as_of(&q, TransactionNumber(2));
+        assert_eq!(
+            q2.to_string(),
+            "select[x > 1](rho(r, 2))"
+        );
+    }
+
+    #[test]
+    fn as_of_answers_as_the_past_would_have() {
+        let d = db();
+        let q = Expr::current("r")
+            .union(Expr::current("r"))
+            .select(Predicate::gt_const("x", Value::Int(1)));
+        // Evaluate the as-of form against the full database…
+        let past = as_of(&q, TransactionNumber(2)).eval(&d).unwrap();
+        // …and the original against the prefix database.
+        let prefix = Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[1, 2]))),
+        ])
+        .unwrap()
+        .eval()
+        .unwrap();
+        let expected = q.eval(&prefix).unwrap();
+        assert_eq!(past, expected);
+    }
+
+    #[test]
+    fn explicit_times_are_preserved() {
+        let q = Expr::rollback("r", TxSpec::At(TransactionNumber(3)))
+            .union(Expr::current("r"));
+        let q2 = as_of(&q, TransactionNumber(2));
+        assert_eq!(q2.to_string(), "(rho(r, 3) union rho(r, 2))");
+    }
+
+    #[test]
+    fn historical_leaves_are_rewritten_too() {
+        let q = Expr::hcurrent("t");
+        let q2 = as_of(&q, TransactionNumber(7));
+        assert_eq!(q2, Expr::hrollback("t", TxSpec::At(TransactionNumber(7))));
+    }
+
+    #[test]
+    fn constants_are_untouched() {
+        let q = Expr::snapshot_const(snap(&[9])).union(Expr::current("r"));
+        let q2 = as_of(&q, TransactionNumber(2));
+        match q2 {
+            Expr::Union(a, _) => assert!(matches!(*a, Expr::SnapshotConst(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

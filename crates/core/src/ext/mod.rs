@@ -1,0 +1,14 @@
+//! Documented extensions from the companion report.
+//!
+//! The paper delegates two capabilities to \[McKenzie & Snodgrass 1987A,
+//! *Scheme Evolution and the Relational Algebra*\]: the `delete_relation`
+//! command ("Elsewhere we introduce into the language a delete_relation
+//! command") and scheme evolution ("Elsewhere we provide extensions to the
+//! language presented here to accommodate scheme evolution"). The
+//! `delete_relation` semantics lives with the other commands in
+//! [`crate::semantics::cmd_eval`]; this module implements scheme
+//! evolution.
+
+pub mod asof;
+pub mod scheme;
+pub mod update;

@@ -1,0 +1,356 @@
+//! Scheme evolution (extension; \[McKenzie & Snodgrass 1987A\]).
+//!
+//! "The scheme is associated solely with transaction time, since it
+//! defines how reality is modeled by the database … as the scheme
+//! describes how data are stored in the database, changes to the scheme
+//! are properly the province of transaction time" (§5).
+//!
+//! Accordingly, a scheme change behaves like `modify_state`: it installs a
+//! new version (with the transformed scheme) at transaction `n+1`. For
+//! rollback and temporal relations the pre-change versions — with their
+//! old schemes — remain reachable by ρ/ρ̂ at earlier transaction numbers,
+//! which is precisely what associating the scheme with transaction time
+//! means.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use txtime_historical::HistoricalState;
+use txtime_snapshot::{Attribute, DomainType, Schema, SnapshotState, Tuple, Value};
+
+use crate::error::CoreError;
+use crate::semantics::database::Database;
+use crate::semantics::domains::StateValue;
+use crate::syntax::command::CommandOutcome;
+
+/// A single scheme-evolution step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchemeChange {
+    /// Add an attribute; existing tuples receive `default`.
+    AddAttribute {
+        /// The new attribute's name.
+        name: String,
+        /// The new attribute's domain.
+        domain: DomainType,
+        /// The value given to existing tuples.
+        default: Value,
+    },
+    /// Drop an attribute; tuples that become equal merge (set semantics,
+    /// with valid-time union for historical states).
+    DropAttribute(String),
+    /// Rename an attribute, keeping its domain and every tuple unchanged.
+    RenameAttribute {
+        /// The existing name.
+        from: String,
+        /// The new name.
+        to: String,
+    },
+}
+
+impl fmt::Display for SchemeChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeChange::AddAttribute {
+                name,
+                domain,
+                default,
+            } => write!(f, "add {name}: {domain} default {default}"),
+            SchemeChange::DropAttribute(name) => write!(f, "drop {name}"),
+            SchemeChange::RenameAttribute { from, to } => write!(f, "rename {from} to {to}"),
+        }
+    }
+}
+
+impl SchemeChange {
+    /// Applies the change to a snapshot state.
+    pub fn apply_snapshot(&self, state: &SnapshotState) -> Result<SnapshotState, CoreError> {
+        match self {
+            SchemeChange::AddAttribute {
+                name,
+                domain,
+                default,
+            } => {
+                if default.domain() != *domain {
+                    return Err(CoreError::SchemeChange(format!(
+                        "default value {default} is not in domain {domain}"
+                    )));
+                }
+                let mut attrs = state.schema().attributes().to_vec();
+                attrs.push(Attribute::new(name, *domain));
+                let schema = Schema::from_attributes(attrs)
+                    .map_err(|e| CoreError::SchemeChange(e.to_string()))?;
+                let rows = state.iter().map(|t| {
+                    let mut vals = t.values().to_vec();
+                    vals.push(default.clone());
+                    Tuple::new(vals)
+                });
+                SnapshotState::new(schema, rows)
+                    .map_err(|e| CoreError::SchemeChange(e.to_string()))
+            }
+            SchemeChange::DropAttribute(name) => {
+                let keep: Vec<String> = state
+                    .schema()
+                    .attributes()
+                    .iter()
+                    .filter(|a| &*a.name != name.as_str())
+                    .map(|a| a.name.to_string())
+                    .collect();
+                if keep.len() == state.schema().arity() {
+                    return Err(CoreError::SchemeChange(format!(
+                        "no attribute named {name:?}"
+                    )));
+                }
+                if keep.is_empty() {
+                    return Err(CoreError::SchemeChange(
+                        "cannot drop the last attribute".into(),
+                    ));
+                }
+                state
+                    .project(&keep)
+                    .map_err(|e| CoreError::SchemeChange(e.to_string()))
+            }
+            SchemeChange::RenameAttribute { from, to } => state
+                .rename(from, to)
+                .map_err(|e| CoreError::SchemeChange(e.to_string())),
+        }
+    }
+
+    /// Applies the change to an historical state (valid times follow the
+    /// tuples; merged tuples union their valid times).
+    pub fn apply_historical(&self, state: &HistoricalState) -> Result<HistoricalState, CoreError> {
+        match self {
+            SchemeChange::AddAttribute {
+                name,
+                domain,
+                default,
+            } => {
+                if default.domain() != *domain {
+                    return Err(CoreError::SchemeChange(format!(
+                        "default value {default} is not in domain {domain}"
+                    )));
+                }
+                let mut attrs = state.schema().attributes().to_vec();
+                attrs.push(Attribute::new(name, *domain));
+                let schema = Schema::from_attributes(attrs)
+                    .map_err(|e| CoreError::SchemeChange(e.to_string()))?;
+                let entries = state.iter().map(|(t, e)| {
+                    let mut vals = t.values().to_vec();
+                    vals.push(default.clone());
+                    (Tuple::new(vals), e.clone())
+                });
+                HistoricalState::new(schema, entries)
+                    .map_err(|e| CoreError::SchemeChange(e.to_string()))
+            }
+            SchemeChange::DropAttribute(name) => {
+                let keep: Vec<String> = state
+                    .schema()
+                    .attributes()
+                    .iter()
+                    .filter(|a| &*a.name != name.as_str())
+                    .map(|a| a.name.to_string())
+                    .collect();
+                if keep.len() == state.schema().arity() {
+                    return Err(CoreError::SchemeChange(format!(
+                        "no attribute named {name:?}"
+                    )));
+                }
+                if keep.is_empty() {
+                    return Err(CoreError::SchemeChange(
+                        "cannot drop the last attribute".into(),
+                    ));
+                }
+                state
+                    .hproject(&keep)
+                    .map_err(|e| CoreError::SchemeChange(e.to_string()))
+            }
+            SchemeChange::RenameAttribute { from, to } => {
+                let schema = state
+                    .schema()
+                    .rename(from, to)
+                    .map_err(|e| CoreError::SchemeChange(e.to_string()))?;
+                HistoricalState::new(
+                    schema,
+                    state.iter().map(|(t, e)| (t.clone(), e.clone())),
+                )
+                .map_err(|e| CoreError::SchemeChange(e.to_string()))
+            }
+        }
+    }
+}
+
+/// Executes `evolve_scheme(ident, change)`: transforms the relation's
+/// current state and installs the result as a new version at `n+1`.
+pub fn evolve(
+    db: &Database,
+    ident: &str,
+    change: &SchemeChange,
+) -> Result<(Database, CommandOutcome), CoreError> {
+    let relation = db
+        .state
+        .lookup(ident)
+        .ok_or_else(|| CoreError::UndefinedRelation(ident.to_string()))?;
+    let current = relation
+        .current()
+        .ok_or_else(|| CoreError::SchemeChange(format!("relation {ident:?} has no state")))?;
+    let new_state = match &current.state {
+        StateValue::Snapshot(s) => StateValue::Snapshot(change.apply_snapshot(s)?),
+        StateValue::Historical(h) => StateValue::Historical(change.apply_historical(h)?),
+    };
+    let mut updated = relation.clone();
+    let next = db.tx.next();
+    updated.push_version(new_state, next);
+    let state = db.state.bind(ident.to_string(), updated);
+    Ok((Database::new(state, next), CommandOutcome::Evolved))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use txtime_historical::TemporalElement;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("name", DomainType::Str), ("sal", DomainType::Int)]).unwrap()
+    }
+
+    fn snap() -> SnapshotState {
+        SnapshotState::from_rows(
+            schema(),
+            vec![
+                vec![Value::str("alice"), Value::Int(100)],
+                vec![Value::str("bob"), Value::Int(100)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn hist() -> HistoricalState {
+        HistoricalState::new(
+            schema(),
+            vec![
+                (
+                    Tuple::new(vec![Value::str("alice"), Value::Int(100)]),
+                    TemporalElement::period(0, 5),
+                ),
+                (
+                    Tuple::new(vec![Value::str("alice"), Value::Int(200)]),
+                    TemporalElement::period(5, 9),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn add_attribute_gives_default() {
+        let c = SchemeChange::AddAttribute {
+            name: "dept".into(),
+            domain: DomainType::Str,
+            default: Value::str("unknown"),
+        };
+        let s = c.apply_snapshot(&snap()).unwrap();
+        assert_eq!(s.schema().arity(), 3);
+        for t in s.iter() {
+            assert_eq!(t.get(2), &Value::str("unknown"));
+        }
+    }
+
+    #[test]
+    fn add_attribute_checks_default_domain() {
+        let c = SchemeChange::AddAttribute {
+            name: "dept".into(),
+            domain: DomainType::Str,
+            default: Value::Int(1),
+        };
+        assert!(c.apply_snapshot(&snap()).is_err());
+    }
+
+    #[test]
+    fn drop_attribute_merges_tuples() {
+        let c = SchemeChange::DropAttribute("name".into());
+        let s = c.apply_snapshot(&snap()).unwrap();
+        assert_eq!(s.schema().arity(), 1);
+        assert_eq!(s.len(), 1); // both tuples had sal = 100
+    }
+
+    #[test]
+    fn drop_unknown_or_last_attribute_fails() {
+        assert!(SchemeChange::DropAttribute("ghost".into())
+            .apply_snapshot(&snap())
+            .is_err());
+        let one =
+            SnapshotState::from_rows(Schema::new(vec![("x", DomainType::Int)]).unwrap(), vec![
+                vec![Value::Int(1)],
+            ])
+            .unwrap();
+        assert!(SchemeChange::DropAttribute("x".into())
+            .apply_snapshot(&one)
+            .is_err());
+    }
+
+    #[test]
+    fn rename_attribute() {
+        let c = SchemeChange::RenameAttribute {
+            from: "sal".into(),
+            to: "salary".into(),
+        };
+        let s = c.apply_snapshot(&snap()).unwrap();
+        assert!(s.schema().contains("salary"));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn historical_drop_unions_valid_times() {
+        let c = SchemeChange::DropAttribute("sal".into());
+        let h = c.apply_historical(&hist()).unwrap();
+        assert_eq!(h.len(), 1);
+        let e = h
+            .valid_time(&Tuple::new(vec![Value::str("alice")]))
+            .unwrap();
+        assert_eq!(e, &TemporalElement::period(0, 9));
+    }
+
+    #[test]
+    fn evolve_appends_version_for_rollback_relation() {
+        let db = Sentence::new(vec![
+            Command::define_relation("emp", RelationType::Rollback),
+            Command::modify_state("emp", Expr::snapshot_const(snap())),
+            Command::evolve_scheme(
+                "emp",
+                SchemeChange::RenameAttribute {
+                    from: "sal".into(),
+                    to: "salary".into(),
+                },
+            ),
+        ])
+        .unwrap()
+        .eval()
+        .unwrap();
+
+        // Current state has the new scheme…
+        let cur = Expr::current("emp").eval(&db).unwrap().into_snapshot().unwrap();
+        assert!(cur.schema().contains("salary"));
+        // …but the pre-change version, with the old scheme, is still
+        // reachable: the scheme is a transaction-time-varying aspect.
+        let old = Expr::rollback("emp", TxSpec::At(TransactionNumber(2)))
+            .eval(&db)
+            .unwrap()
+            .into_snapshot()
+            .unwrap();
+        assert!(old.schema().contains("sal"));
+    }
+
+    #[test]
+    fn evolve_on_empty_relation_fails() {
+        let db = Sentence::new(vec![Command::define_relation(
+            "emp",
+            RelationType::Rollback,
+        )])
+        .unwrap()
+        .eval()
+        .unwrap();
+        let c = Command::evolve_scheme("emp", SchemeChange::DropAttribute("x".into()));
+        assert!(c.execute(&db).is_err());
+    }
+}

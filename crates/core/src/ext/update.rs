@@ -1,0 +1,346 @@
+//! The calculus-to-algebra update mapping (extension; paper §1).
+//!
+//! "The action of update is available in the algebra, allowing the
+//! algebra to be the executable form to which update operations in a
+//! calculus-based language (e.g., append, delete, replace in Quel) can be
+//! mapped. If these operations in the calculus are formalized, the
+//! mapping can be proven correct."
+//!
+//! This module *is* that mapping: each Quel-style update operation is
+//! compiled to a single `modify_state` command whose expression is pure
+//! algebra over ρ(I, ∞) — no host-language computation of the new state.
+//!
+//! * **append**: `modify_state(I, ρ(I,∞) ∪ A)`
+//! * **delete where F**: `modify_state(I, σ_{¬F}(ρ(I,∞)))`
+//! * **replace where F set a₁:=c₁,…**:
+//!   `modify_state(I, (ρ(I,∞) − σ_F(ρ(I,∞))) ∪ reassemble(σ_F(ρ(I,∞))))`
+//!   where `reassemble` drops the assigned attributes by projection,
+//!   crosses with the constant singleton of new values, and projects back
+//!   into the original attribute order — all within the five primitive
+//!   operators.
+//!
+//! The correctness of the mapping is property-tested in
+//! `crates/core/tests/update_mapping.rs` against a direct tuple-level
+//! interpretation of the same operations.
+
+use txtime_snapshot::{Predicate, Schema, SnapshotState, Tuple, Value};
+
+use crate::error::CoreError;
+use crate::syntax::command::Command;
+use crate::syntax::expr::Expr;
+
+/// One Quel-style `set attr = constant` assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The attribute being assigned.
+    pub attr: String,
+    /// The new (constant) value.
+    pub value: Value,
+}
+
+impl Assignment {
+    /// Creates an assignment.
+    pub fn new(attr: impl Into<String>, value: Value) -> Assignment {
+        Assignment {
+            attr: attr.into(),
+            value,
+        }
+    }
+}
+
+/// `append to I: tuples` — the Quel APPEND.
+pub fn append(ident: impl Into<String>, tuples: SnapshotState) -> Command {
+    let ident = ident.into();
+    Command::modify_state(
+        ident.clone(),
+        Expr::current(ident).union(Expr::snapshot_const(tuples)),
+    )
+}
+
+/// `delete I where F` — the Quel DELETE.
+///
+/// Encoded as keeping the complement: `σ_{¬F}(ρ(I,∞))`.
+pub fn delete_where(ident: impl Into<String>, pred: Predicate) -> Command {
+    let ident = ident.into();
+    Command::modify_state(ident.clone(), Expr::current(ident).select(pred.not()))
+}
+
+/// `replace I where F set a₁ := c₁, …` — the Quel REPLACE, restricted to
+/// constant assignments (the general computed-expression form requires an
+/// extended projection the 1987 algebra does not have).
+///
+/// Needs the relation's scheme to reassemble attribute order; fails if an
+/// assigned attribute is missing, assigned twice, has the wrong domain,
+/// or if *every* attribute is assigned (the projection of the unassigned
+/// attributes would be empty — use delete + append for full-tuple
+/// replacement).
+pub fn replace_where(
+    ident: impl Into<String>,
+    schema: &Schema,
+    pred: Predicate,
+    assignments: &[Assignment],
+) -> Result<Command, CoreError> {
+    let ident = ident.into();
+    if assignments.is_empty() {
+        return Err(CoreError::SchemeChange(
+            "replace requires at least one assignment".into(),
+        ));
+    }
+    for (i, a) in assignments.iter().enumerate() {
+        let idx = schema
+            .index_of(&a.attr)
+            .ok_or_else(|| CoreError::SchemeChange(format!("no attribute {:?}", a.attr)))?;
+        if schema.attribute(idx).domain != a.value.domain() {
+            return Err(CoreError::SchemeChange(format!(
+                "assignment to {:?} has domain {} but attribute has {}",
+                a.attr,
+                a.value.domain(),
+                schema.attribute(idx).domain
+            )));
+        }
+        if assignments[..i].iter().any(|b| b.attr == a.attr) {
+            return Err(CoreError::SchemeChange(format!(
+                "attribute {:?} assigned twice",
+                a.attr
+            )));
+        }
+    }
+
+    let kept: Vec<String> = schema
+        .attributes()
+        .iter()
+        .filter(|at| !assignments.iter().any(|a| a.attr == *at.name))
+        .map(|at| at.name.to_string())
+        .collect();
+    if kept.is_empty() {
+        return Err(CoreError::SchemeChange(
+            "replace must leave at least one attribute unassigned".into(),
+        ));
+    }
+
+    // The constant singleton carrying the new values, over the assigned
+    // attributes (in scheme order).
+    let assigned_attrs: Vec<_> = schema
+        .attributes()
+        .iter()
+        .filter(|at| assignments.iter().any(|a| a.attr == *at.name))
+        .cloned()
+        .collect();
+    let const_schema = Schema::from_attributes(assigned_attrs.clone())
+        .map_err(|e| CoreError::SchemeChange(e.to_string()))?;
+    let const_tuple = Tuple::new(
+        assigned_attrs
+            .iter()
+            .map(|at| {
+                assignments
+                    .iter()
+                    .find(|a| a.attr == *at.name)
+                    .expect("filtered to assigned")
+                    .value
+                    .clone()
+            })
+            .collect(),
+    );
+    let singleton = SnapshotState::new(const_schema, [const_tuple])
+        .map_err(|e| CoreError::SchemeChange(e.to_string()))?;
+
+    // Original attribute order, for the final projection.
+    let original_order: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name.to_string())
+        .collect();
+
+    let matched = Expr::current(ident.clone()).select(pred.clone());
+    let reassembled = matched
+        .clone()
+        .project(kept)
+        .product(Expr::snapshot_const(singleton))
+        .project(original_order);
+    let expr = Expr::current(ident.clone())
+        .difference(matched)
+        .union(reassembled);
+    Ok(Command::modify_state(ident, expr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use txtime_snapshot::DomainType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("name", DomainType::Str),
+            ("dept", DomainType::Str),
+            ("sal", DomainType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn start() -> Database {
+        let s = SnapshotState::from_rows(
+            schema(),
+            vec![
+                vec![Value::str("alice"), Value::str("cs"), Value::Int(100)],
+                vec![Value::str("bob"), Value::str("ee"), Value::Int(120)],
+                vec![Value::str("carol"), Value::str("cs"), Value::Int(90)],
+            ],
+        )
+        .unwrap();
+        Sentence::new(vec![
+            Command::define_relation("emp", RelationType::Rollback),
+            Command::modify_state("emp", Expr::snapshot_const(s)),
+        ])
+        .unwrap()
+        .eval()
+        .unwrap()
+    }
+
+    fn current(db: &Database) -> SnapshotState {
+        Expr::current("emp").eval(db).unwrap().into_snapshot().unwrap()
+    }
+
+    #[test]
+    fn append_adds_tuples() {
+        let extra = SnapshotState::from_rows(
+            schema(),
+            vec![vec![Value::str("dave"), Value::str("me"), Value::Int(80)]],
+        )
+        .unwrap();
+        let db = append("emp", extra).execute_total(&start());
+        assert_eq!(current(&db).len(), 4);
+    }
+
+    #[test]
+    fn delete_where_removes_matches_only() {
+        let db = delete_where("emp", Predicate::eq_const("dept", Value::str("cs")))
+            .execute_total(&start());
+        let cur = current(&db);
+        assert_eq!(cur.len(), 1);
+        assert_eq!(cur.iter().next().unwrap().get(0), &Value::str("bob"));
+    }
+
+    #[test]
+    fn replace_where_reassigns_constants() {
+        // Everyone in cs moves to the new "ai" department at salary 200.
+        let cmd = replace_where(
+            "emp",
+            &schema(),
+            Predicate::eq_const("dept", Value::str("cs")),
+            &[
+                Assignment::new("dept", Value::str("ai")),
+                Assignment::new("sal", Value::Int(200)),
+            ],
+        )
+        .unwrap();
+        let db = cmd.execute_total(&start());
+        let cur = current(&db);
+        assert_eq!(cur.len(), 3);
+        let ai: Vec<&str> = cur
+            .iter()
+            .filter(|t| t.get(1).as_str() == Some("ai"))
+            .map(|t| t.get(0).as_str().unwrap())
+            .collect();
+        assert_eq!(ai, vec!["alice", "carol"]);
+        for t in cur.iter() {
+            if t.get(1).as_str() == Some("ai") {
+                assert_eq!(t.get(2), &Value::Int(200));
+            }
+        }
+        // bob is untouched.
+        assert!(cur.contains(&Tuple::new(vec![
+            Value::str("bob"),
+            Value::str("ee"),
+            Value::Int(120)
+        ])));
+    }
+
+    #[test]
+    fn replace_collapses_tuples_that_become_equal() {
+        // Assigning sal := 0 to everyone in cs merges alice and carol if
+        // their remaining attributes collide — here they don't (names
+        // differ), but assigning *name* does collapse:
+        let cmd = replace_where(
+            "emp",
+            &schema(),
+            Predicate::eq_const("dept", Value::str("cs")),
+            &[
+                Assignment::new("name", Value::str("anon")),
+                Assignment::new("sal", Value::Int(0)),
+            ],
+        )
+        .unwrap();
+        let db = cmd.execute_total(&start());
+        // alice and carol both become (anon, cs, 0): set semantics.
+        assert_eq!(current(&db).len(), 2);
+    }
+
+    #[test]
+    fn replace_validates_assignments() {
+        let s = schema();
+        assert!(replace_where("emp", &s, Predicate::True, &[]).is_err());
+        assert!(replace_where(
+            "emp",
+            &s,
+            Predicate::True,
+            &[Assignment::new("wage", Value::Int(1))]
+        )
+        .is_err());
+        assert!(replace_where(
+            "emp",
+            &s,
+            Predicate::True,
+            &[Assignment::new("sal", Value::str("high"))]
+        )
+        .is_err());
+        assert!(replace_where(
+            "emp",
+            &s,
+            Predicate::True,
+            &[
+                Assignment::new("sal", Value::Int(1)),
+                Assignment::new("sal", Value::Int(2))
+            ]
+        )
+        .is_err());
+        assert!(replace_where(
+            "emp",
+            &s,
+            Predicate::True,
+            &[
+                Assignment::new("name", Value::str("x")),
+                Assignment::new("dept", Value::str("y")),
+                Assignment::new("sal", Value::Int(0)),
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn updates_are_recorded_as_history() {
+        // The point of mapping updates into the algebra: they flow
+        // through modify_state and are therefore rollback-visible.
+        let db = delete_where("emp", Predicate::eq_const("dept", Value::str("cs")))
+            .execute_total(&start());
+        let before = Expr::rollback("emp", TxSpec::At(TransactionNumber(2)))
+            .eval(&db)
+            .unwrap()
+            .into_snapshot()
+            .unwrap();
+        assert_eq!(before.len(), 3);
+    }
+
+    #[test]
+    fn replace_on_empty_match_is_identity() {
+        let cmd = replace_where(
+            "emp",
+            &schema(),
+            Predicate::eq_const("dept", Value::str("law")),
+            &[Assignment::new("sal", Value::Int(1))],
+        )
+        .unwrap();
+        let db = cmd.execute_total(&start());
+        assert_eq!(current(&db), current(&start()));
+    }
+}

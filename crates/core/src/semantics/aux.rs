@@ -1,0 +1,116 @@
+//! The auxiliary functions of §3.3: RTYPE, RSTATE, FINDSTATE, FINDTYPE.
+//!
+//! `RTYPE` and `RSTATE` are methods on [`Relation`]
+//! ([`Relation::rtype`], [`Relation::versions`]); this module provides
+//! the interpolating lookup FINDSTATE and its §4 companion FINDTYPE.
+
+use crate::semantics::domains::{Relation, RelationType, StateValue, TransactionNumber};
+
+/// FINDSTATE — "maps a relation into the snapshot-state component of the
+/// element in the relation's state sequence having the largest
+/// transaction-number component less than or equal to a given integer. If
+/// the sequence is empty or no such element exists in the sequence, then
+/// FINDSTATE returns the empty set."
+///
+/// Because the transaction numbers in a state sequence are strictly
+/// increasing, the lookup interpolates by binary search in O(log n).
+/// We return `None` for the paper's "empty set" case; the caller
+/// ([`crate::Expr::eval`]) converts `None` into an empty state with the
+/// relation's known scheme, or into a diagnostic when no scheme is known
+/// (see DESIGN.md: types force a scheme onto ∅).
+pub fn find_state(relation: &Relation, tx: TransactionNumber) -> Option<&StateValue> {
+    let versions = relation.versions();
+    // partition_point gives the count of versions with v.tx <= tx.
+    let idx = versions.partition_point(|v| v.tx <= tx);
+    idx.checked_sub(1).map(|i| &versions[i].state)
+}
+
+/// FINDTYPE — the relation's type as of transaction `tx` (§4).
+///
+/// In the base language a relation's type never changes ("The
+/// modify_state command changes a relation's state but leaves the
+/// relation's type unchanged"), so FINDTYPE coincides with RTYPE; the
+/// parameter documents where scheme-evolution support would hook in.
+pub fn find_type(relation: &Relation, _tx: TransactionNumber) -> RelationType {
+    relation.rtype()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_snapshot::{DomainType, Schema, SnapshotState, Value};
+
+    fn snap(vals: &[i64]) -> StateValue {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        StateValue::Snapshot(
+            SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap(),
+        )
+    }
+
+    fn rollback_relation() -> Relation {
+        let mut r = Relation::new(RelationType::Rollback);
+        r.push_version(snap(&[1]), TransactionNumber(2));
+        r.push_version(snap(&[1, 2]), TransactionNumber(5));
+        r.push_version(snap(&[2]), TransactionNumber(9));
+        r
+    }
+
+    #[test]
+    fn findstate_exact_hit() {
+        let r = rollback_relation();
+        assert_eq!(find_state(&r, TransactionNumber(5)), Some(&snap(&[1, 2])));
+    }
+
+    #[test]
+    fn findstate_interpolates_between_transactions() {
+        // "we can interpolate on the transaction-number component … to
+        // determine the state of a rollback relation at any time."
+        let r = rollback_relation();
+        assert_eq!(find_state(&r, TransactionNumber(3)), Some(&snap(&[1])));
+        assert_eq!(find_state(&r, TransactionNumber(4)), Some(&snap(&[1])));
+        assert_eq!(find_state(&r, TransactionNumber(7)), Some(&snap(&[1, 2])));
+    }
+
+    #[test]
+    fn findstate_after_last_returns_current() {
+        let r = rollback_relation();
+        assert_eq!(find_state(&r, TransactionNumber(100)), Some(&snap(&[2])));
+    }
+
+    #[test]
+    fn findstate_before_first_is_none() {
+        let r = rollback_relation();
+        assert_eq!(find_state(&r, TransactionNumber(1)), None);
+        assert_eq!(find_state(&r, TransactionNumber(0)), None);
+    }
+
+    #[test]
+    fn findstate_on_empty_sequence_is_none() {
+        let r = Relation::new(RelationType::Rollback);
+        assert_eq!(find_state(&r, TransactionNumber(10)), None);
+    }
+
+    #[test]
+    fn findtype_is_constant() {
+        let r = rollback_relation();
+        assert_eq!(find_type(&r, TransactionNumber(0)), RelationType::Rollback);
+        assert_eq!(find_type(&r, TransactionNumber(99)), RelationType::Rollback);
+    }
+
+    #[test]
+    fn findstate_matches_linear_scan() {
+        // Oracle check for the binary search (experiment E9 compares their
+        // performance; this test pins their agreement).
+        let r = rollback_relation();
+        for t in 0..12 {
+            let tx = TransactionNumber(t);
+            let linear = r
+                .versions()
+                .iter()
+                .rev()
+                .find(|v| v.tx <= tx)
+                .map(|v| &v.state);
+            assert_eq!(find_state(&r, tx), linear, "at tx {t}");
+        }
+    }
+}

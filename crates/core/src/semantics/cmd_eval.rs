@@ -1,0 +1,337 @@
+//! The semantic function **C** (§3.5, §4).
+//!
+//! ```text
+//! C : COMMAND → [DATABASE → [DATABASE]]
+//! ```
+//!
+//! "Execution of a command either produces a new database or leaves the
+//! database unchanged." We expose two entry points:
+//!
+//! * [`Command::execute`] — returns `Result`: the new database and an
+//!   outcome on success, a diagnostic on failure. This is what engines
+//!   build on.
+//! * [`Command::execute_total`] — the paper's total function: failures
+//!   yield the unchanged database (the `else d` branches of §3.5).
+
+use crate::error::CoreError;
+use crate::semantics::aux::find_type;
+use crate::semantics::database::Database;
+use crate::semantics::domains::Relation;
+use crate::syntax::command::{Command, CommandOutcome};
+
+impl Command {
+    /// Executes the command against `db`, producing the new database and
+    /// an outcome (the denotation `C⟦self⟧ db`, with diagnostics).
+    pub fn execute(&self, db: &Database) -> Result<(Database, CommandOutcome), CoreError> {
+        match self {
+            // C⟦define_relation(I, Y)⟧ d ≜
+            //   if b(I) = ⊥ then (b[(Y⟦Y⟧, ⟨⟩)/I], n+1) else d
+            Command::DefineRelation(ident, rtype) => {
+                if db.state.is_defined(ident) {
+                    return Err(CoreError::AlreadyDefined(ident.clone()));
+                }
+                let state = db.state.bind(ident.clone(), Relation::new(*rtype));
+                Ok((Database::new(state, db.tx.next()), CommandOutcome::Defined))
+            }
+
+            // C⟦modify_state(I, E)⟧ d ≜ … (snapshot/historical: replace;
+            // rollback/temporal: append; in both cases at tx n+1)
+            Command::ModifyState(ident, expr) => {
+                let relation = db
+                    .state
+                    .lookup(ident)
+                    .ok_or_else(|| CoreError::UndefinedRelation(ident.clone()))?;
+                // The expression is evaluated against d — i.e. against the
+                // database *before* the modification.
+                let new_state = expr.eval(db)?;
+                // FINDTYPE(r, n) dispatch (§4): snapshot ∨ historical →
+                // replace; rollback ∨ temporal → append.
+                let _rtype = find_type(relation, db.tx);
+                if !relation.accepts(&new_state) {
+                    return Err(CoreError::StateTypeMismatch {
+                        relation: ident.clone(),
+                        rtype: relation.rtype(),
+                    });
+                }
+                let mut updated = relation.clone();
+                let next = db.tx.next();
+                updated.push_version(new_state, next);
+                let state = db.state.bind(ident.clone(), updated);
+                Ok((Database::new(state, next), CommandOutcome::Modified))
+            }
+
+            // Extension [1987A]: delete_relation(I) maps I back to ⊥.
+            Command::DeleteRelation(ident) => {
+                if !db.state.is_defined(ident) {
+                    return Err(CoreError::UndefinedRelation(ident.clone()));
+                }
+                let state = db.state.unbind(ident);
+                Ok((Database::new(state, db.tx.next()), CommandOutcome::Deleted))
+            }
+
+            // Extension [1987A]: scheme evolution.
+            Command::EvolveScheme(ident, change) => {
+                crate::ext::scheme::evolve(db, ident, change)
+            }
+
+            // Extension: display(E) queries without changing the database.
+            Command::Display(expr) => {
+                let state = expr.eval(db)?;
+                Ok((db.clone(), CommandOutcome::Displayed(state)))
+            }
+        }
+    }
+
+    /// The paper's total semantics: on any failure, "the command leaves
+    /// the database unchanged".
+    pub fn execute_total(&self, db: &Database) -> Database {
+        match self.execute(db) {
+            Ok((next, _)) => next,
+            Err(_) => db.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+    use crate::semantics::domains::{RelationType, TransactionNumber};
+    use crate::syntax::expr::Expr;
+    use txtime_historical::{HistoricalState, TemporalElement};
+    use txtime_snapshot::{DomainType, Schema, SnapshotState, Tuple, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("x", DomainType::Int)]).unwrap()
+    }
+
+    fn snap(vals: &[i64]) -> SnapshotState {
+        SnapshotState::from_rows(schema(), vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    fn hist(vals: &[(i64, u32, u32)]) -> HistoricalState {
+        HistoricalState::new(
+            schema(),
+            vals.iter().map(|&(v, s, e)| {
+                (Tuple::new(vec![Value::Int(v)]), TemporalElement::period(s, e))
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn define_increments_transaction_number() {
+        let (db, out) = Command::define_relation("r", RelationType::Rollback)
+            .execute(&Database::empty())
+            .unwrap();
+        assert_eq!(db.tx, TransactionNumber(1));
+        assert_eq!(out, CommandOutcome::Defined);
+        assert_eq!(
+            db.state.lookup("r").unwrap().rtype(),
+            RelationType::Rollback
+        );
+        assert!(db.state.lookup("r").unwrap().versions().is_empty());
+    }
+
+    #[test]
+    fn redefining_fails_and_total_semantics_leaves_db_unchanged() {
+        let (db, _) = Command::define_relation("r", RelationType::Rollback)
+            .execute(&Database::empty())
+            .unwrap();
+        let again = Command::define_relation("r", RelationType::Snapshot);
+        assert!(matches!(
+            again.execute(&db),
+            Err(CoreError::AlreadyDefined(_))
+        ));
+        assert_eq!(again.execute_total(&db), db);
+    }
+
+    #[test]
+    fn modify_state_appends_for_rollback() {
+        let db = Command::define_relation("r", RelationType::Rollback)
+            .execute_total(&Database::empty());
+        let (db, _) = Command::modify_state("r", Expr::snapshot_const(snap(&[1])))
+            .execute(&db)
+            .unwrap();
+        let (db, _) = Command::modify_state("r", Expr::snapshot_const(snap(&[1, 2])))
+            .execute(&db)
+            .unwrap();
+        let r = db.state.lookup("r").unwrap();
+        assert_eq!(r.versions().len(), 2);
+        assert_eq!(r.versions()[0].tx, TransactionNumber(2));
+        assert_eq!(r.versions()[1].tx, TransactionNumber(3));
+        assert_eq!(db.tx, TransactionNumber(3));
+    }
+
+    #[test]
+    fn modify_state_replaces_for_snapshot() {
+        let db = Command::define_relation("s", RelationType::Snapshot)
+            .execute_total(&Database::empty());
+        let db = Command::modify_state("s", Expr::snapshot_const(snap(&[1])))
+            .execute_total(&db);
+        let db = Command::modify_state("s", Expr::snapshot_const(snap(&[2])))
+            .execute_total(&db);
+        let r = db.state.lookup("s").unwrap();
+        assert_eq!(r.versions().len(), 1);
+        assert_eq!(
+            r.current().unwrap().state.as_snapshot().unwrap(),
+            &snap(&[2])
+        );
+        // The version's tx is still stamped with the replacing transaction.
+        assert_eq!(r.current().unwrap().tx, TransactionNumber(3));
+    }
+
+    #[test]
+    fn modify_state_evaluates_against_pre_state() {
+        // append semantics: E may reference ρ(r, ∞), which must see the
+        // previous state, not the one being installed.
+        let db = Command::define_relation("r", RelationType::Rollback)
+            .execute_total(&Database::empty());
+        let db = Command::modify_state("r", Expr::snapshot_const(snap(&[1])))
+            .execute_total(&db);
+        let db = Command::modify_state(
+            "r",
+            Expr::current("r").union(Expr::snapshot_const(snap(&[2]))),
+        )
+        .execute_total(&db);
+        let cur = Expr::current("r").eval(&db).unwrap().into_snapshot().unwrap();
+        assert_eq!(cur, snap(&[1, 2]));
+    }
+
+    #[test]
+    fn modify_state_on_undefined_relation_fails() {
+        let c = Command::modify_state("ghost", Expr::snapshot_const(snap(&[1])));
+        assert!(matches!(
+            c.execute(&Database::empty()),
+            Err(CoreError::UndefinedRelation(_))
+        ));
+    }
+
+    #[test]
+    fn modify_state_rejects_kind_mismatch() {
+        let db = Command::define_relation("r", RelationType::Rollback)
+            .execute_total(&Database::empty());
+        let c = Command::modify_state("r", Expr::historical_const(hist(&[(1, 0, 5)])));
+        assert!(matches!(
+            c.execute(&db),
+            Err(CoreError::StateTypeMismatch { .. })
+        ));
+        // Total semantics: unchanged, tx not incremented.
+        assert_eq!(c.execute_total(&db), db);
+    }
+
+    #[test]
+    fn temporal_relation_appends_historical_states() {
+        let db = Command::define_relation("t", RelationType::Temporal)
+            .execute_total(&Database::empty());
+        let db = Command::modify_state("t", Expr::historical_const(hist(&[(1, 0, 5)])))
+            .execute_total(&db);
+        let db = Command::modify_state("t", Expr::historical_const(hist(&[(1, 0, 9)])))
+            .execute_total(&db);
+        assert_eq!(db.state.lookup("t").unwrap().versions().len(), 2);
+    }
+
+    #[test]
+    fn historical_relation_replaces() {
+        let db = Command::define_relation("h", RelationType::Historical)
+            .execute_total(&Database::empty());
+        let db = Command::modify_state("h", Expr::historical_const(hist(&[(1, 0, 5)])))
+            .execute_total(&db);
+        let db = Command::modify_state("h", Expr::historical_const(hist(&[(2, 0, 5)])))
+            .execute_total(&db);
+        assert_eq!(db.state.lookup("h").unwrap().versions().len(), 1);
+    }
+
+    #[test]
+    fn delete_relation_unbinds() {
+        let db = Command::define_relation("r", RelationType::Snapshot)
+            .execute_total(&Database::empty());
+        let (db2, out) = Command::delete_relation("r").execute(&db).unwrap();
+        assert_eq!(out, CommandOutcome::Deleted);
+        assert!(!db2.state.is_defined("r"));
+        assert_eq!(db2.tx, TransactionNumber(2));
+        // The identifier is reusable afterwards.
+        assert!(Command::define_relation("r", RelationType::Rollback)
+            .execute(&db2)
+            .is_ok());
+    }
+
+    #[test]
+    fn display_reports_without_changing_database() {
+        let db = Command::define_relation("r", RelationType::Rollback)
+            .execute_total(&Database::empty());
+        let db = Command::modify_state("r", Expr::snapshot_const(snap(&[7])))
+            .execute_total(&db);
+        let (db2, out) = Command::display(Expr::current("r")).execute(&db).unwrap();
+        assert_eq!(db2, db);
+        match out {
+            CommandOutcome::Displayed(s) => {
+                assert_eq!(s.into_snapshot().unwrap(), snap(&[7]))
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_expression_leaves_database_unchanged() {
+        let db = Command::define_relation("r", RelationType::Rollback)
+            .execute_total(&Database::empty());
+        // Project a non-existent attribute: E is partial, C is total.
+        let c = Command::modify_state(
+            "r",
+            Expr::snapshot_const(snap(&[1])).project(vec!["ghost".into()]),
+        );
+        assert!(c.execute(&db).is_err());
+        assert_eq!(c.execute_total(&db), db);
+        assert_eq!(db.tx, TransactionNumber(1));
+    }
+
+    #[test]
+    fn append_delete_replace_via_modify_state() {
+        // "the modify_state command effectively performs append, delete,
+        // and replace operations" — exercise each shape.
+        let db = Command::define_relation("r", RelationType::Rollback)
+            .execute_total(&Database::empty());
+        let db = Command::modify_state("r", Expr::snapshot_const(snap(&[1, 2])))
+            .execute_total(&db);
+
+        // Append: previous ∪ {3}
+        let db = Command::modify_state(
+            "r",
+            Expr::current("r").union(Expr::snapshot_const(snap(&[3]))),
+        )
+        .execute_total(&db);
+        assert_eq!(
+            Expr::current("r").eval(&db).unwrap().into_snapshot().unwrap(),
+            snap(&[1, 2, 3])
+        );
+
+        // Delete: previous − {2}
+        let db = Command::modify_state(
+            "r",
+            Expr::current("r").difference(Expr::snapshot_const(snap(&[2]))),
+        )
+        .execute_total(&db);
+        assert_eq!(
+            Expr::current("r").eval(&db).unwrap().into_snapshot().unwrap(),
+            snap(&[1, 3])
+        );
+
+        // Replace: (previous − {3}) ∪ {4}
+        let db = Command::modify_state(
+            "r",
+            Expr::current("r")
+                .difference(Expr::snapshot_const(snap(&[3])))
+                .union(Expr::snapshot_const(snap(&[4]))),
+        )
+        .execute_total(&db);
+        assert_eq!(
+            Expr::current("r").eval(&db).unwrap().into_snapshot().unwrap(),
+            snap(&[1, 4])
+        );
+
+        // And every intermediate state is still reachable by rollback.
+        let r = db.state.lookup("r").unwrap();
+        assert_eq!(r.versions().len(), 4);
+    }
+}

@@ -1,0 +1,163 @@
+//! The DATABASE STATE and DATABASE semantic domains.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::semantics::domains::{Relation, TransactionNumber};
+
+/// DATABASE STATE ≜ IDENTIFIER → \[RELATION + {⊥}\]
+///
+/// "A database state is a function that maps identifiers either into a
+/// relation or into the special symbol ⊥." We represent the function by a
+/// finite map: absent identifiers denote ⊥. The map is wrapped in an `Arc`
+/// so that a [`Database`] — which the reference semantics copies at every
+/// command — clones in O(1) and shares structure.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DatabaseState {
+    relations: Arc<BTreeMap<String, Relation>>,
+}
+
+impl DatabaseState {
+    /// EMPTY: the state mapping every identifier to ⊥.
+    pub fn empty() -> DatabaseState {
+        DatabaseState::default()
+    }
+
+    /// Applies the state (as a function) to `ident`: `Some(relation)` or
+    /// `None` for ⊥.
+    pub fn lookup(&self, ident: &str) -> Option<&Relation> {
+        self.relations.get(ident)
+    }
+
+    /// Whether `ident` is bound.
+    pub fn is_defined(&self, ident: &str) -> bool {
+        self.relations.contains_key(ident)
+    }
+
+    /// The functional update `b[(r)/I]`: a new state in which `ident`
+    /// maps to `relation` and everything else is unchanged.
+    pub fn bind(&self, ident: impl Into<String>, relation: Relation) -> DatabaseState {
+        let mut map = (*self.relations).clone();
+        map.insert(ident.into(), relation);
+        DatabaseState {
+            relations: Arc::new(map),
+        }
+    }
+
+    /// The functional update mapping `ident` back to ⊥ (used by the
+    /// `delete_relation` extension).
+    pub fn unbind(&self, ident: &str) -> DatabaseState {
+        let mut map = (*self.relations).clone();
+        map.remove(ident);
+        DatabaseState {
+            relations: Arc::new(map),
+        }
+    }
+
+    /// Iterates bound identifiers and their relations, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Number of bound identifiers.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether no identifier is bound.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Approximate footprint in bytes for space accounting.
+    pub fn size_bytes(&self) -> usize {
+        self.relations
+            .iter()
+            .map(|(k, r)| k.len() + r.size_bytes())
+            .sum()
+    }
+}
+
+/// DATABASE ≜ DATABASE STATE × TRANSACTION NUMBER
+///
+/// "A database is an ordered pair consisting of a database state and a
+/// transaction number indicating the most recent transaction that caused
+/// a change to the database."
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Database {
+    /// The database-state component `b`.
+    pub state: DatabaseState,
+    /// The transaction-number component `n`.
+    pub tx: TransactionNumber,
+}
+
+impl Database {
+    /// The initial database `(EMPTY, 0)` that every sentence starts from.
+    pub fn empty() -> Database {
+        Database::default()
+    }
+
+    /// Constructs a database from components.
+    pub fn new(state: DatabaseState, tx: TransactionNumber) -> Database {
+        Database { state, tx }
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "database @ tx {}", self.tx)?;
+        for (name, rel) in self.state.iter() {
+            writeln!(
+                f,
+                "  {name} : {} ({} version{})",
+                rel.rtype(),
+                rel.versions().len(),
+                if rel.versions().len() == 1 { "" } else { "s" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::domains::RelationType;
+
+    #[test]
+    fn empty_database_is_the_sentence_start() {
+        let d = Database::empty();
+        assert_eq!(d.tx, TransactionNumber(0));
+        assert!(d.state.is_empty());
+        assert!(d.state.lookup("emp").is_none());
+    }
+
+    #[test]
+    fn bind_is_persistent() {
+        let b0 = DatabaseState::empty();
+        let b1 = b0.bind("emp", Relation::new(RelationType::Rollback));
+        assert!(!b0.is_defined("emp"));
+        assert!(b1.is_defined("emp"));
+        assert_eq!(b1.len(), 1);
+    }
+
+    #[test]
+    fn unbind_restores_bottom() {
+        let b = DatabaseState::empty().bind("emp", Relation::new(RelationType::Snapshot));
+        let b2 = b.unbind("emp");
+        assert!(b.is_defined("emp"));
+        assert!(!b2.is_defined("emp"));
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let state = DatabaseState::empty().bind("emp", Relation::new(RelationType::Rollback));
+        let d = Database::new(state, TransactionNumber(1));
+        let s = d.to_string();
+        assert!(s.contains("emp"));
+        assert!(s.contains("rollback"));
+    }
+}

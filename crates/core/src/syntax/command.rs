@@ -1,0 +1,165 @@
+//! The COMMAND syntactic domain.
+//!
+//! ```text
+//! C ::= define_relation(I, Y) | modify_state(I, E) | C₁ ; C₂           (§3.1)
+//! ```
+//!
+//! "Commands are the only language constructs that change the database."
+//! Sequencing `C₁ ; C₂` is represented by the command *list* inside
+//! [`crate::Sentence`]; its associativity is checked by tests there.
+//!
+//! Three additional command forms are implemented as documented
+//! extensions (flagged by [`Command::is_extension`]):
+//!
+//! * `delete_relation(I)` — from the companion report \[McKenzie &
+//!   Snodgrass 1987A\], which the paper cites for exactly this command.
+//! * `evolve_scheme(I, Δ)` — scheme evolution, likewise delegated to
+//!   \[1987A\] ("changes to the scheme are properly the province of
+//!   transaction time").
+//! * `display(E)` — §3.1 lists "display the contents of a relation" among
+//!   the tasks commands perform; `display` evaluates an expression and
+//!   reports the state without changing the database.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ext::scheme::SchemeChange;
+use crate::semantics::domains::{RelationType, StateValue};
+use crate::syntax::expr::Expr;
+
+/// A command of the language.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// `define_relation(I, Y)`: bind type `Y` and an empty state sequence
+    /// to the unbound identifier `I`.
+    DefineRelation(String, RelationType),
+    /// `modify_state(I, E)`: make the value of `E` the current state of
+    /// relation `I`, replacing (snapshot/historical) or appending
+    /// (rollback/temporal).
+    ModifyState(String, Expr),
+    /// Extension \[1987A\]: remove the binding of `I`.
+    DeleteRelation(String),
+    /// Extension \[1987A\]: evolve the scheme of relation `I`.
+    EvolveScheme(String, SchemeChange),
+    /// Extension (§3.1's "display the contents of a relation"): evaluate
+    /// `E` and report the resulting state; the database is unchanged.
+    Display(Expr),
+}
+
+impl Command {
+    /// `define_relation(ident, rtype)`
+    pub fn define_relation(ident: impl Into<String>, rtype: RelationType) -> Command {
+        Command::DefineRelation(ident.into(), rtype)
+    }
+
+    /// `modify_state(ident, expr)`
+    pub fn modify_state(ident: impl Into<String>, expr: Expr) -> Command {
+        Command::ModifyState(ident.into(), expr)
+    }
+
+    /// `delete_relation(ident)`
+    pub fn delete_relation(ident: impl Into<String>) -> Command {
+        Command::DeleteRelation(ident.into())
+    }
+
+    /// `evolve_scheme(ident, change)`
+    pub fn evolve_scheme(ident: impl Into<String>, change: SchemeChange) -> Command {
+        Command::EvolveScheme(ident.into(), change)
+    }
+
+    /// `display(expr)`
+    pub fn display(expr: Expr) -> Command {
+        Command::Display(expr)
+    }
+
+    /// Whether this command form is one of the documented extensions
+    /// rather than part of the paper's base language.
+    pub fn is_extension(&self) -> bool {
+        matches!(
+            self,
+            Command::DeleteRelation(_) | Command::EvolveScheme(..) | Command::Display(_)
+        )
+    }
+
+    /// Whether this command can change the database.
+    pub fn is_mutation(&self) -> bool {
+        !matches!(self, Command::Display(_))
+    }
+
+    /// The relation this command writes, if any (used by the transaction
+    /// scheduler to compute write sets).
+    pub fn write_target(&self) -> Option<&str> {
+        match self {
+            Command::DefineRelation(i, _)
+            | Command::ModifyState(i, _)
+            | Command::DeleteRelation(i)
+            | Command::EvolveScheme(i, _) => Some(i),
+            Command::Display(_) => None,
+        }
+    }
+
+    /// The relations this command reads through ρ/ρ̂ in its expression.
+    pub fn read_set(&self) -> Vec<&str> {
+        match self {
+            Command::ModifyState(_, e) | Command::Display(e) => e.read_set(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::DefineRelation(i, y) => write!(f, "define_relation({i}, {y})"),
+            Command::ModifyState(i, e) => write!(f, "modify_state({i}, {e})"),
+            Command::DeleteRelation(i) => write!(f, "delete_relation({i})"),
+            Command::EvolveScheme(i, c) => write!(f, "evolve_scheme({i}, {c})"),
+            Command::Display(e) => write!(f, "display({e})"),
+        }
+    }
+}
+
+/// What executing one command did — the engineering-facing counterpart of
+/// the paper's purely state-based semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommandOutcome {
+    /// `define_relation` bound a fresh identifier.
+    Defined,
+    /// `modify_state` installed a new state version.
+    Modified,
+    /// `delete_relation` removed a binding.
+    Deleted,
+    /// `evolve_scheme` installed a scheme-transformed version.
+    Evolved,
+    /// `display` evaluated its expression to this state.
+    Displayed(StateValue),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::expr::Expr;
+
+    #[test]
+    fn extension_flags() {
+        assert!(!Command::define_relation("r", RelationType::Snapshot).is_extension());
+        assert!(!Command::modify_state("r", Expr::current("r")).is_extension());
+        assert!(Command::delete_relation("r").is_extension());
+        assert!(Command::display(Expr::current("r")).is_extension());
+    }
+
+    #[test]
+    fn write_and_read_sets() {
+        let c = Command::modify_state("a", Expr::current("b").union(Expr::current("c")));
+        assert_eq!(c.write_target(), Some("a"));
+        assert_eq!(c.read_set(), vec!["b", "c"]);
+        assert!(Command::display(Expr::current("x")).write_target().is_none());
+    }
+
+    #[test]
+    fn display_form() {
+        let c = Command::define_relation("emp", RelationType::Rollback);
+        assert_eq!(c.to_string(), "define_relation(emp, rollback)");
+    }
+}

@@ -1,0 +1,5 @@
+//! The syntactic domains of §3.1 and §4: expressions, commands, sentences.
+
+pub mod command;
+pub mod expr;
+pub mod sentence;

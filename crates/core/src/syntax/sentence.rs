@@ -1,0 +1,254 @@
+//! The SENTENCE syntactic domain.
+//!
+//! "A sentence in our language is a non-empty sequence of commands … Our
+//! language requires that the evaluation of a sentence in the language
+//! always start with an empty database. This requirement is both necessary
+//! and sufficient … to ensure that transaction-number components of the
+//! state sequence of each rollback relation in the database will be
+//! strictly increasing" (§3.1, §3.6).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::semantics::database::Database;
+use crate::syntax::command::{Command, CommandOutcome};
+
+/// A sentence: a non-empty command sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sentence {
+    commands: Vec<Command>,
+}
+
+impl Sentence {
+    /// Builds a sentence; fails on an empty command list.
+    pub fn new(commands: Vec<Command>) -> Result<Sentence, CoreError> {
+        if commands.is_empty() {
+            return Err(CoreError::EmptySentence);
+        }
+        Ok(Sentence { commands })
+    }
+
+    /// The commands, in execution order.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Appends another command.
+    pub fn push(&mut self, command: Command) {
+        self.commands.push(command);
+    }
+
+    /// Concatenates two sentences (`C₁ ; C₂` at the sentence level).
+    pub fn then(mut self, other: Sentence) -> Sentence {
+        self.commands.extend(other.commands);
+        self
+    }
+}
+
+impl fmt::Display for Sentence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.commands {
+            writeln!(f, "{c};")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of executing a sentence with full diagnostics: the final
+/// database plus each command's outcome.
+#[derive(Debug, Clone)]
+pub struct SentenceResult {
+    /// The database after the last command.
+    pub database: Database,
+    /// One entry per command: the outcome, or the error that made it a
+    /// no-op under the paper's total semantics.
+    pub outcomes: Vec<Result<CommandOutcome, CoreError>>,
+}
+
+impl SentenceResult {
+    /// Whether every command succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(Result::is_ok)
+    }
+
+    /// The states produced by `display` commands, in order.
+    pub fn displayed(&self) -> Vec<&crate::semantics::domains::StateValue> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                Ok(CommandOutcome::Displayed(s)) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Sentence {
+    /// The semantic function **P** (§3.6): `P⟦C⟧ ≜ C⟦C⟧ (EMPTY, 0)`,
+    /// failing on the first invalid command.
+    pub fn eval(&self) -> Result<Database, CoreError> {
+        let mut db = Database::empty();
+        for c in &self.commands {
+            let (next, _) = c.execute(&db)?;
+            db = next;
+        }
+        Ok(db)
+    }
+
+    /// **P** with the paper's total command semantics: invalid commands
+    /// leave the database unchanged, and every command's outcome is
+    /// reported.
+    pub fn eval_total(&self) -> SentenceResult {
+        let mut db = Database::empty();
+        let mut outcomes = Vec::with_capacity(self.commands.len());
+        for c in &self.commands {
+            match c.execute(&db) {
+                Ok((next, out)) => {
+                    db = next;
+                    outcomes.push(Ok(out));
+                }
+                Err(e) => outcomes.push(Err(e)),
+            }
+        }
+        SentenceResult {
+            database: db,
+            outcomes,
+        }
+    }
+
+    /// Continues execution from an existing database (the engine-facing
+    /// form; the paper's **P** is `resume` from `(EMPTY, 0)`).
+    pub fn resume(&self, db: &Database) -> Result<Database, CoreError> {
+        let mut db = db.clone();
+        for c in &self.commands {
+            let (next, _) = c.execute(&db)?;
+            db = next;
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::domains::{RelationType, TransactionNumber};
+    use crate::syntax::expr::Expr;
+    use txtime_snapshot::{DomainType, Schema, SnapshotState, Value};
+
+    fn snap(vals: &[i64]) -> SnapshotState {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_sentence() {
+        assert!(matches!(
+            Sentence::new(vec![]),
+            Err(CoreError::EmptySentence)
+        ));
+    }
+
+    #[test]
+    fn eval_starts_from_empty_database() {
+        let s = Sentence::new(vec![Command::define_relation("r", RelationType::Rollback)])
+            .unwrap();
+        let db = s.eval().unwrap();
+        assert_eq!(db.tx, TransactionNumber(1));
+        assert_eq!(db.state.len(), 1);
+    }
+
+    #[test]
+    fn sequencing_is_associative() {
+        // C⟦C₁, (C₂, C₃)⟧ = C⟦(C₁, C₂), C₃⟧: flattening order is
+        // irrelevant, only command order matters.
+        let c1 = Command::define_relation("r", RelationType::Rollback);
+        let c2 = Command::modify_state("r", Expr::snapshot_const(snap(&[1])));
+        let c3 = Command::modify_state("r", Expr::snapshot_const(snap(&[2])));
+
+        let left = Sentence::new(vec![c1.clone(), c2.clone()])
+            .unwrap()
+            .then(Sentence::new(vec![c3.clone()]).unwrap());
+        let right = Sentence::new(vec![c1])
+            .unwrap()
+            .then(Sentence::new(vec![c2, c3]).unwrap());
+        assert_eq!(left.eval().unwrap(), right.eval().unwrap());
+    }
+
+    #[test]
+    fn transaction_numbers_strictly_increase() {
+        let s = Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[1]))),
+            Command::define_relation("q", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[2]))),
+            Command::modify_state("q", Expr::snapshot_const(snap(&[9]))),
+        ])
+        .unwrap();
+        let db = s.eval().unwrap();
+        assert_eq!(db.tx, TransactionNumber(5));
+        let r = db.state.lookup("r").unwrap();
+        let txs: Vec<u64> = r.versions().iter().map(|v| v.tx.0).collect();
+        assert_eq!(txs, vec![2, 4]);
+        assert!(txs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn eval_total_records_failures_as_noops() {
+        let s = Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::define_relation("r", RelationType::Snapshot), // no-op
+            Command::modify_state("r", Expr::snapshot_const(snap(&[1]))),
+        ])
+        .unwrap();
+        let res = s.eval_total();
+        assert!(!res.all_ok());
+        assert!(res.outcomes[0].is_ok());
+        assert!(res.outcomes[1].is_err());
+        assert!(res.outcomes[2].is_ok());
+        // The failed define did not consume a transaction number.
+        assert_eq!(res.database.tx, TransactionNumber(2));
+        assert_eq!(
+            res.database.state.lookup("r").unwrap().rtype(),
+            RelationType::Rollback
+        );
+    }
+
+    #[test]
+    fn displayed_collects_query_results() {
+        let s = Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[1, 2]))),
+            Command::display(Expr::current("r")),
+        ])
+        .unwrap();
+        let res = s.eval_total();
+        let shown = res.displayed();
+        assert_eq!(shown.len(), 1);
+        assert_eq!(shown[0].len(), 2);
+    }
+
+    #[test]
+    fn resume_continues_from_given_database() {
+        let first = Sentence::new(vec![Command::define_relation("r", RelationType::Rollback)])
+            .unwrap()
+            .eval()
+            .unwrap();
+        let db = Sentence::new(vec![Command::modify_state(
+            "r",
+            Expr::snapshot_const(snap(&[5])),
+        )])
+        .unwrap()
+        .resume(&first)
+        .unwrap();
+        assert_eq!(db.tx, TransactionNumber(2));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let s = Sentence::new(vec![Command::define_relation("r", RelationType::Temporal)])
+            .unwrap();
+        assert_eq!(s.to_string(), "define_relation(r, temporal);\n");
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests of the language-level invariants the paper proves
+//! or asserts.
+//!
+//! * Transaction numbers in every state sequence are strictly increasing
+//!   (§3.6: the empty-database start "is both necessary and sufficient" to
+//!   ensure this).
+//! * ρ(I, t) equals replaying only the prefix of commands with commit time
+//!   ≤ t — the defining property of a rollback database.
+//! * Expression evaluation never changes the database (§3.4).
+//! * Sequencing is associative (§3.5).
+//! * Orthogonality (§4): for temporal relations, rolling back and then
+//!   timeslicing commutes with the order of the two time dimensions.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use txtime_core::generate::{random_commands, CmdGenConfig};
+use txtime_core::prelude::*;
+use txtime_snapshot::generate::GenConfig;
+use txtime_snapshot::{DomainType, Schema};
+
+fn fixed_schema() -> Schema {
+    Schema::new(vec![("a0", DomainType::Int), ("a1", DomainType::Str)]).unwrap()
+}
+
+fn gen_cfg() -> CmdGenConfig {
+    CmdGenConfig {
+        values: GenConfig {
+            arity: 2,
+            cardinality: 12,
+            int_range: 10,
+            str_pool: 5,
+        },
+        relations: vec!["r0".into(), "r1".into()],
+        churn: 0.4,
+    }
+}
+
+fn arb_commands() -> impl Strategy<Value = Vec<Command>> {
+    (any::<u64>(), 1usize..30).prop_map(|(seed, len)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        random_commands(&mut rng, &fixed_schema(), &gen_cfg(), len)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transaction_numbers_strictly_increase(cmds in arb_commands()) {
+        let db = Sentence::new(cmds).unwrap().eval().unwrap();
+        for (_, rel) in db.state.iter() {
+            let txs: Vec<u64> = rel.versions().iter().map(|v| v.tx.0).collect();
+            prop_assert!(txs.windows(2).all(|w| w[0] < w[1]));
+            // And no version postdates the database's own clock.
+            prop_assert!(txs.iter().all(|&t| t <= db.tx.0));
+        }
+    }
+
+    #[test]
+    fn rollback_equals_prefix_replay(cmds in arb_commands(), cut in 0usize..30) {
+        // Rolling the full database back to the transaction number reached
+        // after `cut` commands gives exactly the state the prefix
+        // execution produced.
+        let cut = cut.min(cmds.len());
+        let full = Sentence::new(cmds.clone()).unwrap().eval().unwrap();
+        let prefix_db = if cut == 0 {
+            Database::empty()
+        } else {
+            Sentence::new(cmds[..cut].to_vec()).unwrap().eval().unwrap()
+        };
+        for (name, rel) in prefix_db.state.iter() {
+            if rel.versions().is_empty() {
+                continue;
+            }
+            let expected = Expr::current(name).eval(&prefix_db).unwrap();
+            let got = Expr::rollback(name.clone(), TxSpec::At(prefix_db.tx))
+                .eval(&full)
+                .unwrap();
+            prop_assert_eq!(got, expected, "relation {}", name);
+        }
+    }
+
+    #[test]
+    fn expression_evaluation_is_pure(cmds in arb_commands()) {
+        let db = Sentence::new(cmds).unwrap().eval().unwrap();
+        let before = db.clone();
+        for (name, rel) in before.state.iter() {
+            if rel.versions().is_empty() {
+                continue;
+            }
+            let _ = Expr::current(name).eval(&db).unwrap();
+            let _ = Expr::current(name)
+                .union(Expr::current(name))
+                .eval(&db)
+                .unwrap();
+        }
+        prop_assert_eq!(db, before);
+    }
+
+    #[test]
+    fn sequencing_associativity(cmds in arb_commands(), split in 1usize..29) {
+        let split = split.min(cmds.len().saturating_sub(1)).max(1);
+        if cmds.len() < 2 {
+            return Ok(());
+        }
+        let (a, b) = cmds.split_at(split);
+        let joined = Sentence::new(a.to_vec()).unwrap()
+            .then(Sentence::new(b.to_vec()).unwrap());
+        let flat = Sentence::new(cmds.clone()).unwrap();
+        prop_assert_eq!(joined.eval().unwrap(), flat.eval().unwrap());
+    }
+
+    #[test]
+    fn snapshot_relations_never_grow_sequences(cmds in arb_commands()) {
+        // Re-type every relation as snapshot; sequences must stay ≤ 1.
+        let cmds: Vec<Command> = cmds
+            .into_iter()
+            .map(|c| match c {
+                Command::DefineRelation(i, _) => {
+                    Command::define_relation(i, RelationType::Snapshot)
+                }
+                other => other,
+            })
+            .collect();
+        let db = Sentence::new(cmds).unwrap().eval().unwrap();
+        for (_, rel) in db.state.iter() {
+            prop_assert!(rel.versions().len() <= 1);
+        }
+    }
+
+    #[test]
+    fn eval_total_never_panics_and_monotonic_clock(cmds in arb_commands(), extra in any::<u64>()) {
+        // Salt the command stream with guaranteed-failing commands; the
+        // total semantics must skip them without disturbing the clock
+        // discipline.
+        let mut cmds = cmds;
+        let pos = (extra as usize) % (cmds.len() + 1);
+        cmds.insert(pos, Command::modify_state("ghost", Expr::current("ghost")));
+        let res = Sentence::new(cmds).unwrap().eval_total();
+        for (_, rel) in res.database.state.iter() {
+            let txs: Vec<u64> = rel.versions().iter().map(|v| v.tx.0).collect();
+            prop_assert!(txs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}
+
+mod orthogonality {
+    use super::*;
+    use txtime_historical::{HistoricalState, TemporalElement};
+    use txtime_snapshot::{Tuple, Value};
+
+    fn hstate(rows: &[(i64, u32, u32)]) -> HistoricalState {
+        HistoricalState::new(
+            Schema::new(vec![("a0", DomainType::Int)]).unwrap(),
+            rows.iter().map(|&(v, s, e)| {
+                (
+                    Tuple::new(vec![Value::Int(v)]),
+                    TemporalElement::period(s, e),
+                )
+            }),
+        )
+        .unwrap()
+    }
+
+    /// §4's orthogonality claim made operational: for a temporal relation,
+    /// (transaction-time rollback, then valid-time timeslice) is a
+    /// well-defined two-dimensional lookup — each historical version is
+    /// independent of the valid-time query, and each valid-time query is
+    /// independent of which version it is asked of.
+    #[test]
+    fn rollback_then_timeslice_is_two_dimensional() {
+        let v1 = hstate(&[(1, 0, 10)]);
+        let v2 = hstate(&[(1, 0, 10), (2, 5, 20)]);
+        let db = Sentence::new(vec![
+            Command::define_relation("t", RelationType::Temporal),
+            Command::modify_state("t", Expr::historical_const(v1.clone())),
+            Command::modify_state("t", Expr::historical_const(v2.clone())),
+        ])
+        .unwrap()
+        .eval()
+        .unwrap();
+
+        // All four (transaction, valid) corners.
+        let at = |tx: u64, c: u32| {
+            Expr::hrollback("t", TxSpec::At(TransactionNumber(tx)))
+                .eval(&db)
+                .unwrap()
+                .into_historical()
+                .unwrap()
+                .timeslice(c)
+        };
+        assert_eq!(at(2, 7), v1.timeslice(7)); // old version, mid valid time
+        assert_eq!(at(3, 7), v2.timeslice(7)); // new version, same valid time
+        assert_eq!(at(2, 15), v1.timeslice(15)); // old version knows no tuple 2
+        assert!(at(2, 15).is_empty());
+        assert_eq!(at(3, 15).len(), 1); // the revision added history
+    }
+}

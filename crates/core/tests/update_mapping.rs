@@ -1,0 +1,148 @@
+//! Correctness of the Quel→algebra update mapping (paper §1: "If these
+//! operations in the calculus are formalized, the mapping can be proven
+//! correct").
+//!
+//! The *formalization* here is the obvious tuple-level interpretation of
+//! append/delete/replace; the property is that the algebraic encoding in
+//! `txtime_core::ext::update` computes exactly the same new state.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use txtime_core::{append, delete_where, replace_where, Assignment};
+use txtime_core::prelude::*;
+use txtime_snapshot::generate::{random_predicate, random_state, GenConfig};
+use txtime_snapshot::{DomainType, Schema, SnapshotState, Tuple, Value};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ("a0", DomainType::Int),
+        ("a1", DomainType::Str),
+        ("a2", DomainType::Bool),
+    ])
+    .unwrap()
+}
+
+fn cfg() -> GenConfig {
+    GenConfig {
+        arity: 3,
+        cardinality: 16,
+        int_range: 10,
+        str_pool: 4,
+    }
+}
+
+fn db_with(state: &SnapshotState) -> Database {
+    Sentence::new(vec![
+        Command::define_relation("r", RelationType::Rollback),
+        Command::modify_state("r", Expr::snapshot_const(state.clone())),
+    ])
+    .unwrap()
+    .eval()
+    .unwrap()
+}
+
+fn current(db: &Database) -> SnapshotState {
+    Expr::current("r").eval(db).unwrap().into_snapshot().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn append_mapping_is_tuple_union(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = random_state(&mut rng, &schema(), &cfg());
+        let extra = random_state(&mut rng, &schema(), &cfg());
+        let db = append("r", extra.clone()).execute_total(&db_with(&base));
+
+        // Oracle: plain set union of tuple sets.
+        let expected: BTreeSet<Tuple> =
+            base.iter().chain(extra.iter()).cloned().collect();
+        let got = current(&db);
+        prop_assert_eq!(got.tuples(), &expected);
+    }
+
+    #[test]
+    fn delete_mapping_is_tuple_filter(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = random_state(&mut rng, &schema(), &cfg());
+        let pred = random_predicate(&mut rng, &schema(), &cfg(), 2);
+        let db = delete_where("r", pred.clone()).execute_total(&db_with(&base));
+
+        // Oracle: keep tuples where the predicate is false.
+        let compiled = pred.compile(&schema()).unwrap();
+        let expected: BTreeSet<Tuple> = base
+            .iter()
+            .filter(|t| !compiled.eval(t))
+            .cloned()
+            .collect();
+        let got = current(&db);
+        prop_assert_eq!(got.tuples(), &expected);
+    }
+
+    #[test]
+    fn replace_mapping_is_tuple_rewrite(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = random_state(&mut rng, &schema(), &cfg());
+        let pred = random_predicate(&mut rng, &schema(), &cfg(), 2);
+        // Assign one or two of the attributes to random constants,
+        // always leaving at least one unassigned.
+        let assignments = match rng.gen_range(0..3) {
+            0 => vec![Assignment::new("a0", Value::Int(rng.gen_range(0..10)))],
+            1 => vec![Assignment::new("a1", Value::str(format!("s{}", rng.gen_range(0..4))))],
+            _ => vec![
+                Assignment::new("a0", Value::Int(rng.gen_range(0..10))),
+                Assignment::new("a2", Value::Bool(rng.gen())),
+            ],
+        };
+        let cmd = replace_where("r", &schema(), pred.clone(), &assignments).unwrap();
+        let db = cmd.execute_total(&db_with(&base));
+
+        // Oracle: rewrite matching tuples field-by-field.
+        let compiled = pred.compile(&schema()).unwrap();
+        let expected: BTreeSet<Tuple> = base
+            .iter()
+            .map(|t| {
+                if compiled.eval(t) {
+                    let vals: Vec<Value> = schema()
+                        .attributes()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, at)| {
+                            assignments
+                                .iter()
+                                .find(|a| a.attr == *at.name)
+                                .map(|a| a.value.clone())
+                                .unwrap_or_else(|| t.get(i).clone())
+                        })
+                        .collect();
+                    Tuple::new(vals)
+                } else {
+                    t.clone()
+                }
+            })
+            .collect();
+        let got = current(&db);
+        prop_assert_eq!(got.tuples(), &expected);
+    }
+
+    #[test]
+    fn update_mappings_preserve_history(seed in any::<u64>()) {
+        // Whatever the update does, the prior state stays reachable.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = random_state(&mut rng, &schema(), &cfg());
+        let pred = random_predicate(&mut rng, &schema(), &cfg(), 1);
+        let db0 = db_with(&base);
+        let db = delete_where("r", pred).execute_total(&db0);
+        let before = Expr::rollback("r", TxSpec::At(TransactionNumber(2)))
+            .eval(&db)
+            .unwrap()
+            .into_snapshot()
+            .unwrap();
+        prop_assert_eq!(before, base);
+    }
+}

@@ -1,0 +1,25 @@
+//! Chronons: the quanta of valid time.
+
+/// A chronon — the smallest indivisible unit of valid time.
+///
+/// Valid time is the clock time at which a fact held in the modeled
+/// reality, "independent of the recording of that event in some database".
+/// We model the valid-time line as the non-negative integers; an
+/// application maps chronons to calendar granules (days, seconds, …) as it
+/// sees fit.
+pub type Chronon = u32;
+
+/// A sentinel chronon strictly greater than any storable instant, used as
+/// the open end of "until changed" periods.
+pub const FOREVER: Chronon = Chronon::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forever_dominates() {
+        let large: Chronon = 1_000_000;
+        assert!(FOREVER > large);
+    }
+}

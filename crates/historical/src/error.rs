@@ -1,0 +1,72 @@
+//! Errors raised by the historical algebra.
+
+use std::fmt;
+
+use txtime_snapshot::SnapshotError;
+
+use crate::chronon::Chronon;
+
+/// An error from constructing or operating on historical states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoricalError {
+    /// A period was constructed with `start >= end`.
+    EmptyPeriod {
+        /// Attempted inclusive lower bound.
+        start: Chronon,
+        /// Attempted exclusive upper bound.
+        end: Chronon,
+    },
+    /// A tuple was inserted with an empty valid-time element; historical
+    /// states only record tuples that were valid at some time.
+    EmptyValidTime,
+    /// An error from the underlying value-level relational machinery
+    /// (scheme mismatch, unknown attribute, …).
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for HistoricalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoricalError::EmptyPeriod { start, end } => {
+                write!(f, "period [{start}, {end}) is empty")
+            }
+            HistoricalError::EmptyValidTime => {
+                write!(f, "historical tuples must have a non-empty valid time")
+            }
+            HistoricalError::Snapshot(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HistoricalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HistoricalError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for HistoricalError {
+    fn from(e: SnapshotError) -> HistoricalError {
+        HistoricalError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_errors_convert() {
+        let e: HistoricalError = SnapshotError::EmptyScheme.into();
+        assert!(matches!(e, HistoricalError::Snapshot(_)));
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn display_period_error() {
+        let e = HistoricalError::EmptyPeriod { start: 5, end: 5 };
+        assert!(e.to_string().contains("[5, 5)"));
+    }
+}

@@ -1,0 +1,136 @@
+//! The valid-time operator δ_{G,V}.
+
+use std::collections::BTreeMap;
+
+use crate::state::HistoricalState;
+use crate::texpr::TemporalExpr;
+use crate::tpred::TemporalPred;
+use crate::Result;
+
+impl HistoricalState {
+    /// The new historical operator `δ_{G,V}(E)` (paper §4).
+    ///
+    /// For each historical tuple, the predicate `G ∈ 𝓖` examines the
+    /// tuple's valid time (selection on the valid-time component); tuples
+    /// that pass have their valid time replaced by the value of the
+    /// temporal expression `V ∈ 𝓥` (projection on the valid-time
+    /// component). Tuples whose new valid time is empty are dropped,
+    /// preserving the historical-state invariant.
+    pub fn delta(&self, g: &TemporalPred, v: &TemporalExpr) -> Result<HistoricalState> {
+        let mut map = BTreeMap::new();
+        for (t, e) in self.iter() {
+            if g.eval(e) {
+                let ne = v.eval(e);
+                if !ne.is_empty() {
+                    map.insert(t.clone(), ne);
+                }
+            }
+        }
+        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+    }
+
+    /// Shorthand: the historical state restricted to facts valid at
+    /// chronon `c`, with their full valid times retained. Combine with
+    /// [`HistoricalState::timeslice`] when only the values are wanted.
+    pub fn valid_at(&self, c: crate::chronon::Chronon) -> Result<HistoricalState> {
+        self.delta(&TemporalPred::valid_at(c), &TemporalExpr::ValidTime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HistoricalState, TemporalElement, TemporalExpr, TemporalPred};
+    use txtime_snapshot::{DomainType, Schema, Tuple, Value};
+
+    fn emp() -> HistoricalState {
+        let schema = Schema::new(vec![("name", DomainType::Str)]).unwrap();
+        HistoricalState::new(
+            schema,
+            vec![
+                (
+                    Tuple::new(vec![Value::str("alice")]),
+                    TemporalElement::period(0, 5),
+                ),
+                (
+                    Tuple::new(vec![Value::str("bob")]),
+                    TemporalElement::period(3, 9),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn delta_selects_on_valid_time() {
+        let d = emp()
+            .delta(&TemporalPred::valid_at(1), &TemporalExpr::ValidTime)
+            .unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(
+            d.valid_time(&Tuple::new(vec![Value::str("alice")])).unwrap(),
+            &TemporalElement::period(0, 5)
+        );
+    }
+
+    #[test]
+    fn delta_projects_valid_time() {
+        let window = TemporalElement::period(2, 6);
+        let d = emp()
+            .delta(
+                &TemporalPred::True,
+                &TemporalExpr::intersect(
+                    TemporalExpr::ValidTime,
+                    TemporalExpr::constant(window),
+                ),
+            )
+            .unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(
+            d.valid_time(&Tuple::new(vec![Value::str("alice")])).unwrap(),
+            &TemporalElement::period(2, 5)
+        );
+        assert_eq!(
+            d.valid_time(&Tuple::new(vec![Value::str("bob")])).unwrap(),
+            &TemporalElement::period(3, 6)
+        );
+    }
+
+    #[test]
+    fn delta_drops_tuples_with_empty_result_time() {
+        let d = emp()
+            .delta(
+                &TemporalPred::True,
+                &TemporalExpr::intersect(
+                    TemporalExpr::ValidTime,
+                    TemporalExpr::constant(TemporalElement::period(100, 200)),
+                ),
+            )
+            .unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn delta_with_identity_arguments_is_identity() {
+        let e = emp();
+        assert_eq!(
+            e.delta(&TemporalPred::True, &TemporalExpr::ValidTime).unwrap(),
+            e
+        );
+    }
+
+    #[test]
+    fn delta_false_is_empty() {
+        assert!(emp()
+            .delta(&TemporalPred::False, &TemporalExpr::ValidTime)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn valid_at_shorthand() {
+        let d = emp().valid_at(4).unwrap();
+        assert_eq!(d.len(), 2);
+        let d = emp().valid_at(7).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+}

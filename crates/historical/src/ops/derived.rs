@@ -1,0 +1,215 @@
+//! Derived historical operators.
+//!
+//! As in the snapshot algebra, several useful operators are definable
+//! from the primitives; they carry the same timeslice correspondence.
+
+use std::collections::BTreeMap;
+
+use txtime_snapshot::Tuple;
+
+use crate::element::TemporalElement;
+use crate::state::HistoricalState;
+use crate::Result;
+
+impl HistoricalState {
+    /// Historical intersection: a fact is in the result exactly when it
+    /// was valid in *both* operands, over the intersection of its valid
+    /// times. Equal to `A −̂ (A −̂ B)`.
+    pub fn hintersect(&self, other: &HistoricalState) -> Result<HistoricalState> {
+        self.schema().require_union_compatible(other.schema())?;
+        let mut map = BTreeMap::new();
+        for (t, e) in self.iter() {
+            if let Some(oe) = other.valid_time(t) {
+                let common = e.intersect(oe);
+                if !common.is_empty() {
+                    map.insert(t.clone(), common);
+                }
+            }
+        }
+        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+    }
+
+    /// Historical natural join on all common attribute names: joined
+    /// tuples are valid when both constituents were.
+    pub fn hnatural_join(&self, other: &HistoricalState) -> Result<HistoricalState> {
+        let common = self.schema().common_attributes(other.schema());
+        for name in &common {
+            let l = self.schema().attribute(self.schema().require(name)?);
+            let r = other.schema().attribute(other.schema().require(name)?);
+            if l.domain != r.domain {
+                return Err(txtime_snapshot::SnapshotError::DomainMismatch {
+                    attribute: name.to_string(),
+                    expected: l.domain,
+                    found: r.domain,
+                }
+                .into());
+            }
+        }
+        let right_keep: Vec<usize> = (0..other.schema().arity())
+            .filter(|&i| {
+                !common
+                    .iter()
+                    .any(|c| *c == other.schema().attribute(i).name)
+            })
+            .collect();
+        let mut attrs = self.schema().attributes().to_vec();
+        for &i in &right_keep {
+            attrs.push(other.schema().attribute(i).clone());
+        }
+        let schema = txtime_snapshot::Schema::from_attributes(attrs)?;
+
+        let left_common: Vec<usize> = common
+            .iter()
+            .map(|c| self.schema().index_of(c).expect("common attr in left"))
+            .collect();
+        let right_common: Vec<usize> = common
+            .iter()
+            .map(|c| other.schema().index_of(c).expect("common attr in right"))
+            .collect();
+
+        let mut map: BTreeMap<Tuple, TemporalElement> = BTreeMap::new();
+        for (l, le) in self.iter() {
+            for (r, re) in other.iter() {
+                let matches = left_common
+                    .iter()
+                    .zip(&right_common)
+                    .all(|(&li, &ri)| l.get(li) == r.get(ri));
+                if !matches {
+                    continue;
+                }
+                let e = le.intersect(re);
+                if e.is_empty() {
+                    continue;
+                }
+                let mut vals = l.values().to_vec();
+                for &i in &right_keep {
+                    vals.push(r.get(i).clone());
+                }
+                let joined = Tuple::new(vals);
+                match map.get_mut(&joined) {
+                    Some(existing) => *existing = existing.union(&e),
+                    None => {
+                        map.insert(joined, e);
+                    }
+                }
+            }
+        }
+        Ok(HistoricalState::from_checked(schema, map))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HistoricalState, TemporalElement};
+    use txtime_snapshot::{DomainType, Schema, Tuple, Value};
+
+    fn st(attr: &str, entries: &[(&str, u32, u32)]) -> HistoricalState {
+        let schema = Schema::new(vec![(attr, DomainType::Str)]).unwrap();
+        HistoricalState::new(
+            schema,
+            entries.iter().map(|&(v, s, e)| {
+                (Tuple::new(vec![Value::str(v)]), TemporalElement::period(s, e))
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hintersect_matches_double_difference() {
+        let a = st("x", &[("p", 0, 10), ("q", 0, 4)]);
+        let b = st("x", &[("p", 5, 15), ("r", 0, 4)]);
+        let direct = a.hintersect(&b).unwrap();
+        let derived = a.hdifference(&a.hdifference(&b).unwrap()).unwrap();
+        assert_eq!(direct, derived);
+        assert_eq!(
+            direct.valid_time(&Tuple::new(vec![Value::str("p")])).unwrap(),
+            &TemporalElement::period(5, 10)
+        );
+        assert_eq!(direct.len(), 1);
+    }
+
+    #[test]
+    fn hintersect_timeslice_correspondence() {
+        let a = st("x", &[("p", 0, 10), ("q", 2, 8)]);
+        let b = st("x", &[("p", 5, 15), ("q", 0, 3)]);
+        let i = a.hintersect(&b).unwrap();
+        for c in 0..16 {
+            assert_eq!(
+                i.timeslice(c),
+                a.timeslice(c).intersect(&b.timeslice(c)).unwrap(),
+                "at chronon {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn hnatural_join_on_shared_attribute() {
+        let emp = HistoricalState::new(
+            Schema::new(vec![("name", DomainType::Str), ("dept", DomainType::Str)]).unwrap(),
+            vec![
+                (
+                    Tuple::new(vec![Value::str("alice"), Value::str("cs")]),
+                    TemporalElement::period(0, 10),
+                ),
+                (
+                    Tuple::new(vec![Value::str("bob"), Value::str("ee")]),
+                    TemporalElement::period(5, 15),
+                ),
+            ],
+        )
+        .unwrap();
+        let dept = HistoricalState::new(
+            Schema::new(vec![("dept", DomainType::Str), ("bldg", DomainType::Str)]).unwrap(),
+            vec![(
+                Tuple::new(vec![Value::str("cs"), Value::str("sitterson")]),
+                TemporalElement::period(3, 20),
+            )],
+        )
+        .unwrap();
+        let j = emp.hnatural_join(&dept).unwrap();
+        assert_eq!(j.len(), 1);
+        let t = Tuple::new(vec![
+            Value::str("alice"),
+            Value::str("cs"),
+            Value::str("sitterson"),
+        ]);
+        // alice was in cs over [0,10); the building is known over [3,20):
+        // the joined fact holds over the intersection.
+        assert_eq!(j.valid_time(&t).unwrap(), &TemporalElement::period(3, 10));
+    }
+
+    #[test]
+    fn hnatural_join_timeslice_correspondence() {
+        let a = st("x", &[("p", 0, 10), ("q", 2, 8)]);
+        let schema = Schema::new(vec![("x", DomainType::Str), ("y", DomainType::Str)]).unwrap();
+        let b = HistoricalState::new(
+            schema,
+            vec![
+                (
+                    Tuple::new(vec![Value::str("p"), Value::str("1")]),
+                    TemporalElement::period(4, 12),
+                ),
+                (
+                    Tuple::new(vec![Value::str("q"), Value::str("2")]),
+                    TemporalElement::period(0, 5),
+                ),
+            ],
+        )
+        .unwrap();
+        let j = a.hnatural_join(&b).unwrap();
+        for c in 0..14 {
+            assert_eq!(
+                j.timeslice(c),
+                a.timeslice(c).natural_join(&b.timeslice(c)).unwrap(),
+                "at chronon {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn hintersect_requires_compatibility() {
+        let a = st("x", &[("p", 0, 1)]);
+        let b = st("y", &[("p", 0, 1)]);
+        assert!(a.hintersect(&b).is_err());
+    }
+}

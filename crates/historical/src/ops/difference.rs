@@ -1,0 +1,86 @@
+//! Historical difference (−̂).
+
+use std::collections::BTreeMap;
+
+use crate::state::HistoricalState;
+use crate::Result;
+
+impl HistoricalState {
+    /// Historical difference `E₁ −̂ E₂`.
+    ///
+    /// A fact survives exactly over the valid time it had in the left
+    /// operand minus the valid time it had in the right; tuples whose
+    /// valid time becomes empty disappear.
+    pub fn hdifference(&self, other: &HistoricalState) -> Result<HistoricalState> {
+        self.schema().require_union_compatible(other.schema())?;
+        let mut map = BTreeMap::new();
+        for (t, e) in self.iter() {
+            let remaining = match other.valid_time(t) {
+                Some(oe) => e.difference(oe),
+                None => e.clone(),
+            };
+            if !remaining.is_empty() {
+                map.insert(t.clone(), remaining);
+            }
+        }
+        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HistoricalState, TemporalElement};
+    use txtime_snapshot::{DomainType, Schema, Tuple, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("x", DomainType::Str)]).unwrap()
+    }
+
+    fn st(entries: &[(&str, u32, u32)]) -> HistoricalState {
+        HistoricalState::new(
+            schema(),
+            entries.iter().map(|&(v, s, e)| {
+                (Tuple::new(vec![Value::str(v)]), TemporalElement::period(s, e))
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn difference_subtracts_valid_time() {
+        let d = st(&[("a", 0, 10)]).hdifference(&st(&[("a", 3, 5)])).unwrap();
+        let e = d.valid_time(&Tuple::new(vec![Value::str("a")])).unwrap();
+        assert!(e.contains(0) && e.contains(2) && !e.contains(3) && e.contains(5));
+    }
+
+    #[test]
+    fn fully_covered_tuples_disappear() {
+        let d = st(&[("a", 2, 5)]).hdifference(&st(&[("a", 0, 10)])).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn unrelated_tuples_survive_intact() {
+        let d = st(&[("a", 0, 5)]).hdifference(&st(&[("b", 0, 5)])).unwrap();
+        assert_eq!(d, st(&[("a", 0, 5)]));
+    }
+
+    #[test]
+    fn difference_with_self_is_empty() {
+        let a = st(&[("a", 0, 5), ("b", 1, 9)]);
+        assert!(a.hdifference(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn timeslice_correspondence() {
+        let (a, b) = (st(&[("a", 0, 8), ("b", 2, 6)]), st(&[("a", 3, 12)]));
+        let d = a.hdifference(&b).unwrap();
+        for c in 0..14 {
+            assert_eq!(
+                d.timeslice(c),
+                a.timeslice(c).difference(&b.timeslice(c)).unwrap(),
+                "at chronon {c}"
+            );
+        }
+    }
+}

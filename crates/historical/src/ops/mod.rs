@@ -1,0 +1,20 @@
+//! The historical-algebra operators ∪̂, −̂, ×̂, π̂, σ̂, and δ_{G,V}.
+//!
+//! "The first five operators are historical counterparts to conventional
+//! algebraic operators … The sixth operator δ_{G,V} is a new historical
+//! operator which performs functions, similar to those of the selection
+//! and projection operators in the snapshot algebra, on the valid-time
+//! components of historical tuples" (paper §4).
+//!
+//! The guiding principle relating each operator to its snapshot
+//! counterpart is the **timeslice correspondence**: for every chronon `c`,
+//! `timeslice(op̂(H₁, H₂), c) = op(timeslice(H₁, c), timeslice(H₂, c))`.
+//! The property tests in `tests/historical_laws.rs` check exactly this.
+
+pub mod delta;
+pub mod derived;
+pub mod difference;
+pub mod product;
+pub mod project;
+pub mod select;
+pub mod union;

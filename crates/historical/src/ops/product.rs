@@ -1,0 +1,83 @@
+//! Historical cartesian product (×̂).
+
+use std::collections::BTreeMap;
+
+use crate::state::HistoricalState;
+use crate::Result;
+
+impl HistoricalState {
+    /// Historical product `E₁ ×̂ E₂`.
+    ///
+    /// Concatenated tuples are valid exactly when both constituents were:
+    /// the result's valid time is the intersection of the operands', and
+    /// pairs with disjoint valid times do not appear.
+    pub fn hproduct(&self, other: &HistoricalState) -> Result<HistoricalState> {
+        let schema = self.schema().product(other.schema())?;
+        let mut map = BTreeMap::new();
+        for (l, le) in self.iter() {
+            for (r, re) in other.iter() {
+                let e = le.intersect(re);
+                if !e.is_empty() {
+                    map.insert(l.concat(r), e);
+                }
+            }
+        }
+        Ok(HistoricalState::from_checked(schema, map))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HistoricalState, TemporalElement};
+    use txtime_snapshot::{DomainType, Schema, Tuple, Value};
+
+    fn st(attr: &str, entries: &[(&str, u32, u32)]) -> HistoricalState {
+        let schema = Schema::new(vec![(attr, DomainType::Str)]).unwrap();
+        HistoricalState::new(
+            schema,
+            entries.iter().map(|&(v, s, e)| {
+                (Tuple::new(vec![Value::str(v)]), TemporalElement::period(s, e))
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn product_intersects_valid_times() {
+        let p = st("x", &[("a", 0, 10)])
+            .hproduct(&st("y", &[("b", 5, 15)]))
+            .unwrap();
+        assert_eq!(p.len(), 1);
+        let e = p
+            .valid_time(&Tuple::new(vec![Value::str("a"), Value::str("b")]))
+            .unwrap();
+        assert_eq!(e, &TemporalElement::period(5, 10));
+    }
+
+    #[test]
+    fn disjoint_valid_times_produce_nothing() {
+        let p = st("x", &[("a", 0, 5)])
+            .hproduct(&st("y", &[("b", 5, 10)]))
+            .unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn product_rejects_name_clash() {
+        assert!(st("x", &[("a", 0, 5)]).hproduct(&st("x", &[("b", 0, 5)])).is_err());
+    }
+
+    #[test]
+    fn timeslice_correspondence() {
+        let a = st("x", &[("a", 0, 8), ("b", 2, 6)]);
+        let b = st("y", &[("c", 3, 12)]);
+        let p = a.hproduct(&b).unwrap();
+        for c in 0..14 {
+            assert_eq!(
+                p.timeslice(c),
+                a.timeslice(c).product(&b.timeslice(c)).unwrap(),
+                "at chronon {c}"
+            );
+        }
+    }
+}

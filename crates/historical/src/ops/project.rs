@@ -1,0 +1,92 @@
+//! Historical projection (π̂).
+
+use std::collections::BTreeMap;
+
+use crate::element::TemporalElement;
+use crate::state::HistoricalState;
+use crate::Result;
+use txtime_snapshot::Tuple;
+
+impl HistoricalState {
+    /// Historical projection `π̂_X(E)`.
+    ///
+    /// Value tuples that become equal after projection merge, and their
+    /// valid times union: the projected fact was valid whenever *any* of
+    /// its pre-images was.
+    pub fn hproject(&self, attrs: &[impl AsRef<str>]) -> Result<HistoricalState> {
+        let (schema, indices) = self.schema().project(attrs)?;
+        let mut map: BTreeMap<Tuple, TemporalElement> = BTreeMap::new();
+        for (t, e) in self.iter() {
+            let p = t.project(&indices);
+            match map.get_mut(&p) {
+                Some(existing) => *existing = existing.union(e),
+                None => {
+                    map.insert(p, e.clone());
+                }
+            }
+        }
+        Ok(HistoricalState::from_checked(schema, map))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HistoricalState, TemporalElement};
+    use txtime_snapshot::{DomainType, Schema, Tuple, Value};
+
+    fn emp() -> HistoricalState {
+        let schema = Schema::new(vec![("name", DomainType::Str), ("dept", DomainType::Str)])
+            .unwrap();
+        HistoricalState::new(
+            schema,
+            vec![
+                (
+                    Tuple::new(vec![Value::str("alice"), Value::str("cs")]),
+                    TemporalElement::period(0, 5),
+                ),
+                (
+                    Tuple::new(vec![Value::str("alice"), Value::str("ee")]),
+                    TemporalElement::period(5, 10),
+                ),
+                (
+                    Tuple::new(vec![Value::str("bob"), Value::str("cs")]),
+                    TemporalElement::period(3, 7),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn projection_merges_valid_times() {
+        let p = emp().hproject(&["name"]).unwrap();
+        assert_eq!(p.len(), 2);
+        let alice = p.valid_time(&Tuple::new(vec![Value::str("alice")])).unwrap();
+        // alice was somewhere (cs then ee) over [0,10) — one coalesced period.
+        assert_eq!(alice, &TemporalElement::period(0, 10));
+    }
+
+    #[test]
+    fn projection_onto_full_scheme_is_identity() {
+        let e = emp();
+        assert_eq!(e.hproject(&["name", "dept"]).unwrap(), e);
+    }
+
+    #[test]
+    fn projection_rejects_unknown() {
+        assert!(emp().hproject(&["wage"]).is_err());
+    }
+
+    #[test]
+    fn timeslice_correspondence() {
+        let e = emp();
+        let p = e.hproject(&["dept"]).unwrap();
+        for c in 0..12 {
+            assert_eq!(
+                p.timeslice(c),
+                e.timeslice(c).project(&["dept"]).unwrap(),
+                "at chronon {c}"
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Historical selection (σ̂).
+
+use crate::state::HistoricalState;
+use crate::Result;
+use txtime_snapshot::Predicate;
+
+impl HistoricalState {
+    /// Historical selection `σ̂_F(E)`: filters on *value* attributes,
+    /// leaving valid times untouched. Selection on valid time is the
+    /// business of [`HistoricalState::delta`].
+    pub fn hselect(&self, predicate: &Predicate) -> Result<HistoricalState> {
+        let compiled = predicate.compile(self.schema())?;
+        let map = self
+            .iter()
+            .filter(|(t, _)| compiled.eval(t))
+            .map(|(t, e)| (t.clone(), e.clone()))
+            .collect();
+        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HistoricalState, TemporalElement};
+    use txtime_snapshot::{DomainType, Predicate, Schema, Tuple, Value};
+
+    fn emp() -> HistoricalState {
+        let schema = Schema::new(vec![("name", DomainType::Str), ("sal", DomainType::Int)])
+            .unwrap();
+        HistoricalState::new(
+            schema,
+            vec![
+                (
+                    Tuple::new(vec![Value::str("alice"), Value::Int(100)]),
+                    TemporalElement::period(0, 5),
+                ),
+                (
+                    Tuple::new(vec![Value::str("bob"), Value::Int(200)]),
+                    TemporalElement::period(3, 9),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_filters_values() {
+        let s = emp()
+            .hselect(&Predicate::gt_const("sal", Value::Int(150)))
+            .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(
+            s.valid_time(&Tuple::new(vec![Value::str("bob"), Value::Int(200)]))
+                .unwrap(),
+            &TemporalElement::period(3, 9)
+        );
+    }
+
+    #[test]
+    fn select_true_is_identity() {
+        assert_eq!(emp().hselect(&Predicate::True).unwrap(), emp());
+    }
+
+    #[test]
+    fn select_validates_predicate() {
+        assert!(emp().hselect(&Predicate::eq_const("wage", Value::Int(1))).is_err());
+    }
+
+    #[test]
+    fn timeslice_correspondence() {
+        let e = emp();
+        let f = Predicate::gt_const("sal", Value::Int(150));
+        let s = e.hselect(&f).unwrap();
+        for c in 0..11 {
+            assert_eq!(
+                s.timeslice(c),
+                e.timeslice(c).select(&f).unwrap(),
+                "at chronon {c}"
+            );
+        }
+    }
+}

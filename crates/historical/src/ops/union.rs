@@ -1,0 +1,85 @@
+//! Historical union (∪̂).
+
+use crate::state::HistoricalState;
+use crate::Result;
+
+impl HistoricalState {
+    /// Historical union `E₁ ∪̂ E₂`.
+    ///
+    /// Value-equivalent tuples merge, their valid times unioned: a fact
+    /// appears in the result valid whenever it was valid in *either*
+    /// operand.
+    pub fn hunion(&self, other: &HistoricalState) -> Result<HistoricalState> {
+        self.schema().require_union_compatible(other.schema())?;
+        let mut map = self.entries().clone();
+        for (t, e) in other.iter() {
+            match map.get_mut(t) {
+                Some(existing) => *existing = existing.union(e),
+                None => {
+                    map.insert(t.clone(), e.clone());
+                }
+            }
+        }
+        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HistoricalState, TemporalElement};
+    use txtime_snapshot::{DomainType, Schema, Tuple, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("x", DomainType::Str)]).unwrap()
+    }
+
+    fn st(entries: &[(&str, u32, u32)]) -> HistoricalState {
+        HistoricalState::new(
+            schema(),
+            entries.iter().map(|&(v, s, e)| {
+                (Tuple::new(vec![Value::str(v)]), TemporalElement::period(s, e))
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn union_merges_valid_times() {
+        let u = st(&[("a", 0, 5)]).hunion(&st(&[("a", 5, 10)])).unwrap();
+        assert_eq!(u, st(&[("a", 0, 10)]));
+    }
+
+    #[test]
+    fn union_keeps_distinct_tuples() {
+        let u = st(&[("a", 0, 5)]).hunion(&st(&[("b", 0, 5)])).unwrap();
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn union_commutative_and_idempotent() {
+        let (a, b) = (st(&[("a", 0, 5), ("b", 2, 8)]), st(&[("a", 3, 9)]));
+        assert_eq!(a.hunion(&b).unwrap(), b.hunion(&a).unwrap());
+        assert_eq!(a.hunion(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn union_requires_compatibility() {
+        let other = Schema::new(vec![("y", DomainType::Str)]).unwrap();
+        assert!(st(&[("a", 0, 1)])
+            .hunion(&HistoricalState::empty(other))
+            .is_err());
+    }
+
+    #[test]
+    fn timeslice_correspondence() {
+        let (a, b) = (st(&[("a", 0, 5), ("b", 2, 8)]), st(&[("a", 3, 9)]));
+        let u = a.hunion(&b).unwrap();
+        for c in 0..12 {
+            assert_eq!(
+                u.timeslice(c),
+                a.timeslice(c).union(&b.timeslice(c)).unwrap(),
+                "at chronon {c}"
+            );
+        }
+    }
+}

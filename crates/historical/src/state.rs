@@ -1,0 +1,259 @@
+//! Historical states: the semantic domain HISTORICAL STATE.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use txtime_snapshot::{Schema, SnapshotState, Tuple};
+
+use crate::chronon::Chronon;
+use crate::element::TemporalElement;
+use crate::error::HistoricalError;
+use crate::Result;
+
+/// An historical state: a set of value tuples, each timestamped with the
+/// temporal element over which its fact was valid.
+///
+/// This is the semantic domain *HISTORICAL STATE* — "the domain of all
+/// valid historical relations as defined in the historical algebra". Two
+/// invariants are maintained:
+///
+/// 1. **Coalescing** — value-equivalent tuples are merged, so each value
+///    tuple appears at most once, and its temporal element is maximally
+///    coalesced.
+/// 2. **Non-emptiness** — no tuple carries an empty temporal element; a
+///    fact valid at no time is simply absent.
+///
+/// Like [`SnapshotState`], the payload is reference-counted so cloning is
+/// O(1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoricalState {
+    schema: Schema,
+    tuples: Arc<BTreeMap<Tuple, TemporalElement>>,
+}
+
+impl HistoricalState {
+    /// The empty historical state over `schema`.
+    pub fn empty(schema: Schema) -> HistoricalState {
+        HistoricalState {
+            schema,
+            tuples: Arc::new(BTreeMap::new()),
+        }
+    }
+
+    /// Builds a state from `(tuple, valid-time)` pairs, validating tuples
+    /// against the scheme, rejecting empty valid times, and coalescing
+    /// value-equivalent entries.
+    pub fn new(
+        schema: Schema,
+        entries: impl IntoIterator<Item = (Tuple, TemporalElement)>,
+    ) -> Result<HistoricalState> {
+        let mut map: BTreeMap<Tuple, TemporalElement> = BTreeMap::new();
+        for (t, e) in entries {
+            t.check(&schema)?;
+            if e.is_empty() {
+                return Err(HistoricalError::EmptyValidTime);
+            }
+            match map.get_mut(&t) {
+                Some(existing) => *existing = existing.union(&e),
+                None => {
+                    map.insert(t, e);
+                }
+            }
+        }
+        Ok(HistoricalState {
+            schema,
+            tuples: Arc::new(map),
+        })
+    }
+
+    /// Internal constructor for operator results that already maintain the
+    /// invariants (valid tuples, non-empty coalesced elements).
+    pub(crate) fn from_checked(
+        schema: Schema,
+        tuples: BTreeMap<Tuple, TemporalElement>,
+    ) -> HistoricalState {
+        debug_assert!(tuples.values().all(|e| !e.is_empty()));
+        HistoricalState {
+            schema,
+            tuples: Arc::new(tuples),
+        }
+    }
+
+    /// The state's scheme.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of distinct value tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the state has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The valid time of `tuple`, if it is present.
+    pub fn valid_time(&self, tuple: &Tuple) -> Option<&TemporalElement> {
+        self.tuples.get(tuple)
+    }
+
+    /// Iterates `(tuple, valid-time)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &TemporalElement)> {
+        self.tuples.iter()
+    }
+
+    /// The underlying map.
+    pub fn entries(&self) -> &BTreeMap<Tuple, TemporalElement> {
+        &self.tuples
+    }
+
+    /// The timeslice at chronon `c`: the snapshot state of facts valid at
+    /// `c`. This is the bridge from historical to snapshot semantics.
+    pub fn timeslice(&self, c: Chronon) -> SnapshotState {
+        let tuples: Vec<Tuple> = self
+            .tuples
+            .iter()
+            .filter(|(_, e)| e.contains(c))
+            .map(|(t, _)| t.clone())
+            .collect();
+        SnapshotState::new(self.schema.clone(), tuples)
+            .expect("tuples were validated at insertion")
+    }
+
+    /// Converts a snapshot state into an historical state in which every
+    /// tuple is valid exactly over `valid`.
+    pub fn from_snapshot(state: &SnapshotState, valid: TemporalElement) -> Result<HistoricalState> {
+        if valid.is_empty() {
+            return Err(HistoricalError::EmptyValidTime);
+        }
+        let map = state
+            .iter()
+            .map(|t| (t.clone(), valid.clone()))
+            .collect();
+        Ok(HistoricalState::from_checked(state.schema().clone(), map))
+    }
+
+    /// Approximate footprint in bytes for space accounting.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<HistoricalState>()
+            + self
+                .tuples
+                .iter()
+                .map(|(t, e)| t.size_bytes() + e.size_bytes())
+                .sum::<usize>()
+    }
+}
+
+impl fmt::Display for HistoricalState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {{", self.schema)?;
+        let mut first = true;
+        for (t, e) in self.tuples.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, " {t} @ {e}")?;
+            first = false;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_snapshot::{DomainType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("name", DomainType::Str)]).unwrap()
+    }
+
+    fn t(name: &str) -> Tuple {
+        Tuple::new(vec![Value::str(name)])
+    }
+
+    #[test]
+    fn construction_coalesces_value_equivalent_tuples() {
+        let s = HistoricalState::new(
+            schema(),
+            vec![
+                (t("alice"), TemporalElement::period(0, 5)),
+                (t("alice"), TemporalElement::period(5, 10)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(
+            s.valid_time(&t("alice")).unwrap(),
+            &TemporalElement::period(0, 10)
+        );
+    }
+
+    #[test]
+    fn construction_rejects_empty_valid_time() {
+        let r = HistoricalState::new(schema(), vec![(t("a"), TemporalElement::empty())]);
+        assert_eq!(r.unwrap_err(), HistoricalError::EmptyValidTime);
+    }
+
+    #[test]
+    fn construction_validates_tuples() {
+        let r = HistoricalState::new(
+            schema(),
+            vec![(
+                Tuple::new(vec![Value::Int(1)]),
+                TemporalElement::period(0, 1),
+            )],
+        );
+        assert!(matches!(r, Err(HistoricalError::Snapshot(_))));
+    }
+
+    #[test]
+    fn timeslice_selects_valid_tuples() {
+        let s = HistoricalState::new(
+            schema(),
+            vec![
+                (t("alice"), TemporalElement::period(0, 5)),
+                (t("bob"), TemporalElement::period(3, 10)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.timeslice(0).len(), 1);
+        assert_eq!(s.timeslice(4).len(), 2);
+        assert_eq!(s.timeslice(7).len(), 1);
+        assert_eq!(s.timeslice(20).len(), 0);
+    }
+
+    #[test]
+    fn from_snapshot_stamps_uniformly() {
+        let snap = SnapshotState::from_rows(
+            schema(),
+            vec![vec![Value::str("a")], vec![Value::str("b")]],
+        )
+        .unwrap();
+        let h = HistoricalState::from_snapshot(&snap, TemporalElement::period(2, 4)).unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.timeslice(3), snap);
+        assert!(h.timeslice(4).is_empty());
+    }
+
+    #[test]
+    fn from_snapshot_rejects_empty_time() {
+        let snap = SnapshotState::empty(schema());
+        assert!(HistoricalState::from_snapshot(&snap, TemporalElement::empty()).is_err());
+    }
+
+    #[test]
+    fn display_form() {
+        let s = HistoricalState::new(
+            schema(),
+            vec![(t("a"), TemporalElement::period(0, 2))],
+        )
+        .unwrap();
+        assert_eq!(s.to_string(), "(name: str) { (\"a\") @ {[0, 2)} }");
+    }
+}

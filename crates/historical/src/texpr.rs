@@ -1,0 +1,167 @@
+//! The temporal-expression domain 𝓥 used by δ_{G,V}.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::element::TemporalElement;
+
+/// A temporal expression, evaluated per historical tuple against that
+/// tuple's valid-time element.
+///
+/// This is the domain 𝓥 of the paper's §4 syntax. `ValidTime` denotes the
+/// tuple's own valid time; the set operators combine temporal elements;
+/// `First`/`Last` extract the earliest/latest chronon as a singleton
+/// element (empty if the operand is empty).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemporalExpr {
+    /// The tuple's valid-time element.
+    ValidTime,
+    /// A constant temporal element.
+    Const(TemporalElement),
+    /// Set union of two temporal expressions.
+    Union(Box<TemporalExpr>, Box<TemporalExpr>),
+    /// Set intersection of two temporal expressions.
+    Intersect(Box<TemporalExpr>, Box<TemporalExpr>),
+    /// Set difference of two temporal expressions.
+    Difference(Box<TemporalExpr>, Box<TemporalExpr>),
+    /// The earliest chronon of the operand, as a singleton element.
+    First(Box<TemporalExpr>),
+    /// The latest chronon of the operand, as a singleton element.
+    Last(Box<TemporalExpr>),
+}
+
+impl TemporalExpr {
+    /// Convenience constructor for constants.
+    pub fn constant(e: TemporalElement) -> TemporalExpr {
+        TemporalExpr::Const(e)
+    }
+
+    /// `a ∪ b`
+    pub fn union(a: TemporalExpr, b: TemporalExpr) -> TemporalExpr {
+        TemporalExpr::Union(Box::new(a), Box::new(b))
+    }
+
+    /// `a ∩ b`
+    pub fn intersect(a: TemporalExpr, b: TemporalExpr) -> TemporalExpr {
+        TemporalExpr::Intersect(Box::new(a), Box::new(b))
+    }
+
+    /// `a − b`
+    pub fn difference(a: TemporalExpr, b: TemporalExpr) -> TemporalExpr {
+        TemporalExpr::Difference(Box::new(a), Box::new(b))
+    }
+
+    /// `first(a)`
+    pub fn first(a: TemporalExpr) -> TemporalExpr {
+        TemporalExpr::First(Box::new(a))
+    }
+
+    /// `last(a)`
+    pub fn last(a: TemporalExpr) -> TemporalExpr {
+        TemporalExpr::Last(Box::new(a))
+    }
+
+    /// Evaluates against a tuple's valid time.
+    pub fn eval(&self, valid: &TemporalElement) -> TemporalElement {
+        match self {
+            TemporalExpr::ValidTime => valid.clone(),
+            TemporalExpr::Const(e) => e.clone(),
+            TemporalExpr::Union(a, b) => a.eval(valid).union(&b.eval(valid)),
+            TemporalExpr::Intersect(a, b) => a.eval(valid).intersect(&b.eval(valid)),
+            TemporalExpr::Difference(a, b) => a.eval(valid).difference(&b.eval(valid)),
+            TemporalExpr::First(a) => match a.eval(valid).first() {
+                Some(c) => TemporalElement::instant(c),
+                None => TemporalElement::empty(),
+            },
+            TemporalExpr::Last(a) => match a.eval(valid).last() {
+                Some(c) => TemporalElement::instant(c),
+                None => TemporalElement::empty(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for TemporalExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalExpr::ValidTime => write!(f, "valid"),
+            TemporalExpr::Const(e) => write!(f, "{e}"),
+            TemporalExpr::Union(a, b) => write!(f, "({a} union {b})"),
+            TemporalExpr::Intersect(a, b) => write!(f, "({a} intersect {b})"),
+            TemporalExpr::Difference(a, b) => write!(f, "({a} minus {b})"),
+            TemporalExpr::First(a) => write!(f, "first({a})"),
+            TemporalExpr::Last(a) => write!(f, "last({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid() -> TemporalElement {
+        TemporalElement::from_periods([
+            crate::period::Period::new(0, 5).unwrap(),
+            crate::period::Period::new(10, 15).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn valid_time_is_identity() {
+        assert_eq!(TemporalExpr::ValidTime.eval(&valid()), valid());
+    }
+
+    #[test]
+    fn constants_ignore_tuple_time() {
+        let c = TemporalElement::period(100, 200);
+        assert_eq!(TemporalExpr::constant(c.clone()).eval(&valid()), c);
+    }
+
+    #[test]
+    fn set_operators() {
+        let window = TemporalExpr::constant(TemporalElement::period(3, 12));
+        let i = TemporalExpr::intersect(TemporalExpr::ValidTime, window.clone()).eval(&valid());
+        assert_eq!(
+            i,
+            TemporalElement::from_periods([
+                crate::period::Period::new(3, 5).unwrap(),
+                crate::period::Period::new(10, 12).unwrap(),
+            ])
+        );
+        let u = TemporalExpr::union(TemporalExpr::ValidTime, window.clone()).eval(&valid());
+        assert_eq!(u, TemporalElement::period(0, 15));
+        let d = TemporalExpr::difference(TemporalExpr::ValidTime, window).eval(&valid());
+        assert_eq!(
+            d,
+            TemporalElement::from_periods([
+                crate::period::Period::new(0, 3).unwrap(),
+                crate::period::Period::new(12, 15).unwrap(),
+            ])
+        );
+    }
+
+    #[test]
+    fn first_and_last() {
+        assert_eq!(
+            TemporalExpr::first(TemporalExpr::ValidTime).eval(&valid()),
+            TemporalElement::instant(0)
+        );
+        assert_eq!(
+            TemporalExpr::last(TemporalExpr::ValidTime).eval(&valid()),
+            TemporalElement::instant(14)
+        );
+        assert!(TemporalExpr::first(TemporalExpr::constant(TemporalElement::empty()))
+            .eval(&valid())
+            .is_empty());
+    }
+
+    #[test]
+    fn display_form() {
+        let e = TemporalExpr::intersect(
+            TemporalExpr::ValidTime,
+            TemporalExpr::constant(TemporalElement::period(0, 2)),
+        );
+        assert_eq!(e.to_string(), "(valid intersect {[0, 2)})");
+    }
+}

@@ -1,0 +1,159 @@
+//! The temporal-predicate domain 𝓖 used by δ_{G,V}.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::element::TemporalElement;
+use crate::texpr::TemporalExpr;
+
+/// A boolean expression over temporal expressions — the paper's domain 𝓖
+/// of "boolean expressions of elements from the domain 𝓥, the relational
+/// operators, and the logical operators".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemporalPred {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// The two expressions denote the same chronon set.
+    Equals(TemporalExpr, TemporalExpr),
+    /// The left set is a subset of the right.
+    Subset(TemporalExpr, TemporalExpr),
+    /// The two sets share at least one chronon.
+    Overlaps(TemporalExpr, TemporalExpr),
+    /// Every chronon of the left set precedes every chronon of the right.
+    Precedes(TemporalExpr, TemporalExpr),
+    /// Conjunction.
+    And(Box<TemporalPred>, Box<TemporalPred>),
+    /// Disjunction.
+    Or(Box<TemporalPred>, Box<TemporalPred>),
+    /// Negation.
+    Not(Box<TemporalPred>),
+}
+
+impl TemporalPred {
+    /// `a = b`
+    pub fn equals(a: TemporalExpr, b: TemporalExpr) -> TemporalPred {
+        TemporalPred::Equals(a, b)
+    }
+
+    /// `a ⊆ b`
+    pub fn subset(a: TemporalExpr, b: TemporalExpr) -> TemporalPred {
+        TemporalPred::Subset(a, b)
+    }
+
+    /// `a overlaps b`
+    pub fn overlaps(a: TemporalExpr, b: TemporalExpr) -> TemporalPred {
+        TemporalPred::Overlaps(a, b)
+    }
+
+    /// `a precedes b`
+    pub fn precedes(a: TemporalExpr, b: TemporalExpr) -> TemporalPred {
+        TemporalPred::Precedes(a, b)
+    }
+
+    /// `self ∧ other`
+    pub fn and(self, other: TemporalPred) -> TemporalPred {
+        TemporalPred::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`
+    pub fn or(self, other: TemporalPred) -> TemporalPred {
+        TemporalPred::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `¬self`
+    #[allow(clippy::should_implement_trait)] // deliberate: mirrors the paper's ¬, returns Self
+    pub fn not(self) -> TemporalPred {
+        TemporalPred::Not(Box::new(self))
+    }
+
+    /// Shorthand: the tuple was valid at chronon `c`.
+    pub fn valid_at(c: crate::chronon::Chronon) -> TemporalPred {
+        TemporalPred::overlaps(
+            TemporalExpr::ValidTime,
+            TemporalExpr::constant(TemporalElement::instant(c)),
+        )
+    }
+
+    /// Evaluates against a tuple's valid time.
+    pub fn eval(&self, valid: &TemporalElement) -> bool {
+        match self {
+            TemporalPred::True => true,
+            TemporalPred::False => false,
+            TemporalPred::Equals(a, b) => a.eval(valid) == b.eval(valid),
+            TemporalPred::Subset(a, b) => a.eval(valid).is_subset(&b.eval(valid)),
+            TemporalPred::Overlaps(a, b) => a.eval(valid).overlaps(&b.eval(valid)),
+            TemporalPred::Precedes(a, b) => a.eval(valid).precedes(&b.eval(valid)),
+            TemporalPred::And(a, b) => a.eval(valid) && b.eval(valid),
+            TemporalPred::Or(a, b) => a.eval(valid) || b.eval(valid),
+            TemporalPred::Not(a) => !a.eval(valid),
+        }
+    }
+}
+
+impl fmt::Display for TemporalPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalPred::True => write!(f, "true"),
+            TemporalPred::False => write!(f, "false"),
+            TemporalPred::Equals(a, b) => write!(f, "{a} = {b}"),
+            TemporalPred::Subset(a, b) => write!(f, "{a} subset {b}"),
+            TemporalPred::Overlaps(a, b) => write!(f, "{a} overlaps {b}"),
+            TemporalPred::Precedes(a, b) => write!(f, "{a} precedes {b}"),
+            TemporalPred::And(a, b) => write!(f, "({a} and {b})"),
+            TemporalPred::Or(a, b) => write!(f, "({a} or {b})"),
+            TemporalPred::Not(a) => write!(f, "(not {a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid() -> TemporalElement {
+        TemporalElement::period(5, 10)
+    }
+
+    fn cexpr(s: u32, e: u32) -> TemporalExpr {
+        TemporalExpr::constant(TemporalElement::period(s, e))
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(TemporalPred::equals(TemporalExpr::ValidTime, cexpr(5, 10)).eval(&valid()));
+        assert!(TemporalPred::subset(TemporalExpr::ValidTime, cexpr(0, 20)).eval(&valid()));
+        assert!(!TemporalPred::subset(TemporalExpr::ValidTime, cexpr(0, 7)).eval(&valid()));
+        assert!(TemporalPred::overlaps(TemporalExpr::ValidTime, cexpr(9, 20)).eval(&valid()));
+        assert!(!TemporalPred::overlaps(TemporalExpr::ValidTime, cexpr(10, 20)).eval(&valid()));
+        assert!(TemporalPred::precedes(TemporalExpr::ValidTime, cexpr(10, 20)).eval(&valid()));
+        assert!(!TemporalPred::precedes(cexpr(10, 20), TemporalExpr::ValidTime).eval(&valid()));
+    }
+
+    #[test]
+    fn connectives() {
+        let p = TemporalPred::valid_at(5).and(TemporalPred::valid_at(9));
+        assert!(p.eval(&valid()));
+        let q = TemporalPred::valid_at(10).or(TemporalPred::valid_at(9));
+        assert!(q.eval(&valid()));
+        assert!(!q.not().eval(&valid()));
+        assert!(TemporalPred::True.eval(&valid()));
+        assert!(!TemporalPred::False.eval(&valid()));
+    }
+
+    #[test]
+    fn valid_at_boundary_semantics() {
+        assert!(TemporalPred::valid_at(5).eval(&valid()));
+        assert!(TemporalPred::valid_at(9).eval(&valid()));
+        assert!(!TemporalPred::valid_at(10).eval(&valid()));
+        assert!(!TemporalPred::valid_at(4).eval(&valid()));
+    }
+
+    #[test]
+    fn display_form() {
+        let p = TemporalPred::precedes(TemporalExpr::ValidTime, cexpr(0, 1));
+        assert_eq!(p.to_string(), "valid precedes {[0, 1)}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for [`TemporalElement`], the chronon-set representation
+//! everything valid-time rests on: it must be a faithful boolean algebra
+//! of sets, with canonical (coalesced) representations.
+
+use proptest::prelude::*;
+
+use txtime_historical::{Period, TemporalElement};
+
+/// Arbitrary elements over a small horizon so collisions are common.
+fn arb_element() -> impl Strategy<Value = TemporalElement> {
+    prop::collection::vec((0u32..40, 1u32..12), 0..5).prop_map(|pairs| {
+        TemporalElement::from_periods(
+            pairs
+                .into_iter()
+                .map(|(s, len)| Period::new(s, s + len).expect("len >= 1")),
+        )
+    })
+}
+
+/// Oracle: the element's chronon set as an explicit bit-set.
+fn chronon_set(e: &TemporalElement) -> Vec<bool> {
+    let mut v = vec![false; 64];
+    for c in e.chronons() {
+        if (c as usize) < v.len() {
+            v[c as usize] = true;
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn union_matches_setwise_or(a in arb_element(), b in arb_element()) {
+        let got = chronon_set(&a.union(&b));
+        let (sa, sb) = (chronon_set(&a), chronon_set(&b));
+        for i in 0..64 {
+            prop_assert_eq!(got[i], sa[i] || sb[i], "chronon {}", i);
+        }
+    }
+
+    #[test]
+    fn intersect_matches_setwise_and(a in arb_element(), b in arb_element()) {
+        let got = chronon_set(&a.intersect(&b));
+        let (sa, sb) = (chronon_set(&a), chronon_set(&b));
+        for i in 0..64 {
+            prop_assert_eq!(got[i], sa[i] && sb[i], "chronon {}", i);
+        }
+    }
+
+    #[test]
+    fn difference_matches_setwise_andnot(a in arb_element(), b in arb_element()) {
+        let got = chronon_set(&a.difference(&b));
+        let (sa, sb) = (chronon_set(&a), chronon_set(&b));
+        for i in 0..64 {
+            prop_assert_eq!(got[i], sa[i] && !sb[i], "chronon {}", i);
+        }
+    }
+
+    #[test]
+    fn representations_are_canonical(a in arb_element(), b in arb_element()) {
+        // Structural equality coincides with set equality: any two ways
+        // of building the same set produce identical period lists.
+        let via_union = a.union(&b);
+        let via_pieces = a.difference(&b).union(&a.intersect(&b)).union(&b.difference(&a)).union(&a.intersect(&b));
+        prop_assert_eq!(via_union, via_pieces);
+    }
+
+    #[test]
+    fn periods_are_sorted_disjoint_and_nonadjacent(a in arb_element(), b in arb_element()) {
+        for e in [a.union(&b), a.intersect(&b), a.difference(&b)] {
+            let ps = e.periods();
+            for w in ps.windows(2) {
+                prop_assert!(w[0].end() < w[1].start(), "coalesced: {} then {}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan(a in arb_element(), b in arb_element()) {
+        let lhs = a.union(&b).complement();
+        let rhs = a.complement().intersect(&b.complement());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn complement_is_involution(a in arb_element()) {
+        prop_assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn duration_is_additive_over_disjoint_parts(a in arb_element(), b in arb_element()) {
+        let inter = a.intersect(&b);
+        let uni = a.union(&b);
+        prop_assert_eq!(
+            uni.duration() + inter.duration(),
+            a.duration() + b.duration()
+        );
+    }
+
+    #[test]
+    fn subset_and_overlap_agree_with_operations(a in arb_element(), b in arb_element()) {
+        prop_assert_eq!(a.is_subset(&b), a.difference(&b).is_empty());
+        prop_assert_eq!(a.overlaps(&b), !a.intersect(&b).is_empty());
+        prop_assert!(a.intersect(&b).is_subset(&a));
+        prop_assert!(a.is_subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn first_last_bound_the_set(a in arb_element()) {
+        if let (Some(first), Some(last)) = (a.first(), a.last()) {
+            prop_assert!(a.contains(first));
+            prop_assert!(a.contains(last));
+            prop_assert!(first == 0 || !a.contains(first - 1) || a.contains(first - 1) == false);
+            prop_assert!(!a.contains(last + 1) || last == u32::MAX);
+            for c in a.chronons() {
+                prop_assert!(first <= c && c <= last);
+            }
+        } else {
+            prop_assert!(a.is_empty());
+        }
+    }
+
+    #[test]
+    fn precedes_is_a_strict_order_on_disjoint_sets(a in arb_element(), b in arb_element()) {
+        if !a.is_empty() && !b.is_empty() && a.precedes(&b) {
+            prop_assert!(!b.precedes(&a));
+            prop_assert!(!a.overlaps(&b));
+        }
+    }
+
+    #[test]
+    fn contains_matches_chronon_iteration(a in arb_element()) {
+        let set = chronon_set(&a);
+        for (i, &present) in set.iter().enumerate() {
+            prop_assert_eq!(a.contains(i as u32), present, "chronon {}", i);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests of the historical algebra.
+//!
+//! The key soundness property is the **timeslice correspondence**: each
+//! historical operator, observed at any single chronon, behaves exactly
+//! like its snapshot counterpart. This is what makes the historical
+//! algebra a conservative extension of the snapshot algebra, and it is the
+//! semantic content of the paper's claim that valid time and transaction
+//! time can be layered independently.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use txtime_historical::generate::{random_historical_state, HistGenConfig};
+use txtime_historical::{HistoricalState, TemporalElement, TemporalExpr, TemporalPred};
+use txtime_snapshot::generate::{self, GenConfig};
+use txtime_snapshot::{Predicate, Schema};
+
+fn fixed_schema() -> Schema {
+    use txtime_snapshot::DomainType::*;
+    Schema::new(vec![("a0", Int), ("a1", Str)]).unwrap()
+}
+
+fn cfg() -> HistGenConfig {
+    HistGenConfig {
+        values: GenConfig {
+            arity: 2,
+            cardinality: 16,
+            int_range: 8,
+            str_pool: 4,
+        },
+        horizon: 40,
+        max_periods: 3,
+    }
+}
+
+fn arb_hstate() -> impl Strategy<Value = HistoricalState> {
+    any::<u64>().prop_map(|seed| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        random_historical_state(&mut rng, &fixed_schema(), &cfg())
+    })
+}
+
+fn arb_right_hstate() -> impl Strategy<Value = HistoricalState> {
+    any::<u64>().prop_map(|seed| {
+        use txtime_snapshot::DomainType::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let schema = Schema::new(vec![("b0", Int)]).unwrap();
+        let c = HistGenConfig {
+            values: GenConfig {
+                arity: 1,
+                cardinality: 8,
+                int_range: 8,
+                str_pool: 4,
+            },
+            ..cfg()
+        };
+        random_historical_state(&mut rng, &schema, &c)
+    })
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    any::<u64>().prop_map(|seed| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let c = GenConfig {
+            int_range: 8,
+            str_pool: 4,
+            ..GenConfig::default()
+        };
+        generate::random_predicate(&mut rng, &fixed_schema(), &c, 2)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn union_timeslice_correspondence(a in arb_hstate(), b in arb_hstate(), c in 0u32..45) {
+        let u = a.hunion(&b).unwrap();
+        prop_assert_eq!(u.timeslice(c), a.timeslice(c).union(&b.timeslice(c)).unwrap());
+    }
+
+    #[test]
+    fn difference_timeslice_correspondence(a in arb_hstate(), b in arb_hstate(), c in 0u32..45) {
+        let d = a.hdifference(&b).unwrap();
+        prop_assert_eq!(d.timeslice(c), a.timeslice(c).difference(&b.timeslice(c)).unwrap());
+    }
+
+    #[test]
+    fn product_timeslice_correspondence(a in arb_hstate(), b in arb_right_hstate(), c in 0u32..45) {
+        let p = a.hproduct(&b).unwrap();
+        prop_assert_eq!(p.timeslice(c), a.timeslice(c).product(&b.timeslice(c)).unwrap());
+    }
+
+    #[test]
+    fn project_timeslice_correspondence(a in arb_hstate(), c in 0u32..45) {
+        let p = a.hproject(&["a0"]).unwrap();
+        prop_assert_eq!(p.timeslice(c), a.timeslice(c).project(&["a0"]).unwrap());
+    }
+
+    #[test]
+    fn select_timeslice_correspondence(a in arb_hstate(), f in arb_predicate(), c in 0u32..45) {
+        let s = a.hselect(&f).unwrap();
+        prop_assert_eq!(s.timeslice(c), a.timeslice(c).select(&f).unwrap());
+    }
+
+    #[test]
+    fn hunion_commutative(a in arb_hstate(), b in arb_hstate()) {
+        prop_assert_eq!(a.hunion(&b).unwrap(), b.hunion(&a).unwrap());
+    }
+
+    #[test]
+    fn hunion_associative(a in arb_hstate(), b in arb_hstate(), c in arb_hstate()) {
+        prop_assert_eq!(
+            a.hunion(&b).unwrap().hunion(&c).unwrap(),
+            a.hunion(&b.hunion(&c).unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn hselect_commutes(a in arb_hstate(), f in arb_predicate(), g in arb_predicate()) {
+        prop_assert_eq!(
+            a.hselect(&f).unwrap().hselect(&g).unwrap(),
+            a.hselect(&g).unwrap().hselect(&f).unwrap()
+        );
+    }
+
+    #[test]
+    fn hdifference_with_self_empty(a in arb_hstate()) {
+        prop_assert!(a.hdifference(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delta_identity(a in arb_hstate()) {
+        prop_assert_eq!(
+            a.delta(&TemporalPred::True, &TemporalExpr::ValidTime).unwrap(),
+            a
+        );
+    }
+
+    #[test]
+    fn delta_clip_matches_timeslice(a in arb_hstate(), c in 0u32..45) {
+        // δ with "valid at c" then clipping to {c} agrees with the
+        // timeslice at c.
+        let clip = TemporalExpr::intersect(
+            TemporalExpr::ValidTime,
+            TemporalExpr::constant(TemporalElement::instant(c)),
+        );
+        let d = a.delta(&TemporalPred::valid_at(c), &clip).unwrap();
+        prop_assert_eq!(d.timeslice(c), a.timeslice(c));
+        // Every surviving tuple is valid exactly at {c}.
+        for (_, e) in d.iter() {
+            prop_assert_eq!(e, &TemporalElement::instant(c));
+        }
+    }
+
+    #[test]
+    fn coalescing_invariant_is_maintained(a in arb_hstate(), b in arb_hstate()) {
+        // After any operation, no tuple has an empty element and all
+        // elements are coalesced (canonical form = from_periods of itself).
+        let results = vec![
+            a.hunion(&b).unwrap(),
+            a.hdifference(&b).unwrap(),
+            a.hproject(&["a0"]).unwrap(),
+        ];
+        for r in results {
+            for (_, e) in r.iter() {
+                prop_assert!(!e.is_empty());
+                prop_assert_eq!(
+                    e,
+                    &TemporalElement::from_periods(e.periods().iter().copied())
+                );
+            }
+        }
+    }
+}

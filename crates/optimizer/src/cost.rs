@@ -1,0 +1,159 @@
+//! A cardinality-based cost model.
+//!
+//! The model is deliberately simple — System-R-style selectivity
+//! constants over estimated cardinalities — because its job is to *rank*
+//! plans for experiment E7 and to show that the classical cost reasoning
+//! applies unchanged once ρ/ρ̂ are treated as base-relation leaves.
+
+use std::collections::BTreeMap;
+
+use txtime_core::Expr;
+
+/// Per-relation cardinality statistics.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    cardinalities: BTreeMap<String, f64>,
+    /// Cardinality assumed for relations without statistics.
+    pub default_cardinality: f64,
+    /// Selectivity assumed per selection predicate conjunct.
+    pub selectivity: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            cardinalities: BTreeMap::new(),
+            default_cardinality: 100.0,
+            selectivity: 0.5,
+        }
+    }
+}
+
+impl CostModel {
+    /// An empty model with defaults.
+    pub fn new() -> CostModel {
+        CostModel::default()
+    }
+
+    /// Sets the cardinality statistic for a relation.
+    pub fn set_cardinality(&mut self, relation: impl Into<String>, rows: f64) {
+        self.cardinalities.insert(relation.into(), rows);
+    }
+
+    fn cardinality(&self, relation: &str) -> f64 {
+        self.cardinalities
+            .get(relation)
+            .copied()
+            .unwrap_or(self.default_cardinality)
+    }
+}
+
+/// Estimated output cardinality of an expression.
+pub fn estimate_rows(expr: &Expr, model: &CostModel) -> f64 {
+    match expr {
+        Expr::SnapshotConst(s) => s.len() as f64,
+        Expr::HistoricalConst(h) => h.len() as f64,
+        Expr::Rollback(i, _) | Expr::HRollback(i, _) => model.cardinality(i),
+        Expr::Union(a, b) | Expr::HUnion(a, b) => {
+            estimate_rows(a, model) + estimate_rows(b, model)
+        }
+        Expr::Difference(a, b) | Expr::HDifference(a, b) => {
+            let _ = b;
+            estimate_rows(a, model) * 0.5
+        }
+        Expr::Product(a, b) | Expr::HProduct(a, b) => {
+            estimate_rows(a, model) * estimate_rows(b, model)
+        }
+        Expr::Project(_, e) | Expr::HProject(_, e) => estimate_rows(e, model) * 0.9,
+        Expr::Select(p, e) | Expr::HSelect(p, e) => {
+            let conjunct_count = count_conjuncts(p) as i32;
+            estimate_rows(e, model) * model.selectivity.powi(conjunct_count)
+        }
+        Expr::Delta(_, _, e) => estimate_rows(e, model) * model.selectivity,
+    }
+}
+
+fn count_conjuncts(p: &txtime_snapshot::Predicate) -> usize {
+    match p {
+        txtime_snapshot::Predicate::And(a, b) => count_conjuncts(a) + count_conjuncts(b),
+        _ => 1,
+    }
+}
+
+/// Estimated total work of evaluating an expression: the sum of every
+/// node's output cardinality (each intermediate state must be
+/// materialized in the paper's semantics).
+pub fn estimate_cost(expr: &Expr, model: &CostModel) -> f64 {
+    let own = estimate_rows(expr, model);
+    let children = match expr {
+        Expr::SnapshotConst(_)
+        | Expr::HistoricalConst(_)
+        | Expr::Rollback(..)
+        | Expr::HRollback(..) => 0.0,
+        Expr::Union(a, b)
+        | Expr::Difference(a, b)
+        | Expr::Product(a, b)
+        | Expr::HUnion(a, b)
+        | Expr::HDifference(a, b)
+        | Expr::HProduct(a, b) => estimate_cost(a, model) + estimate_cost(b, model),
+        Expr::Project(_, e)
+        | Expr::Select(_, e)
+        | Expr::HProject(_, e)
+        | Expr::HSelect(_, e)
+        | Expr::Delta(_, _, e) => estimate_cost(e, model),
+    };
+    own + children
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_infer::SchemaCatalog;
+    use txtime_snapshot::{DomainType, Predicate, Schema, Value};
+
+    fn model() -> CostModel {
+        let mut m = CostModel::new();
+        m.set_cardinality("emp", 1000.0);
+        m.set_cardinality("dept", 50.0);
+        m
+    }
+
+    #[test]
+    fn select_reduces_estimated_rows() {
+        let base = Expr::current("emp");
+        let sel = base.clone().select(Predicate::gt_const("sal", Value::Int(1)));
+        assert!(estimate_rows(&sel, &model()) < estimate_rows(&base, &model()));
+    }
+
+    #[test]
+    fn product_multiplies() {
+        let e = Expr::current("emp").product(Expr::current("dept"));
+        assert_eq!(estimate_rows(&e, &model()), 50_000.0);
+    }
+
+    #[test]
+    fn pushdown_lowers_cost() {
+        // σ over a product vs the pushed-down form: the optimizer's
+        // preferred plan must cost less under the model.
+        let mut catalog = SchemaCatalog::new();
+        catalog.insert(
+            "emp",
+            Schema::new(vec![("name", DomainType::Str), ("sal", DomainType::Int)]).unwrap(),
+        );
+        catalog.insert(
+            "dept",
+            Schema::new(vec![("dname", DomainType::Str)]).unwrap(),
+        );
+        let original = Expr::current("emp")
+            .product(Expr::current("dept"))
+            .select(Predicate::gt_const("sal", Value::Int(10)));
+        let optimized = crate::optimize(&original, &catalog);
+        assert!(estimate_cost(&optimized, &model()) < estimate_cost(&original, &model()));
+    }
+
+    #[test]
+    fn unknown_relations_use_default() {
+        let m = CostModel::new();
+        assert_eq!(estimate_rows(&Expr::current("mystery"), &m), 100.0);
+    }
+}

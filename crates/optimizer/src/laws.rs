@@ -1,0 +1,439 @@
+//! The algebraic-law suite (experiment E1).
+//!
+//! Each [`Law`] is one of the snapshot-algebra identities the paper says
+//! its extension preserves, packaged as an executable check over randomly
+//! generated states. The experiment harness runs every law for a
+//! configurable number of trials and reports a table; the property tests
+//! in `tests/equivalence.rs` run the same suite under proptest.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use txtime_snapshot::generate::{random_predicate, random_state, GenConfig};
+use txtime_snapshot::{DomainType, Schema, SnapshotState};
+
+/// One algebraic identity and its checker.
+pub struct Law {
+    /// Identity name, e.g. `"σ-commutativity"`.
+    pub name: &'static str,
+    /// The identity in mathematical notation.
+    pub statement: &'static str,
+    check: fn(&mut StdRng) -> bool,
+}
+
+impl Law {
+    /// Runs the law `trials` times with the given base seed; returns the
+    /// number of successful trials.
+    pub fn run(&self, seed: u64, trials: usize) -> usize {
+        (0..trials)
+            .filter(|i| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (*i as u64).wrapping_mul(0x9e37_79b9));
+                (self.check)(&mut rng)
+            })
+            .count()
+    }
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ("a0", DomainType::Int),
+        ("a1", DomainType::Str),
+        ("a2", DomainType::Bool),
+    ])
+    .unwrap()
+}
+
+fn right_schema() -> Schema {
+    Schema::new(vec![("b0", DomainType::Int)]).unwrap()
+}
+
+fn cfg() -> GenConfig {
+    GenConfig {
+        arity: 3,
+        cardinality: 20,
+        int_range: 10,
+        str_pool: 5,
+    }
+}
+
+fn st(rng: &mut StdRng) -> SnapshotState {
+    random_state(rng, &schema(), &cfg())
+}
+
+fn rst(rng: &mut StdRng) -> SnapshotState {
+    random_state(
+        rng,
+        &right_schema(),
+        &GenConfig {
+            arity: 1,
+            cardinality: 8,
+            ..cfg()
+        },
+    )
+}
+
+/// The law suite. Every entry corresponds to a classical snapshot-algebra
+/// identity; together they witness the §2 preservation claim.
+pub fn all_laws() -> Vec<Law> {
+    vec![
+        Law {
+            name: "union-commutativity",
+            statement: "A ∪ B = B ∪ A",
+            check: |rng| {
+                let (a, b) = (st(rng), st(rng));
+                a.union(&b).unwrap() == b.union(&a).unwrap()
+            },
+        },
+        Law {
+            name: "union-associativity",
+            statement: "(A ∪ B) ∪ C = A ∪ (B ∪ C)",
+            check: |rng| {
+                let (a, b, c) = (st(rng), st(rng), st(rng));
+                a.union(&b).unwrap().union(&c).unwrap()
+                    == a.union(&b.union(&c).unwrap()).unwrap()
+            },
+        },
+        Law {
+            name: "union-idempotence",
+            statement: "A ∪ A = A",
+            check: |rng| {
+                let a = st(rng);
+                a.union(&a).unwrap() == a
+            },
+        },
+        Law {
+            name: "intersection-via-difference",
+            statement: "A ∩ B = A − (A − B)",
+            check: |rng| {
+                let (a, b) = (st(rng), st(rng));
+                a.intersect(&b).unwrap() == a.difference(&a.difference(&b).unwrap()).unwrap()
+            },
+        },
+        Law {
+            name: "σ-commutativity",
+            statement: "σ_F(σ_G(A)) = σ_G(σ_F(A))",
+            check: |rng| {
+                let a = st(rng);
+                let f = random_predicate(rng, &schema(), &cfg(), 2);
+                let g = random_predicate(rng, &schema(), &cfg(), 2);
+                a.select(&f).unwrap().select(&g).unwrap()
+                    == a.select(&g).unwrap().select(&f).unwrap()
+            },
+        },
+        Law {
+            name: "σ-cascade",
+            statement: "σ_F(σ_G(A)) = σ_{F∧G}(A)",
+            check: |rng| {
+                let a = st(rng);
+                let f = random_predicate(rng, &schema(), &cfg(), 2);
+                let g = random_predicate(rng, &schema(), &cfg(), 2);
+                a.select(&g).unwrap().select(&f).unwrap()
+                    == a.select(&f.clone().and(g)).unwrap()
+            },
+        },
+        Law {
+            name: "σ-over-∪",
+            statement: "σ_F(A ∪ B) = σ_F(A) ∪ σ_F(B)",
+            check: |rng| {
+                let (a, b) = (st(rng), st(rng));
+                let f = random_predicate(rng, &schema(), &cfg(), 2);
+                a.union(&b).unwrap().select(&f).unwrap()
+                    == a.select(&f).unwrap().union(&b.select(&f).unwrap()).unwrap()
+            },
+        },
+        Law {
+            name: "σ-over-−",
+            statement: "σ_F(A − B) = σ_F(A) − σ_F(B)",
+            check: |rng| {
+                let (a, b) = (st(rng), st(rng));
+                let f = random_predicate(rng, &schema(), &cfg(), 2);
+                a.difference(&b).unwrap().select(&f).unwrap()
+                    == a.select(&f)
+                        .unwrap()
+                        .difference(&b.select(&f).unwrap())
+                        .unwrap()
+            },
+        },
+        Law {
+            name: "σ-over-×",
+            statement: "σ_F(A × B) = σ_F(A) × B, attrs(F) ⊆ scheme(A)",
+            check: |rng| {
+                let (a, b) = (st(rng), rst(rng));
+                let f = random_predicate(rng, &schema(), &cfg(), 2);
+                a.product(&b).unwrap().select(&f).unwrap()
+                    == a.select(&f).unwrap().product(&b).unwrap()
+            },
+        },
+        Law {
+            name: "σ-partition",
+            statement: "σ_F(A) ∪ σ_{¬F}(A) = A ∧ σ_F(A) ∩ σ_{¬F}(A) = ∅",
+            check: |rng| {
+                let a = st(rng);
+                let f = random_predicate(rng, &schema(), &cfg(), 2);
+                let sel = a.select(&f).unwrap();
+                let neg = a.select(&f.clone().not()).unwrap();
+                sel.union(&neg).unwrap() == a && sel.intersect(&neg).unwrap().is_empty()
+            },
+        },
+        Law {
+            name: "π-cascade",
+            statement: "π_X(π_Y(A)) = π_X(A), X ⊆ Y",
+            check: |rng| {
+                let a = st(rng);
+                a.project(&["a0", "a1"]).unwrap().project(&["a0"]).unwrap()
+                    == a.project(&["a0"]).unwrap()
+            },
+        },
+        Law {
+            name: "π-over-∪",
+            statement: "π_X(A ∪ B) = π_X(A) ∪ π_X(B)",
+            check: |rng| {
+                let (a, b) = (st(rng), st(rng));
+                a.union(&b).unwrap().project(&["a0", "a2"]).unwrap()
+                    == a.project(&["a0", "a2"])
+                        .unwrap()
+                        .union(&b.project(&["a0", "a2"]).unwrap())
+                        .unwrap()
+            },
+        },
+        Law {
+            name: "σ/π-interchange",
+            statement: "π_X(σ_F(A)) = σ_F(π_X(A)), attrs(F) ⊆ X",
+            check: |rng| {
+                let a = st(rng);
+                let f = random_predicate(rng, &schema(), &cfg(), 2);
+                a.select(&f).unwrap().project(&["a0", "a1", "a2"]).unwrap()
+                    == a.project(&["a0", "a1", "a2"]).unwrap().select(&f).unwrap()
+            },
+        },
+        Law {
+            name: "×-over-∪",
+            statement: "(A ∪ B) × C = (A × C) ∪ (B × C)",
+            check: |rng| {
+                let (a, b, c) = (st(rng), st(rng), rst(rng));
+                a.union(&b).unwrap().product(&c).unwrap()
+                    == a.product(&c)
+                        .unwrap()
+                        .union(&b.product(&c).unwrap())
+                        .unwrap()
+            },
+        },
+        Law {
+            name: "De-Morgan",
+            statement: "σ_{¬(F∧G)}(A) = σ_{¬F ∨ ¬G}(A)",
+            check: |rng| {
+                let a = st(rng);
+                let f = random_predicate(rng, &schema(), &cfg(), 2);
+                let g = random_predicate(rng, &schema(), &cfg(), 2);
+                a.select(&f.clone().and(g.clone()).not()).unwrap()
+                    == a.select(&f.not().or(g.not())).unwrap()
+            },
+        },
+        Law {
+            name: "⋈-via-×σ",
+            statement: "A ⋈_F B = σ_F(A × B)",
+            check: |rng| {
+                let (a, b) = (st(rng), rst(rng));
+                let f = txtime_snapshot::Predicate::eq_attrs("a0", "b0");
+                a.theta_join(&b, &f).unwrap() == a.product(&b).unwrap().select(&f).unwrap()
+            },
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// The historical-algebra law suite (§4: the hatted operators must be
+// conservative extensions of their snapshot counterparts).
+// ---------------------------------------------------------------------
+
+use txtime_historical::generate::{random_historical_state, HistGenConfig};
+use txtime_historical::{HistoricalState, TemporalElement, TemporalExpr, TemporalPred};
+
+fn hcfg() -> HistGenConfig {
+    HistGenConfig {
+        values: GenConfig {
+            arity: 3,
+            cardinality: 12,
+            int_range: 8,
+            str_pool: 4,
+        },
+        horizon: 30,
+        max_periods: 2,
+    }
+}
+
+fn hst(rng: &mut StdRng) -> HistoricalState {
+    random_historical_state(rng, &schema(), &hcfg())
+}
+
+fn hrst(rng: &mut StdRng) -> HistoricalState {
+    let cfg = HistGenConfig {
+        values: GenConfig {
+            arity: 1,
+            cardinality: 6,
+            int_range: 8,
+            str_pool: 4,
+        },
+        ..hcfg()
+    };
+    random_historical_state(rng, &right_schema(), &cfg)
+}
+
+fn random_chronon(rng: &mut StdRng) -> u32 {
+    use rand::Rng;
+    rng.gen_range(0..35)
+}
+
+/// The historical-algebra law suite: the hatted operators obey the same
+/// identities as their snapshot counterparts, and each one satisfies the
+/// timeslice correspondence that makes §4's layering conservative.
+pub fn historical_laws() -> Vec<Law> {
+    vec![
+        Law {
+            name: "∪̂-commutativity",
+            statement: "A ∪̂ B = B ∪̂ A",
+            check: |rng| {
+                let (a, b) = (hst(rng), hst(rng));
+                a.hunion(&b).unwrap() == b.hunion(&a).unwrap()
+            },
+        },
+        Law {
+            name: "∪̂-associativity",
+            statement: "(A ∪̂ B) ∪̂ C = A ∪̂ (B ∪̂ C)",
+            check: |rng| {
+                let (a, b, c) = (hst(rng), hst(rng), hst(rng));
+                a.hunion(&b).unwrap().hunion(&c).unwrap()
+                    == a.hunion(&b.hunion(&c).unwrap()).unwrap()
+            },
+        },
+        Law {
+            name: "∪̂-idempotence",
+            statement: "A ∪̂ A = A",
+            check: |rng| {
+                let a = hst(rng);
+                a.hunion(&a).unwrap() == a
+            },
+        },
+        Law {
+            name: "−̂-self-annihilation",
+            statement: "A −̂ A = ∅",
+            check: |rng| {
+                let a = hst(rng);
+                a.hdifference(&a).unwrap().is_empty()
+            },
+        },
+        Law {
+            name: "σ̂-commutativity",
+            statement: "σ̂_F(σ̂_G(A)) = σ̂_G(σ̂_F(A))",
+            check: |rng| {
+                let a = hst(rng);
+                let f = random_predicate(rng, &schema(), &cfg(), 2);
+                let g = random_predicate(rng, &schema(), &cfg(), 2);
+                a.hselect(&f).unwrap().hselect(&g).unwrap()
+                    == a.hselect(&g).unwrap().hselect(&f).unwrap()
+            },
+        },
+        Law {
+            name: "∪̂-timeslice",
+            statement: "τ_c(A ∪̂ B) = τ_c(A) ∪ τ_c(B)",
+            check: |rng| {
+                let (a, b) = (hst(rng), hst(rng));
+                let c = random_chronon(rng);
+                a.hunion(&b).unwrap().timeslice(c)
+                    == a.timeslice(c).union(&b.timeslice(c)).unwrap()
+            },
+        },
+        Law {
+            name: "−̂-timeslice",
+            statement: "τ_c(A −̂ B) = τ_c(A) − τ_c(B)",
+            check: |rng| {
+                let (a, b) = (hst(rng), hst(rng));
+                let c = random_chronon(rng);
+                a.hdifference(&b).unwrap().timeslice(c)
+                    == a.timeslice(c).difference(&b.timeslice(c)).unwrap()
+            },
+        },
+        Law {
+            name: "×̂-timeslice",
+            statement: "τ_c(A ×̂ B) = τ_c(A) × τ_c(B)",
+            check: |rng| {
+                let (a, b) = (hst(rng), hrst(rng));
+                let c = random_chronon(rng);
+                a.hproduct(&b).unwrap().timeslice(c)
+                    == a.timeslice(c).product(&b.timeslice(c)).unwrap()
+            },
+        },
+        Law {
+            name: "π̂-timeslice",
+            statement: "τ_c(π̂_X(A)) = π_X(τ_c(A))",
+            check: |rng| {
+                let a = hst(rng);
+                let c = random_chronon(rng);
+                a.hproject(&["a0"]).unwrap().timeslice(c)
+                    == a.timeslice(c).project(&["a0"]).unwrap()
+            },
+        },
+        Law {
+            name: "σ̂-timeslice",
+            statement: "τ_c(σ̂_F(A)) = σ_F(τ_c(A))",
+            check: |rng| {
+                let a = hst(rng);
+                let f = random_predicate(rng, &schema(), &cfg(), 2);
+                let c = random_chronon(rng);
+                a.hselect(&f).unwrap().timeslice(c)
+                    == a.timeslice(c).select(&f).unwrap()
+            },
+        },
+        Law {
+            name: "δ-identity",
+            statement: "δ_{true, valid}(A) = A",
+            check: |rng| {
+                let a = hst(rng);
+                a.delta(&TemporalPred::True, &TemporalExpr::ValidTime).unwrap() == a
+            },
+        },
+        Law {
+            name: "δ-clip-timeslice",
+            statement: "τ_c(δ_{valid∋c, valid∩{c}}(A)) = τ_c(A)",
+            check: |rng| {
+                let a = hst(rng);
+                let c = random_chronon(rng);
+                let clip = TemporalExpr::intersect(
+                    TemporalExpr::ValidTime,
+                    TemporalExpr::constant(TemporalElement::instant(c)),
+                );
+                a.delta(&TemporalPred::valid_at(c), &clip)
+                    .unwrap()
+                    .timeslice(c)
+                    == a.timeslice(c)
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_law_holds_on_fifty_trials() {
+        for law in all_laws() {
+            let ok = law.run(0xfeed_beef, 50);
+            assert_eq!(ok, 50, "law {} failed {} trials", law.name, 50 - ok);
+        }
+    }
+
+    #[test]
+    fn every_historical_law_holds_on_fifty_trials() {
+        for law in historical_laws() {
+            let ok = law.run(0xbeef_feed, 50);
+            assert_eq!(ok, 50, "law {} failed {} trials", law.name, 50 - ok);
+        }
+    }
+
+    #[test]
+    fn suites_are_nontrivial() {
+        assert!(all_laws().len() >= 14);
+        assert!(historical_laws().len() >= 12);
+    }
+}

@@ -1,0 +1,152 @@
+//! The optimizer's soundness property: on any database where the
+//! original expression evaluates successfully, the optimized expression
+//! evaluates to the same state.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use txtime_core::generate::{random_commands, CmdGenConfig};
+use txtime_core::{Command, Database, Expr, RelationType, Sentence, TransactionNumber, TxSpec};
+use txtime_optimizer::{optimize, SchemaCatalog};
+use txtime_snapshot::generate::{random_predicate, random_state, GenConfig};
+use txtime_snapshot::{DomainType, Schema};
+
+fn schema() -> Schema {
+    Schema::new(vec![("a0", DomainType::Int), ("a1", DomainType::Str)]).unwrap()
+}
+
+fn right_schema() -> Schema {
+    Schema::new(vec![("b0", DomainType::Int)]).unwrap()
+}
+
+fn cfg() -> GenConfig {
+    GenConfig {
+        arity: 2,
+        cardinality: 10,
+        int_range: 10,
+        str_pool: 4,
+    }
+}
+
+/// A database with rollback relations over `schema()` plus one over
+/// `right_schema()` for product shapes.
+fn random_db(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cmds = random_commands(
+        &mut rng,
+        &schema(),
+        &CmdGenConfig {
+            values: cfg(),
+            relations: vec!["r0".into(), "r1".into()],
+            churn: 0.4,
+        },
+        8,
+    );
+    cmds.push(Command::define_relation("q", RelationType::Rollback));
+    cmds.push(Command::modify_state(
+        "q",
+        Expr::snapshot_const(random_state(
+            &mut rng,
+            &right_schema(),
+            &GenConfig {
+                arity: 1,
+                cardinality: 6,
+                ..cfg()
+            },
+        )),
+    ));
+    Sentence::new(cmds).unwrap().eval().unwrap()
+}
+
+/// Random expression over the relations defined by [`random_db`],
+/// including shapes every rule targets.
+fn random_query(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 {
+        let r = ["r0", "r1"][rng.gen_range(0..2)];
+        return if rng.gen_bool(0.3) {
+            Expr::rollback(r, TxSpec::At(TransactionNumber(rng.gen_range(0..12))))
+        } else {
+            Expr::current(r)
+        };
+    }
+    match rng.gen_range(0..7) {
+        0 => random_query(rng, depth - 1).union(random_query(rng, depth - 1)),
+        1 => random_query(rng, depth - 1).difference(random_query(rng, depth - 1)),
+        2 => random_query(rng, depth - 1).select(random_predicate(rng, &schema(), &cfg(), 2)),
+        3 => {
+            let attrs = if rng.gen_bool(0.5) {
+                vec!["a0".to_string()]
+            } else {
+                vec!["a1".to_string(), "a0".to_string()]
+            };
+            // Projection changes the scheme, so stack further selects on
+            // surviving attributes only.
+            let inner = random_query(rng, depth - 1);
+            Expr::Project(attrs, Box::new(inner))
+        }
+        4 => random_query(rng, depth - 1).product(Expr::current("q")),
+        5 => random_query(rng, depth - 1)
+            .select(random_predicate(rng, &schema(), &cfg(), 1))
+            .select(random_predicate(rng, &schema(), &cfg(), 1)),
+        _ => random_query(rng, 0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimized_expressions_evaluate_identically(
+        db_seed in any::<u64>(),
+        q_seed in any::<u64>(),
+        depth in 0usize..4,
+    ) {
+        let db = random_db(db_seed);
+        let catalog = SchemaCatalog::from_database(&db);
+        let mut rng = StdRng::seed_from_u64(q_seed);
+        let query = random_query(&mut rng, depth);
+        let optimized = optimize(&query, &catalog);
+
+        match query.eval(&db) {
+            Ok(expected) => {
+                let got = optimized.eval(&db).unwrap_or_else(|e| {
+                    panic!(
+                        "optimized form failed where original succeeded\n\
+                         original:  {query}\noptimized: {optimized}\nerror: {e}"
+                    )
+                });
+                prop_assert_eq!(
+                    got, expected,
+                    "original {} vs optimized {}", query, optimized
+                );
+            }
+            Err(_) => {
+                // Partial-correctness convention: nothing to check.
+            }
+        }
+    }
+
+    #[test]
+    fn optimization_is_idempotent(db_seed in any::<u64>(), q_seed in any::<u64>(), depth in 0usize..4) {
+        let db = random_db(db_seed);
+        let catalog = SchemaCatalog::from_database(&db);
+        let mut rng = StdRng::seed_from_u64(q_seed);
+        let query = random_query(&mut rng, depth);
+        let once = optimize(&query, &catalog);
+        let twice = optimize(&once, &catalog);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn optimization_never_grows_plans_much(q_seed in any::<u64>(), depth in 0usize..4) {
+        // Pushdowns can duplicate a predicate across ∪/− branches but the
+        // node count must stay within a small factor.
+        let db = random_db(1);
+        let catalog = SchemaCatalog::from_database(&db);
+        let mut rng = StdRng::seed_from_u64(q_seed);
+        let query = random_query(&mut rng, depth);
+        let optimized = optimize(&query, &catalog);
+        prop_assert!(optimized.node_count() <= query.node_count() * 4 + 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A lexical or syntactic error, with the 1-based line/column where it was
+/// detected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong and what was
+    /// expected.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl ParseError {
+    /// Creates an error at a position.
+    pub fn new(message: impl Into<String>, line: usize, col: usize) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new("expected `)`", 3, 14);
+        assert_eq!(e.to_string(), "3:14: expected `)`");
+    }
+}

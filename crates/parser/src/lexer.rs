@@ -1,0 +1,281 @@
+//! The lexer: source text → token stream.
+
+use crate::error::ParseError;
+use crate::token::{Spanned, Token};
+
+/// Tokenizes `input`; comments run from `--` to end of line.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            tokens.push(Spanned {
+                token: $tok,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // Line comment.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(Token::LParen, 1),
+            ')' => push!(Token::RParen, 1),
+            '[' => push!(Token::LBracket, 1),
+            ']' => push!(Token::RBracket, 1),
+            '{' => push!(Token::LBrace, 1),
+            '}' => push!(Token::RBrace, 1),
+            ',' => push!(Token::Comma, 1),
+            ';' => push!(Token::Semicolon, 1),
+            ':' => push!(Token::Colon, 1),
+            '@' => push!(Token::At, 1),
+            '=' => push!(Token::Eq, 1),
+            '<' => match chars.get(i + 1) {
+                Some('>') => push!(Token::Ne, 2),
+                Some('=') => push!(Token::Le, 2),
+                _ => push!(Token::Lt, 1),
+            },
+            '>' => match chars.get(i + 1) {
+                Some('=') => push!(Token::Ge, 2),
+                _ => push!(Token::Gt, 1),
+            },
+            '"' => {
+                let start_col = col;
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < chars.len() {
+                    match chars[j] {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => {
+                            let esc = chars.get(j + 1).copied().ok_or_else(|| {
+                                ParseError::new("unterminated escape in string", line, start_col)
+                            })?;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => {
+                                    return Err(ParseError::new(
+                                        format!("unknown escape \\{other}"),
+                                        line,
+                                        start_col,
+                                    ))
+                                }
+                            });
+                            j += 2;
+                        }
+                        '\n' => {
+                            return Err(ParseError::new(
+                                "unterminated string literal",
+                                line,
+                                start_col,
+                            ))
+                        }
+                        other => {
+                            s.push(other);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(ParseError::new("unterminated string literal", line, start_col));
+                }
+                let len = j + 1 - i;
+                push!(Token::Str(s), len);
+            }
+            c if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                let start = i;
+                let start_col = col;
+                let mut j = i;
+                if chars[j] == '-' {
+                    j += 1;
+                }
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_real = false;
+                if j + 1 < chars.len() && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                    is_real = true;
+                    j += 1;
+                    while j < chars.len() && chars[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text: String = chars[start..j].iter().collect();
+                let token = if is_real {
+                    Token::Real(text.parse().map_err(|_| {
+                        ParseError::new(format!("invalid real literal {text}"), line, start_col)
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| {
+                        ParseError::new(format!("invalid integer literal {text}"), line, start_col)
+                    })?)
+                };
+                let len = j - i;
+                push!(token, len);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let len = j - i;
+                push!(Token::Ident(text), len);
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character {other:?}"),
+                    line,
+                    col,
+                ))
+            }
+        }
+    }
+    tokens.push(Spanned {
+        token: Token::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            toks("( ) [ ] { } , ; : @ = <> < <= > >="),
+            vec![
+                Token::LParen,
+                Token::RParen,
+                Token::LBracket,
+                Token::RBracket,
+                Token::LBrace,
+                Token::RBrace,
+                Token::Comma,
+                Token::Semicolon,
+                Token::Colon,
+                Token::At,
+                Token::Eq,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 -7 3.25 -0.5"),
+            vec![
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Real(3.25),
+                Token::Real(-0.5),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""hello" "a\"b" "tab\tend""#),
+            vec![
+                Token::Str("hello".into()),
+                Token::Str("a\"b".into()),
+                Token::Str("tab\tend".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_and_keywords() {
+        assert_eq!(
+            toks("rho emp_2 union"),
+            vec![
+                Token::Ident("rho".into()),
+                Token::Ident("emp_2".into()),
+                Token::Ident("union".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a -- comment ; with stuff\nb"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"ab\nc\"").is_err());
+    }
+
+    #[test]
+    fn unknown_character_is_an_error() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.message.contains('$'));
+    }
+
+    #[test]
+    fn minus_without_digit_is_error_unless_comment() {
+        // A single '-' (not '--', not a negative number) is not a token.
+        assert!(lex("a - b").is_err());
+    }
+}

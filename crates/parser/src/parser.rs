@@ -1,0 +1,921 @@
+//! Recursive-descent parser for the surface syntax.
+//!
+//! The grammar follows the paper's BNF (§3.1, §4) with a concrete
+//! rendering chosen in this crate; see the crate docs for examples. The
+//! parser is hand-written recursive descent with single-token lookahead
+//! plus bounded backtracking at the one genuinely ambiguous point
+//! (parenthesized temporal predicates vs parenthesized temporal
+//! expressions inside δ's guard).
+
+use txtime_core::{Command, Expr, RelationType, SchemeChange, Sentence, TransactionNumber, TxSpec};
+use txtime_historical::{
+    HistoricalState, Period, TemporalElement, TemporalExpr, TemporalPred, FOREVER,
+};
+use txtime_snapshot::{
+    CompOp, DomainType, Operand, Predicate, Schema, SnapshotState, Tuple, Value,
+};
+
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::token::{Spanned, Token};
+
+/// The parser state: a token buffer and a cursor.
+pub struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lexes `input` and prepares a parser over it.
+    pub fn new(input: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            tokens: lex(input)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Spanned {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Spanned {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Spanned {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        let here = self.peek();
+        ParseError::new(
+            format!("{} (found `{}`)", msg.into(), here.token),
+            here.line,
+            here.col,
+        )
+    }
+
+    fn expect(&mut self, token: Token) -> Result<(), ParseError> {
+        if self.peek().token == token {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{token}`")))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.peek().token.is_kw(kw) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`")))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().token.is_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().token {
+            Token::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            _ => Err(self.error("expected an identifier")),
+        }
+    }
+
+    // ----- sentences and commands -------------------------------------
+
+    /// `sentence := (command ';')+`
+    pub fn parse_sentence(&mut self) -> Result<Sentence, ParseError> {
+        let mut commands = Vec::new();
+        while self.peek().token != Token::Eof {
+            commands.push(self.command()?);
+            self.expect(Token::Semicolon)?;
+        }
+        if commands.is_empty() {
+            return Err(self.error("a sentence requires at least one command"));
+        }
+        Sentence::new(commands).map_err(|e| self.error(e.to_string()))
+    }
+
+    /// Parses exactly one command and requires end of input.
+    pub fn parse_single_command(&mut self) -> Result<Command, ParseError> {
+        let c = self.command()?;
+        // Tolerate one optional trailing semicolon.
+        let _ = self.peek().token == Token::Semicolon && {
+            self.advance();
+            true
+        };
+        self.expect(Token::Eof)?;
+        Ok(c)
+    }
+
+    /// Parses exactly one expression and requires end of input.
+    pub fn parse_single_expr(&mut self) -> Result<Expr, ParseError> {
+        let e = self.expr()?;
+        self.expect(Token::Eof)?;
+        Ok(e)
+    }
+
+    fn command(&mut self) -> Result<Command, ParseError> {
+        let kw = self.ident()?;
+        match kw.as_str() {
+            "define_relation" => {
+                self.expect(Token::LParen)?;
+                let ident = self.ident()?;
+                self.expect(Token::Comma)?;
+                let ty_name = self.ident()?;
+                let rtype = RelationType::from_keyword(&ty_name)
+                    .ok_or_else(|| self.error(format!("unknown relation type `{ty_name}`")))?;
+                self.expect(Token::RParen)?;
+                Ok(Command::define_relation(ident, rtype))
+            }
+            "modify_state" => {
+                self.expect(Token::LParen)?;
+                let ident = self.ident()?;
+                self.expect(Token::Comma)?;
+                let expr = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(Command::modify_state(ident, expr))
+            }
+            "delete_relation" => {
+                self.expect(Token::LParen)?;
+                let ident = self.ident()?;
+                self.expect(Token::RParen)?;
+                Ok(Command::delete_relation(ident))
+            }
+            "evolve_scheme" => {
+                self.expect(Token::LParen)?;
+                let ident = self.ident()?;
+                self.expect(Token::Comma)?;
+                let change = self.scheme_change()?;
+                self.expect(Token::RParen)?;
+                Ok(Command::evolve_scheme(ident, change))
+            }
+            "display" => {
+                self.expect(Token::LParen)?;
+                let expr = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(Command::display(expr))
+            }
+            other => Err(self.error(format!("unknown command `{other}`"))),
+        }
+    }
+
+    /// `scheme_change := add I ':' domain default literal | drop I
+    ///                  | rename I to I`
+    fn scheme_change(&mut self) -> Result<SchemeChange, ParseError> {
+        if self.eat_kw("add") {
+            let name = self.ident()?;
+            self.expect(Token::Colon)?;
+            let domain = self.domain()?;
+            self.expect_kw("default")?;
+            let default = self.literal()?;
+            Ok(SchemeChange::AddAttribute {
+                name,
+                domain,
+                default,
+            })
+        } else if self.eat_kw("drop") {
+            Ok(SchemeChange::DropAttribute(self.ident()?))
+        } else if self.eat_kw("rename") {
+            let from = self.ident()?;
+            self.expect_kw("to")?;
+            let to = self.ident()?;
+            Ok(SchemeChange::RenameAttribute { from, to })
+        } else {
+            Err(self.error("expected `add`, `drop`, or `rename`"))
+        }
+    }
+
+    // ----- expressions -------------------------------------------------
+
+    /// `expr := unary (binop unary)*` with the six binary operators at a
+    /// single (left-associative) precedence level.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match &self.peek().token {
+                Token::Ident(s)
+                    if matches!(
+                        s.as_str(),
+                        "union" | "minus" | "times" | "hunion" | "hminus" | "htimes"
+                    ) =>
+                {
+                    s.clone()
+                }
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary_expr()?;
+            left = match op.as_str() {
+                "union" => left.union(right),
+                "minus" => left.difference(right),
+                "times" => left.product(right),
+                "hunion" => left.hunion(right),
+                "hminus" => left.hdifference(right),
+                "htimes" => left.hproduct(right),
+                _ => unreachable!("matched above"),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match &self.peek().token {
+            Token::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Token::LBrace => Ok(Expr::snapshot_const(self.snapshot_state()?)),
+            Token::Ident(kw) => {
+                let kw = kw.clone();
+                match kw.as_str() {
+                    "historical" => {
+                        self.advance();
+                        Ok(Expr::historical_const(self.historical_state()?))
+                    }
+                    "project" | "hproject" => {
+                        self.advance();
+                        self.expect(Token::LBracket)?;
+                        let mut attrs = vec![self.ident()?];
+                        while self.peek().token == Token::Comma {
+                            self.advance();
+                            attrs.push(self.ident()?);
+                        }
+                        self.expect(Token::RBracket)?;
+                        self.expect(Token::LParen)?;
+                        let e = self.expr()?;
+                        self.expect(Token::RParen)?;
+                        Ok(if kw == "project" {
+                            e.project(attrs)
+                        } else {
+                            e.hproject(attrs)
+                        })
+                    }
+                    "select" | "hselect" => {
+                        self.advance();
+                        self.expect(Token::LBracket)?;
+                        let p = self.predicate()?;
+                        self.expect(Token::RBracket)?;
+                        self.expect(Token::LParen)?;
+                        let e = self.expr()?;
+                        self.expect(Token::RParen)?;
+                        Ok(if kw == "select" {
+                            e.select(p)
+                        } else {
+                            e.hselect(p)
+                        })
+                    }
+                    "delta" => {
+                        self.advance();
+                        self.expect(Token::LBracket)?;
+                        let g = self.temporal_pred()?;
+                        self.expect(Token::Semicolon)?;
+                        let v = self.temporal_expr()?;
+                        self.expect(Token::RBracket)?;
+                        self.expect(Token::LParen)?;
+                        let e = self.expr()?;
+                        self.expect(Token::RParen)?;
+                        Ok(e.delta(g, v))
+                    }
+                    // `asof[N](E)` — sugar for the rollback-completeness
+                    // transformer: every ρ(I, ∞)/ρ̂(I, ∞) leaf of E is
+                    // rewritten to ρ(I, N)/ρ̂(I, N) at parse time.
+                    "asof" => {
+                        self.advance();
+                        self.expect(Token::LBracket)?;
+                        let spec = self.tx_spec()?;
+                        let TxSpec::At(n) = spec else {
+                            return Err(self.error("asof requires a specific transaction number"));
+                        };
+                        self.expect(Token::RBracket)?;
+                        self.expect(Token::LParen)?;
+                        let e = self.expr()?;
+                        self.expect(Token::RParen)?;
+                        Ok(txtime_core::as_of(&e, n))
+                    }
+                    "rho" | "hrho" => {
+                        self.advance();
+                        self.expect(Token::LParen)?;
+                        let ident = self.ident()?;
+                        self.expect(Token::Comma)?;
+                        let spec = self.tx_spec()?;
+                        self.expect(Token::RParen)?;
+                        Ok(if kw == "rho" {
+                            Expr::rollback(ident, spec)
+                        } else {
+                            Expr::hrollback(ident, spec)
+                        })
+                    }
+                    other => Err(self.error(format!("unknown operator `{other}`"))),
+                }
+            }
+            _ => Err(self.error("expected an expression")),
+        }
+    }
+
+    /// `numeral := non-negative integer | inf`
+    fn tx_spec(&mut self) -> Result<TxSpec, ParseError> {
+        match &self.peek().token {
+            Token::Int(n) if *n >= 0 => {
+                let n = *n as u64;
+                self.advance();
+                Ok(TxSpec::At(TransactionNumber(n)))
+            }
+            Token::Ident(s) if s == "inf" => {
+                self.advance();
+                Ok(TxSpec::Current)
+            }
+            _ => Err(self.error("expected a transaction number or `inf`")),
+        }
+    }
+
+    // ----- constant states ----------------------------------------------
+
+    /// `'{' schema ':' [tuple (',' tuple)*] '}'`
+    fn snapshot_state(&mut self) -> Result<SnapshotState, ParseError> {
+        self.expect(Token::LBrace)?;
+        let schema = self.schema()?;
+        self.expect(Token::Colon)?;
+        let mut tuples = Vec::new();
+        if self.peek().token != Token::RBrace {
+            tuples.push(self.tuple()?);
+            while self.peek().token == Token::Comma {
+                self.advance();
+                tuples.push(self.tuple()?);
+            }
+        }
+        self.expect(Token::RBrace)?;
+        SnapshotState::new(schema, tuples).map_err(|e| self.error(e.to_string()))
+    }
+
+    /// `'{' schema ':' [tuple '@' element (',' …)*] '}'`
+    fn historical_state(&mut self) -> Result<HistoricalState, ParseError> {
+        self.expect(Token::LBrace)?;
+        let schema = self.schema()?;
+        self.expect(Token::Colon)?;
+        let mut entries = Vec::new();
+        if self.peek().token != Token::RBrace {
+            loop {
+                let t = self.tuple()?;
+                self.expect(Token::At)?;
+                let e = self.temporal_element()?;
+                entries.push((t, e));
+                if self.peek().token == Token::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Token::RBrace)?;
+        HistoricalState::new(schema, entries).map_err(|e| self.error(e.to_string()))
+    }
+
+    /// `'(' I ':' domain (',' I ':' domain)* ')'`
+    fn schema(&mut self) -> Result<Schema, ParseError> {
+        self.expect(Token::LParen)?;
+        let mut attrs = Vec::new();
+        loop {
+            let name = self.ident()?;
+            self.expect(Token::Colon)?;
+            let domain = self.domain()?;
+            attrs.push((name, domain));
+            if self.peek().token == Token::Comma {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        self.expect(Token::RParen)?;
+        Schema::new(attrs).map_err(|e| self.error(e.to_string()))
+    }
+
+    fn domain(&mut self) -> Result<DomainType, ParseError> {
+        let name = self.ident()?;
+        DomainType::from_keyword(&name)
+            .ok_or_else(|| self.error(format!("unknown domain `{name}`")))
+    }
+
+    /// `'(' literal (',' literal)* ')'`
+    fn tuple(&mut self) -> Result<Tuple, ParseError> {
+        self.expect(Token::LParen)?;
+        let mut values = vec![self.literal()?];
+        while self.peek().token == Token::Comma {
+            self.advance();
+            values.push(self.literal()?);
+        }
+        self.expect(Token::RParen)?;
+        Ok(Tuple::new(values))
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match &self.peek().token {
+            Token::Int(n) => {
+                let n = *n;
+                self.advance();
+                Ok(Value::Int(n))
+            }
+            Token::Real(r) => {
+                let r = *r;
+                self.advance();
+                Ok(Value::real(r))
+            }
+            Token::Str(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(Value::str(s))
+            }
+            Token::Ident(s) if s == "true" => {
+                self.advance();
+                Ok(Value::Bool(true))
+            }
+            Token::Ident(s) if s == "false" => {
+                self.advance();
+                Ok(Value::Bool(false))
+            }
+            _ => Err(self.error("expected a literal value")),
+        }
+    }
+
+    // ----- predicates (𝓕) ------------------------------------------------
+
+    /// `pred := and_pred ('or' and_pred)*`
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.and_pred()?;
+        while self.eat_kw("or") {
+            let right = self.and_pred()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_pred(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.not_pred()?;
+        while self.eat_kw("and") {
+            let right = self.not_pred()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn not_pred(&mut self) -> Result<Predicate, ParseError> {
+        if self.eat_kw("not") {
+            Ok(self.not_pred()?.not())
+        } else {
+            self.primary_pred()
+        }
+    }
+
+    fn primary_pred(&mut self) -> Result<Predicate, ParseError> {
+        // `true`/`false` are predicate constants unless followed by a
+        // comparison operator (in which case they are Bool operands).
+        if (self.peek().token.is_kw("true") || self.peek().token.is_kw("false"))
+            && !is_comp_op(&self.peek2().token)
+        {
+            let b = self.peek().token.is_kw("true");
+            self.advance();
+            return Ok(if b { Predicate::True } else { Predicate::False });
+        }
+        if self.peek().token == Token::LParen {
+            self.advance();
+            let p = self.predicate()?;
+            self.expect(Token::RParen)?;
+            return Ok(p);
+        }
+        let left = self.operand()?;
+        let op = self.comp_op()?;
+        let right = self.operand()?;
+        Ok(Predicate::Comp(left, op, right))
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match &self.peek().token {
+            Token::Ident(s) if s != "true" && s != "false" => {
+                let s = s.clone();
+                self.advance();
+                Ok(Operand::attr(s))
+            }
+            _ => Ok(Operand::Const(self.literal()?)),
+        }
+    }
+
+    fn comp_op(&mut self) -> Result<CompOp, ParseError> {
+        let op = match self.peek().token {
+            Token::Eq => CompOp::Eq,
+            Token::Ne => CompOp::Ne,
+            Token::Lt => CompOp::Lt,
+            Token::Le => CompOp::Le,
+            Token::Gt => CompOp::Gt,
+            Token::Ge => CompOp::Ge,
+            _ => return Err(self.error("expected a comparison operator")),
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    // ----- temporal predicates (𝓖) and expressions (𝓥) -------------------
+
+    /// `tpred := tand ('or' tand)*`
+    fn temporal_pred(&mut self) -> Result<TemporalPred, ParseError> {
+        let mut left = self.temporal_and()?;
+        while self.eat_kw("or") {
+            let right = self.temporal_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn temporal_and(&mut self) -> Result<TemporalPred, ParseError> {
+        let mut left = self.temporal_not()?;
+        while self.eat_kw("and") {
+            let right = self.temporal_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn temporal_not(&mut self) -> Result<TemporalPred, ParseError> {
+        if self.eat_kw("not") {
+            Ok(self.temporal_not()?.not())
+        } else {
+            self.temporal_primary()
+        }
+    }
+
+    fn temporal_primary(&mut self) -> Result<TemporalPred, ParseError> {
+        if self.peek().token.is_kw("true") {
+            self.advance();
+            return Ok(TemporalPred::True);
+        }
+        if self.peek().token.is_kw("false") {
+            self.advance();
+            return Ok(TemporalPred::False);
+        }
+        if self.peek().token == Token::LParen {
+            // Ambiguity: '(' tpred ')' vs a comparison whose left operand
+            // is a parenthesized temporal expression. Try the comparison
+            // first; backtrack on failure.
+            let save = self.pos;
+            if let Ok(p) = self.try_temporal_comparison() {
+                return Ok(p);
+            }
+            self.pos = save;
+            self.advance(); // '('
+            let p = self.temporal_pred()?;
+            self.expect(Token::RParen)?;
+            return Ok(p);
+        }
+        self.try_temporal_comparison()
+    }
+
+    fn try_temporal_comparison(&mut self) -> Result<TemporalPred, ParseError> {
+        let left = self.temporal_expr()?;
+        if self.peek().token == Token::Eq {
+            self.advance();
+            let right = self.temporal_expr()?;
+            return Ok(TemporalPred::equals(left, right));
+        }
+        for (kw, ctor) in [
+            ("subset", TemporalPred::subset as fn(_, _) -> _),
+            ("overlaps", TemporalPred::overlaps as fn(_, _) -> _),
+            ("precedes", TemporalPred::precedes as fn(_, _) -> _),
+        ] {
+            if self.eat_kw(kw) {
+                let right = self.temporal_expr()?;
+                return Ok(ctor(left, right));
+            }
+        }
+        Err(self.error("expected `=`, `subset`, `overlaps`, or `precedes`"))
+    }
+
+    /// `texpr := tterm (('union'|'intersect'|'minus') tterm)*`
+    fn temporal_expr(&mut self) -> Result<TemporalExpr, ParseError> {
+        let mut left = self.temporal_term()?;
+        loop {
+            if self.eat_kw("union") {
+                left = TemporalExpr::union(left, self.temporal_term()?);
+            } else if self.eat_kw("intersect") {
+                left = TemporalExpr::intersect(left, self.temporal_term()?);
+            } else if self.eat_kw("minus") {
+                left = TemporalExpr::difference(left, self.temporal_term()?);
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn temporal_term(&mut self) -> Result<TemporalExpr, ParseError> {
+        match &self.peek().token {
+            Token::Ident(s) if s == "valid" => {
+                self.advance();
+                Ok(TemporalExpr::ValidTime)
+            }
+            Token::Ident(s) if s == "first" || s == "last" => {
+                let is_first = s == "first";
+                self.advance();
+                self.expect(Token::LParen)?;
+                let inner = self.temporal_expr()?;
+                self.expect(Token::RParen)?;
+                Ok(if is_first {
+                    TemporalExpr::first(inner)
+                } else {
+                    TemporalExpr::last(inner)
+                })
+            }
+            Token::LBrace => Ok(TemporalExpr::constant(self.temporal_element()?)),
+            Token::LParen => {
+                self.advance();
+                let e = self.temporal_expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            _ => Err(self.error("expected a temporal expression")),
+        }
+    }
+
+    /// `telement := '{' [period (',' period)*] '}'`
+    fn temporal_element(&mut self) -> Result<TemporalElement, ParseError> {
+        self.expect(Token::LBrace)?;
+        let mut periods = Vec::new();
+        if self.peek().token != Token::RBrace {
+            periods.push(self.period()?);
+            while self.peek().token == Token::Comma {
+                self.advance();
+                periods.push(self.period()?);
+            }
+        }
+        self.expect(Token::RBrace)?;
+        Ok(TemporalElement::from_periods(periods))
+    }
+
+    /// `period := '[' int ',' (int|'forever') ')'`
+    fn period(&mut self) -> Result<Period, ParseError> {
+        self.expect(Token::LBracket)?;
+        let start = self.chronon()?;
+        self.expect(Token::Comma)?;
+        let end = if self.eat_kw("forever") {
+            FOREVER
+        } else {
+            self.chronon()?
+        };
+        self.expect(Token::RParen)?;
+        Period::new(start, end).map_err(|e| self.error(e.to_string()))
+    }
+
+    fn chronon(&mut self) -> Result<u32, ParseError> {
+        match self.peek().token {
+            Token::Int(n) if n >= 0 && n <= u32::MAX as i64 => {
+                self.advance();
+                Ok(n as u32)
+            }
+            _ => Err(self.error("expected a chronon (non-negative integer)")),
+        }
+    }
+}
+
+fn is_comp_op(t: &Token) -> bool {
+    matches!(
+        t,
+        Token::Eq | Token::Ne | Token::Lt | Token::Le | Token::Gt | Token::Ge
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_command, parse_expr, parse_sentence};
+
+    #[test]
+    fn parses_define_and_modify() {
+        let s = parse_sentence(
+            r#"
+            define_relation(emp, rollback);
+            modify_state(emp, {(name: str, sal: int): ("alice", 100)});
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.commands().len(), 2);
+        let db = s.eval().unwrap();
+        assert_eq!(db.tx.0, 2);
+    }
+
+    #[test]
+    fn parses_algebra_expressions() {
+        let e = parse_expr("project[name](select[sal > 100](rho(emp, inf)))").unwrap();
+        assert_eq!(
+            e.to_string(),
+            "project[name](select[sal > 100](rho(emp, inf)))"
+        );
+    }
+
+    #[test]
+    fn binary_operators_are_left_associative() {
+        let e = parse_expr("rho(a, inf) union rho(b, inf) minus rho(c, inf)").unwrap();
+        assert_eq!(
+            e.to_string(),
+            "((rho(a, inf) union rho(b, inf)) minus rho(c, inf))"
+        );
+    }
+
+    #[test]
+    fn parentheses_override_associativity() {
+        let e = parse_expr("rho(a, inf) union (rho(b, inf) minus rho(c, inf))").unwrap();
+        assert_eq!(
+            e.to_string(),
+            "(rho(a, inf) union (rho(b, inf) minus rho(c, inf)))"
+        );
+    }
+
+    #[test]
+    fn parses_rollback_at_transaction() {
+        let e = parse_expr("rho(emp, 42)").unwrap();
+        assert_eq!(e, Expr::rollback("emp", TxSpec::At(TransactionNumber(42))));
+    }
+
+    #[test]
+    fn parses_empty_state() {
+        let e = parse_expr("{(x: int):}").unwrap();
+        match e {
+            Expr::SnapshotConst(s) => assert!(s.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_all_literal_kinds() {
+        let e = parse_expr(r#"{(i: int, r: real, b: bool, s: str): (-3, 2.5, true, "hi")}"#)
+            .unwrap();
+        match e {
+            Expr::SnapshotConst(s) => {
+                let t = s.iter().next().unwrap();
+                assert_eq!(t.get(0), &Value::Int(-3));
+                assert_eq!(t.get(1), &Value::real(2.5));
+                assert_eq!(t.get(2), &Value::Bool(true));
+                assert_eq!(t.get(3), &Value::str("hi"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_predicates_with_precedence() {
+        // `or` binds looser than `and`.
+        let e = parse_expr("select[a = 1 or b = 2 and c = 3](rho(r, inf))").unwrap();
+        assert_eq!(
+            e.to_string(),
+            "select[(a = 1 or (b = 2 and c = 3))](rho(r, inf))"
+        );
+    }
+
+    #[test]
+    fn parses_bool_operand_vs_pred_constant() {
+        let e = parse_expr("select[flag = true and true](rho(r, inf))").unwrap();
+        assert_eq!(e.to_string(), "select[(flag = true and true)](rho(r, inf))");
+    }
+
+    #[test]
+    fn parses_historical_constant() {
+        let e = parse_expr(
+            r#"historical {(name: str): ("alice") @ {[0, 10)}, ("bob") @ {[5, forever)}}"#,
+        )
+        .unwrap();
+        match e {
+            Expr::HistoricalConst(h) => {
+                assert_eq!(h.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delta() {
+        let e = parse_expr(
+            "delta[valid overlaps {[3, 7)}; valid intersect {[3, 7)}](hrho(h, inf))",
+        )
+        .unwrap();
+        match &e {
+            Expr::Delta(g, v, _) => {
+                assert!(matches!(g, TemporalPred::Overlaps(..)));
+                assert!(matches!(v, TemporalExpr::Intersect(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parenthesized_temporal_predicate() {
+        let e = parse_expr(
+            "delta[(valid overlaps {[0, 5)}) and not valid precedes {[9, 10)}; valid](hrho(h, inf))",
+        )
+        .unwrap();
+        assert!(matches!(e, Expr::Delta(TemporalPred::And(..), _, _)));
+    }
+
+    #[test]
+    fn parses_parenthesized_temporal_expr_comparison() {
+        let e = parse_expr(
+            "delta[(valid union {[0, 2)}) subset {[0, 50)}; valid](hrho(h, inf))",
+        )
+        .unwrap();
+        assert!(matches!(e, Expr::Delta(TemporalPred::Subset(..), _, _)));
+    }
+
+    #[test]
+    fn parses_first_last() {
+        let e = parse_expr("delta[first(valid) precedes last(valid); valid](hrho(h, inf))")
+            .unwrap();
+        assert!(matches!(e, Expr::Delta(TemporalPred::Precedes(..), _, _)));
+    }
+
+    #[test]
+    fn asof_sugar_rewrites_current_leaves() {
+        let e = parse_expr("asof[5](select[x > 1](rho(r, inf) union rho(q, 3)))").unwrap();
+        assert_eq!(
+            e.to_string(),
+            "select[x > 1]((rho(r, 5) union rho(q, 3)))"
+        );
+        // ∞ is not a valid asof target.
+        assert!(parse_expr("asof[inf](rho(r, inf))").is_err());
+    }
+
+    #[test]
+    fn parses_extension_commands() {
+        assert!(matches!(
+            parse_command("delete_relation(emp)").unwrap(),
+            Command::DeleteRelation(_)
+        ));
+        assert!(matches!(
+            parse_command(r#"evolve_scheme(emp, add dept: str default "unknown")"#).unwrap(),
+            Command::EvolveScheme(_, SchemeChange::AddAttribute { .. })
+        ));
+        assert!(matches!(
+            parse_command("evolve_scheme(emp, drop sal)").unwrap(),
+            Command::EvolveScheme(_, SchemeChange::DropAttribute(_))
+        ));
+        assert!(matches!(
+            parse_command("evolve_scheme(emp, rename sal to salary)").unwrap(),
+            Command::EvolveScheme(_, SchemeChange::RenameAttribute { .. })
+        ));
+        assert!(matches!(
+            parse_command("display(rho(emp, inf))").unwrap(),
+            Command::Display(_)
+        ));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_sentence("define_relation(emp rollback);").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("expected"));
+    }
+
+    #[test]
+    fn rejects_unknown_relation_type() {
+        let e = parse_sentence("define_relation(emp, versioned);").unwrap_err();
+        assert!(e.message.contains("versioned"));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse_sentence("define_relation(emp, rollback)").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_in_expr() {
+        assert!(parse_expr("rho(a, inf) rho(b, inf)").is_err());
+    }
+
+    #[test]
+    fn comments_are_allowed_between_commands() {
+        let s = parse_sentence(
+            "-- set up\ndefine_relation(emp, rollback); -- done\n",
+        )
+        .unwrap();
+        assert_eq!(s.commands().len(), 1);
+    }
+
+    #[test]
+    fn invalid_period_is_reported() {
+        let e = parse_expr("historical {(x: int): (1) @ {[5, 5)}}").unwrap_err();
+        assert!(e.message.contains("empty"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Domain (attribute type) definitions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The type of a value domain 𝓓ᵢ.
+///
+/// Every attribute of a relation scheme is typed by one of these domains,
+/// and every [`crate::Value`] belongs to exactly one of them. User-defined
+/// time, in the paper's taxonomy, "is simply another domain, such as
+/// integer or character string, provided by the DBMS" — an application can
+/// encode user-defined time with `Int` (e.g. a Julian day number) or `Str`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DomainType {
+    /// 64-bit signed integers.
+    Int,
+    /// Finite IEEE-754 doubles.
+    Real,
+    /// Booleans.
+    Bool,
+    /// Character strings.
+    Str,
+}
+
+impl DomainType {
+    /// All supported domain types, in display order.
+    pub const ALL: [DomainType; 4] = [
+        DomainType::Int,
+        DomainType::Real,
+        DomainType::Bool,
+        DomainType::Str,
+    ];
+
+    /// The keyword used for this domain in the surface syntax.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            DomainType::Int => "int",
+            DomainType::Real => "real",
+            DomainType::Bool => "bool",
+            DomainType::Str => "str",
+        }
+    }
+
+    /// Parses a surface-syntax keyword into a domain type.
+    pub fn from_keyword(s: &str) -> Option<DomainType> {
+        match s {
+            "int" => Some(DomainType::Int),
+            "real" => Some(DomainType::Real),
+            "bool" => Some(DomainType::Bool),
+            "str" => Some(DomainType::Str),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DomainType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for d in DomainType::ALL {
+            assert_eq!(DomainType::from_keyword(d.keyword()), Some(d));
+        }
+    }
+
+    #[test]
+    fn unknown_keyword() {
+        assert_eq!(DomainType::from_keyword("blob"), None);
+    }
+
+    #[test]
+    fn display_matches_keyword() {
+        assert_eq!(DomainType::Int.to_string(), "int");
+        assert_eq!(DomainType::Str.to_string(), "str");
+    }
+}

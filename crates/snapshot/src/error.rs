@@ -1,0 +1,142 @@
+//! Errors raised by snapshot-algebra operations.
+//!
+//! The paper restricts the semantic function **E** to *valid* expressions
+//! and defers invalid-expression handling to the companion report
+//! [McKenzie & Snodgrass 1987A]. We make validity checking explicit: every
+//! operator returns a `Result`, and an invalid application (e.g. projecting
+//! a non-existent attribute) is reported rather than being undefined.
+
+use std::fmt;
+
+use crate::domain::DomainType;
+
+/// An error from constructing or operating on snapshot states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Two attribute names in one scheme collide.
+    DuplicateAttribute(String),
+    /// A scheme was declared with no attributes.
+    EmptyScheme,
+    /// An attribute referenced by an operation does not exist in the scheme.
+    UnknownAttribute(String),
+    /// A tuple's arity does not match its scheme.
+    ArityMismatch {
+        /// Number of attributes in the scheme.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// A value's domain does not match the attribute's declared domain.
+    DomainMismatch {
+        /// The offending attribute.
+        attribute: String,
+        /// The attribute's declared domain.
+        expected: DomainType,
+        /// The domain of the supplied value.
+        found: DomainType,
+    },
+    /// Union, difference, or intersection applied to states with different
+    /// schemes (the operands must be union-compatible).
+    SchemeMismatch {
+        /// Display form of the left scheme.
+        left: String,
+        /// Display form of the right scheme.
+        right: String,
+    },
+    /// Cartesian product applied to states sharing an attribute name.
+    ProductAttributeClash(String),
+    /// A predicate compares values from incompatible domains.
+    PredicateTypeMismatch {
+        /// Display form of the offending comparison.
+        comparison: String,
+        /// Domain of the left operand.
+        left: DomainType,
+        /// Domain of the right operand.
+        right: DomainType,
+    },
+    /// Division applied to schemes that are not in the subset relationship
+    /// it requires.
+    InvalidDivision(String),
+    /// A projection listed the same attribute twice.
+    DuplicateProjection(String),
+    /// A rename would introduce a duplicate attribute name.
+    RenameClash(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::DuplicateAttribute(a) => {
+                write!(f, "duplicate attribute name {a:?} in scheme")
+            }
+            SnapshotError::EmptyScheme => write!(f, "a relation scheme must have at least one attribute"),
+            SnapshotError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
+            SnapshotError::ArityMismatch { expected, found } => {
+                write!(f, "tuple arity {found} does not match scheme arity {expected}")
+            }
+            SnapshotError::DomainMismatch {
+                attribute,
+                expected,
+                found,
+            } => write!(
+                f,
+                "attribute {attribute:?} has domain {expected} but the value has domain {found}"
+            ),
+            SnapshotError::SchemeMismatch { left, right } => write!(
+                f,
+                "operands are not union-compatible: left scheme {left}, right scheme {right}"
+            ),
+            SnapshotError::ProductAttributeClash(a) => write!(
+                f,
+                "cartesian product operands both define attribute {a:?}; rename one first"
+            ),
+            SnapshotError::PredicateTypeMismatch {
+                comparison,
+                left,
+                right,
+            } => write!(
+                f,
+                "predicate {comparison} compares incompatible domains {left} and {right}"
+            ),
+            SnapshotError::InvalidDivision(msg) => write!(f, "invalid division: {msg}"),
+            SnapshotError::DuplicateProjection(a) => {
+                write!(f, "attribute {a:?} listed more than once in projection")
+            }
+            SnapshotError::RenameClash(a) => {
+                write!(f, "rename would duplicate attribute name {a:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SnapshotError::DomainMismatch {
+            attribute: "sal".into(),
+            expected: DomainType::Int,
+            found: DomainType::Str,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("sal"));
+        assert!(msg.contains("int"));
+        assert!(msg.contains("str"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SnapshotError::UnknownAttribute("x".into()),
+            SnapshotError::UnknownAttribute("x".into())
+        );
+        assert_ne!(
+            SnapshotError::UnknownAttribute("x".into()),
+            SnapshotError::UnknownAttribute("y".into())
+        );
+    }
+}

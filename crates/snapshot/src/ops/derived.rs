@@ -1,0 +1,342 @@
+//! Operators derivable from the five primitives.
+//!
+//! Everything here could be expressed by composing union, difference,
+//! product, projection, and selection; we implement them directly for
+//! efficiency but test them against their classical derivations.
+
+use std::collections::BTreeSet;
+
+use crate::error::SnapshotError;
+use crate::predicate::Predicate;
+use crate::state::SnapshotState;
+use crate::tuple::Tuple;
+use crate::Result;
+
+impl SnapshotState {
+    /// Intersection `E₁ ∩ E₂ = E₁ − (E₁ − E₂)`.
+    pub fn intersect(&self, other: &SnapshotState) -> Result<SnapshotState> {
+        self.schema().require_union_compatible(other.schema())?;
+        let tuples = self
+            .tuples()
+            .iter()
+            .filter(|t| other.contains(t))
+            .cloned()
+            .collect();
+        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+    }
+
+    /// Renames attribute `from` to `to`.
+    pub fn rename(&self, from: &str, to: &str) -> Result<SnapshotState> {
+        let schema = self.schema().rename(from, to)?;
+        Ok(SnapshotState::from_checked(schema, self.tuples().clone()))
+    }
+
+    /// Theta join `E₁ ⋈_F E₂ = σ_F(E₁ × E₂)`.
+    pub fn theta_join(&self, other: &SnapshotState, predicate: &Predicate) -> Result<SnapshotState> {
+        self.product(other)?.select(predicate)
+    }
+
+    /// Natural join on all common attribute names.
+    ///
+    /// Common attributes must agree in domain; the result scheme is the
+    /// left scheme followed by the right scheme's non-common attributes.
+    pub fn natural_join(&self, other: &SnapshotState) -> Result<SnapshotState> {
+        let common = self.schema().common_attributes(other.schema());
+        for name in &common {
+            let l = self.schema().attribute(self.schema().require(name)?);
+            let r = other.schema().attribute(other.schema().require(name)?);
+            if l.domain != r.domain {
+                return Err(SnapshotError::DomainMismatch {
+                    attribute: name.to_string(),
+                    expected: l.domain,
+                    found: r.domain,
+                });
+            }
+        }
+
+        let right_keep: Vec<usize> = (0..other.schema().arity())
+            .filter(|&i| !common.iter().any(|c| *c == other.schema().attribute(i).name))
+            .collect();
+        let mut attrs = self.schema().attributes().to_vec();
+        for &i in &right_keep {
+            attrs.push(other.schema().attribute(i).clone());
+        }
+        let schema = crate::schema::Schema::from_attributes(attrs)?;
+
+        let left_common: Vec<usize> = common
+            .iter()
+            .map(|c| self.schema().index_of(c).expect("common attr in left"))
+            .collect();
+        let right_common: Vec<usize> = common
+            .iter()
+            .map(|c| other.schema().index_of(c).expect("common attr in right"))
+            .collect();
+
+        let mut tuples = BTreeSet::new();
+        for l in self.iter() {
+            for r in other.iter() {
+                let matches = left_common
+                    .iter()
+                    .zip(&right_common)
+                    .all(|(&li, &ri)| l.get(li) == r.get(ri));
+                if matches {
+                    let mut vals = l.values().to_vec();
+                    for &i in &right_keep {
+                        vals.push(r.get(i).clone());
+                    }
+                    tuples.insert(Tuple::new(vals));
+                }
+            }
+        }
+        Ok(SnapshotState::from_checked(schema, tuples))
+    }
+
+    /// Semijoin: the left tuples that join with at least one right tuple.
+    pub fn semijoin(&self, other: &SnapshotState) -> Result<SnapshotState> {
+        let join = self.natural_join(other)?;
+        let names: Vec<String> = self
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| a.name.to_string())
+            .collect();
+        join.project(&names)
+    }
+
+    /// Antijoin: the left tuples that join with no right tuple.
+    pub fn antijoin(&self, other: &SnapshotState) -> Result<SnapshotState> {
+        self.difference(&self.semijoin(other)?)
+    }
+
+    /// Relational division `E₁ ÷ E₂`.
+    ///
+    /// The divisor's attributes must be a proper subset of the dividend's;
+    /// the result has the dividend's remaining attributes and contains a
+    /// tuple `t` iff `t` pairs with *every* divisor tuple in the dividend.
+    pub fn divide(&self, divisor: &SnapshotState) -> Result<SnapshotState> {
+        for a in divisor.schema().attributes() {
+            let idx = self.schema().index_of(&a.name).ok_or_else(|| {
+                SnapshotError::InvalidDivision(format!(
+                    "divisor attribute {:?} missing from dividend",
+                    a.name
+                ))
+            })?;
+            if self.schema().attribute(idx).domain != a.domain {
+                return Err(SnapshotError::InvalidDivision(format!(
+                    "attribute {:?} has different domains in dividend and divisor",
+                    a.name
+                )));
+            }
+        }
+        let quotient_names: Vec<String> = self
+            .schema()
+            .attributes()
+            .iter()
+            .filter(|a| !divisor.schema().contains(&a.name))
+            .map(|a| a.name.to_string())
+            .collect();
+        if quotient_names.is_empty() {
+            return Err(SnapshotError::InvalidDivision(
+                "divisor attributes must be a proper subset of dividend attributes".into(),
+            ));
+        }
+
+        // R ÷ S = π_Q(R) − π_Q((π_Q(R) × S) − R), specialized to a direct
+        // check for clarity and speed.
+        let candidates = self.project(&quotient_names)?;
+        let divisor_names: Vec<String> = divisor
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| a.name.to_string())
+            .collect();
+        let q_idx: Vec<usize> = quotient_names
+            .iter()
+            .map(|n| self.schema().index_of(n).expect("quotient attr"))
+            .collect();
+        let d_idx: Vec<usize> = divisor_names
+            .iter()
+            .map(|n| self.schema().index_of(n).expect("divisor attr"))
+            .collect();
+        let d_own_idx: Vec<usize> = divisor_names
+            .iter()
+            .map(|n| divisor.schema().index_of(n).expect("divisor attr"))
+            .collect();
+
+        let mut kept = BTreeSet::new();
+        'candidate: for c in candidates.iter() {
+            for d in divisor.iter() {
+                // Does some dividend tuple combine c with d?
+                let found = self.iter().any(|t| {
+                    q_idx.iter().zip(c.values()).all(|(&i, v)| t.get(i) == v)
+                        && d_idx
+                            .iter()
+                            .zip(&d_own_idx)
+                            .all(|(&ti, &di)| t.get(ti) == d.get(di))
+                });
+                if !found {
+                    continue 'candidate;
+                }
+            }
+            kept.insert(c.clone());
+        }
+        Ok(SnapshotState::from_checked(
+            candidates.schema().clone(),
+            kept,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DomainType, Predicate, Schema, SnapshotState, Value};
+
+    fn nums(name: &str, vals: &[i64]) -> SnapshotState {
+        let schema = Schema::new(vec![(name, DomainType::Int)]).unwrap();
+        SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    fn emp() -> SnapshotState {
+        let schema = Schema::new(vec![("name", DomainType::Str), ("dept", DomainType::Str)])
+            .unwrap();
+        SnapshotState::from_rows(
+            schema,
+            vec![
+                vec![Value::str("alice"), Value::str("cs")],
+                vec![Value::str("bob"), Value::str("ee")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn dept() -> SnapshotState {
+        let schema = Schema::new(vec![("dept", DomainType::Str), ("bldg", DomainType::Str)])
+            .unwrap();
+        SnapshotState::from_rows(
+            schema,
+            vec![
+                vec![Value::str("cs"), Value::str("sitterson")],
+                vec![Value::str("math"), Value::str("phillips")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn intersect_matches_double_difference() {
+        let (a, b) = (nums("x", &[1, 2, 3]), nums("x", &[2, 3, 4]));
+        let direct = a.intersect(&b).unwrap();
+        let derived = a.difference(&a.difference(&b).unwrap()).unwrap();
+        assert_eq!(direct, derived);
+    }
+
+    #[test]
+    fn rename_preserves_tuples() {
+        let r = nums("x", &[1, 2]).rename("x", "y").unwrap();
+        assert_eq!(&*r.schema().attribute(0).name, "y");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn theta_join_matches_select_of_product() {
+        let a = nums("x", &[1, 2, 3]);
+        let b = nums("y", &[2, 3, 4]);
+        let p = Predicate::eq_attrs("x", "y");
+        let join = a.theta_join(&b, &p).unwrap();
+        let manual = a.product(&b).unwrap().select(&p).unwrap();
+        assert_eq!(join, manual);
+        assert_eq!(join.len(), 2);
+    }
+
+    #[test]
+    fn natural_join_on_common_attribute() {
+        let j = emp().natural_join(&dept()).unwrap();
+        assert_eq!(j.len(), 1); // only alice/cs matches
+        assert_eq!(j.schema().arity(), 3);
+        let t = j.iter().next().unwrap();
+        assert_eq!(t.get(0), &Value::str("alice"));
+        assert_eq!(t.get(2), &Value::str("sitterson"));
+    }
+
+    #[test]
+    fn natural_join_with_no_common_attrs_is_product() {
+        let a = nums("x", &[1, 2]);
+        let b = nums("y", &[7]);
+        assert_eq!(a.natural_join(&b).unwrap(), a.product(&b).unwrap());
+    }
+
+    #[test]
+    fn natural_join_rejects_domain_conflict() {
+        let a = nums("x", &[1]);
+        let schema = Schema::new(vec![("x", DomainType::Str)]).unwrap();
+        let b = SnapshotState::from_rows(schema, vec![vec![Value::str("1")]]).unwrap();
+        assert!(a.natural_join(&b).is_err());
+    }
+
+    #[test]
+    fn semijoin_and_antijoin_partition() {
+        let e = emp();
+        let semi = e.semijoin(&dept()).unwrap();
+        let anti = e.antijoin(&dept()).unwrap();
+        assert_eq!(semi.len(), 1);
+        assert_eq!(anti.len(), 1);
+        assert_eq!(semi.union(&anti).unwrap(), e);
+        assert!(semi.intersect(&anti).unwrap().is_empty());
+    }
+
+    #[test]
+    fn division_finds_universal_pairs() {
+        // enrolled(student, course) ÷ courses(course)
+        let enrolled_schema = Schema::new(vec![
+            ("student", DomainType::Str),
+            ("course", DomainType::Str),
+        ])
+        .unwrap();
+        let enrolled = SnapshotState::from_rows(
+            enrolled_schema,
+            vec![
+                vec![Value::str("ann"), Value::str("db")],
+                vec![Value::str("ann"), Value::str("os")],
+                vec![Value::str("ben"), Value::str("db")],
+            ],
+        )
+        .unwrap();
+        let courses_schema = Schema::new(vec![("course", DomainType::Str)]).unwrap();
+        let courses = SnapshotState::from_rows(
+            courses_schema,
+            vec![vec![Value::str("db")], vec![Value::str("os")]],
+        )
+        .unwrap();
+        let q = enrolled.divide(&courses).unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.iter().next().unwrap().get(0), &Value::str("ann"));
+    }
+
+    #[test]
+    fn division_by_empty_divisor_yields_all_candidates() {
+        let enrolled_schema = Schema::new(vec![
+            ("student", DomainType::Str),
+            ("course", DomainType::Str),
+        ])
+        .unwrap();
+        let enrolled = SnapshotState::from_rows(
+            enrolled_schema,
+            vec![vec![Value::str("ann"), Value::str("db")]],
+        )
+        .unwrap();
+        let courses = SnapshotState::empty(
+            Schema::new(vec![("course", DomainType::Str)]).unwrap(),
+        );
+        // Universally quantifying over the empty set keeps every candidate.
+        let q = enrolled.divide(&courses).unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn division_requires_proper_subset() {
+        let a = nums("x", &[1]);
+        assert!(a.divide(&a).is_err());
+        let b = nums("y", &[1]);
+        assert!(a.divide(&b).is_err());
+    }
+}

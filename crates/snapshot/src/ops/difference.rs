@@ -1,0 +1,76 @@
+//! Set difference (−).
+
+use crate::state::SnapshotState;
+use crate::Result;
+
+impl SnapshotState {
+    /// Set difference of two union-compatible states.
+    ///
+    /// `E₁ − E₂` contains the tuples of the left operand that do not
+    /// appear in the right operand.
+    pub fn difference(&self, other: &SnapshotState) -> Result<SnapshotState> {
+        self.schema().require_union_compatible(other.schema())?;
+        let tuples = self
+            .tuples()
+            .iter()
+            .filter(|t| !other.contains(t))
+            .cloned()
+            .collect();
+        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DomainType, Schema, SnapshotState, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("x", DomainType::Int)]).unwrap()
+    }
+
+    fn state(vals: &[i64]) -> SnapshotState {
+        SnapshotState::from_rows(schema(), vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    #[test]
+    fn difference_removes_common_tuples() {
+        assert_eq!(
+            state(&[1, 2, 3]).difference(&state(&[2, 4])).unwrap(),
+            state(&[1, 3])
+        );
+    }
+
+    #[test]
+    fn difference_with_empty_is_identity() {
+        let s = state(&[1, 2]);
+        assert_eq!(s.difference(&state(&[])).unwrap(), s);
+    }
+
+    #[test]
+    fn difference_with_self_is_empty() {
+        let s = state(&[1, 2]);
+        assert!(s.difference(&s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn difference_is_not_commutative() {
+        let (a, b) = (state(&[1, 2]), state(&[2, 3]));
+        assert_ne!(a.difference(&b).unwrap(), b.difference(&a).unwrap());
+    }
+
+    #[test]
+    fn difference_requires_compatibility() {
+        let other = Schema::new(vec![("y", DomainType::Int)]).unwrap();
+        assert!(state(&[1])
+            .difference(&SnapshotState::empty(other))
+            .is_err());
+    }
+
+    #[test]
+    fn intersection_via_double_difference() {
+        // R ∩ S = R − (R − S): the classical derivation holds.
+        let (r, s) = (state(&[1, 2, 3]), state(&[2, 3, 4]));
+        let via_diff = r.difference(&r.difference(&s).unwrap()).unwrap();
+        assert_eq!(via_diff, state(&[2, 3]));
+    }
+}

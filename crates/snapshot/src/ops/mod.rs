@@ -1,0 +1,20 @@
+//! The snapshot-algebra operators.
+//!
+//! The five primitives that define the snapshot algebra — union,
+//! difference, cartesian product, projection, and selection (paper §3.1:
+//! "the five operators that serve to define the snapshot algebra") — live
+//! in their own modules, one per operator. [`derived`] adds the standard
+//! operators definable from the primitives: intersection, theta/natural
+//! join, semijoin, antijoin, rename, and division.
+//!
+//! All operators are pure: they consume `&self` and produce a fresh
+//! [`crate::SnapshotState`], mirroring the paper's requirement that
+//! "evaluation of an expression on a specific database does not change
+//! that database".
+
+pub mod derived;
+pub mod difference;
+pub mod product;
+pub mod project;
+pub mod select;
+pub mod union;

@@ -1,0 +1,71 @@
+//! Cartesian product (×).
+
+use std::collections::BTreeSet;
+
+use crate::state::SnapshotState;
+use crate::Result;
+
+impl SnapshotState {
+    /// Cartesian product of two states with disjoint attribute names.
+    ///
+    /// `E₁ × E₂` contains the concatenation `t₁ · t₂` for every pair of
+    /// tuples from the operands. Use [`SnapshotState::rename`] first if
+    /// the operands share attribute names.
+    pub fn product(&self, other: &SnapshotState) -> Result<SnapshotState> {
+        let schema = self.schema().product(other.schema())?;
+        let mut tuples = BTreeSet::new();
+        for l in self.iter() {
+            for r in other.iter() {
+                tuples.insert(l.concat(r));
+            }
+        }
+        Ok(SnapshotState::from_checked(schema, tuples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DomainType, Schema, SnapshotState, Value};
+
+    fn xs(vals: &[i64]) -> SnapshotState {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    fn ys(vals: &[i64]) -> SnapshotState {
+        let schema = Schema::new(vec![("y", DomainType::Int)]).unwrap();
+        SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    #[test]
+    fn product_cardinality_multiplies() {
+        let p = xs(&[1, 2, 3]).product(&ys(&[10, 20])).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.schema().arity(), 2);
+    }
+
+    #[test]
+    fn product_with_empty_is_empty() {
+        assert!(xs(&[1, 2]).product(&ys(&[])).unwrap().is_empty());
+        assert!(xs(&[]).product(&ys(&[1])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn product_pairs_every_combination() {
+        let p = xs(&[1]).product(&ys(&[7])).unwrap();
+        let t = p.iter().next().unwrap();
+        assert_eq!(t.values(), &[Value::Int(1), Value::Int(7)]);
+    }
+
+    #[test]
+    fn product_rejects_name_clash() {
+        assert!(xs(&[1]).product(&xs(&[2])).is_err());
+    }
+
+    #[test]
+    fn product_attribute_order_is_left_then_right() {
+        let p = xs(&[1]).product(&ys(&[2])).unwrap();
+        assert_eq!(&*p.schema().attribute(0).name, "x");
+        assert_eq!(&*p.schema().attribute(1).name, "y");
+    }
+}

@@ -1,0 +1,84 @@
+//! Projection (π).
+
+use std::collections::BTreeSet;
+
+use crate::state::SnapshotState;
+use crate::Result;
+
+impl SnapshotState {
+    /// Projection `π_X(E)` onto the named attributes, in the order given.
+    ///
+    /// Duplicate result tuples collapse (set semantics). Fails on unknown
+    /// or repeated attribute names.
+    pub fn project(&self, attrs: &[impl AsRef<str>]) -> Result<SnapshotState> {
+        let (schema, indices) = self.schema().project(attrs)?;
+        let mut tuples = BTreeSet::new();
+        for t in self.iter() {
+            tuples.insert(t.project(&indices));
+        }
+        Ok(SnapshotState::from_checked(schema, tuples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DomainType, Schema, SnapshotState, Value};
+
+    fn emp() -> SnapshotState {
+        let schema = Schema::new(vec![
+            ("name", DomainType::Str),
+            ("dept", DomainType::Str),
+            ("sal", DomainType::Int),
+        ])
+        .unwrap();
+        SnapshotState::from_rows(
+            schema,
+            vec![
+                vec![Value::str("alice"), Value::str("cs"), Value::Int(100)],
+                vec![Value::str("bob"), Value::str("cs"), Value::Int(200)],
+                vec![Value::str("carol"), Value::str("ee"), Value::Int(100)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn projection_drops_attributes() {
+        let p = emp().project(&["name"]).unwrap();
+        assert_eq!(p.schema().arity(), 1);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn projection_collapses_duplicates() {
+        let p = emp().project(&["dept"]).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn projection_can_reorder() {
+        let p = emp().project(&["sal", "name"]).unwrap();
+        assert_eq!(&*p.schema().attribute(0).name, "sal");
+        let first = p.iter().next().unwrap();
+        assert_eq!(first.get(0), &Value::Int(100));
+    }
+
+    #[test]
+    fn projection_onto_full_scheme_is_identity() {
+        let e = emp();
+        let p = e.project(&["name", "dept", "sal"]).unwrap();
+        assert_eq!(p, e);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let p1 = emp().project(&["dept"]).unwrap();
+        let p2 = p1.project(&["dept"]).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn projection_rejects_unknown() {
+        assert!(emp().project(&["wage"]).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Selection (σ).
+
+use crate::predicate::Predicate;
+use crate::state::SnapshotState;
+use crate::Result;
+
+impl SnapshotState {
+    /// Selection `σ_F(E)`: the tuples satisfying predicate `F`.
+    ///
+    /// The predicate is validated against the state's scheme and compiled
+    /// once, then evaluated per tuple.
+    pub fn select(&self, predicate: &Predicate) -> Result<SnapshotState> {
+        let compiled = predicate.compile(self.schema())?;
+        let tuples = self
+            .tuples()
+            .iter()
+            .filter(|t| compiled.eval(t))
+            .cloned()
+            .collect();
+        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DomainType, Predicate, Schema, SnapshotState, Value};
+
+    fn emp() -> SnapshotState {
+        let schema = Schema::new(vec![("name", DomainType::Str), ("sal", DomainType::Int)])
+            .unwrap();
+        SnapshotState::from_rows(
+            schema,
+            vec![
+                vec![Value::str("alice"), Value::Int(100)],
+                vec![Value::str("bob"), Value::Int(200)],
+                vec![Value::str("carol"), Value::Int(300)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_filters() {
+        let s = emp().select(&Predicate::gt_const("sal", Value::Int(150))).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.schema(), emp().schema());
+    }
+
+    #[test]
+    fn select_true_is_identity() {
+        assert_eq!(emp().select(&Predicate::True).unwrap(), emp());
+    }
+
+    #[test]
+    fn select_false_is_empty() {
+        assert!(emp().select(&Predicate::False).unwrap().is_empty());
+    }
+
+    #[test]
+    fn select_commutes() {
+        // σ_F1(σ_F2(E)) = σ_F2(σ_F1(E)) — the commutativity the paper
+        // promises is preserved.
+        let f1 = Predicate::gt_const("sal", Value::Int(150));
+        let f2 = Predicate::lt_const("sal", Value::Int(250));
+        let a = emp().select(&f1).unwrap().select(&f2).unwrap();
+        let b = emp().select(&f2).unwrap().select(&f1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cascaded_select_equals_conjunction() {
+        let f1 = Predicate::gt_const("sal", Value::Int(150));
+        let f2 = Predicate::lt_const("sal", Value::Int(250));
+        let cascaded = emp().select(&f1).unwrap().select(&f2).unwrap();
+        let conj = emp().select(&f1.clone().and(f2)).unwrap();
+        assert_eq!(cascaded, conj);
+    }
+
+    #[test]
+    fn select_is_idempotent() {
+        let f = Predicate::gt_const("sal", Value::Int(150));
+        let once = emp().select(&f).unwrap();
+        assert_eq!(once.select(&f).unwrap(), once);
+    }
+
+    #[test]
+    fn select_validates_predicate() {
+        assert!(emp().select(&Predicate::eq_const("wage", Value::Int(1))).is_err());
+        assert!(emp().select(&Predicate::eq_const("sal", Value::str("x"))).is_err());
+    }
+}

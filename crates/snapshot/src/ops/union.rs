@@ -1,0 +1,73 @@
+//! Set union (∪).
+
+use crate::state::SnapshotState;
+use crate::Result;
+
+impl SnapshotState {
+    /// Set union of two union-compatible states.
+    ///
+    /// `E₁ ∪ E₂` contains every tuple in either operand; duplicates
+    /// collapse by the set semantics of states.
+    pub fn union(&self, other: &SnapshotState) -> Result<SnapshotState> {
+        self.schema().require_union_compatible(other.schema())?;
+        let mut tuples = self.tuples().clone();
+        for t in other.iter() {
+            tuples.insert(t.clone());
+        }
+        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DomainType, Schema, SnapshotState, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("x", DomainType::Int)]).unwrap()
+    }
+
+    fn state(vals: &[i64]) -> SnapshotState {
+        SnapshotState::from_rows(schema(), vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    #[test]
+    fn union_merges_and_deduplicates() {
+        let u = state(&[1, 2]).union(&state(&[2, 3])).unwrap();
+        assert_eq!(u, state(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let s = state(&[1, 2]);
+        assert_eq!(s.union(&state(&[])).unwrap(), s);
+        assert_eq!(state(&[]).union(&s).unwrap(), s);
+    }
+
+    #[test]
+    fn union_is_commutative() {
+        let (a, b) = (state(&[1, 5]), state(&[5, 9]));
+        assert_eq!(a.union(&b).unwrap(), b.union(&a).unwrap());
+    }
+
+    #[test]
+    fn union_is_associative() {
+        let (a, b, c) = (state(&[1]), state(&[2]), state(&[3]));
+        assert_eq!(
+            a.union(&b).unwrap().union(&c).unwrap(),
+            a.union(&b.union(&c).unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let a = state(&[1, 2]);
+        assert_eq!(a.union(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn union_requires_compatibility() {
+        let other = Schema::new(vec![("y", DomainType::Int)]).unwrap();
+        let o = SnapshotState::empty(other);
+        assert!(state(&[1]).union(&o).is_err());
+    }
+}

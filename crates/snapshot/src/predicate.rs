@@ -1,0 +1,471 @@
+//! The boolean-expression domain 𝓕 used by selection.
+//!
+//! The paper defines 𝓕 as "boolean expressions of elements from the
+//! domains IDENTIFIER and STRING, the relational operators, and the
+//! logical operators". We generalize STRING to any [`Value`] constant and
+//! provide the six relational comparisons plus ∧, ∨, ¬ and the constants
+//! true/false.
+//!
+//! Predicates are *validated* against a scheme (attribute existence and
+//! domain compatibility) before evaluation; a validated predicate can be
+//! [compiled](Predicate::compile) to a [`CompiledPredicate`] whose
+//! evaluation is infallible and index-based (no name lookups per tuple).
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::domain::DomainType;
+use crate::error::SnapshotError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// One side of a comparison: an attribute reference or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// An attribute of the operand state, by name.
+    Attr(Arc<str>),
+    /// A literal constant.
+    Const(Value),
+}
+
+impl Operand {
+    /// Convenience constructor for attribute operands.
+    pub fn attr(name: impl AsRef<str>) -> Operand {
+        Operand::Attr(Arc::from(name.as_ref()))
+    }
+
+    /// The domain the operand will produce under `schema`.
+    fn domain(&self, schema: &Schema) -> Result<DomainType> {
+        match self {
+            Operand::Attr(name) => Ok(schema.attribute(schema.require(name)?).domain),
+            Operand::Const(v) => Ok(v.domain()),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Attr(a) => write!(f, "{a}"),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// The six relational comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompOp {
+    /// Applies the comparison to two values of the same domain.
+    pub fn apply(self, l: &Value, r: &Value) -> bool {
+        match self {
+            CompOp::Eq => l == r,
+            CompOp::Ne => l != r,
+            CompOp::Lt => l < r,
+            CompOp::Le => l <= r,
+            CompOp::Gt => l > r,
+            CompOp::Ge => l >= r,
+        }
+    }
+
+    /// The logically negated comparison (used by predicate simplification).
+    pub fn negate(self) -> CompOp {
+        match self {
+            CompOp::Eq => CompOp::Ne,
+            CompOp::Ne => CompOp::Eq,
+            CompOp::Lt => CompOp::Ge,
+            CompOp::Le => CompOp::Gt,
+            CompOp::Gt => CompOp::Le,
+            CompOp::Ge => CompOp::Lt,
+        }
+    }
+
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CompOp {
+        match self {
+            CompOp::Lt => CompOp::Gt,
+            CompOp::Le => CompOp::Ge,
+            CompOp::Gt => CompOp::Lt,
+            CompOp::Ge => CompOp::Le,
+            other => other,
+        }
+    }
+
+    /// Surface-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompOp::Eq => "=",
+            CompOp::Ne => "<>",
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Gt => ">",
+            CompOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A boolean expression over one state's attributes (the domain 𝓕).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Predicate {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A comparison between two operands.
+    Comp(Operand, CompOp, Operand),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `attr = const`
+    pub fn eq_const(attr: impl AsRef<str>, v: Value) -> Predicate {
+        Predicate::Comp(Operand::attr(attr), CompOp::Eq, Operand::Const(v))
+    }
+
+    /// `attr < const`
+    pub fn lt_const(attr: impl AsRef<str>, v: Value) -> Predicate {
+        Predicate::Comp(Operand::attr(attr), CompOp::Lt, Operand::Const(v))
+    }
+
+    /// `attr > const`
+    pub fn gt_const(attr: impl AsRef<str>, v: Value) -> Predicate {
+        Predicate::Comp(Operand::attr(attr), CompOp::Gt, Operand::Const(v))
+    }
+
+    /// `left_attr = right_attr` (the equijoin predicate shape).
+    pub fn eq_attrs(l: impl AsRef<str>, r: impl AsRef<str>) -> Predicate {
+        Predicate::Comp(Operand::attr(l), CompOp::Eq, Operand::attr(r))
+    }
+
+    /// `self ∧ other`
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `¬self`
+    #[allow(clippy::should_implement_trait)] // deliberate: mirrors the paper's ¬, returns Self
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// The set of attribute names referenced by this predicate.
+    pub fn attributes(&self) -> Vec<Arc<str>> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut Vec<Arc<str>>) {
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::Comp(l, _, r) => {
+                for op in [l, r] {
+                    if let Operand::Attr(a) = op {
+                        if !out.iter().any(|x| x == a) {
+                            out.push(a.clone());
+                        }
+                    }
+                }
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+            Predicate::Not(a) => a.collect_attrs(out),
+        }
+    }
+
+    /// Validates this predicate against `schema`: every referenced
+    /// attribute must exist, and each comparison's operands must share a
+    /// domain.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        match self {
+            Predicate::True | Predicate::False => Ok(()),
+            Predicate::Comp(l, op, r) => {
+                let ld = l.domain(schema)?;
+                let rd = r.domain(schema)?;
+                if ld != rd {
+                    return Err(SnapshotError::PredicateTypeMismatch {
+                        comparison: format!("{l} {op} {r}"),
+                        left: ld,
+                        right: rd,
+                    });
+                }
+                Ok(())
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.validate(schema)?;
+                b.validate(schema)
+            }
+            Predicate::Not(a) => a.validate(schema),
+        }
+    }
+
+    /// Validates and compiles this predicate for fast repeated evaluation
+    /// against tuples of `schema`.
+    pub fn compile(&self, schema: &Schema) -> Result<CompiledPredicate> {
+        self.validate(schema)?;
+        Ok(CompiledPredicate {
+            node: self.compile_node(schema),
+        })
+    }
+
+    fn compile_node(&self, schema: &Schema) -> CompiledNode {
+        match self {
+            Predicate::True => CompiledNode::Const(true),
+            Predicate::False => CompiledNode::Const(false),
+            Predicate::Comp(l, op, r) => CompiledNode::Comp(
+                compile_operand(l, schema),
+                *op,
+                compile_operand(r, schema),
+            ),
+            Predicate::And(a, b) => CompiledNode::And(
+                Box::new(a.compile_node(schema)),
+                Box::new(b.compile_node(schema)),
+            ),
+            Predicate::Or(a, b) => CompiledNode::Or(
+                Box::new(a.compile_node(schema)),
+                Box::new(b.compile_node(schema)),
+            ),
+            Predicate::Not(a) => CompiledNode::Not(Box::new(a.compile_node(schema))),
+        }
+    }
+
+    /// One-off evaluation (validates first); use [`Predicate::compile`]
+    /// when evaluating against many tuples.
+    pub fn eval(&self, schema: &Schema, tuple: &Tuple) -> Result<bool> {
+        Ok(self.compile(schema)?.eval(tuple))
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
+            Predicate::Comp(l, op, r) => write!(f, "{l} {op} {r}"),
+            Predicate::And(a, b) => write!(f, "({a} and {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} or {b})"),
+            Predicate::Not(a) => write!(f, "(not {a})"),
+        }
+    }
+}
+
+fn compile_operand(op: &Operand, schema: &Schema) -> CompiledOperand {
+    match op {
+        Operand::Attr(name) => CompiledOperand::Attr(
+            schema
+                .index_of(name)
+                .expect("operand validated before compilation"),
+        ),
+        Operand::Const(v) => CompiledOperand::Const(v.clone()),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CompiledOperand {
+    Attr(usize),
+    Const(Value),
+}
+
+impl CompiledOperand {
+    fn resolve<'a>(&'a self, tuple: &'a Tuple) -> &'a Value {
+        match self {
+            CompiledOperand::Attr(i) => tuple.get(*i),
+            CompiledOperand::Const(v) => v,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CompiledNode {
+    Const(bool),
+    Comp(CompiledOperand, CompOp, CompiledOperand),
+    And(Box<CompiledNode>, Box<CompiledNode>),
+    Or(Box<CompiledNode>, Box<CompiledNode>),
+    Not(Box<CompiledNode>),
+}
+
+impl CompiledNode {
+    fn eval(&self, tuple: &Tuple) -> bool {
+        match self {
+            CompiledNode::Const(b) => *b,
+            CompiledNode::Comp(l, op, r) => op.apply(l.resolve(tuple), r.resolve(tuple)),
+            CompiledNode::And(a, b) => a.eval(tuple) && b.eval(tuple),
+            CompiledNode::Or(a, b) => a.eval(tuple) || b.eval(tuple),
+            CompiledNode::Not(a) => !a.eval(tuple),
+        }
+    }
+}
+
+/// A predicate resolved against a fixed scheme; evaluation is infallible.
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    node: CompiledNode,
+}
+
+impl CompiledPredicate {
+    /// Evaluates against a tuple of the scheme the predicate was compiled
+    /// for.
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        self.node.eval(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("name", DomainType::Str),
+            ("sal", DomainType::Int),
+            ("mgr", DomainType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn alice() -> Tuple {
+        Tuple::new(vec![Value::str("alice"), Value::Int(100), Value::str("bob")])
+    }
+
+    #[test]
+    fn comparison_semantics() {
+        assert!(CompOp::Eq.apply(&Value::Int(1), &Value::Int(1)));
+        assert!(CompOp::Lt.apply(&Value::Int(1), &Value::Int(2)));
+        assert!(CompOp::Ge.apply(&Value::str("b"), &Value::str("a")));
+        assert!(!CompOp::Ne.apply(&Value::Bool(true), &Value::Bool(true)));
+    }
+
+    #[test]
+    fn negate_and_flip_are_involutions() {
+        for op in [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn flip_matches_swapped_operands() {
+        let (a, b) = (Value::Int(1), Value::Int(2));
+        for op in [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge] {
+            assert_eq!(op.apply(&a, &b), op.flip().apply(&b, &a));
+        }
+    }
+
+    #[test]
+    fn eval_comparisons() {
+        let s = schema();
+        assert!(Predicate::eq_const("name", Value::str("alice"))
+            .eval(&s, &alice())
+            .unwrap());
+        assert!(Predicate::gt_const("sal", Value::Int(50))
+            .eval(&s, &alice())
+            .unwrap());
+        assert!(!Predicate::lt_const("sal", Value::Int(50))
+            .eval(&s, &alice())
+            .unwrap());
+    }
+
+    #[test]
+    fn eval_attr_to_attr() {
+        let s = schema();
+        let p = Predicate::eq_attrs("name", "mgr");
+        assert!(!p.eval(&s, &alice()).unwrap());
+        let t = Tuple::new(vec![Value::str("bob"), Value::Int(1), Value::str("bob")]);
+        assert!(p.eval(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn eval_connectives() {
+        let s = schema();
+        let p = Predicate::gt_const("sal", Value::Int(50))
+            .and(Predicate::eq_const("name", Value::str("alice")));
+        assert!(p.eval(&s, &alice()).unwrap());
+        let q = Predicate::gt_const("sal", Value::Int(500))
+            .or(Predicate::eq_const("name", Value::str("alice")));
+        assert!(q.eval(&s, &alice()).unwrap());
+        assert!(!q.clone().not().eval(&s, &alice()).unwrap());
+        assert!(Predicate::True.eval(&s, &alice()).unwrap());
+        assert!(!Predicate::False.eval(&s, &alice()).unwrap());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_attribute() {
+        let p = Predicate::eq_const("wage", Value::Int(1));
+        assert!(matches!(
+            p.validate(&schema()),
+            Err(SnapshotError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_domain_mismatch() {
+        let p = Predicate::eq_const("sal", Value::str("high"));
+        assert!(matches!(
+            p.validate(&schema()),
+            Err(SnapshotError::PredicateTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn attributes_are_deduplicated() {
+        let p = Predicate::gt_const("sal", Value::Int(1)).and(Predicate::lt_const(
+            "sal",
+            Value::Int(10),
+        ));
+        let attrs = p.attributes();
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(&*attrs[0], "sal");
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let p = Predicate::gt_const("sal", Value::Int(50))
+            .and(Predicate::eq_const("name", Value::str("a")).not());
+        assert_eq!(p.to_string(), "(sal > 50 and (not name = \"a\"))");
+    }
+
+    #[test]
+    fn compiled_matches_interpreted() {
+        let s = schema();
+        let p = Predicate::gt_const("sal", Value::Int(50))
+            .or(Predicate::eq_attrs("name", "mgr").not());
+        let c = p.compile(&s).unwrap();
+        assert_eq!(c.eval(&alice()), p.eval(&s, &alice()).unwrap());
+    }
+}

@@ -1,0 +1,225 @@
+//! Snapshot states: the semantic domain SNAPSHOT STATE.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// A snapshot state: a finite set of tuples over a scheme.
+///
+/// This is the paper's semantic domain *SNAPSHOT STATE* — "the domain of
+/// all valid snapshot states, as defined in the snapshot algebra
+/// \[Maier 1983\]". Tuple sets are kept in a `BTreeSet` so that iteration
+/// order (and hence display, serialization, and test output) is
+/// deterministic.
+///
+/// The tuple set is reference-counted: cloning a state — the basic move of
+/// the paper's persistent, full-copy reference semantics — is O(1), and
+/// mutation copies on write.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotState {
+    schema: Schema,
+    tuples: Arc<BTreeSet<Tuple>>,
+}
+
+impl SnapshotState {
+    /// The empty state over `schema`.
+    pub fn empty(schema: Schema) -> SnapshotState {
+        SnapshotState {
+            schema,
+            tuples: Arc::new(BTreeSet::new()),
+        }
+    }
+
+    /// Builds a state from tuples, validating each against the scheme.
+    pub fn new(schema: Schema, tuples: impl IntoIterator<Item = Tuple>) -> Result<SnapshotState> {
+        let mut set = BTreeSet::new();
+        for t in tuples {
+            t.check(&schema)?;
+            set.insert(t);
+        }
+        Ok(SnapshotState {
+            schema,
+            tuples: Arc::new(set),
+        })
+    }
+
+    /// Builds a state from rows of raw values.
+    pub fn from_rows(
+        schema: Schema,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<SnapshotState> {
+        SnapshotState::new(schema, rows.into_iter().map(Tuple::new))
+    }
+
+    /// Internal constructor for operator results whose tuples are known
+    /// valid by construction.
+    pub(crate) fn from_checked(schema: Schema, tuples: BTreeSet<Tuple>) -> SnapshotState {
+        SnapshotState {
+            schema,
+            tuples: Arc::new(tuples),
+        }
+    }
+
+    /// The state's scheme.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the state has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Whether `tuple` is a member of the state.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterates over the tuples in deterministic (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The underlying tuple set.
+    pub fn tuples(&self) -> &BTreeSet<Tuple> {
+        &self.tuples
+    }
+
+    /// A copy of this state with `tuple` inserted (checked against the
+    /// scheme).
+    pub fn with_tuple(&self, tuple: Tuple) -> Result<SnapshotState> {
+        tuple.check(&self.schema)?;
+        let mut set = (*self.tuples).clone();
+        set.insert(tuple);
+        Ok(SnapshotState::from_checked(self.schema.clone(), set))
+    }
+
+    /// A copy of this state with `tuple` removed.
+    pub fn without_tuple(&self, tuple: &Tuple) -> SnapshotState {
+        let mut set = (*self.tuples).clone();
+        set.remove(tuple);
+        SnapshotState::from_checked(self.schema.clone(), set)
+    }
+
+    /// Approximate footprint in bytes for space accounting (experiment E3).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<SnapshotState>()
+            + self.tuples.iter().map(Tuple::size_bytes).sum::<usize>()
+    }
+}
+
+impl fmt::Display for SnapshotState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {{", self.schema)?;
+        let mut first = true;
+        for t in self.tuples.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, " {t}")?;
+            first = false;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("name", DomainType::Str), ("sal", DomainType::Int)]).unwrap()
+    }
+
+    fn state() -> SnapshotState {
+        SnapshotState::from_rows(
+            schema(),
+            vec![
+                vec![Value::str("alice"), Value::Int(100)],
+                vec![Value::str("bob"), Value::Int(200)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_rows_collapse() {
+        let s = SnapshotState::from_rows(
+            schema(),
+            vec![
+                vec![Value::str("alice"), Value::Int(100)],
+                vec![Value::str("alice"), Value::Int(100)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn construction_validates_rows() {
+        let err = SnapshotState::from_rows(schema(), vec![vec![Value::Int(1)]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn membership_and_iteration_order() {
+        let s = state();
+        assert!(s.contains(&Tuple::new(vec![Value::str("bob"), Value::Int(200)])));
+        let names: Vec<_> = s
+            .iter()
+            .map(|t| t.get(0).as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["alice", "bob"]);
+    }
+
+    #[test]
+    fn with_and_without_tuple_are_persistent() {
+        let s = state();
+        let carol = Tuple::new(vec![Value::str("carol"), Value::Int(50)]);
+        let s2 = s.with_tuple(carol.clone()).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s2.len(), 3);
+        let s3 = s2.without_tuple(&carol);
+        assert_eq!(s3, s);
+    }
+
+    #[test]
+    fn with_tuple_validates() {
+        let s = state();
+        assert!(s.with_tuple(Tuple::new(vec![Value::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_sharing() {
+        let s = state();
+        let t = state();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn display_form() {
+        let s = SnapshotState::from_rows(schema(), vec![vec![Value::str("a"), Value::Int(1)]])
+            .unwrap();
+        assert_eq!(s.to_string(), "(name: str, sal: int) { (\"a\", 1) }");
+    }
+
+    #[test]
+    fn empty_state() {
+        let s = SnapshotState::empty(schema());
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

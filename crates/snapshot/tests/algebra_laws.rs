@@ -1,0 +1,253 @@
+//! Property-based tests of the classical snapshot-algebra laws.
+//!
+//! The paper's central compatibility claim is that adding transaction time
+//! "preserve\[s\] all the properties of the snapshot algebra (e.g.,
+//! commutativity of select, distributivity of select over join)". These
+//! properties must therefore hold of our substrate; the optimizer crate
+//! relies on every one of them.
+
+use proptest::prelude::*;
+
+use txtime_snapshot::generate::{self, GenConfig};
+use txtime_snapshot::{Predicate, Schema, SnapshotState};
+
+/// A deterministic schema shared by generated operands so that
+/// union-compatibility holds by construction.
+fn fixed_schema() -> Schema {
+    use txtime_snapshot::DomainType::*;
+    Schema::new(vec![("a0", Int), ("a1", Str), ("a2", Bool)]).unwrap()
+}
+
+fn arb_state() -> impl Strategy<Value = SnapshotState> {
+    any::<u64>().prop_map(|seed| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg = GenConfig {
+            arity: 3,
+            cardinality: 24,
+            int_range: 12,
+            str_pool: 6,
+        };
+        generate::random_state(&mut rng, &fixed_schema(), &cfg)
+    })
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    any::<u64>().prop_map(|seed| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg = GenConfig {
+            int_range: 12,
+            str_pool: 6,
+            ..GenConfig::default()
+        };
+        generate::random_predicate(&mut rng, &fixed_schema(), &cfg, 2)
+    })
+}
+
+/// A disjoint-schema operand for product laws.
+fn arb_right_state() -> impl Strategy<Value = SnapshotState> {
+    any::<u64>().prop_map(|seed| {
+        use rand::SeedableRng;
+        use txtime_snapshot::DomainType::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let schema = Schema::new(vec![("b0", Int), ("b1", Str)]).unwrap();
+        let cfg = GenConfig {
+            arity: 2,
+            cardinality: 12,
+            int_range: 12,
+            str_pool: 6,
+        };
+        generate::random_state(&mut rng, &schema, &cfg)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_commutative(a in arb_state(), b in arb_state()) {
+        prop_assert_eq!(a.union(&b).unwrap(), b.union(&a).unwrap());
+    }
+
+    #[test]
+    fn union_associative(a in arb_state(), b in arb_state(), c in arb_state()) {
+        prop_assert_eq!(
+            a.union(&b).unwrap().union(&c).unwrap(),
+            a.union(&b.union(&c).unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn union_idempotent(a in arb_state()) {
+        prop_assert_eq!(a.union(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn intersect_commutative(a in arb_state(), b in arb_state()) {
+        prop_assert_eq!(a.intersect(&b).unwrap(), b.intersect(&a).unwrap());
+    }
+
+    #[test]
+    fn intersect_equals_double_difference(a in arb_state(), b in arb_state()) {
+        let lhs = a.intersect(&b).unwrap();
+        let rhs = a.difference(&a.difference(&b).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn difference_absorbs_union(a in arb_state(), b in arb_state()) {
+        // (A ∪ B) − B = A − B
+        let lhs = a.union(&b).unwrap().difference(&b).unwrap();
+        let rhs = a.difference(&b).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn select_commutes(a in arb_state(), f in arb_predicate(), g in arb_predicate()) {
+        let lhs = a.select(&f).unwrap().select(&g).unwrap();
+        let rhs = a.select(&g).unwrap().select(&f).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn select_cascade_is_conjunction(a in arb_state(), f in arb_predicate(), g in arb_predicate()) {
+        let lhs = a.select(&f).unwrap().select(&g).unwrap();
+        let rhs = a.select(&f.clone().and(g.clone())).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn select_distributes_over_union(a in arb_state(), b in arb_state(), f in arb_predicate()) {
+        let lhs = a.union(&b).unwrap().select(&f).unwrap();
+        let rhs = a.select(&f).unwrap().union(&b.select(&f).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn select_distributes_over_difference(a in arb_state(), b in arb_state(), f in arb_predicate()) {
+        let lhs = a.difference(&b).unwrap().select(&f).unwrap();
+        let rhs = a.select(&f).unwrap().difference(&b.select(&f).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn select_pushes_through_product(a in arb_state(), b in arb_right_state(), f in arb_predicate()) {
+        // f references only left attributes, so σ_f(A × B) = σ_f(A) × B —
+        // the "distributivity of select over join" the paper cites.
+        let lhs = a.product(&b).unwrap().select(&f).unwrap();
+        let rhs = a.select(&f).unwrap().product(&b).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn select_negation_partitions(a in arb_state(), f in arb_predicate()) {
+        let sel = a.select(&f).unwrap();
+        let neg = a.select(&f.clone().not()).unwrap();
+        prop_assert_eq!(sel.union(&neg).unwrap(), a.clone());
+        prop_assert!(sel.intersect(&neg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn de_morgan_for_predicates(a in arb_state(), f in arb_predicate(), g in arb_predicate()) {
+        let lhs = a.select(&f.clone().and(g.clone()).not()).unwrap();
+        let rhs = a.select(&f.clone().not().or(g.clone().not())).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn projection_distributes_over_union(a in arb_state(), b in arb_state()) {
+        let attrs = ["a0", "a1"];
+        let lhs = a.union(&b).unwrap().project(&attrs).unwrap();
+        let rhs = a.project(&attrs).unwrap().union(&b.project(&attrs).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn projection_cascade_absorbs(a in arb_state()) {
+        // π_{a0}(π_{a0,a1}(A)) = π_{a0}(A)
+        let lhs = a.project(&["a0", "a1"]).unwrap().project(&["a0"]).unwrap();
+        let rhs = a.project(&["a0"]).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn select_then_project_when_predicate_survives(a in arb_state(), f in arb_predicate()) {
+        // If f only mentions projected attributes, π and σ interchange.
+        let attrs = ["a0", "a1", "a2"];
+        let lhs = a.select(&f).unwrap().project(&attrs).unwrap();
+        let rhs = a.project(&attrs).unwrap().select(&f).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn product_distributes_over_union(a in arb_state(), b in arb_state(), c in arb_right_state()) {
+        let lhs = a.union(&b).unwrap().product(&c).unwrap();
+        let rhs = a.product(&c).unwrap().union(&b.product(&c).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn semijoin_antijoin_partition(a in arb_state(), b in arb_state()) {
+        let semi = a.semijoin(&b).unwrap();
+        let anti = a.antijoin(&b).unwrap();
+        prop_assert_eq!(semi.union(&anti).unwrap(), a.clone());
+        prop_assert!(semi.intersect(&anti).unwrap().is_empty());
+    }
+
+    #[test]
+    fn natural_join_with_self_is_identity(a in arb_state()) {
+        prop_assert_eq!(a.natural_join(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn division_matches_classical_derivation(a in arb_state(), b in arb_right_state()) {
+        // R ÷ S = π_Q(R) − π_Q((π_Q(R) × S) − R), over R = A × B with
+        // divisor S ⊆ π_B-attrs(R): build R as a product so the schemes
+        // line up by construction.
+        let r = a.product(&b).unwrap();
+        let divisor = b.clone();
+        let q_attrs: Vec<String> = a
+            .schema()
+            .attributes()
+            .iter()
+            .map(|at| at.name.to_string())
+            .collect();
+
+        let direct = r.divide(&divisor).unwrap();
+
+        let pq = r.project(&q_attrs).unwrap();
+        let recombined = pq.product(&divisor).unwrap();
+        // Reorder recombined to r's attribute order before the difference.
+        let r_order: Vec<String> = r
+            .schema()
+            .attributes()
+            .iter()
+            .map(|at| at.name.to_string())
+            .collect();
+        let missing = recombined
+            .project(&r_order)
+            .unwrap()
+            .difference(&r)
+            .unwrap();
+        let derived = pq
+            .difference(&missing.project(&q_attrs).unwrap())
+            .unwrap();
+        prop_assert_eq!(direct, derived);
+    }
+
+    #[test]
+    fn theta_join_is_select_of_product(a in arb_state(), b in arb_right_state(), f in arb_predicate()) {
+        // With f over left attributes only, ⋈_f = σ_f ∘ ×.
+        let lhs = a.theta_join(&b, &f).unwrap();
+        let rhs = a.product(&b).unwrap().select(&f).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn rename_round_trips(a in arb_state()) {
+        let renamed = a.rename("a0", "zz").unwrap();
+        prop_assert!(renamed.schema().contains("zz"));
+        prop_assert_eq!(renamed.rename("zz", "a0").unwrap(), a);
+    }
+}

@@ -1,0 +1,137 @@
+//! The storage-backend abstraction.
+
+use std::fmt;
+
+use txtime_core::{StateValue, TransactionNumber};
+
+/// How often a delta-based store materializes a full checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// Never checkpoint: one base state, deltas forever.
+    Never,
+    /// A full state every `k` versions (k ≥ 1).
+    EveryK(usize),
+}
+
+impl CheckpointPolicy {
+    /// Whether version number `index` (0-based) should be a checkpoint.
+    pub fn is_checkpoint(self, index: usize) -> bool {
+        match self {
+            CheckpointPolicy::Never => index == 0,
+            CheckpointPolicy::EveryK(k) => index.is_multiple_of(k.max(1)),
+        }
+    }
+}
+
+/// A physical representation of one relation's state sequence.
+///
+/// The contract — checked by the differential tests in [`crate::equiv`] —
+/// is FINDSTATE's: `state_at(tx)` returns the state of the version with
+/// the largest transaction number ≤ `tx`, or `None` before the first
+/// version.
+pub trait RollbackStore: Send {
+    /// Installs a new current state committed at `tx`. Transaction numbers
+    /// must be presented in strictly increasing order.
+    fn append(&mut self, state: &StateValue, tx: TransactionNumber);
+
+    /// FINDSTATE: the state current at `tx`.
+    fn state_at(&self, tx: TransactionNumber) -> Option<StateValue>;
+
+    /// The most recent state, if any.
+    fn current(&self) -> Option<StateValue>;
+
+    /// Number of versions stored.
+    fn version_count(&self) -> usize;
+
+    /// The transaction number of the first version, if any.
+    fn first_tx(&self) -> Option<TransactionNumber>;
+
+    /// The transaction number of the most recent version, if any.
+    fn last_tx(&self) -> Option<TransactionNumber>;
+
+    /// Approximate logical footprint in bytes (experiment E3).
+    fn space_bytes(&self) -> usize;
+
+    /// The commit transaction numbers of every stored version, ascending.
+    fn version_txs(&self) -> Vec<TransactionNumber>;
+
+    /// Discards every version strictly older than the version current at
+    /// `tx` (the floor version itself is retained, so `state_at(tx)` is
+    /// unchanged at and after the floor). Returns the number of versions
+    /// dropped; a `tx` before the first version is a no-op.
+    fn truncate_before(&mut self, tx: TransactionNumber) -> usize;
+
+    /// The backend's display name.
+    fn kind(&self) -> BackendKind;
+}
+
+/// The available backend families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// [`crate::FullCopyStore`]
+    FullCopy,
+    /// [`crate::ForwardDeltaStore`]
+    ForwardDelta,
+    /// [`crate::ReverseDeltaStore`]
+    ReverseDelta,
+    /// [`crate::TupleTimestampStore`]
+    TupleTimestamp,
+}
+
+impl BackendKind {
+    /// All backend kinds, for sweeps.
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::FullCopy,
+        BackendKind::ForwardDelta,
+        BackendKind::ReverseDelta,
+        BackendKind::TupleTimestamp,
+    ];
+
+    /// Instantiates an empty store of this kind (forward-delta stores use
+    /// the given checkpoint policy; others ignore it).
+    pub fn new_store(self, checkpoints: CheckpointPolicy) -> Box<dyn RollbackStore> {
+        match self {
+            BackendKind::FullCopy => Box::new(crate::FullCopyStore::new()),
+            BackendKind::ForwardDelta => Box::new(crate::ForwardDeltaStore::new(checkpoints)),
+            BackendKind::ReverseDelta => Box::new(crate::ReverseDeltaStore::new()),
+            BackendKind::TupleTimestamp => Box::new(crate::TupleTimestampStore::new()),
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendKind::FullCopy => "full-copy",
+            BackendKind::ForwardDelta => "forward-delta",
+            BackendKind::ReverseDelta => "reverse-delta",
+            BackendKind::TupleTimestamp => "tuple-timestamp",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_policy() {
+        let p = CheckpointPolicy::EveryK(4);
+        assert!(p.is_checkpoint(0));
+        assert!(!p.is_checkpoint(3));
+        assert!(p.is_checkpoint(4));
+        assert!(p.is_checkpoint(8));
+        assert!(CheckpointPolicy::Never.is_checkpoint(0));
+        assert!(!CheckpointPolicy::Never.is_checkpoint(100));
+    }
+
+    #[test]
+    fn backend_kinds_instantiate() {
+        for k in BackendKind::ALL {
+            let s = k.new_store(CheckpointPolicy::EveryK(8));
+            assert_eq!(s.version_count(), 0);
+            assert_eq!(s.kind(), k);
+            assert!(s.current().is_none());
+        }
+    }
+}

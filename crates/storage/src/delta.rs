@@ -1,0 +1,222 @@
+//! Deltas between consecutive states.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use txtime_core::StateValue;
+use txtime_historical::{HistoricalState, TemporalElement};
+use txtime_snapshot::{SnapshotState, Tuple};
+
+/// The difference between two states of the same kind.
+///
+/// A delta is directional: `delta(a, b).apply(a) == b`. Schema changes are
+/// handled by the `Reschema` variant, which simply carries the new state —
+/// scheme evolution is rare, and a full copy at scheme boundaries is the
+/// standard trick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StateDelta {
+    /// Tuples added and removed between two snapshot states.
+    Snapshot {
+        /// Tuples present in the new state only.
+        added: Vec<Tuple>,
+        /// Tuples present in the old state only.
+        removed: Vec<Tuple>,
+    },
+    /// Entries upserted (inserted or revalued) and removed between two
+    /// historical states.
+    Historical {
+        /// Tuples whose valid time changed or that are new, with their
+        /// new valid time.
+        upserted: Vec<(Tuple, TemporalElement)>,
+        /// Tuples absent from the new state.
+        removed: Vec<Tuple>,
+    },
+    /// A scheme (or state-kind) boundary: the new state verbatim.
+    Reschema(Box<StateValue>),
+}
+
+impl StateDelta {
+    /// Computes the delta carrying `from` to `to`.
+    pub fn between(from: &StateValue, to: &StateValue) -> StateDelta {
+        match (from, to) {
+            (StateValue::Snapshot(a), StateValue::Snapshot(b)) if a.schema() == b.schema() => {
+                let added = b
+                    .iter()
+                    .filter(|t| !a.contains(t))
+                    .cloned()
+                    .collect();
+                let removed = a
+                    .iter()
+                    .filter(|t| !b.contains(t))
+                    .cloned()
+                    .collect();
+                StateDelta::Snapshot { added, removed }
+            }
+            (StateValue::Historical(a), StateValue::Historical(b))
+                if a.schema() == b.schema() =>
+            {
+                let upserted = b
+                    .iter()
+                    .filter(|(t, e)| a.valid_time(t) != Some(e))
+                    .map(|(t, e)| (t.clone(), e.clone()))
+                    .collect();
+                let removed = a
+                    .iter()
+                    .filter(|(t, _)| b.valid_time(t).is_none())
+                    .map(|(t, _)| t.clone())
+                    .collect();
+                StateDelta::Historical { upserted, removed }
+            }
+            _ => StateDelta::Reschema(Box::new(to.clone())),
+        }
+    }
+
+    /// Applies the delta to `base`, producing the target state.
+    ///
+    /// Panics if the delta does not match the base's kind — deltas are
+    /// internal to the stores, which construct them pairwise.
+    pub fn apply(&self, base: &StateValue) -> StateValue {
+        match (self, base) {
+            (StateDelta::Snapshot { added, removed }, StateValue::Snapshot(s)) => {
+                let mut tuples = s.tuples().clone();
+                for t in removed {
+                    tuples.remove(t);
+                }
+                for t in added {
+                    tuples.insert(t.clone());
+                }
+                StateValue::Snapshot(
+                    SnapshotState::new(s.schema().clone(), tuples)
+                        .expect("delta preserves tuple validity"),
+                )
+            }
+            (StateDelta::Historical { upserted, removed }, StateValue::Historical(h)) => {
+                let mut map: BTreeMap<Tuple, TemporalElement> = h.entries().clone();
+                for t in removed {
+                    map.remove(t);
+                }
+                for (t, e) in upserted {
+                    map.insert(t.clone(), e.clone());
+                }
+                StateValue::Historical(
+                    HistoricalState::new(h.schema().clone(), map)
+                        .expect("delta preserves entry validity"),
+                )
+            }
+            (StateDelta::Reschema(s), _) => (**s).clone(),
+            _ => panic!("delta kind does not match base state kind"),
+        }
+    }
+
+    /// Number of changed tuples/entries carried by the delta.
+    pub fn change_count(&self) -> usize {
+        match self {
+            StateDelta::Snapshot { added, removed } => added.len() + removed.len(),
+            StateDelta::Historical { upserted, removed } => upserted.len() + removed.len(),
+            StateDelta::Reschema(s) => s.len(),
+        }
+    }
+
+    /// Approximate footprint in bytes for space accounting.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            StateDelta::Snapshot { added, removed } => {
+                added.iter().chain(removed).map(Tuple::size_bytes).sum()
+            }
+            StateDelta::Historical { upserted, removed } => {
+                upserted
+                    .iter()
+                    .map(|(t, e)| t.size_bytes() + e.size_bytes())
+                    .sum::<usize>()
+                    + removed.iter().map(Tuple::size_bytes).sum::<usize>()
+            }
+            StateDelta::Reschema(s) => s.size_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_historical::HistoricalState;
+    use txtime_snapshot::{DomainType, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("x", DomainType::Int)]).unwrap()
+    }
+
+    fn snap(vals: &[i64]) -> StateValue {
+        StateValue::Snapshot(
+            SnapshotState::from_rows(schema(), vals.iter().map(|&v| vec![Value::Int(v)]))
+                .unwrap(),
+        )
+    }
+
+    fn hist(vals: &[(i64, u32, u32)]) -> StateValue {
+        StateValue::Historical(
+            HistoricalState::new(
+                schema(),
+                vals.iter().map(|&(v, s, e)| {
+                    (
+                        Tuple::new(vec![Value::Int(v)]),
+                        TemporalElement::period(s, e),
+                    )
+                }),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn snapshot_delta_round_trips() {
+        let (a, b) = (snap(&[1, 2, 3]), snap(&[2, 3, 4, 5]));
+        let d = StateDelta::between(&a, &b);
+        assert_eq!(d.apply(&a), b);
+        assert_eq!(d.change_count(), 3); // +4 +5 −1
+    }
+
+    #[test]
+    fn historical_delta_round_trips() {
+        let (a, b) = (
+            hist(&[(1, 0, 5), (2, 0, 9)]),
+            hist(&[(1, 0, 7), (3, 2, 4)]),
+        );
+        let d = StateDelta::between(&a, &b);
+        assert_eq!(d.apply(&a), b);
+        // 1 revalued, 3 added, 2 removed.
+        assert_eq!(d.change_count(), 3);
+    }
+
+    #[test]
+    fn identical_states_produce_empty_delta() {
+        let a = snap(&[1, 2]);
+        let d = StateDelta::between(&a, &a);
+        assert_eq!(d.change_count(), 0);
+        assert_eq!(d.apply(&a), a);
+    }
+
+    #[test]
+    fn schema_change_becomes_reschema() {
+        let a = snap(&[1]);
+        let other = StateValue::Snapshot(
+            SnapshotState::from_rows(
+                Schema::new(vec![("y", DomainType::Int)]).unwrap(),
+                vec![vec![Value::Int(9)]],
+            )
+            .unwrap(),
+        );
+        let d = StateDelta::between(&a, &other);
+        assert!(matches!(d, StateDelta::Reschema(_)));
+        assert_eq!(d.apply(&a), other);
+    }
+
+    #[test]
+    fn kind_change_becomes_reschema() {
+        let a = snap(&[1]);
+        let b = hist(&[(1, 0, 5)]);
+        let d = StateDelta::between(&a, &b);
+        assert!(matches!(d, StateDelta::Reschema(_)));
+        assert_eq!(d.apply(&a), b);
+    }
+}

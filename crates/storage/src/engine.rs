@@ -1,0 +1,522 @@
+//! The storage engine: the language executed over efficient backends.
+//!
+//! `Engine` implements exactly the observable behaviour of the reference
+//! semantics (`txtime_core`), but represents each rollback/temporal
+//! relation with a configurable [`RollbackStore`] instead of a list of
+//! full states, and optionally journals every mutating command to a
+//! write-ahead log for recovery. The equivalence is not assumed — it is
+//! established by the differential tests in [`crate::equiv`].
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use txtime_core::{
+    Command, CommandOutcome, CoreError, EvalError, Expr, RelationType, StateSource, StateValue,
+    TransactionNumber, TxSpec,
+};
+
+use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
+use crate::metrics::{RelationSpace, SpaceReport};
+use crate::wal;
+
+/// An error from [`Engine::execute_script`].
+#[derive(Debug)]
+pub enum ScriptError {
+    /// The script did not parse.
+    Parse(txtime_parser::ParseError),
+    /// A command failed during execution.
+    Exec(CoreError),
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptError::Parse(e) => write!(f, "parse error: {e}"),
+            ScriptError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// How one relation's versions are kept.
+enum Keeper {
+    /// Rollback/temporal relations: an append-only store.
+    History(Box<dyn RollbackStore>),
+    /// Snapshot/historical relations: the single current version.
+    Single(Option<(StateValue, TransactionNumber)>),
+}
+
+/// A catalog entry.
+struct StoredRelation {
+    rtype: RelationType,
+    keeper: Keeper,
+}
+
+/// A database engine over pluggable physical storage.
+pub struct Engine {
+    backend: BackendKind,
+    checkpoints: CheckpointPolicy,
+    tx: TransactionNumber,
+    catalog: BTreeMap<String, StoredRelation>,
+    wal: Option<(PathBuf, std::fs::File)>,
+}
+
+impl Engine {
+    /// An engine holding everything in memory with the given backend for
+    /// history-keeping relations.
+    pub fn new(backend: BackendKind, checkpoints: CheckpointPolicy) -> Engine {
+        Engine {
+            backend,
+            checkpoints,
+            tx: TransactionNumber(0),
+            catalog: BTreeMap::new(),
+            wal: None,
+        }
+    }
+
+    /// An engine that additionally journals every successful mutating
+    /// command to the write-ahead log at `path` (created or appended).
+    pub fn with_wal(
+        backend: BackendKind,
+        checkpoints: CheckpointPolicy,
+        path: impl AsRef<Path>,
+    ) -> std::io::Result<Engine> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path.as_ref())?;
+        let mut e = Engine::new(backend, checkpoints);
+        e.wal = Some((path.as_ref().to_path_buf(), file));
+        Ok(e)
+    }
+
+    /// The backend used for history-keeping relations.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The engine's transaction clock.
+    pub fn tx(&self) -> TransactionNumber {
+        self.tx
+    }
+
+    /// The defined relation names, sorted.
+    pub fn relations(&self) -> Vec<&str> {
+        self.catalog.keys().map(String::as_str).collect()
+    }
+
+    /// The type of relation `ident`, if defined.
+    pub fn relation_type(&self, ident: &str) -> Option<RelationType> {
+        self.catalog.get(ident).map(|r| r.rtype)
+    }
+
+    /// Number of stored versions of relation `ident`.
+    pub fn version_count(&self, ident: &str) -> Option<usize> {
+        self.catalog.get(ident).map(|r| match &r.keeper {
+            Keeper::History(s) => s.version_count(),
+            Keeper::Single(v) => usize::from(v.is_some()),
+        })
+    }
+
+    /// Executes one command, journaling it if it mutates and succeeds.
+    pub fn execute(&mut self, cmd: &Command) -> Result<CommandOutcome, CoreError> {
+        let outcome = self.apply(cmd)?;
+        if cmd.is_mutation() {
+            if let Some((_, file)) = &mut self.wal {
+                wal::append_command(file, cmd).map_err(|e| {
+                    CoreError::SchemeChange(format!("WAL write failed: {e}"))
+                })?;
+                let _ = file.flush();
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Executes a batch; stops at the first error (the caller decides
+    /// whether to continue, mirroring `Sentence::eval` vs `eval_total`).
+    pub fn execute_all(&mut self, cmds: &[Command]) -> Result<Vec<CommandOutcome>, CoreError> {
+        cmds.iter().map(|c| self.execute(c)).collect()
+    }
+
+    /// Evaluates a query expression against the engine's current
+    /// contents.
+    pub fn eval(&self, expr: &Expr) -> Result<StateValue, EvalError> {
+        expr.eval_with(self)
+    }
+
+    /// Parses and executes a script in the surface syntax, returning the
+    /// outcomes in command order. Parse errors are reported with their
+    /// source position; execution stops at the first failing command.
+    pub fn execute_script(&mut self, source: &str) -> Result<Vec<CommandOutcome>, ScriptError> {
+        let sentence = txtime_parser::parse_sentence(source).map_err(ScriptError::Parse)?;
+        let mut outcomes = Vec::with_capacity(sentence.commands().len());
+        for cmd in sentence.commands() {
+            outcomes.push(self.execute(cmd).map_err(ScriptError::Exec)?);
+        }
+        Ok(outcomes)
+    }
+
+    fn apply(&mut self, cmd: &Command) -> Result<CommandOutcome, CoreError> {
+        match cmd {
+            Command::DefineRelation(ident, rtype) => {
+                if self.catalog.contains_key(ident) {
+                    return Err(CoreError::AlreadyDefined(ident.clone()));
+                }
+                let keeper = if rtype.keeps_history() {
+                    Keeper::History(self.backend.new_store(self.checkpoints))
+                } else {
+                    Keeper::Single(None)
+                };
+                self.catalog.insert(
+                    ident.clone(),
+                    StoredRelation {
+                        rtype: *rtype,
+                        keeper,
+                    },
+                );
+                self.tx = self.tx.next();
+                Ok(CommandOutcome::Defined)
+            }
+            Command::ModifyState(ident, expr) => {
+                let rtype = self
+                    .relation_type(ident)
+                    .ok_or_else(|| CoreError::UndefinedRelation(ident.clone()))?;
+                let state = expr.eval_with(self)?;
+                if state.is_historical() != rtype.holds_historical() {
+                    return Err(CoreError::StateTypeMismatch {
+                        relation: ident.clone(),
+                        rtype,
+                    });
+                }
+                let next = self.tx.next();
+                let rel = self.catalog.get_mut(ident).expect("checked above");
+                match &mut rel.keeper {
+                    Keeper::History(store) => store.append(&state, next),
+                    Keeper::Single(slot) => *slot = Some((state, next)),
+                }
+                self.tx = next;
+                Ok(CommandOutcome::Modified)
+            }
+            Command::DeleteRelation(ident) => {
+                if self.catalog.remove(ident).is_none() {
+                    return Err(CoreError::UndefinedRelation(ident.clone()));
+                }
+                self.tx = self.tx.next();
+                Ok(CommandOutcome::Deleted)
+            }
+            Command::EvolveScheme(ident, change) => {
+                let rtype = self
+                    .relation_type(ident)
+                    .ok_or_else(|| CoreError::UndefinedRelation(ident.clone()))?;
+                let current = self
+                    .current_state(ident)
+                    .ok_or_else(|| {
+                        CoreError::SchemeChange(format!("relation {ident:?} has no state"))
+                    })?;
+                let new_state = match &current {
+                    StateValue::Snapshot(s) => StateValue::Snapshot(change.apply_snapshot(s)?),
+                    StateValue::Historical(h) => {
+                        StateValue::Historical(change.apply_historical(h)?)
+                    }
+                };
+                let next = self.tx.next();
+                let rel = self.catalog.get_mut(ident).expect("checked above");
+                debug_assert_eq!(rel.rtype, rtype);
+                match &mut rel.keeper {
+                    Keeper::History(store) => store.append(&new_state, next),
+                    Keeper::Single(slot) => *slot = Some((new_state, next)),
+                }
+                self.tx = next;
+                Ok(CommandOutcome::Evolved)
+            }
+            Command::Display(expr) => {
+                let state = expr.eval_with(self)?;
+                Ok(CommandOutcome::Displayed(state))
+            }
+        }
+    }
+
+    fn current_state(&self, ident: &str) -> Option<StateValue> {
+        match &self.catalog.get(ident)?.keeper {
+            Keeper::History(store) => store.current(),
+            Keeper::Single(slot) => slot.as_ref().map(|(s, _)| s.clone()),
+        }
+    }
+
+    /// The versions of `ident` strictly older than the version current at
+    /// `before`, as (state, commit tx) pairs — the candidates for
+    /// archival. Snapshot/historical relations have no history to
+    /// archive, so the list is empty for them.
+    pub(crate) fn versions_before(
+        &self,
+        ident: &str,
+        before: TransactionNumber,
+    ) -> Result<Vec<(StateValue, TransactionNumber)>, CoreError> {
+        let rel = self
+            .catalog
+            .get(ident)
+            .ok_or_else(|| CoreError::UndefinedRelation(ident.to_string()))?;
+        let Keeper::History(store) = &rel.keeper else {
+            return Ok(Vec::new());
+        };
+        let txs = store.version_txs();
+        let idx = txs.partition_point(|t| *t <= before);
+        let Some(floor) = idx.checked_sub(1) else {
+            return Ok(Vec::new());
+        };
+        Ok(txs[..floor]
+            .iter()
+            .map(|&t| {
+                (
+                    store.state_at(t).expect("listed version exists"),
+                    t,
+                )
+            })
+            .collect())
+    }
+
+    /// Truncates `ident`'s history before the version current at
+    /// `before`; see [`crate::backend::RollbackStore::truncate_before`].
+    pub(crate) fn truncate_before(
+        &mut self,
+        ident: &str,
+        before: TransactionNumber,
+    ) -> Result<usize, CoreError> {
+        let rel = self
+            .catalog
+            .get_mut(ident)
+            .ok_or_else(|| CoreError::UndefinedRelation(ident.to_string()))?;
+        Ok(match &mut rel.keeper {
+            Keeper::History(store) => store.truncate_before(before),
+            Keeper::Single(_) => 0,
+        })
+    }
+
+    /// Space accounting across the catalog (experiment E3).
+    pub fn space_report(&self) -> SpaceReport {
+        SpaceReport {
+            relations: self
+                .catalog
+                .iter()
+                .map(|(name, rel)| {
+                    let (versions, bytes) = match &rel.keeper {
+                        Keeper::History(s) => (s.version_count(), s.space_bytes()),
+                        Keeper::Single(v) => (
+                            usize::from(v.is_some()),
+                            v.as_ref().map_or(0, |(s, _)| s.size_bytes()),
+                        ),
+                    };
+                    RelationSpace {
+                        name: name.clone(),
+                        rtype: rel.rtype,
+                        backend: self.backend,
+                        versions,
+                        bytes,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+impl StateSource for Engine {
+    fn resolve_rollback(
+        &self,
+        ident: &str,
+        spec: TxSpec,
+        historical: bool,
+    ) -> Result<StateValue, EvalError> {
+        let rel = self
+            .catalog
+            .get(ident)
+            .ok_or_else(|| EvalError::UndefinedRelation(ident.to_string()))?;
+        // Type rules — identical to the reference semantics.
+        if historical != rel.rtype.holds_historical() {
+            return Err(EvalError::RollbackTypeMismatch {
+                relation: ident.to_string(),
+                actual: rel.rtype,
+                historical,
+            });
+        }
+        if matches!(spec, TxSpec::At(_)) && !rel.rtype.keeps_history() {
+            return if rel.rtype == RelationType::Snapshot {
+                Err(EvalError::RollbackOnSnapshot(ident.to_string()))
+            } else {
+                Err(EvalError::RollbackTypeMismatch {
+                    relation: ident.to_string(),
+                    actual: rel.rtype,
+                    historical,
+                })
+            };
+        }
+        let target = match spec {
+            TxSpec::Current => self.tx,
+            TxSpec::At(n) => n,
+        };
+        match &rel.keeper {
+            Keeper::History(store) => {
+                // Fast path: ρ(I, ∞) is the materialized current state —
+                // no delta replay (store.last_tx() ≤ engine clock always).
+                let lookup = if matches!(spec, TxSpec::Current) {
+                    store.current()
+                } else {
+                    store.state_at(target)
+                };
+                match lookup {
+                    Some(s) => Ok(s),
+                    None => {
+                        // Before the first version: the empty state with
+                        // the earliest known scheme, as in the reference.
+                        let first = store
+                            .first_tx()
+                            .and_then(|t| store.state_at(t))
+                            .ok_or_else(|| EvalError::EmptyRelation(ident.to_string()))?;
+                        Ok(first.empty_like())
+                    }
+                }
+            }
+            Keeper::Single(slot) => match slot {
+                Some((s, _)) => Ok(s.clone()),
+                None => Err(EvalError::EmptyRelation(ident.to_string())),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_snapshot::{DomainType, Schema, SnapshotState, Value};
+
+    fn snap(vals: &[i64]) -> SnapshotState {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    fn engine_with_history(backend: BackendKind) -> Engine {
+        let mut e = Engine::new(backend, CheckpointPolicy::EveryK(4));
+        e.execute(&Command::define_relation("r", RelationType::Rollback))
+            .unwrap();
+        for v in [vec![1], vec![1, 2], vec![2], vec![2, 3]] {
+            e.execute(&Command::modify_state(
+                "r",
+                Expr::snapshot_const(snap(&v)),
+            ))
+            .unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn engine_answers_rollback_queries_on_every_backend() {
+        for backend in BackendKind::ALL {
+            let e = engine_with_history(backend);
+            let cur = e.eval(&Expr::current("r")).unwrap().into_snapshot().unwrap();
+            assert_eq!(cur, snap(&[2, 3]), "{backend}");
+            let old = e
+                .eval(&Expr::rollback("r", TxSpec::At(TransactionNumber(3))))
+                .unwrap()
+                .into_snapshot()
+                .unwrap();
+            assert_eq!(old, snap(&[1, 2]), "{backend}");
+        }
+    }
+
+    #[test]
+    fn engine_enforces_rollback_type_rules() {
+        let mut e = Engine::new(BackendKind::FullCopy, CheckpointPolicy::Never);
+        e.execute(&Command::define_relation("s", RelationType::Snapshot))
+            .unwrap();
+        e.execute(&Command::modify_state("s", Expr::snapshot_const(snap(&[1]))))
+            .unwrap();
+        assert!(matches!(
+            e.eval(&Expr::rollback("s", TxSpec::At(TransactionNumber(1)))),
+            Err(EvalError::RollbackOnSnapshot(_))
+        ));
+        assert!(e.eval(&Expr::current("s")).is_ok());
+        assert!(matches!(
+            e.eval(&Expr::hcurrent("s")),
+            Err(EvalError::RollbackTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_relations_keep_single_version() {
+        let mut e = Engine::new(BackendKind::ForwardDelta, CheckpointPolicy::Never);
+        e.execute(&Command::define_relation("s", RelationType::Snapshot))
+            .unwrap();
+        e.execute(&Command::modify_state("s", Expr::snapshot_const(snap(&[1]))))
+            .unwrap();
+        e.execute(&Command::modify_state("s", Expr::snapshot_const(snap(&[2]))))
+            .unwrap();
+        assert_eq!(e.version_count("s"), Some(1));
+        assert_eq!(
+            e.eval(&Expr::current("s")).unwrap().into_snapshot().unwrap(),
+            snap(&[2])
+        );
+    }
+
+    #[test]
+    fn delete_and_redefine() {
+        let mut e = engine_with_history(BackendKind::ReverseDelta);
+        e.execute(&Command::delete_relation("r")).unwrap();
+        assert!(e.relation_type("r").is_none());
+        assert!(matches!(
+            e.eval(&Expr::current("r")),
+            Err(EvalError::UndefinedRelation(_))
+        ));
+        e.execute(&Command::define_relation("r", RelationType::Snapshot))
+            .unwrap();
+        assert_eq!(e.relation_type("r"), Some(RelationType::Snapshot));
+    }
+
+    #[test]
+    fn failed_commands_do_not_advance_the_clock() {
+        let mut e = Engine::new(BackendKind::FullCopy, CheckpointPolicy::Never);
+        e.execute(&Command::define_relation("r", RelationType::Rollback))
+            .unwrap();
+        let before = e.tx();
+        assert!(e
+            .execute(&Command::modify_state("ghost", Expr::current("ghost")))
+            .is_err());
+        assert_eq!(e.tx(), before);
+    }
+
+    #[test]
+    fn execute_script_round_trip() {
+        let mut e = Engine::new(BackendKind::FullCopy, CheckpointPolicy::Never);
+        let outcomes = e
+            .execute_script(
+                r#"
+                define_relation(emp, rollback);
+                modify_state(emp, {(x: int): (1), (2)});
+                display(select[x > 1](rho(emp, inf)));
+                "#,
+            )
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        match &outcomes[2] {
+            CommandOutcome::Displayed(s) => assert_eq!(s.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            e.execute_script("not a script"),
+            Err(ScriptError::Parse(_))
+        ));
+        assert!(matches!(
+            e.execute_script("modify_state(ghost, rho(ghost, inf));"),
+            Err(ScriptError::Exec(_))
+        ));
+    }
+
+    #[test]
+    fn space_report_covers_catalog() {
+        let e = engine_with_history(BackendKind::TupleTimestamp);
+        let report = e.space_report();
+        assert_eq!(report.relations.len(), 1);
+        assert_eq!(report.relations[0].versions, 4);
+        assert!(report.relations[0].bytes > 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! The forward-delta backend: base + per-transaction deltas +
+//! checkpoints.
+
+use txtime_core::{StateValue, TransactionNumber};
+
+use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
+use crate::delta::StateDelta;
+
+/// One entry in the forward chain.
+#[derive(Debug)]
+enum Entry {
+    /// A materialized full state (version 0 and checkpoints).
+    Checkpoint(StateValue),
+    /// A delta from the previous version.
+    Delta(StateDelta),
+}
+
+/// Stores the first version in full and subsequent versions as forward
+/// deltas, materializing a checkpoint every K versions per the policy.
+///
+/// `state_at` seeks the last version ≤ tx, walks *back* to the nearest
+/// checkpoint, then replays deltas forward — so rollback cost is bounded
+/// by the checkpoint interval, and space is proportional to churn rather
+/// than state size.
+#[derive(Debug)]
+pub struct ForwardDeltaStore {
+    policy: CheckpointPolicy,
+    entries: Vec<(Entry, TransactionNumber)>,
+    /// The current state, cached for O(1) appends and current-state reads.
+    current: Option<StateValue>,
+}
+
+impl ForwardDeltaStore {
+    /// An empty store with the given checkpoint policy.
+    pub fn new(policy: CheckpointPolicy) -> ForwardDeltaStore {
+        ForwardDeltaStore {
+            policy,
+            entries: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Reconstructs version `index` by replay.
+    fn reconstruct(&self, index: usize) -> StateValue {
+        // Find the nearest checkpoint at or before index.
+        let mut base = index;
+        loop {
+            match &self.entries[base].0 {
+                Entry::Checkpoint(_) => break,
+                Entry::Delta(_) => base -= 1,
+            }
+        }
+        let mut state = match &self.entries[base].0 {
+            Entry::Checkpoint(s) => s.clone(),
+            Entry::Delta(_) => unreachable!("loop exits on checkpoints"),
+        };
+        for i in base + 1..=index {
+            match &self.entries[i].0 {
+                Entry::Delta(d) => state = d.apply(&state),
+                Entry::Checkpoint(s) => state = s.clone(),
+            }
+        }
+        state
+    }
+}
+
+impl RollbackStore for ForwardDeltaStore {
+    fn append(&mut self, state: &StateValue, tx: TransactionNumber) {
+        debug_assert!(self.entries.last().is_none_or(|(_, t)| *t < tx));
+        let index = self.entries.len();
+        let entry = match (&self.current, self.policy.is_checkpoint(index)) {
+            (Some(prev), false) => Entry::Delta(StateDelta::between(prev, state)),
+            _ => Entry::Checkpoint(state.clone()),
+        };
+        self.entries.push((entry, tx));
+        self.current = Some(state.clone());
+    }
+
+    fn state_at(&self, tx: TransactionNumber) -> Option<StateValue> {
+        let idx = self.entries.partition_point(|(_, t)| *t <= tx);
+        idx.checked_sub(1).map(|i| self.reconstruct(i))
+    }
+
+    fn current(&self) -> Option<StateValue> {
+        self.current.clone()
+    }
+
+    fn version_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn first_tx(&self) -> Option<TransactionNumber> {
+        self.entries.first().map(|(_, t)| *t)
+    }
+
+    fn last_tx(&self) -> Option<TransactionNumber> {
+        self.entries.last().map(|(_, t)| *t)
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(e, _)| {
+                8 + match e {
+                    Entry::Checkpoint(s) => s.size_bytes(),
+                    Entry::Delta(d) => d.size_bytes(),
+                }
+            })
+            .sum()
+    }
+
+    fn version_txs(&self) -> Vec<TransactionNumber> {
+        self.entries.iter().map(|(_, t)| *t).collect()
+    }
+
+    fn truncate_before(&mut self, tx: TransactionNumber) -> usize {
+        let idx = self.entries.partition_point(|(_, t)| *t <= tx);
+        match idx.checked_sub(1) {
+            Some(floor) if floor > 0 => {
+                // Materialize the floor version as the new base
+                // checkpoint, then drop everything before it.
+                let base = self.reconstruct(floor);
+                let base_tx = self.entries[floor].1;
+                self.entries.drain(..=floor);
+                self.entries.insert(0, (Entry::Checkpoint(base), base_tx));
+                floor
+            }
+            _ => 0,
+        }
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::ForwardDelta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_snapshot::{DomainType, Schema, SnapshotState, Value};
+
+    fn snap(vals: &[i64]) -> StateValue {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        StateValue::Snapshot(
+            SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)]))
+                .unwrap(),
+        )
+    }
+
+    fn filled(policy: CheckpointPolicy) -> ForwardDeltaStore {
+        let mut s = ForwardDeltaStore::new(policy);
+        s.append(&snap(&[1]), TransactionNumber(1));
+        s.append(&snap(&[1, 2]), TransactionNumber(3));
+        s.append(&snap(&[2]), TransactionNumber(4));
+        s.append(&snap(&[2, 3]), TransactionNumber(8));
+        s
+    }
+
+    #[test]
+    fn findstate_contract_without_checkpoints() {
+        let s = filled(CheckpointPolicy::Never);
+        assert_eq!(s.state_at(TransactionNumber(0)), None);
+        assert_eq!(s.state_at(TransactionNumber(1)), Some(snap(&[1])));
+        assert_eq!(s.state_at(TransactionNumber(2)), Some(snap(&[1])));
+        assert_eq!(s.state_at(TransactionNumber(3)), Some(snap(&[1, 2])));
+        assert_eq!(s.state_at(TransactionNumber(5)), Some(snap(&[2])));
+        assert_eq!(s.state_at(TransactionNumber(9)), Some(snap(&[2, 3])));
+        assert_eq!(s.current(), Some(snap(&[2, 3])));
+    }
+
+    #[test]
+    fn checkpoints_do_not_change_answers() {
+        let a = filled(CheckpointPolicy::Never);
+        let b = filled(CheckpointPolicy::EveryK(2));
+        for t in 0..10 {
+            assert_eq!(
+                a.state_at(TransactionNumber(t)),
+                b.state_at(TransactionNumber(t)),
+                "at tx {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_storage_is_smaller_than_full_copy_for_low_churn() {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        let base: Vec<Vec<Value>> = (0..200).map(|i| vec![Value::Int(i)]).collect();
+        let mut fd = ForwardDeltaStore::new(CheckpointPolicy::Never);
+        let mut fc = crate::FullCopyStore::new();
+        for v in 0..20 {
+            let mut rows = base.clone();
+            rows[v as usize] = vec![Value::Int(1000 + v)];
+            let s = StateValue::Snapshot(
+                SnapshotState::from_rows(schema.clone(), rows).unwrap(),
+            );
+            fd.append(&s, TransactionNumber(v as u64 + 1));
+            fc.append(&s, TransactionNumber(v as u64 + 1));
+        }
+        assert!(fd.space_bytes() < fc.space_bytes() / 4);
+    }
+}

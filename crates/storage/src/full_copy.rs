@@ -1,0 +1,110 @@
+//! The full-copy backend: every version stored whole.
+
+use txtime_core::{StateValue, TransactionNumber};
+
+use crate::backend::{BackendKind, RollbackStore};
+
+/// Stores each version in full — the direct transcription of the paper's
+/// RELATION domain, and the oracle against which the other backends are
+/// differentially tested.
+#[derive(Debug, Default)]
+pub struct FullCopyStore {
+    versions: Vec<(StateValue, TransactionNumber)>,
+}
+
+impl FullCopyStore {
+    /// An empty store.
+    pub fn new() -> FullCopyStore {
+        FullCopyStore::default()
+    }
+}
+
+impl RollbackStore for FullCopyStore {
+    fn append(&mut self, state: &StateValue, tx: TransactionNumber) {
+        debug_assert!(self.versions.last().is_none_or(|(_, t)| *t < tx));
+        self.versions.push((state.clone(), tx));
+    }
+
+    fn state_at(&self, tx: TransactionNumber) -> Option<StateValue> {
+        let idx = self.versions.partition_point(|(_, t)| *t <= tx);
+        idx.checked_sub(1).map(|i| self.versions[i].0.clone())
+    }
+
+    fn current(&self) -> Option<StateValue> {
+        self.versions.last().map(|(s, _)| s.clone())
+    }
+
+    fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    fn first_tx(&self) -> Option<TransactionNumber> {
+        self.versions.first().map(|(_, t)| *t)
+    }
+
+    fn last_tx(&self) -> Option<TransactionNumber> {
+        self.versions.last().map(|(_, t)| *t)
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.versions.iter().map(|(s, _)| s.size_bytes() + 8).sum()
+    }
+
+    fn version_txs(&self) -> Vec<TransactionNumber> {
+        self.versions.iter().map(|(_, t)| *t).collect()
+    }
+
+    fn truncate_before(&mut self, tx: TransactionNumber) -> usize {
+        let idx = self.versions.partition_point(|(_, t)| *t <= tx);
+        match idx.checked_sub(1) {
+            Some(floor) => {
+                self.versions.drain(..floor);
+                floor
+            }
+            None => 0,
+        }
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::FullCopy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_snapshot::{DomainType, Schema, SnapshotState, Value};
+
+    fn snap(vals: &[i64]) -> StateValue {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        StateValue::Snapshot(
+            SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)]))
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn findstate_contract() {
+        let mut s = FullCopyStore::new();
+        s.append(&snap(&[1]), TransactionNumber(2));
+        s.append(&snap(&[1, 2]), TransactionNumber(5));
+        assert_eq!(s.state_at(TransactionNumber(1)), None);
+        assert_eq!(s.state_at(TransactionNumber(2)), Some(snap(&[1])));
+        assert_eq!(s.state_at(TransactionNumber(4)), Some(snap(&[1])));
+        assert_eq!(s.state_at(TransactionNumber(5)), Some(snap(&[1, 2])));
+        assert_eq!(s.state_at(TransactionNumber(99)), Some(snap(&[1, 2])));
+        assert_eq!(s.current(), Some(snap(&[1, 2])));
+        assert_eq!(s.version_count(), 2);
+        assert_eq!(s.first_tx(), Some(TransactionNumber(2)));
+        assert_eq!(s.last_tx(), Some(TransactionNumber(5)));
+    }
+
+    #[test]
+    fn space_grows_linearly_with_versions() {
+        let mut s = FullCopyStore::new();
+        s.append(&snap(&[1, 2, 3]), TransactionNumber(1));
+        let one = s.space_bytes();
+        s.append(&snap(&[1, 2, 3]), TransactionNumber(2));
+        assert!(s.space_bytes() >= 2 * one - 16);
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! Efficient storage for rollback and temporal relations.
+//!
+//! The paper's semantics stores every state of a rollback relation in
+//! full, and says so: "we have favored simplicity of semantics at the
+//! expense of efficient direct implementation … However, the semantics do
+//! not preclude more efficient implementations using optimization
+//! strategies for both storage and retrieval of information" (§2), and
+//! "actual implementations will vary considerably in the physical
+//! structures used to encode the information on secondary storage.
+//! However, the existence of a formal definition of database state allows
+//! rigorous statements to be made concerning the correctness of those
+//! structures" (§1).
+//!
+//! This crate supplies those physical structures and makes the rigorous
+//! statement executable. Four backends implement [`RollbackStore`]:
+//!
+//! * [`FullCopyStore`] — every version in full; the direct transcription
+//!   of the semantics, and the oracle for the others.
+//! * [`ForwardDeltaStore`] — an initial state plus per-transaction deltas,
+//!   with optional periodic checkpoints; rollback replays forward from
+//!   the nearest checkpoint.
+//! * [`ReverseDeltaStore`] — the current state in full plus reverse
+//!   deltas; current-state access is O(1) and rollback cost grows with
+//!   the *age* of the target, which favours the common recent-query case.
+//! * [`TupleTimestampStore`] — each tuple stored once with its
+//!   transaction-time interval \[start, stop); rollback is a scan filter.
+//!   This is the attribute/tuple-timestamping school of physical design
+//!   (Ben-Zvi 1982, POSTGRES) realized for our semantics.
+//!
+//! [`Engine`] executes the language's commands against a catalog of such
+//! stores, writes a textual WAL, and recovers from it; `equiv` provides
+//! the differential harness proving each backend observationally equal to
+//! the reference semantics.
+
+pub mod archive;
+pub mod backend;
+pub mod delta;
+pub mod engine;
+pub mod equiv;
+pub mod full_copy;
+pub mod forward_delta;
+pub mod metrics;
+pub mod recovery;
+pub mod reverse_delta;
+pub mod tuple_ts;
+pub mod wal;
+
+pub use archive::ArchiveReport;
+pub use backend::{BackendKind, CheckpointPolicy, RollbackStore};
+pub use delta::StateDelta;
+pub use engine::{Engine, ScriptError};
+pub use equiv::check_equivalence;
+pub use forward_delta::ForwardDeltaStore;
+pub use full_copy::FullCopyStore;
+pub use metrics::SpaceReport;
+pub use reverse_delta::ReverseDeltaStore;
+pub use tuple_ts::TupleTimestampStore;

@@ -1,0 +1,107 @@
+//! Space accounting for experiments E3.
+
+use std::fmt;
+
+use txtime_core::RelationType;
+
+use crate::backend::BackendKind;
+
+/// Space usage of one relation.
+#[derive(Debug, Clone)]
+pub struct RelationSpace {
+    /// Relation name.
+    pub name: String,
+    /// Relation type.
+    pub rtype: RelationType,
+    /// The backend storing it.
+    pub backend: BackendKind,
+    /// Number of stored versions.
+    pub versions: usize,
+    /// Approximate logical bytes.
+    pub bytes: usize,
+}
+
+impl RelationSpace {
+    /// Bytes per stored version (0 when no versions).
+    pub fn bytes_per_version(&self) -> f64 {
+        if self.versions == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.versions as f64
+        }
+    }
+}
+
+/// Space usage across a catalog.
+#[derive(Debug, Clone, Default)]
+pub struct SpaceReport {
+    /// Per-relation rows.
+    pub relations: Vec<RelationSpace>,
+}
+
+impl SpaceReport {
+    /// Total bytes across all relations.
+    pub fn total_bytes(&self) -> usize {
+        self.relations.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Total stored versions across all relations.
+    pub fn total_versions(&self) -> usize {
+        self.relations.iter().map(|r| r.versions).sum()
+    }
+}
+
+impl fmt::Display for SpaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:<10} {:<16} {:>9} {:>12} {:>10}",
+            "relation", "type", "backend", "versions", "bytes", "B/version"
+        )?;
+        for r in &self.relations {
+            writeln!(
+                f,
+                "{:<12} {:<10} {:<16} {:>9} {:>12} {:>10.1}",
+                r.name,
+                r.rtype.to_string(),
+                r.backend.to_string(),
+                r.versions,
+                r.bytes,
+                r.bytes_per_version()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratios() {
+        let report = SpaceReport {
+            relations: vec![
+                RelationSpace {
+                    name: "a".into(),
+                    rtype: RelationType::Rollback,
+                    backend: BackendKind::FullCopy,
+                    versions: 4,
+                    bytes: 400,
+                },
+                RelationSpace {
+                    name: "b".into(),
+                    rtype: RelationType::Snapshot,
+                    backend: BackendKind::FullCopy,
+                    versions: 0,
+                    bytes: 0,
+                },
+            ],
+        };
+        assert_eq!(report.total_bytes(), 400);
+        assert_eq!(report.total_versions(), 4);
+        assert_eq!(report.relations[0].bytes_per_version(), 100.0);
+        assert_eq!(report.relations[1].bytes_per_version(), 0.0);
+        assert!(report.to_string().contains("full-copy"));
+    }
+}

@@ -1,0 +1,139 @@
+//! The reverse-delta backend: current state in full, deltas backwards.
+
+use txtime_core::{StateValue, TransactionNumber};
+
+use crate::backend::{BackendKind, RollbackStore};
+use crate::delta::StateDelta;
+
+/// Stores the current state materialized and, for each superseded version
+/// `i`, the reverse delta carrying version `i+1` back to version `i`.
+///
+/// Current-state access is O(1); `state_at(tx)` walks backwards applying
+/// reverse deltas until it reaches the target version, so the cost of a
+/// rollback grows with how far in the past it reaches — the natural
+/// trade-off when most queries are about the present (the same trade-off
+/// made by, e.g., RCS and by Reed's versioned objects).
+#[derive(Debug, Default)]
+pub struct ReverseDeltaStore {
+    /// Reverse deltas: `undo[i]` carries version `i+1` to version `i`.
+    undo: Vec<StateDelta>,
+    /// Transaction numbers of every version, ascending.
+    txs: Vec<TransactionNumber>,
+    /// The materialized current state.
+    current: Option<StateValue>,
+}
+
+impl ReverseDeltaStore {
+    /// An empty store.
+    pub fn new() -> ReverseDeltaStore {
+        ReverseDeltaStore::default()
+    }
+}
+
+impl RollbackStore for ReverseDeltaStore {
+    fn append(&mut self, state: &StateValue, tx: TransactionNumber) {
+        debug_assert!(self.txs.last().is_none_or(|t| *t < tx));
+        if let Some(prev) = &self.current {
+            self.undo.push(StateDelta::between(state, prev));
+        }
+        self.txs.push(tx);
+        self.current = Some(state.clone());
+    }
+
+    fn state_at(&self, tx: TransactionNumber) -> Option<StateValue> {
+        let idx = self.txs.partition_point(|t| *t <= tx);
+        let target = idx.checked_sub(1)?;
+        let mut state = self.current.clone().expect("non-empty store has a current");
+        for i in (target..self.undo.len()).rev() {
+            state = self.undo[i].apply(&state);
+        }
+        Some(state)
+    }
+
+    fn current(&self) -> Option<StateValue> {
+        self.current.clone()
+    }
+
+    fn version_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn first_tx(&self) -> Option<TransactionNumber> {
+        self.txs.first().copied()
+    }
+
+    fn last_tx(&self) -> Option<TransactionNumber> {
+        self.txs.last().copied()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.current.as_ref().map_or(0, StateValue::size_bytes)
+            + self.undo.iter().map(StateDelta::size_bytes).sum::<usize>()
+            + self.txs.len() * 8
+    }
+
+    fn version_txs(&self) -> Vec<TransactionNumber> {
+        self.txs.clone()
+    }
+
+    fn truncate_before(&mut self, tx: TransactionNumber) -> usize {
+        let idx = self.txs.partition_point(|t| *t <= tx);
+        match idx.checked_sub(1) {
+            Some(floor) if floor > 0 => {
+                // undo[i] carries version i+1 back to version i; dropping
+                // versions < floor means dropping undo[0..floor].
+                self.undo.drain(..floor);
+                self.txs.drain(..floor);
+                floor
+            }
+            _ => 0,
+        }
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::ReverseDelta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_snapshot::{DomainType, Schema, SnapshotState, Value};
+
+    fn snap(vals: &[i64]) -> StateValue {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        StateValue::Snapshot(
+            SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)]))
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn findstate_contract() {
+        let mut s = ReverseDeltaStore::new();
+        s.append(&snap(&[1]), TransactionNumber(1));
+        s.append(&snap(&[1, 2]), TransactionNumber(3));
+        s.append(&snap(&[2]), TransactionNumber(4));
+        assert_eq!(s.state_at(TransactionNumber(0)), None);
+        assert_eq!(s.state_at(TransactionNumber(1)), Some(snap(&[1])));
+        assert_eq!(s.state_at(TransactionNumber(2)), Some(snap(&[1])));
+        assert_eq!(s.state_at(TransactionNumber(3)), Some(snap(&[1, 2])));
+        assert_eq!(s.state_at(TransactionNumber(9)), Some(snap(&[2])));
+        assert_eq!(s.current(), Some(snap(&[2])));
+        assert_eq!(s.version_count(), 3);
+    }
+
+    #[test]
+    fn current_access_needs_no_replay() {
+        let mut s = ReverseDeltaStore::new();
+        for v in 1..=50u64 {
+            s.append(&snap(&[v as i64]), TransactionNumber(v));
+        }
+        // The current state is materialized — identical regardless of
+        // history depth.
+        assert_eq!(s.current(), Some(snap(&[50])));
+        assert_eq!(s.state_at(TransactionNumber(50)), Some(snap(&[50])));
+        // And the very first version is still reachable.
+        assert_eq!(s.state_at(TransactionNumber(1)), Some(snap(&[1])));
+    }
+}

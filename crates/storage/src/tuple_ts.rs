@@ -1,0 +1,344 @@
+//! The tuple-timestamp backend: one record per tuple per lifetime.
+//!
+//! Instead of storing states, this backend stores *tuples* stamped with
+//! the half-open transaction-time interval \[start, stop) during which
+//! they were part of the relation's current state — the physical design
+//! used by Ben-Zvi's Time Relational Model and by POSTGRES, here proven
+//! equivalent to the paper's state-sequence semantics by the differential
+//! tests.
+//!
+//! Rollback to `tx` is a filter: every tuple whose interval covers `tx`.
+//! Space is proportional to the number of tuple *lifetimes*, not to
+//! (versions × state size).
+//!
+//! Scheme (or state-kind) changes start a fresh *epoch*; each epoch has a
+//! single scheme, and rollback first locates the epoch covering the
+//! target transaction.
+
+use std::collections::BTreeMap;
+
+use txtime_core::{StateValue, TransactionNumber};
+use txtime_historical::{HistoricalState, TemporalElement};
+use txtime_snapshot::{Schema, SnapshotState, Tuple};
+
+use crate::backend::{BackendKind, RollbackStore};
+
+const OPEN: u64 = u64::MAX;
+
+/// A tuple's presence interval, with the valid-time element it carried
+/// (historical states only; `None` for snapshot states).
+#[derive(Debug, Clone)]
+struct Stamp {
+    start: u64,
+    stop: u64,
+    valid: Option<TemporalElement>,
+}
+
+#[derive(Debug)]
+struct Epoch {
+    /// The transaction at which this epoch begins.
+    start_tx: TransactionNumber,
+    schema: Schema,
+    historical: bool,
+    records: BTreeMap<Tuple, Vec<Stamp>>,
+}
+
+impl Epoch {
+    fn new(state: &StateValue, tx: TransactionNumber) -> Epoch {
+        let (schema, historical) = match state {
+            StateValue::Snapshot(s) => (s.schema().clone(), false),
+            StateValue::Historical(h) => (h.schema().clone(), true),
+        };
+        let mut epoch = Epoch {
+            start_tx: tx,
+            schema,
+            historical,
+            records: BTreeMap::new(),
+        };
+        epoch.apply(state, tx);
+        epoch
+    }
+
+    fn compatible(&self, state: &StateValue) -> bool {
+        match state {
+            StateValue::Snapshot(s) => !self.historical && s.schema() == &self.schema,
+            StateValue::Historical(h) => self.historical && h.schema() == &self.schema,
+        }
+    }
+
+    /// Stamp of `tuple` open at the current end of history, if any.
+    fn open_stamp(&mut self, tuple: &Tuple) -> Option<&mut Stamp> {
+        self.records
+            .get_mut(tuple)
+            .and_then(|v| v.last_mut())
+            .filter(|s| s.stop == OPEN)
+    }
+
+    fn apply(&mut self, state: &StateValue, tx: TransactionNumber) {
+        match state {
+            StateValue::Snapshot(s) => {
+                // Close intervals for tuples leaving the state.
+                let leaving: Vec<Tuple> = self
+                    .records
+                    .iter()
+                    .filter(|(t, stamps)| {
+                        stamps.last().is_some_and(|st| st.stop == OPEN) && !s.contains(t)
+                    })
+                    .map(|(t, _)| t.clone())
+                    .collect();
+                for t in leaving {
+                    self.open_stamp(&t).expect("filtered to open").stop = tx.0;
+                }
+                // Open intervals for arriving tuples.
+                for t in s.iter() {
+                    if self.open_stamp(t).is_none() {
+                        self.records.entry(t.clone()).or_default().push(Stamp {
+                            start: tx.0,
+                            stop: OPEN,
+                            valid: None,
+                        });
+                    }
+                }
+            }
+            StateValue::Historical(h) => {
+                // Close intervals for tuples leaving or changing valid time.
+                let closing: Vec<Tuple> = self
+                    .records
+                    .iter()
+                    .filter(|(t, stamps)| {
+                        stamps.last().is_some_and(|st| {
+                            st.stop == OPEN && h.valid_time(t) != st.valid.as_ref()
+                        })
+                    })
+                    .map(|(t, _)| t.clone())
+                    .collect();
+                for t in closing {
+                    self.open_stamp(&t).expect("filtered to open").stop = tx.0;
+                }
+                // Open intervals for arriving/revalued tuples.
+                for (t, e) in h.iter() {
+                    if self.open_stamp(t).is_none() {
+                        self.records.entry(t.clone()).or_default().push(Stamp {
+                            start: tx.0,
+                            stop: OPEN,
+                            valid: Some(e.clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn state_at(&self, tx: TransactionNumber) -> StateValue {
+        if self.historical {
+            let entries = self.records.iter().flat_map(|(t, stamps)| {
+                stamps
+                    .iter()
+                    .filter(|s| s.start <= tx.0 && tx.0 < s.stop)
+                    .map(|s| {
+                        (
+                            t.clone(),
+                            s.valid.clone().expect("historical stamps carry elements"),
+                        )
+                    })
+            });
+            StateValue::Historical(
+                HistoricalState::new(self.schema.clone(), entries)
+                    .expect("stored entries are valid"),
+            )
+        } else {
+            let tuples: Vec<Tuple> = self
+                .records
+                .iter()
+                .filter(|(_, stamps)| stamps.iter().any(|s| s.start <= tx.0 && tx.0 < s.stop))
+                .map(|(t, _)| t.clone())
+                .collect();
+            StateValue::Snapshot(
+                SnapshotState::new(self.schema.clone(), tuples)
+                    .expect("stored tuples are valid"),
+            )
+        }
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.records
+            .iter()
+            .map(|(t, stamps)| {
+                t.size_bytes()
+                    + stamps
+                        .iter()
+                        .map(|s| 16 + s.valid.as_ref().map_or(0, TemporalElement::size_bytes))
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// The tuple-timestamp store: epochs of interval-stamped tuples.
+#[derive(Debug, Default)]
+pub struct TupleTimestampStore {
+    epochs: Vec<Epoch>,
+    txs: Vec<TransactionNumber>,
+}
+
+impl TupleTimestampStore {
+    /// An empty store.
+    pub fn new() -> TupleTimestampStore {
+        TupleTimestampStore::default()
+    }
+}
+
+impl RollbackStore for TupleTimestampStore {
+    fn append(&mut self, state: &StateValue, tx: TransactionNumber) {
+        debug_assert!(self.txs.last().is_none_or(|t| *t < tx));
+        self.txs.push(tx);
+        match self.epochs.last_mut() {
+            Some(e) if e.compatible(state) => e.apply(state, tx),
+            _ => self.epochs.push(Epoch::new(state, tx)),
+        }
+    }
+
+    fn state_at(&self, tx: TransactionNumber) -> Option<StateValue> {
+        if self.txs.first().is_none_or(|t| tx < *t) {
+            return None;
+        }
+        let idx = self.epochs.partition_point(|e| e.start_tx <= tx);
+        Some(self.epochs[idx - 1].state_at(tx))
+    }
+
+    fn current(&self) -> Option<StateValue> {
+        self.last_tx().and_then(|t| self.state_at(t))
+    }
+
+    fn version_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn first_tx(&self) -> Option<TransactionNumber> {
+        self.txs.first().copied()
+    }
+
+    fn last_tx(&self) -> Option<TransactionNumber> {
+        self.txs.last().copied()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.epochs.iter().map(Epoch::space_bytes).sum::<usize>() + self.txs.len() * 8
+    }
+
+    fn version_txs(&self) -> Vec<TransactionNumber> {
+        self.txs.clone()
+    }
+
+    fn truncate_before(&mut self, tx: TransactionNumber) -> usize {
+        let idx = self.txs.partition_point(|t| *t <= tx);
+        let Some(floor) = idx.checked_sub(1) else {
+            return 0;
+        };
+        if floor == 0 {
+            return 0;
+        }
+        let floor_tx = self.txs[floor];
+        // Drop epochs that ended before the floor.
+        let containing = self
+            .epochs
+            .partition_point(|e| e.start_tx <= floor_tx)
+            .saturating_sub(1);
+        self.epochs.drain(..containing);
+        // Within the surviving epochs, drop stamps wholly before the
+        // floor and then empty record entries.
+        for epoch in &mut self.epochs {
+            for stamps in epoch.records.values_mut() {
+                stamps.retain(|s| s.stop > floor_tx.0);
+            }
+            epoch.records.retain(|_, stamps| !stamps.is_empty());
+        }
+        self.txs.drain(..floor);
+        floor
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::TupleTimestamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_snapshot::{DomainType, Value};
+
+    fn snap(vals: &[i64]) -> StateValue {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        StateValue::Snapshot(
+            SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)]))
+                .unwrap(),
+        )
+    }
+
+    fn hist(vals: &[(i64, u32, u32)]) -> StateValue {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        StateValue::Historical(
+            HistoricalState::new(
+                schema,
+                vals.iter().map(|&(v, s, e)| {
+                    (
+                        Tuple::new(vec![Value::Int(v)]),
+                        TemporalElement::period(s, e),
+                    )
+                }),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn findstate_contract_snapshot() {
+        let mut s = TupleTimestampStore::new();
+        s.append(&snap(&[1]), TransactionNumber(1));
+        s.append(&snap(&[1, 2]), TransactionNumber(3));
+        s.append(&snap(&[2]), TransactionNumber(4));
+        s.append(&snap(&[1, 2]), TransactionNumber(7)); // 1 returns
+        assert_eq!(s.state_at(TransactionNumber(0)), None);
+        assert_eq!(s.state_at(TransactionNumber(1)), Some(snap(&[1])));
+        assert_eq!(s.state_at(TransactionNumber(2)), Some(snap(&[1])));
+        assert_eq!(s.state_at(TransactionNumber(3)), Some(snap(&[1, 2])));
+        assert_eq!(s.state_at(TransactionNumber(5)), Some(snap(&[2])));
+        assert_eq!(s.state_at(TransactionNumber(8)), Some(snap(&[1, 2])));
+        assert_eq!(s.current(), Some(snap(&[1, 2])));
+    }
+
+    #[test]
+    fn findstate_contract_historical() {
+        let mut s = TupleTimestampStore::new();
+        s.append(&hist(&[(1, 0, 5)]), TransactionNumber(1));
+        s.append(&hist(&[(1, 0, 9)]), TransactionNumber(4)); // revalued
+        assert_eq!(s.state_at(TransactionNumber(2)), Some(hist(&[(1, 0, 5)])));
+        assert_eq!(s.state_at(TransactionNumber(4)), Some(hist(&[(1, 0, 9)])));
+    }
+
+    #[test]
+    fn schema_change_starts_new_epoch() {
+        let mut s = TupleTimestampStore::new();
+        s.append(&snap(&[1]), TransactionNumber(1));
+        let other_schema = Schema::new(vec![("y", DomainType::Int)]).unwrap();
+        let other = StateValue::Snapshot(
+            SnapshotState::from_rows(other_schema, vec![vec![Value::Int(9)]]).unwrap(),
+        );
+        s.append(&other, TransactionNumber(2));
+        assert_eq!(s.state_at(TransactionNumber(1)), Some(snap(&[1])));
+        assert_eq!(s.state_at(TransactionNumber(2)), Some(other));
+        assert_eq!(s.epochs.len(), 2);
+    }
+
+    #[test]
+    fn stable_tuples_are_stored_once() {
+        let mut s = TupleTimestampStore::new();
+        // A 100-tuple state that never changes, 20 versions.
+        let vals: Vec<i64> = (0..100).collect();
+        for v in 1..=20u64 {
+            s.append(&snap(&vals), TransactionNumber(v));
+        }
+        let records: usize = s.epochs[0].records.values().map(Vec::len).sum();
+        assert_eq!(records, 100); // one lifetime per tuple, not 2000
+    }
+}

@@ -1,0 +1,187 @@
+//! The write-ahead log: a textual journal of mutating commands.
+//!
+//! The log format is the language's own surface syntax, one command per
+//! line (the pretty-printer escapes newlines inside string literals, so a
+//! command is always a single line), prefixed by an FNV-1a checksum of
+//! the command text:
+//!
+//! ```text
+//! a63bc9b2e1ef3c04 define_relation(emp, rollback);
+//! 4c8f02d19a77be5d modify_state(emp, {(name: str): ("alice")});
+//! ```
+//!
+//! Using the surface syntax as the journal format means recovery is
+//! *replay*: parse each line and re-execute it. Correctness then follows
+//! from the determinism of the semantics — the same command sequence from
+//! the empty database yields the same database (§3.6).
+
+use std::io::{BufRead, Write};
+
+use txtime_core::Command;
+use txtime_parser::print::print_command;
+
+/// 64-bit FNV-1a, used as a line checksum (corruption detection, not
+/// cryptographic integrity).
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends one command to the journal.
+pub fn append_command(out: &mut impl Write, cmd: &Command) -> std::io::Result<()> {
+    let text = format!("{};", print_command(cmd));
+    writeln!(out, "{:016x} {}", fnv1a(text.as_bytes()), text)
+}
+
+/// A recovered journal entry or the reason it was rejected.
+#[derive(Debug)]
+pub enum WalEntry {
+    /// A verified, parsed command.
+    Command(Command),
+    /// A line whose checksum or syntax was invalid (with the 1-based line
+    /// number and a description).
+    Corrupt {
+        /// 1-based line number in the journal.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+/// Reads a journal, yielding verified commands and flagging corrupt
+/// lines. Blank lines are ignored; bytes that are not valid UTF-8 (torn
+/// or overwritten sectors) flag the line as corrupt rather than aborting
+/// recovery.
+pub fn read_journal(mut input: impl BufRead) -> std::io::Result<Vec<WalEntry>> {
+    let mut out = Vec::new();
+    let mut lineno = 0;
+    let mut raw = Vec::new();
+    loop {
+        raw.clear();
+        if input.read_until(b'\n', &mut raw)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let Ok(line) = std::str::from_utf8(&raw) else {
+            out.push(WalEntry::Corrupt {
+                line: lineno,
+                reason: "invalid UTF-8".into(),
+            });
+            continue;
+        };
+        let line = line.trim_end_matches('\n');
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some((sum, text)) = line.split_once(' ') else {
+            out.push(WalEntry::Corrupt {
+                line: lineno,
+                reason: "missing checksum field".into(),
+            });
+            continue;
+        };
+        let Ok(expected) = u64::from_str_radix(sum, 16) else {
+            out.push(WalEntry::Corrupt {
+                line: lineno,
+                reason: "malformed checksum".into(),
+            });
+            continue;
+        };
+        if fnv1a(text.as_bytes()) != expected {
+            out.push(WalEntry::Corrupt {
+                line: lineno,
+                reason: "checksum mismatch".into(),
+            });
+            continue;
+        }
+        match txtime_parser::parse_command(text.trim_end_matches(';')) {
+            Ok(cmd) => out.push(WalEntry::Command(cmd)),
+            Err(e) => out.push(WalEntry::Corrupt {
+                line: lineno,
+                reason: format!("parse error: {e}"),
+            }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use txtime_core::RelationType;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn journal_round_trip() {
+        let cmds = vec![
+            Command::define_relation("emp", RelationType::Rollback),
+            Command::delete_relation("emp"),
+        ];
+        let mut buf = Vec::new();
+        for c in &cmds {
+            append_command(&mut buf, c).unwrap();
+        }
+        let entries = read_journal(Cursor::new(buf)).unwrap();
+        assert_eq!(entries.len(), 2);
+        for (e, c) in entries.iter().zip(&cmds) {
+            match e {
+                WalEntry::Command(got) => assert_eq!(got, c),
+                WalEntry::Corrupt { reason, .. } => panic!("corrupt: {reason}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut buf = Vec::new();
+        append_command(&mut buf, &Command::define_relation("e", RelationType::Snapshot))
+            .unwrap();
+        // Flip a byte in the command text.
+        let pos = buf.len() - 3;
+        buf[pos] ^= 0x01;
+        let entries = read_journal(Cursor::new(buf)).unwrap();
+        assert!(matches!(
+            entries[0],
+            WalEntry::Corrupt { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn garbage_lines_are_flagged_not_fatal() {
+        let data = b"nonsense\n".to_vec();
+        let entries = read_journal(Cursor::new(data)).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(matches!(entries[0], WalEntry::Corrupt { .. }));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let entries = read_journal(Cursor::new(b"\n\n".to_vec())).unwrap();
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn invalid_utf8_is_corruption_not_io_failure() {
+        let mut buf = Vec::new();
+        append_command(&mut buf, &Command::define_relation("e", RelationType::Snapshot))
+            .unwrap();
+        buf.extend_from_slice(&[0xff, 0xfe, 0x00, b'\n']);
+        let entries = read_journal(Cursor::new(buf)).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(matches!(entries[0], WalEntry::Command(_)));
+        assert!(matches!(
+            &entries[1],
+            WalEntry::Corrupt { line: 2, reason } if reason.contains("UTF-8")
+        ));
+    }
+}

@@ -1,0 +1,312 @@
+//! The optimistic concurrent front-end.
+//!
+//! Worker threads execute transactions against database *snapshots* and
+//! validate at commit time. Validation is backward: a transaction may
+//! commit only if no relation in its read or write set was written by a
+//! transaction that committed after its snapshot was taken. On conflict
+//! it restarts with a fresh snapshot (bounded retries), echoing the
+//! restart discipline of the timestamp-ordering schemes the paper cites
+//! \[Rosenkrantz et al. 1978; Stearns et al. 1976\].
+//!
+//! Commits are installed under a mutex, so the commit sequence — and with
+//! it the assignment of transaction numbers — is a single monotonically
+//! increasing order, which is exactly the condition §3.2 places on
+//! concurrent implementations.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+
+use txtime_core::{CoreError, Database};
+
+use crate::history::CommitRecord;
+use crate::transaction::Transaction;
+
+/// State shared between workers.
+struct Shared {
+    /// The committed database plus the log of (commit serial, write set).
+    committed: Mutex<CommitState>,
+    /// Transactions awaiting execution.
+    queue: SegQueue<Transaction>,
+    /// Total restarts across the run (reporting).
+    restarts: AtomicUsize,
+}
+
+struct CommitState {
+    db: Database,
+    /// One entry per committed transaction, in commit order.
+    log: Vec<CommitRecord>,
+}
+
+/// The outcome of a concurrent run.
+#[derive(Debug)]
+pub struct ConcurrentReport {
+    /// The final database.
+    pub database: Database,
+    /// Commit records in commit order.
+    pub commits: Vec<CommitRecord>,
+    /// Transactions that aborted with an execution error (id, error).
+    pub failures: Vec<(u64, CoreError)>,
+    /// Number of validation-conflict restarts that occurred.
+    pub restarts: usize,
+}
+
+/// Runs `transactions` on `threads` worker threads with optimistic
+/// validation; returns when the queue drains.
+pub struct ConcurrentManager {
+    /// Maximum restarts per transaction before it is executed while
+    /// holding the commit lock (guaranteed progress).
+    pub max_restarts: usize,
+}
+
+impl Default for ConcurrentManager {
+    fn default() -> ConcurrentManager {
+        ConcurrentManager { max_restarts: 32 }
+    }
+}
+
+impl ConcurrentManager {
+    /// A manager with default restart bounds.
+    pub fn new() -> ConcurrentManager {
+        ConcurrentManager::default()
+    }
+
+    /// Executes the batch from the empty database.
+    pub fn run(&self, transactions: Vec<Transaction>, threads: usize) -> ConcurrentReport {
+        self.run_from(Database::empty(), transactions, threads)
+    }
+
+    /// Executes the batch from an existing database.
+    pub fn run_from(
+        &self,
+        initial: Database,
+        transactions: Vec<Transaction>,
+        threads: usize,
+    ) -> ConcurrentReport {
+        let shared = Arc::new(Shared {
+            committed: Mutex::new(CommitState {
+                db: initial,
+                log: Vec::new(),
+            }),
+            queue: SegQueue::new(),
+            restarts: AtomicUsize::new(0),
+        });
+        for t in transactions {
+            shared.queue.push(t);
+        }
+
+        let failures = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..threads.max(1) {
+                let shared = Arc::clone(&shared);
+                let failures = &failures;
+                let max_restarts = self.max_restarts;
+                scope.spawn(move || {
+                    while let Some(txn) = shared.queue.pop() {
+                        match execute_with_validation(&shared, &txn, max_restarts) {
+                            Ok(()) => {}
+                            Err(e) => failures.lock().push((txn.id, e)),
+                        }
+                    }
+                });
+            }
+        });
+
+        let state = shared.committed.lock();
+        ConcurrentReport {
+            database: state.db.clone(),
+            commits: state.log.clone(),
+            failures: failures.into_inner(),
+            restarts: shared.restarts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn execute_with_validation(
+    shared: &Shared,
+    txn: &Transaction,
+    max_restarts: usize,
+) -> Result<(), CoreError> {
+    for _attempt in 0..max_restarts {
+        // Take a snapshot and remember how many commits it reflects.
+        let (snapshot, snapshot_commits) = {
+            let state = shared.committed.lock();
+            (state.db.clone(), state.log.len())
+        };
+
+        // Execute optimistically, off the lock.
+        let mut working = snapshot;
+        for cmd in &txn.commands {
+            let (next, _) = cmd.execute(&working)?;
+            working = next;
+        }
+
+        // Validate and commit under the lock.
+        let mut state = shared.committed.lock();
+        let conflicting: BTreeSet<String> = state.log[snapshot_commits..]
+            .iter()
+            .flat_map(|r| r.write_set.iter().cloned())
+            .collect();
+        if txn.conflicts_with(&conflicting) {
+            drop(state);
+            shared.restarts.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        // Replay against the *committed* database (other transactions may
+        // have committed on non-conflicting relations since the snapshot;
+        // effects must compose with theirs, and transaction numbers must
+        // come from the single committed clock).
+        let mut replayed = state.db.clone();
+        for cmd in &txn.commands {
+            let (next, _) = cmd.execute(&replayed)?;
+            replayed = next;
+        }
+        state.db = replayed;
+        let record = CommitRecord {
+            id: txn.id,
+            commit_serial: state.log.len() as u64,
+            commit_tx: state.db.tx,
+            write_set: txn.write_set(),
+        };
+        state.log.push(record);
+        return Ok(());
+    }
+
+    // Fallback for livelocked transactions: execute while holding the
+    // lock — trivially serial.
+    let mut state = shared.committed.lock();
+    let mut working = state.db.clone();
+    for cmd in &txn.commands {
+        let (next, _) = cmd.execute(&working)?;
+        working = next;
+    }
+    state.db = working;
+    let record = CommitRecord {
+        id: txn.id,
+        commit_serial: state.log.len() as u64,
+        commit_tx: state.db.tx,
+        write_set: txn.write_set(),
+    };
+    state.log.push(record);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_core::{Command, Expr, RelationType};
+    use txtime_snapshot::{DomainType, Schema, SnapshotState, Value};
+
+    fn snap(vals: &[i64]) -> SnapshotState {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    fn setup() -> Database {
+        use txtime_core::Sentence;
+        Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[0]))),
+        ])
+        .unwrap()
+        .eval()
+        .unwrap()
+    }
+
+    #[test]
+    fn disjoint_transactions_all_commit() {
+        let txns: Vec<Transaction> = (0..16)
+            .map(|i| {
+                Transaction::new(
+                    i,
+                    vec![
+                        Command::define_relation(format!("r{i}"), RelationType::Rollback),
+                        Command::modify_state(
+                            format!("r{i}"),
+                            Expr::snapshot_const(snap(&[i as i64])),
+                        ),
+                    ],
+                )
+            })
+            .collect();
+        let report = ConcurrentManager::new().run(txns, 4);
+        assert_eq!(report.commits.len(), 16);
+        assert!(report.failures.is_empty());
+        assert_eq!(report.database.state.len(), 16);
+    }
+
+    #[test]
+    fn conflicting_appenders_serialize_correctly() {
+        // 8 transactions each append one tuple to the same relation; the
+        // final state must contain all 8 regardless of interleaving.
+        let txns: Vec<Transaction> = (1..=8)
+            .map(|i| {
+                Transaction::new(
+                    i,
+                    vec![Command::modify_state(
+                        "r",
+                        Expr::current("r").union(Expr::snapshot_const(snap(&[i as i64]))),
+                    )],
+                )
+            })
+            .collect();
+        let report = ConcurrentManager::new().run_from(setup(), txns, 4);
+        assert_eq!(report.commits.len(), 8);
+        let cur = Expr::current("r")
+            .eval(&report.database)
+            .unwrap()
+            .into_snapshot()
+            .unwrap();
+        assert_eq!(cur, snap(&[0, 1, 2, 3, 4, 5, 6, 7, 8]));
+        // And every intermediate version is on record: 1 initial + 8.
+        assert_eq!(
+            report
+                .database
+                .state
+                .lookup("r")
+                .unwrap()
+                .versions()
+                .len(),
+            9
+        );
+    }
+
+    #[test]
+    fn commit_transaction_numbers_strictly_increase() {
+        let txns: Vec<Transaction> = (1..=12)
+            .map(|i| {
+                Transaction::new(
+                    i,
+                    vec![Command::modify_state(
+                        "r",
+                        Expr::current("r").union(Expr::snapshot_const(snap(&[i as i64]))),
+                    )],
+                )
+            })
+            .collect();
+        let report = ConcurrentManager::new().run_from(setup(), txns, 4);
+        let txs: Vec<u64> = report.commits.iter().map(|c| c.commit_tx.0).collect();
+        assert!(txs.windows(2).all(|w| w[0] < w[1]), "commit txs: {txs:?}");
+    }
+
+    #[test]
+    fn erroring_transactions_fail_without_side_effects() {
+        let txns = vec![
+            Transaction::new(1, vec![Command::modify_state("ghost", Expr::current("ghost"))]),
+            Transaction::new(
+                2,
+                vec![Command::modify_state(
+                    "r",
+                    Expr::current("r").union(Expr::snapshot_const(snap(&[5]))),
+                )],
+            ),
+        ];
+        let report = ConcurrentManager::new().run_from(setup(), txns, 2);
+        assert_eq!(report.commits.len(), 1);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].0, 1);
+    }
+}

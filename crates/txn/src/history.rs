@@ -1,0 +1,149 @@
+//! Commit histories and the serial-equivalence checker.
+
+use std::collections::BTreeSet;
+
+use txtime_core::{CoreError, Database, TransactionNumber};
+
+use crate::transaction::Transaction;
+
+/// One committed transaction, as recorded by the concurrent manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitRecord {
+    /// The client's transaction id.
+    pub id: u64,
+    /// 0-based position in the commit order.
+    pub commit_serial: u64,
+    /// The database clock immediately after this commit.
+    pub commit_tx: TransactionNumber,
+    /// The relations the transaction wrote.
+    pub write_set: BTreeSet<String>,
+}
+
+/// Checks the §3.2 requirement: the concurrent run's final database must
+/// equal the *serial* execution of its committed transactions in commit
+/// order, starting from the same initial database.
+///
+/// Returns the serial replay's final database on success, or a
+/// description of the divergence.
+pub fn check_serial_equivalence(
+    initial: &Database,
+    transactions: &[Transaction],
+    commits: &[CommitRecord],
+    concurrent_result: &Database,
+) -> Result<Database, String> {
+    let mut db = initial.clone();
+    for record in commits {
+        let txn = transactions
+            .iter()
+            .find(|t| t.id == record.id)
+            .ok_or_else(|| format!("commit record for unknown transaction {}", record.id))?;
+        for cmd in &txn.commands {
+            match cmd.execute(&db) {
+                Ok((next, _)) => db = next,
+                Err(e) => {
+                    return Err(format!(
+                        "serial replay of committed transaction {} failed: {e}",
+                        record.id
+                    ))
+                }
+            }
+        }
+        if db.tx != record.commit_tx {
+            return Err(format!(
+                "after transaction {}: serial clock {} != recorded commit clock {}",
+                record.id, db.tx, record.commit_tx
+            ));
+        }
+    }
+    if &db == concurrent_result {
+        Ok(db)
+    } else {
+        Err("concurrent final database differs from serial replay in commit order".into())
+    }
+}
+
+/// Serially executes transactions in the given order (the trivial
+/// baseline executor for experiment E8).
+pub fn run_serial(
+    initial: &Database,
+    transactions: &[Transaction],
+) -> Result<Database, (u64, CoreError)> {
+    let mut db = initial.clone();
+    for txn in transactions {
+        let mut working = db.clone();
+        let mut ok = true;
+        for cmd in &txn.commands {
+            match cmd.execute(&working) {
+                Ok((next, _)) => working = next,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            db = working;
+        }
+        // Failed transactions are skipped (atomic abort), matching the
+        // concurrent manager's failure handling.
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::ConcurrentManager;
+    use txtime_core::{Command, Expr, RelationType, Sentence};
+    use txtime_snapshot::{DomainType, Schema, SnapshotState, Value};
+
+    fn snap(vals: &[i64]) -> SnapshotState {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    fn initial() -> Database {
+        Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[0]))),
+        ])
+        .unwrap()
+        .eval()
+        .unwrap()
+    }
+
+    #[test]
+    fn concurrent_run_is_serially_equivalent() {
+        let txns: Vec<Transaction> = (1..=10)
+            .map(|i| {
+                Transaction::new(
+                    i,
+                    vec![Command::modify_state(
+                        "r",
+                        Expr::current("r").union(Expr::snapshot_const(snap(&[i as i64]))),
+                    )],
+                )
+            })
+            .collect();
+        let init = initial();
+        let report = ConcurrentManager::new().run_from(init.clone(), txns.clone(), 4);
+        check_serial_equivalence(&init, &txns, &report.commits, &report.database)
+            .expect("concurrent run must be serially equivalent");
+    }
+
+    #[test]
+    fn checker_rejects_wrong_result() {
+        let txns = vec![Transaction::new(
+            1,
+            vec![Command::modify_state(
+                "r",
+                Expr::current("r").union(Expr::snapshot_const(snap(&[7]))),
+            )],
+        )];
+        let init = initial();
+        let report = ConcurrentManager::new().run_from(init.clone(), txns.clone(), 1);
+        // Tamper: claim a different final database.
+        let err = check_serial_equivalence(&init, &txns, &report.commits, &init);
+        assert!(err.is_err());
+    }
+}

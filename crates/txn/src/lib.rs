@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Transactions and concurrency control for the txtime language.
+//!
+//! The paper fixes the *semantics* of transactions, not their mechanism:
+//! "We assume that database modifications occur sequentially and that a
+//! transaction's time-stamp as represented by its transaction number is
+//! the commit time for the transaction … Implementations may also permit
+//! concurrent transactions, again as long as the semantics of sequential
+//! update with a monotonically increasing transaction time is preserved"
+//! (§3.2).
+//!
+//! This crate supplies both halves of that sentence:
+//!
+//! * [`Transaction`] and [`TransactionManager`] — atomic multi-command
+//!   transactions over the reference [`txtime_core::Database`]. The
+//!   persistent (structure-sharing) representation makes abort free: a
+//!   transaction executes against a working copy and either installs it
+//!   or drops it.
+//! * [`ConcurrentManager`] — an optimistic, validation-based concurrent
+//!   front-end (in the family of the timestamp-ordering schemes the paper
+//!   cites: Bernstein et al., Reed, Rosenkrantz et al.). Worker threads
+//!   execute transactions against database snapshots and validate at
+//!   commit: if a relation in the transaction's read or write set was
+//!   written since the snapshot was taken, the transaction restarts.
+//!   Commit installs effects under a mutex, so commit timestamps are
+//!   assigned in a single monotonically increasing sequence.
+//! * [`history::check_serial_equivalence`] — the checker that makes the
+//!   quoted requirement executable: the concurrent run's final database
+//!   must equal the serial replay of its committed transactions in commit
+//!   order.
+
+pub mod concurrent;
+pub mod history;
+pub mod manager;
+pub mod transaction;
+
+pub use concurrent::{ConcurrentManager, ConcurrentReport};
+pub use history::{check_serial_equivalence, CommitRecord};
+pub use manager::{TransactionManager, TxnReceipt};
+pub use transaction::Transaction;

@@ -1,0 +1,161 @@
+//! The serial transaction manager: atomicity over the reference
+//! semantics.
+
+use parking_lot::Mutex;
+
+use txtime_core::{CommandOutcome, CoreError, Database, EvalError, Expr, StateValue, TransactionNumber};
+
+use crate::transaction::Transaction;
+
+/// What a committed transaction reports back.
+#[derive(Debug, Clone)]
+pub struct TxnReceipt {
+    /// The client's transaction id.
+    pub id: u64,
+    /// Commit-time transaction numbers consumed by the commands, in
+    /// order (one per mutating command).
+    pub first_tx: TransactionNumber,
+    /// The database clock after commit.
+    pub last_tx: TransactionNumber,
+    /// Per-command outcomes.
+    pub outcomes: Vec<CommandOutcome>,
+}
+
+/// A thread-safe transaction manager over the reference database.
+///
+/// Because [`Database`] is persistent (cloning shares structure), a
+/// transaction executes against a working copy; commit atomically swaps
+/// the copy in, abort simply drops it. The mutex serializes commits, so
+/// commit-time transaction numbers are monotonically increasing across
+/// all clients — the paper's required semantics.
+pub struct TransactionManager {
+    db: Mutex<Database>,
+}
+
+impl TransactionManager {
+    /// A manager over the empty database (the start of every sentence).
+    pub fn new() -> TransactionManager {
+        TransactionManager {
+            db: Mutex::new(Database::empty()),
+        }
+    }
+
+    /// A manager over an existing database.
+    pub fn with_database(db: Database) -> TransactionManager {
+        TransactionManager { db: Mutex::new(db) }
+    }
+
+    /// Executes `txn` atomically: if every command succeeds the effects
+    /// install and a receipt returns; if any command fails the database
+    /// is untouched and the error returns.
+    pub fn submit(&self, txn: &Transaction) -> Result<TxnReceipt, CoreError> {
+        let mut guard = self.db.lock();
+        let mut working = guard.clone();
+        let first_tx = working.tx.next();
+        let mut outcomes = Vec::with_capacity(txn.commands.len());
+        for cmd in &txn.commands {
+            let (next, outcome) = cmd.execute(&working)?;
+            working = next;
+            outcomes.push(outcome);
+        }
+        let last_tx = working.tx;
+        *guard = working;
+        Ok(TxnReceipt {
+            id: txn.id,
+            first_tx,
+            last_tx,
+            outcomes,
+        })
+    }
+
+    /// Evaluates a read-only query against the current database.
+    pub fn query(&self, expr: &Expr) -> Result<StateValue, EvalError> {
+        expr.eval(&self.db.lock())
+    }
+
+    /// A snapshot of the current database.
+    pub fn snapshot(&self) -> Database {
+        self.db.lock().clone()
+    }
+}
+
+impl Default for TransactionManager {
+    fn default() -> TransactionManager {
+        TransactionManager::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_core::{Command, RelationType};
+    use txtime_snapshot::{DomainType, Schema, SnapshotState, Value};
+
+    fn snap(vals: &[i64]) -> SnapshotState {
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    #[test]
+    fn successful_transaction_commits_all_commands() {
+        let mgr = TransactionManager::new();
+        let receipt = mgr
+            .submit(&Transaction::new(
+                1,
+                vec![
+                    Command::define_relation("r", RelationType::Rollback),
+                    Command::modify_state("r", Expr::snapshot_const(snap(&[1]))),
+                    Command::modify_state("r", Expr::snapshot_const(snap(&[1, 2]))),
+                ],
+            ))
+            .unwrap();
+        assert_eq!(receipt.first_tx, TransactionNumber(1));
+        assert_eq!(receipt.last_tx, TransactionNumber(3));
+        assert_eq!(
+            mgr.query(&Expr::current("r")).unwrap().into_snapshot().unwrap(),
+            snap(&[1, 2])
+        );
+    }
+
+    #[test]
+    fn failing_transaction_aborts_atomically() {
+        let mgr = TransactionManager::new();
+        mgr.submit(&Transaction::new(
+            1,
+            vec![Command::define_relation("r", RelationType::Rollback)],
+        ))
+        .unwrap();
+        let before = mgr.snapshot();
+        // Second command fails → first must not be visible either.
+        let err = mgr.submit(&Transaction::new(
+            2,
+            vec![
+                Command::modify_state("r", Expr::snapshot_const(snap(&[1]))),
+                Command::modify_state("ghost", Expr::current("ghost")),
+            ],
+        ));
+        assert!(err.is_err());
+        assert_eq!(mgr.snapshot(), before);
+        // No transaction numbers were consumed by the aborted work.
+        assert_eq!(mgr.snapshot().tx, TransactionNumber(1));
+    }
+
+    #[test]
+    fn receipts_expose_commit_clock_progression() {
+        let mgr = TransactionManager::new();
+        let r1 = mgr
+            .submit(&Transaction::new(
+                1,
+                vec![Command::define_relation("a", RelationType::Snapshot)],
+            ))
+            .unwrap();
+        let r2 = mgr
+            .submit(&Transaction::new(
+                2,
+                vec![Command::define_relation("b", RelationType::Snapshot)],
+            ))
+            .unwrap();
+        assert!(r1.last_tx < r2.first_tx || r1.last_tx.next() == r2.first_tx);
+        assert_eq!(r2.last_tx, TransactionNumber(2));
+    }
+}

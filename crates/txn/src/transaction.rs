@@ -1,0 +1,88 @@
+//! Transactions: atomic sequences of commands.
+
+use std::collections::BTreeSet;
+
+use txtime_core::Command;
+
+/// An atomic unit of work: one or more commands that commit together or
+/// not at all.
+///
+/// The paper's base semantics increments the transaction number once per
+/// command; grouping commands into a transaction does not change that —
+/// each command inside still receives its own commit-time number — it
+/// adds atomicity (all-or-nothing installation) and isolation (the
+/// concurrent manager validates the whole group against one snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transaction {
+    /// Client-assigned identifier (used in reports and commit records).
+    pub id: u64,
+    /// The commands, executed in order.
+    pub commands: Vec<Command>,
+}
+
+impl Transaction {
+    /// Creates a transaction.
+    pub fn new(id: u64, commands: Vec<Command>) -> Transaction {
+        Transaction { id, commands }
+    }
+
+    /// The relations this transaction reads (via ρ/ρ̂ in expressions).
+    pub fn read_set(&self) -> BTreeSet<String> {
+        self.commands
+            .iter()
+            .flat_map(|c| c.read_set().into_iter().map(str::to_string))
+            .collect()
+    }
+
+    /// The relations this transaction writes (defines, modifies, deletes,
+    /// or evolves).
+    pub fn write_set(&self) -> BTreeSet<String> {
+        self.commands
+            .iter()
+            .filter_map(|c| c.write_target().map(str::to_string))
+            .collect()
+    }
+
+    /// Whether the transaction conflicts with a set of relations written
+    /// by others: true if its read or write set intersects them.
+    pub fn conflicts_with(&self, written: &BTreeSet<String>) -> bool {
+        self.read_set().iter().any(|r| written.contains(r))
+            || self.write_set().iter().any(|w| written.contains(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_core::{Expr, RelationType};
+
+    #[test]
+    fn read_and_write_sets() {
+        let t = Transaction::new(
+            1,
+            vec![
+                Command::define_relation("a", RelationType::Rollback),
+                Command::modify_state("a", Expr::current("b").union(Expr::current("c"))),
+                Command::display(Expr::current("d")),
+            ],
+        );
+        let reads = t.read_set();
+        assert!(reads.contains("b") && reads.contains("c") && reads.contains("d"));
+        assert!(!reads.contains("a"));
+        let writes = t.write_set();
+        assert_eq!(writes.len(), 1);
+        assert!(writes.contains("a"));
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let t = Transaction::new(1, vec![Command::modify_state("a", Expr::current("b"))]);
+        let mut written = BTreeSet::new();
+        assert!(!t.conflicts_with(&written));
+        written.insert("b".to_string()); // read-write conflict
+        assert!(t.conflicts_with(&written));
+        let mut written2 = BTreeSet::new();
+        written2.insert("a".to_string()); // write-write conflict
+        assert!(t.conflicts_with(&written2));
+    }
+}

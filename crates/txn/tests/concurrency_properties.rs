@@ -1,0 +1,109 @@
+//! Property tests: random concurrent workloads are serially equivalent.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use txtime_core::{Command, Database, Expr, RelationType, Sentence};
+use txtime_snapshot::{DomainType, Schema, SnapshotState, Value};
+use txtime_txn::{check_serial_equivalence, ConcurrentManager, Transaction};
+
+fn snap(vals: &[i64]) -> SnapshotState {
+    let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+    SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+}
+
+/// An initial database with three shared rollback relations.
+fn initial() -> Database {
+    Sentence::new(vec![
+        Command::define_relation("a", RelationType::Rollback),
+        Command::modify_state("a", Expr::snapshot_const(snap(&[0]))),
+        Command::define_relation("b", RelationType::Rollback),
+        Command::modify_state("b", Expr::snapshot_const(snap(&[0]))),
+        Command::define_relation("c", RelationType::Rollback),
+        Command::modify_state("c", Expr::snapshot_const(snap(&[0]))),
+    ])
+    .unwrap()
+    .eval()
+    .unwrap()
+}
+
+/// Random transactions over the shared relations: appends, deletes,
+/// cross-relation copies — all deterministic commands, so serial replay
+/// is a valid oracle.
+fn random_transactions(seed: u64, count: usize) -> Vec<Transaction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rels = ["a", "b", "c"];
+    (1..=count as u64)
+        .map(|id| {
+            let n_cmds = rng.gen_range(1..=3);
+            let commands = (0..n_cmds)
+                .map(|_| {
+                    let target = rels[rng.gen_range(0..rels.len())];
+                    match rng.gen_range(0..3) {
+                        // append a distinct value
+                        0 => Command::modify_state(
+                            target,
+                            Expr::current(target)
+                                .union(Expr::snapshot_const(snap(&[rng.gen_range(0..100)]))),
+                        ),
+                        // remove a value
+                        1 => Command::modify_state(
+                            target,
+                            Expr::current(target)
+                                .difference(Expr::snapshot_const(snap(&[rng.gen_range(0..100)]))),
+                        ),
+                        // copy union of two relations
+                        _ => {
+                            let src = rels[rng.gen_range(0..rels.len())];
+                            Command::modify_state(
+                                target,
+                                Expr::current(target).union(Expr::current(src)),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            Transaction::new(id, commands)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_equals_serial_in_commit_order(
+        seed in any::<u64>(),
+        count in 2usize..20,
+        threads in 1usize..6,
+    ) {
+        let init = initial();
+        let txns = random_transactions(seed, count);
+        let report = ConcurrentManager::new().run_from(init.clone(), txns.clone(), threads);
+        prop_assert_eq!(report.commits.len(), count, "all transactions commit");
+        check_serial_equivalence(&init, &txns, &report.commits, &report.database)
+            .map_err(TestCaseError::fail)?;
+
+        // Commit-time transaction numbers strictly increase.
+        let txs: Vec<u64> = report.commits.iter().map(|c| c.commit_tx.0).collect();
+        prop_assert!(txs.windows(2).all(|w| w[0] < w[1]));
+
+        // Every relation's version sequence is strictly increasing too.
+        for (_, rel) in report.database.state.iter() {
+            let vs: Vec<u64> = rel.versions().iter().map(|v| v.tx.0).collect();
+            prop_assert!(vs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn single_thread_run_matches_submission_order(seed in any::<u64>(), count in 2usize..12) {
+        // With one worker and a FIFO queue, commit order is submission
+        // order, so the result must equal the plain serial executor.
+        let init = initial();
+        let txns = random_transactions(seed, count);
+        let report = ConcurrentManager::new().run_from(init.clone(), txns.clone(), 1);
+        let serial = txtime_txn::history::run_serial(&init, &txns).unwrap();
+        prop_assert_eq!(report.database, serial);
+    }
+}

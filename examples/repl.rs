@@ -1,0 +1,130 @@
+//! A tiny interactive REPL for the txtime language.
+//!
+//! ```text
+//! cargo run --example repl
+//! ```
+//!
+//! Enter commands terminated by `;`. Anything you `display(...)` is
+//! printed; everything else mutates the in-memory engine. `\q` quits,
+//! `\catalog` lists relations, `\versions r` shows a relation's recorded
+//! history.
+//!
+//! ```text
+//! txtime> define_relation(emp, rollback);
+//! txtime> modify_state(emp, {(name: str): ("ada")});
+//! txtime> display(rho(emp, inf));
+//! (name: str) { ("ada") }
+//! ```
+
+use std::io::{BufRead, Write};
+
+use txtime::core::{CommandOutcome, Expr, TxSpec};
+use txtime::parser::parse_command;
+use txtime::storage::{BackendKind, CheckpointPolicy, Engine};
+
+fn main() {
+    let mut engine = Engine::new(BackendKind::ForwardDelta, CheckpointPolicy::EveryK(16));
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+
+    println!("txtime REPL — commands end with ';'. \\q quits, \\catalog lists relations.");
+    print_prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+
+        // Meta-commands work only at the start of an input.
+        if buffer.trim().is_empty() {
+            match trimmed {
+                "\\q" | "\\quit" => break,
+                "\\catalog" => {
+                    for name in engine.relations() {
+                        println!(
+                            "  {name} : {} ({} versions)",
+                            engine.relation_type(name).expect("listed"),
+                            engine.version_count(name).unwrap_or(0)
+                        );
+                    }
+                    print_prompt(&buffer);
+                    continue;
+                }
+                _ if trimmed.starts_with("\\versions") => {
+                    let name = trimmed.trim_start_matches("\\versions").trim();
+                    match engine.version_count(name) {
+                        Some(n) => {
+                            println!("  {name}: {n} recorded versions; current state:");
+                            match engine.eval(&current_expr(&engine, name)) {
+                                Ok(s) => println!("  {s}"),
+                                Err(e) => println!("  <{e}>"),
+                            }
+                        }
+                        None => println!("  no relation named {name:?}"),
+                    }
+                    print_prompt(&buffer);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // Execute each complete ';'-terminated command in the buffer.
+        while let Some(pos) = split_point(&buffer) {
+            let (cmd_text, rest) = buffer.split_at(pos);
+            let cmd_text = cmd_text.trim().trim_end_matches(';');
+            let rest = rest.trim_start_matches(';').to_string();
+            if !cmd_text.trim().is_empty() {
+                match parse_command(cmd_text) {
+                    Ok(cmd) => match engine.execute(&cmd) {
+                        Ok(CommandOutcome::Displayed(state)) => println!("{state}"),
+                        Ok(outcome) => println!("ok ({outcome:?}, clock at tx {})", engine.tx()),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    Err(e) => println!("parse error: {e}"),
+                }
+            }
+            buffer = rest;
+        }
+        print_prompt(&buffer);
+    }
+    println!("\nbye — {} relations, clock at tx {}", engine.relations().len(), engine.tx());
+}
+
+/// Finds the first top-level `;` (outside string literals).
+fn split_point(s: &str) -> Option<usize> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ';' if !in_string => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn current_expr(engine: &Engine, name: &str) -> Expr {
+    use txtime::core::RelationType;
+    match engine.relation_type(name) {
+        Some(RelationType::Historical | RelationType::Temporal) => {
+            Expr::hrollback(name, TxSpec::Current)
+        }
+        _ => Expr::rollback(name, TxSpec::Current),
+    }
+}
+
+fn print_prompt(buffer: &str) {
+    if buffer.trim().is_empty() {
+        print!("txtime> ");
+    } else {
+        print!("   ...> ");
+    }
+    let _ = std::io::stdout().flush();
+}

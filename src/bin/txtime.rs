@@ -1,0 +1,205 @@
+//! The `txtime` command-line tool: execute scripts in the surface syntax
+//! against a storage engine.
+//!
+//! ```text
+//! txtime run script.txq                       # execute, print displays
+//! txtime run script.txq --backend fwd-delta   # choose physical design
+//! txtime run script.txq --wal journal.wal     # journal mutations
+//! txtime recover journal.wal                  # rebuild + summarize
+//! txtime check script.txq                     # parse + verify engine ≡ reference
+//! ```
+//!
+//! Exit code 0 on success, 1 on any parse/execution error.
+
+use std::process::ExitCode;
+
+use txtime::core::CommandOutcome;
+use txtime::parser::parse_sentence;
+use txtime::storage::{
+    check_equivalence, recovery::recover, BackendKind, CheckpointPolicy, Engine,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "run" => run(rest),
+        Some((cmd, rest)) if cmd == "recover" => recover_cmd(rest),
+        Some((cmd, rest)) if cmd == "check" => check(rest),
+        _ => {
+            eprintln!("usage: txtime <run|recover|check> <file> [--backend KIND] [--wal FILE] [--checkpoint K]");
+            eprintln!("backends: full-copy (default), fwd-delta, rev-delta, tuple-ts");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    file: String,
+    backend: BackendKind,
+    wal: Option<String>,
+    checkpoint: CheckpointPolicy,
+}
+
+fn parse_options(rest: &[String]) -> Result<Options, String> {
+    let mut file = None;
+    let mut backend = BackendKind::FullCopy;
+    let mut wal = None;
+    let mut checkpoint = CheckpointPolicy::EveryK(16);
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a value")?;
+                backend = match v.as_str() {
+                    "full-copy" => BackendKind::FullCopy,
+                    "fwd-delta" | "forward-delta" => BackendKind::ForwardDelta,
+                    "rev-delta" | "reverse-delta" => BackendKind::ReverseDelta,
+                    "tuple-ts" | "tuple-timestamp" => BackendKind::TupleTimestamp,
+                    other => return Err(format!("unknown backend {other:?}")),
+                };
+            }
+            "--wal" => wal = Some(it.next().ok_or("--wal needs a value")?.clone()),
+            "--checkpoint" => {
+                let v = it.next().ok_or("--checkpoint needs a value")?;
+                let k: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid checkpoint interval {v:?}"))?;
+                checkpoint = if k == 0 {
+                    CheckpointPolicy::Never
+                } else {
+                    CheckpointPolicy::EveryK(k)
+                };
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Options {
+        file: file.ok_or("missing input file")?,
+        backend,
+        wal,
+        checkpoint,
+    })
+}
+
+fn run(rest: &[String]) -> ExitCode {
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut engine = match &opts.wal {
+        Some(path) => match Engine::with_wal(opts.backend, opts.checkpoint, path) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("error: cannot open WAL {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Engine::new(opts.backend, opts.checkpoint),
+    };
+    match engine.execute_script(&source) {
+        Ok(outcomes) => {
+            for o in &outcomes {
+                if let CommandOutcome::Displayed(state) = o {
+                    println!("{state}");
+                }
+            }
+            eprintln!(
+                "ok: {} commands, clock at tx {}, {} relations",
+                outcomes.len(),
+                engine.tx(),
+                engine.relations().len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn recover_cmd(rest: &[String]) -> ExitCode {
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match recover(&opts.file, opts.backend, opts.checkpoint) {
+        Ok(rec) => {
+            eprintln!(
+                "recovered {} commands; clock at tx {}; {} corrupt line(s) skipped",
+                rec.replayed,
+                rec.engine.tx(),
+                rec.skipped.len()
+            );
+            for (line, reason) in &rec.skipped {
+                eprintln!("  line {line}: {reason}");
+            }
+            for name in rec.engine.relations() {
+                eprintln!(
+                    "  {name}: {} ({} versions)",
+                    rec.engine.relation_type(name).expect("listed"),
+                    rec.engine.version_count(name).unwrap_or(0)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(rest: &[String]) -> ExitCode {
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let sentence = match parse_sentence(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("parse: ok ({} commands)", sentence.commands().len());
+    let mut failed = false;
+    for backend in BackendKind::ALL {
+        match check_equivalence(sentence.commands(), backend, opts.checkpoint) {
+            Ok(()) => eprintln!("{backend}: ≡ reference semantics"),
+            Err(e) => {
+                eprintln!("{backend}: DIVERGENCE — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,116 @@
+//! Integration tests for the `txtime` CLI binary (run / recover / check).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn txtime(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_txtime"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join("txtime-cli-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+fn write_script(name: &str, contents: &str) -> PathBuf {
+    let path = tmpdir().join(format!("{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("script written");
+    path
+}
+
+const SCRIPT: &str = r#"
+    define_relation(emp, rollback);
+    modify_state(emp, {(name: str, sal: int): ("alice", 100), ("bob", 200)});
+    modify_state(emp, rho(emp, inf) union {(name: str, sal: int): ("carol", 50)});
+    display(project[name](select[sal > 60](rho(emp, inf))));
+"#;
+
+#[test]
+fn run_executes_and_prints_displays() {
+    let script = write_script("run.txq", SCRIPT);
+    let out = txtime(&["run", script.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("alice"));
+    assert!(stdout.contains("bob"));
+    assert!(!stdout.contains("carol")); // filtered by sal > 60
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("clock at tx 3"));
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn run_supports_every_backend_flag() {
+    let script = write_script("backends.txq", SCRIPT);
+    for backend in ["full-copy", "fwd-delta", "rev-delta", "tuple-ts"] {
+        let out = txtime(&["run", script.to_str().unwrap(), "--backend", backend]);
+        assert!(out.status.success(), "backend {backend}");
+    }
+    let out = txtime(&["run", script.to_str().unwrap(), "--backend", "btree"]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn run_reports_parse_errors_with_position() {
+    let script = write_script("bad.txq", "define_relation(emp rollback);");
+    let out = txtime(&["run", script.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn wal_then_recover_round_trips() {
+    let script = write_script("journal.txq", SCRIPT);
+    let wal = tmpdir().join(format!("{}-journal.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+
+    let out = txtime(&[
+        "run",
+        script.to_str().unwrap(),
+        "--wal",
+        wal.to_str().unwrap(),
+        "--backend",
+        "fwd-delta",
+    ]);
+    assert!(out.status.success());
+
+    let out = txtime(&["recover", wal.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("recovered 3 commands"), "stderr: {stderr}");
+    assert!(stderr.contains("emp: rollback (2 versions)"));
+
+    let _ = std::fs::remove_file(&script);
+    let _ = std::fs::remove_file(&wal);
+}
+
+#[test]
+fn check_verifies_all_backends() {
+    let script = write_script("check.txq", SCRIPT);
+    let out = txtime(&["check", script.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for backend in ["full-copy", "forward-delta", "reverse-delta", "tuple-timestamp"] {
+        assert!(
+            stderr.contains(&format!("{backend}: ≡ reference semantics")),
+            "stderr: {stderr}"
+        );
+    }
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn usage_on_bad_invocation() {
+    let out = txtime(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let out = txtime(&["run"]);
+    assert!(!out.status.success());
+}

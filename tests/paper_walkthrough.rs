@@ -1,0 +1,357 @@
+//! A section-by-section walkthrough of the paper, with each definitional
+//! rule checked as executable behaviour. Section numbers refer to
+//! McKenzie & Snodgrass, SIGMOD 1987.
+
+use txtime::core::prelude::*;
+use txtime::core::EvalError;
+use txtime::historical::{HistoricalState, TemporalElement};
+use txtime::snapshot::{DomainType, Schema, SnapshotState, Tuple, Value};
+
+fn schema() -> Schema {
+    Schema::new(vec![("x", DomainType::Int)]).unwrap()
+}
+
+fn snap(vals: &[i64]) -> SnapshotState {
+    SnapshotState::from_rows(schema(), vals.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+}
+
+fn hist(vals: &[(i64, u32, u32)]) -> HistoricalState {
+    HistoricalState::new(
+        schema(),
+        vals.iter().map(|&(v, s, e)| {
+            (Tuple::new(vec![Value::Int(v)]), TemporalElement::period(s, e))
+        }),
+    )
+    .unwrap()
+}
+
+mod section_3_2_semantic_domains {
+    use super::*;
+
+    /// "The sequence of states for a snapshot relation will always be a
+    /// single-element sequence."
+    #[test]
+    fn snapshot_relations_have_single_element_sequences() {
+        let db = Sentence::new(vec![
+            Command::define_relation("s", RelationType::Snapshot),
+            Command::modify_state("s", Expr::snapshot_const(snap(&[1]))),
+            Command::modify_state("s", Expr::snapshot_const(snap(&[2]))),
+            Command::modify_state("s", Expr::snapshot_const(snap(&[3]))),
+        ])
+        .unwrap()
+        .eval()
+        .unwrap();
+        assert_eq!(db.state.lookup("s").unwrap().versions().len(), 1);
+    }
+
+    /// "Rollback relations are append only relations defined in terms of
+    /// snapshot states."
+    #[test]
+    fn rollback_relations_are_append_only() {
+        let db = Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[1]))),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[2]))),
+        ])
+        .unwrap()
+        .eval()
+        .unwrap();
+        let r = db.state.lookup("r").unwrap();
+        assert_eq!(r.versions().len(), 2);
+        // Appending never rewrote the first pair.
+        assert_eq!(r.versions()[0].state.as_snapshot().unwrap(), &snap(&[1]));
+    }
+
+    /// "The transaction-number components of a state sequence, while not
+    /// necessarily consecutive, will be nevertheless strictly increasing."
+    #[test]
+    fn transaction_numbers_increase_but_need_not_be_consecutive() {
+        let db = Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[1]))), // tx 2
+            Command::define_relation("q", RelationType::Snapshot),        // tx 3
+            Command::modify_state("r", Expr::snapshot_const(snap(&[2]))), // tx 4
+        ])
+        .unwrap()
+        .eval()
+        .unwrap();
+        let txs: Vec<u64> = db
+            .state
+            .lookup("r")
+            .unwrap()
+            .versions()
+            .iter()
+            .map(|v| v.tx.0)
+            .collect();
+        assert_eq!(txs, vec![2, 4]); // gap at 3, strictly increasing
+    }
+}
+
+mod section_3_3_auxiliary_functions {
+    use super::*;
+    use txtime::core::semantics::aux::find_state;
+
+    /// "FINDSTATE maps a relation into the snapshot-state component of
+    /// the element … having the largest transaction-number component less
+    /// than or equal to a given integer."
+    #[test]
+    fn findstate_is_the_floor_lookup() {
+        let db = Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[1]))), // tx 2
+            Command::define_relation("pad1", RelationType::Snapshot),
+            Command::define_relation("pad2", RelationType::Snapshot),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[2]))), // tx 5
+        ])
+        .unwrap()
+        .eval()
+        .unwrap();
+        let r = db.state.lookup("r").unwrap();
+        for t in 2..5 {
+            assert_eq!(
+                find_state(r, TransactionNumber(t)).unwrap().as_snapshot(),
+                Some(&snap(&[1])),
+                "interpolated at tx {t}"
+            );
+        }
+        assert_eq!(
+            find_state(r, TransactionNumber(5)).unwrap().as_snapshot(),
+            Some(&snap(&[2]))
+        );
+        // "If the sequence is empty or no such element exists in the
+        // sequence, then FINDSTATE returns the empty set."
+        assert!(find_state(r, TransactionNumber(1)).is_none());
+    }
+}
+
+mod section_3_4_expressions {
+    use super::*;
+
+    fn db() -> Database {
+        Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[1, 2]))), // tx 2
+            Command::modify_state("r", Expr::snapshot_const(snap(&[2, 3]))), // tx 3
+            Command::define_relation("s", RelationType::Snapshot),
+            Command::modify_state("s", Expr::snapshot_const(snap(&[9]))),
+        ])
+        .unwrap()
+        .eval()
+        .unwrap()
+    }
+
+    /// "Evaluation of an expression on a specific database does not
+    /// change that database."
+    #[test]
+    fn expressions_are_side_effect_free() {
+        let d = db();
+        let before = d.clone();
+        let _ = Expr::current("r")
+            .union(Expr::current("r"))
+            .select(txtime::snapshot::Predicate::gt_const("x", Value::Int(1)))
+            .eval(&d);
+        assert_eq!(d, before);
+    }
+
+    /// "If N = ∞, then the result … is the most recent snapshot state";
+    /// "the operator ρ may be applied to either a snapshot or a rollback
+    /// relation".
+    #[test]
+    fn rho_with_infinity_reads_the_present_of_both_types() {
+        let d = db();
+        assert_eq!(
+            Expr::current("r").eval(&d).unwrap().into_snapshot().unwrap(),
+            snap(&[2, 3])
+        );
+        assert_eq!(
+            Expr::current("s").eval(&d).unwrap().into_snapshot().unwrap(),
+            snap(&[9])
+        );
+    }
+
+    /// "If N is not ∞, ρ may only be applied to a rollback relation …
+    /// The rollback operator cannot retrieve a past state of a snapshot
+    /// relation."
+    #[test]
+    fn rho_with_past_tx_is_rollback_only() {
+        let d = db();
+        assert_eq!(
+            Expr::rollback("r", TxSpec::At(TransactionNumber(2)))
+                .eval(&d)
+                .unwrap()
+                .into_snapshot()
+                .unwrap(),
+            snap(&[1, 2])
+        );
+        assert!(matches!(
+            Expr::rollback("s", TxSpec::At(TransactionNumber(4))).eval(&d),
+            Err(EvalError::RollbackOnSnapshot(_))
+        ));
+    }
+}
+
+mod section_3_5_commands {
+    use super::*;
+
+    /// "If the database's database-state component does not currently map
+    /// the identifier I into ⊥ … the command leaves the database
+    /// unchanged."
+    #[test]
+    fn define_relation_on_bound_identifier_is_a_noop() {
+        let d = Command::define_relation("r", RelationType::Rollback)
+            .execute_total(&Database::empty());
+        let d2 = Command::define_relation("r", RelationType::Temporal).execute_total(&d);
+        assert_eq!(d, d2);
+        assert_eq!(
+            d2.state.lookup("r").unwrap().rtype(),
+            RelationType::Rollback
+        );
+    }
+
+    /// "Append is accommodated by an expression E that evaluates to a
+    /// snapshot state containing all of the tuples in a relation's most
+    /// recent state plus one or more tuples not in [it]" — and delete and
+    /// replace analogously (§3.5).
+    #[test]
+    fn modify_state_subsumes_append_delete_replace() {
+        let d = Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(snap(&[1]))),
+            // append
+            Command::modify_state(
+                "r",
+                Expr::current("r").union(Expr::snapshot_const(snap(&[2]))),
+            ),
+            // delete
+            Command::modify_state(
+                "r",
+                Expr::current("r").difference(Expr::snapshot_const(snap(&[1]))),
+            ),
+            // replace
+            Command::modify_state(
+                "r",
+                Expr::current("r")
+                    .difference(Expr::snapshot_const(snap(&[2])))
+                    .union(Expr::snapshot_const(snap(&[20]))),
+            ),
+        ])
+        .unwrap()
+        .eval()
+        .unwrap();
+        let states: Vec<SnapshotState> = d
+            .state
+            .lookup("r")
+            .unwrap()
+            .versions()
+            .iter()
+            .map(|v| v.state.as_snapshot().unwrap().clone())
+            .collect();
+        assert_eq!(
+            states,
+            vec![snap(&[1]), snap(&[1, 2]), snap(&[2]), snap(&[20])]
+        );
+    }
+
+    /// "C⟦C₁, C₂⟧ d ≜ C⟦C₂⟧ (C⟦C₁⟧ d)" — sequencing is function
+    /// composition.
+    #[test]
+    fn sequencing_is_composition() {
+        let c1 = Command::define_relation("r", RelationType::Rollback);
+        let c2 = Command::modify_state("r", Expr::snapshot_const(snap(&[7])));
+        let composed = c2.execute_total(&c1.execute_total(&Database::empty()));
+        let sentence = Sentence::new(vec![c1, c2]).unwrap().eval().unwrap();
+        assert_eq!(composed, sentence);
+    }
+}
+
+mod section_3_6_sentences {
+    use super::*;
+
+    /// "P⟦C⟧ ≜ C⟦C⟧ (EMPTY, 0)" — evaluation always starts from the
+    /// empty database with transaction count 0.
+    #[test]
+    fn sentences_start_from_the_empty_database() {
+        let d = Database::empty();
+        assert_eq!(d.tx, TransactionNumber(0));
+        assert!(d.state.is_empty());
+        let s = Sentence::new(vec![Command::define_relation("a", RelationType::Snapshot)])
+            .unwrap();
+        // eval() and resume(empty) coincide.
+        assert_eq!(s.eval().unwrap(), s.resume(&Database::empty()).unwrap());
+    }
+}
+
+mod section_4_valid_and_transaction_time {
+    use super::*;
+
+    fn tdb() -> Database {
+        Sentence::new(vec![
+            Command::define_relation("t", RelationType::Temporal),
+            Command::modify_state("t", Expr::historical_const(hist(&[(1, 0, 10)]))), // tx 2
+            Command::modify_state(
+                "t",
+                Expr::historical_const(hist(&[(1, 0, 10), (2, 5, 20)])),
+            ), // tx 3
+            Command::define_relation("h", RelationType::Historical),
+            Command::modify_state("h", Expr::historical_const(hist(&[(7, 0, 4)]))),
+        ])
+        .unwrap()
+        .eval()
+        .unwrap()
+    }
+
+    /// "Historical relations are handled similarly to snapshot relations
+    /// … The same relationship holds between rollback and temporal
+    /// relations" (the §4 modify_state extension).
+    #[test]
+    fn historical_replaces_temporal_appends() {
+        let d = tdb();
+        assert_eq!(d.state.lookup("t").unwrap().versions().len(), 2);
+        assert_eq!(d.state.lookup("h").unwrap().versions().len(), 1);
+    }
+
+    /// ρ̂ retrieves historical states by transaction time, exactly as ρ
+    /// retrieves snapshot states.
+    #[test]
+    fn hrho_navigates_transaction_time() {
+        let d = tdb();
+        let v1 = Expr::hrollback("t", TxSpec::At(TransactionNumber(2)))
+            .eval(&d)
+            .unwrap()
+            .into_historical()
+            .unwrap();
+        assert_eq!(v1, hist(&[(1, 0, 10)]));
+        let v2 = Expr::hcurrent("t").eval(&d).unwrap().into_historical().unwrap();
+        assert_eq!(v2.len(), 2);
+    }
+
+    /// Mixing the operator families across state kinds is ill-typed: ρ on
+    /// temporal relations and ρ̂ on rollback relations are both illegal.
+    #[test]
+    fn the_operator_families_do_not_mix() {
+        let d = tdb();
+        assert!(matches!(
+            Expr::current("t").eval(&d),
+            Err(EvalError::RollbackTypeMismatch { .. })
+        ));
+        assert!(Expr::hcurrent("h")
+                .hunion(Expr::historical_const(hist(&[(1, 0, 1)])))
+                .eval(&d).is_ok());
+    }
+}
+
+mod section_5_related_work {
+    use super::*;
+    use txtime::benzvi::bridge;
+
+    /// "The Time-View operator thus rolls back a relation to a
+    /// transaction time but returns only a subset of the tuples in the
+    /// relation at that transaction time (i.e., those tuples valid at
+    /// some specified time)" — our ρ̂ subsumes it.
+    #[test]
+    fn time_view_is_a_slice_of_rho_hat() {
+        let versions = vec![hist(&[(1, 0, 10)]), hist(&[(1, 0, 10), (2, 5, 20)])];
+        let b = bridge::load(&versions);
+        b.check_correspondence(25).unwrap();
+    }
+}
