@@ -1,0 +1,245 @@
+//! The checker's transaction-indexed view of the database.
+//!
+//! A sentence always evaluates from the EMPTY database (§3.6), and every
+//! successful mutating command commits at the next transaction number.
+//! Walking the sentence in order therefore lets the checker know, for
+//! each relation and *exactly*, the transaction number and (when
+//! inferable) the scheme of every version it will hold — which makes
+//! FINDSTATE itself statically computable, including the boundary rule
+//! that a rollback to a time before the first version yields ∅ with the
+//! earliest known scheme (DESIGN.md: "types force a scheme onto ∅").
+
+use std::collections::BTreeMap;
+
+use txtime_core::{Database, RelationType, StateValue, TransactionNumber, TxSpec};
+use txtime_snapshot::Schema;
+
+/// What static FINDSTATE resolves a rollback to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaticState {
+    /// A stored version exists at or before the requested transaction;
+    /// its scheme, when statically known.
+    Version(Option<Schema>),
+    /// No version at or before the requested transaction, but the
+    /// relation has later states: evaluation yields ∅ carrying the
+    /// earliest version's scheme.
+    EmptyWithForcedScheme(Option<Schema>),
+    /// The relation has never been given a state: even ∅ has no scheme,
+    /// and evaluation fails.
+    NoStates,
+}
+
+/// What the checker knows about one defined relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationFacts {
+    /// The declared type.
+    pub rtype: RelationType,
+    /// The versions the relation will hold, in commit order: the commit
+    /// transaction number and the version's scheme when inferable.
+    /// Mirrors [`txtime_core::Relation`]: snapshot/historical relations
+    /// keep only the latest entry.
+    pub versions: Vec<(TransactionNumber, Option<Schema>)>,
+}
+
+impl RelationFacts {
+    /// A freshly defined relation: no versions yet.
+    pub fn new(rtype: RelationType) -> RelationFacts {
+        RelationFacts {
+            rtype,
+            versions: Vec::new(),
+        }
+    }
+
+    /// The scheme of the current (latest) version, if any is known.
+    pub fn current_schema(&self) -> Option<&Schema> {
+        self.versions.last().and_then(|(_, s)| s.as_ref())
+    }
+
+    /// Whether the relation has any stored version.
+    pub fn has_states(&self) -> bool {
+        !self.versions.is_empty()
+    }
+
+    /// Records that a new version commits at `tx`, mirroring the
+    /// replace/append dispatch of `modify_state`.
+    pub fn push_version(&mut self, tx: TransactionNumber, schema: Option<Schema>) {
+        if !self.rtype.keeps_history() {
+            self.versions.clear();
+        }
+        self.versions.push((tx, schema));
+    }
+
+    /// Static FINDSTATE: the state a rollback at `tx` resolves to
+    /// (the largest version transaction ≤ `tx`, the forced-∅ boundary,
+    /// or the no-states failure).
+    pub fn find_state(&self, tx: TransactionNumber) -> StaticState {
+        if self.versions.is_empty() {
+            return StaticState::NoStates;
+        }
+        let idx = self.versions.partition_point(|(t, _)| *t <= tx);
+        match idx.checked_sub(1) {
+            Some(i) => StaticState::Version(self.versions[i].1.clone()),
+            None => StaticState::EmptyWithForcedScheme(self.versions[0].1.clone()),
+        }
+    }
+}
+
+/// The checker's static database state: the defined relations plus the
+/// transaction clock, advanced command by command.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: BTreeMap<String, RelationFacts>,
+    /// The transaction clock: the number of the most recent committed
+    /// transaction (0 for the empty database).
+    pub tx: TransactionNumber,
+}
+
+impl Catalog {
+    /// The empty database: no relations, clock at 0. This is where every
+    /// sentence starts (§3.6).
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// A catalog matching an already-materialized database, for checking
+    /// commands that resume from it (the REPL, `Sentence::resume`).
+    pub fn from_database(db: &Database) -> Catalog {
+        let mut relations = BTreeMap::new();
+        for (name, rel) in db.state.iter() {
+            let versions = rel
+                .versions()
+                .iter()
+                .map(|v| {
+                    let schema = match &v.state {
+                        StateValue::Snapshot(s) => s.schema().clone(),
+                        StateValue::Historical(h) => h.schema().clone(),
+                    };
+                    (v.tx, Some(schema))
+                })
+                .collect();
+            relations.insert(
+                name.clone(),
+                RelationFacts {
+                    rtype: rel.rtype(),
+                    versions,
+                },
+            );
+        }
+        Catalog {
+            relations,
+            tx: db.tx,
+        }
+    }
+
+    /// Looks up a relation's facts.
+    pub fn get(&self, name: &str) -> Option<&RelationFacts> {
+        self.relations.get(name)
+    }
+
+    /// Whether `name` is a defined relation.
+    pub fn is_defined(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// The defined relation names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Binds a freshly defined relation.
+    pub fn define(&mut self, name: impl Into<String>, rtype: RelationType) {
+        self.relations
+            .insert(name.into(), RelationFacts::new(rtype));
+    }
+
+    /// Removes a binding (`delete_relation`).
+    pub fn undefine(&mut self, name: &str) {
+        self.relations.remove(name);
+    }
+
+    /// Mutable access for recording new versions.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut RelationFacts> {
+        self.relations.get_mut(name)
+    }
+
+    /// Resolves the transaction number a `TxSpec` denotes under the
+    /// current clock (∞ ↦ the clock's value).
+    pub fn resolve_tx(&self, spec: TxSpec) -> TransactionNumber {
+        match spec {
+            TxSpec::Current => self.tx,
+            TxSpec::At(n) => n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_core::{Command, Expr, Sentence};
+    use txtime_snapshot::{DomainType, SnapshotState, Value};
+
+    fn schema(names: &[&str]) -> Schema {
+        Schema::new(
+            names
+                .iter()
+                .map(|&n| (n, DomainType::Int))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn static_findstate_mirrors_runtime_rules() {
+        let mut f = RelationFacts::new(RelationType::Rollback);
+        assert_eq!(f.find_state(TransactionNumber(5)), StaticState::NoStates);
+        f.push_version(TransactionNumber(2), Some(schema(&["x"])));
+        f.push_version(TransactionNumber(4), Some(schema(&["y"])));
+        assert_eq!(
+            f.find_state(TransactionNumber(1)),
+            StaticState::EmptyWithForcedScheme(Some(schema(&["x"])))
+        );
+        assert_eq!(
+            f.find_state(TransactionNumber(2)),
+            StaticState::Version(Some(schema(&["x"])))
+        );
+        assert_eq!(
+            f.find_state(TransactionNumber(3)),
+            StaticState::Version(Some(schema(&["x"])))
+        );
+        assert_eq!(
+            f.find_state(TransactionNumber(99)),
+            StaticState::Version(Some(schema(&["y"])))
+        );
+    }
+
+    #[test]
+    fn snapshot_relations_keep_single_version() {
+        let mut f = RelationFacts::new(RelationType::Snapshot);
+        f.push_version(TransactionNumber(2), Some(schema(&["x"])));
+        f.push_version(TransactionNumber(3), Some(schema(&["y"])));
+        assert_eq!(f.versions.len(), 1);
+        assert_eq!(f.current_schema(), Some(&schema(&["y"])));
+    }
+
+    #[test]
+    fn from_database_matches_evaluation() {
+        let s = SnapshotState::from_rows(schema(&["x"]), vec![vec![Value::Int(1)]]).unwrap();
+        let db = Sentence::new(vec![
+            Command::define_relation("r", RelationType::Rollback),
+            Command::modify_state("r", Expr::snapshot_const(s.clone())),
+            Command::modify_state("r", Expr::snapshot_const(s)),
+        ])
+        .unwrap()
+        .eval()
+        .unwrap();
+        let cat = Catalog::from_database(&db);
+        assert_eq!(cat.tx, TransactionNumber(3));
+        let f = cat.get("r").unwrap();
+        assert_eq!(f.rtype, RelationType::Rollback);
+        assert_eq!(
+            f.versions.iter().map(|(t, _)| t.0).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(f.current_schema(), Some(&schema(&["x"])));
+    }
+}

@@ -1,0 +1,290 @@
+//! Command- and sentence-level well-formedness checking.
+//!
+//! The checker replays a sentence against a static [`Catalog`] the same
+//! way **P** replays it against the empty database: command by command,
+//! advancing the transaction clock for every command that would commit.
+//! A command that reports diagnostics is treated as the no-op the paper's
+//! total semantics makes it, so later commands are still checked against
+//! a consistent state and one mistake yields one report, not a cascade.
+
+use txtime_core::{Command, CommandSpans, Expr, ExprSpans, Sentence, SentenceSpans, Span, TxSpec};
+use txtime_snapshot::{Attribute, Schema};
+
+use crate::catalog::Catalog;
+use crate::diagnostic::{Diagnostic, ErrorCode};
+use crate::infer::{infer_expr, ExprFacts, StaticKind};
+
+/// A stateful checker: the static database state plus the rules.
+///
+/// Use [`check_sentence`] for the common whole-sentence case; construct a
+/// `Checker` directly for incremental use (the REPL checks each command
+/// against the state so far, committing only the ones the engine
+/// actually executed).
+#[derive(Debug, Clone, Default)]
+pub struct Checker {
+    catalog: Catalog,
+}
+
+impl Checker {
+    /// A checker at the empty database — where every sentence starts.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// A checker resuming from an existing database.
+    pub fn from_database(db: &txtime_core::Database) -> Checker {
+        Checker {
+            catalog: Catalog::from_database(db),
+        }
+    }
+
+    /// The static state accumulated so far.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Checks one command against the current state without committing
+    /// it.
+    pub fn check(&self, command: &Command, spans: Option<&CommandSpans>) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        self.check_into(command, spans, &mut diags);
+        diags
+    }
+
+    /// Records a command's effect on the static state. Call only for
+    /// commands that (will) actually execute; the scheme recorded for a
+    /// new version is best-effort and may be unknown.
+    pub fn commit(&mut self, command: &Command) {
+        match command {
+            Command::DefineRelation(ident, rtype) => {
+                self.catalog.define(ident.clone(), *rtype);
+                self.catalog.tx = self.catalog.tx.next();
+            }
+            Command::ModifyState(ident, expr) => {
+                let schema = self.expr_schema(expr);
+                let tx = self.catalog.tx.next();
+                if let Some(facts) = self.catalog.get_mut(ident) {
+                    facts.push_version(tx, schema);
+                }
+                self.catalog.tx = tx;
+            }
+            Command::DeleteRelation(ident) => {
+                self.catalog.undefine(ident);
+                self.catalog.tx = self.catalog.tx.next();
+            }
+            Command::EvolveScheme(ident, change) => {
+                let schema = self
+                    .catalog
+                    .get(ident)
+                    .and_then(|f| f.current_schema())
+                    .and_then(|s| evolved_schema(s, change).ok());
+                let tx = self.catalog.tx.next();
+                if let Some(facts) = self.catalog.get_mut(ident) {
+                    facts.push_version(tx, schema);
+                }
+                self.catalog.tx = tx;
+            }
+            // display(E) queries without changing the database — the
+            // clock does not advance.
+            Command::Display(_) => {}
+        }
+    }
+
+    /// Checks a command and, when it is clean, commits it. Returns the
+    /// diagnostics (empty on success).
+    pub fn check_and_commit(
+        &mut self,
+        command: &Command,
+        spans: Option<&CommandSpans>,
+    ) -> Vec<Diagnostic> {
+        let diags = self.check(command, spans);
+        if diags.is_empty() {
+            self.commit(command);
+        }
+        diags
+    }
+
+    fn expr_schema(&self, expr: &Expr) -> Option<Schema> {
+        let mut sink = Vec::new();
+        infer_expr(expr, &self.catalog, None, &mut sink).schema
+    }
+
+    fn check_into(
+        &self,
+        command: &Command,
+        spans: Option<&CommandSpans>,
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        let head = spans.map_or_else(Span::unknown, |s| s.head);
+        let expr_spans = spans.and_then(|s| s.expr.as_ref());
+        match command {
+            Command::DefineRelation(ident, _) => {
+                if self.catalog.is_defined(ident) {
+                    diags.push(
+                        Diagnostic::new(
+                            ErrorCode::AlreadyDefined,
+                            head,
+                            format!("relation {ident:?} is already defined"),
+                        )
+                        .with_help("delete_relation it first, or pick a different identifier"),
+                    );
+                }
+            }
+            Command::ModifyState(ident, expr) => {
+                let facts = infer_expr(expr, &self.catalog, expr_spans, diags);
+                match self.catalog.get(ident) {
+                    None => diags.push(undefined(ident, command, head)),
+                    Some(rel) => {
+                        let held = StaticKind::of_relation(rel.rtype);
+                        if facts.kind != held {
+                            diags.push(
+                                Diagnostic::new(
+                                    ErrorCode::StateKindMismatch,
+                                    head,
+                                    format!(
+                                        "expression produces {} but relation {ident:?} of type {} holds {}",
+                                        facts.kind.describe(),
+                                        rel.rtype,
+                                        held.describe(),
+                                    ),
+                                )
+                                .with_help(
+                                    "match the expression to the relation's declared type",
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Command::DeleteRelation(ident) => {
+                if !self.catalog.is_defined(ident) {
+                    diags.push(undefined(ident, command, head));
+                }
+            }
+            Command::EvolveScheme(ident, change) => match self.catalog.get(ident) {
+                None => diags.push(undefined(ident, command, head)),
+                Some(rel) => {
+                    if !rel.has_states() {
+                        diags.push(
+                            Diagnostic::new(
+                                ErrorCode::InvalidSchemeChange,
+                                head,
+                                format!("relation {ident:?} has no state to evolve"),
+                            )
+                            .with_help(format!("modify_state({ident}, ...) must come first")),
+                        );
+                    } else if let Some(schema) = rel.current_schema() {
+                        if let Err(msg) = evolved_schema(schema, change) {
+                            diags.push(
+                                Diagnostic::new(
+                                    ErrorCode::InvalidSchemeChange,
+                                    head,
+                                    format!("cannot apply `{change}` to {ident:?}: {msg}"),
+                                )
+                                .with_help(format!("the current scheme is {schema}")),
+                            );
+                        }
+                    }
+                }
+            },
+            Command::Display(expr) => {
+                infer_expr(expr, &self.catalog, expr_spans, diags);
+            }
+        }
+    }
+}
+
+fn undefined(ident: &str, command: &Command, span: Span) -> Diagnostic {
+    Diagnostic::new(
+        ErrorCode::CommandOnUndefined,
+        span,
+        format!("`{}` on undefined relation {ident:?}", command.keyword()),
+    )
+    .with_help(format!("define it first: define_relation({ident}, ...)"))
+}
+
+/// The scheme an `evolve_scheme` change produces, or why it cannot apply
+/// — the static mirror of `SchemeChange::apply_snapshot`/`apply_historical`,
+/// which only ever fail on scheme-level (never tuple-level) conditions.
+fn evolved_schema(schema: &Schema, change: &txtime_core::SchemeChange) -> Result<Schema, String> {
+    use txtime_core::SchemeChange;
+    match change {
+        SchemeChange::AddAttribute {
+            name,
+            domain,
+            default,
+        } => {
+            if default.domain() != *domain {
+                return Err(format!("default value {default} is not in domain {domain}"));
+            }
+            let mut attrs = schema.attributes().to_vec();
+            attrs.push(Attribute::new(name, *domain));
+            Schema::from_attributes(attrs).map_err(|e| e.to_string())
+        }
+        SchemeChange::DropAttribute(name) => {
+            if !schema.contains(name) {
+                return Err(format!("no attribute named {name:?}"));
+            }
+            if schema.arity() == 1 {
+                return Err("cannot drop the last attribute".to_string());
+            }
+            let keep: Vec<String> = schema
+                .attributes()
+                .iter()
+                .filter(|a| &*a.name != name.as_str())
+                .map(|a| a.name.to_string())
+                .collect();
+            schema
+                .project(&keep)
+                .map(|(s, _)| s)
+                .map_err(|e| e.to_string())
+        }
+        SchemeChange::RenameAttribute { from, to } => {
+            schema.rename(from, to).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Checks a whole sentence from the empty database, returning every
+/// diagnostic in source order. An empty result means the checker accepts
+/// the sentence.
+pub fn check_sentence(sentence: &Sentence, spans: Option<&SentenceSpans>) -> Vec<Diagnostic> {
+    let mut checker = Checker::new();
+    let mut diags = Vec::new();
+    for (i, command) in sentence.commands().iter().enumerate() {
+        let cspans = spans.and_then(|s| s.commands.get(i));
+        let found = checker.check_and_commit(command, cspans);
+        diags.extend(found);
+    }
+    diags
+}
+
+/// Checks one command against an explicit catalog (stateless form).
+pub fn check_command(
+    command: &Command,
+    catalog: &Catalog,
+    spans: Option<&CommandSpans>,
+) -> Vec<Diagnostic> {
+    Checker {
+        catalog: catalog.clone(),
+    }
+    .check(command, spans)
+}
+
+/// Checks one expression against an explicit catalog, returning its
+/// inferred facts and any diagnostics.
+pub fn check_expr(
+    expr: &Expr,
+    catalog: &Catalog,
+    spans: Option<&ExprSpans>,
+) -> (ExprFacts, Vec<Diagnostic>) {
+    let mut diags = Vec::new();
+    let facts = infer_expr(expr, catalog, spans, &mut diags);
+    (facts, diags)
+}
+
+/// Resolves the transaction number a rollback leaf will read under the
+/// catalog's clock — exposed for tools that explain query plans.
+pub fn resolve_rollback_tx(catalog: &Catalog, spec: TxSpec) -> txtime_core::TransactionNumber {
+    catalog.resolve_tx(spec)
+}

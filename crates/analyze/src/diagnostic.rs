@@ -1,0 +1,182 @@
+//! Structured diagnostics with stable codes and source spans.
+//!
+//! Every rule the checker enforces has a stable `E0xx` code (catalogued
+//! in DESIGN.md) so tests, tooling, and documentation can refer to a
+//! specific judgment rather than matching message text.
+
+use std::fmt;
+
+use txtime_core::Span;
+
+/// The stable code of a static judgment the checker can reject on.
+///
+/// Expression-level codes are `E001`–`E010`; command-level codes are
+/// `E020`–`E023`. Codes are append-only: a published code never changes
+/// meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorCode {
+    /// ρ/ρ̂ names an identifier not bound in the database state.
+    UndefinedRelation,
+    /// A snapshot operator (∪, −, ×, π, σ) was applied to an operand
+    /// that produces an historical state.
+    SnapshotOperatorOnHistorical,
+    /// An historical operator (∪̂, −̂, ×̂, π̂, σ̂, δ) was applied to an
+    /// operand that produces a snapshot state.
+    HistoricalOperatorOnSnapshot,
+    /// ρ applied to an historical/temporal relation, or ρ̂ applied to a
+    /// snapshot/rollback relation.
+    RollbackKindMismatch,
+    /// ρ(I, N)/ρ̂(I, N) with N ≠ ∞ on a relation whose type does not keep
+    /// history ("The rollback operator cannot retrieve a past state of a
+    /// snapshot relation").
+    RollbackIntoNonRollback,
+    /// A π/π̂ attribute list references an unknown attribute or repeats
+    /// one.
+    BadProjection,
+    /// A σ/σ̂ predicate references an unknown attribute or compares
+    /// values of different domains.
+    IllTypedPredicate,
+    /// ∪/−/∪̂/−̂ operands are not union-compatible.
+    NotUnionCompatible,
+    /// ×/×̂ operand schemes share an attribute name.
+    ProductAttributeClash,
+    /// ρ/ρ̂ of a relation that has never been given a state: FINDSTATE
+    /// returns ∅, but ∅ needs a scheme and none is known.
+    RollbackOfStatelessRelation,
+    /// A command other than `define_relation` names an unbound
+    /// identifier.
+    CommandOnUndefined,
+    /// `define_relation` on an identifier that is already bound.
+    AlreadyDefined,
+    /// A `modify_state` expression produces a state kind (snapshot vs
+    /// historical) incompatible with the relation's declared type.
+    StateKindMismatch,
+    /// An `evolve_scheme` change cannot apply to the relation's current
+    /// scheme (unknown attribute, last attribute, domain mismatch, name
+    /// clash, or no state to evolve).
+    InvalidSchemeChange,
+}
+
+impl ErrorCode {
+    /// The stable `E0xx` string for this code.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorCode::UndefinedRelation => "E001",
+            ErrorCode::SnapshotOperatorOnHistorical => "E002",
+            ErrorCode::HistoricalOperatorOnSnapshot => "E003",
+            ErrorCode::RollbackKindMismatch => "E004",
+            ErrorCode::RollbackIntoNonRollback => "E005",
+            ErrorCode::BadProjection => "E006",
+            ErrorCode::IllTypedPredicate => "E007",
+            ErrorCode::NotUnionCompatible => "E008",
+            ErrorCode::ProductAttributeClash => "E009",
+            ErrorCode::RollbackOfStatelessRelation => "E010",
+            ErrorCode::CommandOnUndefined => "E020",
+            ErrorCode::AlreadyDefined => "E021",
+            ErrorCode::StateKindMismatch => "E022",
+            ErrorCode::InvalidSchemeChange => "E023",
+        }
+    }
+
+    /// All codes, in numeric order (used by the golden tests and the
+    /// DESIGN.md catalogue check).
+    pub const ALL: [ErrorCode; 14] = [
+        ErrorCode::UndefinedRelation,
+        ErrorCode::SnapshotOperatorOnHistorical,
+        ErrorCode::HistoricalOperatorOnSnapshot,
+        ErrorCode::RollbackKindMismatch,
+        ErrorCode::RollbackIntoNonRollback,
+        ErrorCode::BadProjection,
+        ErrorCode::IllTypedPredicate,
+        ErrorCode::NotUnionCompatible,
+        ErrorCode::ProductAttributeClash,
+        ErrorCode::RollbackOfStatelessRelation,
+        ErrorCode::CommandOnUndefined,
+        ErrorCode::AlreadyDefined,
+        ErrorCode::StateKindMismatch,
+        ErrorCode::InvalidSchemeChange,
+    ];
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding of the static checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The judgment that was violated.
+    pub code: ErrorCode,
+    /// Where in the source the offending construct starts (`0:0` when the
+    /// sentence was built programmatically and carries no spans).
+    pub span: Span,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when a fix is evident.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic without a help line.
+    pub fn new(code: ErrorCode, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.span.is_known() {
+            write!(f, "error[{}] at {}: {}", self.code, self.span, self.message)?;
+        } else {
+            write!(f, "error[{}]: {}", self.code, self.message)?;
+        }
+        if let Some(h) = &self.help {
+            write!(f, "\n  help: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in ErrorCode::ALL {
+            assert!(seen.insert(c.code()), "duplicate code {}", c.code());
+            assert!(c.code().starts_with('E'));
+        }
+        assert_eq!(ErrorCode::UndefinedRelation.code(), "E001");
+        assert_eq!(ErrorCode::InvalidSchemeChange.code(), "E023");
+    }
+
+    #[test]
+    fn display_includes_span_and_help() {
+        let d = Diagnostic::new(
+            ErrorCode::AlreadyDefined,
+            Span::new(3, 7),
+            "relation \"emp\" is already defined",
+        )
+        .with_help("pick a different identifier");
+        let s = d.to_string();
+        assert!(s.contains("error[E021] at 3:7"));
+        assert!(s.contains("help: pick"));
+        let u = Diagnostic::new(ErrorCode::AlreadyDefined, Span::unknown(), "x");
+        assert!(!u.to_string().contains("at "));
+    }
+}

@@ -1,0 +1,403 @@
+//! The static analogue of FINDTYPE: expression kind and scheme inference
+//! with operator-applicability checking.
+//!
+//! Every expression "always evaluate\[s\] to a single snapshot state" or,
+//! with the §4 extension, an historical state — and which of the two is
+//! decided purely by the outermost operator. The walk below computes that
+//! kind bottom-up, resolves ρ/ρ̂ leaves through the
+//! [`Catalog`](crate::Catalog)'s static FINDSTATE, and reports every
+//! violated side condition of the denotation function **E** as a
+//! [`Diagnostic`] anchored at the operator's source span.
+
+use txtime_core::{Expr, ExprSpans, RelationType, Span, TxSpec};
+use txtime_snapshot::Schema;
+
+use crate::catalog::{Catalog, StaticState};
+use crate::diagnostic::{Diagnostic, ErrorCode};
+
+/// Whether an expression produces a snapshot or an historical state —
+/// the static image of the STATE domain split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StaticKind {
+    /// The expression produces an element of SNAPSHOT STATE.
+    Snapshot,
+    /// The expression produces an element of HISTORICAL STATE.
+    Historical,
+}
+
+impl StaticKind {
+    /// The kind of state a relation of type `rtype` holds.
+    pub fn of_relation(rtype: RelationType) -> StaticKind {
+        if rtype.holds_historical() {
+            StaticKind::Historical
+        } else {
+            StaticKind::Snapshot
+        }
+    }
+
+    /// Human-readable name for diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            StaticKind::Snapshot => "a snapshot state",
+            StaticKind::Historical => "an historical state",
+        }
+    }
+}
+
+/// What inference knows about one expression: its state kind and, when
+/// statically determinable, its scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExprFacts {
+    /// The kind of state the expression produces.
+    pub kind: StaticKind,
+    /// The result scheme, when inferable.
+    pub schema: Option<Schema>,
+}
+
+impl ExprFacts {
+    fn new(kind: StaticKind, schema: Option<Schema>) -> ExprFacts {
+        ExprFacts { kind, schema }
+    }
+}
+
+/// The span of `spans`' node, or unknown.
+fn at(spans: Option<&ExprSpans>) -> Span {
+    spans.map_or_else(Span::unknown, |s| s.span)
+}
+
+/// The span table of the `i`-th operand.
+fn child(spans: Option<&ExprSpans>, i: usize) -> Option<&ExprSpans> {
+    spans.and_then(|s| s.children.get(i))
+}
+
+/// Infers `expr`'s facts against `catalog`, appending one diagnostic per
+/// violated judgment. Inference is best-effort after an error: the walk
+/// continues with the operator's nominal result kind and an unknown
+/// scheme, so one mistake does not drown the rest of the expression in
+/// cascading reports.
+pub fn infer_expr(
+    expr: &Expr,
+    catalog: &Catalog,
+    spans: Option<&ExprSpans>,
+    diags: &mut Vec<Diagnostic>,
+) -> ExprFacts {
+    match expr {
+        Expr::SnapshotConst(s) => ExprFacts::new(StaticKind::Snapshot, Some(s.schema().clone())),
+        Expr::HistoricalConst(h) => {
+            ExprFacts::new(StaticKind::Historical, Some(h.schema().clone()))
+        }
+
+        Expr::Union(a, b) | Expr::Difference(a, b) => {
+            let facts = binary_operands(expr, a, b, StaticKind::Snapshot, catalog, spans, diags);
+            union_like(expr, facts, StaticKind::Snapshot, at(spans), diags)
+        }
+        Expr::HUnion(a, b) | Expr::HDifference(a, b) => {
+            let facts = binary_operands(expr, a, b, StaticKind::Historical, catalog, spans, diags);
+            union_like(expr, facts, StaticKind::Historical, at(spans), diags)
+        }
+
+        Expr::Product(a, b) => {
+            let facts = binary_operands(expr, a, b, StaticKind::Snapshot, catalog, spans, diags);
+            product_like(facts, StaticKind::Snapshot, at(spans), diags)
+        }
+        Expr::HProduct(a, b) => {
+            let facts = binary_operands(expr, a, b, StaticKind::Historical, catalog, spans, diags);
+            product_like(facts, StaticKind::Historical, at(spans), diags)
+        }
+
+        Expr::Project(attrs, e) => {
+            let inner = unary_operand(expr, e, StaticKind::Snapshot, catalog, spans, diags);
+            project_like(expr, attrs, inner, StaticKind::Snapshot, at(spans), diags)
+        }
+        Expr::HProject(attrs, e) => {
+            let inner = unary_operand(expr, e, StaticKind::Historical, catalog, spans, diags);
+            project_like(expr, attrs, inner, StaticKind::Historical, at(spans), diags)
+        }
+
+        Expr::Select(p, e) => {
+            let inner = unary_operand(expr, e, StaticKind::Snapshot, catalog, spans, diags);
+            select_like(expr, p, inner, StaticKind::Snapshot, at(spans), diags)
+        }
+        Expr::HSelect(p, e) => {
+            let inner = unary_operand(expr, e, StaticKind::Historical, catalog, spans, diags);
+            select_like(expr, p, inner, StaticKind::Historical, at(spans), diags)
+        }
+
+        // δ_{G,V} is total on historical states (both G and V are total
+        // functions of a tuple's valid time), so only the operand kind
+        // needs checking.
+        Expr::Delta(_, _, e) => {
+            let inner = unary_operand(expr, e, StaticKind::Historical, catalog, spans, diags);
+            ExprFacts::new(StaticKind::Historical, inner.schema)
+        }
+
+        Expr::Rollback(ident, spec) => rollback(
+            ident,
+            *spec,
+            StaticKind::Snapshot,
+            catalog,
+            at(spans),
+            diags,
+        ),
+        Expr::HRollback(ident, spec) => rollback(
+            ident,
+            *spec,
+            StaticKind::Historical,
+            catalog,
+            at(spans),
+            diags,
+        ),
+    }
+}
+
+/// Checks both operands of a binary operator against the kind it
+/// requires, reporting a mismatch at the *operand*'s span.
+fn binary_operands(
+    parent: &Expr,
+    a: &Expr,
+    b: &Expr,
+    required: StaticKind,
+    catalog: &Catalog,
+    spans: Option<&ExprSpans>,
+    diags: &mut Vec<Diagnostic>,
+) -> (ExprFacts, ExprFacts) {
+    let fa = infer_expr(a, catalog, child(spans, 0), diags);
+    let fb = infer_expr(b, catalog, child(spans, 1), diags);
+    require_kind(parent, a, &fa, required, at(child(spans, 0)), diags);
+    require_kind(parent, b, &fb, required, at(child(spans, 1)), diags);
+    (fa, fb)
+}
+
+/// Checks the single operand of a unary operator against the required
+/// kind.
+fn unary_operand(
+    parent: &Expr,
+    e: &Expr,
+    required: StaticKind,
+    catalog: &Catalog,
+    spans: Option<&ExprSpans>,
+    diags: &mut Vec<Diagnostic>,
+) -> ExprFacts {
+    let f = infer_expr(e, catalog, child(spans, 0), diags);
+    require_kind(parent, e, &f, required, at(child(spans, 0)), diags);
+    f
+}
+
+fn require_kind(
+    parent: &Expr,
+    operand: &Expr,
+    facts: &ExprFacts,
+    required: StaticKind,
+    span: Span,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if facts.kind == required {
+        return;
+    }
+    let (code, help) = match required {
+        StaticKind::Snapshot => (
+            ErrorCode::SnapshotOperatorOnHistorical,
+            "use the hatted historical operator instead",
+        ),
+        StaticKind::Historical => (
+            ErrorCode::HistoricalOperatorOnSnapshot,
+            "use the unhatted snapshot operator instead",
+        ),
+    };
+    diags.push(
+        Diagnostic::new(
+            code,
+            span,
+            format!(
+                "operator `{}` requires {} but its operand `{}` produces {}",
+                parent.operator_name(),
+                required.describe(),
+                operand.operator_name(),
+                facts.kind.describe(),
+            ),
+        )
+        .with_help(help),
+    );
+}
+
+/// ∪/−/∪̂/−̂: operands must be union-compatible.
+fn union_like(
+    parent: &Expr,
+    (fa, fb): (ExprFacts, ExprFacts),
+    kind: StaticKind,
+    span: Span,
+    diags: &mut Vec<Diagnostic>,
+) -> ExprFacts {
+    let schema = match (fa.schema, fb.schema) {
+        (Some(sa), Some(sb)) => {
+            if sa.union_compatible(&sb) {
+                Some(sa)
+            } else {
+                diags.push(
+                    Diagnostic::new(
+                        ErrorCode::NotUnionCompatible,
+                        span,
+                        format!(
+                            "operands of `{}` are not union-compatible: {sa} vs {sb}",
+                            parent.operator_name()
+                        ),
+                    )
+                    .with_help("union compatibility requires identical attribute names, domains, and order"),
+                );
+                None
+            }
+        }
+        _ => None,
+    };
+    ExprFacts::new(kind, schema)
+}
+
+/// ×/×̂: operand schemes must have disjoint attribute names.
+fn product_like(
+    (fa, fb): (ExprFacts, ExprFacts),
+    kind: StaticKind,
+    span: Span,
+    diags: &mut Vec<Diagnostic>,
+) -> ExprFacts {
+    let schema = match (fa.schema, fb.schema) {
+        (Some(sa), Some(sb)) => match sa.product(&sb) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                diags.push(
+                    Diagnostic::new(ErrorCode::ProductAttributeClash, span, e.to_string())
+                        .with_help("rename the clashing attribute in one operand first"),
+                );
+                None
+            }
+        },
+        _ => None,
+    };
+    ExprFacts::new(kind, schema)
+}
+
+/// π/π̂: the attribute list must name distinct existing attributes.
+fn project_like(
+    parent: &Expr,
+    attrs: &[String],
+    inner: ExprFacts,
+    kind: StaticKind,
+    span: Span,
+    diags: &mut Vec<Diagnostic>,
+) -> ExprFacts {
+    let schema = inner.schema.and_then(|s| match s.project(attrs) {
+        Ok((projected, _)) => Some(projected),
+        Err(e) => {
+            diags.push(
+                Diagnostic::new(
+                    ErrorCode::BadProjection,
+                    span,
+                    format!("invalid `{}` attribute list: {e}", parent.operator_name()),
+                )
+                .with_help(format!("the operand's scheme is {s}")),
+            );
+            None
+        }
+    });
+    ExprFacts::new(kind, schema)
+}
+
+/// σ/σ̂: the predicate must be well-typed against the operand scheme.
+fn select_like(
+    parent: &Expr,
+    pred: &txtime_snapshot::Predicate,
+    inner: ExprFacts,
+    kind: StaticKind,
+    span: Span,
+    diags: &mut Vec<Diagnostic>,
+) -> ExprFacts {
+    if let Some(s) = &inner.schema {
+        if let Err(e) = pred.validate(s) {
+            diags.push(
+                Diagnostic::new(
+                    ErrorCode::IllTypedPredicate,
+                    span,
+                    format!("ill-typed `{}` predicate: {e}", parent.operator_name()),
+                )
+                .with_help(format!("the operand's scheme is {s}")),
+            );
+        }
+    }
+    ExprFacts::new(kind, inner.schema)
+}
+
+/// ρ/ρ̂: the identifier must be bound to a relation of the right family,
+/// a past transaction number demands a history-keeping type, and static
+/// FINDSTATE must resolve to a state (or the forced-∅ boundary).
+fn rollback(
+    ident: &str,
+    spec: TxSpec,
+    kind: StaticKind,
+    catalog: &Catalog,
+    span: Span,
+    diags: &mut Vec<Diagnostic>,
+) -> ExprFacts {
+    let op = match kind {
+        StaticKind::Snapshot => "rho",
+        StaticKind::Historical => "hrho",
+    };
+    let Some(facts) = catalog.get(ident) else {
+        diags.push(
+            Diagnostic::new(
+                ErrorCode::UndefinedRelation,
+                span,
+                format!("relation {ident:?} is not defined at this point in the sentence"),
+            )
+            .with_help(format!("define it first: define_relation({ident}, ...)")),
+        );
+        return ExprFacts::new(kind, None);
+    };
+    if StaticKind::of_relation(facts.rtype) != kind {
+        diags.push(
+            Diagnostic::new(
+                ErrorCode::RollbackKindMismatch,
+                span,
+                format!(
+                    "`{op}` is not applicable to relation {ident:?} of type {}",
+                    facts.rtype
+                ),
+            )
+            .with_help(match kind {
+                StaticKind::Snapshot => "use hrho for historical and temporal relations",
+                StaticKind::Historical => "use rho for snapshot and rollback relations",
+            }),
+        );
+        return ExprFacts::new(kind, None);
+    }
+    if matches!(spec, TxSpec::At(_)) && !facts.rtype.keeps_history() {
+        diags.push(
+            Diagnostic::new(
+                ErrorCode::RollbackIntoNonRollback,
+                span,
+                format!(
+                    "cannot roll relation {ident:?} of type {} back to a past state",
+                    facts.rtype
+                ),
+            )
+            .with_help(format!("only `{op}({ident}, inf)` is legal for this type")),
+        );
+        return ExprFacts::new(kind, None);
+    }
+    match facts.find_state(catalog.resolve_tx(spec)) {
+        StaticState::Version(schema) | StaticState::EmptyWithForcedScheme(schema) => {
+            ExprFacts::new(kind, schema)
+        }
+        StaticState::NoStates => {
+            diags.push(
+                Diagnostic::new(
+                    ErrorCode::RollbackOfStatelessRelation,
+                    span,
+                    format!(
+                        "relation {ident:?} has no states at this point; not even ∅ has a scheme"
+                    ),
+                )
+                .with_help(format!("modify_state({ident}, ...) must come first")),
+            );
+            ExprFacts::new(kind, None)
+        }
+    }
+}

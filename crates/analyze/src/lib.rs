@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! Static analysis for transaction-time algebra sentences.
+//!
+//! The paper's FINDTYPE gives every legal expression a relation type;
+//! this crate is its static counterpart plus the judgments that make a
+//! sentence *legal* in the first place. Because a sentence always
+//! evaluates from the empty database, the checker can replay it exactly:
+//! it knows, per command, the transaction clock, every relation's type,
+//! and (through constant-rooted schema inference) the scheme of every
+//! version a relation will ever hold. That is enough to decide, before
+//! evaluation, whether any dynamic type error can occur — including the
+//! FINDSTATE boundary cases around ∅.
+//!
+//! The pieces:
+//!
+//! * [`Catalog`]/[`RelationFacts`] — the transaction-indexed static
+//!   database state, with a static FINDSTATE ([`RelationFacts::find_state`]).
+//! * [`infer_expr`]/[`ExprFacts`] — expression typing: snapshot vs
+//!   historical kind plus scheme, reporting `E001`–`E010`.
+//! * [`Checker`]/[`check_sentence`] — command- and sentence-level
+//!   well-formedness, reporting `E020`–`E023`.
+//! * [`Diagnostic`]/[`ErrorCode`] — structured findings with stable
+//!   codes and source spans (threaded from the parser).
+//! * [`SentenceExt`] — checked evaluation (`run`), with
+//!   `run_unchecked` as the opt-out.
+//! * [`SchemaCatalog`]/[`infer_schema`] — flat database-snapshot schema
+//!   inference, shared with the optimizer.
+
+pub mod catalog;
+pub mod check;
+pub mod diagnostic;
+pub mod infer;
+pub mod run;
+pub mod schema_infer;
+
+pub use catalog::{Catalog, RelationFacts, StaticState};
+pub use check::{check_command, check_expr, check_sentence, Checker};
+pub use diagnostic::{Diagnostic, ErrorCode};
+pub use infer::{infer_expr, ExprFacts, StaticKind};
+pub use run::{RunError, SentenceExt};
+pub use schema_infer::{infer_schema, SchemaCatalog};

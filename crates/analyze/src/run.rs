@@ -1,0 +1,90 @@
+//! Checked evaluation: run the static checker before `Sentence::eval`.
+//!
+//! [`SentenceExt::run`] is the front door for evaluating a sentence in
+//! anger: it rejects statically ill-formed sentences with diagnostics
+//! before any state is materialized, and only then hands off to the
+//! dynamic semantics. [`SentenceExt::run_unchecked`] is the explicit
+//! opt-out for callers that want the paper's raw total semantics.
+
+use std::fmt;
+
+use txtime_core::{CoreError, Database, Sentence, SentenceSpans};
+
+use crate::check::check_sentence;
+use crate::diagnostic::Diagnostic;
+
+/// Why a checked run did not produce a database.
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// The static checker rejected the sentence before evaluation.
+    Rejected(Vec<Diagnostic>),
+    /// The checker accepted the sentence but evaluation failed. The
+    /// soundness property test pins this arm as unreachable for
+    /// checker-accepted sentences; it exists because `eval` is typed as
+    /// fallible.
+    Eval(CoreError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Rejected(diags) => {
+                writeln!(f, "sentence rejected by the static checker:")?;
+                for (i, d) in diags.iter().enumerate() {
+                    if i > 0 {
+                        writeln!(f)?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
+            RunError::Eval(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<CoreError> for RunError {
+    fn from(e: CoreError) -> RunError {
+        RunError::Eval(e)
+    }
+}
+
+/// Checked evaluation entry points for [`Sentence`].
+pub trait SentenceExt {
+    /// Statically checks the sentence, then evaluates it. Programmatic
+    /// callers have no source spans; diagnostics carry `0:0`.
+    fn run(&self) -> Result<Database, RunError>;
+
+    /// Like [`run`](SentenceExt::run), with parser spans so diagnostics
+    /// point into the source text.
+    fn run_with_spans(&self, spans: &SentenceSpans) -> Result<Database, RunError>;
+
+    /// Evaluates without checking — the explicit opt-out, exposing the
+    /// raw dynamic semantics (failed commands are still errors, not
+    /// no-ops; this is `Sentence::eval` by another name).
+    fn run_unchecked(&self) -> Result<Database, CoreError>;
+}
+
+impl SentenceExt for Sentence {
+    fn run(&self) -> Result<Database, RunError> {
+        run_inner(self, None)
+    }
+
+    fn run_with_spans(&self, spans: &SentenceSpans) -> Result<Database, RunError> {
+        run_inner(self, Some(spans))
+    }
+
+    fn run_unchecked(&self) -> Result<Database, CoreError> {
+        self.eval()
+    }
+}
+
+fn run_inner(sentence: &Sentence, spans: Option<&SentenceSpans>) -> Result<Database, RunError> {
+    let diags = check_sentence(sentence, spans);
+    if !diags.is_empty() {
+        return Err(RunError::Rejected(diags));
+    }
+    Ok(sentence.eval()?)
+}

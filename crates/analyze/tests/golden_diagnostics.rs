@@ -1,0 +1,271 @@
+//! Golden tests: one ill-typed sentence per `E0xx` code, asserting the
+//! reported code and the exact source span the parser threaded through.
+//!
+//! Column arithmetic: `display(` occupies columns 1–8, so a top-level
+//! expression starts at column 9; command keywords start at column 1.
+
+use txtime_analyze::{check_sentence, Diagnostic, ErrorCode};
+use txtime_core::Span;
+use txtime_parser::parse_sentence_spanned;
+
+fn diags(src: &str) -> Vec<Diagnostic> {
+    let (sentence, spans) = parse_sentence_spanned(src).expect("golden source parses");
+    check_sentence(&sentence, Some(&spans))
+}
+
+/// Asserts the source yields exactly one diagnostic with the given code
+/// and span.
+fn expect_one(src: &str, code: ErrorCode, line: usize, col: usize) -> Diagnostic {
+    let ds = diags(src);
+    assert_eq!(
+        ds.len(),
+        1,
+        "expected exactly one diagnostic for {code:?}, got {ds:#?}"
+    );
+    let d = ds.into_iter().next().unwrap();
+    assert_eq!(d.code, code, "wrong code: {d}");
+    assert_eq!(d.span, Span::new(line, col), "wrong span: {d}");
+    d
+}
+
+#[test]
+fn e001_undefined_relation() {
+    expect_one(
+        "display(rho(ghost, inf));",
+        ErrorCode::UndefinedRelation,
+        1,
+        9,
+    );
+}
+
+#[test]
+fn e002_snapshot_operator_on_historical() {
+    // The diagnostic anchors at the offending *operand* (the historical
+    // constant at column 31), not the operator.
+    expect_one(
+        r#"display({(x: int): (1)} union historical {(x: int): (1) @ {[0, 5)}});"#,
+        ErrorCode::SnapshotOperatorOnHistorical,
+        1,
+        31,
+    );
+}
+
+#[test]
+fn e003_historical_operator_on_snapshot() {
+    expect_one(
+        r#"display({(x: int): (1)} hunion historical {(x: int): (1) @ {[0, 5)}});"#,
+        ErrorCode::HistoricalOperatorOnSnapshot,
+        1,
+        9,
+    );
+}
+
+#[test]
+fn e004_rollback_kind_mismatch() {
+    expect_one(
+        "define_relation(h, historical);\ndisplay(rho(h, inf));",
+        ErrorCode::RollbackKindMismatch,
+        2,
+        9,
+    );
+    expect_one(
+        "define_relation(r, rollback);\nmodify_state(r, {(x: int): (1)});\ndisplay(hrho(r, inf));",
+        ErrorCode::RollbackKindMismatch,
+        3,
+        9,
+    );
+}
+
+#[test]
+fn e005_rollback_into_non_rollback() {
+    expect_one(
+        "define_relation(s, snapshot);\nmodify_state(s, {(x: int): (1)});\ndisplay(rho(s, 1));",
+        ErrorCode::RollbackIntoNonRollback,
+        3,
+        9,
+    );
+}
+
+#[test]
+fn e006_bad_projection() {
+    expect_one(
+        "display(project[y]({(x: int): (1)}));",
+        ErrorCode::BadProjection,
+        1,
+        9,
+    );
+    // Duplicated attribute names are also rejected.
+    expect_one(
+        "display(project[x, x]({(x: int): (1)}));",
+        ErrorCode::BadProjection,
+        1,
+        9,
+    );
+    // Expression spans thread through commands too: `modify_state(r, `
+    // occupies columns 1–16, so the expression starts at column 17.
+    expect_one(
+        "define_relation(r, snapshot);\nmodify_state(r, project[y]({(x: int): (1)}));",
+        ErrorCode::BadProjection,
+        2,
+        17,
+    );
+}
+
+#[test]
+fn e007_ill_typed_predicate() {
+    // Comparing the int attribute to a string constant.
+    expect_one(
+        r#"display(select[x = "a"]({(x: int): (1)}));"#,
+        ErrorCode::IllTypedPredicate,
+        1,
+        9,
+    );
+    // Unknown attribute in the predicate.
+    expect_one(
+        "display(select[zz = 1]({(x: int): (1)}));",
+        ErrorCode::IllTypedPredicate,
+        1,
+        9,
+    );
+}
+
+#[test]
+fn e008_not_union_compatible() {
+    expect_one(
+        "display({(x: int): (1)} union {(y: int): (2)});",
+        ErrorCode::NotUnionCompatible,
+        1,
+        25,
+    );
+}
+
+#[test]
+fn e009_product_attribute_clash() {
+    expect_one(
+        "display({(x: int): (1)} times {(x: int): (2)});",
+        ErrorCode::ProductAttributeClash,
+        1,
+        25,
+    );
+}
+
+#[test]
+fn e010_rollback_of_stateless_relation() {
+    expect_one(
+        "define_relation(r, rollback);\ndisplay(rho(r, inf));",
+        ErrorCode::RollbackOfStatelessRelation,
+        2,
+        9,
+    );
+}
+
+#[test]
+fn e020_command_on_undefined() {
+    expect_one(
+        "delete_relation(ghost);",
+        ErrorCode::CommandOnUndefined,
+        1,
+        1,
+    );
+    expect_one(
+        "modify_state(ghost, {(x: int): (1)});",
+        ErrorCode::CommandOnUndefined,
+        1,
+        1,
+    );
+}
+
+#[test]
+fn e021_already_defined() {
+    expect_one(
+        "define_relation(r, rollback);\ndefine_relation(r, snapshot);",
+        ErrorCode::AlreadyDefined,
+        2,
+        1,
+    );
+}
+
+#[test]
+fn e022_state_kind_mismatch() {
+    expect_one(
+        "define_relation(h, historical);\nmodify_state(h, {(x: int): (1)});",
+        ErrorCode::StateKindMismatch,
+        2,
+        1,
+    );
+}
+
+#[test]
+fn e023_invalid_scheme_change() {
+    // Dropping an attribute the scheme does not have.
+    expect_one(
+        "define_relation(r, rollback);\nmodify_state(r, {(x: int): (1)});\nevolve_scheme(r, drop ghost);",
+        ErrorCode::InvalidSchemeChange,
+        3,
+        1,
+    );
+    // Dropping the last attribute.
+    expect_one(
+        "define_relation(r, rollback);\nmodify_state(r, {(x: int): (1)});\nevolve_scheme(r, drop x);",
+        ErrorCode::InvalidSchemeChange,
+        3,
+        1,
+    );
+    // Evolving a relation that has no state yet.
+    expect_one(
+        "define_relation(r, rollback);\nevolve_scheme(r, drop x);",
+        ErrorCode::InvalidSchemeChange,
+        2,
+        1,
+    );
+}
+
+#[test]
+fn every_code_has_a_golden_case() {
+    // The cases above cover the whole published catalogue; this test
+    // fails when a new code is added without a golden sentence.
+    assert_eq!(ErrorCode::ALL.len(), 14);
+}
+
+/// FINDSTATE boundary: rolling back to a transaction before the first
+/// version is *legal* — ∅ with the earliest version's scheme, not an
+/// error. The checker must accept it and evaluation must agree.
+#[test]
+fn findstate_boundary_is_accepted() {
+    // define commits at tx 1, modify_state at tx 2, so rho(r, 1) reads
+    // before the first version.
+    let src =
+        "define_relation(r, rollback);\nmodify_state(r, {(x: int): (7)});\ndisplay(rho(r, 1));";
+    let (sentence, spans) = parse_sentence_spanned(src).unwrap();
+    assert!(check_sentence(&sentence, Some(&spans)).is_empty());
+    let db = sentence.eval().expect("boundary rollback evaluates");
+    assert_eq!(db.tx.0, 2);
+}
+
+/// A rejected command is a no-op for the checker's state, so one mistake
+/// yields one diagnostic, not a cascade.
+#[test]
+fn failed_commands_do_not_cascade() {
+    // The second define fails (E021) and commits nothing; the later
+    // modify_state still targets the *first* definition and checks clean.
+    let src = "define_relation(r, rollback);\ndefine_relation(r, historical);\nmodify_state(r, {(x: int): (1)});\ndisplay(rho(r, inf));";
+    let ds = diags(src);
+    assert_eq!(ds.len(), 1, "{ds:#?}");
+    assert_eq!(ds[0].code, ErrorCode::AlreadyDefined);
+}
+
+/// Without spans (programmatic sentences), diagnostics carry the unknown
+/// span instead of fabricating positions.
+#[test]
+fn programmatic_sentences_get_unknown_spans() {
+    use txtime_core::{Command, Expr, TxSpec};
+    let s = txtime_core::Sentence::new(vec![Command::display(Expr::rollback(
+        "ghost",
+        TxSpec::Current,
+    ))])
+    .unwrap();
+    let ds = check_sentence(&s, None);
+    assert_eq!(ds.len(), 1);
+    assert_eq!(ds[0].code, ErrorCode::UndefinedRelation);
+    assert!(!ds[0].span.is_known());
+}

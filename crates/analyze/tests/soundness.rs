@@ -1,0 +1,165 @@
+//! The checker's soundness property: a sentence the static checker
+//! accepts never raises a dynamic type error during evaluation.
+//!
+//! The generator deliberately produces a mix of well- and ill-formed
+//! sentences: it starts from the valid define/modify sequences of
+//! `txtime_core::generate`, then (a) corrupts the command list (dropped
+//! definitions, flipped relation types, identifiers renamed to an unbound
+//! name, duplicated definitions) and (b) appends `display` commands over
+//! random expressions that freely mix compatible and incompatible
+//! schemes, bad projections, ill-typed predicates, and rollbacks to
+//! arbitrary transaction numbers. Soundness is one-directional: whenever
+//! `check_sentence` reports nothing, `Sentence::eval` must succeed.
+
+use proptest::prelude::*;
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::{Rng, SeedableRng};
+
+use txtime_analyze::check_sentence;
+use txtime_core::generate::{random_commands, CmdGenConfig};
+use txtime_core::{Command, Expr, RelationType, Sentence, TransactionNumber, TxSpec};
+use txtime_snapshot::generate::GenConfig;
+use txtime_snapshot::{DomainType, Predicate, Schema, SnapshotState, Value};
+
+fn base_schema() -> Schema {
+    Schema::new(vec![("a0", DomainType::Int), ("a1", DomainType::Str)]).unwrap()
+}
+
+fn gen_cfg() -> CmdGenConfig {
+    CmdGenConfig {
+        values: GenConfig {
+            arity: 2,
+            cardinality: 6,
+            int_range: 10,
+            str_pool: 4,
+        },
+        relations: vec!["r0".into(), "r1".into(), "r2".into()],
+        churn: 0.4,
+    }
+}
+
+/// A random expression over the generated relations: sometimes legal,
+/// sometimes not (unknown relations, incompatible schemes, bad attribute
+/// lists, ill-typed predicates, rollbacks to arbitrary times).
+fn random_expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_range(0..3) == 0 {
+        return match rng.gen_range(0..4) {
+            0 => Expr::snapshot_const(SnapshotState::empty(base_schema())),
+            1 => Expr::snapshot_const(SnapshotState::empty(
+                Schema::new(vec![("b0", DomainType::Int)]).unwrap(),
+            )),
+            2 => {
+                let name = ["r0", "r1", "r2", "ghost"][rng.gen_range(0..4usize)];
+                Expr::rollback(name, TxSpec::Current)
+            }
+            _ => {
+                let name = ["r0", "r1", "r2"][rng.gen_range(0..3usize)];
+                let tx = TransactionNumber(rng.gen_range(0..40));
+                Expr::rollback(name, TxSpec::At(tx))
+            }
+        };
+    }
+    let a = random_expr(rng, depth - 1);
+    match rng.gen_range(0..6) {
+        0 => a.union(random_expr(rng, depth - 1)),
+        1 => a.difference(random_expr(rng, depth - 1)),
+        2 => a.product(random_expr(rng, depth - 1)),
+        3 => {
+            let attrs: Vec<String> = match rng.gen_range(0..4) {
+                0 => vec!["a0".into()],
+                1 => vec!["a1".into(), "a0".into()],
+                2 => vec!["zz".into()],
+                _ => vec!["a0".into(), "a0".into()],
+            };
+            a.project(attrs)
+        }
+        4 => {
+            let pred = match rng.gen_range(0..3) {
+                0 => Predicate::gt_const("a0", Value::Int(3)),
+                1 => Predicate::gt_const("a1", Value::Int(3)),
+                _ => Predicate::gt_const("zz", Value::Int(3)),
+            };
+            a.select(pred)
+        }
+        _ => a,
+    }
+}
+
+/// Corrupts a valid command list so some runs are ill-formed.
+fn corrupt(rng: &mut StdRng, cmds: &mut Vec<Command>) {
+    for _ in 0..rng.gen_range(0..3usize) {
+        if cmds.is_empty() {
+            break;
+        }
+        let i = rng.gen_range(0..cmds.len());
+        match rng.gen_range(0..4) {
+            0 => {
+                cmds.remove(i);
+            }
+            1 => {
+                if let Command::DefineRelation(name, _) = &cmds[i] {
+                    let rt = [
+                        RelationType::Snapshot,
+                        RelationType::Historical,
+                        RelationType::Temporal,
+                    ][rng.gen_range(0..3usize)];
+                    cmds[i] = Command::define_relation(name.clone(), rt);
+                }
+            }
+            2 => {
+                if let Command::ModifyState(_, e) = &cmds[i] {
+                    cmds[i] = Command::ModifyState("ghost".into(), e.clone());
+                }
+            }
+            _ => {
+                let c = cmds[i].clone();
+                cmds.insert(i, c);
+            }
+        }
+    }
+}
+
+fn arb_sentence() -> impl Strategy<Value = Sentence> {
+    (any::<u64>(), 1usize..15).prop_map(|(seed, len)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cmds = random_commands(&mut rng, &base_schema(), &gen_cfg(), len);
+        corrupt(&mut rng, &mut cmds);
+        for _ in 0..rng.gen_range(0..4usize) {
+            cmds.push(Command::display(random_expr(&mut rng, 2)));
+        }
+        if cmds.is_empty() {
+            cmds.push(Command::define_relation("r0", RelationType::Rollback));
+        }
+        Sentence::new(cmds).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Checker-accepted sentences evaluate without any dynamic error.
+    #[test]
+    fn accepted_sentences_evaluate_cleanly(s in arb_sentence()) {
+        let diags = check_sentence(&s, None);
+        if diags.is_empty() {
+            prop_assert!(
+                s.eval().is_ok(),
+                "checker accepted but eval failed: {:?}",
+                s.eval().err()
+            );
+        }
+    }
+
+    /// The valid generator family (define + modify over rollback
+    /// relations) is always accepted — the checker has no false alarms on
+    /// sentences known to replay cleanly.
+    #[test]
+    fn valid_generator_output_is_accepted(seed in any::<u64>(), len in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cmds = random_commands(&mut rng, &base_schema(), &gen_cfg(), len);
+        let s = Sentence::new(cmds).unwrap();
+        let diags = check_sentence(&s, None);
+        prop_assert!(diags.is_empty(), "false alarm: {:?}", diags);
+        prop_assert!(s.eval().is_ok());
+    }
+}

@@ -1,8 +1,8 @@
 //! E8: concurrent transaction throughput and restart overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::{Rng, SeedableRng};
 
 use txtime_bench::{version_chain, SEED};
 use txtime_core::{Command, Database, Expr, RelationType, Sentence};
@@ -32,8 +32,9 @@ fn transactions(relations: usize, count: u64) -> Vec<Transaction> {
                 id,
                 vec![Command::modify_state(
                     r.clone(),
-                    Expr::current(r)
-                        .union(Expr::snapshot_const(version_chain(1, 1, 0.0).pop().unwrap())),
+                    Expr::current(r).union(Expr::snapshot_const(
+                        version_chain(1, 1, 0.0).pop().unwrap(),
+                    )),
                 )],
             )
         })

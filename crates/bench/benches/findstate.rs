@@ -1,8 +1,8 @@
 //! E9: FINDSTATE lookup — binary search vs linear scan.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::{Rng, SeedableRng};
 
 use txtime_bench::{version_chain, SEED};
 use txtime_core::semantics::aux::find_state;
@@ -25,24 +25,29 @@ fn bench_findstate(c: &mut Criterion) {
             .map(|_| TransactionNumber(rng.gen_range(0..versions as u64 + 3)))
             .collect();
 
-        group.bench_with_input(BenchmarkId::new("binary", versions), &probes, |b, probes| {
-            b.iter(|| {
-                probes
-                    .iter()
-                    .filter_map(|&t| find_state(rel, t))
-                    .count()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("linear", versions), &probes, |b, probes| {
-            b.iter(|| {
-                probes
-                    .iter()
-                    .filter_map(|&t| {
-                        rel.versions().iter().rev().find(|v| v.tx <= t).map(|v| &v.state)
-                    })
-                    .count()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("binary", versions),
+            &probes,
+            |b, probes| b.iter(|| probes.iter().filter_map(|&t| find_state(rel, t)).count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("linear", versions),
+            &probes,
+            |b, probes| {
+                b.iter(|| {
+                    probes
+                        .iter()
+                        .filter_map(|&t| {
+                            rel.versions()
+                                .iter()
+                                .rev()
+                                .find(|v| v.tx <= t)
+                                .map(|v| &v.state)
+                        })
+                        .count()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,8 +1,8 @@
 //! E4: modify_state throughput by update mix and backend.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::SeedableRng;
 
 use txtime_bench::{bench_gen_config, bench_schema, version_chain, SEED};
 use txtime_core::{Command, Expr, RelationType};
@@ -24,11 +24,8 @@ fn bench_modify(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(20);
     let mut rng = StdRng::seed_from_u64(SEED);
-    let delta = txtime_snapshot::generate::random_state(
-        &mut rng,
-        &bench_schema(),
-        &bench_gen_config(1),
-    );
+    let delta =
+        txtime_snapshot::generate::random_state(&mut rng, &bench_schema(), &bench_gen_config(1));
     for backend in BackendKind::ALL {
         for mix in ["append", "delete", "replace"] {
             let expr = match mix {

@@ -1,8 +1,8 @@
 //! E7: unoptimized vs optimized expression evaluation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::SeedableRng;
 
 use txtime_bench::{bench_gen_config, version_chain, SEED};
 use txtime_core::{Command, Expr, RelationType, Sentence};
@@ -13,7 +13,10 @@ fn bench_optimizer(c: &mut Criterion) {
     let emp_chain = version_chain(4, 400, 0.1);
     let mut cmds = vec![Command::define_relation("emp", RelationType::Rollback)];
     for s in &emp_chain {
-        cmds.push(Command::modify_state("emp", Expr::snapshot_const(s.clone())));
+        cmds.push(Command::modify_state(
+            "emp",
+            Expr::snapshot_const(s.clone()),
+        ));
     }
     cmds.push(Command::define_relation("dept", RelationType::Rollback));
     let dept_schema = Schema::new(vec![("dno", DomainType::Int)]).unwrap();

@@ -7,8 +7,8 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::{Rng, SeedableRng};
 
 use txtime_bench::*;
 use txtime_benzvi::bridge;
@@ -17,9 +17,7 @@ use txtime_core::{
 };
 use txtime_optimizer::{estimate_cost, optimize, CostModel, SchemaCatalog};
 use txtime_snapshot::{Predicate, Value};
-use txtime_storage::{
-    check_equivalence, recovery::recover, BackendKind, CheckpointPolicy, Engine,
-};
+use txtime_storage::{check_equivalence, recovery::recover, BackendKind, CheckpointPolicy, Engine};
 use txtime_txn::{check_serial_equivalence, ConcurrentManager, Transaction};
 
 fn main() {
@@ -83,7 +81,10 @@ fn time_median<F: FnMut() -> usize>(mut f: F, reps: usize) -> f64 {
 // --------------------------------------------------------------------
 fn e1_algebraic_laws() {
     println!("E1. Snapshot-algebra properties preserved (paper §2 claim)");
-    println!("{:<28} {:<42} {:>7} {:>7}", "law", "statement", "trials", "pass");
+    println!(
+        "{:<28} {:<42} {:>7} {:>7}",
+        "law", "statement", "trials", "pass"
+    );
     const TRIALS: usize = 200;
     let mut all_pass = true;
     for law in txtime_optimizer::laws::all_laws() {
@@ -95,7 +96,10 @@ fn e1_algebraic_laws() {
         );
     }
     println!("\nE1b. Historical-algebra laws (§4: conservative extension)");
-    println!("{:<28} {:<42} {:>7} {:>7}", "law", "statement", "trials", "pass");
+    println!(
+        "{:<28} {:<42} {:>7} {:>7}",
+        "law", "statement", "trials", "pass"
+    );
     for law in txtime_optimizer::laws::historical_laws() {
         let ok = law.run(SEED, TRIALS);
         all_pass &= ok == TRIALS;
@@ -204,11 +208,8 @@ fn e4_modify_state_throughput() {
             let cfg = bench_gen_config(1);
             let cmds: Vec<Command> = (0..200)
                 .map(|i| {
-                    let fresh = txtime_snapshot::generate::random_state(
-                        &mut rng,
-                        &bench_schema(),
-                        &cfg,
-                    );
+                    let fresh =
+                        txtime_snapshot::generate::random_state(&mut rng, &bench_schema(), &cfg);
                     let kind = match mix {
                         "mixed" => ["append", "delete", "replace"][i % 3],
                         k => k,
@@ -289,7 +290,11 @@ fn e5_temporal_queries() {
         .into_historical()
         .unwrap();
     let us = time_median(|| h.timeslice(200).len(), 9);
-    println!("{:<42} {us:>12.1} {:>8}", "timeslice(ρ̂(t, mid), 200)", h.timeslice(200).len());
+    println!(
+        "{:<42} {us:>12.1} {:>8}",
+        "timeslice(ρ̂(t, mid), 200)",
+        h.timeslice(200).len()
+    );
     println!("=> transaction-time access (ρ̂) and valid-time access (δ/timeslice) compose\n   in either order: the two dimensions are orthogonal (§4).\n");
 }
 
@@ -301,7 +306,9 @@ fn e6_benzvi_baseline() {
     let chain = historical_chain(32, 60);
     let b = bridge::load(&chain);
     match b.check_correspondence(1_000) {
-        Ok(()) => println!("correspondence: Time-View(R,tv,tt) = timeslice(ρ̂(R,tt),tv)  ✓ (all tv, tt)"),
+        Ok(()) => {
+            println!("correspondence: Time-View(R,tv,tt) = timeslice(ρ̂(R,tt),tv)  ✓ (all tv, tt)")
+        }
         Err(e) => println!("correspondence FAILED: {e}"),
     }
 
@@ -333,8 +340,14 @@ fn e6_benzvi_baseline() {
     println!("{:<46} {:>12}", "operation", "µs/query");
     println!("{:<46} {:>12.1}", "TRM Time-View(R, tv, tt)", trm_us);
     println!("{:<46} {:>12.1}", "ours timeslice(ρ̂(R, tt), tv)", ours_us);
-    println!("{:<46} {:>12.1}", "TRM full history at tt (assembled)", assemble_us);
-    println!("{:<46} {:>12.1}", "ours full history at tt (ρ̂ alone)", rho_us);
+    println!(
+        "{:<46} {:>12.1}",
+        "TRM full history at tt (assembled)", assemble_us
+    );
+    println!(
+        "{:<46} {:>12.1}",
+        "ours full history at tt (ρ̂ alone)", rho_us
+    );
     println!("TRM physical rows: {}", b.trm.row_count());
     println!("=> the models agree on every slice; ρ̂ additionally returns the whole\n   historical state directly, which Time-View's slice-only interface cannot\n   (the paper's §5 critique).\n");
 }
@@ -348,17 +361,17 @@ fn e7_optimizer() {
     let emp_chain = version_chain(4, 400, 0.1);
     let mut cmds = vec![Command::define_relation("emp", RelationType::Rollback)];
     for s in &emp_chain {
-        cmds.push(Command::modify_state("emp", Expr::snapshot_const(s.clone())));
+        cmds.push(Command::modify_state(
+            "emp",
+            Expr::snapshot_const(s.clone()),
+        ));
     }
     cmds.push(Command::define_relation("dept", RelationType::Rollback));
     let dept_schema =
         txtime_snapshot::Schema::new(vec![("dno", txtime_snapshot::DomainType::Int)]).unwrap();
     let mut rng = StdRng::seed_from_u64(SEED);
-    let dept_state = txtime_snapshot::generate::random_state(
-        &mut rng,
-        &dept_schema,
-        &bench_gen_config(40),
-    );
+    let dept_state =
+        txtime_snapshot::generate::random_state(&mut rng, &dept_schema, &bench_gen_config(40));
     cmds.push(Command::modify_state(
         "dept",
         Expr::snapshot_const(dept_state),
@@ -392,9 +405,8 @@ fn e7_optimizer() {
         ),
         (
             "σ_false (constant folding)",
-            Expr::current("emp").select(
-                Predicate::gt_const("grade", Value::Int(1)).and(Predicate::False),
-            ),
+            Expr::current("emp")
+                .select(Predicate::gt_const("grade", Value::Int(1)).and(Predicate::False)),
         ),
     ];
 
@@ -462,13 +474,8 @@ fn e8_concurrency() {
             let t = Instant::now();
             let report = ConcurrentManager::new().run_from(initial.clone(), txns.clone(), threads);
             let rate = 200.0 / t.elapsed().as_secs_f64();
-            let ok = check_serial_equivalence(
-                &initial,
-                &txns,
-                &report.commits,
-                &report.database,
-            )
-            .is_ok();
+            let ok = check_serial_equivalence(&initial, &txns, &report.commits, &report.database)
+                .is_ok();
             println!(
                 "{:<10} {:>8} {:>12.0} {:>10} {:>10} {:>8}",
                 workload,
@@ -521,7 +528,11 @@ fn e9_findstate() {
                 probes
                     .iter()
                     .filter_map(|&t| {
-                        rel.versions().iter().rev().find(|v| v.tx <= t).map(|v| &v.state)
+                        rel.versions()
+                            .iter()
+                            .rev()
+                            .find(|v| v.tx <= t)
+                            .map(|v| &v.state)
                     })
                     .count()
             },
@@ -549,8 +560,12 @@ fn e10_recovery() {
     let _ = std::fs::remove_file(&path);
 
     let chain = version_chain(256, 100, 0.1);
-    let mut live = Engine::with_wal(BackendKind::ForwardDelta, CheckpointPolicy::EveryK(16), &path)
-        .expect("wal engine");
+    let mut live = Engine::with_wal(
+        BackendKind::ForwardDelta,
+        CheckpointPolicy::EveryK(16),
+        &path,
+    )
+    .expect("wal engine");
     live.execute(&Command::define_relation("r", RelationType::Rollback))
         .unwrap();
     let t = Instant::now();
@@ -561,8 +576,12 @@ fn e10_recovery() {
     let write_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
-    let rec = recover(&path, BackendKind::ForwardDelta, CheckpointPolicy::EveryK(16))
-        .expect("recovery");
+    let rec = recover(
+        &path,
+        BackendKind::ForwardDelta,
+        CheckpointPolicy::EveryK(16),
+    )
+    .expect("recovery");
     let recover_s = t.elapsed().as_secs_f64();
 
     let mut equal = rec.engine.tx() == live.tx();
@@ -573,11 +592,24 @@ fn e10_recovery() {
         equal &= a == b;
     }
     println!("commands journaled : {}", rec.replayed);
-    println!("journal size       : {} bytes", std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
+    println!(
+        "journal size       : {} bytes",
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
     println!("write throughput   : {:.0} cmd/s", 257.0 / write_s);
-    println!("recovery throughput: {:.0} cmd/s", rec.replayed as f64 / recover_s);
+    println!(
+        "recovery throughput: {:.0} cmd/s",
+        rec.replayed as f64 / recover_s
+    );
     println!("corrupt lines      : {}", rec.skipped.len());
-    println!("state equivalence  : {}", if equal { "✓ (all {0..n} rollbacks equal)" } else { "✗" });
+    println!(
+        "state equivalence  : {}",
+        if equal {
+            "✓ (all {0..n} rollbacks equal)"
+        } else {
+            "✗"
+        }
+    );
 
     // And the cross-backend differential summary, for the record.
     let mut cmds = vec![Command::define_relation("r", RelationType::Rollback)];
@@ -588,7 +620,11 @@ fn e10_recovery() {
     for backend in BackendKind::ALL {
         let ok = check_equivalence(&cmds, backend, CheckpointPolicy::EveryK(8)).is_ok();
         all_ok &= ok;
-        println!("backend {:<16} ≡ reference semantics: {}", backend.to_string(), if ok { "✓" } else { "✗" });
+        println!(
+            "backend {:<16} ≡ reference semantics: {}",
+            backend.to_string(),
+            if ok { "✓" } else { "✗" }
+        );
     }
     println!(
         "=> {}\n",
@@ -649,7 +685,12 @@ fn e11_archival() {
             .eval()
             .expect("archive replays");
         assert_eq!(
-            replayed.state.lookup("r").expect("relation").versions().len(),
+            replayed
+                .state
+                .lookup("r")
+                .expect("relation")
+                .versions()
+                .len(),
             report.archived
         );
         let _ = std::fs::remove_file(&path);

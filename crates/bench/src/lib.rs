@@ -8,8 +8,8 @@
 //! measure the same thing. All generation is seeded — run-to-run results
 //! use identical data.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::SeedableRng;
 
 use txtime_core::{Command, Expr, RelationType, StateValue, TransactionNumber};
 use txtime_historical::generate::{random_historical_state, HistGenConfig};

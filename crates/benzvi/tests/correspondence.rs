@@ -2,8 +2,8 @@
 //! random histories.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::SeedableRng;
 
 use txtime_benzvi::bridge::load;
 use txtime_historical::generate::{random_historical_state, HistGenConfig};

@@ -80,7 +80,10 @@ impl fmt::Display for EvalError {
                 } else {
                     ("a snapshot", "an historical")
                 };
-                write!(f, "operator {operator} expected {want} state but received {got} state")
+                write!(
+                    f,
+                    "operator {operator} expected {want} state but received {got} state"
+                )
             }
             EvalError::Snapshot(e) => write!(f, "{e}"),
             EvalError::Historical(e) => write!(f, "{e}"),

@@ -42,37 +42,25 @@ pub fn map_leaves(expr: &Expr, f: &impl Fn(&str, TxSpec, bool) -> Expr) -> Expr 
         Expr::Rollback(i, spec) => f(i, *spec, false),
         Expr::HRollback(i, spec) => f(i, *spec, true),
         Expr::SnapshotConst(_) | Expr::HistoricalConst(_) => expr.clone(),
-        Expr::Union(a, b) => Expr::Union(
-            Box::new(map_leaves(a, f)),
-            Box::new(map_leaves(b, f)),
-        ),
-        Expr::Difference(a, b) => Expr::Difference(
-            Box::new(map_leaves(a, f)),
-            Box::new(map_leaves(b, f)),
-        ),
-        Expr::Product(a, b) => Expr::Product(
-            Box::new(map_leaves(a, f)),
-            Box::new(map_leaves(b, f)),
-        ),
+        Expr::Union(a, b) => Expr::Union(Box::new(map_leaves(a, f)), Box::new(map_leaves(b, f))),
+        Expr::Difference(a, b) => {
+            Expr::Difference(Box::new(map_leaves(a, f)), Box::new(map_leaves(b, f)))
+        }
+        Expr::Product(a, b) => {
+            Expr::Product(Box::new(map_leaves(a, f)), Box::new(map_leaves(b, f)))
+        }
         Expr::Project(attrs, e) => Expr::Project(attrs.clone(), Box::new(map_leaves(e, f))),
         Expr::Select(p, e) => Expr::Select(p.clone(), Box::new(map_leaves(e, f))),
-        Expr::HUnion(a, b) => Expr::HUnion(
-            Box::new(map_leaves(a, f)),
-            Box::new(map_leaves(b, f)),
-        ),
-        Expr::HDifference(a, b) => Expr::HDifference(
-            Box::new(map_leaves(a, f)),
-            Box::new(map_leaves(b, f)),
-        ),
-        Expr::HProduct(a, b) => Expr::HProduct(
-            Box::new(map_leaves(a, f)),
-            Box::new(map_leaves(b, f)),
-        ),
+        Expr::HUnion(a, b) => Expr::HUnion(Box::new(map_leaves(a, f)), Box::new(map_leaves(b, f))),
+        Expr::HDifference(a, b) => {
+            Expr::HDifference(Box::new(map_leaves(a, f)), Box::new(map_leaves(b, f)))
+        }
+        Expr::HProduct(a, b) => {
+            Expr::HProduct(Box::new(map_leaves(a, f)), Box::new(map_leaves(b, f)))
+        }
         Expr::HProject(attrs, e) => Expr::HProject(attrs.clone(), Box::new(map_leaves(e, f))),
         Expr::HSelect(p, e) => Expr::HSelect(p.clone(), Box::new(map_leaves(e, f))),
-        Expr::Delta(g, v, e) => {
-            Expr::Delta(g.clone(), v.clone(), Box::new(map_leaves(e, f)))
-        }
+        Expr::Delta(g, v, e) => Expr::Delta(g.clone(), v.clone(), Box::new(map_leaves(e, f))),
     }
 }
 
@@ -103,10 +91,7 @@ mod tests {
     fn as_of_rewrites_current_leaves() {
         let q = Expr::current("r").select(Predicate::gt_const("x", Value::Int(1)));
         let q2 = as_of(&q, TransactionNumber(2));
-        assert_eq!(
-            q2.to_string(),
-            "select[x > 1](rho(r, 2))"
-        );
+        assert_eq!(q2.to_string(), "select[x > 1](rho(r, 2))");
     }
 
     #[test]
@@ -131,8 +116,7 @@ mod tests {
 
     #[test]
     fn explicit_times_are_preserved() {
-        let q = Expr::rollback("r", TxSpec::At(TransactionNumber(3)))
-            .union(Expr::current("r"));
+        let q = Expr::rollback("r", TxSpec::At(TransactionNumber(3))).union(Expr::current("r"));
         let q2 = as_of(&q, TransactionNumber(2));
         assert_eq!(q2.to_string(), "(rho(r, 3) union rho(r, 2))");
     }

@@ -14,8 +14,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use txtime_historical::HistoricalState;
 use txtime_snapshot::{Attribute, DomainType, Schema, SnapshotState, Tuple, Value};
 
@@ -25,7 +23,8 @@ use crate::semantics::domains::StateValue;
 use crate::syntax::command::CommandOutcome;
 
 /// A single scheme-evolution step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SchemeChange {
     /// Add an attribute; existing tuples receive `default`.
     AddAttribute {
@@ -85,8 +84,7 @@ impl SchemeChange {
                     vals.push(default.clone());
                     Tuple::new(vals)
                 });
-                SnapshotState::new(schema, rows)
-                    .map_err(|e| CoreError::SchemeChange(e.to_string()))
+                SnapshotState::new(schema, rows).map_err(|e| CoreError::SchemeChange(e.to_string()))
             }
             SchemeChange::DropAttribute(name) => {
                 let keep: Vec<String> = state
@@ -169,11 +167,8 @@ impl SchemeChange {
                     .schema()
                     .rename(from, to)
                     .map_err(|e| CoreError::SchemeChange(e.to_string()))?;
-                HistoricalState::new(
-                    schema,
-                    state.iter().map(|(t, e)| (t.clone(), e.clone())),
-                )
-                .map_err(|e| CoreError::SchemeChange(e.to_string()))
+                HistoricalState::new(schema, state.iter().map(|(t, e)| (t.clone(), e.clone())))
+                    .map_err(|e| CoreError::SchemeChange(e.to_string()))
             }
         }
     }
@@ -279,11 +274,11 @@ mod tests {
         assert!(SchemeChange::DropAttribute("ghost".into())
             .apply_snapshot(&snap())
             .is_err());
-        let one =
-            SnapshotState::from_rows(Schema::new(vec![("x", DomainType::Int)]).unwrap(), vec![
-                vec![Value::Int(1)],
-            ])
-            .unwrap();
+        let one = SnapshotState::from_rows(
+            Schema::new(vec![("x", DomainType::Int)]).unwrap(),
+            vec![vec![Value::Int(1)]],
+        )
+        .unwrap();
         assert!(SchemeChange::DropAttribute("x".into())
             .apply_snapshot(&one)
             .is_err());
@@ -329,7 +324,11 @@ mod tests {
         .unwrap();
 
         // Current state has the new scheme…
-        let cur = Expr::current("emp").eval(&db).unwrap().into_snapshot().unwrap();
+        let cur = Expr::current("emp")
+            .eval(&db)
+            .unwrap()
+            .into_snapshot()
+            .unwrap();
         assert!(cur.schema().contains("salary"));
         // …but the pre-change version, with the old scheme, is still
         // reachable: the scheme is a transaction-time-varying aspect.

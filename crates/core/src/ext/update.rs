@@ -198,7 +198,11 @@ mod tests {
     }
 
     fn current(db: &Database) -> SnapshotState {
-        Expr::current("emp").eval(db).unwrap().into_snapshot().unwrap()
+        Expr::current("emp")
+            .eval(db)
+            .unwrap()
+            .into_snapshot()
+            .unwrap()
     }
 
     #[test]

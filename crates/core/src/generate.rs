@@ -5,8 +5,8 @@
 //! generated sentences; the rollback benchmarks (E2–E4) use the same
 //! generator to build version histories with controlled churn.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use txtime_snapshot::rng::Rng;
+use txtime_snapshot::rng::SliceRandom;
 
 use txtime_snapshot::generate::{mutate_state, random_state, GenConfig};
 use txtime_snapshot::{Schema, SnapshotState};
@@ -109,9 +109,9 @@ pub fn random_relation<'a>(rng: &mut impl Rng, cfg: &'a CmdGenConfig) -> &'a str
 mod tests {
     use super::*;
     use crate::syntax::sentence::Sentence;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use txtime_snapshot::generate::random_schema;
+    use txtime_snapshot::rng::rngs::StdRng;
+    use txtime_snapshot::rng::SeedableRng;
 
     #[test]
     fn generated_sentences_replay_cleanly() {

@@ -74,12 +74,13 @@ pub use error::{CoreError, EvalError};
 pub use ext::asof::as_of;
 pub use ext::scheme::SchemeChange;
 pub use ext::update::{append, delete_where, replace_where, Assignment};
-pub use semantics::expr_eval::StateSource;
 pub use semantics::database::{Database, DatabaseState};
 pub use semantics::domains::{Relation, RelationType, StateValue, TransactionNumber, Version};
+pub use semantics::expr_eval::StateSource;
 pub use syntax::command::{Command, CommandOutcome};
 pub use syntax::expr::{Expr, TxSpec};
 pub use syntax::sentence::Sentence;
+pub use syntax::span::{CommandSpans, ExprSpans, SentenceSpans, Span};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

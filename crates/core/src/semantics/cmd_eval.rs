@@ -70,9 +70,7 @@ impl Command {
             }
 
             // Extension [1987A]: scheme evolution.
-            Command::EvolveScheme(ident, change) => {
-                crate::ext::scheme::evolve(db, ident, change)
-            }
+            Command::EvolveScheme(ident, change) => crate::ext::scheme::evolve(db, ident, change),
 
             // Extension: display(E) queries without changing the database.
             Command::Display(expr) => {
@@ -113,7 +111,10 @@ mod tests {
         HistoricalState::new(
             schema(),
             vals.iter().map(|&(v, s, e)| {
-                (Tuple::new(vec![Value::Int(v)]), TemporalElement::period(s, e))
+                (
+                    Tuple::new(vec![Value::Int(v)]),
+                    TemporalElement::period(s, e),
+                )
             }),
         )
         .unwrap()
@@ -148,8 +149,8 @@ mod tests {
 
     #[test]
     fn modify_state_appends_for_rollback() {
-        let db = Command::define_relation("r", RelationType::Rollback)
-            .execute_total(&Database::empty());
+        let db =
+            Command::define_relation("r", RelationType::Rollback).execute_total(&Database::empty());
         let (db, _) = Command::modify_state("r", Expr::snapshot_const(snap(&[1])))
             .execute(&db)
             .unwrap();
@@ -165,12 +166,10 @@ mod tests {
 
     #[test]
     fn modify_state_replaces_for_snapshot() {
-        let db = Command::define_relation("s", RelationType::Snapshot)
-            .execute_total(&Database::empty());
-        let db = Command::modify_state("s", Expr::snapshot_const(snap(&[1])))
-            .execute_total(&db);
-        let db = Command::modify_state("s", Expr::snapshot_const(snap(&[2])))
-            .execute_total(&db);
+        let db =
+            Command::define_relation("s", RelationType::Snapshot).execute_total(&Database::empty());
+        let db = Command::modify_state("s", Expr::snapshot_const(snap(&[1]))).execute_total(&db);
+        let db = Command::modify_state("s", Expr::snapshot_const(snap(&[2]))).execute_total(&db);
         let r = db.state.lookup("s").unwrap();
         assert_eq!(r.versions().len(), 1);
         assert_eq!(
@@ -185,16 +184,19 @@ mod tests {
     fn modify_state_evaluates_against_pre_state() {
         // append semantics: E may reference ρ(r, ∞), which must see the
         // previous state, not the one being installed.
-        let db = Command::define_relation("r", RelationType::Rollback)
-            .execute_total(&Database::empty());
-        let db = Command::modify_state("r", Expr::snapshot_const(snap(&[1])))
-            .execute_total(&db);
+        let db =
+            Command::define_relation("r", RelationType::Rollback).execute_total(&Database::empty());
+        let db = Command::modify_state("r", Expr::snapshot_const(snap(&[1]))).execute_total(&db);
         let db = Command::modify_state(
             "r",
             Expr::current("r").union(Expr::snapshot_const(snap(&[2]))),
         )
         .execute_total(&db);
-        let cur = Expr::current("r").eval(&db).unwrap().into_snapshot().unwrap();
+        let cur = Expr::current("r")
+            .eval(&db)
+            .unwrap()
+            .into_snapshot()
+            .unwrap();
         assert_eq!(cur, snap(&[1, 2]));
     }
 
@@ -209,8 +211,8 @@ mod tests {
 
     #[test]
     fn modify_state_rejects_kind_mismatch() {
-        let db = Command::define_relation("r", RelationType::Rollback)
-            .execute_total(&Database::empty());
+        let db =
+            Command::define_relation("r", RelationType::Rollback).execute_total(&Database::empty());
         let c = Command::modify_state("r", Expr::historical_const(hist(&[(1, 0, 5)])));
         assert!(matches!(
             c.execute(&db),
@@ -222,8 +224,8 @@ mod tests {
 
     #[test]
     fn temporal_relation_appends_historical_states() {
-        let db = Command::define_relation("t", RelationType::Temporal)
-            .execute_total(&Database::empty());
+        let db =
+            Command::define_relation("t", RelationType::Temporal).execute_total(&Database::empty());
         let db = Command::modify_state("t", Expr::historical_const(hist(&[(1, 0, 5)])))
             .execute_total(&db);
         let db = Command::modify_state("t", Expr::historical_const(hist(&[(1, 0, 9)])))
@@ -244,8 +246,8 @@ mod tests {
 
     #[test]
     fn delete_relation_unbinds() {
-        let db = Command::define_relation("r", RelationType::Snapshot)
-            .execute_total(&Database::empty());
+        let db =
+            Command::define_relation("r", RelationType::Snapshot).execute_total(&Database::empty());
         let (db2, out) = Command::delete_relation("r").execute(&db).unwrap();
         assert_eq!(out, CommandOutcome::Deleted);
         assert!(!db2.state.is_defined("r"));
@@ -258,10 +260,9 @@ mod tests {
 
     #[test]
     fn display_reports_without_changing_database() {
-        let db = Command::define_relation("r", RelationType::Rollback)
-            .execute_total(&Database::empty());
-        let db = Command::modify_state("r", Expr::snapshot_const(snap(&[7])))
-            .execute_total(&db);
+        let db =
+            Command::define_relation("r", RelationType::Rollback).execute_total(&Database::empty());
+        let db = Command::modify_state("r", Expr::snapshot_const(snap(&[7]))).execute_total(&db);
         let (db2, out) = Command::display(Expr::current("r")).execute(&db).unwrap();
         assert_eq!(db2, db);
         match out {
@@ -274,8 +275,8 @@ mod tests {
 
     #[test]
     fn failed_expression_leaves_database_unchanged() {
-        let db = Command::define_relation("r", RelationType::Rollback)
-            .execute_total(&Database::empty());
+        let db =
+            Command::define_relation("r", RelationType::Rollback).execute_total(&Database::empty());
         // Project a non-existent attribute: E is partial, C is total.
         let c = Command::modify_state(
             "r",
@@ -290,10 +291,9 @@ mod tests {
     fn append_delete_replace_via_modify_state() {
         // "the modify_state command effectively performs append, delete,
         // and replace operations" — exercise each shape.
-        let db = Command::define_relation("r", RelationType::Rollback)
-            .execute_total(&Database::empty());
-        let db = Command::modify_state("r", Expr::snapshot_const(snap(&[1, 2])))
-            .execute_total(&db);
+        let db =
+            Command::define_relation("r", RelationType::Rollback).execute_total(&Database::empty());
+        let db = Command::modify_state("r", Expr::snapshot_const(snap(&[1, 2]))).execute_total(&db);
 
         // Append: previous ∪ {3}
         let db = Command::modify_state(
@@ -302,7 +302,11 @@ mod tests {
         )
         .execute_total(&db);
         assert_eq!(
-            Expr::current("r").eval(&db).unwrap().into_snapshot().unwrap(),
+            Expr::current("r")
+                .eval(&db)
+                .unwrap()
+                .into_snapshot()
+                .unwrap(),
             snap(&[1, 2, 3])
         );
 
@@ -313,7 +317,11 @@ mod tests {
         )
         .execute_total(&db);
         assert_eq!(
-            Expr::current("r").eval(&db).unwrap().into_snapshot().unwrap(),
+            Expr::current("r")
+                .eval(&db)
+                .unwrap()
+                .into_snapshot()
+                .unwrap(),
             snap(&[1, 3])
         );
 
@@ -326,7 +334,11 @@ mod tests {
         )
         .execute_total(&db);
         assert_eq!(
-            Expr::current("r").eval(&db).unwrap().into_snapshot().unwrap(),
+            Expr::current("r")
+                .eval(&db)
+                .unwrap()
+                .into_snapshot()
+                .unwrap(),
             snap(&[1, 4])
         );
 

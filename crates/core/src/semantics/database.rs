@@ -4,8 +4,6 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::semantics::domains::{Relation, TransactionNumber};
 
 /// DATABASE STATE ≜ IDENTIFIER → \[RELATION + {⊥}\]
@@ -15,7 +13,8 @@ use crate::semantics::domains::{Relation, TransactionNumber};
 /// finite map: absent identifiers denote ⊥. The map is wrapped in an `Arc`
 /// so that a [`Database`] — which the reference semantics copies at every
 /// command — clones in O(1) and shares structure.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DatabaseState {
     relations: Arc<BTreeMap<String, Relation>>,
 }
@@ -86,7 +85,8 @@ impl DatabaseState {
 /// "A database is an ordered pair consisting of a database state and a
 /// transaction number indicating the most recent transaction that caused
 /// a change to the database."
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Database {
     /// The database-state component `b`.
     pub state: DatabaseState,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use txtime_historical::HistoricalState;
 use txtime_snapshot::SnapshotState;
 
@@ -12,9 +10,8 @@ use txtime_snapshot::SnapshotState;
 /// "A transaction number is a non-negative integer which is used to
 /// identify a transaction that modifies the database … the transaction's
 /// time-stamp \[is\] the commit time for the transaction."
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TransactionNumber(pub u64);
 
 impl TransactionNumber {
@@ -40,7 +37,8 @@ impl From<u64> for TransactionNumber {
 ///
 /// The four classes of relations by their support for transaction time
 /// and valid time (§1, §4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RelationType {
     /// Neither valid nor transaction time: a single snapshot state.
     Snapshot,
@@ -95,7 +93,8 @@ impl fmt::Display for RelationType {
 
 /// A state stored in (or produced by an expression over) the database:
 /// either a snapshot state or an historical state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StateValue {
     /// An element of SNAPSHOT STATE.
     Snapshot(SnapshotState),
@@ -198,7 +197,8 @@ impl From<HistoricalState> for StateValue {
 
 /// One element of a relation's state sequence: a (state, transaction
 /// number) pair.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Version {
     /// The state that became current at `tx`.
     pub state: StateValue,
@@ -213,7 +213,8 @@ pub struct Version {
 /// — strictly increasing transaction numbers — is enforced by
 /// [`Relation::push_version`]; for snapshot and historical relations the
 /// sequence never exceeds one element.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Relation {
     rtype: RelationType,
     versions: Vec<Version>,

@@ -304,7 +304,9 @@ mod tests {
     fn constants_evaluate_to_themselves() {
         let s = snap(&[("a", 1)]);
         assert_eq!(
-            Expr::snapshot_const(s.clone()).eval(&Database::empty()).unwrap(),
+            Expr::snapshot_const(s.clone())
+                .eval(&Database::empty())
+                .unwrap(),
             StateValue::Snapshot(s)
         );
     }
@@ -398,7 +400,11 @@ mod tests {
             .into_historical()
             .unwrap();
         assert_eq!(h1, hist(&[("alice", 100, 0, 10)]));
-        let h2 = Expr::hcurrent("hemp").eval(&d).unwrap().into_historical().unwrap();
+        let h2 = Expr::hcurrent("hemp")
+            .eval(&d)
+            .unwrap()
+            .into_historical()
+            .unwrap();
         assert_eq!(h2.len(), 2);
     }
 
@@ -417,8 +423,7 @@ mod tests {
     #[test]
     fn union_of_two_rollback_times() {
         let d = db();
-        let e = Expr::rollback("emp", TxSpec::At(TransactionNumber(2)))
-            .union(Expr::current("emp"));
+        let e = Expr::rollback("emp", TxSpec::At(TransactionNumber(2))).union(Expr::current("emp"));
         let s = e.eval(&d).unwrap().into_snapshot().unwrap();
         assert_eq!(s, snap(&[("alice", 100), ("bob", 250)]));
     }
@@ -430,7 +435,10 @@ mod tests {
         let e = Expr::hcurrent("hemp").union(Expr::hcurrent("hemp"));
         assert!(matches!(
             e.eval(&d),
-            Err(EvalError::StateKindMismatch { operator: "union", .. })
+            Err(EvalError::StateKindMismatch {
+                operator: "union",
+                ..
+            })
         ));
     }
 

@@ -22,14 +22,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ext::scheme::SchemeChange;
 use crate::semantics::domains::{RelationType, StateValue};
 use crate::syntax::expr::Expr;
 
 /// A command of the language.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Command {
     /// `define_relation(I, Y)`: bind type `Y` and an empty state sequence
     /// to the unbound identifier `I`.
@@ -99,6 +98,26 @@ impl Command {
         }
     }
 
+    /// The command's expression argument, if it has one (`modify_state`
+    /// and `display` do; the other forms don't).
+    pub fn expr(&self) -> Option<&Expr> {
+        match self {
+            Command::ModifyState(_, e) | Command::Display(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The command keyword, for diagnostics.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Command::DefineRelation(..) => "define_relation",
+            Command::ModifyState(..) => "modify_state",
+            Command::DeleteRelation(_) => "delete_relation",
+            Command::EvolveScheme(..) => "evolve_scheme",
+            Command::Display(_) => "display",
+        }
+    }
+
     /// The relations this command reads through ρ/ρ̂ in its expression.
     pub fn read_set(&self) -> Vec<&str> {
         match self {
@@ -154,7 +173,9 @@ mod tests {
         let c = Command::modify_state("a", Expr::current("b").union(Expr::current("c")));
         assert_eq!(c.write_target(), Some("a"));
         assert_eq!(c.read_set(), vec!["b", "c"]);
-        assert!(Command::display(Expr::current("x")).write_target().is_none());
+        assert!(Command::display(Expr::current("x"))
+            .write_target()
+            .is_none());
     }
 
     #[test]

@@ -12,8 +12,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use txtime_historical::{HistoricalState, TemporalExpr, TemporalPred};
 use txtime_snapshot::{Predicate, SnapshotState};
 
@@ -21,7 +19,8 @@ use crate::semantics::domains::TransactionNumber;
 
 /// The NUMERAL argument of a rollback operator: a transaction number or
 /// the special symbol ∞.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TxSpec {
     /// A specific transaction number `N`.
     At(TransactionNumber),
@@ -47,7 +46,8 @@ impl fmt::Display for TxSpec {
 /// historical states. `Rollback` (ρ) retrieves snapshot states from
 /// snapshot/rollback relations; `HRollback` (ρ̂) retrieves historical
 /// states from historical/temporal relations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Expr {
     /// A constant snapshot state `A`.
     SnapshotConst(SnapshotState),
@@ -217,6 +217,52 @@ impl Expr {
         }
     }
 
+    /// The node's direct *expression* operands, in syntactic order
+    /// (empty for constants and rollbacks). Analyses that walk the tree
+    /// generically — the static checker, span tables — use this instead
+    /// of matching every variant.
+    pub fn operands(&self) -> Vec<&Expr> {
+        match self {
+            Expr::SnapshotConst(_)
+            | Expr::HistoricalConst(_)
+            | Expr::Rollback(..)
+            | Expr::HRollback(..) => Vec::new(),
+            Expr::Union(a, b)
+            | Expr::Difference(a, b)
+            | Expr::Product(a, b)
+            | Expr::HUnion(a, b)
+            | Expr::HDifference(a, b)
+            | Expr::HProduct(a, b) => vec![a, b],
+            Expr::Project(_, e)
+            | Expr::Select(_, e)
+            | Expr::HProject(_, e)
+            | Expr::HSelect(_, e)
+            | Expr::Delta(_, _, e) => vec![e],
+        }
+    }
+
+    /// A short name for the node's operator, for diagnostics
+    /// (`union`, `hproject`, `rho`, …).
+    pub fn operator_name(&self) -> &'static str {
+        match self {
+            Expr::SnapshotConst(_) => "snapshot constant",
+            Expr::HistoricalConst(_) => "historical constant",
+            Expr::Union(..) => "union",
+            Expr::Difference(..) => "minus",
+            Expr::Product(..) => "times",
+            Expr::Project(..) => "project",
+            Expr::Select(..) => "select",
+            Expr::Rollback(..) => "rho",
+            Expr::HUnion(..) => "hunion",
+            Expr::HDifference(..) => "hminus",
+            Expr::HProduct(..) => "htimes",
+            Expr::HProject(..) => "hproject",
+            Expr::HSelect(..) => "hselect",
+            Expr::Delta(..) => "delta",
+            Expr::HRollback(..) => "hrho",
+        }
+    }
+
     /// Number of operator nodes (used by the optimizer's cost heuristics
     /// and by tests on rewrite termination).
     pub fn node_count(&self) -> usize {
@@ -282,7 +328,9 @@ mod tests {
     fn historical_detection() {
         assert!(Expr::hcurrent("emp").is_historical());
         assert!(!Expr::current("emp").is_historical());
-        assert!(Expr::hcurrent("a").hunion(Expr::hcurrent("b")).is_historical());
+        assert!(Expr::hcurrent("a")
+            .hunion(Expr::hcurrent("b"))
+            .is_historical());
     }
 
     #[test]

@@ -3,3 +3,4 @@
 pub mod command;
 pub mod expr;
 pub mod sentence;
+pub mod span;

@@ -9,14 +9,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::CoreError;
 use crate::semantics::database::Database;
 use crate::syntax::command::{Command, CommandOutcome};
 
 /// A sentence: a non-empty command sequence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Sentence {
     commands: Vec<Command>,
 }
@@ -152,8 +151,7 @@ mod tests {
 
     #[test]
     fn eval_starts_from_empty_database() {
-        let s = Sentence::new(vec![Command::define_relation("r", RelationType::Rollback)])
-            .unwrap();
+        let s = Sentence::new(vec![Command::define_relation("r", RelationType::Rollback)]).unwrap();
         let db = s.eval().unwrap();
         assert_eq!(db.tx, TransactionNumber(1));
         assert_eq!(db.state.len(), 1);
@@ -247,8 +245,7 @@ mod tests {
 
     #[test]
     fn display_round_trips_visually() {
-        let s = Sentence::new(vec![Command::define_relation("r", RelationType::Temporal)])
-            .unwrap();
+        let s = Sentence::new(vec![Command::define_relation("r", RelationType::Temporal)]).unwrap();
         assert_eq!(s.to_string(), "define_relation(r, temporal);\n");
     }
 }

@@ -1,0 +1,165 @@
+//! Source positions for parsed sentences.
+//!
+//! The lexer records a line/column for every token; the parser threads
+//! those positions into *span tables* that mirror the shape of the AST.
+//! Keeping spans out of [`Expr`](crate::Expr)/[`Command`](crate::Command)
+//! themselves preserves their structural equality (the optimizer's law
+//! tests compare rewritten trees with `==`, and two occurrences of the
+//! same expression must stay equal regardless of where they were
+//! written), while still letting diagnostics cite `line:col`.
+
+use std::fmt;
+
+use crate::syntax::command::Command;
+use crate::syntax::expr::Expr;
+use crate::syntax::sentence::Sentence;
+
+/// A source position: 1-based line and column. `0:0` means "unknown"
+/// (the AST was built programmatically, not parsed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// 1-based line number, 0 if unknown.
+    pub line: usize,
+    /// 1-based column number, 0 if unknown.
+    pub col: usize,
+}
+
+impl Span {
+    /// A span at the given position.
+    pub fn new(line: usize, col: usize) -> Span {
+        Span { line, col }
+    }
+
+    /// The "unknown position" span.
+    pub fn unknown() -> Span {
+        Span::default()
+    }
+
+    /// Whether this span carries a real position.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            write!(f, "?:?")
+        }
+    }
+}
+
+/// The span table for one expression: the position of the node's own
+/// operator plus one entry per *expression* operand, in the operand
+/// order of the [`Expr`] variant. (Predicates and temporal operands are
+/// covered by the node's own span.)
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExprSpans {
+    /// Where this node's operator (or constant) starts.
+    pub span: Span,
+    /// Span tables of the node's expression operands, in order.
+    pub children: Vec<ExprSpans>,
+}
+
+impl ExprSpans {
+    /// A leaf table (no expression operands).
+    pub fn leaf(span: Span) -> ExprSpans {
+        ExprSpans {
+            span,
+            children: Vec::new(),
+        }
+    }
+
+    /// A table for a node with the given operand tables.
+    pub fn node(span: Span, children: Vec<ExprSpans>) -> ExprSpans {
+        ExprSpans { span, children }
+    }
+
+    /// An all-unknown table matching the shape of `expr`, for sentences
+    /// built programmatically rather than parsed.
+    pub fn unknown_for(expr: &Expr) -> ExprSpans {
+        ExprSpans {
+            span: Span::unknown(),
+            children: expr
+                .operands()
+                .iter()
+                .map(|e| ExprSpans::unknown_for(e))
+                .collect(),
+        }
+    }
+}
+
+/// The span table for one command: the position of the command keyword
+/// plus the table of its expression argument, if it has one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommandSpans {
+    /// Where the command keyword starts.
+    pub head: Span,
+    /// The span table of the command's expression argument
+    /// (`modify_state`, `display`), if any.
+    pub expr: Option<ExprSpans>,
+}
+
+impl CommandSpans {
+    /// An all-unknown table matching the shape of `command`.
+    pub fn unknown_for(command: &Command) -> CommandSpans {
+        CommandSpans {
+            head: Span::unknown(),
+            expr: command.expr().map(ExprSpans::unknown_for),
+        }
+    }
+}
+
+/// The span table for a whole sentence: one entry per command.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SentenceSpans {
+    /// One table per command, in sentence order.
+    pub commands: Vec<CommandSpans>,
+}
+
+impl SentenceSpans {
+    /// An all-unknown table matching the shape of `sentence`.
+    pub fn unknown_for(sentence: &Sentence) -> SentenceSpans {
+        SentenceSpans {
+            commands: sentence
+                .commands()
+                .iter()
+                .map(CommandSpans::unknown_for)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::expr::TxSpec;
+
+    #[test]
+    fn unknown_tables_mirror_expression_shape() {
+        let e = Expr::rollback("a", TxSpec::Current)
+            .union(Expr::rollback("b", TxSpec::Current))
+            .project(vec!["x".to_string()]);
+        let t = ExprSpans::unknown_for(&e);
+        assert_eq!(t.children.len(), 1); // project has one operand
+        assert_eq!(t.children[0].children.len(), 2); // union has two
+        assert!(!t.span.is_known());
+        assert_eq!(t.span.to_string(), "?:?");
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+    }
+
+    #[test]
+    fn unknown_tables_mirror_sentence_shape() {
+        let s = Sentence::new(vec![
+            Command::define_relation("r", crate::RelationType::Rollback),
+            Command::modify_state("r", Expr::rollback("r", TxSpec::Current)),
+        ])
+        .unwrap();
+        let t = SentenceSpans::unknown_for(&s);
+        assert_eq!(t.commands.len(), 2);
+        assert!(t.commands[0].expr.is_none());
+        assert!(t.commands[1].expr.is_some());
+    }
+}

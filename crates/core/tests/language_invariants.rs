@@ -12,7 +12,7 @@
 //!   timeslicing commutes with the order of the two time dimensions.
 
 use proptest::prelude::*;
-use rand::SeedableRng;
+use txtime_snapshot::rng::SeedableRng;
 
 use txtime_core::generate::{random_commands, CmdGenConfig};
 use txtime_core::prelude::*;
@@ -38,7 +38,7 @@ fn gen_cfg() -> CmdGenConfig {
 
 fn arb_commands() -> impl Strategy<Value = Vec<Command>> {
     (any::<u64>(), 1usize..30).prop_map(|(seed, len)| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = txtime_snapshot::rng::rngs::StdRng::seed_from_u64(seed);
         random_commands(&mut rng, &fixed_schema(), &gen_cfg(), len)
     })
 }

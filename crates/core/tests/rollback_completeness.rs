@@ -8,8 +8,8 @@
 //! command prefix whose clock is `t`.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::{Rng, SeedableRng};
 
 use txtime_core::generate::{random_commands, CmdGenConfig};
 use txtime_core::{as_of, Command, Database, Expr, Sentence};
@@ -36,12 +36,11 @@ fn gen_cfg() -> CmdGenConfig {
 /// A random query whose leaves are all `ρ(·, ∞)`.
 fn random_current_query(rng: &mut StdRng, depth: usize) -> Expr {
     if depth == 0 {
-        return Expr::current(["r0", "r1"][rng.gen_range(0..2)]);
+        return Expr::current(["r0", "r1"][rng.gen_range(0..2usize)]);
     }
     match rng.gen_range(0..4) {
         0 => random_current_query(rng, depth - 1).union(random_current_query(rng, depth - 1)),
-        1 => random_current_query(rng, depth - 1)
-            .difference(random_current_query(rng, depth - 1)),
+        1 => random_current_query(rng, depth - 1).difference(random_current_query(rng, depth - 1)),
         2 => random_current_query(rng, depth - 1).select(random_predicate(
             rng,
             &schema(),

@@ -9,11 +9,11 @@
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::{Rng, SeedableRng};
 
-use txtime_core::{append, delete_where, replace_where, Assignment};
 use txtime_core::prelude::*;
+use txtime_core::{append, delete_where, replace_where, Assignment};
 use txtime_snapshot::generate::{random_predicate, random_state, GenConfig};
 use txtime_snapshot::{DomainType, Schema, SnapshotState, Tuple, Value};
 
@@ -46,7 +46,11 @@ fn db_with(state: &SnapshotState) -> Database {
 }
 
 fn current(db: &Database) -> SnapshotState {
-    Expr::current("r").eval(db).unwrap().into_snapshot().unwrap()
+    Expr::current("r")
+        .eval(db)
+        .unwrap()
+        .into_snapshot()
+        .unwrap()
 }
 
 proptest! {

@@ -1,0 +1,224 @@
+#![warn(missing_docs)]
+
+//! An offline, in-tree stand-in for the `criterion` crate.
+//!
+//! The workspace builds with no registry access, so the real `criterion`
+//! cannot be a dependency. This crate keeps the bench sources compiling
+//! and runnable (`cargo bench`) by implementing the subset of the API
+//! they use — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`/`iter_batched_ref`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!`/
+//! `criterion_main!` macros — over plain `std::time::Instant` timing.
+//! It reports the median of the measured samples, with none of real
+//! criterion's statistical analysis.
+
+use std::time::{Duration, Instant};
+
+/// How batched-iteration inputs are grouped; accepted for source
+/// compatibility, ignored by the shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per allocation.
+    PerIteration,
+}
+
+/// A benchmark's identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `{function}/{parameter}`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The measurement driver handed to every benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.results.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` over a mutable value rebuilt by `setup` for each
+    /// sample; setup time is excluded from the measurement.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            let out = routine(&mut input);
+            self.results.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up budget (accepted; the shim does a fixed warm-up).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget (accepted; the shim is sample-count
+    /// driven).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report lines were already printed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { samples: 12 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    fn run_one(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        // One untimed warm-up pass, then the timed samples.
+        let mut warm = Bencher {
+            samples: 1,
+            results: Vec::new(),
+        };
+        f(&mut warm);
+        let mut b = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        let mut times = b.results;
+        times.sort();
+        let median = times.get(times.len() / 2).copied().unwrap_or_default();
+        println!(
+            "bench: {label:<60} median {median:>12.2?} ({} samples)",
+            times.len()
+        );
+    }
+}
+
+/// Declares a group of benchmark functions, as real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench harness entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched_ref(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

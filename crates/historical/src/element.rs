@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::chronon::Chronon;
 use crate::period::Period;
 
@@ -14,7 +12,8 @@ use crate::period::Period;
 /// complement, which is what lets the historical operators manipulate
 /// valid time set-theoretically. The canonical (coalesced) form makes
 /// structural equality coincide with set equality.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TemporalElement {
     periods: Vec<Period>,
 }
@@ -109,9 +108,7 @@ impl TemporalElement {
 
     /// Set union.
     pub fn union(&self, other: &TemporalElement) -> TemporalElement {
-        TemporalElement::from_periods(
-            self.periods.iter().chain(other.periods.iter()).copied(),
-        )
+        TemporalElement::from_periods(self.periods.iter().chain(other.periods.iter()).copied())
     }
 
     /// Set intersection.
@@ -190,8 +187,7 @@ impl TemporalElement {
 
     /// Approximate footprint in bytes for space accounting.
     pub fn size_bytes(&self) -> usize {
-        std::mem::size_of::<TemporalElement>()
-            + self.periods.len() * std::mem::size_of::<Period>()
+        std::mem::size_of::<TemporalElement>() + self.periods.len() * std::mem::size_of::<Period>()
     }
 
     /// Iterates the chronons in the element. Intended for tests on small
@@ -228,11 +224,7 @@ mod tests {
     use super::*;
 
     fn el(pairs: &[(Chronon, Chronon)]) -> TemporalElement {
-        TemporalElement::from_periods(
-            pairs
-                .iter()
-                .map(|&(s, e)| Period::new(s, e).unwrap()),
-        )
+        TemporalElement::from_periods(pairs.iter().map(|&(s, e)| Period::new(s, e).unwrap()))
     }
 
     #[test]
@@ -264,10 +256,7 @@ mod tests {
     #[test]
     fn union_merges() {
         assert_eq!(el(&[(0, 5)]).union(&el(&[(3, 9)])), el(&[(0, 9)]));
-        assert_eq!(
-            el(&[(0, 2)]).union(&el(&[(5, 7)])).periods().len(),
-            2
-        );
+        assert_eq!(el(&[(0, 2)]).union(&el(&[(5, 7)])).periods().len(), 2);
     }
 
     #[test]
@@ -282,8 +271,14 @@ mod tests {
 
     #[test]
     fn difference_cases() {
-        assert_eq!(el(&[(0, 10)]).difference(&el(&[(3, 5)])), el(&[(0, 3), (5, 10)]));
-        assert_eq!(el(&[(0, 10)]).difference(&el(&[(0, 10)])), TemporalElement::empty());
+        assert_eq!(
+            el(&[(0, 10)]).difference(&el(&[(3, 5)])),
+            el(&[(0, 3), (5, 10)])
+        );
+        assert_eq!(
+            el(&[(0, 10)]).difference(&el(&[(0, 10)])),
+            TemporalElement::empty()
+        );
         assert_eq!(el(&[(0, 10)]).difference(&el(&[(10, 20)])), el(&[(0, 10)]));
         assert_eq!(
             el(&[(0, 4), (6, 9)]).difference(&el(&[(2, 7)])),

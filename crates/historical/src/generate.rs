@@ -1,6 +1,6 @@
 //! Random generation of historical states for tests and benchmarks.
 
-use rand::Rng;
+use txtime_snapshot::rng::Rng;
 
 use txtime_snapshot::generate::{random_tuple, GenConfig};
 use txtime_snapshot::Schema;
@@ -63,9 +63,9 @@ pub fn random_historical_state(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use txtime_snapshot::generate::random_schema;
+    use txtime_snapshot::rng::rngs::StdRng;
+    use txtime_snapshot::rng::SeedableRng;
 
     #[test]
     fn generated_states_respect_horizon() {

@@ -67,7 +67,8 @@ mod tests {
             .unwrap();
         assert_eq!(d.len(), 1);
         assert_eq!(
-            d.valid_time(&Tuple::new(vec![Value::str("alice")])).unwrap(),
+            d.valid_time(&Tuple::new(vec![Value::str("alice")]))
+                .unwrap(),
             &TemporalElement::period(0, 5)
         );
     }
@@ -78,15 +79,13 @@ mod tests {
         let d = emp()
             .delta(
                 &TemporalPred::True,
-                &TemporalExpr::intersect(
-                    TemporalExpr::ValidTime,
-                    TemporalExpr::constant(window),
-                ),
+                &TemporalExpr::intersect(TemporalExpr::ValidTime, TemporalExpr::constant(window)),
             )
             .unwrap();
         assert_eq!(d.len(), 2);
         assert_eq!(
-            d.valid_time(&Tuple::new(vec![Value::str("alice")])).unwrap(),
+            d.valid_time(&Tuple::new(vec![Value::str("alice")]))
+                .unwrap(),
             &TemporalElement::period(2, 5)
         );
         assert_eq!(
@@ -113,7 +112,8 @@ mod tests {
     fn delta_with_identity_arguments_is_identity() {
         let e = emp();
         assert_eq!(
-            e.delta(&TemporalPred::True, &TemporalExpr::ValidTime).unwrap(),
+            e.delta(&TemporalPred::True, &TemporalExpr::ValidTime)
+                .unwrap(),
             e
         );
     }

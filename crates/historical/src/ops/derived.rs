@@ -108,7 +108,10 @@ mod tests {
         HistoricalState::new(
             schema,
             entries.iter().map(|&(v, s, e)| {
-                (Tuple::new(vec![Value::str(v)]), TemporalElement::period(s, e))
+                (
+                    Tuple::new(vec![Value::str(v)]),
+                    TemporalElement::period(s, e),
+                )
             }),
         )
         .unwrap()
@@ -122,7 +125,9 @@ mod tests {
         let derived = a.hdifference(&a.hdifference(&b).unwrap()).unwrap();
         assert_eq!(direct, derived);
         assert_eq!(
-            direct.valid_time(&Tuple::new(vec![Value::str("p")])).unwrap(),
+            direct
+                .valid_time(&Tuple::new(vec![Value::str("p")]))
+                .unwrap(),
             &TemporalElement::period(5, 10)
         );
         assert_eq!(direct.len(), 1);

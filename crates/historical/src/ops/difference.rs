@@ -40,7 +40,10 @@ mod tests {
         HistoricalState::new(
             schema(),
             entries.iter().map(|&(v, s, e)| {
-                (Tuple::new(vec![Value::str(v)]), TemporalElement::period(s, e))
+                (
+                    Tuple::new(vec![Value::str(v)]),
+                    TemporalElement::period(s, e),
+                )
             }),
         )
         .unwrap()
@@ -48,14 +51,18 @@ mod tests {
 
     #[test]
     fn difference_subtracts_valid_time() {
-        let d = st(&[("a", 0, 10)]).hdifference(&st(&[("a", 3, 5)])).unwrap();
+        let d = st(&[("a", 0, 10)])
+            .hdifference(&st(&[("a", 3, 5)]))
+            .unwrap();
         let e = d.valid_time(&Tuple::new(vec![Value::str("a")])).unwrap();
         assert!(e.contains(0) && e.contains(2) && !e.contains(3) && e.contains(5));
     }
 
     #[test]
     fn fully_covered_tuples_disappear() {
-        let d = st(&[("a", 2, 5)]).hdifference(&st(&[("a", 0, 10)])).unwrap();
+        let d = st(&[("a", 2, 5)])
+            .hdifference(&st(&[("a", 0, 10)]))
+            .unwrap();
         assert!(d.is_empty());
     }
 

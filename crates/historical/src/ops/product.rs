@@ -36,7 +36,10 @@ mod tests {
         HistoricalState::new(
             schema,
             entries.iter().map(|&(v, s, e)| {
-                (Tuple::new(vec![Value::str(v)]), TemporalElement::period(s, e))
+                (
+                    Tuple::new(vec![Value::str(v)]),
+                    TemporalElement::period(s, e),
+                )
             }),
         )
         .unwrap()
@@ -64,7 +67,9 @@ mod tests {
 
     #[test]
     fn product_rejects_name_clash() {
-        assert!(st("x", &[("a", 0, 5)]).hproduct(&st("x", &[("b", 0, 5)])).is_err());
+        assert!(st("x", &[("a", 0, 5)])
+            .hproduct(&st("x", &[("b", 0, 5)]))
+            .is_err());
     }
 
     #[test]

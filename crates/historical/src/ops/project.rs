@@ -35,8 +35,8 @@ mod tests {
     use txtime_snapshot::{DomainType, Schema, Tuple, Value};
 
     fn emp() -> HistoricalState {
-        let schema = Schema::new(vec![("name", DomainType::Str), ("dept", DomainType::Str)])
-            .unwrap();
+        let schema =
+            Schema::new(vec![("name", DomainType::Str), ("dept", DomainType::Str)]).unwrap();
         HistoricalState::new(
             schema,
             vec![
@@ -61,7 +61,9 @@ mod tests {
     fn projection_merges_valid_times() {
         let p = emp().hproject(&["name"]).unwrap();
         assert_eq!(p.len(), 2);
-        let alice = p.valid_time(&Tuple::new(vec![Value::str("alice")])).unwrap();
+        let alice = p
+            .valid_time(&Tuple::new(vec![Value::str("alice")]))
+            .unwrap();
         // alice was somewhere (cs then ee) over [0,10) — one coalesced period.
         assert_eq!(alice, &TemporalElement::period(0, 10));
     }

@@ -25,8 +25,8 @@ mod tests {
     use txtime_snapshot::{DomainType, Predicate, Schema, Tuple, Value};
 
     fn emp() -> HistoricalState {
-        let schema = Schema::new(vec![("name", DomainType::Str), ("sal", DomainType::Int)])
-            .unwrap();
+        let schema =
+            Schema::new(vec![("name", DomainType::Str), ("sal", DomainType::Int)]).unwrap();
         HistoricalState::new(
             schema,
             vec![
@@ -63,7 +63,9 @@ mod tests {
 
     #[test]
     fn select_validates_predicate() {
-        assert!(emp().hselect(&Predicate::eq_const("wage", Value::Int(1))).is_err());
+        assert!(emp()
+            .hselect(&Predicate::eq_const("wage", Value::Int(1)))
+            .is_err());
     }
 
     #[test]

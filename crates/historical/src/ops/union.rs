@@ -37,7 +37,10 @@ mod tests {
         HistoricalState::new(
             schema(),
             entries.iter().map(|&(v, s, e)| {
-                (Tuple::new(vec![Value::str(v)]), TemporalElement::period(s, e))
+                (
+                    Tuple::new(vec![Value::str(v)]),
+                    TemporalElement::period(s, e),
+                )
             }),
         )
         .unwrap()

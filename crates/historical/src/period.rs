@@ -2,14 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::chronon::{Chronon, FOREVER};
 use crate::error::HistoricalError;
 use crate::Result;
 
 /// A non-empty half-open period `[start, end)` of chronons.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Period {
     start: Chronon,
     end: Chronon,
@@ -36,7 +35,10 @@ impl Period {
     /// The single-chronon period `[c, c+1)`.
     pub fn instant(c: Chronon) -> Period {
         debug_assert!(c < FOREVER);
-        Period { start: c, end: c + 1 }
+        Period {
+            start: c,
+            end: c + 1,
+        }
     }
 
     /// Inclusive lower bound.

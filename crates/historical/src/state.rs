@@ -4,8 +4,6 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use txtime_snapshot::{Schema, SnapshotState, Tuple};
 
 use crate::chronon::Chronon;
@@ -28,7 +26,8 @@ use crate::Result;
 ///
 /// Like [`SnapshotState`], the payload is reference-counted so cloning is
 /// O(1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HistoricalState {
     schema: Schema,
     tuples: Arc<BTreeMap<Tuple, TemporalElement>>,
@@ -121,8 +120,7 @@ impl HistoricalState {
             .filter(|(_, e)| e.contains(c))
             .map(|(t, _)| t.clone())
             .collect();
-        SnapshotState::new(self.schema.clone(), tuples)
-            .expect("tuples were validated at insertion")
+        SnapshotState::new(self.schema.clone(), tuples).expect("tuples were validated at insertion")
     }
 
     /// Converts a snapshot state into an historical state in which every
@@ -131,10 +129,7 @@ impl HistoricalState {
         if valid.is_empty() {
             return Err(HistoricalError::EmptyValidTime);
         }
-        let map = state
-            .iter()
-            .map(|t| (t.clone(), valid.clone()))
-            .collect();
+        let map = state.iter().map(|t| (t.clone(), valid.clone())).collect();
         Ok(HistoricalState::from_checked(state.schema().clone(), map))
     }
 
@@ -230,11 +225,9 @@ mod tests {
 
     #[test]
     fn from_snapshot_stamps_uniformly() {
-        let snap = SnapshotState::from_rows(
-            schema(),
-            vec![vec![Value::str("a")], vec![Value::str("b")]],
-        )
-        .unwrap();
+        let snap =
+            SnapshotState::from_rows(schema(), vec![vec![Value::str("a")], vec![Value::str("b")]])
+                .unwrap();
         let h = HistoricalState::from_snapshot(&snap, TemporalElement::period(2, 4)).unwrap();
         assert_eq!(h.len(), 2);
         assert_eq!(h.timeslice(3), snap);
@@ -249,11 +242,8 @@ mod tests {
 
     #[test]
     fn display_form() {
-        let s = HistoricalState::new(
-            schema(),
-            vec![(t("a"), TemporalElement::period(0, 2))],
-        )
-        .unwrap();
+        let s =
+            HistoricalState::new(schema(), vec![(t("a"), TemporalElement::period(0, 2))]).unwrap();
         assert_eq!(s.to_string(), "(name: str) { (\"a\") @ {[0, 2)} }");
     }
 }

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::element::TemporalElement;
 
 /// A temporal expression, evaluated per historical tuple against that
@@ -13,7 +11,8 @@ use crate::element::TemporalElement;
 /// tuple's own valid time; the set operators combine temporal elements;
 /// `First`/`Last` extract the earliest/latest chronon as a singleton
 /// element (empty if the operand is empty).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TemporalExpr {
     /// The tuple's valid-time element.
     ValidTime,
@@ -151,9 +150,11 @@ mod tests {
             TemporalExpr::last(TemporalExpr::ValidTime).eval(&valid()),
             TemporalElement::instant(14)
         );
-        assert!(TemporalExpr::first(TemporalExpr::constant(TemporalElement::empty()))
-            .eval(&valid())
-            .is_empty());
+        assert!(
+            TemporalExpr::first(TemporalExpr::constant(TemporalElement::empty()))
+                .eval(&valid())
+                .is_empty()
+        );
     }
 
     #[test]

@@ -2,15 +2,14 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::element::TemporalElement;
 use crate::texpr::TemporalExpr;
 
 /// A boolean expression over temporal expressions — the paper's domain 𝓖
 /// of "boolean expressions of elements from the domain 𝓥, the relational
 /// operators, and the logical operators".
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TemporalPred {
     /// Constant true.
     True,

@@ -112,7 +112,7 @@ proptest! {
         if let (Some(first), Some(last)) = (a.first(), a.last()) {
             prop_assert!(a.contains(first));
             prop_assert!(a.contains(last));
-            prop_assert!(first == 0 || !a.contains(first - 1) || a.contains(first - 1) == false);
+            prop_assert!(first == 0 || !a.contains(first - 1));
             prop_assert!(!a.contains(last + 1) || last == u32::MAX);
             for c in a.chronons() {
                 prop_assert!(first <= c && c <= last);

@@ -8,7 +8,7 @@
 //! time can be layered independently.
 
 use proptest::prelude::*;
-use rand::SeedableRng;
+use txtime_snapshot::rng::SeedableRng;
 
 use txtime_historical::generate::{random_historical_state, HistGenConfig};
 use txtime_historical::{HistoricalState, TemporalElement, TemporalExpr, TemporalPred};
@@ -35,7 +35,7 @@ fn cfg() -> HistGenConfig {
 
 fn arb_hstate() -> impl Strategy<Value = HistoricalState> {
     any::<u64>().prop_map(|seed| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = txtime_snapshot::rng::rngs::StdRng::seed_from_u64(seed);
         random_historical_state(&mut rng, &fixed_schema(), &cfg())
     })
 }
@@ -43,7 +43,7 @@ fn arb_hstate() -> impl Strategy<Value = HistoricalState> {
 fn arb_right_hstate() -> impl Strategy<Value = HistoricalState> {
     any::<u64>().prop_map(|seed| {
         use txtime_snapshot::DomainType::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = txtime_snapshot::rng::rngs::StdRng::seed_from_u64(seed);
         let schema = Schema::new(vec![("b0", Int)]).unwrap();
         let c = HistGenConfig {
             values: GenConfig {
@@ -60,7 +60,7 @@ fn arb_right_hstate() -> impl Strategy<Value = HistoricalState> {
 
 fn arb_predicate() -> impl Strategy<Value = Predicate> {
     any::<u64>().prop_map(|seed| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = txtime_snapshot::rng::rngs::StdRng::seed_from_u64(seed);
         let c = GenConfig {
             int_range: 8,
             str_pool: 4,

@@ -54,9 +54,7 @@ pub fn estimate_rows(expr: &Expr, model: &CostModel) -> f64 {
         Expr::SnapshotConst(s) => s.len() as f64,
         Expr::HistoricalConst(h) => h.len() as f64,
         Expr::Rollback(i, _) | Expr::HRollback(i, _) => model.cardinality(i),
-        Expr::Union(a, b) | Expr::HUnion(a, b) => {
-            estimate_rows(a, model) + estimate_rows(b, model)
-        }
+        Expr::Union(a, b) | Expr::HUnion(a, b) => estimate_rows(a, model) + estimate_rows(b, model),
         Expr::Difference(a, b) | Expr::HDifference(a, b) => {
             let _ = b;
             estimate_rows(a, model) * 0.5
@@ -121,7 +119,9 @@ mod tests {
     #[test]
     fn select_reduces_estimated_rows() {
         let base = Expr::current("emp");
-        let sel = base.clone().select(Predicate::gt_const("sal", Value::Int(1)));
+        let sel = base
+            .clone()
+            .select(Predicate::gt_const("sal", Value::Int(1)));
         assert!(estimate_rows(&sel, &model()) < estimate_rows(&base, &model()));
     }
 

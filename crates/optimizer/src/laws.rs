@@ -6,8 +6,8 @@
 //! configurable number of trials and reports a table; the property tests
 //! in `tests/equivalence.rs` run the same suite under proptest.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::SeedableRng;
 
 use txtime_snapshot::generate::{random_predicate, random_state, GenConfig};
 use txtime_snapshot::{DomainType, Schema, SnapshotState};
@@ -89,8 +89,7 @@ pub fn all_laws() -> Vec<Law> {
             statement: "(A ∪ B) ∪ C = A ∪ (B ∪ C)",
             check: |rng| {
                 let (a, b, c) = (st(rng), st(rng), st(rng));
-                a.union(&b).unwrap().union(&c).unwrap()
-                    == a.union(&b.union(&c).unwrap()).unwrap()
+                a.union(&b).unwrap().union(&c).unwrap() == a.union(&b.union(&c).unwrap()).unwrap()
             },
         },
         Law {
@@ -127,8 +126,7 @@ pub fn all_laws() -> Vec<Law> {
                 let a = st(rng);
                 let f = random_predicate(rng, &schema(), &cfg(), 2);
                 let g = random_predicate(rng, &schema(), &cfg(), 2);
-                a.select(&g).unwrap().select(&f).unwrap()
-                    == a.select(&f.clone().and(g)).unwrap()
+                a.select(&g).unwrap().select(&f).unwrap() == a.select(&f.clone().and(g)).unwrap()
             },
         },
         Law {
@@ -280,7 +278,7 @@ fn hrst(rng: &mut StdRng) -> HistoricalState {
 }
 
 fn random_chronon(rng: &mut StdRng) -> u32 {
-    use rand::Rng;
+    use txtime_snapshot::rng::Rng;
     rng.gen_range(0..35)
 }
 
@@ -339,8 +337,7 @@ pub fn historical_laws() -> Vec<Law> {
             check: |rng| {
                 let (a, b) = (hst(rng), hst(rng));
                 let c = random_chronon(rng);
-                a.hunion(&b).unwrap().timeslice(c)
-                    == a.timeslice(c).union(&b.timeslice(c)).unwrap()
+                a.hunion(&b).unwrap().timeslice(c) == a.timeslice(c).union(&b.timeslice(c)).unwrap()
             },
         },
         Law {
@@ -380,8 +377,7 @@ pub fn historical_laws() -> Vec<Law> {
                 let a = hst(rng);
                 let f = random_predicate(rng, &schema(), &cfg(), 2);
                 let c = random_chronon(rng);
-                a.hselect(&f).unwrap().timeslice(c)
-                    == a.timeslice(c).select(&f).unwrap()
+                a.hselect(&f).unwrap().timeslice(c) == a.timeslice(c).select(&f).unwrap()
             },
         },
         Law {
@@ -389,7 +385,9 @@ pub fn historical_laws() -> Vec<Law> {
             statement: "δ_{true, valid}(A) = A",
             check: |rng| {
                 let a = hst(rng);
-                a.delta(&TemporalPred::True, &TemporalExpr::ValidTime).unwrap() == a
+                a.delta(&TemporalPred::True, &TemporalExpr::ValidTime)
+                    .unwrap()
+                    == a
             },
         },
         Law {

@@ -115,8 +115,7 @@ fn rewrite_node(expr: Expr, catalog: &SchemaCatalog, trace: &mut RewriteTrace) -
             other => {
                 // π over the full scheme in order is the identity.
                 if let Some(schema) = infer_schema(&other, catalog) {
-                    let full: Vec<&str> =
-                        schema.attributes().iter().map(|a| &*a.name).collect();
+                    let full: Vec<&str> = schema.attributes().iter().map(|a| &*a.name).collect();
                     if full.len() == attrs.len()
                         && full.iter().zip(&attrs).all(|(a, b)| *a == b.as_str())
                     {
@@ -295,9 +294,7 @@ pub fn simplify_predicate(p: &Predicate, trace: &mut RewriteTrace) -> Predicate 
     use txtime_snapshot::Operand;
     match p {
         Predicate::True | Predicate::False => p.clone(),
-        Predicate::Comp(Operand::Const(l), op, Operand::Const(r))
-            if l.domain() == r.domain() =>
-        {
+        Predicate::Comp(Operand::Const(l), op, Operand::Const(r)) if l.domain() == r.domain() => {
             trace.applied.push("predicate-constant-fold");
             if op.apply(l, r) {
                 Predicate::True
@@ -422,12 +419,10 @@ mod tests {
 
     #[test]
     fn select_pushes_through_product() {
-        let e = Expr::current("emp")
-            .product(Expr::current("dept"))
-            .select(
-                Predicate::gt_const("sal", Value::Int(10))
-                    .and(Predicate::eq_const("bldg", Value::str("sitterson"))),
-            );
+        let e = Expr::current("emp").product(Expr::current("dept")).select(
+            Predicate::gt_const("sal", Value::Int(10))
+                .and(Predicate::eq_const("bldg", Value::str("sitterson"))),
+        );
         let (o, trace) = optimize_with_trace(&e, &catalog());
         assert!(trace.applied.contains(&"select-through-product"));
         // Both conjuncts pushed; top node is the product itself.
@@ -488,8 +483,7 @@ mod tests {
     #[test]
     fn union_with_empty_constant_eliminated() {
         let schema = catalog().get("emp").unwrap().clone();
-        let e = Expr::current("emp")
-            .union(Expr::snapshot_const(SnapshotState::empty(schema)));
+        let e = Expr::current("emp").union(Expr::snapshot_const(SnapshotState::empty(schema)));
         assert_eq!(optimize(&e, &catalog()), Expr::current("emp"));
     }
 

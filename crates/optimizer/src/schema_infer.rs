@@ -1,169 +1,7 @@
-//! Static schema inference for expressions.
+//! Static schema inference — re-exported from `txtime-analyze`.
 //!
-//! Several rewrites (selection pushdown through ×, empty-state synthesis)
-//! need to know which attributes an expression produces. Constants carry
-//! their schemas; rollback leaves are resolved through a
-//! [`SchemaCatalog`] snapshot of the database's current schemes.
+//! The implementation moved to [`txtime_analyze::schema_infer`] so the
+//! optimizer and the static checker share one scheme arithmetic; this
+//! module keeps the optimizer's historical paths working.
 
-use std::collections::BTreeMap;
-
-use txtime_core::{Database, Expr, StateValue};
-use txtime_snapshot::Schema;
-
-/// A name → scheme mapping used during optimization.
-///
-/// The catalog reflects the relation schemes at optimization time; if a
-/// rollback target's scheme varies across versions (scheme evolution),
-/// lookups conservatively return `None` and scheme-sensitive rewrites are
-/// skipped for that subtree.
-#[derive(Debug, Clone, Default)]
-pub struct SchemaCatalog {
-    schemas: BTreeMap<String, Schema>,
-}
-
-impl SchemaCatalog {
-    /// An empty catalog: only constant subtrees get schemas.
-    pub fn new() -> SchemaCatalog {
-        SchemaCatalog::default()
-    }
-
-    /// Registers the scheme of a relation.
-    pub fn insert(&mut self, name: impl Into<String>, schema: Schema) {
-        self.schemas.insert(name.into(), schema);
-    }
-
-    /// Builds a catalog from a database, using each relation's current
-    /// scheme — but only when *every* stored version agrees on it, so
-    /// that scheme-sensitive rewrites stay sound for rollbacks into the
-    /// past.
-    pub fn from_database(db: &Database) -> SchemaCatalog {
-        let mut cat = SchemaCatalog::new();
-        for (name, rel) in db.state.iter() {
-            let mut schemas = rel.versions().iter().map(|v| match &v.state {
-                StateValue::Snapshot(s) => s.schema(),
-                StateValue::Historical(h) => h.schema(),
-            });
-            if let Some(first) = schemas.next() {
-                if schemas.all(|s| s == first) {
-                    cat.insert(name.clone(), first.clone());
-                }
-            }
-        }
-        cat
-    }
-
-    /// Looks up a relation's scheme.
-    pub fn get(&self, name: &str) -> Option<&Schema> {
-        self.schemas.get(name)
-    }
-}
-
-/// Infers the scheme of `expr`'s result, if statically determinable.
-pub fn infer_schema(expr: &Expr, catalog: &SchemaCatalog) -> Option<Schema> {
-    match expr {
-        Expr::SnapshotConst(s) => Some(s.schema().clone()),
-        Expr::HistoricalConst(h) => Some(h.schema().clone()),
-        Expr::Rollback(i, _) | Expr::HRollback(i, _) => catalog.get(i).cloned(),
-        Expr::Union(a, b)
-        | Expr::Difference(a, b)
-        | Expr::HUnion(a, b)
-        | Expr::HDifference(a, b) => {
-            let sa = infer_schema(a, catalog)?;
-            let sb = infer_schema(b, catalog)?;
-            (sa == sb).then_some(sa)
-        }
-        Expr::Product(a, b) | Expr::HProduct(a, b) => {
-            let sa = infer_schema(a, catalog)?;
-            let sb = infer_schema(b, catalog)?;
-            sa.product(&sb).ok()
-        }
-        Expr::Project(attrs, e) | Expr::HProject(attrs, e) => {
-            let s = infer_schema(e, catalog)?;
-            s.project(attrs).ok().map(|(schema, _)| schema)
-        }
-        Expr::Select(_, e) | Expr::HSelect(_, e) | Expr::Delta(_, _, e) => {
-            infer_schema(e, catalog)
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use txtime_core::{Command, RelationType, Sentence};
-    use txtime_snapshot::{DomainType, Predicate, SnapshotState, Value};
-
-    fn schema(names: &[&str]) -> Schema {
-        Schema::new(
-            names
-                .iter()
-                .map(|&n| (n, DomainType::Int))
-                .collect::<Vec<_>>(),
-        )
-        .unwrap()
-    }
-
-    #[test]
-    fn constants_and_operators() {
-        let cat = SchemaCatalog::new();
-        let a = Expr::snapshot_const(SnapshotState::empty(schema(&["x"])));
-        let b = Expr::snapshot_const(SnapshotState::empty(schema(&["y"])));
-        assert_eq!(infer_schema(&a, &cat), Some(schema(&["x"])));
-        assert_eq!(
-            infer_schema(&a.clone().product(b), &cat),
-            Some(schema(&["x", "y"]))
-        );
-        assert_eq!(
-            infer_schema(&a.clone().union(a.clone()), &cat),
-            Some(schema(&["x"]))
-        );
-        assert_eq!(
-            infer_schema(&a.clone().select(Predicate::True), &cat),
-            Some(schema(&["x"]))
-        );
-        assert_eq!(
-            infer_schema(&a.project(vec!["x".into()]), &cat),
-            Some(schema(&["x"]))
-        );
-    }
-
-    #[test]
-    fn incompatible_union_is_unknowable() {
-        let cat = SchemaCatalog::new();
-        let a = Expr::snapshot_const(SnapshotState::empty(schema(&["x"])));
-        let b = Expr::snapshot_const(SnapshotState::empty(schema(&["y"])));
-        assert_eq!(infer_schema(&a.union(b), &cat), None);
-    }
-
-    #[test]
-    fn rollback_resolves_through_catalog() {
-        let mut cat = SchemaCatalog::new();
-        assert_eq!(infer_schema(&Expr::current("emp"), &cat), None);
-        cat.insert("emp", schema(&["sal"]));
-        assert_eq!(infer_schema(&Expr::current("emp"), &cat), Some(schema(&["sal"])));
-    }
-
-    #[test]
-    fn catalog_from_database_skips_evolved_relations() {
-        let s1 = SnapshotState::from_rows(schema(&["x"]), vec![vec![Value::Int(1)]]).unwrap();
-        let db = Sentence::new(vec![
-            Command::define_relation("stable", RelationType::Rollback),
-            Command::modify_state("stable", Expr::snapshot_const(s1.clone())),
-            Command::modify_state("stable", Expr::snapshot_const(s1.clone())),
-            Command::define_relation("evolving", RelationType::Rollback),
-            Command::modify_state("evolving", Expr::snapshot_const(s1.clone())),
-            Command::modify_state(
-                "evolving",
-                Expr::snapshot_const(
-                    SnapshotState::from_rows(schema(&["y"]), vec![vec![Value::Int(2)]]).unwrap(),
-                ),
-            ),
-        ])
-        .unwrap()
-        .eval()
-        .unwrap();
-        let cat = SchemaCatalog::from_database(&db);
-        assert!(cat.get("stable").is_some());
-        assert!(cat.get("evolving").is_none());
-    }
-}
+pub use txtime_analyze::schema_infer::{infer_schema, SchemaCatalog};

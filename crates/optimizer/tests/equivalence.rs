@@ -3,8 +3,8 @@
 //! evaluates to the same state.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::{Rng, SeedableRng};
 
 use txtime_core::generate::{random_commands, CmdGenConfig};
 use txtime_core::{Command, Database, Expr, RelationType, Sentence, TransactionNumber, TxSpec};
@@ -63,7 +63,7 @@ fn random_db(seed: u64) -> Database {
 /// including shapes every rule targets.
 fn random_query(rng: &mut StdRng, depth: usize) -> Expr {
     if depth == 0 {
-        let r = ["r0", "r1"][rng.gen_range(0..2)];
+        let r = ["r0", "r1"][rng.gen_range(0..2usize)];
         return if rng.gen_bool(0.3) {
             Expr::rollback(r, TxSpec::At(TransactionNumber(rng.gen_range(0..12))))
         } else {

@@ -105,12 +105,18 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     }
                 }
                 if !closed {
-                    return Err(ParseError::new("unterminated string literal", line, start_col));
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        line,
+                        start_col,
+                    ));
                 }
                 let len = j + 1 - i;
                 push!(Token::Str(s), len);
             }
-            c if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 let start = i;
                 let start_col = col;
                 let mut j = i;

@@ -44,7 +44,7 @@ pub mod token;
 
 pub use error::ParseError;
 
-use txtime_core::{Command, Expr, Sentence};
+use txtime_core::{Command, CommandSpans, Expr, ExprSpans, Sentence, SentenceSpans};
 
 /// Parses a full sentence (one or more `;`-terminated commands).
 pub fn parse_sentence(input: &str) -> Result<Sentence, ParseError> {
@@ -59,4 +59,20 @@ pub fn parse_command(input: &str) -> Result<Command, ParseError> {
 /// Parses a single expression.
 pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
     parser::Parser::new(input)?.parse_single_expr()
+}
+
+/// Parses a full sentence and returns its span table alongside, so
+/// diagnostics can cite source positions.
+pub fn parse_sentence_spanned(input: &str) -> Result<(Sentence, SentenceSpans), ParseError> {
+    parser::Parser::new(input)?.parse_sentence_spanned()
+}
+
+/// Parses a single command together with its span table.
+pub fn parse_command_spanned(input: &str) -> Result<(Command, CommandSpans), ParseError> {
+    parser::Parser::new(input)?.parse_single_command_spanned()
+}
+
+/// Parses a single expression together with its span table.
+pub fn parse_expr_spanned(input: &str) -> Result<(Expr, ExprSpans), ParseError> {
+    parser::Parser::new(input)?.parse_single_expr_spanned()
 }

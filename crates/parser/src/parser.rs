@@ -7,7 +7,10 @@
 //! (parenthesized temporal predicates vs parenthesized temporal
 //! expressions inside δ's guard).
 
-use txtime_core::{Command, Expr, RelationType, SchemeChange, Sentence, TransactionNumber, TxSpec};
+use txtime_core::{
+    Command, CommandSpans, Expr, ExprSpans, RelationType, SchemeChange, Sentence, SentenceSpans,
+    Span, TransactionNumber, TxSpec,
+};
 use txtime_historical::{
     HistoricalState, Period, TemporalElement, TemporalExpr, TemporalPred, FOREVER,
 };
@@ -48,6 +51,12 @@ impl Parser {
             self.pos += 1;
         }
         t
+    }
+
+    /// The source position of the next token.
+    fn here(&self) -> Span {
+        let t = self.peek();
+        Span::new(t.line, t.col)
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
@@ -101,38 +110,62 @@ impl Parser {
 
     /// `sentence := (command ';')+`
     pub fn parse_sentence(&mut self) -> Result<Sentence, ParseError> {
+        self.parse_sentence_spanned().map(|(s, _)| s)
+    }
+
+    /// Like [`Parser::parse_sentence`], but also returns the span table
+    /// used by diagnostics.
+    pub fn parse_sentence_spanned(&mut self) -> Result<(Sentence, SentenceSpans), ParseError> {
         let mut commands = Vec::new();
+        let mut spans = Vec::new();
         while self.peek().token != Token::Eof {
-            commands.push(self.command()?);
+            let (c, csp) = self.command()?;
+            commands.push(c);
+            spans.push(csp);
             self.expect(Token::Semicolon)?;
         }
         if commands.is_empty() {
             return Err(self.error("a sentence requires at least one command"));
         }
-        Sentence::new(commands).map_err(|e| self.error(e.to_string()))
+        let sentence = Sentence::new(commands).map_err(|e| self.error(e.to_string()))?;
+        Ok((sentence, SentenceSpans { commands: spans }))
     }
 
     /// Parses exactly one command and requires end of input.
     pub fn parse_single_command(&mut self) -> Result<Command, ParseError> {
-        let c = self.command()?;
+        self.parse_single_command_spanned().map(|(c, _)| c)
+    }
+
+    /// Like [`Parser::parse_single_command`], but also returns the span
+    /// table used by diagnostics.
+    pub fn parse_single_command_spanned(&mut self) -> Result<(Command, CommandSpans), ParseError> {
+        let (c, csp) = self.command()?;
         // Tolerate one optional trailing semicolon.
         let _ = self.peek().token == Token::Semicolon && {
             self.advance();
             true
         };
         self.expect(Token::Eof)?;
-        Ok(c)
+        Ok((c, csp))
     }
 
     /// Parses exactly one expression and requires end of input.
     pub fn parse_single_expr(&mut self) -> Result<Expr, ParseError> {
-        let e = self.expr()?;
-        self.expect(Token::Eof)?;
-        Ok(e)
+        self.parse_single_expr_spanned().map(|(e, _)| e)
     }
 
-    fn command(&mut self) -> Result<Command, ParseError> {
+    /// Like [`Parser::parse_single_expr`], but also returns the span
+    /// table used by diagnostics.
+    pub fn parse_single_expr_spanned(&mut self) -> Result<(Expr, ExprSpans), ParseError> {
+        let (e, esp) = self.expr()?;
+        self.expect(Token::Eof)?;
+        Ok((e, esp))
+    }
+
+    fn command(&mut self) -> Result<(Command, CommandSpans), ParseError> {
+        let head = self.here();
         let kw = self.ident()?;
+        let no_expr = |c: Command| (c, CommandSpans { head, expr: None });
         match kw.as_str() {
             "define_relation" => {
                 self.expect(Token::LParen)?;
@@ -142,21 +175,27 @@ impl Parser {
                 let rtype = RelationType::from_keyword(&ty_name)
                     .ok_or_else(|| self.error(format!("unknown relation type `{ty_name}`")))?;
                 self.expect(Token::RParen)?;
-                Ok(Command::define_relation(ident, rtype))
+                Ok(no_expr(Command::define_relation(ident, rtype)))
             }
             "modify_state" => {
                 self.expect(Token::LParen)?;
                 let ident = self.ident()?;
                 self.expect(Token::Comma)?;
-                let expr = self.expr()?;
+                let (expr, esp) = self.expr()?;
                 self.expect(Token::RParen)?;
-                Ok(Command::modify_state(ident, expr))
+                Ok((
+                    Command::modify_state(ident, expr),
+                    CommandSpans {
+                        head,
+                        expr: Some(esp),
+                    },
+                ))
             }
             "delete_relation" => {
                 self.expect(Token::LParen)?;
                 let ident = self.ident()?;
                 self.expect(Token::RParen)?;
-                Ok(Command::delete_relation(ident))
+                Ok(no_expr(Command::delete_relation(ident)))
             }
             "evolve_scheme" => {
                 self.expect(Token::LParen)?;
@@ -164,13 +203,19 @@ impl Parser {
                 self.expect(Token::Comma)?;
                 let change = self.scheme_change()?;
                 self.expect(Token::RParen)?;
-                Ok(Command::evolve_scheme(ident, change))
+                Ok(no_expr(Command::evolve_scheme(ident, change)))
             }
             "display" => {
                 self.expect(Token::LParen)?;
-                let expr = self.expr()?;
+                let (expr, esp) = self.expr()?;
                 self.expect(Token::RParen)?;
-                Ok(Command::display(expr))
+                Ok((
+                    Command::display(expr),
+                    CommandSpans {
+                        head,
+                        expr: Some(esp),
+                    },
+                ))
             }
             other => Err(self.error(format!("unknown command `{other}`"))),
         }
@@ -206,8 +251,12 @@ impl Parser {
 
     /// `expr := unary (binop unary)*` with the six binary operators at a
     /// single (left-associative) precedence level.
-    fn expr(&mut self) -> Result<Expr, ParseError> {
-        let mut left = self.unary_expr()?;
+    ///
+    /// Returns the expression together with its span table; a binary
+    /// node's span is its operator token, a unary node's the operator
+    /// keyword, a constant's its opening token.
+    fn expr(&mut self) -> Result<(Expr, ExprSpans), ParseError> {
+        let (mut left, mut lsp) = self.unary_expr()?;
         loop {
             let op = match &self.peek().token {
                 Token::Ident(s)
@@ -220,8 +269,9 @@ impl Parser {
                 }
                 _ => break,
             };
+            let opsp = self.here();
             self.advance();
-            let right = self.unary_expr()?;
+            let (right, rsp) = self.unary_expr()?;
             left = match op.as_str() {
                 "union" => left.union(right),
                 "minus" => left.difference(right),
@@ -231,11 +281,13 @@ impl Parser {
                 "htimes" => left.hproduct(right),
                 _ => unreachable!("matched above"),
             };
+            lsp = ExprSpans::node(opsp, vec![lsp, rsp]);
         }
-        Ok(left)
+        Ok((left, lsp))
     }
 
-    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+    fn unary_expr(&mut self) -> Result<(Expr, ExprSpans), ParseError> {
+        let start = self.here();
         match &self.peek().token {
             Token::LParen => {
                 self.advance();
@@ -243,13 +295,19 @@ impl Parser {
                 self.expect(Token::RParen)?;
                 Ok(e)
             }
-            Token::LBrace => Ok(Expr::snapshot_const(self.snapshot_state()?)),
+            Token::LBrace => Ok((
+                Expr::snapshot_const(self.snapshot_state()?),
+                ExprSpans::leaf(start),
+            )),
             Token::Ident(kw) => {
                 let kw = kw.clone();
                 match kw.as_str() {
                     "historical" => {
                         self.advance();
-                        Ok(Expr::historical_const(self.historical_state()?))
+                        Ok((
+                            Expr::historical_const(self.historical_state()?),
+                            ExprSpans::leaf(start),
+                        ))
                     }
                     "project" | "hproject" => {
                         self.advance();
@@ -261,13 +319,16 @@ impl Parser {
                         }
                         self.expect(Token::RBracket)?;
                         self.expect(Token::LParen)?;
-                        let e = self.expr()?;
+                        let (e, esp) = self.expr()?;
                         self.expect(Token::RParen)?;
-                        Ok(if kw == "project" {
-                            e.project(attrs)
-                        } else {
-                            e.hproject(attrs)
-                        })
+                        Ok((
+                            if kw == "project" {
+                                e.project(attrs)
+                            } else {
+                                e.hproject(attrs)
+                            },
+                            ExprSpans::node(start, vec![esp]),
+                        ))
                     }
                     "select" | "hselect" => {
                         self.advance();
@@ -275,13 +336,16 @@ impl Parser {
                         let p = self.predicate()?;
                         self.expect(Token::RBracket)?;
                         self.expect(Token::LParen)?;
-                        let e = self.expr()?;
+                        let (e, esp) = self.expr()?;
                         self.expect(Token::RParen)?;
-                        Ok(if kw == "select" {
-                            e.select(p)
-                        } else {
-                            e.hselect(p)
-                        })
+                        Ok((
+                            if kw == "select" {
+                                e.select(p)
+                            } else {
+                                e.hselect(p)
+                            },
+                            ExprSpans::node(start, vec![esp]),
+                        ))
                     }
                     "delta" => {
                         self.advance();
@@ -291,13 +355,15 @@ impl Parser {
                         let v = self.temporal_expr()?;
                         self.expect(Token::RBracket)?;
                         self.expect(Token::LParen)?;
-                        let e = self.expr()?;
+                        let (e, esp) = self.expr()?;
                         self.expect(Token::RParen)?;
-                        Ok(e.delta(g, v))
+                        Ok((e.delta(g, v), ExprSpans::node(start, vec![esp])))
                     }
                     // `asof[N](E)` — sugar for the rollback-completeness
                     // transformer: every ρ(I, ∞)/ρ̂(I, ∞) leaf of E is
-                    // rewritten to ρ(I, N)/ρ̂(I, N) at parse time.
+                    // rewritten to ρ(I, N)/ρ̂(I, N) at parse time. The
+                    // rewrite only changes rollback arguments, never the
+                    // tree's shape, so E's span table carries over.
                     "asof" => {
                         self.advance();
                         self.expect(Token::LBracket)?;
@@ -307,9 +373,9 @@ impl Parser {
                         };
                         self.expect(Token::RBracket)?;
                         self.expect(Token::LParen)?;
-                        let e = self.expr()?;
+                        let (e, esp) = self.expr()?;
                         self.expect(Token::RParen)?;
-                        Ok(txtime_core::as_of(&e, n))
+                        Ok((txtime_core::as_of(&e, n), esp))
                     }
                     "rho" | "hrho" => {
                         self.advance();
@@ -318,11 +384,14 @@ impl Parser {
                         self.expect(Token::Comma)?;
                         let spec = self.tx_spec()?;
                         self.expect(Token::RParen)?;
-                        Ok(if kw == "rho" {
-                            Expr::rollback(ident, spec)
-                        } else {
-                            Expr::hrollback(ident, spec)
-                        })
+                        Ok((
+                            if kw == "rho" {
+                                Expr::rollback(ident, spec)
+                            } else {
+                                Expr::hrollback(ident, spec)
+                            },
+                            ExprSpans::leaf(start),
+                        ))
                     }
                     other => Err(self.error(format!("unknown operator `{other}`"))),
                 }
@@ -762,8 +831,8 @@ mod tests {
 
     #[test]
     fn parses_all_literal_kinds() {
-        let e = parse_expr(r#"{(i: int, r: real, b: bool, s: str): (-3, 2.5, true, "hi")}"#)
-            .unwrap();
+        let e =
+            parse_expr(r#"{(i: int, r: real, b: bool, s: str): (-3, 2.5, true, "hi")}"#).unwrap();
         match e {
             Expr::SnapshotConst(s) => {
                 let t = s.iter().next().unwrap();
@@ -808,10 +877,9 @@ mod tests {
 
     #[test]
     fn parses_delta() {
-        let e = parse_expr(
-            "delta[valid overlaps {[3, 7)}; valid intersect {[3, 7)}](hrho(h, inf))",
-        )
-        .unwrap();
+        let e =
+            parse_expr("delta[valid overlaps {[3, 7)}; valid intersect {[3, 7)}](hrho(h, inf))")
+                .unwrap();
         match &e {
             Expr::Delta(g, v, _) => {
                 assert!(matches!(g, TemporalPred::Overlaps(..)));
@@ -832,27 +900,22 @@ mod tests {
 
     #[test]
     fn parses_parenthesized_temporal_expr_comparison() {
-        let e = parse_expr(
-            "delta[(valid union {[0, 2)}) subset {[0, 50)}; valid](hrho(h, inf))",
-        )
-        .unwrap();
+        let e = parse_expr("delta[(valid union {[0, 2)}) subset {[0, 50)}; valid](hrho(h, inf))")
+            .unwrap();
         assert!(matches!(e, Expr::Delta(TemporalPred::Subset(..), _, _)));
     }
 
     #[test]
     fn parses_first_last() {
-        let e = parse_expr("delta[first(valid) precedes last(valid); valid](hrho(h, inf))")
-            .unwrap();
+        let e =
+            parse_expr("delta[first(valid) precedes last(valid); valid](hrho(h, inf))").unwrap();
         assert!(matches!(e, Expr::Delta(TemporalPred::Precedes(..), _, _)));
     }
 
     #[test]
     fn asof_sugar_rewrites_current_leaves() {
         let e = parse_expr("asof[5](select[x > 1](rho(r, inf) union rho(q, 3)))").unwrap();
-        assert_eq!(
-            e.to_string(),
-            "select[x > 1]((rho(r, 5) union rho(q, 3)))"
-        );
+        assert_eq!(e.to_string(), "select[x > 1]((rho(r, 5) union rho(q, 3)))");
         // ∞ is not a valid asof target.
         assert!(parse_expr("asof[inf](rho(r, inf))").is_err());
     }
@@ -889,6 +952,55 @@ mod tests {
     }
 
     #[test]
+    fn span_tables_record_operator_positions() {
+        use crate::parse_expr_spanned;
+        // Columns:  1        10        20        30
+        //           |        |         |         |
+        let src = "project[x](rho(a, inf) union rho(b, inf))";
+        let (e, sp) = parse_expr_spanned(src).unwrap();
+        assert!(matches!(e, Expr::Project(..)));
+        assert_eq!((sp.span.line, sp.span.col), (1, 1)); // `project`
+        let union = &sp.children[0];
+        assert_eq!((union.span.line, union.span.col), (1, 24)); // `union`
+        assert_eq!(
+            (union.children[0].span.line, union.children[0].span.col),
+            (1, 12)
+        ); // `rho(a, …)`
+        assert_eq!(
+            (union.children[1].span.line, union.children[1].span.col),
+            (1, 30)
+        ); // `rho(b, …)`
+    }
+
+    #[test]
+    fn span_tables_follow_lines_and_mirror_shape() {
+        use crate::parse_sentence_spanned;
+        let src = "define_relation(emp, rollback);\nmodify_state(emp,\n  rho(emp, inf));\n";
+        let (s, sp) = parse_sentence_spanned(src).unwrap();
+        assert_eq!(s.commands().len(), 2);
+        assert_eq!(sp.commands.len(), 2);
+        assert_eq!((sp.commands[0].head.line, sp.commands[0].head.col), (1, 1));
+        assert!(sp.commands[0].expr.is_none());
+        assert_eq!((sp.commands[1].head.line, sp.commands[1].head.col), (2, 1));
+        let esp = sp.commands[1].expr.as_ref().unwrap();
+        assert_eq!((esp.span.line, esp.span.col), (3, 3)); // `rho` on line 3
+        assert!(esp.children.is_empty());
+    }
+
+    #[test]
+    fn parens_are_transparent_and_asof_preserves_spans() {
+        use crate::parse_expr_spanned;
+        let (_, sp) = parse_expr_spanned("(rho(a, inf))").unwrap();
+        assert_eq!((sp.span.line, sp.span.col), (1, 2)); // inner `rho`
+        let (e, sp) = parse_expr_spanned("asof[3](rho(a, inf) union rho(b, inf))").unwrap();
+        // asof rewrites rollback arguments without changing tree shape…
+        assert!(matches!(e, Expr::Union(..)));
+        // …so the span table is the inner expression's.
+        assert_eq!((sp.span.line, sp.span.col), (1, 21)); // `union`
+        assert_eq!(sp.children.len(), 2);
+    }
+
+    #[test]
     fn rejects_unknown_relation_type() {
         let e = parse_sentence("define_relation(emp, versioned);").unwrap_err();
         assert!(e.message.contains("versioned"));
@@ -906,10 +1018,7 @@ mod tests {
 
     #[test]
     fn comments_are_allowed_between_commands() {
-        let s = parse_sentence(
-            "-- set up\ndefine_relation(emp, rollback); -- done\n",
-        )
-        .unwrap();
+        let s = parse_sentence("-- set up\ndefine_relation(emp, rollback); -- done\n").unwrap();
         assert_eq!(s.commands().len(), 1);
     }
 

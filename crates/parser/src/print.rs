@@ -231,7 +231,11 @@ pub fn print_temporal_pred(p: &TemporalPred) -> String {
             format!("{} = {}", print_temporal_expr(a), print_temporal_expr(b))
         }
         TemporalPred::Subset(a, b) => {
-            format!("{} subset {}", print_temporal_expr(a), print_temporal_expr(b))
+            format!(
+                "{} subset {}",
+                print_temporal_expr(a),
+                print_temporal_expr(b)
+            )
         }
         TemporalPred::Overlaps(a, b) => format!(
             "{} overlaps {}",
@@ -283,12 +287,8 @@ mod tests {
             Value::str("he said \"hi\"\n\tok\\done"),
         ] {
             let printed = print_value(&v);
-            let e = parse_expr(&format!(
-                "{{(x: {}): ({})}}",
-                v.domain().keyword(),
-                printed
-            ))
-            .unwrap();
+            let e =
+                parse_expr(&format!("{{(x: {}): ({})}}", v.domain().keyword(), printed)).unwrap();
             match e {
                 Expr::SnapshotConst(s) => {
                     assert_eq!(s.iter().next().unwrap().get(0), &v, "printed: {printed}")

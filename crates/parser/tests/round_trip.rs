@@ -2,8 +2,8 @@
 //! expressions, commands, and sentences.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::{Rng, SeedableRng};
 
 use txtime_core::generate::{random_commands, CmdGenConfig};
 use txtime_core::{Command, Expr, RelationType, SchemeChange, Sentence, TransactionNumber, TxSpec};
@@ -44,22 +44,29 @@ fn random_expr(rng: &mut StdRng, depth: usize, historical: bool) -> Expr {
         match rng.gen_range(0..6) {
             0 => random_expr(rng, depth - 1, true).hunion(random_expr(rng, depth - 1, true)),
             1 => random_expr(rng, depth - 1, true).hdifference(random_expr(rng, depth - 1, true)),
-            2 => random_expr(rng, depth - 1, true)
-                .hproject(vec!["a0".into(), "a1".into()]),
-            3 => random_expr(rng, depth - 1, true)
-                .hselect(random_predicate(rng, &schema(), &cfg(), 1)),
-            4 => random_expr(rng, depth - 1, true).delta(random_tpred(rng, 1), random_texpr(rng, 1)),
+            2 => random_expr(rng, depth - 1, true).hproject(vec!["a0".into(), "a1".into()]),
+            3 => random_expr(rng, depth - 1, true).hselect(random_predicate(
+                rng,
+                &schema(),
+                &cfg(),
+                1,
+            )),
+            4 => {
+                random_expr(rng, depth - 1, true).delta(random_tpred(rng, 1), random_texpr(rng, 1))
+            }
             _ => random_leaf(rng, true),
         }
     } else {
         match rng.gen_range(0..6) {
             0 => random_expr(rng, depth - 1, false).union(random_expr(rng, depth - 1, false)),
-            1 => random_expr(rng, depth - 1, false)
-                .difference(random_expr(rng, depth - 1, false)),
-            2 => random_expr(rng, depth - 1, false)
-                .project(vec!["a0".into(), "a2".into()]),
-            3 => random_expr(rng, depth - 1, false)
-                .select(random_predicate(rng, &schema(), &cfg(), 1)),
+            1 => random_expr(rng, depth - 1, false).difference(random_expr(rng, depth - 1, false)),
+            2 => random_expr(rng, depth - 1, false).project(vec!["a0".into(), "a2".into()]),
+            3 => random_expr(rng, depth - 1, false).select(random_predicate(
+                rng,
+                &schema(),
+                &cfg(),
+                1,
+            )),
             4 => random_expr(rng, depth - 1, false).product(random_expr(rng, depth - 1, false)),
             _ => random_leaf(rng, false),
         }

@@ -1,0 +1,233 @@
+#![warn(missing_docs)]
+
+//! An offline, in-tree stand-in for the `proptest` crate.
+//!
+//! The workspace builds with no registry access, so the real `proptest`
+//! cannot be a dependency. This crate exposes the (small) subset of its
+//! API that the txtime test suite actually uses — `proptest!`,
+//! `Strategy`, `any`, `prop::collection::vec`, range strategies, tuple
+//! strategies, `prop_map`, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros — implemented over a deterministic SplitMix64
+//! generator. Test sources are unchanged; swapping the real crate back
+//! in is a one-line change in the workspace manifest.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking: a failing case reports its values via the assert
+//!   message, and the run is deterministic per test name, so failures
+//!   reproduce exactly by re-running;
+//! - `prop_assert!` panics (it is `assert!`) instead of returning a
+//!   rejection, which is equivalent for CI purposes.
+
+pub mod strategy;
+
+pub mod collection;
+
+/// Runner configuration (`ProptestConfig`).
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed property case (real proptest's `TestCaseError`).
+    ///
+    /// Bodies may end a case early with `Err(TestCaseError::fail(..))?`;
+    /// the harness reports it as a panic with the given reason.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        /// Why the case failed.
+        pub reason: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given reason.
+        pub fn fail(reason: impl std::fmt::Display) -> TestCaseError {
+            TestCaseError {
+                reason: reason.to_string(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.reason)
+        }
+    }
+
+    /// The deterministic generator driving all strategies: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from a 64-bit value.
+        pub fn seed_from_u64(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// The next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Debiased: reject draws from the incomplete top interval.
+            let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+
+    /// The per-test generator: seeded from the test's name and the case
+    /// index, so every test's stream is stable across runs and across
+    /// the other tests in the file.
+    pub fn rng_for(test_name: &str, case: u64) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// The imports test files glob in: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` module alias real proptest's prelude provides.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a boolean property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two values differ for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(x in strategy, ...)`
+/// item becomes an ordinary test that runs its body over `cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::rng_for(stringify!($name), case as u64);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // The body runs in a closure returning Result so `?` on
+                // TestCaseError works, as in real proptest.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                if let Err(e) = outcome {
+                    panic!("property {} failed at case {}: {}", stringify!($name), case, e);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_small() -> impl Strategy<Value = Vec<(u32, u32)>> {
+        prop::collection::vec((0u32..40, 1u32..12), 0..5).prop_map(|v| v)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_and_collections_respect_bounds(pairs in arb_small(), x in any::<u64>()) {
+            prop_assert!(pairs.len() < 5);
+            for (a, b) in pairs {
+                prop_assert!((0..40).contains(&a));
+                prop_assert!((1..12).contains(&b));
+            }
+            let _ = x;
+        }
+
+        #[test]
+        fn trailing_comma_and_multiple_args(a in 0u8..10, b in 0usize..=3,) {
+            prop_assert!(a < 10);
+            prop_assert!(b <= 3);
+        }
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        let mut r1 = crate::test_runner::rng_for("t", 0);
+        let mut r2 = crate::test_runner::rng_for("t", 0);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+        let mut r3 = crate::test_runner::rng_for("u", 0);
+        assert_ne!(r1.next_u64(), r3.next_u64());
+    }
+}

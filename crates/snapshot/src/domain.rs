@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The type of a value domain 𝓓ᵢ.
 ///
 /// Every attribute of a relation scheme is typed by one of these domains,
@@ -11,7 +9,8 @@ use serde::{Deserialize, Serialize};
 /// time, in the paper's taxonomy, "is simply another domain, such as
 /// integer or character string, provided by the DBMS" — an application can
 /// encode user-defined time with `Int` (e.g. a Julian day number) or `Str`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DomainType {
     /// 64-bit signed integers.
     Int,

@@ -69,10 +69,15 @@ impl fmt::Display for SnapshotError {
             SnapshotError::DuplicateAttribute(a) => {
                 write!(f, "duplicate attribute name {a:?} in scheme")
             }
-            SnapshotError::EmptyScheme => write!(f, "a relation scheme must have at least one attribute"),
+            SnapshotError::EmptyScheme => {
+                write!(f, "a relation scheme must have at least one attribute")
+            }
             SnapshotError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
             SnapshotError::ArityMismatch { expected, found } => {
-                write!(f, "tuple arity {found} does not match scheme arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {found} does not match scheme arity {expected}"
+                )
             }
             SnapshotError::DomainMismatch {
                 attribute,

@@ -5,8 +5,8 @@
 //! given the caller's RNG, so every experiment is reproducible from a
 //! seed.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::Rng;
+use crate::rng::SliceRandom;
 
 use crate::domain::DomainType;
 use crate::predicate::{CompOp, Operand, Predicate};
@@ -117,10 +117,18 @@ pub fn random_predicate(
         return Predicate::Comp(Operand::attr(&*attr.name), op, rhs);
     }
     match rng.gen_range(0..4) {
-        0 => random_predicate(rng, schema, cfg, depth - 1)
-            .and(random_predicate(rng, schema, cfg, depth - 1)),
-        1 => random_predicate(rng, schema, cfg, depth - 1)
-            .or(random_predicate(rng, schema, cfg, depth - 1)),
+        0 => random_predicate(rng, schema, cfg, depth - 1).and(random_predicate(
+            rng,
+            schema,
+            cfg,
+            depth - 1,
+        )),
+        1 => random_predicate(rng, schema, cfg, depth - 1).or(random_predicate(
+            rng,
+            schema,
+            cfg,
+            depth - 1,
+        )),
         2 => random_predicate(rng, schema, cfg, depth - 1).not(),
         _ => random_predicate(rng, schema, cfg, 0),
     }
@@ -146,7 +154,11 @@ pub fn mutate_state(
             }
             // delete
             1 => {
-                if let Some(victim) = tuples.iter().nth(rng.gen_range(0..tuples.len().max(1))).cloned() {
+                if let Some(victim) = tuples
+                    .iter()
+                    .nth(rng.gen_range(0..tuples.len().max(1)))
+                    .cloned()
+                {
                     tuples.remove(&victim);
                 }
             }
@@ -170,8 +182,8 @@ pub fn mutate_state(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::rngs::StdRng;
+    use crate::rng::SeedableRng;
 
     #[test]
     fn generation_is_deterministic_per_seed() {

@@ -41,6 +41,7 @@ pub mod error;
 pub mod generate;
 pub mod ops;
 pub mod predicate;
+pub mod rng;
 pub mod schema;
 pub mod state;
 pub mod tuple;

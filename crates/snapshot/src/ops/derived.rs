@@ -32,7 +32,11 @@ impl SnapshotState {
     }
 
     /// Theta join `E₁ ⋈_F E₂ = σ_F(E₁ × E₂)`.
-    pub fn theta_join(&self, other: &SnapshotState, predicate: &Predicate) -> Result<SnapshotState> {
+    pub fn theta_join(
+        &self,
+        other: &SnapshotState,
+        predicate: &Predicate,
+    ) -> Result<SnapshotState> {
         self.product(other)?.select(predicate)
     }
 
@@ -55,7 +59,11 @@ impl SnapshotState {
         }
 
         let right_keep: Vec<usize> = (0..other.schema().arity())
-            .filter(|&i| !common.iter().any(|c| *c == other.schema().attribute(i).name))
+            .filter(|&i| {
+                !common
+                    .iter()
+                    .any(|c| *c == other.schema().attribute(i).name)
+            })
             .collect();
         let mut attrs = self.schema().attributes().to_vec();
         for &i in &right_keep {
@@ -197,8 +205,8 @@ mod tests {
     }
 
     fn emp() -> SnapshotState {
-        let schema = Schema::new(vec![("name", DomainType::Str), ("dept", DomainType::Str)])
-            .unwrap();
+        let schema =
+            Schema::new(vec![("name", DomainType::Str), ("dept", DomainType::Str)]).unwrap();
         SnapshotState::from_rows(
             schema,
             vec![
@@ -210,8 +218,8 @@ mod tests {
     }
 
     fn dept() -> SnapshotState {
-        let schema = Schema::new(vec![("dept", DomainType::Str), ("bldg", DomainType::Str)])
-            .unwrap();
+        let schema =
+            Schema::new(vec![("dept", DomainType::Str), ("bldg", DomainType::Str)]).unwrap();
         SnapshotState::from_rows(
             schema,
             vec![
@@ -324,9 +332,7 @@ mod tests {
             vec![vec![Value::str("ann"), Value::str("db")]],
         )
         .unwrap();
-        let courses = SnapshotState::empty(
-            Schema::new(vec![("course", DomainType::Str)]).unwrap(),
-        );
+        let courses = SnapshotState::empty(Schema::new(vec![("course", DomainType::Str)]).unwrap());
         // Universally quantifying over the empty set keeps every candidate.
         let q = enrolled.divide(&courses).unwrap();
         assert_eq!(q.len(), 1);

@@ -26,8 +26,8 @@ mod tests {
     use crate::{DomainType, Predicate, Schema, SnapshotState, Value};
 
     fn emp() -> SnapshotState {
-        let schema = Schema::new(vec![("name", DomainType::Str), ("sal", DomainType::Int)])
-            .unwrap();
+        let schema =
+            Schema::new(vec![("name", DomainType::Str), ("sal", DomainType::Int)]).unwrap();
         SnapshotState::from_rows(
             schema,
             vec![
@@ -41,7 +41,9 @@ mod tests {
 
     #[test]
     fn select_filters() {
-        let s = emp().select(&Predicate::gt_const("sal", Value::Int(150))).unwrap();
+        let s = emp()
+            .select(&Predicate::gt_const("sal", Value::Int(150)))
+            .unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.schema(), emp().schema());
     }
@@ -85,7 +87,11 @@ mod tests {
 
     #[test]
     fn select_validates_predicate() {
-        assert!(emp().select(&Predicate::eq_const("wage", Value::Int(1))).is_err());
-        assert!(emp().select(&Predicate::eq_const("sal", Value::str("x"))).is_err());
+        assert!(emp()
+            .select(&Predicate::eq_const("wage", Value::Int(1)))
+            .is_err());
+        assert!(emp()
+            .select(&Predicate::eq_const("sal", Value::str("x")))
+            .is_err());
     }
 }

@@ -14,8 +14,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::domain::DomainType;
 use crate::error::SnapshotError;
 use crate::schema::Schema;
@@ -24,7 +22,8 @@ use crate::value::Value;
 use crate::Result;
 
 /// One side of a comparison: an attribute reference or a constant.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Operand {
     /// An attribute of the operand state, by name.
     Attr(Arc<str>),
@@ -57,7 +56,8 @@ impl fmt::Display for Operand {
 }
 
 /// The six relational comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CompOp {
     /// `=`
     Eq,
@@ -129,7 +129,8 @@ impl fmt::Display for CompOp {
 }
 
 /// A boolean expression over one state's attributes (the domain 𝓕).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Predicate {
     /// The constant `true`.
     True,
@@ -248,11 +249,9 @@ impl Predicate {
         match self {
             Predicate::True => CompiledNode::Const(true),
             Predicate::False => CompiledNode::Const(false),
-            Predicate::Comp(l, op, r) => CompiledNode::Comp(
-                compile_operand(l, schema),
-                *op,
-                compile_operand(r, schema),
-            ),
+            Predicate::Comp(l, op, r) => {
+                CompiledNode::Comp(compile_operand(l, schema), *op, compile_operand(r, schema))
+            }
             Predicate::And(a, b) => CompiledNode::And(
                 Box::new(a.compile_node(schema)),
                 Box::new(b.compile_node(schema)),
@@ -360,7 +359,11 @@ mod tests {
     }
 
     fn alice() -> Tuple {
-        Tuple::new(vec![Value::str("alice"), Value::Int(100), Value::str("bob")])
+        Tuple::new(vec![
+            Value::str("alice"),
+            Value::Int(100),
+            Value::str("bob"),
+        ])
     }
 
     #[test]
@@ -373,7 +376,14 @@ mod tests {
 
     #[test]
     fn negate_and_flip_are_involutions() {
-        for op in [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge] {
+        for op in [
+            CompOp::Eq,
+            CompOp::Ne,
+            CompOp::Lt,
+            CompOp::Le,
+            CompOp::Gt,
+            CompOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
             assert_eq!(op.flip().flip(), op);
         }
@@ -382,7 +392,14 @@ mod tests {
     #[test]
     fn flip_matches_swapped_operands() {
         let (a, b) = (Value::Int(1), Value::Int(2));
-        for op in [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge] {
+        for op in [
+            CompOp::Eq,
+            CompOp::Ne,
+            CompOp::Lt,
+            CompOp::Le,
+            CompOp::Gt,
+            CompOp::Ge,
+        ] {
             assert_eq!(op.apply(&a, &b), op.flip().apply(&b, &a));
         }
     }
@@ -444,10 +461,8 @@ mod tests {
 
     #[test]
     fn attributes_are_deduplicated() {
-        let p = Predicate::gt_const("sal", Value::Int(1)).and(Predicate::lt_const(
-            "sal",
-            Value::Int(10),
-        ));
+        let p = Predicate::gt_const("sal", Value::Int(1))
+            .and(Predicate::lt_const("sal", Value::Int(10)));
         let attrs = p.attributes();
         assert_eq!(attrs.len(), 1);
         assert_eq!(&*attrs[0], "sal");
@@ -463,8 +478,8 @@ mod tests {
     #[test]
     fn compiled_matches_interpreted() {
         let s = schema();
-        let p = Predicate::gt_const("sal", Value::Int(50))
-            .or(Predicate::eq_attrs("name", "mgr").not());
+        let p =
+            Predicate::gt_const("sal", Value::Int(50)).or(Predicate::eq_attrs("name", "mgr").not());
         let c = p.compile(&s).unwrap();
         assert_eq!(c.eval(&alice()), p.eval(&s, &alice()).unwrap());
     }

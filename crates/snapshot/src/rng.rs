@@ -1,0 +1,258 @@
+//! A small deterministic pseudo-random generator for tests, benchmarks,
+//! and workload generation.
+//!
+//! The build is hermetic: no external registry is available, so the
+//! `rand` crate cannot be a dependency. Everything random in the
+//! workspace — the [`crate::generate`] module, the differential tests,
+//! the benchmark workloads — draws from this shared module instead. The
+//! API deliberately mirrors the subset of `rand` the workspace uses
+//! (`Rng`, `SeedableRng`, `SliceRandom`, `rngs::StdRng`), so swapping a
+//! vendored `rand` back in later is a one-line import change per file.
+//!
+//! The generator is SplitMix64 (a 64-bit LCG-style mixer with a Weyl
+//! increment): tiny, fast, and statistically fine for workload
+//! generation. It is **not** cryptographic.
+
+/// Range-like argument to [`Rng::gen_range`]: yields inclusive bounds.
+pub trait SampleRange<T> {
+    /// The `(low, high)` inclusive bounds of the range.
+    fn bounds(&self) -> (T, T);
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty range in gen_range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start() <= self.end(), "empty range in gen_range");
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A value generable uniformly from raw 64-bit output.
+pub trait Uniform: Copy {
+    /// Draws a uniform value in `[low, high]` from `raw` 64-bit words.
+    fn from_raw(rng: &mut dyn RawRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            fn from_raw(rng: &mut dyn RawRng, low: Self, high: Self) -> Self {
+                let span = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 range.
+                    return rng.raw_u64() as $t;
+                }
+                // Debiased modular sampling (rejection from the top).
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = rng.raw_u64();
+                    if v <= zone {
+                        return low.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty as $u:ty),*) => {$(
+        impl Uniform for $t {
+            fn from_raw(rng: &mut dyn RawRng, low: Self, high: Self) -> Self {
+                // Shift into unsigned space, sample, shift back.
+                let ulow = (low as $u).wrapping_add(<$u>::MAX / 2 + 1);
+                let uhigh = (high as $u).wrapping_add(<$u>::MAX / 2 + 1);
+                let v = <$u>::from_raw(rng, ulow, uhigh);
+                v.wrapping_sub(<$u>::MAX / 2 + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+/// Object-safe raw word source (lets [`Uniform`] avoid generics).
+pub trait RawRng {
+    /// The next raw 64-bit word.
+    fn raw_u64(&mut self) -> u64;
+}
+
+/// The deterministic generator trait (the workspace's `rand::Rng`).
+pub trait Rng: RawRng {
+    /// A uniform value in the given range (`0..n` or `0..=n` style).
+    fn gen_range<T: Uniform, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let (low, high) = range.bounds();
+        T::from_raw(self, low, high)
+    }
+
+    /// A bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 bits of mantissa, as rand does.
+        ((self.raw_u64() >> 11) as f64) / ((1u64 << 53) as f64) < p
+    }
+
+    /// A uniform value of a domain with a natural full-range draw
+    /// (currently `bool`, matching the workspace's `rng.gen()` uses).
+    fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+}
+
+impl<G: RawRng + ?Sized> Rng for G {}
+
+/// Types drawable from a generator without bounds.
+pub trait FromRng {
+    /// Draws a value.
+    fn from_rng(rng: &mut (impl Rng + ?Sized)) -> Self;
+}
+
+impl FromRng for bool {
+    fn from_rng(rng: &mut (impl Rng + ?Sized)) -> bool {
+        rng.raw_u64() & 1 == 1
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng(rng: &mut (impl Rng + ?Sized)) -> u64 {
+        rng.raw_u64()
+    }
+}
+
+/// Seedable construction (the workspace's `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed. Equal seeds give equal
+    /// streams, on every platform.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Choosing from slices (the workspace's `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+    /// A uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+/// The deterministic generator: SplitMix64.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl RawRng for Lcg {
+    fn raw_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014): Weyl sequence + mixer.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for Lcg {
+    fn seed_from_u64(seed: u64) -> Lcg {
+        Lcg { state: seed }
+    }
+}
+
+/// Name-compatible aliases for `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard deterministic generator.
+    pub type StdRng = super::Lcg;
+}
+
+/// Runs `f` once per seed, for property-style tests: each iteration gets
+/// a fresh generator derived from the iteration index, so failures
+/// reproduce by re-running the test.
+pub fn for_each_seed(cases: u64, mut f: impl FnMut(&mut Lcg)) {
+    for i in 0..cases {
+        let mut rng = Lcg::seed_from_u64(i.wrapping_mul(0x9e37_79b9) ^ 0xA5A5_5A5A);
+        f(&mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Lcg::seed_from_u64(42);
+        let mut b = Lcg::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.raw_u64(), b.raw_u64());
+        }
+        let mut c = Lcg::seed_from_u64(43);
+        assert_ne!(a.raw_u64(), c.raw_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Lcg::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let u: usize = rng.gen_range(3..=3);
+            assert_eq!(u, 3);
+            let c: u32 = rng.gen_range(1..100);
+            assert!((1..100).contains(&c));
+        }
+    }
+
+    #[test]
+    fn bool_and_bernoulli() {
+        let mut rng = Lcg::seed_from_u64(1);
+        let mut trues = 0;
+        for _ in 0..1000 {
+            if rng.gen_bool(0.5) {
+                trues += 1;
+            }
+        }
+        assert!((300..700).contains(&trues), "suspicious bias: {trues}");
+        assert!(!(0..1000).all(|_| rng.gen::<bool>()));
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = Lcg::seed_from_u64(9);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let &v = items.choose(&mut rng).unwrap();
+            seen[v - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

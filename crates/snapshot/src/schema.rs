@@ -3,14 +3,13 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::domain::DomainType;
 use crate::error::SnapshotError;
 use crate::Result;
 
 /// A single named, typed attribute of a relation scheme.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Attribute {
     /// The attribute's name, unique within its scheme.
     pub name: Arc<str>,
@@ -38,7 +37,8 @@ impl fmt::Display for Attribute {
 ///
 /// Schemes are immutable and cheaply clonable (the attribute list is
 /// reference-counted); every [`crate::SnapshotState`] carries one.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schema {
     attributes: Arc<[Attribute]>,
 }

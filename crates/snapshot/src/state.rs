@@ -4,8 +4,6 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -22,7 +20,8 @@ use crate::Result;
 /// The tuple set is reference-counted: cloning a state — the basic move of
 /// the paper's persistent, full-copy reference semantics — is O(1), and
 /// mutation copies on write.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SnapshotState {
     schema: Schema,
     tuples: Arc<BTreeSet<Tuple>>,
@@ -211,8 +210,8 @@ mod tests {
 
     #[test]
     fn display_form() {
-        let s = SnapshotState::from_rows(schema(), vec![vec![Value::str("a"), Value::Int(1)]])
-            .unwrap();
+        let s =
+            SnapshotState::from_rows(schema(), vec![vec![Value::str("a"), Value::Int(1)]]).unwrap();
         assert_eq!(s.to_string(), "(name: str, sal: int) { (\"a\", 1) }");
     }
 

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::SnapshotError;
 use crate::schema::Schema;
 use crate::value::Value;
@@ -15,7 +13,8 @@ use crate::Result;
 /// The payload is reference-counted, so cloning a tuple — which the
 /// persistent full-copy semantics of rollback relations does constantly —
 /// is O(1).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tuple {
     values: Arc<[Value]>,
 }
@@ -127,7 +126,10 @@ mod tests {
         let t = Tuple::new(vec![Value::str("alice")]);
         assert!(matches!(
             t.check(&schema()),
-            Err(SnapshotError::ArityMismatch { expected: 2, found: 1 })
+            Err(SnapshotError::ArityMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
     }
 

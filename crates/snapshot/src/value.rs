@@ -11,8 +11,6 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::domain::DomainType;
 
 /// A finite IEEE-754 double with total equality, ordering, and hashing.
@@ -20,7 +18,8 @@ use crate::domain::DomainType;
 /// NaN is rejected at construction so that `Real` can participate in the
 /// set-based [`crate::SnapshotState`] representation. The ordering is the
 /// IEEE total order restricted to non-NaN values (i.e. the usual `<`).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Real(f64);
 
 impl Real {
@@ -80,7 +79,8 @@ impl fmt::Display for Real {
 /// A single attribute value drawn from one of the supported domains.
 ///
 /// Values are cheap to clone: strings are reference-counted.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// An element of the integer domain.
     Int(i64),
@@ -210,10 +210,12 @@ mod tests {
 
     #[test]
     fn real_total_order() {
-        let mut v = [Real::new(3.0).unwrap(),
+        let mut v = [
+            Real::new(3.0).unwrap(),
             Real::new(-1.0).unwrap(),
             Real::new(f64::INFINITY).unwrap(),
-            Real::new(0.0).unwrap()];
+            Real::new(0.0).unwrap(),
+        ];
         v.sort();
         assert_eq!(v[0].get(), -1.0);
         assert_eq!(v[3].get(), f64::INFINITY);

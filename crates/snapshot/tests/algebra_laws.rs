@@ -20,8 +20,8 @@ fn fixed_schema() -> Schema {
 
 fn arb_state() -> impl Strategy<Value = SnapshotState> {
     any::<u64>().prop_map(|seed| {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use txtime_snapshot::rng::SeedableRng;
+        let mut rng = txtime_snapshot::rng::rngs::StdRng::seed_from_u64(seed);
         let cfg = GenConfig {
             arity: 3,
             cardinality: 24,
@@ -34,8 +34,8 @@ fn arb_state() -> impl Strategy<Value = SnapshotState> {
 
 fn arb_predicate() -> impl Strategy<Value = Predicate> {
     any::<u64>().prop_map(|seed| {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use txtime_snapshot::rng::SeedableRng;
+        let mut rng = txtime_snapshot::rng::rngs::StdRng::seed_from_u64(seed);
         let cfg = GenConfig {
             int_range: 12,
             str_pool: 6,
@@ -48,9 +48,9 @@ fn arb_predicate() -> impl Strategy<Value = Predicate> {
 /// A disjoint-schema operand for product laws.
 fn arb_right_state() -> impl Strategy<Value = SnapshotState> {
     any::<u64>().prop_map(|seed| {
-        use rand::SeedableRng;
+        use txtime_snapshot::rng::SeedableRng;
         use txtime_snapshot::DomainType::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = txtime_snapshot::rng::rngs::StdRng::seed_from_u64(seed);
         let schema = Schema::new(vec![("b0", Int), ("b1", Str)]).unwrap();
         let cfg = GenConfig {
             arity: 2,

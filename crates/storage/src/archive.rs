@@ -119,9 +119,7 @@ mod tests {
     fn archive_preserves_cutoff_and_later_on_all_backends() {
         for backend in BackendKind::ALL {
             let mut e = engine(backend);
-            let report = e
-                .archive_before("r", TransactionNumber(5), None)
-                .unwrap();
+            let report = e.archive_before("r", TransactionNumber(5), None).unwrap();
             assert_eq!(report.archived, 3, "{backend}"); // tx 2, 3, 4
 
             // The floor version (tx 5) and everything later still answer.
@@ -134,10 +132,12 @@ mod tests {
             // Strictly older targets now miss.
             for tx in 2..5 {
                 let r = e.resolve_rollback("r", TxSpec::At(TransactionNumber(tx)), false);
-                if let Ok(s) = r { assert!(
-                    s.is_empty(),
-                    "{backend} at tx {tx} returned data after archival"
-                ) }
+                if let Ok(s) = r {
+                    assert!(
+                        s.is_empty(),
+                        "{backend} at tx {tx} returned data after archival"
+                    )
+                }
             }
             assert_eq!(e.version_count("r"), Some(3));
         }
@@ -178,13 +178,13 @@ mod tests {
             "define_relation(r, rollback);\n{}",
             std::fs::read_to_string(&path).unwrap()
         );
-        let db = txtime_parser::parse_sentence(&text).unwrap().eval().unwrap();
+        let db = txtime_parser::parse_sentence(&text)
+            .unwrap()
+            .eval()
+            .unwrap();
         let rel = db.state.lookup("r").unwrap();
         assert_eq!(rel.versions().len(), 3);
-        assert_eq!(
-            rel.versions()[0].state.as_snapshot().unwrap(),
-            &snap(&[1])
-        );
+        assert_eq!(rel.versions()[0].state.as_snapshot().unwrap(), &snap(&[1]));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -201,11 +201,12 @@ mod tests {
         let mut e = Engine::new(BackendKind::FullCopy, CheckpointPolicy::Never);
         e.execute(&Command::define_relation("s", RelationType::Snapshot))
             .unwrap();
-        e.execute(&Command::modify_state("s", Expr::snapshot_const(snap(&[1]))))
-            .unwrap();
-        let report = e
-            .archive_before("s", TransactionNumber(99), None)
-            .unwrap();
+        e.execute(&Command::modify_state(
+            "s",
+            Expr::snapshot_const(snap(&[1])),
+        ))
+        .unwrap();
+        let report = e.archive_before("s", TransactionNumber(99), None).unwrap();
         assert_eq!(report.archived, 0);
         assert!(e.resolve_rollback("s", TxSpec::Current, false).is_ok());
     }

@@ -2,8 +2,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use txtime_core::StateValue;
 use txtime_historical::{HistoricalState, TemporalElement};
 use txtime_snapshot::{SnapshotState, Tuple};
@@ -14,7 +12,8 @@ use txtime_snapshot::{SnapshotState, Tuple};
 /// handled by the `Reschema` variant, which simply carries the new state —
 /// scheme evolution is rare, and a full copy at scheme boundaries is the
 /// standard trick.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StateDelta {
     /// Tuples added and removed between two snapshot states.
     Snapshot {
@@ -41,21 +40,11 @@ impl StateDelta {
     pub fn between(from: &StateValue, to: &StateValue) -> StateDelta {
         match (from, to) {
             (StateValue::Snapshot(a), StateValue::Snapshot(b)) if a.schema() == b.schema() => {
-                let added = b
-                    .iter()
-                    .filter(|t| !a.contains(t))
-                    .cloned()
-                    .collect();
-                let removed = a
-                    .iter()
-                    .filter(|t| !b.contains(t))
-                    .cloned()
-                    .collect();
+                let added = b.iter().filter(|t| !a.contains(t)).cloned().collect();
+                let removed = a.iter().filter(|t| !b.contains(t)).cloned().collect();
                 StateDelta::Snapshot { added, removed }
             }
-            (StateValue::Historical(a), StateValue::Historical(b))
-                if a.schema() == b.schema() =>
-            {
+            (StateValue::Historical(a), StateValue::Historical(b)) if a.schema() == b.schema() => {
                 let upserted = b
                     .iter()
                     .filter(|(t, e)| a.valid_time(t) != Some(e))
@@ -148,8 +137,7 @@ mod tests {
 
     fn snap(vals: &[i64]) -> StateValue {
         StateValue::Snapshot(
-            SnapshotState::from_rows(schema(), vals.iter().map(|&v| vec![Value::Int(v)]))
-                .unwrap(),
+            SnapshotState::from_rows(schema(), vals.iter().map(|&v| vec![Value::Int(v)])).unwrap(),
         )
     }
 
@@ -178,10 +166,7 @@ mod tests {
 
     #[test]
     fn historical_delta_round_trips() {
-        let (a, b) = (
-            hist(&[(1, 0, 5), (2, 0, 9)]),
-            hist(&[(1, 0, 7), (3, 2, 4)]),
-        );
+        let (a, b) = (hist(&[(1, 0, 5), (2, 0, 9)]), hist(&[(1, 0, 7), (3, 2, 4)]));
         let d = StateDelta::between(&a, &b);
         assert_eq!(d.apply(&a), b);
         // 1 revalued, 3 added, 2 removed.

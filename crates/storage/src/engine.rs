@@ -125,9 +125,8 @@ impl Engine {
         let outcome = self.apply(cmd)?;
         if cmd.is_mutation() {
             if let Some((_, file)) = &mut self.wal {
-                wal::append_command(file, cmd).map_err(|e| {
-                    CoreError::SchemeChange(format!("WAL write failed: {e}"))
-                })?;
+                wal::append_command(file, cmd)
+                    .map_err(|e| CoreError::SchemeChange(format!("WAL write failed: {e}")))?;
                 let _ = file.flush();
             }
         }
@@ -210,11 +209,9 @@ impl Engine {
                 let rtype = self
                     .relation_type(ident)
                     .ok_or_else(|| CoreError::UndefinedRelation(ident.clone()))?;
-                let current = self
-                    .current_state(ident)
-                    .ok_or_else(|| {
-                        CoreError::SchemeChange(format!("relation {ident:?} has no state"))
-                    })?;
+                let current = self.current_state(ident).ok_or_else(|| {
+                    CoreError::SchemeChange(format!("relation {ident:?} has no state"))
+                })?;
                 let new_state = match &current {
                     StateValue::Snapshot(s) => StateValue::Snapshot(change.apply_snapshot(s)?),
                     StateValue::Historical(h) => {
@@ -268,12 +265,7 @@ impl Engine {
         };
         Ok(txs[..floor]
             .iter()
-            .map(|&t| {
-                (
-                    store.state_at(t).expect("listed version exists"),
-                    t,
-                )
-            })
+            .map(|&t| (store.state_at(t).expect("listed version exists"), t))
             .collect())
     }
 
@@ -400,11 +392,8 @@ mod tests {
         e.execute(&Command::define_relation("r", RelationType::Rollback))
             .unwrap();
         for v in [vec![1], vec![1, 2], vec![2], vec![2, 3]] {
-            e.execute(&Command::modify_state(
-                "r",
-                Expr::snapshot_const(snap(&v)),
-            ))
-            .unwrap();
+            e.execute(&Command::modify_state("r", Expr::snapshot_const(snap(&v))))
+                .unwrap();
         }
         e
     }
@@ -413,7 +402,11 @@ mod tests {
     fn engine_answers_rollback_queries_on_every_backend() {
         for backend in BackendKind::ALL {
             let e = engine_with_history(backend);
-            let cur = e.eval(&Expr::current("r")).unwrap().into_snapshot().unwrap();
+            let cur = e
+                .eval(&Expr::current("r"))
+                .unwrap()
+                .into_snapshot()
+                .unwrap();
             assert_eq!(cur, snap(&[2, 3]), "{backend}");
             let old = e
                 .eval(&Expr::rollback("r", TxSpec::At(TransactionNumber(3))))
@@ -429,8 +422,11 @@ mod tests {
         let mut e = Engine::new(BackendKind::FullCopy, CheckpointPolicy::Never);
         e.execute(&Command::define_relation("s", RelationType::Snapshot))
             .unwrap();
-        e.execute(&Command::modify_state("s", Expr::snapshot_const(snap(&[1]))))
-            .unwrap();
+        e.execute(&Command::modify_state(
+            "s",
+            Expr::snapshot_const(snap(&[1])),
+        ))
+        .unwrap();
         assert!(matches!(
             e.eval(&Expr::rollback("s", TxSpec::At(TransactionNumber(1)))),
             Err(EvalError::RollbackOnSnapshot(_))
@@ -447,13 +443,22 @@ mod tests {
         let mut e = Engine::new(BackendKind::ForwardDelta, CheckpointPolicy::Never);
         e.execute(&Command::define_relation("s", RelationType::Snapshot))
             .unwrap();
-        e.execute(&Command::modify_state("s", Expr::snapshot_const(snap(&[1]))))
-            .unwrap();
-        e.execute(&Command::modify_state("s", Expr::snapshot_const(snap(&[2]))))
-            .unwrap();
+        e.execute(&Command::modify_state(
+            "s",
+            Expr::snapshot_const(snap(&[1])),
+        ))
+        .unwrap();
+        e.execute(&Command::modify_state(
+            "s",
+            Expr::snapshot_const(snap(&[2])),
+        ))
+        .unwrap();
         assert_eq!(e.version_count("s"), Some(1));
         assert_eq!(
-            e.eval(&Expr::current("s")).unwrap().into_snapshot().unwrap(),
+            e.eval(&Expr::current("s"))
+                .unwrap()
+                .into_snapshot()
+                .unwrap(),
             snap(&[2])
         );
     }

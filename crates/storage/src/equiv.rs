@@ -119,10 +119,7 @@ mod tests {
             ),
             Command::define_relation("s", RelationType::Snapshot),
             Command::modify_state("s", Expr::snapshot_const(snap(&[9]))),
-            Command::modify_state(
-                "r",
-                Expr::current("r").difference(Expr::current("s")),
-            ),
+            Command::modify_state("r", Expr::current("r").difference(Expr::current("s"))),
         ];
         for backend in BackendKind::ALL {
             check_equivalence(&cmds, backend, CheckpointPolicy::EveryK(2)).unwrap();

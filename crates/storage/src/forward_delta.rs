@@ -142,8 +142,7 @@ mod tests {
     fn snap(vals: &[i64]) -> StateValue {
         let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
         StateValue::Snapshot(
-            SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)]))
-                .unwrap(),
+            SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap(),
         )
     }
 
@@ -190,9 +189,7 @@ mod tests {
         for v in 0..20 {
             let mut rows = base.clone();
             rows[v as usize] = vec![Value::Int(1000 + v)];
-            let s = StateValue::Snapshot(
-                SnapshotState::from_rows(schema.clone(), rows).unwrap(),
-            );
+            let s = StateValue::Snapshot(SnapshotState::from_rows(schema.clone(), rows).unwrap());
             fd.append(&s, TransactionNumber(v as u64 + 1));
             fc.append(&s, TransactionNumber(v as u64 + 1));
         }

@@ -39,8 +39,8 @@ pub mod backend;
 pub mod delta;
 pub mod engine;
 pub mod equiv;
-pub mod full_copy;
 pub mod forward_delta;
+pub mod full_copy;
 pub mod metrics;
 pub mod recovery;
 pub mod reverse_delta;

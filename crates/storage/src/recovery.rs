@@ -82,9 +82,12 @@ mod tests {
     fn recovery_rebuilds_full_history() {
         let path = tmpfile("rebuild");
         {
-            let mut e =
-                Engine::with_wal(BackendKind::ForwardDelta, CheckpointPolicy::EveryK(2), &path)
-                    .unwrap();
+            let mut e = Engine::with_wal(
+                BackendKind::ForwardDelta,
+                CheckpointPolicy::EveryK(2),
+                &path,
+            )
+            .unwrap();
             e.execute(&Command::define_relation("r", RelationType::Rollback))
                 .unwrap();
             for v in [vec![1], vec![1, 2], vec![3]] {
@@ -93,13 +96,21 @@ mod tests {
             }
             // Engine dropped here: the "crash".
         }
-        let rec = recover(&path, BackendKind::ForwardDelta, CheckpointPolicy::EveryK(2)).unwrap();
+        let rec = recover(
+            &path,
+            BackendKind::ForwardDelta,
+            CheckpointPolicy::EveryK(2),
+        )
+        .unwrap();
         assert_eq!(rec.replayed, 4);
         assert!(rec.skipped.is_empty());
         let e = rec.engine;
         assert_eq!(e.tx(), TransactionNumber(4));
         assert_eq!(
-            e.eval(&Expr::current("r")).unwrap().into_snapshot().unwrap(),
+            e.eval(&Expr::current("r"))
+                .unwrap()
+                .into_snapshot()
+                .unwrap(),
             snap(&[3])
         );
         assert_eq!(
@@ -120,8 +131,11 @@ mod tests {
                 Engine::with_wal(BackendKind::FullCopy, CheckpointPolicy::Never, &path).unwrap();
             e.execute(&Command::define_relation("r", RelationType::Rollback))
                 .unwrap();
-            e.execute(&Command::modify_state("r", Expr::snapshot_const(snap(&[1]))))
-                .unwrap();
+            e.execute(&Command::modify_state(
+                "r",
+                Expr::snapshot_const(snap(&[1])),
+            ))
+            .unwrap();
         }
         // Simulate a torn final write.
         let mut data = std::fs::read(&path).unwrap();
@@ -143,8 +157,11 @@ mod tests {
                 Engine::with_wal(BackendKind::FullCopy, CheckpointPolicy::Never, &path).unwrap();
             e.execute(&Command::define_relation("r", RelationType::Rollback))
                 .unwrap();
-            e.execute(&Command::modify_state("r", Expr::snapshot_const(snap(&[1]))))
-                .unwrap();
+            e.execute(&Command::modify_state(
+                "r",
+                Expr::snapshot_const(snap(&[1])),
+            ))
+            .unwrap();
             e.execute(&Command::display(Expr::current("r"))).unwrap();
         }
         let rec = recover(&path, BackendKind::FullCopy, CheckpointPolicy::Never).unwrap();

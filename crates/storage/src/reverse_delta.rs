@@ -103,8 +103,7 @@ mod tests {
     fn snap(vals: &[i64]) -> StateValue {
         let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
         StateValue::Snapshot(
-            SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)]))
-                .unwrap(),
+            SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap(),
         )
     }
 

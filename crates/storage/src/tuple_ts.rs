@@ -154,8 +154,7 @@ impl Epoch {
                 .map(|(t, _)| t.clone())
                 .collect();
             StateValue::Snapshot(
-                SnapshotState::new(self.schema.clone(), tuples)
-                    .expect("stored tuples are valid"),
+                SnapshotState::new(self.schema.clone(), tuples).expect("stored tuples are valid"),
             )
         }
     }
@@ -270,8 +269,7 @@ mod tests {
     fn snap(vals: &[i64]) -> StateValue {
         let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
         StateValue::Snapshot(
-            SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)]))
-                .unwrap(),
+            SnapshotState::from_rows(schema, vals.iter().map(|&v| vec![Value::Int(v)])).unwrap(),
         )
     }
 

@@ -144,16 +144,16 @@ mod tests {
     #[test]
     fn corruption_is_detected() {
         let mut buf = Vec::new();
-        append_command(&mut buf, &Command::define_relation("e", RelationType::Snapshot))
-            .unwrap();
+        append_command(
+            &mut buf,
+            &Command::define_relation("e", RelationType::Snapshot),
+        )
+        .unwrap();
         // Flip a byte in the command text.
         let pos = buf.len() - 3;
         buf[pos] ^= 0x01;
         let entries = read_journal(Cursor::new(buf)).unwrap();
-        assert!(matches!(
-            entries[0],
-            WalEntry::Corrupt { line: 1, .. }
-        ));
+        assert!(matches!(entries[0], WalEntry::Corrupt { line: 1, .. }));
     }
 
     #[test]
@@ -173,8 +173,11 @@ mod tests {
     #[test]
     fn invalid_utf8_is_corruption_not_io_failure() {
         let mut buf = Vec::new();
-        append_command(&mut buf, &Command::define_relation("e", RelationType::Snapshot))
-            .unwrap();
+        append_command(
+            &mut buf,
+            &Command::define_relation("e", RelationType::Snapshot),
+        )
+        .unwrap();
         buf.extend_from_slice(&[0xff, 0xfe, 0x00, b'\n']);
         let entries = read_journal(Cursor::new(buf)).unwrap();
         assert_eq!(entries.len(), 2);

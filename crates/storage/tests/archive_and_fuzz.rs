@@ -1,8 +1,8 @@
 //! Property tests for archival truncation and WAL corruption handling.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::SeedableRng;
 
 use txtime_core::generate::{random_commands, CmdGenConfig};
 use txtime_core::{StateSource, TransactionNumber, TxSpec};

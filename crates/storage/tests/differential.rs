@@ -4,8 +4,8 @@
 //! deletes.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::{Rng, SeedableRng};
 
 use txtime_core::generate::{random_commands, CmdGenConfig};
 use txtime_core::{Command, Expr, RelationType, SchemeChange};

@@ -17,8 +17,8 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::queue::SegQueue;
-use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Mutex;
 
 use txtime_core::{CoreError, Database};
 
@@ -30,7 +30,7 @@ struct Shared {
     /// The committed database plus the log of (commit serial, write set).
     committed: Mutex<CommitState>,
     /// Transactions awaiting execution.
-    queue: SegQueue<Transaction>,
+    queue: Mutex<VecDeque<Transaction>>,
     /// Total restarts across the run (reporting).
     restarts: AtomicUsize,
 }
@@ -91,12 +91,14 @@ impl ConcurrentManager {
                 db: initial,
                 log: Vec::new(),
             }),
-            queue: SegQueue::new(),
+            queue: Mutex::new(VecDeque::new()),
             restarts: AtomicUsize::new(0),
         });
-        for t in transactions {
-            shared.queue.push(t);
-        }
+        shared
+            .queue
+            .lock()
+            .expect("queue lock")
+            .extend(transactions);
 
         let failures = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
@@ -105,21 +107,24 @@ impl ConcurrentManager {
                 let failures = &failures;
                 let max_restarts = self.max_restarts;
                 scope.spawn(move || {
-                    while let Some(txn) = shared.queue.pop() {
+                    while let Some(txn) = {
+                        let mut q = shared.queue.lock().expect("queue lock");
+                        q.pop_front()
+                    } {
                         match execute_with_validation(&shared, &txn, max_restarts) {
                             Ok(()) => {}
-                            Err(e) => failures.lock().push((txn.id, e)),
+                            Err(e) => failures.lock().expect("failures lock").push((txn.id, e)),
                         }
                     }
                 });
             }
         });
 
-        let state = shared.committed.lock();
+        let state = shared.committed.lock().expect("commit lock");
         ConcurrentReport {
             database: state.db.clone(),
             commits: state.log.clone(),
-            failures: failures.into_inner(),
+            failures: failures.into_inner().expect("failures lock"),
             restarts: shared.restarts.load(Ordering::Relaxed),
         }
     }
@@ -133,7 +138,7 @@ fn execute_with_validation(
     for _attempt in 0..max_restarts {
         // Take a snapshot and remember how many commits it reflects.
         let (snapshot, snapshot_commits) = {
-            let state = shared.committed.lock();
+            let state = shared.committed.lock().expect("commit lock");
             (state.db.clone(), state.log.len())
         };
 
@@ -145,7 +150,7 @@ fn execute_with_validation(
         }
 
         // Validate and commit under the lock.
-        let mut state = shared.committed.lock();
+        let mut state = shared.committed.lock().expect("commit lock");
         let conflicting: BTreeSet<String> = state.log[snapshot_commits..]
             .iter()
             .flat_map(|r| r.write_set.iter().cloned())
@@ -177,7 +182,7 @@ fn execute_with_validation(
 
     // Fallback for livelocked transactions: execute while holding the
     // lock — trivially serial.
-    let mut state = shared.committed.lock();
+    let mut state = shared.committed.lock().expect("commit lock");
     let mut working = state.db.clone();
     for cmd in &txn.commands {
         let (next, _) = cmd.execute(&working)?;
@@ -263,13 +268,7 @@ mod tests {
         assert_eq!(cur, snap(&[0, 1, 2, 3, 4, 5, 6, 7, 8]));
         // And every intermediate version is on record: 1 initial + 8.
         assert_eq!(
-            report
-                .database
-                .state
-                .lookup("r")
-                .unwrap()
-                .versions()
-                .len(),
+            report.database.state.lookup("r").unwrap().versions().len(),
             9
         );
     }
@@ -295,7 +294,10 @@ mod tests {
     #[test]
     fn erroring_transactions_fail_without_side_effects() {
         let txns = vec![
-            Transaction::new(1, vec![Command::modify_state("ghost", Expr::current("ghost"))]),
+            Transaction::new(
+                1,
+                vec![Command::modify_state("ghost", Expr::current("ghost"))],
+            ),
             Transaction::new(
                 2,
                 vec![Command::modify_state(

@@ -1,9 +1,11 @@
 //! The serial transaction manager: atomicity over the reference
 //! semantics.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
-use txtime_core::{CommandOutcome, CoreError, Database, EvalError, Expr, StateValue, TransactionNumber};
+use txtime_core::{
+    CommandOutcome, CoreError, Database, EvalError, Expr, StateValue, TransactionNumber,
+};
 
 use crate::transaction::Transaction;
 
@@ -49,7 +51,7 @@ impl TransactionManager {
     /// install and a receipt returns; if any command fails the database
     /// is untouched and the error returns.
     pub fn submit(&self, txn: &Transaction) -> Result<TxnReceipt, CoreError> {
-        let mut guard = self.db.lock();
+        let mut guard = self.db.lock().expect("manager lock");
         let mut working = guard.clone();
         let first_tx = working.tx.next();
         let mut outcomes = Vec::with_capacity(txn.commands.len());
@@ -70,12 +72,12 @@ impl TransactionManager {
 
     /// Evaluates a read-only query against the current database.
     pub fn query(&self, expr: &Expr) -> Result<StateValue, EvalError> {
-        expr.eval(&self.db.lock())
+        expr.eval(&self.db.lock().expect("manager lock"))
     }
 
     /// A snapshot of the current database.
     pub fn snapshot(&self) -> Database {
-        self.db.lock().clone()
+        self.db.lock().expect("manager lock").clone()
     }
 }
 
@@ -112,7 +114,10 @@ mod tests {
         assert_eq!(receipt.first_tx, TransactionNumber(1));
         assert_eq!(receipt.last_tx, TransactionNumber(3));
         assert_eq!(
-            mgr.query(&Expr::current("r")).unwrap().into_snapshot().unwrap(),
+            mgr.query(&Expr::current("r"))
+                .unwrap()
+                .into_snapshot()
+                .unwrap(),
             snap(&[1, 2])
         );
     }

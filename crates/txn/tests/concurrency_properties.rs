@@ -1,8 +1,8 @@
 //! Property tests: random concurrent workloads are serially equivalent.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::{Rng, SeedableRng};
 
 use txtime_core::{Command, Database, Expr, RelationType, Sentence};
 use txtime_snapshot::{DomainType, Schema, SnapshotState, Value};

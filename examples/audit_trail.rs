@@ -61,7 +61,10 @@ fn main() {
     println!("== audit: bob's salary across transaction time ==");
     for tx in 2..=engine.tx().0 {
         let state = engine
-            .eval(&Expr::rollback("payroll", TxSpec::At(TransactionNumber(tx))))
+            .eval(&Expr::rollback(
+                "payroll",
+                TxSpec::At(TransactionNumber(tx)),
+            ))
             .expect("rollback answers")
             .into_snapshot()
             .expect("snapshot state");
@@ -95,8 +98,12 @@ fn main() {
     // Crash! … and recovery from the journal.
     let live_tx = engine.tx();
     drop(engine);
-    let rec = recover(&wal_path, BackendKind::ForwardDelta, CheckpointPolicy::EveryK(8))
-        .expect("journal replays");
+    let rec = recover(
+        &wal_path,
+        BackendKind::ForwardDelta,
+        CheckpointPolicy::EveryK(8),
+    )
+    .expect("journal replays");
     println!(
         "\nrecovered {} commands from the journal; clock {} (live was {})",
         rec.replayed,

@@ -18,12 +18,18 @@
 
 use std::io::{BufRead, Write};
 
+use txtime::analyze::Checker;
 use txtime::core::{CommandOutcome, Expr, TxSpec};
-use txtime::parser::parse_command;
+use txtime::parser::parse_command_spanned;
 use txtime::storage::{BackendKind, CheckpointPolicy, Engine};
 
 fn main() {
     let mut engine = Engine::new(BackendKind::ForwardDelta, CheckpointPolicy::EveryK(16));
+    // The static checker shadows the engine: commands are checked against
+    // the state so far and rejected before evaluation; only commands the
+    // engine actually executes are committed to the checker's catalog, so
+    // the two can never drift apart.
+    let mut checker = Checker::new();
     let stdin = std::io::stdin();
     let mut buffer = String::new();
 
@@ -78,12 +84,27 @@ fn main() {
             let cmd_text = cmd_text.trim().trim_end_matches(';');
             let rest = rest.trim_start_matches(';').to_string();
             if !cmd_text.trim().is_empty() {
-                match parse_command(cmd_text) {
-                    Ok(cmd) => match engine.execute(&cmd) {
-                        Ok(CommandOutcome::Displayed(state)) => println!("{state}"),
-                        Ok(outcome) => println!("ok ({outcome:?}, clock at tx {})", engine.tx()),
-                        Err(e) => println!("error: {e}"),
-                    },
+                match parse_command_spanned(cmd_text) {
+                    Ok((cmd, spans)) => {
+                        let diags = checker.check(&cmd, Some(&spans));
+                        if diags.is_empty() {
+                            match engine.execute(&cmd) {
+                                Ok(CommandOutcome::Displayed(state)) => {
+                                    println!("{state}");
+                                    checker.commit(&cmd);
+                                }
+                                Ok(outcome) => {
+                                    println!("ok ({outcome:?}, clock at tx {})", engine.tx());
+                                    checker.commit(&cmd);
+                                }
+                                Err(e) => println!("error: {e}"),
+                            }
+                        } else {
+                            for d in &diags {
+                                println!("{d}");
+                            }
+                        }
+                    }
                     Err(e) => println!("parse error: {e}"),
                 }
             }
@@ -91,7 +112,11 @@ fn main() {
         }
         print_prompt(&buffer);
     }
-    println!("\nbye — {} relations, clock at tx {}", engine.relations().len(), engine.tx());
+    println!(
+        "\nbye — {} relations, clock at tx {}",
+        engine.relations().len(),
+        engine.tx()
+    );
 }
 
 /// Finds the first top-level `;` (outside string literals).

@@ -16,9 +16,7 @@
 //! timeslice navigate valid time, and the two compose orthogonally.
 
 use txtime::core::prelude::*;
-use txtime::historical::{
-    HistoricalState, TemporalElement, TemporalExpr, TemporalPred,
-};
+use txtime::historical::{HistoricalState, TemporalElement, TemporalExpr, TemporalPred};
 use txtime::snapshot::{DomainType, Schema, Tuple, Value};
 
 /// Chronons are months since January 2020 in this example.
@@ -36,8 +34,14 @@ fn main() {
     let v1 = HistoricalState::new(
         schema.clone(),
         vec![
-            (fact("alice", "cs"), TemporalElement::from_chronon(month(2020, 1))),
-            (fact("bob", "ee"), TemporalElement::from_chronon(month(2020, 3))),
+            (
+                fact("alice", "cs"),
+                TemporalElement::from_chronon(month(2020, 1)),
+            ),
+            (
+                fact("bob", "ee"),
+                TemporalElement::from_chronon(month(2020, 3)),
+            ),
         ],
     )
     .expect("valid history");
@@ -51,8 +55,14 @@ fn main() {
                 fact("alice", "cs"),
                 TemporalElement::period(month(2020, 1), month(2021, 6)),
             ),
-            (fact("alice", "ee"), TemporalElement::from_chronon(month(2021, 6))),
-            (fact("bob", "ee"), TemporalElement::from_chronon(month(2020, 3))),
+            (
+                fact("alice", "ee"),
+                TemporalElement::from_chronon(month(2021, 6)),
+            ),
+            (
+                fact("bob", "ee"),
+                TemporalElement::from_chronon(month(2020, 3)),
+            ),
         ],
     )
     .expect("valid history");
@@ -65,7 +75,10 @@ fn main() {
                 fact("alice", "cs"),
                 TemporalElement::period(month(2020, 1), month(2021, 6)),
             ),
-            (fact("alice", "ee"), TemporalElement::from_chronon(month(2021, 6))),
+            (
+                fact("alice", "ee"),
+                TemporalElement::from_chronon(month(2021, 6)),
+            ),
             (
                 fact("bob", "ee"),
                 TemporalElement::period(month(2020, 3), month(2022, 1)),
@@ -110,10 +123,7 @@ fn main() {
             TemporalExpr::ValidTime,
             TemporalExpr::constant(year_2021.clone()),
         ),
-        TemporalExpr::intersect(
-            TemporalExpr::ValidTime,
-            TemporalExpr::constant(year_2021),
-        ),
+        TemporalExpr::intersect(TemporalExpr::ValidTime, TemporalExpr::constant(year_2021)),
     );
     let clipped = q
         .eval(&db)

@@ -2,19 +2,23 @@
 //! against a storage engine.
 //!
 //! ```text
-//! txtime run script.txq                       # execute, print displays
+//! txtime run script.txq                       # check + execute, print displays
+//! txtime run script.txq --no-check            # skip the static checker
 //! txtime run script.txq --backend fwd-delta   # choose physical design
 //! txtime run script.txq --wal journal.wal     # journal mutations
 //! txtime recover journal.wal                  # rebuild + summarize
-//! txtime check script.txq                     # parse + verify engine ≡ reference
+//! txtime check script.txq                     # static check + verify engine ≡ reference
 //! ```
 //!
-//! Exit code 0 on success, 1 on any parse/execution error.
+//! `run` and `check` both start by parsing and statically checking the
+//! script; diagnostics are printed as `file:line:col: error[E0xx]: ...`.
+//! Exit code 0 on success, 1 on any parse/check/execution error.
 
 use std::process::ExitCode;
 
-use txtime::core::CommandOutcome;
-use txtime::parser::parse_sentence;
+use txtime::analyze::{check_sentence, Diagnostic};
+use txtime::core::{CommandOutcome, Sentence, SentenceSpans};
+use txtime::parser::parse_sentence_spanned;
 use txtime::storage::{
     check_equivalence, recovery::recover, BackendKind, CheckpointPolicy, Engine,
 };
@@ -26,7 +30,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "recover" => recover_cmd(rest),
         Some((cmd, rest)) if cmd == "check" => check(rest),
         _ => {
-            eprintln!("usage: txtime <run|recover|check> <file> [--backend KIND] [--wal FILE] [--checkpoint K]");
+            eprintln!("usage: txtime <run|recover|check> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--no-check]");
             eprintln!("backends: full-copy (default), fwd-delta, rev-delta, tuple-ts");
             ExitCode::FAILURE
         }
@@ -38,6 +42,7 @@ struct Options {
     backend: BackendKind,
     wal: Option<String>,
     checkpoint: CheckpointPolicy,
+    no_check: bool,
 }
 
 fn parse_options(rest: &[String]) -> Result<Options, String> {
@@ -45,9 +50,11 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
     let mut backend = BackendKind::FullCopy;
     let mut wal = None;
     let mut checkpoint = CheckpointPolicy::EveryK(16);
+    let mut no_check = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--no-check" => no_check = true,
             "--backend" => {
                 let v = it.next().ok_or("--backend needs a value")?;
                 backend = match v.as_str() {
@@ -79,7 +86,38 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         backend,
         wal,
         checkpoint,
+        no_check,
     })
+}
+
+/// Parses the script with spans and runs the static checker, printing
+/// diagnostics. Returns the parsed sentence and whether it checked clean,
+/// or `None` on a parse error (already reported).
+fn parse_and_check(source: &str, file: &str) -> Option<(Sentence, SentenceSpans, bool)> {
+    let (sentence, spans) = match parse_sentence_spanned(source) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return None;
+        }
+    };
+    let diags = check_sentence(&sentence, Some(&spans));
+    for d in &diags {
+        print_diagnostic(file, d);
+    }
+    let clean = diags.is_empty();
+    Some((sentence, spans, clean))
+}
+
+fn print_diagnostic(file: &str, d: &Diagnostic) {
+    if d.span.is_known() {
+        eprintln!("{file}:{}: error[{}]: {}", d.span, d.code, d.message);
+    } else {
+        eprintln!("{file}: error[{}]: {}", d.code, d.message);
+    }
+    if let Some(h) = &d.help {
+        eprintln!("  help: {h}");
+    }
 }
 
 fn run(rest: &[String]) -> ExitCode {
@@ -97,6 +135,19 @@ fn run(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // An engine always starts from the empty database (a WAL is appended
+    // to, not replayed), so whole-sentence checking is exactly the state
+    // the script will execute against.
+    if !opts.no_check {
+        match parse_and_check(&source, &opts.file) {
+            Some((_, _, true)) => {}
+            Some((_, _, false)) => {
+                eprintln!("error: static check failed (rerun with --no-check to force)");
+                return ExitCode::FAILURE;
+            }
+            None => return ExitCode::FAILURE,
+        }
+    }
     let mut engine = match &opts.wal {
         Some(path) => match Engine::with_wal(opts.backend, opts.checkpoint, path) {
             Ok(e) => e,
@@ -179,14 +230,18 @@ fn check(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let sentence = match parse_sentence(&source) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("parse error: {e}");
+    let sentence = match parse_and_check(&source, &opts.file) {
+        Some((s, _, true)) => s,
+        Some((_, _, false)) => {
+            eprintln!("static check: FAILED");
             return ExitCode::FAILURE;
         }
+        None => return ExitCode::FAILURE,
     };
-    eprintln!("parse: ok ({} commands)", sentence.commands().len());
+    eprintln!(
+        "parse: ok ({} commands); static check: ok",
+        sentence.commands().len()
+    );
     let mut failed = false;
     for backend in BackendKind::ALL {
         match check_equivalence(sentence.commands(), backend, opts.checkpoint) {

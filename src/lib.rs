@@ -21,6 +21,9 @@
 //! * [`storage`] — efficient storage backends (deltas, checkpoints,
 //!   tuple-timestamping) observationally equivalent to the reference
 //!   semantics, plus a WAL-backed engine.
+//! * [`analyze`] — the static checker: expression typing (the paper's
+//!   FINDTYPE, statically), command well-formedness, and structured
+//!   `E0xx` diagnostics with source spans.
 //! * [`optimizer`] — algebraic rewrite rules, all equivalence-preserving.
 //! * [`txn`] — atomic transactions and a concurrency front-end preserving
 //!   the paper's sequential commit-time semantics.
@@ -29,6 +32,7 @@
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
+pub use txtime_analyze as analyze;
 pub use txtime_benzvi as benzvi;
 pub use txtime_core as core;
 pub use txtime_historical as historical;

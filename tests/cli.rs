@@ -33,7 +33,11 @@ const SCRIPT: &str = r#"
 fn run_executes_and_prints_displays() {
     let script = write_script("run.txq", SCRIPT);
     let out = txtime(&["run", script.to_str().unwrap()]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("alice"));
     assert!(stdout.contains("bob"));
@@ -97,7 +101,12 @@ fn check_verifies_all_backends() {
     let out = txtime(&["check", script.to_str().unwrap()]);
     assert!(out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
-    for backend in ["full-copy", "forward-delta", "reverse-delta", "tuple-timestamp"] {
+    for backend in [
+        "full-copy",
+        "forward-delta",
+        "reverse-delta",
+        "tuple-timestamp",
+    ] {
         assert!(
             stderr.contains(&format!("{backend}: ≡ reference semantics")),
             "stderr: {stderr}"

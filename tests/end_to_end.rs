@@ -69,18 +69,16 @@ fn parsed_queries_agree_before_and_after_optimization() {
 fn temporal_queries_compose_across_crates() {
     let db = parse_sentence(SCRIPT).unwrap().eval().unwrap();
     // δ parsed from text, evaluated against ρ̂ of a past transaction.
-    let q = parse_expr(
-        "delta[valid overlaps {[9, 11)}; valid intersect {[9, 11)}](hrho(staff, 8))",
-    )
-    .unwrap();
+    let q =
+        parse_expr("delta[valid overlaps {[9, 11)}; valid intersect {[9, 11)}](hrho(staff, 8))")
+            .unwrap();
     let h = q.eval(&db).unwrap().into_historical().unwrap();
     // At tx 8 alice was valid over [0,10): she overlaps [9,11) at {9}.
     // bob is valid forever from 3.
     assert_eq!(h.len(), 2);
-    let q8 = parse_expr(
-        "delta[valid overlaps {[9, 11)}; valid intersect {[9, 11)}](hrho(staff, 9))",
-    )
-    .unwrap();
+    let q8 =
+        parse_expr("delta[valid overlaps {[9, 11)}; valid intersect {[9, 11)}](hrho(staff, 9))")
+            .unwrap();
     let h8 = q8.eval(&db).unwrap().into_historical().unwrap();
     // After the tx-9 revision alice extends to 12: both chronons survive.
     let alice = txtime::snapshot::Tuple::new(vec![txtime::snapshot::Value::str("alice")]);

@@ -19,7 +19,10 @@ fn hist(vals: &[(i64, u32, u32)]) -> HistoricalState {
     HistoricalState::new(
         schema(),
         vals.iter().map(|&(v, s, e)| {
-            (Tuple::new(vec![Value::Int(v)]), TemporalElement::period(s, e))
+            (
+                Tuple::new(vec![Value::Int(v)]),
+                TemporalElement::period(s, e),
+            )
         }),
     )
     .unwrap()
@@ -160,11 +163,19 @@ mod section_3_4_expressions {
     fn rho_with_infinity_reads_the_present_of_both_types() {
         let d = db();
         assert_eq!(
-            Expr::current("r").eval(&d).unwrap().into_snapshot().unwrap(),
+            Expr::current("r")
+                .eval(&d)
+                .unwrap()
+                .into_snapshot()
+                .unwrap(),
             snap(&[2, 3])
         );
         assert_eq!(
-            Expr::current("s").eval(&d).unwrap().into_snapshot().unwrap(),
+            Expr::current("s")
+                .eval(&d)
+                .unwrap()
+                .into_snapshot()
+                .unwrap(),
             snap(&[9])
         );
     }
@@ -198,8 +209,8 @@ mod section_3_5_commands {
     /// unchanged."
     #[test]
     fn define_relation_on_bound_identifier_is_a_noop() {
-        let d = Command::define_relation("r", RelationType::Rollback)
-            .execute_total(&Database::empty());
+        let d =
+            Command::define_relation("r", RelationType::Rollback).execute_total(&Database::empty());
         let d2 = Command::define_relation("r", RelationType::Temporal).execute_total(&d);
         assert_eq!(d, d2);
         assert_eq!(
@@ -274,8 +285,7 @@ mod section_3_6_sentences {
         let d = Database::empty();
         assert_eq!(d.tx, TransactionNumber(0));
         assert!(d.state.is_empty());
-        let s = Sentence::new(vec![Command::define_relation("a", RelationType::Snapshot)])
-            .unwrap();
+        let s = Sentence::new(vec![Command::define_relation("a", RelationType::Snapshot)]).unwrap();
         // eval() and resume(empty) coincide.
         assert_eq!(s.eval().unwrap(), s.resume(&Database::empty()).unwrap());
     }
@@ -288,10 +298,7 @@ mod section_4_valid_and_transaction_time {
         Sentence::new(vec![
             Command::define_relation("t", RelationType::Temporal),
             Command::modify_state("t", Expr::historical_const(hist(&[(1, 0, 10)]))), // tx 2
-            Command::modify_state(
-                "t",
-                Expr::historical_const(hist(&[(1, 0, 10), (2, 5, 20)])),
-            ), // tx 3
+            Command::modify_state("t", Expr::historical_const(hist(&[(1, 0, 10), (2, 5, 20)]))), // tx 3
             Command::define_relation("h", RelationType::Historical),
             Command::modify_state("h", Expr::historical_const(hist(&[(7, 0, 4)]))),
         ])
@@ -321,7 +328,11 @@ mod section_4_valid_and_transaction_time {
             .into_historical()
             .unwrap();
         assert_eq!(v1, hist(&[(1, 0, 10)]));
-        let v2 = Expr::hcurrent("t").eval(&d).unwrap().into_historical().unwrap();
+        let v2 = Expr::hcurrent("t")
+            .eval(&d)
+            .unwrap()
+            .into_historical()
+            .unwrap();
         assert_eq!(v2.len(), 2);
     }
 
@@ -335,8 +346,9 @@ mod section_4_valid_and_transaction_time {
             Err(EvalError::RollbackTypeMismatch { .. })
         ));
         assert!(Expr::hcurrent("h")
-                .hunion(Expr::historical_const(hist(&[(1, 0, 1)])))
-                .eval(&d).is_ok());
+            .hunion(Expr::historical_const(hist(&[(1, 0, 1)])))
+            .eval(&d)
+            .is_ok());
     }
 }
 

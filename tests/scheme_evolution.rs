@@ -54,7 +54,10 @@ fn evolution_history_is_fully_reachable() {
 
     // Old-scheme queries still run against old versions.
     let old = Expr::rollback("emp", TxSpec::At(TransactionNumber(2)))
-        .select(txtime::snapshot::Predicate::gt_const("sal", Value::Int(150)))
+        .select(txtime::snapshot::Predicate::gt_const(
+            "sal",
+            Value::Int(150),
+        ))
         .eval(&db)
         .unwrap()
         .into_snapshot()
@@ -63,7 +66,10 @@ fn evolution_history_is_fully_reachable() {
 
     // New-scheme queries run against the present.
     let now = Expr::current("emp")
-        .select(txtime::snapshot::Predicate::eq_const("dept", Value::str("cs")))
+        .select(txtime::snapshot::Predicate::eq_const(
+            "dept",
+            Value::str("cs"),
+        ))
         .eval(&db)
         .unwrap()
         .into_snapshot()
