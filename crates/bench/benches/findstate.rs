@@ -1,11 +1,12 @@
-//! E9: FINDSTATE lookup — binary search vs linear scan.
+//! E9: FINDSTATE lookup — interpolation search vs binary search vs
+//! linear scan.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use txtime_snapshot::rng::rngs::StdRng;
 use txtime_snapshot::rng::{Rng, SeedableRng};
 
 use txtime_bench::{version_chain, SEED};
-use txtime_core::semantics::aux::find_state;
+use txtime_core::semantics::aux::{find_state, find_state_binary};
 use txtime_core::{Command, Expr, RelationType, Sentence, TransactionNumber};
 
 fn bench_findstate(c: &mut Criterion) {
@@ -26,9 +27,21 @@ fn bench_findstate(c: &mut Criterion) {
             .collect();
 
         group.bench_with_input(
-            BenchmarkId::new("binary", versions),
+            BenchmarkId::new("interpolating", versions),
             &probes,
             |b, probes| b.iter(|| probes.iter().filter_map(|&t| find_state(rel, t)).count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binary", versions),
+            &probes,
+            |b, probes| {
+                b.iter(|| {
+                    probes
+                        .iter()
+                        .filter_map(|&t| find_state_binary(rel, t))
+                        .count()
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("linear", versions),

@@ -9,7 +9,7 @@ use txtime_core::{Command, Expr, RelationType};
 use txtime_storage::{BackendKind, CheckpointPolicy, Engine};
 
 fn loaded_engine(backend: BackendKind) -> Engine {
-    let mut e = Engine::new(backend, CheckpointPolicy::EveryK(32));
+    let mut e = Engine::new(backend, CheckpointPolicy::every_k(32).unwrap());
     e.execute(&Command::define_relation("r", RelationType::Rollback))
         .unwrap();
     let base = version_chain(1, 500, 0.0).pop().unwrap();

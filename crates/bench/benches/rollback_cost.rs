@@ -14,7 +14,8 @@ fn bench_rollback(c: &mut Criterion) {
     for &versions in &[16usize, 128, 512] {
         let chain = version_chain(versions, 200, 0.1);
         for backend in BackendKind::ALL {
-            let engine = engine_with_chain(backend, CheckpointPolicy::EveryK(32), &chain);
+            let engine = engine_with_chain(backend, CheckpointPolicy::every_k(32).unwrap(), &chain);
+            engine.set_cache_capacity(0); // raw reconstruction cost; e10_pushdown measures caching
             for (age, tx) in probe_txs(versions) {
                 group.bench_with_input(
                     BenchmarkId::new(format!("{backend}/{age}"), versions),

@@ -55,10 +55,17 @@ fn main() {
         e9_findstate();
     }
     if run("e10") {
-        e10_recovery();
+        e10_cache_pushdown();
     }
     if run("e11") {
-        e11_archival();
+        e11_recovery();
+    }
+    if run("e12") {
+        e12_archival();
+    }
+    // Explicit-only: writes BENCH_2.json with the headline numbers.
+    if args.iter().any(|a| a == "bench2") {
+        bench2();
     }
 }
 
@@ -130,7 +137,8 @@ fn e2_rollback_cost() {
     for &versions in &[16usize, 128, 1024] {
         let chain = version_chain(versions, 200, 0.1);
         for backend in BackendKind::ALL {
-            let engine = engine_with_chain(backend, CheckpointPolicy::EveryK(32), &chain);
+            let engine = engine_with_chain(backend, CheckpointPolicy::every_k(32).unwrap(), &chain);
+            engine.set_cache_capacity(0); // raw reconstruction cost; E10 measures caching
             let mut row = format!("{:<16} {:>8}", backend.to_string(), versions);
             for (_, tx) in probe_txs(versions) {
                 let us = time_median(
@@ -164,7 +172,8 @@ fn e3_space() {
         for &churn in &[0.02f64, 0.2, 0.5] {
             let chain = version_chain(versions, 200, churn);
             for backend in BackendKind::ALL {
-                let engine = engine_with_chain(backend, CheckpointPolicy::EveryK(32), &chain);
+                let engine =
+                    engine_with_chain(backend, CheckpointPolicy::every_k(32).unwrap(), &chain);
                 let report = engine.space_report();
                 let bytes = report.total_bytes();
                 println!(
@@ -194,7 +203,7 @@ fn e4_modify_state_throughput() {
     for backend in BackendKind::ALL {
         let mut row = format!("{:<16}", backend.to_string());
         for mix in ["append", "delete", "replace", "mixed"] {
-            let mut engine = Engine::new(backend, CheckpointPolicy::EveryK(32));
+            let mut engine = Engine::new(backend, CheckpointPolicy::every_k(32).unwrap());
             engine
                 .execute(&Command::define_relation("r", RelationType::Rollback))
                 .unwrap();
@@ -493,76 +502,286 @@ fn e8_concurrency() {
 // --------------------------------------------------------------------
 // E9: FINDSTATE lookup strategies.
 // --------------------------------------------------------------------
+/// Measures FINDSTATE µs/lookup at the given depth for the three
+/// strategies: (interpolating, binary, linear).
+fn measure_findstate(versions: usize) -> (f64, f64, f64) {
+    // Build a reference relation directly (tiny states; the lookup
+    // itself is what we measure).
+    let chain = version_chain(versions, 4, 0.5);
+    let mut cmds = vec![Command::define_relation("r", RelationType::Rollback)];
+    for s in &chain {
+        cmds.push(Command::modify_state("r", Expr::snapshot_const(s.clone())));
+    }
+    let db = Sentence::new(cmds).unwrap().eval().unwrap();
+    let rel = db.state.lookup("r").unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let probes: Vec<TransactionNumber> = (0..256)
+        .map(|_| TransactionNumber(rng.gen_range(0..versions as u64 + 3)))
+        .collect();
+    let per = probes.len() as f64;
+
+    let interp = time_median(
+        || {
+            probes
+                .iter()
+                .filter_map(|&t| txtime_core::semantics::aux::find_state(rel, t))
+                .count()
+        },
+        9,
+    ) / per;
+    let binary = time_median(
+        || {
+            probes
+                .iter()
+                .filter_map(|&t| txtime_core::semantics::aux::find_state_binary(rel, t))
+                .count()
+        },
+        9,
+    ) / per;
+    let linear = time_median(
+        || {
+            probes
+                .iter()
+                .filter_map(|&t| {
+                    rel.versions()
+                        .iter()
+                        .rev()
+                        .find(|v| v.tx <= t)
+                        .map(|v| &v.state)
+                })
+                .count()
+        },
+        9,
+    ) / per;
+    (interp, binary, linear)
+}
+
 fn e9_findstate() {
-    println!("E9. FINDSTATE: interpolating binary search vs linear scan (µs/lookup)");
+    println!("E9. FINDSTATE: interpolation search vs binary search vs linear scan (µs/lookup)");
     println!(
-        "{:<10} {:>12} {:>12} {:>9}",
-        "versions", "binary", "linear", "speedup"
+        "{:<10} {:>14} {:>12} {:>12} {:>9}",
+        "versions", "interpolating", "binary", "linear", "speedup"
     );
     for &versions in &[16usize, 256, 4096] {
-        // Build a reference relation directly (tiny states; the lookup
-        // itself is what we measure).
-        let chain = version_chain(versions, 4, 0.5);
-        let mut cmds = vec![Command::define_relation("r", RelationType::Rollback)];
-        for s in &chain {
-            cmds.push(Command::modify_state("r", Expr::snapshot_const(s.clone())));
-        }
-        let db = Sentence::new(cmds).unwrap().eval().unwrap();
-        let rel = db.state.lookup("r").unwrap();
-        let mut rng = StdRng::seed_from_u64(SEED);
-        let probes: Vec<TransactionNumber> = (0..256)
-            .map(|_| TransactionNumber(rng.gen_range(0..versions as u64 + 3)))
-            .collect();
-
-        let binary = time_median(
-            || {
-                probes
-                    .iter()
-                    .filter_map(|&t| txtime_core::semantics::aux::find_state(rel, t))
-                    .count()
-            },
-            9,
-        ) / probes.len() as f64;
-        let linear = time_median(
-            || {
-                probes
-                    .iter()
-                    .filter_map(|&t| {
-                        rel.versions()
-                            .iter()
-                            .rev()
-                            .find(|v| v.tx <= t)
-                            .map(|v| &v.state)
-                    })
-                    .count()
-            },
-            9,
-        ) / probes.len() as f64;
+        let (interp, binary, linear) = measure_findstate(versions);
         println!(
-            "{:<10} {:>12.3} {:>12.3} {:>8.1}x",
+            "{:<10} {:>14.3} {:>12.3} {:>12.3} {:>8.1}x",
             versions,
+            interp,
             binary,
             linear,
-            linear / binary.max(1e-9)
+            linear / interp.max(1e-9)
         );
     }
-    println!("=> the strictly increasing transaction numbers (§3.2) admit O(log n)\n   interpolation, which is what makes deep rollback histories practical.\n");
+    println!("=> the strictly increasing transaction numbers (§3.2) admit O(log log n)\n   interpolation search on the near-uniform commit sequence, which is what\n   makes deep rollback histories practical.\n");
 }
 
 // --------------------------------------------------------------------
-// E10: WAL recovery.
+// E10: materialization cache + operator pushdown.
 // --------------------------------------------------------------------
-fn e10_recovery() {
-    println!("E10. WAL recovery: rebuild-from-log ≡ live engine");
+
+/// Cache headline row for one delta backend: a 16-probe working set of
+/// as-of points over a 256-version chain, revisited repeatedly (the
+/// audit shape). Returns (uncached µs/sweep, cached µs/sweep, hit rate,
+/// deltas replayed per miss).
+fn measure_cache(backend: BackendKind) -> (f64, f64, f64, f64) {
+    let versions = 256usize;
+    let chain = version_chain(versions, 200, 0.1);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let probes: Vec<TransactionNumber> = (0..16)
+        .map(|_| TransactionNumber(rng.gen_range(2..versions as u64 + 2)))
+        .collect();
+    let engine = engine_with_chain(backend, CheckpointPolicy::every_k(64).unwrap(), &chain);
+    let sweep = |engine: &Engine| {
+        probes
+            .iter()
+            .map(|&t| {
+                engine
+                    .eval(&Expr::rollback("r", TxSpec::At(t)))
+                    .expect("probe answers")
+                    .len()
+            })
+            .sum::<usize>()
+    };
+    engine.set_cache_capacity(0);
+    let uncached = time_median(|| sweep(&engine), 9);
+    engine.set_cache_capacity(128);
+    sweep(&engine); // warm: first visit per probe pays the replay
+    engine.reset_cache_stats();
+    let cached = time_median(|| sweep(&engine), 9);
+    let stats = engine.cache_stats();
+    (uncached, cached, stats.hit_rate(), stats.replay_per_miss())
+}
+
+/// Pushdown headline row for one backend: σ_F(ρ(r, mid)) evaluated
+/// through the engine (the store filters while reconstructing) vs
+/// resolving the full version and filtering afterwards. Returns
+/// (materialized µs, pushed µs).
+fn measure_pushdown(backend: BackendKind) -> (f64, f64) {
+    let versions = 128usize;
+    let chain = version_chain(versions, 400, 0.1);
+    let mid = TransactionNumber(versions as u64 / 2 + 1);
+    // int_range is 10_000, so this keeps ~5% of tuples.
+    let pred = Predicate::lt_const("id", Value::Int(500));
+    let engine = engine_with_chain(backend, CheckpointPolicy::every_k(32).unwrap(), &chain);
+    engine.set_cache_capacity(0); // isolate pushdown from caching
+    let materialized = time_median(
+        || {
+            engine
+                .resolve_rollback("r", TxSpec::At(mid), false)
+                .expect("probe answers")
+                .into_snapshot()
+                .expect("snapshot relation")
+                .select(&pred)
+                .expect("predicate compiles")
+                .len()
+        },
+        9,
+    );
+    let pushed_expr = Expr::rollback("r", TxSpec::At(mid)).select(pred.clone());
+    let pushed = time_median(
+        || engine.eval(&pushed_expr).expect("probe answers").len(),
+        9,
+    );
+    (materialized, pushed)
+}
+
+fn e10_cache_pushdown() {
+    println!("E10. Materialization cache + operator pushdown");
+    println!("E10a. Repeated rollback probes: 16-probe working set over 256 versions,");
+    println!("      |R| = 200, churn = 10%, checkpoint every 64 (µs/sweep)");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9} {:>9} {:>12}",
+        "backend", "uncached", "cached", "speedup", "hit rate", "replay/miss"
+    );
+    for backend in [BackendKind::ForwardDelta, BackendKind::ReverseDelta] {
+        let (uncached, cached, hit_rate, replay_per_miss) = measure_cache(backend);
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>8.1}x {:>8.1}% {:>12.1}",
+            backend.to_string(),
+            uncached,
+            cached,
+            uncached / cached.max(1e-9),
+            hit_rate * 100.0,
+            replay_per_miss
+        );
+    }
+    println!("\nE10b. σ_F(ρ(r, mid)): pushed into resolution vs materialize-then-filter,");
+    println!("      |R| = 400, 128 versions, ~5% selectivity (µs/query)");
+    println!(
+        "{:<16} {:>14} {:>12} {:>9}",
+        "backend", "materialized", "pushed", "speedup"
+    );
+    for backend in [BackendKind::TupleTimestamp, BackendKind::ForwardDelta] {
+        let (materialized, pushed) = measure_pushdown(backend);
+        println!(
+            "{:<16} {:>14.1} {:>12.1} {:>8.1}x",
+            backend.to_string(),
+            materialized,
+            pushed,
+            materialized / pushed.max(1e-9)
+        );
+    }
+    println!("=> revisited as-of points cost one cache lookup instead of a delta replay;\n   pushdown pays off where the store can filter during the scan (tuple-ts)\n   and never hurts elsewhere (delta stores fall back to filter-after).\n");
+}
+
+// --------------------------------------------------------------------
+// bench2: BENCH_2.json with the headline numbers (explicit-only arm).
+// --------------------------------------------------------------------
+fn bench2() {
+    println!("bench2. Writing BENCH_2.json (e2 / e9 / e10 headline numbers)");
+
+    // E2 headline: rollback µs/query at 1024 versions per backend.
+    let versions = 1024usize;
+    let chain = version_chain(versions, 200, 0.1);
+    let mut e2 = String::new();
+    for (i, backend) in BackendKind::ALL.into_iter().enumerate() {
+        let engine = engine_with_chain(backend, CheckpointPolicy::every_k(32).unwrap(), &chain);
+        engine.set_cache_capacity(0); // raw reconstruction cost; E10 measures caching
+        let mut probes = String::new();
+        for (j, (label, tx)) in probe_txs(versions).into_iter().enumerate() {
+            let us = time_median(
+                || {
+                    touch(
+                        &engine
+                            .resolve_rollback("r", TxSpec::At(tx), false)
+                            .expect("probe answers"),
+                    )
+                },
+                9,
+            );
+            if j > 0 {
+                probes.push_str(", ");
+            }
+            probes.push_str(&format!("\"{label}\": {us:.1}"));
+        }
+        if i > 0 {
+            e2.push_str(", ");
+        }
+        e2.push_str(&format!("\"{backend}\": {{{probes}}}"));
+    }
+
+    let (interp, binary, linear) = measure_findstate(4096);
+
+    let mut e10_cache = String::new();
+    for (i, backend) in [BackendKind::ForwardDelta, BackendKind::ReverseDelta]
+        .into_iter()
+        .enumerate()
+    {
+        let (uncached, cached, hit_rate, replay_per_miss) = measure_cache(backend);
+        if i > 0 {
+            e10_cache.push_str(", ");
+        }
+        e10_cache.push_str(&format!(
+            "\"{backend}\": {{\"uncached_us\": {uncached:.1}, \"cached_us\": {cached:.1}, \
+             \"speedup\": {:.1}, \"hit_rate\": {hit_rate:.3}, \
+             \"replayed_per_miss\": {replay_per_miss:.1}}}",
+            uncached / cached.max(1e-9)
+        ));
+    }
+
+    let mut e10_pushdown = String::new();
+    for (i, backend) in [BackendKind::TupleTimestamp, BackendKind::ForwardDelta]
+        .into_iter()
+        .enumerate()
+    {
+        let (materialized, pushed) = measure_pushdown(backend);
+        if i > 0 {
+            e10_pushdown.push_str(", ");
+        }
+        e10_pushdown.push_str(&format!(
+            "\"{backend}\": {{\"materialized_us\": {materialized:.1}, \"pushed_us\": {pushed:.1}, \
+             \"speedup\": {:.1}}}",
+            materialized / pushed.max(1e-9)
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"seed\": \"{SEED:#x}\",\n  \
+         \"e2_rollback_us_at_1024_versions\": {{{e2}}},\n  \
+         \"e9_findstate_us_per_lookup_at_4096\": {{\"interpolating\": {interp:.3}, \
+         \"binary\": {binary:.3}, \"linear\": {linear:.3}}},\n  \
+         \"e10_cache_16_probe_sweep\": {{{e10_cache}}},\n  \
+         \"e10_pushdown_sigma_over_rho\": {{{e10_pushdown}}}\n}}\n"
+    );
+    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+    println!("{json}");
+}
+
+// --------------------------------------------------------------------
+// E11: WAL recovery.
+// --------------------------------------------------------------------
+fn e11_recovery() {
+    println!("E11. WAL recovery: rebuild-from-log ≡ live engine");
     let dir = std::env::temp_dir().join("txtime-experiments");
     std::fs::create_dir_all(&dir).expect("tmp dir");
-    let path = dir.join(format!("e10-{}.wal", std::process::id()));
+    let path = dir.join(format!("e11-{}.wal", std::process::id()));
     let _ = std::fs::remove_file(&path);
 
     let chain = version_chain(256, 100, 0.1);
     let mut live = Engine::with_wal(
         BackendKind::ForwardDelta,
-        CheckpointPolicy::EveryK(16),
+        CheckpointPolicy::every_k(16).unwrap(),
         &path,
     )
     .expect("wal engine");
@@ -579,7 +798,7 @@ fn e10_recovery() {
     let rec = recover(
         &path,
         BackendKind::ForwardDelta,
-        CheckpointPolicy::EveryK(16),
+        CheckpointPolicy::every_k(16).unwrap(),
     )
     .expect("recovery");
     let recover_s = t.elapsed().as_secs_f64();
@@ -618,7 +837,7 @@ fn e10_recovery() {
     }
     let mut all_ok = true;
     for backend in BackendKind::ALL {
-        let ok = check_equivalence(&cmds, backend, CheckpointPolicy::EveryK(8)).is_ok();
+        let ok = check_equivalence(&cmds, backend, CheckpointPolicy::every_k(8).unwrap()).is_ok();
         all_ok &= ok;
         println!(
             "backend {:<16} ≡ reference semantics: {}",
@@ -639,10 +858,10 @@ fn e10_recovery() {
 }
 
 // --------------------------------------------------------------------
-// E11: archival ("migrate rollback relations to tape", §3.1).
+// E12: archival ("migrate rollback relations to tape", §3.1).
 // --------------------------------------------------------------------
-fn e11_archival() {
-    println!("E11. Archival: space reclaimed by migrating old versions out");
+fn e12_archival() {
+    println!("E12. Archival: space reclaimed by migrating old versions out");
     let chain = version_chain(256, 200, 0.1);
     println!(
         "{:<16} {:>14} {:>14} {:>10} {:>10}",
@@ -651,9 +870,9 @@ fn e11_archival() {
     let dir = std::env::temp_dir().join("txtime-experiments");
     std::fs::create_dir_all(&dir).expect("tmp dir");
     for backend in BackendKind::ALL {
-        let mut engine = engine_with_chain(backend, CheckpointPolicy::EveryK(32), &chain);
+        let mut engine = engine_with_chain(backend, CheckpointPolicy::every_k(32).unwrap(), &chain);
         let before = engine.space_report().total_bytes();
-        let path = dir.join(format!("e11-{}-{backend}.txq", std::process::id()));
+        let path = dir.join(format!("e12-{}-{backend}.txq", std::process::id()));
         let _ = std::fs::remove_file(&path);
         // Archive everything older than the version at mid-history.
         let cutoff = TransactionNumber(129);

@@ -87,7 +87,7 @@ pub fn historical_chain(versions: usize, cardinality: usize) -> Vec<HistoricalSt
 
 /// Loads an historical chain into an engine as temporal relation `"t"`.
 pub fn engine_with_temporal(backend: BackendKind, chain: &[HistoricalState]) -> Engine {
-    let mut e = Engine::new(backend, CheckpointPolicy::EveryK(16));
+    let mut e = Engine::new(backend, CheckpointPolicy::every_k(16).unwrap());
     e.execute(&Command::define_relation("t", RelationType::Temporal))
         .expect("fresh engine");
     for h in chain {
@@ -132,7 +132,7 @@ mod tests {
     fn engine_loads_and_answers() {
         let chain = version_chain(8, 20, 0.2);
         for backend in BackendKind::ALL {
-            let e = engine_with_chain(backend, CheckpointPolicy::EveryK(4), &chain);
+            let e = engine_with_chain(backend, CheckpointPolicy::every_k(4).unwrap(), &chain);
             for (_, tx) in probe_txs(8) {
                 let s = e
                     .eval(&Expr::rollback("r", TxSpec::At(tx)))

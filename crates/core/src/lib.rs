@@ -76,7 +76,7 @@ pub use ext::scheme::SchemeChange;
 pub use ext::update::{append, delete_where, replace_where, Assignment};
 pub use semantics::database::{Database, DatabaseState};
 pub use semantics::domains::{Relation, RelationType, StateValue, TransactionNumber, Version};
-pub use semantics::expr_eval::StateSource;
+pub use semantics::expr_eval::{RollbackFilter, StateSource};
 pub use syntax::command::{Command, CommandOutcome};
 pub use syntax::expr::{Expr, TxSpec};
 pub use syntax::sentence::Sentence;

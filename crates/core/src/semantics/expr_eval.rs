@@ -10,13 +10,101 @@
 //! evaluator takes `&Database` and returns a fresh [`StateValue`].
 
 use txtime_historical::HistoricalState;
-use txtime_snapshot::SnapshotState;
+use txtime_snapshot::{Predicate, SnapshotState};
 
 use crate::error::EvalError;
 use crate::semantics::aux::find_state;
 use crate::semantics::database::Database;
 use crate::semantics::domains::{Relation, RelationType, StateValue};
 use crate::syntax::expr::{Expr, TxSpec};
+
+/// A selection/projection pair pushed down into rollback resolution.
+///
+/// When **E** meets `σ_F(ρ(I, N))`, `π_X(ρ(I, N))`, or
+/// `π_X(σ_F(ρ(I, N)))` (and the ρ̂ counterparts), the operators can run
+/// *during* resolution instead of on a fully materialized state — a
+/// storage engine that reconstructs versions tuple-by-tuple never has to
+/// build the tuples the filter would discard. The filter carries borrowed
+/// pieces of the expression; [`RollbackFilter::apply`] applies them with
+/// exactly the operators — and exactly the errors — the un-pushed
+/// evaluation would have used.
+#[derive(Debug, Clone, Copy)]
+pub struct RollbackFilter<'a> {
+    /// The selection predicate `F`, applied first (it is the innermost
+    /// wrapper in the canonical `π_X(σ_F(·))` shape).
+    pub predicate: Option<&'a Predicate>,
+    /// The projection attribute list `X`, applied after selection.
+    pub project: Option<&'a [String]>,
+}
+
+impl<'a> RollbackFilter<'a> {
+    /// A filter that passes the state through unchanged.
+    pub fn none() -> RollbackFilter<'a> {
+        RollbackFilter {
+            predicate: None,
+            project: None,
+        }
+    }
+
+    /// Whether the filter does anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.predicate.is_none() && self.project.is_none()
+    }
+
+    /// Applies the filter to a resolved state: σ then π, dispatching to
+    /// the snapshot or historical operators to match the wrapping
+    /// expression (`historical` is the same flag that was passed to
+    /// [`StateSource::resolve_rollback`]).
+    ///
+    /// Error behavior is identical to evaluating the un-pushed
+    /// expression: a state of the wrong kind is diagnosed with the same
+    /// `StateKindMismatch` (named after the innermost wrapping operator,
+    /// which evaluates first), and predicate/attribute errors surface
+    /// unchanged from the same operator implementations.
+    pub fn apply(&self, value: StateValue, historical: bool) -> Result<StateValue, EvalError> {
+        match (value, historical) {
+            (StateValue::Snapshot(s), false) => {
+                let s = match self.predicate {
+                    Some(p) => s.select(p)?,
+                    None => s,
+                };
+                let s = match self.project {
+                    Some(attrs) => s.project(attrs)?,
+                    None => s,
+                };
+                Ok(StateValue::Snapshot(s))
+            }
+            (StateValue::Historical(h), true) => {
+                let h = match self.predicate {
+                    Some(p) => h.hselect(p)?,
+                    None => h,
+                };
+                let h = match self.project {
+                    Some(attrs) => h.hproject(attrs)?,
+                    None => h,
+                };
+                Ok(StateValue::Historical(h))
+            }
+            (value, historical) => {
+                if self.is_empty() {
+                    return Ok(value);
+                }
+                // The innermost wrapper evaluates first in the un-pushed
+                // expression, so its name carries the diagnostic.
+                let operator = match (self.predicate.is_some(), historical) {
+                    (true, false) => "select",
+                    (false, false) => "project",
+                    (true, true) => "hselect",
+                    (false, true) => "hproject",
+                };
+                Err(EvalError::StateKindMismatch {
+                    operator,
+                    expected_historical: historical,
+                })
+            }
+        }
+    }
+}
 
 /// Anything that can answer rollback lookups — the single point where
 /// expression evaluation touches stored data.
@@ -36,6 +124,22 @@ pub trait StateSource {
         spec: TxSpec,
         historical: bool,
     ) -> Result<StateValue, EvalError>;
+
+    /// Resolves a rollback with a selection/projection pushed into it.
+    ///
+    /// The provided implementation resolves and then applies the filter,
+    /// which is *definitionally* what the un-pushed expression computes —
+    /// so the reference [`Database`] semantics is untouched by pushdown.
+    /// Storage engines override this to filter while reconstructing.
+    fn resolve_rollback_filtered(
+        &self,
+        ident: &str,
+        spec: TxSpec,
+        historical: bool,
+        filter: &RollbackFilter<'_>,
+    ) -> Result<StateValue, EvalError> {
+        filter.apply(self.resolve_rollback(ident, spec, historical)?, historical)
+    }
 }
 
 impl StateSource for Database {
@@ -74,14 +178,45 @@ impl Expr {
                 let (l, r) = (a.eval_snapshot(db, "times")?, b.eval_snapshot(db, "times")?);
                 Ok(StateValue::Snapshot(l.product(&r)?))
             }
-            Expr::Project(attrs, e) => {
-                let s = e.eval_snapshot(db, "project")?;
-                Ok(StateValue::Snapshot(s.project(attrs)?))
-            }
-            Expr::Select(p, e) => {
-                let s = e.eval_snapshot(db, "select")?;
-                Ok(StateValue::Snapshot(s.select(p)?))
-            }
+            Expr::Project(attrs, e) => match &**e {
+                // π_X(ρ(I, N)) and π_X(σ_F(ρ(I, N))): push the operators
+                // into rollback resolution.
+                Expr::Rollback(ident, spec) => {
+                    let filter = RollbackFilter {
+                        predicate: None,
+                        project: Some(attrs),
+                    };
+                    db.resolve_rollback_filtered(ident, *spec, false, &filter)
+                }
+                Expr::Select(p, inner) if matches!(&**inner, Expr::Rollback(..)) => {
+                    let Expr::Rollback(ident, spec) = &**inner else {
+                        unreachable!("guard matched Rollback");
+                    };
+                    let filter = RollbackFilter {
+                        predicate: Some(p),
+                        project: Some(attrs),
+                    };
+                    db.resolve_rollback_filtered(ident, *spec, false, &filter)
+                }
+                _ => {
+                    let s = e.eval_snapshot(db, "project")?;
+                    Ok(StateValue::Snapshot(s.project(attrs)?))
+                }
+            },
+            Expr::Select(p, e) => match &**e {
+                // σ_F(ρ(I, N)): push the selection into resolution.
+                Expr::Rollback(ident, spec) => {
+                    let filter = RollbackFilter {
+                        predicate: Some(p),
+                        project: None,
+                    };
+                    db.resolve_rollback_filtered(ident, *spec, false, &filter)
+                }
+                _ => {
+                    let s = e.eval_snapshot(db, "select")?;
+                    Ok(StateValue::Snapshot(s.select(p)?))
+                }
+            },
             Expr::Rollback(ident, spec) => db.resolve_rollback(ident, *spec, false),
 
             Expr::HUnion(a, b) => {
@@ -105,14 +240,45 @@ impl Expr {
                 );
                 Ok(StateValue::Historical(l.hproduct(&r)?))
             }
-            Expr::HProject(attrs, e) => {
-                let h = e.eval_historical(db, "hproject")?;
-                Ok(StateValue::Historical(h.hproject(attrs)?))
-            }
-            Expr::HSelect(p, e) => {
-                let h = e.eval_historical(db, "hselect")?;
-                Ok(StateValue::Historical(h.hselect(p)?))
-            }
+            Expr::HProject(attrs, e) => match &**e {
+                // π̂_X(ρ̂(I, N)) and π̂_X(σ̂_F(ρ̂(I, N))): the historical
+                // pushdown shapes.
+                Expr::HRollback(ident, spec) => {
+                    let filter = RollbackFilter {
+                        predicate: None,
+                        project: Some(attrs),
+                    };
+                    db.resolve_rollback_filtered(ident, *spec, true, &filter)
+                }
+                Expr::HSelect(p, inner) if matches!(&**inner, Expr::HRollback(..)) => {
+                    let Expr::HRollback(ident, spec) = &**inner else {
+                        unreachable!("guard matched HRollback");
+                    };
+                    let filter = RollbackFilter {
+                        predicate: Some(p),
+                        project: Some(attrs),
+                    };
+                    db.resolve_rollback_filtered(ident, *spec, true, &filter)
+                }
+                _ => {
+                    let h = e.eval_historical(db, "hproject")?;
+                    Ok(StateValue::Historical(h.hproject(attrs)?))
+                }
+            },
+            Expr::HSelect(p, e) => match &**e {
+                // σ̂_F(ρ̂(I, N)): push the selection into resolution.
+                Expr::HRollback(ident, spec) => {
+                    let filter = RollbackFilter {
+                        predicate: Some(p),
+                        project: None,
+                    };
+                    db.resolve_rollback_filtered(ident, *spec, true, &filter)
+                }
+                _ => {
+                    let h = e.eval_historical(db, "hselect")?;
+                    Ok(StateValue::Historical(h.hselect(p)?))
+                }
+            },
             Expr::Delta(g, v, e) => {
                 let h = e.eval_historical(db, "delta")?;
                 Ok(StateValue::Historical(h.delta(g, v)?))

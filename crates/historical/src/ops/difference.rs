@@ -11,17 +11,34 @@ impl HistoricalState {
     /// A fact survives exactly over the valid time it had in the left
     /// operand minus the valid time it had in the right; tuples whose
     /// valid time becomes empty disappear.
+    ///
+    /// When the right operand is empty (or the left is), or the operands
+    /// share the same underlying map, no element changes and the answer is
+    /// an O(1) `Arc` clone (resp. the empty state).
     pub fn hdifference(&self, other: &HistoricalState) -> Result<HistoricalState> {
         self.schema().require_union_compatible(other.schema())?;
+        if other.is_empty() || self.is_empty() {
+            return Ok(self.clone());
+        }
+        if std::ptr::eq(self.entries(), other.entries()) {
+            return Ok(HistoricalState::empty(self.schema().clone()));
+        }
         let mut map = BTreeMap::new();
+        let mut changed = false;
         for (t, e) in self.iter() {
             let remaining = match other.valid_time(t) {
                 Some(oe) => e.difference(oe),
                 None => e.clone(),
             };
+            changed |= &remaining != e;
             if !remaining.is_empty() {
                 map.insert(t.clone(), remaining);
             }
+        }
+        if !changed {
+            // Value-disjoint operands (or disjoint valid times): share the
+            // left map instead of keeping the rebuilt copy.
+            return Ok(self.clone());
         }
         Ok(HistoricalState::from_checked(self.schema().clone(), map))
     }
@@ -76,6 +93,16 @@ mod tests {
     fn difference_with_self_is_empty() {
         let a = st(&[("a", 0, 5), ("b", 1, 9)]);
         assert!(a.hdifference(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn difference_identity_cases_share_the_entry_map() {
+        let a = st(&[("a", 0, 5), ("b", 1, 9)]);
+        let kept = a.hdifference(&HistoricalState::empty(schema())).unwrap();
+        assert!(std::ptr::eq(a.entries(), kept.entries()));
+        // Value-disjoint operands remove nothing.
+        let disjoint = a.hdifference(&st(&[("z", 0, 99)])).unwrap();
+        assert!(std::ptr::eq(a.entries(), disjoint.entries()));
     }
 
     #[test]

@@ -9,8 +9,21 @@ impl HistoricalState {
     /// Value-equivalent tuples merge, their valid times unioned: a fact
     /// appears in the result valid whenever it was valid in *either*
     /// operand.
+    ///
+    /// When one operand is empty, or both share the same underlying map
+    /// (idempotence), the surviving side's entry map is reused as-is — an
+    /// O(1) `Arc` clone.
     pub fn hunion(&self, other: &HistoricalState) -> Result<HistoricalState> {
         self.schema().require_union_compatible(other.schema())?;
+        if other.is_empty() || std::ptr::eq(self.entries(), other.entries()) {
+            return Ok(self.clone());
+        }
+        if self.is_empty() {
+            return Ok(HistoricalState::from_shared(
+                self.schema().clone(),
+                other.shared_entries().clone(),
+            ));
+        }
         let mut map = self.entries().clone();
         for (t, e) in other.iter() {
             match map.get_mut(t) {
@@ -63,6 +76,16 @@ mod tests {
         let (a, b) = (st(&[("a", 0, 5), ("b", 2, 8)]), st(&[("a", 3, 9)]));
         assert_eq!(a.hunion(&b).unwrap(), b.hunion(&a).unwrap());
         assert_eq!(a.hunion(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn union_with_empty_shares_the_entry_map() {
+        let a = st(&[("a", 0, 5), ("b", 2, 8)]);
+        let empty = HistoricalState::empty(schema());
+        let left = a.hunion(&empty).unwrap();
+        assert!(std::ptr::eq(a.entries(), left.entries()));
+        let right = empty.hunion(&a).unwrap();
+        assert!(std::ptr::eq(a.entries(), right.entries()));
     }
 
     #[test]

@@ -81,6 +81,50 @@ impl HistoricalState {
         }
     }
 
+    /// Internal constructor that adopts an already-shared entry map — the
+    /// zero-copy path for operator results that are one of the operands
+    /// unchanged.
+    pub(crate) fn from_shared(
+        schema: Schema,
+        tuples: Arc<BTreeMap<Tuple, TemporalElement>>,
+    ) -> HistoricalState {
+        HistoricalState { schema, tuples }
+    }
+
+    /// The reference-counted entry map (for zero-copy sharing between
+    /// operator results).
+    pub(crate) fn shared_entries(&self) -> &Arc<BTreeMap<Tuple, TemporalElement>> {
+        &self.tuples
+    }
+
+    /// Applies a batch of removals and upserts *in place*, copying the
+    /// entry map only if it is shared (copy-on-write via [`Arc`]).
+    ///
+    /// Upserts *replace* an existing entry's temporal element (they do not
+    /// union with it) — this is delta-replay semantics, not `hunion`.
+    /// Upserted tuples are checked against the scheme and their elements
+    /// must be non-empty.
+    pub fn apply_delta(
+        &mut self,
+        removed: &[Tuple],
+        upserted: &[(Tuple, TemporalElement)],
+    ) -> Result<()> {
+        for (t, e) in upserted {
+            t.check(&self.schema)?;
+            if e.is_empty() {
+                return Err(HistoricalError::EmptyValidTime);
+            }
+        }
+        let map = Arc::make_mut(&mut self.tuples);
+        for t in removed {
+            map.remove(t);
+        }
+        for (t, e) in upserted {
+            map.insert(t.clone(), e.clone());
+        }
+        Ok(())
+    }
+
     /// The state's scheme.
     pub fn schema(&self) -> &Schema {
         &self.schema

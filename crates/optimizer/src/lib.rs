@@ -36,9 +36,11 @@
 
 pub mod cost;
 pub mod laws;
+pub mod pushdown;
 pub mod rules;
 pub mod schema_infer;
 
 pub use cost::{estimate_cost, CostModel};
+pub use pushdown::pushdown;
 pub use rules::{optimize, optimize_with_trace, RewriteTrace};
 pub use schema_infer::SchemaCatalog;

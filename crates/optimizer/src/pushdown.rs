@@ -1,0 +1,261 @@
+//! The error-preserving pushdown subset of the rewrite rules.
+//!
+//! [`optimize`](crate::optimize) is *partially* correct: a rewrite such as
+//! `σ_false(π_ghost(E)) → ∅` may turn an erroring expression into a
+//! succeeding one. That is fine for a planner a user invokes explicitly,
+//! but an engine that must be observably equivalent to the reference
+//! semantics — including on expressions that *fail* — cannot use it.
+//!
+//! [`pushdown`] applies only rules that preserve the success/failure
+//! outcome exactly (`Err ≡ Err`, payloads aside, on every database):
+//!
+//! * **select-true-elim** / **hselect-true-elim** — `σ_true(E) → E`,
+//!   guarded on `E`'s statically known state kind so the eliminated
+//!   operator's kind check cannot be the difference.
+//! * **select-fusion** / **hselect-fusion** — `σ_F(σ_G(E)) → σ_{G∧F}(E)`;
+//!   selection preserves the scheme, so both predicates compile against
+//!   the same scheme either way.
+//! * **select-through-union / -difference** (and ∪̂/−̂ counterparts) —
+//!   `σ_F(A ∪ B) → σ_F(A) ∪ σ_F(B)`; union compatibility means the
+//!   operand schemes are equal, so `F` compiles against `B`'s scheme iff
+//!   it compiles against `A`'s, and the compatibility check itself
+//!   survives because selection preserves schemes.
+//!
+//! Deliberately *excluded* (not unconditionally error-preserving):
+//! select-below-project and project-cascade (can bypass a bad attribute
+//! list), select-false-to-empty and the ∅-elimination rules (can bypass
+//! any error in the discarded subterm), select-through-product (re-homes
+//! predicates onto different schemes), and predicate simplification
+//! (dropping a subterm can drop its compile error).
+//!
+//! The payoff: fused and distributed selections land directly on ρ/ρ̂
+//! leaves, where the evaluator's σ/π-over-ρ interception
+//! (`txtime_core::RollbackFilter`) turns them into filtered resolution —
+//! storage engines then filter *while reconstructing* instead of
+//! materializing a full state first.
+
+use txtime_core::Expr;
+use txtime_snapshot::Predicate;
+
+/// Rewrites `expr` with the error-preserving pushdown rules, to fixpoint.
+///
+/// The result evaluates to the same outcome — the same state on success,
+/// an error exactly when the original errors — on every database, so an
+/// engine may evaluate the rewritten expression in place of the original
+/// without becoming observable.
+pub fn pushdown(expr: &Expr) -> Expr {
+    let mut current = expr.clone();
+    // Bottom-up passes to a fixpoint; the node count strictly shrinks or
+    // selections strictly sink, so the bound is a termination backstop.
+    for _ in 0..32 {
+        let next = pushdown_bottom_up(&current);
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+fn pushdown_bottom_up(expr: &Expr) -> Expr {
+    let expr = match expr {
+        Expr::Union(a, b) => Expr::Union(
+            Box::new(pushdown_bottom_up(a)),
+            Box::new(pushdown_bottom_up(b)),
+        ),
+        Expr::Difference(a, b) => Expr::Difference(
+            Box::new(pushdown_bottom_up(a)),
+            Box::new(pushdown_bottom_up(b)),
+        ),
+        Expr::Product(a, b) => Expr::Product(
+            Box::new(pushdown_bottom_up(a)),
+            Box::new(pushdown_bottom_up(b)),
+        ),
+        Expr::Project(attrs, e) => Expr::Project(attrs.clone(), Box::new(pushdown_bottom_up(e))),
+        Expr::Select(p, e) => Expr::Select(p.clone(), Box::new(pushdown_bottom_up(e))),
+        Expr::HUnion(a, b) => Expr::HUnion(
+            Box::new(pushdown_bottom_up(a)),
+            Box::new(pushdown_bottom_up(b)),
+        ),
+        Expr::HDifference(a, b) => Expr::HDifference(
+            Box::new(pushdown_bottom_up(a)),
+            Box::new(pushdown_bottom_up(b)),
+        ),
+        Expr::HProduct(a, b) => Expr::HProduct(
+            Box::new(pushdown_bottom_up(a)),
+            Box::new(pushdown_bottom_up(b)),
+        ),
+        Expr::HProject(attrs, e) => Expr::HProject(attrs.clone(), Box::new(pushdown_bottom_up(e))),
+        Expr::HSelect(p, e) => Expr::HSelect(p.clone(), Box::new(pushdown_bottom_up(e))),
+        Expr::Delta(g, v, e) => Expr::Delta(g.clone(), v.clone(), Box::new(pushdown_bottom_up(e))),
+        leaf => leaf.clone(),
+    };
+    pushdown_node(expr)
+}
+
+fn pushdown_node(expr: Expr) -> Expr {
+    match expr {
+        Expr::Select(p, e) => {
+            // σ_true(E) → E, only when E is statically snapshot-kind so
+            // the dropped kind check could not have fired.
+            if p == Predicate::True && is_snapshot_kind(&e) {
+                return *e;
+            }
+            match *e {
+                Expr::Select(q, inner) => Expr::Select(q.and(p), inner),
+                Expr::Union(a, b) => Expr::Union(
+                    Box::new(Expr::Select(p.clone(), a)),
+                    Box::new(Expr::Select(p, b)),
+                ),
+                Expr::Difference(a, b) => Expr::Difference(
+                    Box::new(Expr::Select(p.clone(), a)),
+                    Box::new(Expr::Select(p, b)),
+                ),
+                other => Expr::Select(p, Box::new(other)),
+            }
+        }
+        Expr::HSelect(p, e) => {
+            if p == Predicate::True && is_historical_kind(&e) {
+                return *e;
+            }
+            match *e {
+                Expr::HSelect(q, inner) => Expr::HSelect(q.and(p), inner),
+                Expr::HUnion(a, b) => Expr::HUnion(
+                    Box::new(Expr::HSelect(p.clone(), a)),
+                    Box::new(Expr::HSelect(p, b)),
+                ),
+                Expr::HDifference(a, b) => Expr::HDifference(
+                    Box::new(Expr::HSelect(p.clone(), a)),
+                    Box::new(Expr::HSelect(p, b)),
+                ),
+                other => Expr::HSelect(p, Box::new(other)),
+            }
+        }
+        other => other,
+    }
+}
+
+/// Whether the expression's result kind is statically snapshot.
+///
+/// Every constructor determines its kind: ρ with `historical = false`
+/// only ever resolves to a snapshot state (the relation-type check plus
+/// `modify_state`'s kind check guarantee it), and the snapshot operators
+/// demand snapshot operands.
+fn is_snapshot_kind(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::SnapshotConst(_)
+            | Expr::Union(..)
+            | Expr::Difference(..)
+            | Expr::Product(..)
+            | Expr::Project(..)
+            | Expr::Select(..)
+            | Expr::Rollback(..)
+    )
+}
+
+/// Whether the expression's result kind is statically historical.
+fn is_historical_kind(e: &Expr) -> bool {
+    !is_snapshot_kind(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtime_core::TxSpec;
+    use txtime_snapshot::Value;
+
+    #[test]
+    fn select_true_eliminated_on_snapshot_kind() {
+        let e = Expr::current("emp").select(Predicate::True);
+        assert_eq!(pushdown(&e), Expr::current("emp"));
+    }
+
+    #[test]
+    fn select_true_kept_on_historical_kind() {
+        // σ_true(ρ̂) errors (kind mismatch) in the reference semantics;
+        // the rewrite must not erase that.
+        let e = Expr::Select(Predicate::True, Box::new(Expr::hcurrent("h")));
+        assert_eq!(pushdown(&e), e);
+    }
+
+    #[test]
+    fn selections_fuse_onto_rollback_leaf() {
+        let e = Expr::current("emp")
+            .select(Predicate::gt_const("sal", Value::Int(10)))
+            .select(Predicate::lt_const("sal", Value::Int(90)));
+        match pushdown(&e) {
+            Expr::Select(Predicate::And(..), inner) => {
+                assert_eq!(*inner, Expr::current("emp"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selection_distributes_through_union_onto_leaves() {
+        let p = Predicate::gt_const("sal", Value::Int(10));
+        let e = Expr::current("emp")
+            .union(Expr::rollback(
+                "emp",
+                TxSpec::At(txtime_core::TransactionNumber(3)),
+            ))
+            .select(p.clone());
+        match pushdown(&e) {
+            Expr::Union(a, b) => {
+                assert!(matches!(*a, Expr::Select(_, ref i) if matches!(**i, Expr::Rollback(..))));
+                assert!(matches!(*b, Expr::Select(_, ref i) if matches!(**i, Expr::Rollback(..))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selection_distributes_through_difference() {
+        let p = Predicate::gt_const("sal", Value::Int(10));
+        let e = Expr::current("a").difference(Expr::current("b")).select(p);
+        assert!(matches!(pushdown(&e), Expr::Difference(..)));
+    }
+
+    #[test]
+    fn historical_rules_mirror_snapshot_rules() {
+        let p = Predicate::eq_const("name", Value::str("x"));
+        let fused = Expr::hcurrent("h")
+            .hselect(Predicate::gt_const("sal", Value::Int(1)))
+            .hselect(p.clone());
+        assert!(matches!(
+            pushdown(&fused),
+            Expr::HSelect(Predicate::And(..), _)
+        ));
+        let dist = Expr::hcurrent("h").hunion(Expr::hcurrent("g")).hselect(p);
+        assert!(matches!(pushdown(&dist), Expr::HUnion(..)));
+        let id = Expr::hcurrent("h").hselect(Predicate::True);
+        assert_eq!(pushdown(&id), Expr::hcurrent("h"));
+    }
+
+    #[test]
+    fn unsafe_rules_do_not_fire() {
+        // select-false stays put (it can mask errors in the subterm)…
+        let e = Expr::current("ghost").select(Predicate::False);
+        assert_eq!(pushdown(&e), e);
+        // …and so do project-cascade and select-below-project.
+        let pp = Expr::current("emp")
+            .project(vec!["sal".into(), "name".into()])
+            .project(vec!["name".into()]);
+        assert_eq!(pushdown(&pp), pp);
+        let sp = Expr::current("emp")
+            .project(vec!["name".into()])
+            .select(Predicate::eq_const("name", Value::str("x")));
+        assert_eq!(pushdown(&sp), sp);
+    }
+
+    #[test]
+    fn pushdown_is_idempotent() {
+        let e = Expr::current("emp")
+            .union(Expr::current("emp"))
+            .select(Predicate::gt_const("sal", Value::Int(10)))
+            .select(Predicate::lt_const("sal", Value::Int(90)));
+        let once = pushdown(&e);
+        assert_eq!(pushdown(&once), once);
+    }
+}

@@ -150,3 +150,34 @@ proptest! {
         prop_assert!(optimized.node_count() <= query.node_count() * 4 + 4);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pushdown_preserves_outcomes_exactly(
+        db_seed in any::<u64>(),
+        q_seed in any::<u64>(),
+        depth in 0usize..4,
+    ) {
+        // Unlike `optimize`, `pushdown` is *totally* correct: it must
+        // agree with the original on every database — same state on
+        // success, an error exactly when the original errors.
+        let db = random_db(db_seed);
+        let mut rng = StdRng::seed_from_u64(q_seed);
+        let query = random_query(&mut rng, depth);
+        let pushed = txtime_optimizer::pushdown(&query);
+        match (query.eval(&db), pushed.eval(&db)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(
+                a, b,
+                "original {} vs pushed {}", query, pushed
+            ),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "outcome diverged\noriginal:  {} -> {:?}\npushed: {} -> {:?}",
+                query, a.is_ok(), pushed, b.is_ok()
+            ),
+        }
+    }
+}

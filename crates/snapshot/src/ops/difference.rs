@@ -1,21 +1,47 @@
 //! Set difference (−).
 
+use std::collections::HashSet;
+
 use crate::state::SnapshotState;
+use crate::tuple::Tuple;
 use crate::Result;
+
+/// Right-operand size at which a hashed probe set beats per-tuple
+/// `BTreeSet` lookups.
+const HASH_PROBE_THRESHOLD: usize = 16;
 
 impl SnapshotState {
     /// Set difference of two union-compatible states.
     ///
     /// `E₁ − E₂` contains the tuples of the left operand that do not
     /// appear in the right operand.
+    ///
+    /// When the operands are disjoint (including an empty right operand)
+    /// the left tuple set is reused as-is — an O(1) `Arc` clone. Large
+    /// right operands are probed through a `HashSet` (O(1) per lookup);
+    /// the result is still assembled as a `BTreeSet`, so iteration,
+    /// display, and serialization order stay deterministic.
     pub fn difference(&self, other: &SnapshotState) -> Result<SnapshotState> {
         self.schema().require_union_compatible(other.schema())?;
-        let tuples = self
-            .tuples()
-            .iter()
-            .filter(|t| !other.contains(t))
-            .cloned()
-            .collect();
+        if other.is_empty() || self.is_empty() {
+            return Ok(self.clone());
+        }
+        if std::ptr::eq(self.tuples(), other.tuples()) {
+            return Ok(SnapshotState::empty(self.schema().clone()));
+        }
+        let survivors: Vec<&Tuple> = if other.len() >= HASH_PROBE_THRESHOLD {
+            let probe: HashSet<&Tuple> = other.iter().collect();
+            self.iter().filter(|t| !probe.contains(*t)).collect()
+        } else {
+            self.iter().filter(|t| !other.contains(t)).collect()
+        };
+        if survivors.len() == self.len() {
+            // Disjoint operands: nothing was removed, share the left set.
+            return Ok(self.clone());
+        }
+        // `survivors` preserves the left operand's sorted order, so the
+        // BTreeSet is rebuilt by an in-order bulk load.
+        let tuples = survivors.into_iter().cloned().collect();
         Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
     }
 }
@@ -56,6 +82,29 @@ mod tests {
     fn difference_is_not_commutative() {
         let (a, b) = (state(&[1, 2]), state(&[2, 3]));
         assert_ne!(a.difference(&b).unwrap(), b.difference(&a).unwrap());
+    }
+
+    #[test]
+    fn difference_identity_cases_share_the_tuple_set() {
+        let s = state(&[1, 2]);
+        let kept = s.difference(&state(&[])).unwrap();
+        assert!(std::ptr::eq(s.tuples(), kept.tuples()));
+        // Disjoint operands remove nothing, so the left set is shared.
+        let disjoint = s.difference(&state(&[7, 8])).unwrap();
+        assert!(std::ptr::eq(s.tuples(), disjoint.tuples()));
+    }
+
+    #[test]
+    fn difference_with_hashed_probe_matches_btree_path() {
+        // A right operand above the hash-probe threshold takes the
+        // HashSet path; the answer must be identical.
+        let left: Vec<i64> = (0..64).collect();
+        let right: Vec<i64> = (0..64).filter(|v| v % 3 == 0).collect();
+        let expect: Vec<i64> = (0..64).filter(|v| v % 3 != 0).collect();
+        assert_eq!(
+            state(&left).difference(&state(&right)).unwrap(),
+            state(&expect)
+        );
     }
 
     #[test]

@@ -8,8 +8,34 @@ impl SnapshotState {
     ///
     /// `E₁ ∪ E₂` contains every tuple in either operand; duplicates
     /// collapse by the set semantics of states.
+    ///
+    /// When one operand is empty, already contains the other, or both
+    /// share the same underlying set, the surviving side's tuple set is
+    /// reused as-is — an O(1) `Arc` clone, no tuple is copied.
     pub fn union(&self, other: &SnapshotState) -> Result<SnapshotState> {
         self.schema().require_union_compatible(other.schema())?;
+        if other.is_empty() || std::ptr::eq(self.tuples(), other.tuples()) {
+            return Ok(self.clone());
+        }
+        if self.is_empty() {
+            return Ok(SnapshotState::from_shared(
+                self.schema().clone(),
+                other.shared_tuples().clone(),
+            ));
+        }
+        // Subsumption probe: if the smaller operand is contained in the
+        // larger, the larger's set is the result. The probe costs at most
+        // |smaller| · O(log |larger|) — cheaper than the merge it avoids.
+        if other.len() <= self.len() {
+            if other.iter().all(|t| self.contains(t)) {
+                return Ok(self.clone());
+            }
+        } else if self.iter().all(|t| other.contains(t)) {
+            return Ok(SnapshotState::from_shared(
+                self.schema().clone(),
+                other.shared_tuples().clone(),
+            ));
+        }
         let mut tuples = self.tuples().clone();
         for t in other.iter() {
             tuples.insert(t.clone());
@@ -62,6 +88,29 @@ mod tests {
     fn union_is_idempotent() {
         let a = state(&[1, 2]);
         assert_eq!(a.union(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn union_with_empty_shares_the_tuple_set() {
+        // The identity cases are O(1): the surviving operand's Arc'd
+        // tuple set is reused, not copied.
+        let s = state(&[1, 2]);
+        let right_empty = s.union(&state(&[])).unwrap();
+        assert!(std::ptr::eq(s.tuples(), right_empty.tuples()));
+        let left_empty = state(&[]).union(&s).unwrap();
+        assert!(std::ptr::eq(s.tuples(), left_empty.tuples()));
+    }
+
+    #[test]
+    fn union_with_subset_shares_the_superset() {
+        let big = state(&[1, 2, 3, 4]);
+        let small = state(&[2, 3]);
+        let r = big.union(&small).unwrap();
+        assert!(std::ptr::eq(big.tuples(), r.tuples()));
+        let l = small.union(&big).unwrap();
+        assert!(std::ptr::eq(big.tuples(), l.tuples()));
+        let same = big.union(&big).unwrap();
+        assert!(std::ptr::eq(big.tuples(), same.tuples()));
     }
 
     #[test]

@@ -66,6 +66,19 @@ impl SnapshotState {
         }
     }
 
+    /// Internal constructor that adopts an already-shared tuple set — the
+    /// zero-copy path for operator results that are one of the operands
+    /// unchanged.
+    pub(crate) fn from_shared(schema: Schema, tuples: Arc<BTreeSet<Tuple>>) -> SnapshotState {
+        SnapshotState { schema, tuples }
+    }
+
+    /// The reference-counted tuple set (for zero-copy sharing between
+    /// operator results).
+    pub(crate) fn shared_tuples(&self) -> &Arc<BTreeSet<Tuple>> {
+        &self.tuples
+    }
+
     /// The state's scheme.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -110,6 +123,27 @@ impl SnapshotState {
         let mut set = (*self.tuples).clone();
         set.remove(tuple);
         SnapshotState::from_checked(self.schema.clone(), set)
+    }
+
+    /// Applies a batch of removals and insertions *in place*, copying the
+    /// tuple set only if it is shared (copy-on-write via [`Arc`]).
+    ///
+    /// This is the replay kernel of the delta-based storage backends: a
+    /// working state owned uniquely by the replay loop is mutated without
+    /// allocating a fresh set per delta. Inserted tuples are checked
+    /// against the scheme; removals need no check.
+    pub fn apply_delta(&mut self, removed: &[Tuple], added: &[Tuple]) -> Result<()> {
+        for t in added {
+            t.check(&self.schema)?;
+        }
+        let set = Arc::make_mut(&mut self.tuples);
+        for t in removed {
+            set.remove(t);
+        }
+        for t in added {
+            set.insert(t.clone());
+        }
+        Ok(())
     }
 
     /// Approximate footprint in bytes for space accounting (experiment E3).
@@ -199,6 +233,32 @@ mod tests {
     fn with_tuple_validates() {
         let s = state();
         assert!(s.with_tuple(Tuple::new(vec![Value::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn apply_delta_mutates_and_validates() {
+        let mut s = state();
+        let carol = Tuple::new(vec![Value::str("carol"), Value::Int(50)]);
+        let bob = Tuple::new(vec![Value::str("bob"), Value::Int(200)]);
+        s.apply_delta(&[bob.clone()], &[carol.clone()]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&carol));
+        assert!(!s.contains(&bob));
+        // Invalid insertions are rejected before any mutation happens.
+        assert!(s
+            .apply_delta(&[], &[Tuple::new(vec![Value::Int(1)])])
+            .is_err());
+    }
+
+    #[test]
+    fn apply_delta_copies_on_write_when_shared() {
+        let original = state();
+        let mut working = original.clone();
+        working
+            .apply_delta(&[], &[Tuple::new(vec![Value::str("zed"), Value::Int(7)])])
+            .unwrap();
+        assert_eq!(original.len(), 2); // the shared set is untouched
+        assert_eq!(working.len(), 3);
     }
 
     #[test]

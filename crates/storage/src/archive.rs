@@ -102,7 +102,7 @@ mod tests {
     }
 
     fn engine(backend: BackendKind) -> Engine {
-        let mut e = Engine::new(backend, CheckpointPolicy::EveryK(2));
+        let mut e = Engine::new(backend, CheckpointPolicy::every_k(2).unwrap());
         e.execute(&Command::define_relation("r", RelationType::Rollback))
             .unwrap();
         for v in 1..=6i64 {

@@ -1,24 +1,52 @@
 //! The storage-backend abstraction.
 
 use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
 
-use txtime_core::{StateValue, TransactionNumber};
+use txtime_core::{EvalError, RollbackFilter, StateValue, TransactionNumber};
+
+use crate::cache::MaterializationCache;
+
+/// The error from [`CheckpointPolicy::every_k`] for a zero interval.
+///
+/// Checkpointing "every 0 versions" has no coherent meaning; earlier
+/// revisions silently clamped it to 1, which masked caller bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroCheckpointInterval;
+
+impl fmt::Display for ZeroCheckpointInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("checkpoint interval must be at least 1 (use CheckpointPolicy::Never to disable checkpoints)")
+    }
+}
+
+impl std::error::Error for ZeroCheckpointInterval {}
 
 /// How often a delta-based store materializes a full checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckpointPolicy {
     /// Never checkpoint: one base state, deltas forever.
     Never,
-    /// A full state every `k` versions (k ≥ 1).
-    EveryK(usize),
+    /// A full state every `k` versions. The payload is non-zero by
+    /// construction; build it with [`CheckpointPolicy::every_k`].
+    EveryK(NonZeroUsize),
 }
 
 impl CheckpointPolicy {
+    /// A policy that checkpoints every `k` versions, rejecting `k = 0`
+    /// instead of guessing what it meant.
+    pub fn every_k(k: usize) -> Result<CheckpointPolicy, ZeroCheckpointInterval> {
+        NonZeroUsize::new(k)
+            .map(CheckpointPolicy::EveryK)
+            .ok_or(ZeroCheckpointInterval)
+    }
+
     /// Whether version number `index` (0-based) should be a checkpoint.
     pub fn is_checkpoint(self, index: usize) -> bool {
         match self {
             CheckpointPolicy::Never => index == 0,
-            CheckpointPolicy::EveryK(k) => index.is_multiple_of(k.max(1)),
+            CheckpointPolicy::EveryK(k) => index.is_multiple_of(k.get()),
         }
     }
 }
@@ -37,8 +65,43 @@ pub trait RollbackStore: Send {
     /// FINDSTATE: the state current at `tx`.
     fn state_at(&self, tx: TransactionNumber) -> Option<StateValue>;
 
+    /// FINDSTATE with a selection/projection pushed into it — the storage
+    /// side of `σ_F(ρ(I, N))` and friends.
+    ///
+    /// The provided implementation materializes the version and then
+    /// applies the filter, which is *definitionally* the un-pushed
+    /// computation. Stores that can evaluate the filter while scanning
+    /// (such as [`crate::TupleTimestampStore`]) override it; the
+    /// differential tests in [`crate::equiv`] hold every override to the
+    /// same observable behavior, errors included. `Ok(None)` means "no
+    /// version at `tx`", exactly like [`RollbackStore::state_at`].
+    fn state_at_filtered(
+        &self,
+        tx: TransactionNumber,
+        historical: bool,
+        filter: &RollbackFilter<'_>,
+    ) -> Result<Option<StateValue>, EvalError> {
+        match self.state_at(tx) {
+            Some(s) => filter.apply(s, historical).map(Some),
+            None => Ok(None),
+        }
+    }
+
     /// The most recent state, if any.
     fn current(&self) -> Option<StateValue>;
+
+    /// [`RollbackStore::current`] with a pushed filter; see
+    /// [`RollbackStore::state_at_filtered`].
+    fn current_filtered(
+        &self,
+        historical: bool,
+        filter: &RollbackFilter<'_>,
+    ) -> Result<Option<StateValue>, EvalError> {
+        match self.current() {
+            Some(s) => filter.apply(s, historical).map(Some),
+            None => Ok(None),
+        }
+    }
 
     /// Number of versions stored.
     fn version_count(&self) -> usize;
@@ -90,10 +153,23 @@ impl BackendKind {
     /// Instantiates an empty store of this kind (forward-delta stores use
     /// the given checkpoint policy; others ignore it).
     pub fn new_store(self, checkpoints: CheckpointPolicy) -> Box<dyn RollbackStore> {
+        self.new_store_with_cache(checkpoints, None)
+    }
+
+    /// Instantiates an empty store wired to a shared materialization
+    /// cache under the given relation id. Only the delta-replay backends
+    /// consult the cache; the others ignore it.
+    pub fn new_store_with_cache(
+        self,
+        checkpoints: CheckpointPolicy,
+        cache: Option<(Arc<MaterializationCache>, u64)>,
+    ) -> Box<dyn RollbackStore> {
         match self {
             BackendKind::FullCopy => Box::new(crate::FullCopyStore::new()),
-            BackendKind::ForwardDelta => Box::new(crate::ForwardDeltaStore::new(checkpoints)),
-            BackendKind::ReverseDelta => Box::new(crate::ReverseDeltaStore::new()),
+            BackendKind::ForwardDelta => {
+                Box::new(crate::ForwardDeltaStore::with_cache(checkpoints, cache))
+            }
+            BackendKind::ReverseDelta => Box::new(crate::ReverseDeltaStore::with_cache(cache)),
             BackendKind::TupleTimestamp => Box::new(crate::TupleTimestampStore::new()),
         }
     }
@@ -116,7 +192,7 @@ mod tests {
 
     #[test]
     fn checkpoint_policy() {
-        let p = CheckpointPolicy::EveryK(4);
+        let p = CheckpointPolicy::every_k(4).unwrap();
         assert!(p.is_checkpoint(0));
         assert!(!p.is_checkpoint(3));
         assert!(p.is_checkpoint(4));
@@ -126,9 +202,16 @@ mod tests {
     }
 
     #[test]
+    fn zero_checkpoint_interval_is_rejected() {
+        let err = CheckpointPolicy::every_k(0).unwrap_err();
+        assert_eq!(err, ZeroCheckpointInterval);
+        assert!(err.to_string().contains("at least 1"));
+    }
+
+    #[test]
     fn backend_kinds_instantiate() {
         for k in BackendKind::ALL {
-            let s = k.new_store(CheckpointPolicy::EveryK(8));
+            let s = k.new_store(CheckpointPolicy::every_k(8).unwrap());
             assert_eq!(s.version_count(), 0);
             assert_eq!(s.kind(), k);
             assert!(s.current().is_none());

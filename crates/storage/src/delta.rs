@@ -1,10 +1,8 @@
 //! Deltas between consecutive states.
 
-use std::collections::BTreeMap;
-
 use txtime_core::StateValue;
-use txtime_historical::{HistoricalState, TemporalElement};
-use txtime_snapshot::{SnapshotState, Tuple};
+use txtime_historical::TemporalElement;
+use txtime_snapshot::Tuple;
 
 /// The difference between two states of the same kind.
 ///
@@ -66,34 +64,32 @@ impl StateDelta {
     /// Panics if the delta does not match the base's kind — deltas are
     /// internal to the stores, which construct them pairwise.
     pub fn apply(&self, base: &StateValue) -> StateValue {
-        match (self, base) {
+        let mut state = base.clone();
+        self.apply_in_place(&mut state);
+        state
+    }
+
+    /// Applies the delta to `base` by mutation — the replay kernel.
+    ///
+    /// A replay loop owns one working state and threads it through every
+    /// delta in the chain; because the states' payloads are
+    /// reference-counted with copy-on-write, the first application copies
+    /// the shared set once and every later application mutates in place,
+    /// instead of allocating (and re-validating) a fresh set per delta.
+    ///
+    /// Panics under the same kind-mismatch condition as
+    /// [`StateDelta::apply`].
+    pub fn apply_in_place(&self, base: &mut StateValue) {
+        match (self, &mut *base) {
             (StateDelta::Snapshot { added, removed }, StateValue::Snapshot(s)) => {
-                let mut tuples = s.tuples().clone();
-                for t in removed {
-                    tuples.remove(t);
-                }
-                for t in added {
-                    tuples.insert(t.clone());
-                }
-                StateValue::Snapshot(
-                    SnapshotState::new(s.schema().clone(), tuples)
-                        .expect("delta preserves tuple validity"),
-                )
+                s.apply_delta(removed, added)
+                    .expect("delta preserves tuple validity");
             }
             (StateDelta::Historical { upserted, removed }, StateValue::Historical(h)) => {
-                let mut map: BTreeMap<Tuple, TemporalElement> = h.entries().clone();
-                for t in removed {
-                    map.remove(t);
-                }
-                for (t, e) in upserted {
-                    map.insert(t.clone(), e.clone());
-                }
-                StateValue::Historical(
-                    HistoricalState::new(h.schema().clone(), map)
-                        .expect("delta preserves entry validity"),
-                )
+                h.apply_delta(removed, upserted)
+                    .expect("delta preserves entry validity");
             }
-            (StateDelta::Reschema(s), _) => (**s).clone(),
+            (StateDelta::Reschema(s), _) => *base = (**s).clone(),
             _ => panic!("delta kind does not match base state kind"),
         }
     }
@@ -129,7 +125,7 @@ impl StateDelta {
 mod tests {
     use super::*;
     use txtime_historical::HistoricalState;
-    use txtime_snapshot::{DomainType, Schema, Value};
+    use txtime_snapshot::{DomainType, Schema, SnapshotState, Value};
 
     fn schema() -> Schema {
         Schema::new(vec![("x", DomainType::Int)]).unwrap()
@@ -171,6 +167,27 @@ mod tests {
         assert_eq!(d.apply(&a), b);
         // 1 revalued, 3 added, 2 removed.
         assert_eq!(d.change_count(), 3);
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply_across_a_chain() {
+        let chain = [
+            snap(&[1, 2, 3]),
+            snap(&[2, 3, 4]),
+            snap(&[4]),
+            hist(&[(4, 0, 5)]), // kind change: Reschema delta
+            hist(&[(4, 0, 9), (5, 1, 2)]),
+        ];
+        let deltas: Vec<StateDelta> = chain
+            .windows(2)
+            .map(|w| StateDelta::between(&w[0], &w[1]))
+            .collect();
+        // One working state threaded through the whole chain in place.
+        let mut working = chain[0].clone();
+        for (d, expect) in deltas.iter().zip(&chain[1..]) {
+            d.apply_in_place(&mut working);
+            assert_eq!(&working, expect);
+        }
     }
 
     #[test]

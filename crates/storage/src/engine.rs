@@ -10,14 +10,17 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use txtime_core::{
-    Command, CommandOutcome, CoreError, EvalError, Expr, RelationType, StateSource, StateValue,
-    TransactionNumber, TxSpec,
+    Command, CommandOutcome, CoreError, EvalError, Expr, RelationType, RollbackFilter, StateSource,
+    StateValue, TransactionNumber, TxSpec,
 };
+use txtime_optimizer::pushdown;
 
 use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
-use crate::metrics::{RelationSpace, SpaceReport};
+use crate::cache::MaterializationCache;
+use crate::metrics::{CacheStats, RelationSpace, SpaceReport};
 use crate::wal;
 
 /// An error from [`Engine::execute_script`].
@@ -52,6 +55,10 @@ enum Keeper {
 struct StoredRelation {
     rtype: RelationType,
     keeper: Keeper,
+    /// This relation's id in the shared materialization cache. Allocated
+    /// fresh on every `define_relation`, so a deleted-and-redefined
+    /// relation can never observe its predecessor's cached versions.
+    rel_id: u64,
 }
 
 /// A database engine over pluggable physical storage.
@@ -61,6 +68,9 @@ pub struct Engine {
     tx: TransactionNumber,
     catalog: BTreeMap<String, StoredRelation>,
     wal: Option<(PathBuf, std::fs::File)>,
+    /// One materialization cache shared by every delta store.
+    cache: Arc<MaterializationCache>,
+    next_rel_id: u64,
 }
 
 impl Engine {
@@ -73,6 +83,8 @@ impl Engine {
             tx: TransactionNumber(0),
             catalog: BTreeMap::new(),
             wal: None,
+            cache: MaterializationCache::shared(),
+            next_rel_id: 0,
         }
     }
 
@@ -141,8 +153,33 @@ impl Engine {
 
     /// Evaluates a query expression against the engine's current
     /// contents.
+    ///
+    /// The expression is first normalized with the error-preserving
+    /// pushdown rules ([`txtime_optimizer::pushdown`]) so that selections
+    /// land directly on ρ/ρ̂ leaves, where the evaluator hands them to
+    /// [`StateSource::resolve_rollback_filtered`] and the stores filter
+    /// during reconstruction. The rewrite is outcome-preserving on every
+    /// database, so the engine stays observationally identical to the
+    /// reference semantics — the differential tests in [`crate::equiv`]
+    /// check exactly this entry point.
     pub fn eval(&self, expr: &Expr) -> Result<StateValue, EvalError> {
-        expr.eval_with(self)
+        pushdown(expr).eval_with(self)
+    }
+
+    /// Counters from the shared materialization cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resizes the shared materialization cache; 0 disables caching
+    /// (the benchmarks' uncached baseline).
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.cache.set_capacity(capacity);
+    }
+
+    /// Resets the cache counters without dropping cached versions.
+    pub fn reset_cache_stats(&self) {
+        self.cache.reset_stats();
     }
 
     /// Parses and executes a script in the surface syntax, returning the
@@ -163,16 +200,23 @@ impl Engine {
                 if self.catalog.contains_key(ident) {
                     return Err(CoreError::AlreadyDefined(ident.clone()));
                 }
-                let keeper = if rtype.keeps_history() {
-                    Keeper::History(self.backend.new_store(self.checkpoints))
-                } else {
-                    Keeper::Single(None)
-                };
+                let rel_id = self.next_rel_id;
+                self.next_rel_id += 1;
+                let keeper =
+                    if rtype.keeps_history() {
+                        Keeper::History(self.backend.new_store_with_cache(
+                            self.checkpoints,
+                            Some((self.cache.clone(), rel_id)),
+                        ))
+                    } else {
+                        Keeper::Single(None)
+                    };
                 self.catalog.insert(
                     ident.clone(),
                     StoredRelation {
                         rtype: *rtype,
                         keeper,
+                        rel_id,
                     },
                 );
                 self.tx = self.tx.next();
@@ -199,9 +243,12 @@ impl Engine {
                 Ok(CommandOutcome::Modified)
             }
             Command::DeleteRelation(ident) => {
-                if self.catalog.remove(ident).is_none() {
+                let Some(removed) = self.catalog.remove(ident) else {
                     return Err(CoreError::UndefinedRelation(ident.clone()));
-                }
+                };
+                // Its versions can never be probed again (relation ids are
+                // never reused); free their cache slots now.
+                self.cache.purge_relation(removed.rel_id);
                 self.tx = self.tx.next();
                 Ok(CommandOutcome::Deleted)
             }
@@ -313,18 +360,20 @@ impl Engine {
     }
 }
 
-impl StateSource for Engine {
-    fn resolve_rollback(
+impl Engine {
+    /// Catalog lookup plus the rollback type rules — identical to the
+    /// reference semantics, shared by the filtered and unfiltered
+    /// resolution paths.
+    fn rollback_relation(
         &self,
         ident: &str,
         spec: TxSpec,
         historical: bool,
-    ) -> Result<StateValue, EvalError> {
+    ) -> Result<&StoredRelation, EvalError> {
         let rel = self
             .catalog
             .get(ident)
             .ok_or_else(|| EvalError::UndefinedRelation(ident.to_string()))?;
-        // Type rules — identical to the reference semantics.
         if historical != rel.rtype.holds_historical() {
             return Err(EvalError::RollbackTypeMismatch {
                 relation: ident.to_string(),
@@ -343,10 +392,28 @@ impl StateSource for Engine {
                 })
             };
         }
-        let target = match spec {
-            TxSpec::Current => self.tx,
-            TxSpec::At(n) => n,
-        };
+        Ok(rel)
+    }
+
+    /// The empty state carrying the relation's earliest known scheme —
+    /// the reference's answer for a rollback before the first version.
+    fn empty_like_first(store: &dyn RollbackStore, ident: &str) -> Result<StateValue, EvalError> {
+        let first = store
+            .first_tx()
+            .and_then(|t| store.state_at(t))
+            .ok_or_else(|| EvalError::EmptyRelation(ident.to_string()))?;
+        Ok(first.empty_like())
+    }
+}
+
+impl StateSource for Engine {
+    fn resolve_rollback(
+        &self,
+        ident: &str,
+        spec: TxSpec,
+        historical: bool,
+    ) -> Result<StateValue, EvalError> {
+        let rel = self.rollback_relation(ident, spec, historical)?;
         match &rel.keeper {
             Keeper::History(store) => {
                 // Fast path: ρ(I, ∞) is the materialized current state —
@@ -354,23 +421,58 @@ impl StateSource for Engine {
                 let lookup = if matches!(spec, TxSpec::Current) {
                     store.current()
                 } else {
+                    let target = match spec {
+                        TxSpec::Current => self.tx,
+                        TxSpec::At(n) => n,
+                    };
                     store.state_at(target)
                 };
                 match lookup {
                     Some(s) => Ok(s),
-                    None => {
-                        // Before the first version: the empty state with
-                        // the earliest known scheme, as in the reference.
-                        let first = store
-                            .first_tx()
-                            .and_then(|t| store.state_at(t))
-                            .ok_or_else(|| EvalError::EmptyRelation(ident.to_string()))?;
-                        Ok(first.empty_like())
-                    }
+                    None => Engine::empty_like_first(store.as_ref(), ident),
                 }
             }
             Keeper::Single(slot) => match slot {
                 Some((s, _)) => Ok(s.clone()),
+                None => Err(EvalError::EmptyRelation(ident.to_string())),
+            },
+        }
+    }
+
+    /// The pushed-down form of σ/π over ρ: hands the filter to the store,
+    /// which may evaluate it during reconstruction (and serves repeated
+    /// probes from the materialization cache) instead of building the
+    /// full version first.
+    fn resolve_rollback_filtered(
+        &self,
+        ident: &str,
+        spec: TxSpec,
+        historical: bool,
+        filter: &RollbackFilter<'_>,
+    ) -> Result<StateValue, EvalError> {
+        let rel = self.rollback_relation(ident, spec, historical)?;
+        match &rel.keeper {
+            Keeper::History(store) => {
+                let lookup = if matches!(spec, TxSpec::Current) {
+                    store.current_filtered(historical, filter)?
+                } else {
+                    let target = match spec {
+                        TxSpec::Current => self.tx,
+                        TxSpec::At(n) => n,
+                    };
+                    store.state_at_filtered(target, historical, filter)?
+                };
+                match lookup {
+                    Some(s) => Ok(s),
+                    None => {
+                        // Before the first version: filter the empty
+                        // state, exactly as the un-pushed path would.
+                        filter.apply(Engine::empty_like_first(store.as_ref(), ident)?, historical)
+                    }
+                }
+            }
+            Keeper::Single(slot) => match slot {
+                Some((s, _)) => filter.apply(s.clone(), historical),
                 None => Err(EvalError::EmptyRelation(ident.to_string())),
             },
         }
@@ -388,7 +490,7 @@ mod tests {
     }
 
     fn engine_with_history(backend: BackendKind) -> Engine {
-        let mut e = Engine::new(backend, CheckpointPolicy::EveryK(4));
+        let mut e = Engine::new(backend, CheckpointPolicy::every_k(4).unwrap());
         e.execute(&Command::define_relation("r", RelationType::Rollback))
             .unwrap();
         for v in [vec![1], vec![1, 2], vec![2], vec![2, 3]] {
@@ -514,6 +616,63 @@ mod tests {
             e.execute_script("modify_state(ghost, rho(ghost, inf));"),
             Err(ScriptError::Exec(_))
         ));
+    }
+
+    #[test]
+    fn cache_eviction_never_changes_answers() {
+        // A 2-entry cache under a 30-version sweep evicts constantly;
+        // answers must stay identical to the full-copy oracle through it.
+        let mut oracle = Engine::new(BackendKind::FullCopy, CheckpointPolicy::Never);
+        let mut e = Engine::new(
+            BackendKind::ForwardDelta,
+            CheckpointPolicy::every_k(8).unwrap(),
+        );
+        e.set_cache_capacity(2);
+        for engine in [&mut oracle, &mut e] {
+            engine
+                .execute(&Command::define_relation("r", RelationType::Rollback))
+                .unwrap();
+            for v in 0..30i64 {
+                engine
+                    .execute(&Command::modify_state(
+                        "r",
+                        Expr::snapshot_const(snap(&[v, v + 1])),
+                    ))
+                    .unwrap();
+            }
+        }
+        for _round in 0..3 {
+            for t in 0..=32u64 {
+                let spec = TxSpec::At(TransactionNumber(t));
+                assert_eq!(
+                    e.eval(&Expr::rollback("r", spec)).ok(),
+                    oracle.eval(&Expr::rollback("r", spec)).ok(),
+                    "at tx {t}"
+                );
+            }
+        }
+        let stats = e.cache_stats();
+        assert!(stats.evictions > 0, "sweep should overflow the cache");
+        assert!(stats.hits > 0, "repeated probes should hit");
+        assert!(stats.entries <= 2);
+    }
+
+    #[test]
+    fn repeated_rollback_probes_hit_the_cache() {
+        let e = engine_with_history(BackendKind::ReverseDelta);
+        let spec = TxSpec::At(TransactionNumber(2));
+        let first = e.eval(&Expr::rollback("r", spec)).unwrap();
+        let before = e.cache_stats();
+        assert!(before.replayed_deltas > 0);
+        for _ in 0..5 {
+            assert_eq!(e.eval(&Expr::rollback("r", spec)).unwrap(), first);
+        }
+        let after = e.cache_stats();
+        assert_eq!(after.hits, before.hits + 5);
+        assert_eq!(
+            after.replayed_deltas, before.replayed_deltas,
+            "hits must not replay deltas"
+        );
     }
 
     #[test]

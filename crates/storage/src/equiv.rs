@@ -8,10 +8,60 @@
 //! compares every observable — the current state and the rollback result
 //! of every relation at every transaction number, including error cases.
 
-use txtime_core::{Command, Database, Expr, StateSource, TransactionNumber, TxSpec};
+use txtime_core::{Command, Database, Expr, StateSource, StateValue, TransactionNumber, TxSpec};
+use txtime_snapshot::{Predicate, Value};
 
 use crate::backend::{BackendKind, CheckpointPolicy};
 use crate::engine::Engine;
+
+/// Probe expressions wrapping one ρ/ρ̂ leaf in the σ/π shapes the engine
+/// pushes into resolution, so the differential check exercises the
+/// filtered paths (scan-time evaluation, cache seeding) and their error
+/// cases, not just bare rollback.
+fn rollback_probes(
+    name: &str,
+    spec: TxSpec,
+    historical: bool,
+    resolved: Option<&StateValue>,
+) -> Vec<Expr> {
+    let leaf = || {
+        if historical {
+            Expr::hrollback(name, spec)
+        } else {
+            Expr::rollback(name, spec)
+        }
+    };
+    type SelectCtor = fn(Expr, Predicate) -> Expr;
+    type ProjectCtor = fn(Expr, Vec<String>) -> Expr;
+    let (wrap_select, wrap_project): (SelectCtor, ProjectCtor) = if historical {
+        (Expr::hselect, Expr::hproject)
+    } else {
+        (Expr::select, Expr::project)
+    };
+    // Error paths: an attribute no scheme has.
+    let mut probes = vec![
+        wrap_select(leaf(), Predicate::eq_const("absent_attr", Value::Int(0))),
+        wrap_project(leaf(), vec!["absent_attr".into()]),
+    ];
+    // Schema-aware probes, when the reference resolved a state to read a
+    // scheme from (its first attribute drives the filters; a type-unaware
+    // comparison constant also covers the compile-error path).
+    let schema = resolved.map(|s| match s {
+        StateValue::Snapshot(s) => s.schema(),
+        StateValue::Historical(h) => h.schema(),
+    });
+    if let Some(schema) = schema {
+        let a0 = schema.attribute(0).name.to_string();
+        probes.push(wrap_select(leaf(), Predicate::eq_attrs(&a0, &a0)));
+        probes.push(wrap_select(leaf(), Predicate::gt_const(&a0, Value::Int(1))));
+        probes.push(wrap_project(leaf(), vec![a0.clone()]));
+        probes.push(wrap_project(
+            wrap_select(leaf(), Predicate::eq_attrs(&a0, &a0)),
+            vec![a0],
+        ));
+    }
+    probes
+}
 
 /// Runs `commands` against both the reference semantics and an engine of
 /// the given backend, and compares every rollback observation. Returns a
@@ -68,6 +118,21 @@ pub fn check_equivalence(
                         ))
                     }
                 }
+                // σ/π over ρ — the shapes the engine pushes into
+                // resolution — must agree observably too.
+                for probe in rollback_probes(name, spec, historical, want.as_ref().ok()) {
+                    let want = probe.eval(&reference);
+                    let got = engine.eval(&probe);
+                    match (&want, &got) {
+                        (Ok(a), Ok(b)) if a == b => {}
+                        (Err(_), Err(_)) => {}
+                        _ => {
+                            return Err(format!(
+                                "{backend}: relation {name}: probe {probe} at {spec:?}: reference {want:?} != engine {got:?}"
+                            ))
+                        }
+                    }
+                }
             }
         }
         // Current state via the expression layer too.
@@ -122,7 +187,7 @@ mod tests {
             Command::modify_state("r", Expr::current("r").difference(Expr::current("s"))),
         ];
         for backend in BackendKind::ALL {
-            check_equivalence(&cmds, backend, CheckpointPolicy::EveryK(2)).unwrap();
+            check_equivalence(&cmds, backend, CheckpointPolicy::every_k(2).unwrap()).unwrap();
         }
     }
 

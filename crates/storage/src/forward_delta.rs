@@ -1,9 +1,12 @@
 //! The forward-delta backend: base + per-transaction deltas +
 //! checkpoints.
 
+use std::sync::Arc;
+
 use txtime_core::{StateValue, TransactionNumber};
 
 use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
+use crate::cache::MaterializationCache;
 use crate::delta::StateDelta;
 
 /// One entry in the forward chain.
@@ -28,36 +31,77 @@ pub struct ForwardDeltaStore {
     entries: Vec<(Entry, TransactionNumber)>,
     /// The current state, cached for O(1) appends and current-state reads.
     current: Option<StateValue>,
+    /// Shared materialization cache and this relation's id within it.
+    cache: Option<(Arc<MaterializationCache>, u64)>,
 }
 
 impl ForwardDeltaStore {
     /// An empty store with the given checkpoint policy.
     pub fn new(policy: CheckpointPolicy) -> ForwardDeltaStore {
+        ForwardDeltaStore::with_cache(policy, None)
+    }
+
+    /// An empty store wired to a shared materialization cache under the
+    /// given relation id.
+    pub fn with_cache(
+        policy: CheckpointPolicy,
+        cache: Option<(Arc<MaterializationCache>, u64)>,
+    ) -> ForwardDeltaStore {
         ForwardDeltaStore {
             policy,
             entries: Vec::new(),
             current: None,
+            cache,
         }
     }
 
-    /// Reconstructs version `index` by replay.
+    /// Reconstructs version `index` by replay, consulting the cache for
+    /// the finished version first and for the nearest materialized replay
+    /// seed second.
     fn reconstruct(&self, index: usize) -> StateValue {
-        // Find the nearest checkpoint at or before index.
-        let mut base = index;
-        loop {
-            match &self.entries[base].0 {
-                Entry::Checkpoint(_) => break,
-                Entry::Delta(_) => base -= 1,
+        let target_tx = self.entries[index].1;
+        if let Some((cache, rel)) = &self.cache {
+            // Counted probe: the caller wanted exactly this version.
+            if let Some(state) = cache.get(*rel, target_tx.0) {
+                return state;
             }
         }
-        let mut state = match &self.entries[base].0 {
-            Entry::Checkpoint(s) => s.clone(),
-            Entry::Delta(_) => unreachable!("loop exits on checkpoints"),
+        // Walk back to the nearest materialized seed — a checkpoint, or a
+        // cached reconstruction of an intermediate version (uncounted
+        // probes: these are opportunistic).
+        let mut base = index;
+        let mut state = loop {
+            match &self.entries[base].0 {
+                Entry::Checkpoint(s) => break s.clone(),
+                Entry::Delta(_) => {
+                    if base < index {
+                        if let Some((cache, rel)) = &self.cache {
+                            if let Some(s) = cache.peek(*rel, self.entries[base].1 .0) {
+                                break s;
+                            }
+                        }
+                    }
+                    base -= 1;
+                }
+            }
         };
+        // Replay forward, mutating the one working state in place.
+        let mut replayed = 0u64;
         for i in base + 1..=index {
             match &self.entries[i].0 {
-                Entry::Delta(d) => state = d.apply(&state),
+                Entry::Delta(d) => {
+                    d.apply_in_place(&mut state);
+                    replayed += 1;
+                }
                 Entry::Checkpoint(s) => state = s.clone(),
+            }
+        }
+        if let Some((cache, rel)) = &self.cache {
+            cache.add_replayed(replayed);
+            if replayed > 0 {
+                // Checkpoints are O(1) to fetch; only replayed versions
+                // are worth remembering.
+                cache.insert(*rel, target_tx.0, state.clone());
             }
         }
         state
@@ -170,7 +214,7 @@ mod tests {
     #[test]
     fn checkpoints_do_not_change_answers() {
         let a = filled(CheckpointPolicy::Never);
-        let b = filled(CheckpointPolicy::EveryK(2));
+        let b = filled(CheckpointPolicy::every_k(2).unwrap());
         for t in 0..10 {
             assert_eq!(
                 a.state_at(TransactionNumber(t)),

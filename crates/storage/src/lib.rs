@@ -36,6 +36,7 @@
 
 pub mod archive;
 pub mod backend;
+pub mod cache;
 pub mod delta;
 pub mod engine;
 pub mod equiv;
@@ -48,12 +49,13 @@ pub mod tuple_ts;
 pub mod wal;
 
 pub use archive::ArchiveReport;
-pub use backend::{BackendKind, CheckpointPolicy, RollbackStore};
+pub use backend::{BackendKind, CheckpointPolicy, RollbackStore, ZeroCheckpointInterval};
+pub use cache::{MaterializationCache, DEFAULT_CACHE_CAPACITY};
 pub use delta::StateDelta;
 pub use engine::{Engine, ScriptError};
 pub use equiv::check_equivalence;
 pub use forward_delta::ForwardDeltaStore;
 pub use full_copy::FullCopyStore;
-pub use metrics::SpaceReport;
+pub use metrics::{CacheStats, SpaceReport};
 pub use reverse_delta::ReverseDeltaStore;
 pub use tuple_ts::TupleTimestampStore;

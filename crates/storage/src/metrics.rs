@@ -1,10 +1,77 @@
-//! Space accounting for experiments E3.
+//! Space accounting (experiment E3) and cache accounting (experiment
+//! E10).
 
 use std::fmt;
 
 use txtime_core::RelationType;
 
 use crate::backend::BackendKind;
+
+/// Counters from the engine's materialization cache
+/// ([`crate::cache::MaterializationCache`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Counted probes that found a materialized version.
+    pub hits: u64,
+    /// Counted probes that did not.
+    pub misses: u64,
+    /// Versions remembered.
+    pub insertions: u64,
+    /// Entries discarded to make room.
+    pub evictions: u64,
+    /// Deltas the stores replayed for versions the cache did not have —
+    /// the work the cache exists to avoid.
+    pub replayed_deltas: u64,
+    /// Materialized versions currently held.
+    pub entries: usize,
+    /// Maximum entries held (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of counted probes that hit, in `[0, 1]` (0 when no
+    /// probes).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Mean deltas replayed per miss (0 when no misses) — how long the
+    /// replay chains were when the cache could not help.
+    pub fn replay_per_miss(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.replayed_deltas as f64 / self.misses as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cache: {}/{} entries, {} hits / {} misses ({:.1}% hit rate)",
+            self.entries,
+            self.capacity,
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "       {} insertions, {} evictions, {} deltas replayed ({:.1}/miss)",
+            self.insertions,
+            self.evictions,
+            self.replayed_deltas,
+            self.replay_per_miss()
+        )
+    }
+}
 
 /// Space usage of one relation.
 #[derive(Debug, Clone)]
@@ -77,6 +144,24 @@ impl fmt::Display for SpaceReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_stats_ratios_and_display() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            insertions: 2,
+            evictions: 1,
+            replayed_deltas: 8,
+            entries: 2,
+            capacity: 4,
+        };
+        assert_eq!(s.hit_rate(), 0.75);
+        assert_eq!(s.replay_per_miss(), 8.0);
+        assert!(s.to_string().contains("75.0% hit rate"));
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(CacheStats::default().replay_per_miss(), 0.0);
+    }
 
     #[test]
     fn totals_and_ratios() {

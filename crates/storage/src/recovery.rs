@@ -84,7 +84,7 @@ mod tests {
         {
             let mut e = Engine::with_wal(
                 BackendKind::ForwardDelta,
-                CheckpointPolicy::EveryK(2),
+                CheckpointPolicy::every_k(2).unwrap(),
                 &path,
             )
             .unwrap();
@@ -99,7 +99,7 @@ mod tests {
         let rec = recover(
             &path,
             BackendKind::ForwardDelta,
-            CheckpointPolicy::EveryK(2),
+            CheckpointPolicy::every_k(2).unwrap(),
         )
         .unwrap();
         assert_eq!(rec.replayed, 4);

@@ -1,8 +1,11 @@
 //! The reverse-delta backend: current state in full, deltas backwards.
 
+use std::sync::Arc;
+
 use txtime_core::{StateValue, TransactionNumber};
 
 use crate::backend::{BackendKind, RollbackStore};
+use crate::cache::MaterializationCache;
 use crate::delta::StateDelta;
 
 /// Stores the current state materialized and, for each superseded version
@@ -21,12 +24,23 @@ pub struct ReverseDeltaStore {
     txs: Vec<TransactionNumber>,
     /// The materialized current state.
     current: Option<StateValue>,
+    /// Shared materialization cache and this relation's id within it.
+    cache: Option<(Arc<MaterializationCache>, u64)>,
 }
 
 impl ReverseDeltaStore {
     /// An empty store.
     pub fn new() -> ReverseDeltaStore {
         ReverseDeltaStore::default()
+    }
+
+    /// An empty store wired to a shared materialization cache under the
+    /// given relation id.
+    pub fn with_cache(cache: Option<(Arc<MaterializationCache>, u64)>) -> ReverseDeltaStore {
+        ReverseDeltaStore {
+            cache,
+            ..ReverseDeltaStore::default()
+        }
     }
 }
 
@@ -43,9 +57,41 @@ impl RollbackStore for ReverseDeltaStore {
     fn state_at(&self, tx: TransactionNumber) -> Option<StateValue> {
         let idx = self.txs.partition_point(|t| *t <= tx);
         let target = idx.checked_sub(1)?;
-        let mut state = self.current.clone().expect("non-empty store has a current");
-        for i in (target..self.undo.len()).rev() {
-            state = self.undo[i].apply(&state);
+        let target_tx = self.txs[target];
+        if let Some((cache, rel)) = &self.cache {
+            // Counted probe: the caller wanted exactly this version.
+            if let Some(state) = cache.get(*rel, target_tx.0) {
+                return Some(state);
+            }
+        }
+        // Replay starts from the materialized current state (version
+        // `undo.len()`) unless a cached version nearer the target can
+        // seed it (uncounted, opportunistic probes).
+        let mut seed = self.undo.len();
+        let mut state = None;
+        if let Some((cache, rel)) = &self.cache {
+            for j in target + 1..self.undo.len() {
+                if let Some(s) = cache.peek(*rel, self.txs[j].0) {
+                    seed = j;
+                    state = Some(s);
+                    break;
+                }
+            }
+        }
+        let mut state =
+            state.unwrap_or_else(|| self.current.clone().expect("non-empty store has a current"));
+        let mut replayed = 0u64;
+        for i in (target..seed).rev() {
+            self.undo[i].apply_in_place(&mut state);
+            replayed += 1;
+        }
+        if let Some((cache, rel)) = &self.cache {
+            cache.add_replayed(replayed);
+            if replayed > 0 {
+                // The current state is O(1) to fetch; only replayed
+                // versions are worth remembering.
+                cache.insert(*rel, target_tx.0, state.clone());
+            }
         }
         Some(state)
     }

@@ -17,7 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use txtime_core::{StateValue, TransactionNumber};
+use txtime_core::{EvalError, RollbackFilter, StateValue, TransactionNumber};
 use txtime_historical::{HistoricalState, TemporalElement};
 use txtime_snapshot::{Schema, SnapshotState, Tuple};
 
@@ -159,6 +159,69 @@ impl Epoch {
         }
     }
 
+    /// `state_at` with the selection evaluated *while scanning*: tuples
+    /// the predicate rejects are never materialized into the result. The
+    /// projection (if any) then runs on the already-reduced state via the
+    /// shared filter code, so semantics — errors included — stay
+    /// identical to the un-pushed `π ∘ σ ∘ state_at`.
+    fn state_at_filtered(
+        &self,
+        tx: TransactionNumber,
+        historical: bool,
+        filter: &RollbackFilter<'_>,
+    ) -> Result<StateValue, EvalError> {
+        let Some(predicate) = filter.predicate.filter(|_| self.historical == historical) else {
+            // Nothing to evaluate during the scan (projection-only), or
+            // the stored kind cannot satisfy the query — materialize and
+            // let the shared filter code apply or diagnose, exactly as
+            // the un-pushed path would.
+            return filter.apply(self.state_at(tx), historical);
+        };
+        // Mirror σ/σ̂: compile against this epoch's scheme, wrapping a
+        // compile failure the way the operator the caller wrote would
+        // (σ surfaces a SnapshotError, σ̂ an HistoricalError).
+        let compiled = match predicate.compile(&self.schema) {
+            Ok(c) => c,
+            Err(e) if self.historical => return Err(EvalError::Historical(e.into())),
+            Err(e) => return Err(EvalError::Snapshot(e)),
+        };
+        let covers = |s: &Stamp| s.start <= tx.0 && tx.0 < s.stop;
+        let state = if self.historical {
+            let entries = self
+                .records
+                .iter()
+                .filter(|(t, _)| compiled.eval(t))
+                .flat_map(|(t, stamps)| {
+                    stamps.iter().filter(|s| covers(s)).map(|s| {
+                        (
+                            t.clone(),
+                            s.valid.clone().expect("historical stamps carry elements"),
+                        )
+                    })
+                });
+            StateValue::Historical(
+                HistoricalState::new(self.schema.clone(), entries)
+                    .expect("stored entries are valid"),
+            )
+        } else {
+            let tuples: Vec<Tuple> = self
+                .records
+                .iter()
+                .filter(|(t, _)| compiled.eval(t))
+                .filter(|(_, stamps)| stamps.iter().any(covers))
+                .map(|(t, _)| t.clone())
+                .collect();
+            StateValue::Snapshot(
+                SnapshotState::new(self.schema.clone(), tuples).expect("stored tuples are valid"),
+            )
+        };
+        let remaining = RollbackFilter {
+            predicate: None,
+            project: filter.project,
+        };
+        remaining.apply(state, historical)
+    }
+
     fn space_bytes(&self) -> usize {
         self.records
             .iter()
@@ -205,8 +268,34 @@ impl RollbackStore for TupleTimestampStore {
         Some(self.epochs[idx - 1].state_at(tx))
     }
 
+    fn state_at_filtered(
+        &self,
+        tx: TransactionNumber,
+        historical: bool,
+        filter: &RollbackFilter<'_>,
+    ) -> Result<Option<StateValue>, EvalError> {
+        if self.txs.first().is_none_or(|t| tx < *t) {
+            return Ok(None);
+        }
+        let idx = self.epochs.partition_point(|e| e.start_tx <= tx);
+        self.epochs[idx - 1]
+            .state_at_filtered(tx, historical, filter)
+            .map(Some)
+    }
+
     fn current(&self) -> Option<StateValue> {
         self.last_tx().and_then(|t| self.state_at(t))
+    }
+
+    fn current_filtered(
+        &self,
+        historical: bool,
+        filter: &RollbackFilter<'_>,
+    ) -> Result<Option<StateValue>, EvalError> {
+        match self.last_tx() {
+            Some(t) => self.state_at_filtered(t, historical, filter),
+            None => Ok(None),
+        }
     }
 
     fn version_count(&self) -> usize {

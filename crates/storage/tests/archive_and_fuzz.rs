@@ -46,7 +46,7 @@ proptest! {
         }
 
         for backend in BackendKind::ALL {
-            let mut e = Engine::new(backend, CheckpointPolicy::EveryK(3));
+            let mut e = Engine::new(backend, CheckpointPolicy::every_k(3).unwrap());
             for c in &cmds {
                 let _ = e.execute(c);
             }

@@ -111,7 +111,7 @@ proptest! {
     #[test]
     fn snapshot_workloads_equivalent(cmds in arb_snapshot_commands()) {
         for backend in BackendKind::ALL {
-            for ck in [CheckpointPolicy::Never, CheckpointPolicy::EveryK(3)] {
+            for ck in [CheckpointPolicy::Never, CheckpointPolicy::every_k(3).unwrap()] {
                 if let Err(e) = check_equivalence(&cmds, backend, ck) {
                     panic!("divergence: {e}");
                 }
@@ -122,7 +122,7 @@ proptest! {
     #[test]
     fn temporal_workloads_equivalent(cmds in arb_temporal_commands()) {
         for backend in BackendKind::ALL {
-            if let Err(e) = check_equivalence(&cmds, backend, CheckpointPolicy::EveryK(4)) {
+            if let Err(e) = check_equivalence(&cmds, backend, CheckpointPolicy::every_k(4).unwrap()) {
                 panic!("divergence: {e}");
             }
         }
@@ -131,8 +131,92 @@ proptest! {
     #[test]
     fn spiced_workloads_equivalent(cmds in arb_spiced_commands()) {
         for backend in BackendKind::ALL {
-            if let Err(e) = check_equivalence(&cmds, backend, CheckpointPolicy::EveryK(2)) {
+            if let Err(e) = check_equivalence(&cmds, backend, CheckpointPolicy::every_k(2).unwrap()) {
                 panic!("divergence: {e}");
+            }
+        }
+    }
+}
+
+/// `Engine::eval` — operator pushdown plus the materialization cache —
+/// is tuple-for-tuple equal to the reference evaluator on random
+/// queries, across every backend, including a cache small enough to
+/// evict on every sweep. Each query runs twice so the second evaluation
+/// exercises the cache-hit path.
+mod eval_differential {
+    use super::*;
+    use txtime_core::{Database, TransactionNumber, TxSpec};
+    use txtime_snapshot::generate::random_predicate;
+    use txtime_storage::Engine;
+
+    fn random_query(rng: &mut StdRng, depth: usize) -> Expr {
+        if depth == 0 {
+            let r = ["r0", "r1"][rng.gen_range(0..2usize)];
+            return if rng.gen_bool(0.4) {
+                Expr::rollback(r, TxSpec::At(TransactionNumber(rng.gen_range(0..30))))
+            } else {
+                Expr::current(r)
+            };
+        }
+        let values = gen_cfg().values;
+        match rng.gen_range(0..6) {
+            0 => random_query(rng, depth - 1).union(random_query(rng, depth - 1)),
+            1 => random_query(rng, depth - 1).difference(random_query(rng, depth - 1)),
+            2 => random_query(rng, depth - 1).select(random_predicate(rng, &schema(), &values, 2)),
+            3 => random_query(rng, depth - 1).project(vec!["a0".into()]),
+            4 => random_query(rng, depth - 1)
+                .select(random_predicate(rng, &schema(), &values, 1))
+                .project(vec!["a1".into(), "a0".into()]),
+            _ => random_query(rng, 0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn engine_eval_matches_reference(
+            seed in any::<u64>(),
+            len in 4usize..25,
+            q_seed in any::<u64>(),
+            tiny_cache in any::<bool>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cmds = random_commands(&mut rng, &schema(), &gen_cfg(), len);
+            let mut reference = Database::empty();
+            for cmd in &cmds {
+                if let Ok((next, _)) = cmd.execute(&reference) {
+                    reference = next;
+                }
+            }
+            for backend in BackendKind::ALL {
+                let mut engine = Engine::new(backend, CheckpointPolicy::every_k(3).unwrap());
+                if tiny_cache {
+                    engine.set_cache_capacity(1);
+                }
+                for cmd in &cmds {
+                    let _ = engine.execute(cmd);
+                }
+                let mut qrng = StdRng::seed_from_u64(q_seed);
+                for _ in 0..8 {
+                    let depth = qrng.gen_range(0..4);
+                    let q = random_query(&mut qrng, depth);
+                    let want = q.eval(&reference);
+                    for pass in 0..2 {
+                        let got = engine.eval(&q);
+                        match (&want, &got) {
+                            (Ok(a), Ok(b)) => prop_assert_eq!(
+                                a, b, "{}: {} (pass {})", backend, q, pass
+                            ),
+                            (Err(_), Err(_)) => {}
+                            _ => prop_assert!(
+                                false,
+                                "{}: {} (pass {}): reference {:?} != engine {:?}",
+                                backend, q, pass, want, got
+                            ),
+                        }
+                    }
+                }
             }
         }
     }
@@ -163,14 +247,14 @@ mod recovery_differential {
 
             let mut live = Engine::with_wal(
                 BackendKind::ForwardDelta,
-                CheckpointPolicy::EveryK(4),
+                CheckpointPolicy::every_k(4).unwrap(),
                 &path,
             ).unwrap();
             for c in &cmds {
                 let _ = live.execute(c);
             }
 
-            let rec = recover(&path, BackendKind::ForwardDelta, CheckpointPolicy::EveryK(4))
+            let rec = recover(&path, BackendKind::ForwardDelta, CheckpointPolicy::every_k(4).unwrap())
                 .unwrap();
             prop_assert!(rec.skipped.is_empty());
             prop_assert_eq!(rec.engine.tx(), live.tx());

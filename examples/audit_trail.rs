@@ -50,7 +50,7 @@ fn main() {
     // Execute on a delta-compressed, journaled engine.
     let mut engine = Engine::with_wal(
         BackendKind::ForwardDelta,
-        CheckpointPolicy::EveryK(8),
+        CheckpointPolicy::every_k(8).unwrap(),
         &wal_path,
     )
     .expect("journal opens");
@@ -101,7 +101,7 @@ fn main() {
     let rec = recover(
         &wal_path,
         BackendKind::ForwardDelta,
-        CheckpointPolicy::EveryK(8),
+        CheckpointPolicy::every_k(8).unwrap(),
     )
     .expect("journal replays");
     println!(

@@ -24,7 +24,10 @@ use txtime::parser::parse_command_spanned;
 use txtime::storage::{BackendKind, CheckpointPolicy, Engine};
 
 fn main() {
-    let mut engine = Engine::new(BackendKind::ForwardDelta, CheckpointPolicy::EveryK(16));
+    let mut engine = Engine::new(
+        BackendKind::ForwardDelta,
+        CheckpointPolicy::every_k(16).unwrap(),
+    );
     // The static checker shadows the engine: commands are checked against
     // the state so far and rejected before evaluation; only commands the
     // engine actually executes are committed to the checker's catalog, so

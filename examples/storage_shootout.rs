@@ -31,7 +31,7 @@ fn main() {
 
     let mut reference: Option<Vec<usize>> = None;
     for backend in BackendKind::ALL {
-        let engine = engine_with_chain(backend, CheckpointPolicy::EveryK(32), &chain);
+        let engine = engine_with_chain(backend, CheckpointPolicy::every_k(32).unwrap(), &chain);
         let bytes = engine.space_report().total_bytes();
 
         let mut row = format!("{:<16} {:>12}", backend.to_string(), bytes);

@@ -8,6 +8,7 @@
 //! txtime run script.txq --wal journal.wal     # journal mutations
 //! txtime recover journal.wal                  # rebuild + summarize
 //! txtime check script.txq                     # static check + verify engine ≡ reference
+//! txtime stats script.txq                     # execute, report space + cache counters
 //! ```
 //!
 //! `run` and `check` both start by parsing and statically checking the
@@ -29,8 +30,9 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "run" => run(rest),
         Some((cmd, rest)) if cmd == "recover" => recover_cmd(rest),
         Some((cmd, rest)) if cmd == "check" => check(rest),
+        Some((cmd, rest)) if cmd == "stats" => stats(rest),
         _ => {
-            eprintln!("usage: txtime <run|recover|check> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--no-check]");
+            eprintln!("usage: txtime <run|recover|check|stats> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--no-check]");
             eprintln!("backends: full-copy (default), fwd-delta, rev-delta, tuple-ts");
             ExitCode::FAILURE
         }
@@ -49,7 +51,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
     let mut file = None;
     let mut backend = BackendKind::FullCopy;
     let mut wal = None;
-    let mut checkpoint = CheckpointPolicy::EveryK(16);
+    let mut checkpoint = CheckpointPolicy::every_k(16).unwrap();
     let mut no_check = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -71,11 +73,8 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
                 let k: usize = v
                     .parse()
                     .map_err(|_| format!("invalid checkpoint interval {v:?}"))?;
-                checkpoint = if k == 0 {
-                    CheckpointPolicy::Never
-                } else {
-                    CheckpointPolicy::EveryK(k)
-                };
+                // 0 keeps its CLI meaning of "no checkpoints".
+                checkpoint = CheckpointPolicy::every_k(k).unwrap_or(CheckpointPolicy::Never);
             }
             other if file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other:?}")),
@@ -213,6 +212,33 @@ fn recover_cmd(rest: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Executes the script and reports the physical picture: per-relation
+/// space usage and the materialization-cache counters the run produced.
+fn stats(rest: &[String]) -> ExitCode {
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut engine = Engine::new(opts.backend, opts.checkpoint);
+    if let Err(e) = engine.execute_script(&source) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{}", engine.space_report());
+    print!("{}", engine.cache_stats());
+    ExitCode::SUCCESS
 }
 
 fn check(rest: &[String]) -> ExitCode {

@@ -39,8 +39,12 @@ fn script_runs_on_reference_and_all_engines() {
 
     // The same commands run identically on every storage engine.
     for backend in BackendKind::ALL {
-        check_equivalence(sentence.commands(), backend, CheckpointPolicy::EveryK(2))
-            .unwrap_or_else(|e| panic!("{backend}: {e}"));
+        check_equivalence(
+            sentence.commands(),
+            backend,
+            CheckpointPolicy::every_k(2).unwrap(),
+        )
+        .unwrap_or_else(|e| panic!("{backend}: {e}"));
     }
 }
 

@@ -82,8 +82,12 @@ fn evolution_history_is_fully_reachable() {
 fn engines_agree_with_reference_under_evolution() {
     let sentence = parse_sentence(SCRIPT).unwrap();
     for backend in BackendKind::ALL {
-        check_equivalence(sentence.commands(), backend, CheckpointPolicy::EveryK(2))
-            .unwrap_or_else(|e| panic!("{backend}: {e}"));
+        check_equivalence(
+            sentence.commands(),
+            backend,
+            CheckpointPolicy::every_k(2).unwrap(),
+        )
+        .unwrap_or_else(|e| panic!("{backend}: {e}"));
     }
 }
 
@@ -137,7 +141,10 @@ fn evolution_on_historical_relations() {
 
 #[test]
 fn evolution_survives_archival() {
-    let mut engine = Engine::new(BackendKind::ForwardDelta, CheckpointPolicy::EveryK(2));
+    let mut engine = Engine::new(
+        BackendKind::ForwardDelta,
+        CheckpointPolicy::every_k(2).unwrap(),
+    );
     let sentence = parse_sentence(SCRIPT).unwrap();
     for c in sentence.commands() {
         engine.execute(c).unwrap();
