@@ -9,6 +9,7 @@
 //! on a specific database does not change that database." Accordingly the
 //! evaluator takes `&Database` and returns a fresh [`StateValue`].
 
+use txtime_exec::{ExecPool, OpKind};
 use txtime_historical::HistoricalState;
 use txtime_snapshot::{Predicate, SnapshotState};
 
@@ -285,6 +286,191 @@ impl Expr {
             }
             Expr::HRollback(ident, spec) => db.resolve_rollback(ident, *spec, true),
         }
+    }
+
+    /// Evaluates against any [`StateSource`] with work scheduled on an
+    /// [`ExecPool`] — the parallel twin of [`Expr::eval_with`].
+    ///
+    /// Three things run concurrently: the two subtrees of every binary
+    /// operator ([`ExecPool::join`]), and the partitioned operator
+    /// kernels (`*_par` in `txtime-snapshot`/`txtime-historical`). The
+    /// result — value *and* error — is identical to the sequential
+    /// evaluation: chunk merges preserve the canonical state order, and
+    /// the left subtree's result is always inspected before the right's,
+    /// so error selection matches left-to-right evaluation. A one-thread
+    /// pool runs everything inline. The parallel-determinism property
+    /// tests in `txtime-storage` pin this equivalence on every backend.
+    pub fn eval_with_pool<S: StateSource + Sync>(
+        &self,
+        db: &S,
+        pool: &ExecPool,
+    ) -> Result<StateValue, EvalError> {
+        match self {
+            Expr::SnapshotConst(s) => Ok(StateValue::Snapshot(s.clone())),
+            Expr::HistoricalConst(h) => Ok(StateValue::Historical(h.clone())),
+
+            Expr::Union(a, b) => {
+                let (l, r) = pool.join(
+                    OpKind::Subtree,
+                    || a.eval_snapshot_pool(db, pool, "union"),
+                    || b.eval_snapshot_pool(db, pool, "union"),
+                );
+                Ok(StateValue::Snapshot(l?.union_par(&r?, pool)?))
+            }
+            Expr::Difference(a, b) => {
+                let (l, r) = pool.join(
+                    OpKind::Subtree,
+                    || a.eval_snapshot_pool(db, pool, "minus"),
+                    || b.eval_snapshot_pool(db, pool, "minus"),
+                );
+                Ok(StateValue::Snapshot(l?.difference_par(&r?, pool)?))
+            }
+            Expr::Product(a, b) => {
+                let (l, r) = pool.join(
+                    OpKind::Subtree,
+                    || a.eval_snapshot_pool(db, pool, "times"),
+                    || b.eval_snapshot_pool(db, pool, "times"),
+                );
+                Ok(StateValue::Snapshot(l?.product_par(&r?, pool)?))
+            }
+            Expr::Project(attrs, e) => match &**e {
+                // The pushdown shapes resolve exactly as in the
+                // sequential evaluator — the store does the filtering.
+                Expr::Rollback(ident, spec) => {
+                    let filter = RollbackFilter {
+                        predicate: None,
+                        project: Some(attrs),
+                    };
+                    db.resolve_rollback_filtered(ident, *spec, false, &filter)
+                }
+                Expr::Select(p, inner) if matches!(&**inner, Expr::Rollback(..)) => {
+                    let Expr::Rollback(ident, spec) = &**inner else {
+                        unreachable!("guard matched Rollback");
+                    };
+                    let filter = RollbackFilter {
+                        predicate: Some(p),
+                        project: Some(attrs),
+                    };
+                    db.resolve_rollback_filtered(ident, *spec, false, &filter)
+                }
+                _ => {
+                    let s = e.eval_snapshot_pool(db, pool, "project")?;
+                    Ok(StateValue::Snapshot(s.project_par(attrs, pool)?))
+                }
+            },
+            Expr::Select(p, e) => match &**e {
+                Expr::Rollback(ident, spec) => {
+                    let filter = RollbackFilter {
+                        predicate: Some(p),
+                        project: None,
+                    };
+                    db.resolve_rollback_filtered(ident, *spec, false, &filter)
+                }
+                _ => {
+                    let s = e.eval_snapshot_pool(db, pool, "select")?;
+                    Ok(StateValue::Snapshot(s.select_par(p, pool)?))
+                }
+            },
+            Expr::Rollback(ident, spec) => db.resolve_rollback(ident, *spec, false),
+
+            Expr::HUnion(a, b) => {
+                let (l, r) = pool.join(
+                    OpKind::Subtree,
+                    || a.eval_historical_pool(db, pool, "hunion"),
+                    || b.eval_historical_pool(db, pool, "hunion"),
+                );
+                Ok(StateValue::Historical(l?.hunion_par(&r?, pool)?))
+            }
+            Expr::HDifference(a, b) => {
+                let (l, r) = pool.join(
+                    OpKind::Subtree,
+                    || a.eval_historical_pool(db, pool, "hminus"),
+                    || b.eval_historical_pool(db, pool, "hminus"),
+                );
+                Ok(StateValue::Historical(l?.hdifference_par(&r?, pool)?))
+            }
+            Expr::HProduct(a, b) => {
+                let (l, r) = pool.join(
+                    OpKind::Subtree,
+                    || a.eval_historical_pool(db, pool, "htimes"),
+                    || b.eval_historical_pool(db, pool, "htimes"),
+                );
+                Ok(StateValue::Historical(l?.hproduct_par(&r?, pool)?))
+            }
+            Expr::HProject(attrs, e) => match &**e {
+                Expr::HRollback(ident, spec) => {
+                    let filter = RollbackFilter {
+                        predicate: None,
+                        project: Some(attrs),
+                    };
+                    db.resolve_rollback_filtered(ident, *spec, true, &filter)
+                }
+                Expr::HSelect(p, inner) if matches!(&**inner, Expr::HRollback(..)) => {
+                    let Expr::HRollback(ident, spec) = &**inner else {
+                        unreachable!("guard matched HRollback");
+                    };
+                    let filter = RollbackFilter {
+                        predicate: Some(p),
+                        project: Some(attrs),
+                    };
+                    db.resolve_rollback_filtered(ident, *spec, true, &filter)
+                }
+                _ => {
+                    let h = e.eval_historical_pool(db, pool, "hproject")?;
+                    Ok(StateValue::Historical(h.hproject_par(attrs, pool)?))
+                }
+            },
+            Expr::HSelect(p, e) => match &**e {
+                Expr::HRollback(ident, spec) => {
+                    let filter = RollbackFilter {
+                        predicate: Some(p),
+                        project: None,
+                    };
+                    db.resolve_rollback_filtered(ident, *spec, true, &filter)
+                }
+                _ => {
+                    let h = e.eval_historical_pool(db, pool, "hselect")?;
+                    Ok(StateValue::Historical(h.hselect_par(p, pool)?))
+                }
+            },
+            Expr::Delta(g, v, e) => {
+                // δ_{G,V} rewrites valid-time components per entry; it
+                // stays sequential (subtree parallelism still applies).
+                let h = e.eval_historical_pool(db, pool, "delta")?;
+                Ok(StateValue::Historical(h.delta(g, v)?))
+            }
+            Expr::HRollback(ident, spec) => db.resolve_rollback(ident, *spec, true),
+        }
+    }
+
+    /// [`Expr::eval_snapshot`] through the pool-scheduled evaluator.
+    fn eval_snapshot_pool<S: StateSource + Sync>(
+        &self,
+        db: &S,
+        pool: &ExecPool,
+        operator: &'static str,
+    ) -> Result<SnapshotState, EvalError> {
+        self.eval_with_pool(db, pool)?
+            .into_snapshot()
+            .ok_or(EvalError::StateKindMismatch {
+                operator,
+                expected_historical: false,
+            })
+    }
+
+    /// [`Expr::eval_historical`] through the pool-scheduled evaluator.
+    fn eval_historical_pool<S: StateSource + Sync>(
+        &self,
+        db: &S,
+        pool: &ExecPool,
+        operator: &'static str,
+    ) -> Result<HistoricalState, EvalError> {
+        self.eval_with_pool(db, pool)?
+            .into_historical()
+            .ok_or(EvalError::StateKindMismatch {
+                operator,
+                expected_historical: true,
+            })
     }
 
     /// Evaluates, requiring a snapshot state.

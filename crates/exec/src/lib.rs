@@ -1,0 +1,436 @@
+//! A scoped worker pool for parallel query evaluation.
+//!
+//! The paper's expressions are side-effect-free and evaluate to a single
+//! state ("evaluation of an expression on a specific database does not
+//! change that database", §3.4), which makes the algebra embarrassingly
+//! parallel: any operator may split its input, evaluate the pieces
+//! concurrently, and merge — as long as the merged result is *identical*
+//! to the sequential answer. [`ExecPool`] provides exactly that
+//! discipline:
+//!
+//! * **Partition/merge** ([`ExecPool::map_chunks`]): the input is split
+//!   into contiguous chunks, each chunk is evaluated on its own scoped
+//!   thread, and the per-chunk results are returned **in chunk order**.
+//!   Because the inputs come from `BTreeSet`/`BTreeMap`-backed states,
+//!   chunks are disjoint ascending ranges of the canonical order, so an
+//!   in-order merge reproduces the sequential result bit for bit.
+//! * **Independent subtrees** ([`ExecPool::join`]): the two children of a
+//!   binary operator are evaluated concurrently; the left result is
+//!   always inspected first, so error selection matches the sequential
+//!   left-to-right evaluation order.
+//!
+//! The pool is hermetic — `std::thread::scope` only, no work-stealing
+//! runtime — and a pool of **one** thread never spawns: every entry point
+//! runs inline on the caller's thread, giving the exact sequential code
+//! path. Thread count comes from `ExecPool::new`, or from the
+//! `TXTIME_THREADS` environment variable / `available_parallelism` via
+//! [`ExecPool::from_env`].
+//!
+//! Every entry point is attributed to an [`OpKind`] and feeds per-operator
+//! call/chunk/wall-time counters, surfaced by [`ExecPool::stats`] (and, in
+//! the CLI, `txtime stats`).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The operators whose work the pool schedules and accounts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Snapshot selection σ.
+    Select,
+    /// Snapshot projection π.
+    Project,
+    /// Snapshot cartesian product ×.
+    Product,
+    /// Snapshot union ∪.
+    Union,
+    /// Snapshot difference −.
+    Difference,
+    /// Historical selection σ̂.
+    HSelect,
+    /// Historical projection π̂.
+    HProject,
+    /// Historical product ×̂.
+    HProduct,
+    /// Historical union ∪̂.
+    HUnion,
+    /// Historical difference −̂.
+    HDifference,
+    /// Concurrent evaluation of a binary operator's two subtrees.
+    Subtree,
+    /// Batched rollback resolution (`Engine::resolve_many`).
+    Resolve,
+}
+
+impl OpKind {
+    /// Every operator kind, in display order.
+    pub const ALL: [OpKind; 12] = [
+        OpKind::Select,
+        OpKind::Project,
+        OpKind::Product,
+        OpKind::Union,
+        OpKind::Difference,
+        OpKind::HSelect,
+        OpKind::HProject,
+        OpKind::HProduct,
+        OpKind::HUnion,
+        OpKind::HDifference,
+        OpKind::Subtree,
+        OpKind::Resolve,
+    ];
+
+    /// The operator's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Select => "select",
+            OpKind::Project => "project",
+            OpKind::Product => "product",
+            OpKind::Union => "union",
+            OpKind::Difference => "difference",
+            OpKind::HSelect => "hselect",
+            OpKind::HProject => "hproject",
+            OpKind::HProduct => "hproduct",
+            OpKind::HUnion => "hunion",
+            OpKind::HDifference => "hdifference",
+            OpKind::Subtree => "subtree",
+            OpKind::Resolve => "resolve",
+        }
+    }
+
+    fn index(self) -> usize {
+        OpKind::ALL.iter().position(|&k| k == self).expect("listed")
+    }
+}
+
+#[derive(Default)]
+struct OpCounters {
+    calls: AtomicU64,
+    chunks: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// One operator's accumulated counters (a row of [`ExecStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpStat {
+    /// Operator display name.
+    pub name: &'static str,
+    /// Scheduled invocations.
+    pub calls: u64,
+    /// Chunks (units of parallel work) across all invocations; a call
+    /// that ran as a single inline chunk counts 1.
+    pub chunks: u64,
+    /// Wall-clock nanoseconds across all invocations, measured on the
+    /// scheduling thread (spawn to last join).
+    pub nanos: u64,
+}
+
+/// A snapshot of the pool's per-operator counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecStats {
+    /// The pool's thread count.
+    pub threads: usize,
+    /// Per-operator rows, in [`OpKind::ALL`] order.
+    pub ops: Vec<OpStat>,
+}
+
+impl ExecStats {
+    /// Total scheduled invocations across all operators.
+    pub fn total_calls(&self) -> u64 {
+        self.ops.iter().map(|o| o.calls).sum()
+    }
+
+    /// Total chunks across all operators.
+    pub fn total_chunks(&self) -> u64 {
+        self.ops.iter().map(|o| o.chunks).sum()
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "exec: {} thread(s)", self.threads)?;
+        for op in self.ops.iter().filter(|o| o.calls > 0) {
+            writeln!(
+                f,
+                "      {:<12} {:>8} calls {:>8} chunks {:>10.3} ms",
+                op.name,
+                op.calls,
+                op.chunks,
+                op.nanos as f64 / 1e6
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A scoped worker pool with a fixed thread budget.
+///
+/// The pool holds no threads while idle: each partition/merge call opens a
+/// `std::thread::scope`, spawns at most `threads − 1` workers (the
+/// caller's thread always takes the first chunk), and joins them before
+/// returning. A one-thread pool is the exact sequential path — no scope,
+/// no spawn, no chunk boundary.
+pub struct ExecPool {
+    threads: usize,
+    /// Extra threads currently spawned by [`ExecPool::join`]; bounds
+    /// nested subtree parallelism to the thread budget.
+    in_flight: AtomicUsize,
+    counters: [OpCounters; OpKind::ALL.len()],
+}
+
+impl std::fmt::Debug for ExecPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExecPool {
+    /// A pool with the given thread budget (0 is clamped to 1).
+    pub fn new(threads: usize) -> ExecPool {
+        ExecPool {
+            threads: threads.max(1),
+            in_flight: AtomicUsize::new(0),
+            counters: std::array::from_fn(|_| OpCounters::default()),
+        }
+    }
+
+    /// A pool sized from the environment: `TXTIME_THREADS` if set to a
+    /// positive integer, otherwise `std::thread::available_parallelism`.
+    pub fn from_env() -> ExecPool {
+        let threads = std::env::var("TXTIME_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ExecPool::new(threads)
+    }
+
+    /// The shared one-thread pool: the exact sequential path.
+    pub fn sequential() -> &'static ExecPool {
+        static SEQ: OnceLock<ExecPool> = OnceLock::new();
+        SEQ.get_or_init(|| ExecPool::new(1))
+    }
+
+    /// The pool's thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Partition/merge: splits `items` into at most `threads` contiguous
+    /// chunks of at least `grain` items, maps each chunk with `f` (the
+    /// first chunk on the calling thread, the rest on scoped workers),
+    /// and returns the results **in chunk order**.
+    ///
+    /// Because chunks are contiguous, results at index `i` cover items
+    /// strictly before those at index `i + 1` — a caller that merges the
+    /// results in order reproduces what a single sequential pass over
+    /// `items` would have produced.
+    pub fn map_chunks<T, R, F>(&self, op: OpKind, items: &[T], grain: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> R + Sync,
+    {
+        let started = Instant::now();
+        // Every chunk gets at least `grain` items, so tiny inputs stay on
+        // the calling thread instead of paying spawn overhead.
+        let want = (items.len() / grain.max(1)).clamp(1, self.threads.max(1));
+        let results = if want <= 1 {
+            vec![f(items)]
+        } else {
+            let chunk_len = items.len().div_ceil(want);
+            let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+            std::thread::scope(|s| {
+                let workers: Vec<_> = chunks[1..].iter().map(|&c| s.spawn(|| f(c))).collect();
+                let mut out = Vec::with_capacity(chunks.len());
+                out.push(f(chunks[0]));
+                for w in workers {
+                    out.push(w.join().expect("exec worker panicked"));
+                }
+                out
+            })
+        };
+        self.record(
+            op,
+            results.len() as u64,
+            started.elapsed().as_nanos() as u64,
+        );
+        results
+    }
+
+    /// Evaluates two independent computations, concurrently when a thread
+    /// is available, and returns `(a, b)`.
+    ///
+    /// Callers inspect the left result first, so error selection matches
+    /// sequential left-to-right evaluation regardless of which side
+    /// finished first.
+    pub fn join<A, B, FA, FB>(&self, op: OpKind, fa: FA, fb: FB) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+        FA: FnOnce() -> A + Send,
+        FB: FnOnce() -> B + Send,
+    {
+        // Spawning is bounded by the thread budget: deeply nested binary
+        // nodes degrade to inline evaluation instead of a thread explosion.
+        if self.threads <= 1 || self.in_flight.load(Ordering::Relaxed) + 1 >= self.threads {
+            return (fa(), fb());
+        }
+        let started = Instant::now();
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let out = std::thread::scope(|s| {
+            let left = s.spawn(fa);
+            let b = fb();
+            (left.join().expect("exec worker panicked"), b)
+        });
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.record(op, 2, started.elapsed().as_nanos() as u64);
+        out
+    }
+
+    fn record(&self, op: OpKind, chunks: u64, nanos: u64) {
+        let c = &self.counters[op.index()];
+        c.calls.fetch_add(1, Ordering::Relaxed);
+        c.chunks.fetch_add(chunks, Ordering::Relaxed);
+        c.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the per-operator counters.
+    pub fn stats(&self) -> ExecStats {
+        ExecStats {
+            threads: self.threads,
+            ops: OpKind::ALL
+                .iter()
+                .map(|&k| {
+                    let c = &self.counters[k.index()];
+                    OpStat {
+                        name: k.name(),
+                        calls: c.calls.load(Ordering::Relaxed),
+                        chunks: c.chunks.load(Ordering::Relaxed),
+                        nanos: c.nanos.load(Ordering::Relaxed),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset_stats(&self) {
+        for c in &self.counters {
+            c.calls.store(0, Ordering::Relaxed);
+            c.chunks.store(0, Ordering::Relaxed);
+            c.nanos.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_threads_clamp_to_one() {
+        assert_eq!(ExecPool::new(0).threads(), 1);
+        assert_eq!(ExecPool::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn map_chunks_preserves_item_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = ExecPool::new(threads);
+            let sums = pool.map_chunks(OpKind::Select, &items, 16, |chunk| chunk.to_vec());
+            let flat: Vec<u64> = sums.into_iter().flatten().collect();
+            assert_eq!(flat, items, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_chunks_respects_grain_and_budget() {
+        let items: Vec<u64> = (0..100).collect();
+        let pool = ExecPool::new(8);
+        // 100 items at grain 60 → one chunk, inline.
+        assert_eq!(
+            pool.map_chunks(OpKind::Union, &items, 60, <[u64]>::len)
+                .len(),
+            1
+        );
+        // grain 10 → 8 chunks (thread budget).
+        assert_eq!(
+            pool.map_chunks(OpKind::Union, &items, 10, <[u64]>::len)
+                .len(),
+            8
+        );
+        // grain 1 on a 2-thread pool → 2 chunks.
+        let two = ExecPool::new(2);
+        assert_eq!(
+            two.map_chunks(OpKind::Union, &items, 1, <[u64]>::len).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn single_thread_pool_never_splits() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let pool = ExecPool::new(1);
+        let out = pool.map_chunks(OpKind::Product, &items, 1, <[u64]>::len);
+        assert_eq!(out, vec![10_000]);
+    }
+
+    #[test]
+    fn join_returns_both_sides_in_order() {
+        for threads in [1, 4] {
+            let pool = ExecPool::new(threads);
+            let (a, b) = pool.join(OpKind::Subtree, || 1 + 1, || "two");
+            assert_eq!((a, b), (2, "two"));
+        }
+    }
+
+    #[test]
+    fn join_nests_without_exceeding_budget() {
+        let pool = ExecPool::new(2);
+        let (a, (b, c)) = pool.join(
+            OpKind::Subtree,
+            || 1,
+            || pool.join(OpKind::Subtree, || 2, || 3),
+        );
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+
+    #[test]
+    fn stats_account_calls_chunks_and_reset() {
+        let pool = ExecPool::new(4);
+        let items: Vec<u64> = (0..64).collect();
+        pool.map_chunks(OpKind::Select, &items, 8, <[u64]>::len);
+        pool.map_chunks(OpKind::Select, &items, 64, <[u64]>::len);
+        pool.join(OpKind::Subtree, || (), || ());
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 4);
+        let select = stats.ops.iter().find(|o| o.name == "select").unwrap();
+        assert_eq!(select.calls, 2);
+        assert_eq!(select.chunks, 4 + 1);
+        let subtree = stats.ops.iter().find(|o| o.name == "subtree").unwrap();
+        assert_eq!(subtree.calls, 1);
+        assert!(stats.total_calls() >= 3);
+        assert!(stats.to_string().contains("select"));
+        pool.reset_stats();
+        assert_eq!(pool.stats().total_calls(), 0);
+    }
+
+    #[test]
+    fn from_env_reads_txtime_threads() {
+        // Serialized within this test: no other exec test reads the env.
+        std::env::set_var("TXTIME_THREADS", "3");
+        assert_eq!(ExecPool::from_env().threads(), 3);
+        std::env::set_var("TXTIME_THREADS", "not a number");
+        assert!(ExecPool::from_env().threads() >= 1);
+        std::env::remove_var("TXTIME_THREADS");
+        assert!(ExecPool::from_env().threads() >= 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! Partitioned (parallel) variants of the historical operators.
+//!
+//! The same partition/merge discipline as the snapshot kernels
+//! (`txtime_snapshot::ops::par`), applied to `BTreeMap`-backed historical
+//! states: operands are split into contiguous ranges of the canonical
+//! tuple order, ranges are evaluated on scoped worker threads, and the
+//! per-range results are merged in range order. σ̂ and −̂ yield disjoint
+//! sorted runs; ×̂ chunks the left operand so runs stay disjoint and
+//! sorted; π̂ and ∪̂ merge valid-time elements with the same commutative
+//! `TemporalElement::union` the sequential kernels use, so the merged
+//! content is independent of scheduling.
+
+use std::collections::BTreeMap;
+
+use txtime_exec::{ExecPool, OpKind};
+use txtime_snapshot::{Predicate, Tuple};
+
+use crate::element::TemporalElement;
+use crate::state::HistoricalState;
+use crate::Result;
+
+/// Minimum entries per chunk for the entry-at-a-time kernels.
+const SET_GRAIN: usize = 512;
+
+/// Minimum output pairs per chunk for the product kernel.
+const PRODUCT_PAIR_GRAIN: usize = 4096;
+
+impl HistoricalState {
+    /// [`HistoricalState::hselect`] evaluated over partitioned chunks.
+    pub fn hselect_par(&self, predicate: &Predicate, pool: &ExecPool) -> Result<HistoricalState> {
+        let compiled = predicate.compile(self.schema())?;
+        let items: Vec<(&Tuple, &TemporalElement)> = self.iter().collect();
+        let runs = pool.map_chunks(OpKind::HSelect, &items, SET_GRAIN, |chunk| {
+            chunk
+                .iter()
+                .filter(|(t, _)| compiled.eval(t))
+                .map(|&(t, e)| (t.clone(), e.clone()))
+                .collect::<Vec<_>>()
+        });
+        let mut map = BTreeMap::new();
+        for run in runs {
+            map.extend(run);
+        }
+        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+    }
+
+    /// [`HistoricalState::hproject`] evaluated over partitioned chunks.
+    pub fn hproject_par(
+        &self,
+        attrs: &[impl AsRef<str>],
+        pool: &ExecPool,
+    ) -> Result<HistoricalState> {
+        let (schema, indices) = self.schema().project(attrs)?;
+        let items: Vec<(&Tuple, &TemporalElement)> = self.iter().collect();
+        let mut maps = pool
+            .map_chunks(OpKind::HProject, &items, SET_GRAIN, |chunk| {
+                let mut local: BTreeMap<Tuple, TemporalElement> = BTreeMap::new();
+                for &(t, e) in chunk {
+                    let p = t.project(&indices);
+                    match local.get_mut(&p) {
+                        Some(existing) => *existing = existing.union(e),
+                        None => {
+                            local.insert(p, e.clone());
+                        }
+                    }
+                }
+                local
+            })
+            .into_iter();
+        // Cross-chunk collisions union their elements; `union` is
+        // commutative and associative, so the merged content does not
+        // depend on chunking.
+        let mut map = maps.next().unwrap_or_default();
+        for local in maps {
+            for (t, e) in local {
+                match map.get_mut(&t) {
+                    Some(existing) => *existing = existing.union(&e),
+                    None => {
+                        map.insert(t, e);
+                    }
+                }
+            }
+        }
+        Ok(HistoricalState::from_checked(schema, map))
+    }
+
+    /// [`HistoricalState::hproduct`] with the left operand partitioned.
+    pub fn hproduct_par(
+        &self,
+        other: &HistoricalState,
+        pool: &ExecPool,
+    ) -> Result<HistoricalState> {
+        let schema = self.schema().product(other.schema())?;
+        let grain = (PRODUCT_PAIR_GRAIN / other.len().max(1)).max(1);
+        let items: Vec<(&Tuple, &TemporalElement)> = self.iter().collect();
+        let runs = pool.map_chunks(OpKind::HProduct, &items, grain, |chunk| {
+            let mut pairs = Vec::new();
+            for &(l, le) in chunk {
+                for (r, re) in other.iter() {
+                    let e = le.intersect(re);
+                    if !e.is_empty() {
+                        pairs.push((l.concat(r), e));
+                    }
+                }
+            }
+            pairs
+        });
+        let mut map = BTreeMap::new();
+        for run in runs {
+            map.extend(run);
+        }
+        Ok(HistoricalState::from_checked(schema, map))
+    }
+
+    /// [`HistoricalState::hunion`] with the element merge partitioned
+    /// over the right operand.
+    pub fn hunion_par(&self, other: &HistoricalState, pool: &ExecPool) -> Result<HistoricalState> {
+        self.schema().require_union_compatible(other.schema())?;
+        if self.is_empty() || other.is_empty() || std::ptr::eq(self.entries(), other.entries()) {
+            return self.hunion(other);
+        }
+        let items: Vec<(&Tuple, &TemporalElement)> = other.iter().collect();
+        let runs = pool.map_chunks(OpKind::HUnion, &items, SET_GRAIN, |chunk| {
+            chunk
+                .iter()
+                .map(|&(t, e)| {
+                    let merged = match self.valid_time(t) {
+                        Some(mine) => mine.union(e),
+                        None => e.clone(),
+                    };
+                    (t.clone(), merged)
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut map = self.entries().clone();
+        for run in runs {
+            map.extend(run);
+        }
+        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+    }
+
+    /// [`HistoricalState::hdifference`] with the element subtraction
+    /// partitioned over the left operand.
+    pub fn hdifference_par(
+        &self,
+        other: &HistoricalState,
+        pool: &ExecPool,
+    ) -> Result<HistoricalState> {
+        self.schema().require_union_compatible(other.schema())?;
+        if self.is_empty() || other.is_empty() || std::ptr::eq(self.entries(), other.entries()) {
+            return self.hdifference(other);
+        }
+        let items: Vec<(&Tuple, &TemporalElement)> = self.iter().collect();
+        let runs = pool.map_chunks(OpKind::HDifference, &items, SET_GRAIN, |chunk| {
+            let mut survivors = Vec::with_capacity(chunk.len());
+            let mut changed = false;
+            for &(t, e) in chunk {
+                let remaining = match other.valid_time(t) {
+                    Some(oe) => e.difference(oe),
+                    None => e.clone(),
+                };
+                changed |= &remaining != e;
+                if !remaining.is_empty() {
+                    survivors.push((t.clone(), remaining));
+                }
+            }
+            (survivors, changed)
+        });
+        if !runs.iter().any(|(_, changed)| *changed) {
+            // No element changed: share the left map, like the
+            // sequential kernel.
+            return Ok(self.clone());
+        }
+        let mut map = BTreeMap::new();
+        for (run, _) in runs {
+            map.extend(run);
+        }
+        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_historical_state, HistGenConfig};
+    use txtime_snapshot::generate::GenConfig;
+    use txtime_snapshot::rng::rngs::StdRng;
+    use txtime_snapshot::rng::SeedableRng;
+    use txtime_snapshot::{DomainType, Schema, Value};
+
+    fn schema(prefix: &str) -> Schema {
+        Schema::new(vec![
+            (format!("{prefix}0"), DomainType::Int),
+            (format!("{prefix}1"), DomainType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn random(seed: u64, prefix: &str, cardinality: usize) -> HistoricalState {
+        let cfg = HistGenConfig {
+            values: GenConfig {
+                arity: 2,
+                cardinality,
+                int_range: 64,
+                str_pool: 8,
+            },
+            horizon: 50,
+            max_periods: 3,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_historical_state(&mut rng, &schema(prefix), &cfg)
+    }
+
+    #[test]
+    fn partitioned_kernels_match_sequential() {
+        let a = random(1, "a", 2500);
+        let b = random(2, "a", 2500);
+        let c = random(3, "c", 30);
+        let pred = Predicate::gt_const("a0", Value::Int(20));
+        for threads in [1, 2, 3, 8] {
+            let pool = ExecPool::new(threads);
+            assert_eq!(
+                a.hselect(&pred).unwrap(),
+                a.hselect_par(&pred, &pool).unwrap()
+            );
+            assert_eq!(
+                a.hproject(&["a1"]).unwrap(),
+                a.hproject_par(&["a1"], &pool).unwrap()
+            );
+            assert_eq!(a.hunion(&b).unwrap(), a.hunion_par(&b, &pool).unwrap());
+            assert_eq!(
+                a.hdifference(&b).unwrap(),
+                a.hdifference_par(&b, &pool).unwrap()
+            );
+            assert_eq!(a.hproduct(&c).unwrap(), a.hproduct_par(&c, &pool).unwrap());
+        }
+    }
+
+    #[test]
+    fn partitioned_kernels_preserve_errors() {
+        let a = random(1, "a", 8);
+        let pool = ExecPool::new(4);
+        assert!(a
+            .hselect_par(&Predicate::eq_const("ghost", Value::Int(0)), &pool)
+            .is_err());
+        assert!(a.hproject_par(&["ghost"], &pool).is_err());
+        assert!(a.hproduct_par(&a, &pool).is_err());
+        let other = random(2, "z", 8);
+        assert!(a.hunion_par(&other, &pool).is_err());
+        assert!(a.hdifference_par(&other, &pool).is_err());
+    }
+
+    #[test]
+    fn partitioned_identity_shortcuts_still_share() {
+        let a = random(1, "a", 1200);
+        let empty = HistoricalState::empty(schema("a"));
+        let pool = ExecPool::new(4);
+        let u = a.hunion_par(&empty, &pool).unwrap();
+        assert!(std::ptr::eq(a.entries(), u.entries()));
+        let d = a.hdifference_par(&empty, &pool).unwrap();
+        assert!(std::ptr::eq(a.entries(), d.entries()));
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod derived;
 pub mod difference;
+pub mod par;
 pub mod product;
 pub mod project;
 pub mod select;

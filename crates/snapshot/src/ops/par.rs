@@ -1,0 +1,241 @@
+//! Partitioned (parallel) variants of the five snapshot operators.
+//!
+//! Each `*_par` kernel is observationally identical to its sequential
+//! twin — same result, same errors — and differs only in how the work is
+//! scheduled: the `BTreeSet`-backed operand is split into contiguous
+//! ranges of its canonical (lexicographic) order, the ranges are
+//! evaluated on scoped worker threads, and the per-range results are
+//! merged **in range order**.
+//!
+//! Why the merge is deterministic:
+//!
+//! * σ and − filter each input tuple independently, so each range yields
+//!   a sorted run disjoint from (and entirely below) the next range's
+//!   run; concatenating runs in order is exactly the sequential scan.
+//! * × chunks the *left* operand: distinct same-arity left tuples
+//!   `l₁ < l₂` concatenate to `l₁·x < l₂·y` for every `x`, `y`, so the
+//!   per-chunk sub-products are again disjoint sorted runs.
+//! * π and ∪ merge into a set, whose content does not depend on
+//!   insertion order; the merge itself runs on one thread in range order.
+//!
+//! A one-thread pool evaluates every kernel inline on the calling thread
+//! (see [`ExecPool::map_chunks`]) — the exact sequential path.
+
+use std::collections::BTreeSet;
+
+use txtime_exec::{ExecPool, OpKind};
+
+use crate::predicate::Predicate;
+use crate::state::SnapshotState;
+use crate::tuple::Tuple;
+use crate::Result;
+
+/// Minimum tuples per chunk for the tuple-at-a-time kernels; below
+/// 2 × this, spawn overhead beats the work.
+pub(crate) const SET_GRAIN: usize = 512;
+
+/// Minimum output *pairs* per chunk for the product kernel (its per-item
+/// cost scales with the right operand).
+pub(crate) const PRODUCT_PAIR_GRAIN: usize = 4096;
+
+impl SnapshotState {
+    /// [`SnapshotState::select`] evaluated over partitioned chunks.
+    pub fn select_par(&self, predicate: &Predicate, pool: &ExecPool) -> Result<SnapshotState> {
+        let compiled = predicate.compile(self.schema())?;
+        let items: Vec<&Tuple> = self.iter().collect();
+        let runs = pool.map_chunks(OpKind::Select, &items, SET_GRAIN, |chunk| {
+            chunk
+                .iter()
+                .filter(|t| compiled.eval(t))
+                .map(|&t| t.clone())
+                .collect::<Vec<Tuple>>()
+        });
+        // Disjoint ascending runs: in-order extension is a sorted bulk load.
+        let mut tuples = BTreeSet::new();
+        for run in runs {
+            tuples.extend(run);
+        }
+        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+    }
+
+    /// [`SnapshotState::project`] evaluated over partitioned chunks.
+    pub fn project_par(&self, attrs: &[impl AsRef<str>], pool: &ExecPool) -> Result<SnapshotState> {
+        let (schema, indices) = self.schema().project(attrs)?;
+        let items: Vec<&Tuple> = self.iter().collect();
+        let mut sets = pool
+            .map_chunks(OpKind::Project, &items, SET_GRAIN, |chunk| {
+                chunk
+                    .iter()
+                    .map(|t| t.project(&indices))
+                    .collect::<BTreeSet<Tuple>>()
+            })
+            .into_iter();
+        // Projected chunks may collide; set semantics make the merged
+        // content independent of merge order.
+        let mut tuples = sets.next().unwrap_or_default();
+        for set in sets {
+            tuples.extend(set);
+        }
+        Ok(SnapshotState::from_checked(schema, tuples))
+    }
+
+    /// [`SnapshotState::product`] with the left operand partitioned.
+    pub fn product_par(&self, other: &SnapshotState, pool: &ExecPool) -> Result<SnapshotState> {
+        let schema = self.schema().product(other.schema())?;
+        let grain = (PRODUCT_PAIR_GRAIN / other.len().max(1)).max(1);
+        let items: Vec<&Tuple> = self.iter().collect();
+        let runs = pool.map_chunks(OpKind::Product, &items, grain, |chunk| {
+            let mut pairs = Vec::with_capacity(chunk.len() * other.len());
+            for l in chunk {
+                for r in other.iter() {
+                    pairs.push(l.concat(r));
+                }
+            }
+            pairs
+        });
+        let mut tuples = BTreeSet::new();
+        for run in runs {
+            tuples.extend(run);
+        }
+        Ok(SnapshotState::from_checked(schema, tuples))
+    }
+
+    /// [`SnapshotState::union`] with the membership probe partitioned
+    /// over the right operand.
+    pub fn union_par(&self, other: &SnapshotState, pool: &ExecPool) -> Result<SnapshotState> {
+        self.schema().require_union_compatible(other.schema())?;
+        if self.is_empty() || other.is_empty() || std::ptr::eq(self.tuples(), other.tuples()) {
+            // Sequential identity shortcuts (O(1) Arc reuse).
+            return self.union(other);
+        }
+        let items: Vec<&Tuple> = other.iter().collect();
+        let runs = pool.map_chunks(OpKind::Union, &items, SET_GRAIN, |chunk| {
+            chunk
+                .iter()
+                .filter(|t| !self.contains(t))
+                .map(|&t| t.clone())
+                .collect::<Vec<Tuple>>()
+        });
+        if runs.iter().all(Vec::is_empty) {
+            // other ⊆ self: share the left set, like the sequential
+            // subsumption probe.
+            return Ok(self.clone());
+        }
+        let mut tuples = self.tuples().clone();
+        for run in runs {
+            tuples.extend(run);
+        }
+        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+    }
+
+    /// [`SnapshotState::difference`] with the survivor scan partitioned
+    /// over the left operand.
+    pub fn difference_par(&self, other: &SnapshotState, pool: &ExecPool) -> Result<SnapshotState> {
+        self.schema().require_union_compatible(other.schema())?;
+        if self.is_empty() || other.is_empty() || std::ptr::eq(self.tuples(), other.tuples()) {
+            return self.difference(other);
+        }
+        let items: Vec<&Tuple> = self.iter().collect();
+        let runs = pool.map_chunks(OpKind::Difference, &items, SET_GRAIN, |chunk| {
+            chunk
+                .iter()
+                .filter(|t| !other.contains(t))
+                .map(|&t| t.clone())
+                .collect::<Vec<Tuple>>()
+        });
+        if runs.iter().map(Vec::len).sum::<usize>() == self.len() {
+            // Disjoint operands: nothing removed, share the left set.
+            return Ok(self.clone());
+        }
+        let mut tuples = BTreeSet::new();
+        for run in runs {
+            tuples.extend(run);
+        }
+        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_state, GenConfig};
+    use crate::rng::rngs::StdRng;
+    use crate::rng::SeedableRng;
+    use crate::{DomainType, Schema, Value};
+
+    fn schema(prefix: &str) -> Schema {
+        Schema::new(vec![
+            (format!("{prefix}0"), DomainType::Int),
+            (format!("{prefix}1"), DomainType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn random(seed: u64, prefix: &str, cardinality: usize) -> SnapshotState {
+        let cfg = GenConfig {
+            arity: 2,
+            cardinality,
+            int_range: 64,
+            str_pool: 8,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_state(&mut rng, &schema(prefix), &cfg)
+    }
+
+    /// Every kernel, at several thread counts, against its sequential
+    /// twin — results must be equal (and errors must agree).
+    #[test]
+    fn partitioned_kernels_match_sequential() {
+        let a = random(1, "a", 3000);
+        let b = random(2, "a", 3000);
+        let c = random(3, "c", 40);
+        let pred = Predicate::gt_const("a0", Value::Int(20));
+        for threads in [1, 2, 3, 8] {
+            let pool = ExecPool::new(threads);
+            assert_eq!(
+                a.select(&pred).unwrap(),
+                a.select_par(&pred, &pool).unwrap()
+            );
+            assert_eq!(
+                a.project(&["a1"]).unwrap(),
+                a.project_par(&["a1"], &pool).unwrap()
+            );
+            assert_eq!(a.union(&b).unwrap(), a.union_par(&b, &pool).unwrap());
+            assert_eq!(
+                a.difference(&b).unwrap(),
+                a.difference_par(&b, &pool).unwrap()
+            );
+            assert_eq!(a.product(&c).unwrap(), a.product_par(&c, &pool).unwrap());
+        }
+    }
+
+    #[test]
+    fn partitioned_kernels_preserve_errors() {
+        let a = random(1, "a", 8);
+        let pool = ExecPool::new(4);
+        assert!(a
+            .select_par(&Predicate::eq_const("ghost", Value::Int(0)), &pool)
+            .is_err());
+        assert!(a.project_par(&["ghost"], &pool).is_err());
+        // Name clash in product; incompatible schemes in union/difference.
+        assert!(a.product_par(&a, &pool).is_err());
+        let other = random(2, "z", 8);
+        assert!(a.union_par(&other, &pool).is_err());
+        assert!(a.difference_par(&other, &pool).is_err());
+    }
+
+    #[test]
+    fn partitioned_identity_shortcuts_still_share() {
+        let a = random(1, "a", 1200);
+        let empty = SnapshotState::empty(schema("a"));
+        let pool = ExecPool::new(4);
+        let u = a.union_par(&empty, &pool).unwrap();
+        assert!(std::ptr::eq(a.tuples(), u.tuples()));
+        let d = a.difference_par(&empty, &pool).unwrap();
+        assert!(std::ptr::eq(a.tuples(), d.tuples()));
+        // Subsumption: a ∪ a (by value, not pointer) shares the left set.
+        let twin = a.clone();
+        let u2 = a.union_par(&twin, &pool).unwrap();
+        assert!(std::ptr::eq(a.tuples(), u2.tuples()));
+    }
+}

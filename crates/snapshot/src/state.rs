@@ -240,7 +240,8 @@ mod tests {
         let mut s = state();
         let carol = Tuple::new(vec![Value::str("carol"), Value::Int(50)]);
         let bob = Tuple::new(vec![Value::str("bob"), Value::Int(200)]);
-        s.apply_delta(&[bob.clone()], &[carol.clone()]).unwrap();
+        s.apply_delta(std::slice::from_ref(&bob), std::slice::from_ref(&carol))
+            .unwrap();
         assert_eq!(s.len(), 2);
         assert!(s.contains(&carol));
         assert!(!s.contains(&bob));

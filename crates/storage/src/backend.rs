@@ -57,13 +57,25 @@ impl CheckpointPolicy {
 /// is FINDSTATE's: `state_at(tx)` returns the state of the version with
 /// the largest transaction number ≤ `tx`, or `None` before the first
 /// version.
-pub trait RollbackStore: Send {
+pub trait RollbackStore: Send + Sync {
     /// Installs a new current state committed at `tx`. Transaction numbers
     /// must be presented in strictly increasing order.
     fn append(&mut self, state: &StateValue, tx: TransactionNumber);
 
     /// FINDSTATE: the state current at `tx`.
     fn state_at(&self, tx: TransactionNumber) -> Option<StateValue>;
+
+    /// FINDSTATE for a batch of probes, answered together.
+    ///
+    /// Answers are positional: `result[i]` is exactly
+    /// `state_at(txs[i])`. The provided implementation resolves each
+    /// probe independently; the delta-replay backends override it to
+    /// replay each chain segment once per batch, capturing every wanted
+    /// version along the way, instead of once per probe
+    /// ([`crate::Engine::resolve_many`] is the caller).
+    fn state_at_many(&self, txs: &[TransactionNumber]) -> Vec<Option<StateValue>> {
+        txs.iter().map(|tx| self.state_at(*tx)).collect()
+    }
 
     /// FINDSTATE with a selection/projection pushed into it — the storage
     /// side of `σ_F(ρ(I, N))` and friends.

@@ -16,6 +16,7 @@ use txtime_core::{
     Command, CommandOutcome, CoreError, EvalError, Expr, RelationType, RollbackFilter, StateSource,
     StateValue, TransactionNumber, TxSpec,
 };
+use txtime_exec::{ExecPool, ExecStats, OpKind};
 use txtime_optimizer::pushdown;
 
 use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
@@ -71,6 +72,9 @@ pub struct Engine {
     /// One materialization cache shared by every delta store.
     cache: Arc<MaterializationCache>,
     next_rel_id: u64,
+    /// The worker pool queries run on; one thread ⇒ the exact
+    /// sequential evaluator.
+    pool: ExecPool,
 }
 
 impl Engine {
@@ -85,6 +89,7 @@ impl Engine {
             wal: None,
             cache: MaterializationCache::shared(),
             next_rel_id: 0,
+            pool: ExecPool::from_env(),
         }
     }
 
@@ -162,8 +167,137 @@ impl Engine {
     /// database, so the engine stays observationally identical to the
     /// reference semantics — the differential tests in [`crate::equiv`]
     /// check exactly this entry point.
+    ///
+    /// With a multi-thread pool (see [`Engine::set_threads`]) the
+    /// rewritten expression runs on the pool-scheduled evaluator —
+    /// partitioned operator kernels plus concurrent binary subtrees —
+    /// which is result- and error-identical to the sequential one (the
+    /// parallel-determinism property tests pin this); one thread takes
+    /// the exact sequential path.
     pub fn eval(&self, expr: &Expr) -> Result<StateValue, EvalError> {
-        pushdown(expr).eval_with(self)
+        let rewritten = pushdown(expr);
+        if self.pool.threads() > 1 {
+            rewritten.eval_with_pool(self, &self.pool)
+        } else {
+            rewritten.eval_with(self)
+        }
+    }
+
+    /// Resolves a batch of rollback probes — `(relation, tx)` pairs —
+    /// together. `result[i]` is observably identical to evaluating
+    /// `ρ(probes[i].0, probes[i].1)` (or ρ̂, per the relation's own type)
+    /// with [`Engine::eval`], but the work is batched: probes are grouped
+    /// by relation, each delta store replays its chain once per batch via
+    /// [`RollbackStore::state_at_many`] instead of once per probe
+    /// (warming the materialization cache with every version it passes),
+    /// and distinct relations resolve on concurrent pool workers.
+    pub fn resolve_many(&self, probes: &[(&str, TxSpec)]) -> Vec<Result<StateValue, EvalError>> {
+        let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, (ident, _)) in probes.iter().enumerate() {
+            groups.entry(ident).or_default().push(i);
+        }
+        let groups: Vec<(&str, Vec<usize>)> = groups.into_iter().collect();
+        let scattered = self.pool.map_chunks(OpKind::Resolve, &groups, 1, |chunk| {
+            chunk
+                .iter()
+                .flat_map(|(ident, indices)| self.resolve_group(ident, indices, probes))
+                .collect::<Vec<_>>()
+        });
+        let mut out: Vec<Option<Result<StateValue, EvalError>>> =
+            probes.iter().map(|_| None).collect();
+        for (i, r) in scattered.into_iter().flatten() {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every probe resolved"))
+            .collect()
+    }
+
+    /// One relation's slice of a [`Engine::resolve_many`] batch: answers
+    /// tagged with their probe index.
+    fn resolve_group(
+        &self,
+        ident: &str,
+        indices: &[usize],
+        probes: &[(&str, TxSpec)],
+    ) -> Vec<(usize, Result<StateValue, EvalError>)> {
+        let Some(rel) = self.catalog.get(ident) else {
+            return indices
+                .iter()
+                .map(|&i| (i, Err(EvalError::UndefinedRelation(ident.to_string()))))
+                .collect();
+        };
+        // ρ for snapshot-state relations, ρ̂ for historical-state ones —
+        // the caller names a relation, not an operator, so the flag comes
+        // from the catalog and the shared type rules do the rest (e.g.
+        // ρ(s, N) on a snapshot relation still fails).
+        let historical = rel.rtype.holds_historical();
+        match &rel.keeper {
+            Keeper::Single(slot) => indices
+                .iter()
+                .map(|&i| {
+                    let r = self
+                        .rollback_relation(ident, probes[i].1, historical)
+                        .and_then(|_| match slot {
+                            Some((s, _)) => Ok(s.clone()),
+                            None => Err(EvalError::EmptyRelation(ident.to_string())),
+                        });
+                    (i, r)
+                })
+                .collect(),
+            Keeper::History(store) => {
+                let mut results = Vec::with_capacity(indices.len());
+                let mut at_indices = Vec::new();
+                let mut at_txs = Vec::new();
+                for &i in indices {
+                    match probes[i].1 {
+                        TxSpec::Current => {
+                            // Same fast path as single-probe resolution.
+                            let r = match store.current() {
+                                Some(s) => Ok(s),
+                                None => Engine::empty_like_first(store.as_ref(), ident),
+                            };
+                            results.push((i, r));
+                        }
+                        TxSpec::At(n) => {
+                            at_indices.push(i);
+                            at_txs.push(n);
+                        }
+                    }
+                }
+                let answers = store.state_at_many(&at_txs);
+                for (i, ans) in at_indices.into_iter().zip(answers) {
+                    let r = match ans {
+                        Some(s) => Ok(s),
+                        None => Engine::empty_like_first(store.as_ref(), ident),
+                    };
+                    results.push((i, r));
+                }
+                results
+            }
+        }
+    }
+
+    /// The pool's thread budget.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Replaces the worker pool with one of `threads` threads (0 is
+    /// clamped to 1 = sequential). Resets the exec counters.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = ExecPool::new(threads);
+    }
+
+    /// Per-operator counters from the worker pool (wall time, calls,
+    /// chunks) — surfaced by `txtime stats`.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.pool.stats()
+    }
+
+    /// Zeroes the worker pool's counters.
+    pub fn reset_exec_stats(&self) {
+        self.pool.reset_stats();
     }
 
     /// Counters from the shared materialization cache.
@@ -226,7 +360,7 @@ impl Engine {
                 let rtype = self
                     .relation_type(ident)
                     .ok_or_else(|| CoreError::UndefinedRelation(ident.clone()))?;
-                let state = expr.eval_with(self)?;
+                let state = self.eval(expr)?;
                 if state.is_historical() != rtype.holds_historical() {
                     return Err(CoreError::StateTypeMismatch {
                         relation: ident.clone(),
@@ -276,7 +410,7 @@ impl Engine {
                 Ok(CommandOutcome::Evolved)
             }
             Command::Display(expr) => {
-                let state = expr.eval_with(self)?;
+                let state = self.eval(expr)?;
                 Ok(CommandOutcome::Displayed(state))
             }
         }

@@ -1,9 +1,12 @@
 //! The forward-delta backend: base + per-transaction deltas +
 //! checkpoints.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use txtime_core::{StateValue, TransactionNumber};
+use txtime_core::{EvalError, RollbackFilter, StateValue, TransactionNumber};
+use txtime_historical::HistoricalState;
+use txtime_snapshot::SnapshotState;
 
 use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
 use crate::cache::MaterializationCache;
@@ -55,22 +58,14 @@ impl ForwardDeltaStore {
         }
     }
 
-    /// Reconstructs version `index` by replay, consulting the cache for
-    /// the finished version first and for the nearest materialized replay
-    /// seed second.
-    fn reconstruct(&self, index: usize) -> StateValue {
-        let target_tx = self.entries[index].1;
-        if let Some((cache, rel)) = &self.cache {
-            // Counted probe: the caller wanted exactly this version.
-            if let Some(state) = cache.get(*rel, target_tx.0) {
-                return state;
-            }
-        }
-        // Walk back to the nearest materialized seed — a checkpoint, or a
-        // cached reconstruction of an intermediate version (uncounted
-        // probes: these are opportunistic).
+    /// Walks back from `index` to the nearest materialized replay seed —
+    /// a checkpoint, or a cached reconstruction of an earlier version
+    /// (uncounted probes: these are opportunistic). Returns the seed's
+    /// entry index and its materialized state; every entry in
+    /// `(seed, index]` is a delta.
+    fn seed_for(&self, index: usize) -> (usize, StateValue) {
         let mut base = index;
-        let mut state = loop {
+        let state = loop {
             match &self.entries[base].0 {
                 Entry::Checkpoint(s) => break s.clone(),
                 Entry::Delta(_) => {
@@ -85,6 +80,21 @@ impl ForwardDeltaStore {
                 }
             }
         };
+        (base, state)
+    }
+
+    /// Reconstructs version `index` by replay, consulting the cache for
+    /// the finished version first and for the nearest materialized replay
+    /// seed second.
+    fn reconstruct(&self, index: usize) -> StateValue {
+        let target_tx = self.entries[index].1;
+        if let Some((cache, rel)) = &self.cache {
+            // Counted probe: the caller wanted exactly this version.
+            if let Some(state) = cache.get(*rel, target_tx.0) {
+                return state;
+            }
+        }
+        let (base, mut state) = self.seed_for(index);
         // Replay forward, mutating the one working state in place.
         let mut replayed = 0u64;
         for i in base + 1..=index {
@@ -123,6 +133,199 @@ impl RollbackStore for ForwardDeltaStore {
     fn state_at(&self, tx: TransactionNumber) -> Option<StateValue> {
         let idx = self.entries.partition_point(|(_, t)| *t <= tx);
         idx.checked_sub(1).map(|i| self.reconstruct(i))
+    }
+
+    /// Batched FINDSTATE: one replay pass over the delta chain answers
+    /// every probe, instead of one replay per probe. The pass runs from
+    /// the seed of the *lowest* uncached floor version to the *highest*,
+    /// capturing each wanted version (and warming the cache with it) as
+    /// the working state sweeps past it.
+    fn state_at_many(&self, txs: &[TransactionNumber]) -> Vec<Option<StateValue>> {
+        let floors: Vec<Option<usize>> = txs
+            .iter()
+            .map(|tx| {
+                self.entries
+                    .partition_point(|(_, t)| *t <= *tx)
+                    .checked_sub(1)
+            })
+            .collect();
+        // Triage the distinct floor versions through the cache (counted:
+        // each was wanted by at least one probe).
+        let mut resolved: BTreeMap<usize, StateValue> = BTreeMap::new();
+        let mut missing: BTreeSet<usize> = BTreeSet::new();
+        for &floor in floors.iter().flatten() {
+            if resolved.contains_key(&floor) || missing.contains(&floor) {
+                continue;
+            }
+            if let Some((cache, rel)) = &self.cache {
+                if let Some(s) = cache.get(*rel, self.entries[floor].1 .0) {
+                    resolved.insert(floor, s);
+                    continue;
+                }
+            }
+            missing.insert(floor);
+        }
+        if let (Some(&lo), Some(&hi)) = (missing.first(), missing.last()) {
+            let (base, mut state) = self.seed_for(lo);
+            if missing.contains(&base) {
+                // The lowest wanted version is itself a checkpoint.
+                resolved.insert(base, state.clone());
+            }
+            let mut replayed = 0u64;
+            for i in base + 1..=hi {
+                match &self.entries[i].0 {
+                    Entry::Delta(d) => {
+                        d.apply_in_place(&mut state);
+                        replayed += 1;
+                    }
+                    Entry::Checkpoint(s) => state = s.clone(),
+                }
+                if missing.contains(&i) {
+                    resolved.insert(i, state.clone());
+                    if let Some((cache, rel)) = &self.cache {
+                        if matches!(self.entries[i].0, Entry::Delta(_)) {
+                            // Same rule as single-probe reconstruction:
+                            // only replayed versions are worth caching.
+                            cache.insert(*rel, self.entries[i].1 .0, state.clone());
+                        }
+                    }
+                }
+            }
+            if let Some((cache, _)) = &self.cache {
+                cache.add_replayed(replayed);
+            }
+        }
+        floors
+            .iter()
+            .map(|f| f.map(|i| resolved[&i].clone()))
+            .collect()
+    }
+
+    /// FINDSTATE with the selection evaluated *during replay*: the
+    /// working state carries only tuples the predicate accepts, so the
+    /// full version is never materialized (experiment E10).
+    ///
+    /// This is sound because a forward delta identifies changes by tuple
+    /// value: a tuple's predicate verdict is fixed at compile time, so
+    /// filtering `added`/`upserted` entries as they arrive and applying
+    /// removals to the reduced state commutes with σ over the fully
+    /// replayed version. Scheme (and kind) boundaries reset the chain via
+    /// `Reschema`/checkpoint entries, so only the suffix after the last
+    /// boundary is replayed filtered — against the one schema the
+    /// predicate was compiled for.
+    fn state_at_filtered(
+        &self,
+        tx: TransactionNumber,
+        historical: bool,
+        filter: &RollbackFilter<'_>,
+    ) -> Result<Option<StateValue>, EvalError> {
+        let Some(predicate) = filter.predicate else {
+            // Projection-only pushdown cannot skip replay work (a
+            // projected state cannot seed the next delta); materialize
+            // and project, exactly like the default path.
+            return match self.state_at(tx) {
+                Some(s) => filter.apply(s, historical).map(Some),
+                None => Ok(None),
+            };
+        };
+        let idx = self.entries.partition_point(|(_, t)| *t <= tx);
+        let Some(target) = idx.checked_sub(1) else {
+            return Ok(None);
+        };
+        if let Some((cache, rel)) = &self.cache {
+            // A cached full version short-circuits the replay entirely.
+            if let Some(s) = cache.get(*rel, self.entries[target].1 .0) {
+                return filter.apply(s, historical).map(Some);
+            }
+        }
+        let (base, seed) = self.seed_for(target);
+        // Every entry in (base, target] is a delta; a `Reschema` delta
+        // replaces the state wholesale, so replay effectively starts at
+        // the *last* such boundary.
+        let mut start = base;
+        let mut state = seed;
+        for i in base + 1..=target {
+            if let Entry::Delta(StateDelta::Reschema(s)) = &self.entries[i].0 {
+                start = i;
+                state = (**s).clone();
+            }
+        }
+        if state.is_historical() != historical {
+            // The suffix after the last boundary keeps this kind, so the
+            // query is doomed to a kind mismatch; materialize unfiltered
+            // and let the shared filter code produce the exact error the
+            // un-pushed path would.
+            return filter.apply(self.reconstruct(target), historical).map(Some);
+        }
+        // Mirror σ/σ̂ error wrapping (see TupleTimestampStore): σ surfaces
+        // a SnapshotError, σ̂ an HistoricalError.
+        let mut replayed = 0u64;
+        let filtered = match &state {
+            StateValue::Snapshot(s) => {
+                let compiled = match predicate.compile(s.schema()) {
+                    Ok(c) => c,
+                    Err(e) => return Err(EvalError::Snapshot(e)),
+                };
+                let mut tuples: BTreeSet<_> =
+                    s.iter().filter(|t| compiled.eval(t)).cloned().collect();
+                for i in start + 1..=target {
+                    let Entry::Delta(StateDelta::Snapshot { added, removed }) = &self.entries[i].0
+                    else {
+                        unreachable!("suffix after the last boundary is snapshot deltas");
+                    };
+                    for t in removed {
+                        tuples.remove(t);
+                    }
+                    tuples.extend(added.iter().filter(|t| compiled.eval(t)).cloned());
+                    replayed += 1;
+                }
+                StateValue::Snapshot(
+                    SnapshotState::new(s.schema().clone(), tuples)
+                        .expect("stored tuples fit the stored schema"),
+                )
+            }
+            StateValue::Historical(h) => {
+                let compiled = match predicate.compile(h.schema()) {
+                    Ok(c) => c,
+                    Err(e) => return Err(EvalError::Historical(e.into())),
+                };
+                let mut entries: BTreeMap<_, _> = h
+                    .iter()
+                    .filter(|(t, _)| compiled.eval(t))
+                    .map(|(t, e)| (t.clone(), e.clone()))
+                    .collect();
+                for i in start + 1..=target {
+                    let Entry::Delta(StateDelta::Historical { upserted, removed }) =
+                        &self.entries[i].0
+                    else {
+                        unreachable!("suffix after the last boundary is historical deltas");
+                    };
+                    for t in removed {
+                        entries.remove(t);
+                    }
+                    for (t, e) in upserted {
+                        if compiled.eval(t) {
+                            entries.insert(t.clone(), e.clone());
+                        }
+                    }
+                    replayed += 1;
+                }
+                StateValue::Historical(
+                    HistoricalState::new(h.schema().clone(), entries)
+                        .expect("stored entries fit the stored schema"),
+                )
+            }
+        };
+        if let Some((cache, _)) = &self.cache {
+            // Filtered states never enter the cache — they are not the
+            // version — but the replay work is still accounted.
+            cache.add_replayed(replayed);
+        }
+        let remaining = RollbackFilter {
+            predicate: None,
+            project: filter.project,
+        };
+        remaining.apply(filtered, historical).map(Some)
     }
 
     fn current(&self) -> Option<StateValue> {

@@ -59,3 +59,4 @@ pub use full_copy::FullCopyStore;
 pub use metrics::{CacheStats, SpaceReport};
 pub use reverse_delta::ReverseDeltaStore;
 pub use tuple_ts::TupleTimestampStore;
+pub use txtime_exec::{ExecPool, ExecStats, OpKind, OpStat};

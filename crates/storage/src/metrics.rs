@@ -1,5 +1,10 @@
 //! Space accounting (experiment E3) and cache accounting (experiment
 //! E10).
+//!
+//! Parallel-execution accounting — per-operator wall time and chunk
+//! counts — lives in `txtime_exec` ([`txtime_exec::ExecStats`],
+//! re-exported at this crate's root) and is surfaced alongside these
+//! reports by [`crate::Engine::exec_stats`] and `txtime stats`.
 
 use std::fmt;
 

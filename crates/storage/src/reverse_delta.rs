@@ -1,5 +1,6 @@
 //! The reverse-delta backend: current state in full, deltas backwards.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use txtime_core::{StateValue, TransactionNumber};
@@ -94,6 +95,73 @@ impl RollbackStore for ReverseDeltaStore {
             }
         }
         Some(state)
+    }
+
+    /// Batched FINDSTATE: one backward walk from the current state (or
+    /// the nearest cached seed) answers every probe, capturing each
+    /// wanted version as the walk sweeps past it — instead of one walk
+    /// per probe ([`crate::Engine::resolve_many`] is the caller).
+    fn state_at_many(&self, txs: &[TransactionNumber]) -> Vec<Option<StateValue>> {
+        let floors: Vec<Option<usize>> = txs
+            .iter()
+            .map(|tx| self.txs.partition_point(|t| *t <= *tx).checked_sub(1))
+            .collect();
+        // Triage the distinct floor versions through the cache (counted:
+        // each was wanted by at least one probe).
+        let mut resolved: BTreeMap<usize, StateValue> = BTreeMap::new();
+        let mut missing: BTreeSet<usize> = BTreeSet::new();
+        for &floor in floors.iter().flatten() {
+            if resolved.contains_key(&floor) || missing.contains(&floor) {
+                continue;
+            }
+            if let Some((cache, rel)) = &self.cache {
+                if let Some(s) = cache.get(*rel, self.txs[floor].0) {
+                    resolved.insert(floor, s);
+                    continue;
+                }
+            }
+            missing.insert(floor);
+        }
+        if let (Some(&lo), Some(&hi)) = (missing.first(), missing.last()) {
+            // Seed the walk at the materialized current state, or at a
+            // cached version just above the highest wanted one.
+            let mut seed = self.undo.len();
+            let mut state = None;
+            if let Some((cache, rel)) = &self.cache {
+                for j in hi + 1..self.undo.len() {
+                    if let Some(s) = cache.peek(*rel, self.txs[j].0) {
+                        seed = j;
+                        state = Some(s);
+                        break;
+                    }
+                }
+            }
+            let mut state = state
+                .unwrap_or_else(|| self.current.clone().expect("non-empty store has a current"));
+            if missing.contains(&seed) {
+                // The highest wanted version is the current one: no
+                // replay, and nothing worth caching.
+                resolved.insert(seed, state.clone());
+            }
+            let mut replayed = 0u64;
+            for i in (lo..seed).rev() {
+                self.undo[i].apply_in_place(&mut state);
+                replayed += 1;
+                if missing.contains(&i) {
+                    resolved.insert(i, state.clone());
+                    if let Some((cache, rel)) = &self.cache {
+                        cache.insert(*rel, self.txs[i].0, state.clone());
+                    }
+                }
+            }
+            if let Some((cache, _)) = &self.cache {
+                cache.add_replayed(replayed);
+            }
+        }
+        floors
+            .iter()
+            .map(|f| f.map(|i| resolved[&i].clone()))
+            .collect()
     }
 
     fn current(&self) -> Option<StateValue> {

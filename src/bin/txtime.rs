@@ -8,7 +8,8 @@
 //! txtime run script.txq --wal journal.wal     # journal mutations
 //! txtime recover journal.wal                  # rebuild + summarize
 //! txtime check script.txq                     # static check + verify engine ≡ reference
-//! txtime stats script.txq                     # execute, report space + cache counters
+//! txtime stats script.txq                     # execute, report space/cache/exec counters
+//! txtime stats script.txq --threads 4         # size the query worker pool
 //! ```
 //!
 //! `run` and `check` both start by parsing and statically checking the
@@ -32,7 +33,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "check" => check(rest),
         Some((cmd, rest)) if cmd == "stats" => stats(rest),
         _ => {
-            eprintln!("usage: txtime <run|recover|check|stats> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--no-check]");
+            eprintln!("usage: txtime <run|recover|check|stats> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--threads N] [--no-check]");
             eprintln!("backends: full-copy (default), fwd-delta, rev-delta, tuple-ts");
             ExitCode::FAILURE
         }
@@ -45,6 +46,9 @@ struct Options {
     wal: Option<String>,
     checkpoint: CheckpointPolicy,
     no_check: bool,
+    /// Worker-pool size for query evaluation; `None` defers to the
+    /// engine's default (`TXTIME_THREADS` / available parallelism).
+    threads: Option<usize>,
 }
 
 fn parse_options(rest: &[String]) -> Result<Options, String> {
@@ -53,10 +57,21 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
     let mut wal = None;
     let mut checkpoint = CheckpointPolicy::every_k(16).unwrap();
     let mut no_check = false;
+    let mut threads = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--no-check" => no_check = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid thread count {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(n);
+            }
             "--backend" => {
                 let v = it.next().ok_or("--backend needs a value")?;
                 backend = match v.as_str() {
@@ -86,6 +101,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         wal,
         checkpoint,
         no_check,
+        threads,
     })
 }
 
@@ -157,6 +173,9 @@ fn run(rest: &[String]) -> ExitCode {
         },
         None => Engine::new(opts.backend, opts.checkpoint),
     };
+    if let Some(n) = opts.threads {
+        engine.set_threads(n);
+    }
     match engine.execute_script(&source) {
         Ok(outcomes) => {
             for o in &outcomes {
@@ -232,12 +251,18 @@ fn stats(rest: &[String]) -> ExitCode {
         }
     };
     let mut engine = Engine::new(opts.backend, opts.checkpoint);
+    if let Some(n) = opts.threads {
+        engine.set_threads(n);
+    }
     if let Err(e) = engine.execute_script(&source) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
     println!("{}", engine.space_report());
     print!("{}", engine.cache_stats());
+    // Per-operator wall time and chunk counts from the worker pool (the
+    // header echoes the thread budget the run used).
+    print!("{}", engine.exec_stats());
     ExitCode::SUCCESS
 }
 
