@@ -13,11 +13,16 @@ use txtime_snapshot::rng::{Rng, SeedableRng};
 use txtime_bench::*;
 use txtime_benzvi::bridge;
 use txtime_core::{
-    Command, Database, Expr, RelationType, Sentence, StateSource, TransactionNumber, TxSpec,
+    Command, Database, Expr, RelationType, Sentence, StateSource, StateValue, TransactionNumber,
+    TxSpec,
 };
 use txtime_optimizer::{estimate_cost, optimize, CostModel, SchemaCatalog};
-use txtime_snapshot::{Predicate, Value};
-use txtime_storage::{check_equivalence, recovery::recover, BackendKind, CheckpointPolicy, Engine};
+use txtime_snapshot::generate::random_state;
+use txtime_snapshot::reference::RefSnapshot;
+use txtime_snapshot::{Predicate, SnapshotState, Value};
+use txtime_storage::{
+    check_equivalence, recovery::recover, BackendKind, CheckpointPolicy, Engine, StateDelta,
+};
 use txtime_txn::{check_serial_equivalence, ConcurrentManager, Transaction};
 
 fn main() {
@@ -66,6 +71,9 @@ fn main() {
     if run("e13") {
         e13_parallel();
     }
+    if run("e14") {
+        e14_sorted_runs();
+    }
     // Explicit-only: writes BENCH_2.json with the headline numbers.
     if args.iter().any(|a| a == "bench2") {
         bench2();
@@ -73,6 +81,10 @@ fn main() {
     // Explicit-only: writes BENCH_3.json (parallel execution headline).
     if args.iter().any(|a| a == "bench3") {
         bench3();
+    }
+    // Explicit-only: writes BENCH_4.json (sorted-run layout headline).
+    if args.iter().any(|a| a == "bench4") {
+        bench4();
     }
 }
 
@@ -1138,5 +1150,162 @@ fn bench3() {
          \"e10_pushdown_sigma_over_rho\": {{{e10_pushdown}}}\n}}\n"
     );
     std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    println!("{json}");
+}
+
+// --------------------------------------------------------------------
+// E14: sorted-run layout vs the BTree layout it replaced.
+// --------------------------------------------------------------------
+
+/// Two union-compatible operands of cardinality `n` over [`bench_schema`]
+/// plus their BTree-reference twins (conversion cost excluded from every
+/// timing below).
+fn e14_operands(n: usize) -> (SnapshotState, SnapshotState, RefSnapshot, RefSnapshot) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let schema = bench_schema();
+    let cfg = bench_gen_config(n);
+    let a = random_state(&mut rng, &schema, &cfg);
+    let b = random_state(&mut rng, &schema, &cfg);
+    let (ra, rb) = (RefSnapshot::from_state(&a), RefSnapshot::from_state(&b));
+    (a, b, ra, rb)
+}
+
+/// `(op, json key, btree µs, sorted µs)` rows at cardinality `n`.
+fn measure_sorted_run_ops(n: usize) -> Vec<(&'static str, String, f64, f64)> {
+    let (a, b, ra, rb) = e14_operands(n);
+    let reps = if n >= 100_000 { 5 } else { 11 };
+    vec![
+        (
+            "union",
+            format!("union_{n}"),
+            time_median(|| ra.union(&rb).unwrap().len(), reps),
+            time_median(|| a.union(&b).unwrap().len(), reps),
+        ),
+        (
+            "difference",
+            format!("difference_{n}"),
+            time_median(|| ra.difference(&rb).unwrap().len(), reps),
+            time_median(|| a.difference(&b).unwrap().len(), reps),
+        ),
+        (
+            "project",
+            format!("project_{n}"),
+            time_median(|| ra.project(&["id", "grade"]).unwrap().len(), reps),
+            time_median(|| a.project(&["id", "grade"]).unwrap().len(), reps),
+        ),
+    ]
+}
+
+/// Forward-delta replay over a `versions`-long chain: per-element BTree
+/// replay vs the merge-based `apply_in_place`. Returns (btree µs,
+/// sorted µs) for replaying the whole chain.
+fn measure_delta_replay(versions: usize) -> (f64, f64) {
+    let chain = version_chain(versions, 200, 0.1);
+    let deltas: Vec<StateDelta> = chain
+        .windows(2)
+        .map(|w| {
+            StateDelta::between(
+                &StateValue::Snapshot(w[0].clone()),
+                &StateValue::Snapshot(w[1].clone()),
+            )
+        })
+        .collect();
+    const REPS: usize = 21;
+    let base = StateValue::Snapshot(chain[0].clone());
+    let sorted = time_median(
+        || {
+            let mut working = base.clone();
+            for d in &deltas {
+                d.apply_in_place(&mut working);
+            }
+            working.len()
+        },
+        REPS,
+    );
+    let ref_base = RefSnapshot::from_state(&chain[0]);
+    let btree = time_median(
+        || {
+            // The BTree-era replay was persistent: `StateDelta::apply`
+            // cloned the base's tree and produced a fresh state per step.
+            let mut working = ref_base.clone();
+            for d in &deltas {
+                match d {
+                    StateDelta::Snapshot { added, removed } => {
+                        let mut next = working.clone();
+                        next.apply_delta(removed, added).unwrap();
+                        working = next;
+                    }
+                    _ => unreachable!("a snapshot chain only yields snapshot deltas"),
+                }
+            }
+            working.len()
+        },
+        REPS,
+    );
+    (btree, sorted)
+}
+
+fn e14_sorted_runs() {
+    println!("E14. Sorted-run layout: merge kernels vs the retained BTree layout");
+    println!("\nE14a. Set operations, identical seeded operands (µs/op)");
+    println!(
+        "{:<12} {:>9} {:>12} {:>12} {:>9}",
+        "op", "tuples", "btree", "sorted", "speedup"
+    );
+    for n in [10_000usize, 100_000] {
+        for (op, _, btree, sorted) in measure_sorted_run_ops(n) {
+            println!(
+                "{:<12} {:>9} {:>12.1} {:>12.1} {:>8.2}x",
+                op,
+                n,
+                btree,
+                sorted,
+                btree / sorted.max(1e-9)
+            );
+        }
+    }
+    println!("\nE14b. Forward-delta replay, 1024 versions, |R| = 200, churn 0.1 (µs/chain)");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}",
+        "replay", "btree", "sorted", "speedup"
+    );
+    let (btree, sorted) = measure_delta_replay(1024);
+    println!(
+        "{:<16} {:>12.1} {:>12.1} {:>8.2}x",
+        "full chain",
+        btree,
+        sorted,
+        btree / sorted.max(1e-9)
+    );
+    println!("=> merge kernels stream two sorted runs once instead of issuing one tree\n   insert per tuple; replay edits one uniquely-owned run in place (galloping\n   event location plus compare-free swaps), where the BTree-era replay cloned\n   a full tree per version — per-version allocation drops to zero.\n");
+}
+
+// --------------------------------------------------------------------
+// bench4: BENCH_4.json with the sorted-run headline numbers.
+// --------------------------------------------------------------------
+fn bench4() {
+    println!("bench4. Writing BENCH_4.json (sorted-run kernels vs BTree layout)");
+    let mut set_ops = String::new();
+    for n in [10_000usize, 100_000] {
+        for (_, key, btree, sorted) in measure_sorted_run_ops(n) {
+            if !set_ops.is_empty() {
+                set_ops.push_str(", ");
+            }
+            set_ops.push_str(&format!(
+                "\"{key}\": {{\"btree_us\": {btree:.1}, \"sorted_us\": {sorted:.1}, \
+                 \"speedup\": {:.2}}}",
+                btree / sorted.max(1e-9)
+            ));
+        }
+    }
+    let (btree, sorted) = measure_delta_replay(1024);
+    let json = format!(
+        "{{\n  \"seed\": \"{SEED:#x}\",\n  \
+         \"e14_set_ops\": {{{set_ops}}},\n  \
+         \"e14_forward_replay_at_1024_versions\": {{\"btree_us\": {btree:.1}, \
+         \"sorted_us\": {sorted:.1}, \"speedup\": {:.2}}}\n}}\n",
+        btree / sorted.max(1e-9)
+    );
+    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
     println!("{json}");
 }

@@ -67,7 +67,7 @@ proptest! {
         let expected: BTreeSet<Tuple> =
             base.iter().chain(extra.iter()).cloned().collect();
         let got = current(&db);
-        prop_assert_eq!(got.tuples(), &expected);
+        prop_assert_eq!(&got.tuples(), &expected);
     }
 
     #[test]
@@ -85,7 +85,7 @@ proptest! {
             .cloned()
             .collect();
         let got = current(&db);
-        prop_assert_eq!(got.tuples(), &expected);
+        prop_assert_eq!(&got.tuples(), &expected);
     }
 
     #[test]
@@ -131,7 +131,7 @@ proptest! {
             })
             .collect();
         let got = current(&db);
-        prop_assert_eq!(got.tuples(), &expected);
+        prop_assert_eq!(&got.tuples(), &expected);
     }
 
     #[test]

@@ -98,6 +98,31 @@ impl OpKind {
         }
     }
 
+    /// The minimum number of work units a chunk of this operator should
+    /// carry before splitting pays for a thread spawn. The partitioned
+    /// kernels derive their grains from this table (for the set
+    /// operators the unit is an input tuple/entry; for the products it
+    /// is an output pair), so tiny inputs stay inline on the calling
+    /// thread instead of paying spawn overhead.
+    pub const fn min_chunk(self) -> usize {
+        match self {
+            // Per-item work is a cheap comparison/copy: demand big chunks.
+            OpKind::Select
+            | OpKind::Project
+            | OpKind::Union
+            | OpKind::Difference
+            | OpKind::HSelect
+            | OpKind::HProject
+            | OpKind::HUnion
+            | OpKind::HDifference => 512,
+            // One left item fans out over the whole right operand: the
+            // grain is sized in output pairs, not input items.
+            OpKind::Product | OpKind::HProduct => 4096,
+            // Units are whole subtrees / rollback targets.
+            OpKind::Subtree | OpKind::Resolve => 1,
+        }
+    }
+
     fn index(self) -> usize {
         OpKind::ALL.iter().position(|&k| k == self).expect("listed")
     }
@@ -148,7 +173,12 @@ impl ExecStats {
 
 impl std::fmt::Display for ExecStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "exec: {} thread(s)", self.threads)?;
+        writeln!(
+            f,
+            "exec: {} thread(s) (host parallelism {})",
+            self.threads,
+            ExecPool::host_parallelism()
+        )?;
         for op in self.ops.iter().filter(|o| o.calls > 0) {
             writeln!(
                 f,
@@ -188,12 +218,32 @@ impl std::fmt::Debug for ExecPool {
 
 impl ExecPool {
     /// A pool with the given thread budget (0 is clamped to 1).
+    ///
+    /// The budget is taken verbatim — oversubscription included — for
+    /// callers that deliberately test scheduling. User-facing entry
+    /// points should prefer [`ExecPool::clamped`].
     pub fn new(threads: usize) -> ExecPool {
         ExecPool {
             threads: threads.max(1),
             in_flight: AtomicUsize::new(0),
             counters: std::array::from_fn(|_| OpCounters::default()),
         }
+    }
+
+    /// The host's available parallelism (1 when it cannot be queried).
+    pub fn host_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// A pool with the requested budget clamped to the host's available
+    /// parallelism: asking for 8 threads on a 1-core host yields a
+    /// sequential pool instead of 8 threads contending for one core
+    /// (where spawn/join overhead makes partitioned kernels *slower*
+    /// than sequential).
+    pub fn clamped(threads: usize) -> ExecPool {
+        ExecPool::new(threads.max(1).min(ExecPool::host_parallelism()))
     }
 
     /// A pool sized from the environment: `TXTIME_THREADS` if set to a
@@ -421,6 +471,26 @@ mod tests {
         assert!(stats.to_string().contains("select"));
         pool.reset_stats();
         assert_eq!(pool.stats().total_calls(), 0);
+    }
+
+    #[test]
+    fn clamped_never_exceeds_host_parallelism() {
+        let host = ExecPool::host_parallelism();
+        assert!(host >= 1);
+        assert_eq!(ExecPool::clamped(0).threads(), 1);
+        assert_eq!(ExecPool::clamped(1).threads(), 1);
+        assert!(ExecPool::clamped(usize::MAX).threads() <= host);
+        // Explicit `new` keeps the verbatim budget for scheduling tests.
+        assert_eq!(ExecPool::new(8).threads(), 8);
+    }
+
+    #[test]
+    fn min_chunk_floors_are_positive() {
+        for kind in OpKind::ALL {
+            assert!(kind.min_chunk() >= 1, "{}", kind.name());
+        }
+        // The set kernels demand larger chunks than subtree scheduling.
+        assert!(OpKind::Union.min_chunk() > OpKind::Subtree.min_chunk());
     }
 
     #[test]

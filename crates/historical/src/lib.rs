@@ -44,6 +44,7 @@ pub mod error;
 pub mod generate;
 pub mod ops;
 pub mod period;
+pub mod reference;
 pub mod state;
 pub mod texpr;
 pub mod tpred;
@@ -52,7 +53,7 @@ pub use chronon::{Chronon, FOREVER};
 pub use element::TemporalElement;
 pub use error::HistoricalError;
 pub use period::Period;
-pub use state::HistoricalState;
+pub use state::{Entry, HistoricalState};
 pub use texpr::TemporalExpr;
 pub use tpred::TemporalPred;
 

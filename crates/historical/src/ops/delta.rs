@@ -1,7 +1,5 @@
 //! The valid-time operator δ_{G,V}.
 
-use std::collections::BTreeMap;
-
 use crate::state::HistoricalState;
 use crate::texpr::TemporalExpr;
 use crate::tpred::TemporalPred;
@@ -17,16 +15,19 @@ impl HistoricalState {
     /// component). Tuples whose new valid time is empty are dropped,
     /// preserving the historical-state invariant.
     pub fn delta(&self, g: &TemporalPred, v: &TemporalExpr) -> Result<HistoricalState> {
-        let mut map = BTreeMap::new();
-        for (t, e) in self.iter() {
+        // A single scan over the sorted run: δ rewrites valid times but
+        // never the value tuples, so the surviving subsequence is already
+        // in canonical order.
+        let mut out = Vec::with_capacity(self.len());
+        for (t, e) in self.run() {
             if g.eval(e) {
                 let ne = v.eval(e);
                 if !ne.is_empty() {
-                    map.insert(t.clone(), ne);
+                    out.push((t.clone(), ne));
                 }
             }
         }
-        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+        Ok(HistoricalState::from_sorted_vec(self.schema().clone(), out))
     }
 
     /// Shorthand: the historical state restricted to facts valid at

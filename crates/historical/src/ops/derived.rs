@@ -3,30 +3,21 @@
 //! As in the snapshot algebra, several useful operators are definable
 //! from the primitives; they carry the same timeslice correspondence.
 
-use std::collections::BTreeMap;
-
 use txtime_snapshot::Tuple;
 
-use crate::element::TemporalElement;
-use crate::state::HistoricalState;
+use crate::ops::hmerge::hmerge_intersect;
+use crate::state::{Entry, HistoricalState};
 use crate::Result;
 
 impl HistoricalState {
     /// Historical intersection: a fact is in the result exactly when it
     /// was valid in *both* operands, over the intersection of its valid
-    /// times. Equal to `A −̂ (A −̂ B)`.
+    /// times. Equal to `A −̂ (A −̂ B)`; computed as a single two-pointer
+    /// merge over the operands' sorted runs.
     pub fn hintersect(&self, other: &HistoricalState) -> Result<HistoricalState> {
         self.schema().require_union_compatible(other.schema())?;
-        let mut map = BTreeMap::new();
-        for (t, e) in self.iter() {
-            if let Some(oe) = other.valid_time(t) {
-                let common = e.intersect(oe);
-                if !common.is_empty() {
-                    map.insert(t.clone(), common);
-                }
-            }
-        }
-        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+        let out = hmerge_intersect(self.run(), other.run());
+        Ok(HistoricalState::from_sorted_vec(self.schema().clone(), out))
     }
 
     /// Historical natural join on all common attribute names: joined
@@ -67,7 +58,10 @@ impl HistoricalState {
             .map(|c| other.schema().index_of(c).expect("common attr in right"))
             .collect();
 
-        let mut map: BTreeMap<Tuple, TemporalElement> = BTreeMap::new();
+        // Joined tuples from distinct left/right pairs can coincide after
+        // the right's common attributes are dropped; from_unsorted_vec
+        // coalesces them in scan order with element union.
+        let mut out: Vec<Entry> = Vec::new();
         for (l, le) in self.iter() {
             for (r, re) in other.iter() {
                 let matches = left_common
@@ -85,16 +79,10 @@ impl HistoricalState {
                 for &i in &right_keep {
                     vals.push(r.get(i).clone());
                 }
-                let joined = Tuple::new(vals);
-                match map.get_mut(&joined) {
-                    Some(existing) => *existing = existing.union(&e),
-                    None => {
-                        map.insert(joined, e);
-                    }
-                }
+                out.push((Tuple::new(vals), e));
             }
         }
-        Ok(HistoricalState::from_checked(schema, map))
+        Ok(HistoricalState::from_unsorted_vec(schema, out))
     }
 }
 

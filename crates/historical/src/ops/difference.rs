@@ -1,7 +1,6 @@
 //! Historical difference (−̂).
 
-use std::collections::BTreeMap;
-
+use crate::ops::hmerge::hmerge_difference;
 use crate::state::HistoricalState;
 use crate::Result;
 
@@ -12,35 +11,23 @@ impl HistoricalState {
     /// operand minus the valid time it had in the right; tuples whose
     /// valid time becomes empty disappear.
     ///
-    /// When the right operand is empty (or the left is), or the operands
-    /// share the same underlying map, no element changes and the answer is
-    /// an O(1) `Arc` clone (resp. the empty state).
+    /// The kernel walks the left run once, galloping the right cursor
+    /// forward with binary jumps. When no element changes (including an
+    /// empty right operand, or value/time-disjoint operands), the left
+    /// run is reused as-is — an O(1) `Arc` clone.
     pub fn hdifference(&self, other: &HistoricalState) -> Result<HistoricalState> {
         self.schema().require_union_compatible(other.schema())?;
         if other.is_empty() || self.is_empty() {
             return Ok(self.clone());
         }
-        if std::ptr::eq(self.entries(), other.entries()) {
+        if self.shares_run(other) {
             return Ok(HistoricalState::empty(self.schema().clone()));
         }
-        let mut map = BTreeMap::new();
-        let mut changed = false;
-        for (t, e) in self.iter() {
-            let remaining = match other.valid_time(t) {
-                Some(oe) => e.difference(oe),
-                None => e.clone(),
-            };
-            changed |= &remaining != e;
-            if !remaining.is_empty() {
-                map.insert(t.clone(), remaining);
-            }
-        }
+        let (out, changed) = hmerge_difference(self.run(), other.run());
         if !changed {
-            // Value-disjoint operands (or disjoint valid times): share the
-            // left map instead of keeping the rebuilt copy.
             return Ok(self.clone());
         }
-        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+        Ok(HistoricalState::from_sorted_vec(self.schema().clone(), out))
     }
 }
 
@@ -96,13 +83,13 @@ mod tests {
     }
 
     #[test]
-    fn difference_identity_cases_share_the_entry_map() {
+    fn difference_identity_cases_share_the_run() {
         let a = st(&[("a", 0, 5), ("b", 1, 9)]);
         let kept = a.hdifference(&HistoricalState::empty(schema())).unwrap();
-        assert!(std::ptr::eq(a.entries(), kept.entries()));
+        assert!(a.shares_run(&kept));
         // Value-disjoint operands remove nothing.
         let disjoint = a.hdifference(&st(&[("z", 0, 99)])).unwrap();
-        assert!(std::ptr::eq(a.entries(), disjoint.entries()));
+        assert!(a.shares_run(&disjoint));
     }
 
     #[test]

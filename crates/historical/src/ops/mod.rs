@@ -14,6 +14,7 @@
 pub mod delta;
 pub mod derived;
 pub mod difference;
+pub(crate) mod hmerge;
 pub mod par;
 pub mod product;
 pub mod project;

@@ -1,47 +1,79 @@
 //! Partitioned (parallel) variants of the historical operators.
 //!
 //! The same partition/merge discipline as the snapshot kernels
-//! (`txtime_snapshot::ops::par`), applied to `BTreeMap`-backed historical
-//! states: operands are split into contiguous ranges of the canonical
-//! tuple order, ranges are evaluated on scoped worker threads, and the
-//! per-range results are merged in range order. σ̂ and −̂ yield disjoint
+//! (`txtime_snapshot::ops::par`), applied to sorted-run historical
+//! states: operands are split on slice ranges of the canonical run
+//! (an O(1) partitioning — no per-entry collection), ranges are
+//! evaluated on scoped worker threads, and the per-range results are
+//! concatenated in range order. σ̂, π̂-free kernels and −̂ yield disjoint
 //! sorted runs; ×̂ chunks the left operand so runs stay disjoint and
-//! sorted; π̂ and ∪̂ merge valid-time elements with the same commutative
-//! `TemporalElement::union` the sequential kernels use, so the merged
-//! content is independent of scheduling.
+//! sorted; ∪̂ and −̂ split *both* operands at aligned pivot tuples so
+//! each chunk is an independent two-pointer merge.
 
-use std::collections::BTreeMap;
+use std::ops::Range;
 
 use txtime_exec::{ExecPool, OpKind};
-use txtime_snapshot::{Predicate, Tuple};
+use txtime_snapshot::Predicate;
 
-use crate::element::TemporalElement;
-use crate::state::HistoricalState;
+use crate::ops::hmerge::{hmerge_difference, hmerge_union};
+use crate::state::{Entry, HistoricalState};
 use crate::Result;
 
-/// Minimum entries per chunk for the entry-at-a-time kernels.
-const SET_GRAIN: usize = 512;
+/// Minimum entries per chunk for the entry-at-a-time kernels; sourced
+/// from the shared per-kernel heuristic.
+const SET_GRAIN: usize = OpKind::HSelect.min_chunk();
 
 /// Minimum output pairs per chunk for the product kernel.
-const PRODUCT_PAIR_GRAIN: usize = 4096;
+const PRODUCT_PAIR_GRAIN: usize = OpKind::HProduct.min_chunk();
+
+/// Split two sorted runs into at most `want` aligned range pairs: the
+/// left run is cut at evenly spaced indices and the right run at the
+/// matching pivot tuples, so each pair of ranges can be merged
+/// independently and the per-pair outputs concatenated in order.
+pub(crate) fn aligned_parts(
+    left: &[Entry],
+    right: &[Entry],
+    want: usize,
+) -> Vec<(Range<usize>, Range<usize>)> {
+    let want = want.max(1);
+    let mut cuts: Vec<(usize, usize)> = Vec::with_capacity(want + 1);
+    cuts.push((0, 0));
+    let mut prev_l = 0usize;
+    for k in 1..want {
+        let l = k * left.len() / want;
+        if l <= prev_l || l >= left.len() {
+            continue;
+        }
+        let pivot = &left[l].0;
+        let r = right.partition_point(|(t, _)| t < pivot);
+        cuts.push((l, r));
+        prev_l = l;
+    }
+    cuts.push((left.len(), right.len()));
+    cuts.windows(2)
+        .map(|w| (w[0].0..w[1].0, w[0].1..w[1].1))
+        .collect()
+}
 
 impl HistoricalState {
     /// [`HistoricalState::hselect`] evaluated over partitioned chunks.
     pub fn hselect_par(&self, predicate: &Predicate, pool: &ExecPool) -> Result<HistoricalState> {
         let compiled = predicate.compile(self.schema())?;
-        let items: Vec<(&Tuple, &TemporalElement)> = self.iter().collect();
-        let runs = pool.map_chunks(OpKind::HSelect, &items, SET_GRAIN, |chunk| {
+        let runs = pool.map_chunks(OpKind::HSelect, self.run(), SET_GRAIN, |chunk| {
             chunk
                 .iter()
                 .filter(|(t, _)| compiled.eval(t))
-                .map(|&(t, e)| (t.clone(), e.clone()))
+                .cloned()
                 .collect::<Vec<_>>()
         });
-        let mut map = BTreeMap::new();
+        let mut out = Vec::with_capacity(runs.iter().map(Vec::len).sum());
         for run in runs {
-            map.extend(run);
+            out.extend(run);
         }
-        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+        if out.len() == self.len() {
+            return Ok(self.clone());
+        }
+        Ok(HistoricalState::from_sorted_vec(self.schema().clone(), out))
     }
 
     /// [`HistoricalState::hproject`] evaluated over partitioned chunks.
@@ -51,37 +83,21 @@ impl HistoricalState {
         pool: &ExecPool,
     ) -> Result<HistoricalState> {
         let (schema, indices) = self.schema().project(attrs)?;
-        let items: Vec<(&Tuple, &TemporalElement)> = self.iter().collect();
-        let mut maps = pool
-            .map_chunks(OpKind::HProject, &items, SET_GRAIN, |chunk| {
-                let mut local: BTreeMap<Tuple, TemporalElement> = BTreeMap::new();
-                for &(t, e) in chunk {
-                    let p = t.project(&indices);
-                    match local.get_mut(&p) {
-                        Some(existing) => *existing = existing.union(e),
-                        None => {
-                            local.insert(p, e.clone());
-                        }
-                    }
-                }
-                local
-            })
-            .into_iter();
-        // Cross-chunk collisions union their elements; `union` is
-        // commutative and associative, so the merged content does not
-        // depend on chunking.
-        let mut map = maps.next().unwrap_or_default();
-        for local in maps {
-            for (t, e) in local {
-                match map.get_mut(&t) {
-                    Some(existing) => *existing = existing.union(&e),
-                    None => {
-                        map.insert(t, e);
-                    }
-                }
-            }
+        let runs = pool.map_chunks(OpKind::HProject, self.run(), SET_GRAIN, |chunk| {
+            chunk
+                .iter()
+                .map(|(t, e)| (t.project(&indices), e.clone()))
+                .collect::<Vec<_>>()
+        });
+        // Chunks are contiguous input ranges, so the concatenation scans
+        // projected entries in input order; from_unsorted_vec coalesces
+        // collisions with the same left-to-right element unions as the
+        // sequential kernel, independent of chunking.
+        let mut out = Vec::with_capacity(self.len());
+        for run in runs {
+            out.extend(run);
         }
-        Ok(HistoricalState::from_checked(schema, map))
+        Ok(HistoricalState::from_unsorted_vec(schema, out))
     }
 
     /// [`HistoricalState::hproduct`] with the left operand partitioned.
@@ -92,11 +108,10 @@ impl HistoricalState {
     ) -> Result<HistoricalState> {
         let schema = self.schema().product(other.schema())?;
         let grain = (PRODUCT_PAIR_GRAIN / other.len().max(1)).max(1);
-        let items: Vec<(&Tuple, &TemporalElement)> = self.iter().collect();
-        let runs = pool.map_chunks(OpKind::HProduct, &items, grain, |chunk| {
+        let runs = pool.map_chunks(OpKind::HProduct, self.run(), grain, |chunk| {
             let mut pairs = Vec::new();
-            for &(l, le) in chunk {
-                for (r, re) in other.iter() {
+            for (l, le) in chunk {
+                for (r, re) in other.run() {
                     let e = le.intersect(re);
                     if !e.is_empty() {
                         pairs.push((l.concat(r), e));
@@ -105,77 +120,73 @@ impl HistoricalState {
             }
             pairs
         });
-        let mut map = BTreeMap::new();
+        let mut out = Vec::with_capacity(runs.iter().map(Vec::len).sum());
         for run in runs {
-            map.extend(run);
+            out.extend(run);
         }
-        Ok(HistoricalState::from_checked(schema, map))
+        Ok(HistoricalState::from_sorted_vec(schema, out))
     }
 
-    /// [`HistoricalState::hunion`] with the element merge partitioned
-    /// over the right operand.
+    /// [`HistoricalState::hunion`] partitioned into aligned range pairs,
+    /// each merged independently.
     pub fn hunion_par(&self, other: &HistoricalState, pool: &ExecPool) -> Result<HistoricalState> {
         self.schema().require_union_compatible(other.schema())?;
-        if self.is_empty() || other.is_empty() || std::ptr::eq(self.entries(), other.entries()) {
+        if self.is_empty() || other.is_empty() || self.shares_run(other) {
             return self.hunion(other);
         }
-        let items: Vec<(&Tuple, &TemporalElement)> = other.iter().collect();
-        let runs = pool.map_chunks(OpKind::HUnion, &items, SET_GRAIN, |chunk| {
-            chunk
-                .iter()
-                .map(|&(t, e)| {
-                    let merged = match self.valid_time(t) {
-                        Some(mine) => mine.union(e),
-                        None => e.clone(),
-                    };
-                    (t.clone(), merged)
-                })
-                .collect::<Vec<_>>()
+        let want = (self.len() + other.len()).div_ceil(SET_GRAIN).max(1);
+        let parts = aligned_parts(self.run(), other.run(), want);
+        let runs = pool.map_chunks(OpKind::HUnion, &parts, 1, |chunk| {
+            let mut out = Vec::new();
+            for (lr, rr) in chunk {
+                out.extend(hmerge_union(
+                    &self.run()[lr.clone()],
+                    &other.run()[rr.clone()],
+                ));
+            }
+            out
         });
-        let mut map = self.entries().clone();
+        let mut out = Vec::with_capacity(runs.iter().map(Vec::len).sum());
         for run in runs {
-            map.extend(run);
+            out.extend(run);
         }
-        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+        Ok(HistoricalState::from_sorted_vec(self.schema().clone(), out))
     }
 
-    /// [`HistoricalState::hdifference`] with the element subtraction
-    /// partitioned over the left operand.
+    /// [`HistoricalState::hdifference`] partitioned into aligned range
+    /// pairs, each subtracted independently.
     pub fn hdifference_par(
         &self,
         other: &HistoricalState,
         pool: &ExecPool,
     ) -> Result<HistoricalState> {
         self.schema().require_union_compatible(other.schema())?;
-        if self.is_empty() || other.is_empty() || std::ptr::eq(self.entries(), other.entries()) {
+        if self.is_empty() || other.is_empty() || self.shares_run(other) {
             return self.hdifference(other);
         }
-        let items: Vec<(&Tuple, &TemporalElement)> = self.iter().collect();
-        let runs = pool.map_chunks(OpKind::HDifference, &items, SET_GRAIN, |chunk| {
-            let mut survivors = Vec::with_capacity(chunk.len());
+        let want = self.len().div_ceil(SET_GRAIN).max(1);
+        let parts = aligned_parts(self.run(), other.run(), want);
+        let runs = pool.map_chunks(OpKind::HDifference, &parts, 1, |chunk| {
+            let mut out = Vec::new();
             let mut changed = false;
-            for &(t, e) in chunk {
-                let remaining = match other.valid_time(t) {
-                    Some(oe) => e.difference(oe),
-                    None => e.clone(),
-                };
-                changed |= &remaining != e;
-                if !remaining.is_empty() {
-                    survivors.push((t.clone(), remaining));
-                }
+            for (lr, rr) in chunk {
+                let (survivors, c) =
+                    hmerge_difference(&self.run()[lr.clone()], &other.run()[rr.clone()]);
+                changed |= c;
+                out.extend(survivors);
             }
-            (survivors, changed)
+            (out, changed)
         });
         if !runs.iter().any(|(_, changed)| *changed) {
-            // No element changed: share the left map, like the
+            // No element changed: share the left run, like the
             // sequential kernel.
             return Ok(self.clone());
         }
-        let mut map = BTreeMap::new();
+        let mut out = Vec::with_capacity(runs.iter().map(|(r, _)| r.len()).sum());
         for (run, _) in runs {
-            map.extend(run);
+            out.extend(run);
         }
-        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+        Ok(HistoricalState::from_sorted_vec(self.schema().clone(), out))
     }
 }
 
@@ -209,6 +220,23 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(seed);
         random_historical_state(&mut rng, &schema(prefix), &cfg)
+    }
+
+    #[test]
+    fn aligned_parts_cover_both_runs_in_order() {
+        let a = random(7, "a", 2000);
+        let b = random(8, "a", 1500);
+        for want in [1, 2, 5, 16] {
+            let parts = aligned_parts(a.run(), b.run(), want);
+            assert_eq!(parts.first().unwrap().0.start, 0);
+            assert_eq!(parts.first().unwrap().1.start, 0);
+            assert_eq!(parts.last().unwrap().0.end, a.len());
+            assert_eq!(parts.last().unwrap().1.end, b.len());
+            for w in parts.windows(2) {
+                assert_eq!(w[0].0.end, w[1].0.start);
+                assert_eq!(w[0].1.end, w[1].1.start);
+            }
+        }
     }
 
     #[test]
@@ -256,8 +284,17 @@ mod tests {
         let empty = HistoricalState::empty(schema("a"));
         let pool = ExecPool::new(4);
         let u = a.hunion_par(&empty, &pool).unwrap();
-        assert!(std::ptr::eq(a.entries(), u.entries()));
+        assert!(a.shares_run(&u));
         let d = a.hdifference_par(&empty, &pool).unwrap();
-        assert!(std::ptr::eq(a.entries(), d.entries()));
+        assert!(a.shares_run(&d));
+        // A value-equal twin with a distinct run still subtracts to keep
+        // everything; the left run is shared by the no-change shortcut.
+        let twin = HistoricalState::new(schema("a"), a.iter().map(|(t, e)| (t.clone(), e.clone())))
+            .unwrap();
+        assert!(!a.shares_run(&twin));
+        let kept = a
+            .hdifference_par(&twin.hdifference_par(&a, &pool).unwrap(), &pool)
+            .unwrap();
+        assert!(a.shares_run(&kept));
     }
 }

@@ -1,7 +1,5 @@
 //! Historical cartesian product (×̂).
 
-use std::collections::BTreeMap;
-
 use crate::state::HistoricalState;
 use crate::Result;
 
@@ -11,18 +9,23 @@ impl HistoricalState {
     /// Concatenated tuples are valid exactly when both constituents were:
     /// the result's valid time is the intersection of the operands', and
     /// pairs with disjoint valid times do not appear.
+    ///
+    /// The kernel is a nested loop appending into a flat buffer: distinct
+    /// left tuples of equal arity differ before the concatenation point,
+    /// so the blocked output (a subsequence of the full pair grid) is
+    /// already in canonical order — no sort, no per-pair tree insert.
     pub fn hproduct(&self, other: &HistoricalState) -> Result<HistoricalState> {
         let schema = self.schema().product(other.schema())?;
-        let mut map = BTreeMap::new();
+        let mut out = Vec::with_capacity(self.len() * other.len());
         for (l, le) in self.iter() {
             for (r, re) in other.iter() {
                 let e = le.intersect(re);
                 if !e.is_empty() {
-                    map.insert(l.concat(r), e);
+                    out.push((l.concat(r), e));
                 }
             }
         }
-        Ok(HistoricalState::from_checked(schema, map))
+        Ok(HistoricalState::from_sorted_vec(schema, out))
     }
 }
 

@@ -1,11 +1,7 @@
 //! Historical projection (π̂).
 
-use std::collections::BTreeMap;
-
-use crate::element::TemporalElement;
 use crate::state::HistoricalState;
 use crate::Result;
-use txtime_snapshot::Tuple;
 
 impl HistoricalState {
     /// Historical projection `π̂_X(E)`.
@@ -13,19 +9,19 @@ impl HistoricalState {
     /// Value tuples that become equal after projection merge, and their
     /// valid times union: the projected fact was valid whenever *any* of
     /// its pre-images was.
+    ///
+    /// The kernel is a single scan producing one projected entry per
+    /// input entry, then a stable sort that coalesces value-equal entries
+    /// in scan order (element union is commutative and associative, so
+    /// the result matches the map-based formulation) — skipped when the
+    /// projection already preserves strict order.
     pub fn hproject(&self, attrs: &[impl AsRef<str>]) -> Result<HistoricalState> {
         let (schema, indices) = self.schema().project(attrs)?;
-        let mut map: BTreeMap<Tuple, TemporalElement> = BTreeMap::new();
-        for (t, e) in self.iter() {
-            let p = t.project(&indices);
-            match map.get_mut(&p) {
-                Some(existing) => *existing = existing.union(e),
-                None => {
-                    map.insert(p, e.clone());
-                }
-            }
-        }
-        Ok(HistoricalState::from_checked(schema, map))
+        let out = self
+            .iter()
+            .map(|(t, e)| (t.project(&indices), e.clone()))
+            .collect();
+        Ok(HistoricalState::from_unsorted_vec(schema, out))
     }
 }
 

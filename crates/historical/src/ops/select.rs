@@ -8,14 +8,22 @@ impl HistoricalState {
     /// Historical selection `σ̂_F(E)`: filters on *value* attributes,
     /// leaving valid times untouched. Selection on valid time is the
     /// business of [`HistoricalState::delta`].
+    ///
+    /// The kernel is a single filtering scan over the sorted run (a
+    /// filtered sorted sequence stays sorted); when every entry passes,
+    /// the input run is reused as-is — an O(1) `Arc` clone.
     pub fn hselect(&self, predicate: &Predicate) -> Result<HistoricalState> {
         let compiled = predicate.compile(self.schema())?;
-        let map = self
+        let out: Vec<_> = self
+            .run()
             .iter()
             .filter(|(t, _)| compiled.eval(t))
-            .map(|(t, e)| (t.clone(), e.clone()))
+            .cloned()
             .collect();
-        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+        if out.len() == self.len() {
+            return Ok(self.clone());
+        }
+        Ok(HistoricalState::from_sorted_vec(self.schema().clone(), out))
     }
 }
 

@@ -1,5 +1,6 @@
 //! Historical union (∪̂).
 
+use crate::ops::hmerge::hmerge_union;
 use crate::state::HistoricalState;
 use crate::Result;
 
@@ -10,30 +11,23 @@ impl HistoricalState {
     /// appears in the result valid whenever it was valid in *either*
     /// operand.
     ///
-    /// When one operand is empty, or both share the same underlying map
-    /// (idempotence), the surviving side's entry map is reused as-is — an
+    /// The kernel is a single two-pointer merge over the operands' sorted
+    /// runs. When one operand is empty, or both share the same underlying
+    /// run (idempotence), the surviving side's run is reused as-is — an
     /// O(1) `Arc` clone.
     pub fn hunion(&self, other: &HistoricalState) -> Result<HistoricalState> {
         self.schema().require_union_compatible(other.schema())?;
-        if other.is_empty() || std::ptr::eq(self.entries(), other.entries()) {
+        if other.is_empty() || self.shares_run(other) {
             return Ok(self.clone());
         }
         if self.is_empty() {
             return Ok(HistoricalState::from_shared(
                 self.schema().clone(),
-                other.shared_entries().clone(),
+                other.shared_run().clone(),
             ));
         }
-        let mut map = self.entries().clone();
-        for (t, e) in other.iter() {
-            match map.get_mut(t) {
-                Some(existing) => *existing = existing.union(e),
-                None => {
-                    map.insert(t.clone(), e.clone());
-                }
-            }
-        }
-        Ok(HistoricalState::from_checked(self.schema().clone(), map))
+        let out = hmerge_union(self.run(), other.run());
+        Ok(HistoricalState::from_sorted_vec(self.schema().clone(), out))
     }
 }
 
@@ -79,13 +73,13 @@ mod tests {
     }
 
     #[test]
-    fn union_with_empty_shares_the_entry_map() {
+    fn union_with_empty_shares_the_run() {
         let a = st(&[("a", 0, 5), ("b", 2, 8)]);
         let empty = HistoricalState::empty(schema());
         let left = a.hunion(&empty).unwrap();
-        assert!(std::ptr::eq(a.entries(), left.entries()));
+        assert!(a.shares_run(&left));
         let right = empty.hunion(&a).unwrap();
-        assert!(std::ptr::eq(a.entries(), right.entries()));
+        assert!(a.shares_run(&right));
     }
 
     #[test]

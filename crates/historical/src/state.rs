@@ -1,15 +1,19 @@
 //! Historical states: the semantic domain HISTORICAL STATE.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use txtime_snapshot::{Schema, SnapshotState, Tuple};
+use txtime_snapshot::{Schema, SnapshotState, StrInterner, Tuple};
 
 use crate::chronon::Chronon;
 use crate::element::TemporalElement;
 use crate::error::HistoricalError;
 use crate::Result;
+
+/// One `(value tuple, valid time)` entry of an historical state.
+pub type Entry = (Tuple, TemporalElement);
 
 /// An historical state: a set of value tuples, each timestamped with the
 /// temporal element over which its fact was valid.
@@ -24,13 +28,21 @@ use crate::Result;
 /// 2. **Non-emptiness** — no tuple carries an empty temporal element; a
 ///    fact valid at no time is simply absent.
 ///
-/// Like [`SnapshotState`], the payload is reference-counted so cloning is
-/// O(1).
+/// The physical representation is a *sorted run*: a flat, reference-
+/// counted slice of entries in strictly increasing value-tuple order.
+/// The historical operators run as single-pass merge/scan kernels over
+/// the run, lookups are binary searches, and — like [`SnapshotState`] —
+/// cloning is O(1) with copy-on-write mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HistoricalState {
     schema: Schema,
-    tuples: Arc<BTreeMap<Tuple, TemporalElement>>,
+    run: Arc<Vec<Entry>>,
+}
+
+/// Whether `run` is strictly increasing by value tuple.
+pub(crate) fn is_strictly_sorted(run: &[Entry]) -> bool {
+    run.windows(2).all(|w| w[0].0 < w[1].0)
 }
 
 impl HistoricalState {
@@ -38,7 +50,7 @@ impl HistoricalState {
     pub fn empty(schema: Schema) -> HistoricalState {
         HistoricalState {
             schema,
-            tuples: Arc::new(BTreeMap::new()),
+            run: Arc::new(Vec::new()),
         }
     }
 
@@ -47,29 +59,59 @@ impl HistoricalState {
     /// value-equivalent entries.
     pub fn new(
         schema: Schema,
-        entries: impl IntoIterator<Item = (Tuple, TemporalElement)>,
+        entries: impl IntoIterator<Item = Entry>,
     ) -> Result<HistoricalState> {
-        let mut map: BTreeMap<Tuple, TemporalElement> = BTreeMap::new();
+        let mut run = Vec::new();
         for (t, e) in entries {
             t.check(&schema)?;
             if e.is_empty() {
                 return Err(HistoricalError::EmptyValidTime);
             }
-            match map.get_mut(&t) {
-                Some(existing) => *existing = existing.union(&e),
-                None => {
-                    map.insert(t, e);
-                }
-            }
+            run.push((t, e));
         }
-        Ok(HistoricalState {
-            schema,
-            tuples: Arc::new(map),
-        })
+        Ok(HistoricalState::from_unsorted_vec(schema, run))
     }
 
-    /// Internal constructor for operator results that already maintain the
-    /// invariants (valid tuples, non-empty coalesced elements).
+    /// Internal constructor for operator results that are already in
+    /// canonical order (strictly sorted by value tuple, non-empty
+    /// coalesced elements).
+    pub(crate) fn from_sorted_vec(schema: Schema, run: Vec<Entry>) -> HistoricalState {
+        debug_assert!(is_strictly_sorted(&run), "run must be strictly sorted");
+        debug_assert!(run.iter().all(|(_, e)| !e.is_empty()));
+        HistoricalState {
+            schema,
+            run: Arc::new(run),
+        }
+    }
+
+    /// Internal constructor for operator results in arbitrary order:
+    /// sorts by value tuple (stably, so value-equivalent entries coalesce
+    /// in their original order) and unions adjacent duplicates.
+    pub(crate) fn from_unsorted_vec(schema: Schema, mut run: Vec<Entry>) -> HistoricalState {
+        debug_assert!(run.iter().all(|(_, e)| !e.is_empty()));
+        if !is_strictly_sorted(&run) {
+            run.sort_by(|a, b| a.0.cmp(&b.0));
+            run.dedup_by(|next, prev| {
+                if next.0 == prev.0 {
+                    // Temporal-element union is commutative and
+                    // associative, so left-to-right coalescing matches the
+                    // map-based construction regardless of grouping.
+                    prev.1 = prev.1.union(&next.1);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        HistoricalState {
+            schema,
+            run: Arc::new(run),
+        }
+    }
+
+    /// Bridge constructor from a `BTreeMap` (which iterates in exactly
+    /// the canonical order). Retained for the reference implementation
+    /// and compatibility call sites.
     pub(crate) fn from_checked(
         schema: Schema,
         tuples: BTreeMap<Tuple, TemporalElement>,
@@ -77,51 +119,109 @@ impl HistoricalState {
         debug_assert!(tuples.values().all(|e| !e.is_empty()));
         HistoricalState {
             schema,
-            tuples: Arc::new(tuples),
+            run: Arc::new(tuples.into_iter().collect()),
         }
     }
 
-    /// Internal constructor that adopts an already-shared entry map — the
+    /// Internal constructor that adopts an already-shared run — the
     /// zero-copy path for operator results that are one of the operands
     /// unchanged.
-    pub(crate) fn from_shared(
-        schema: Schema,
-        tuples: Arc<BTreeMap<Tuple, TemporalElement>>,
-    ) -> HistoricalState {
-        HistoricalState { schema, tuples }
+    pub(crate) fn from_shared(schema: Schema, run: Arc<Vec<Entry>>) -> HistoricalState {
+        debug_assert!(is_strictly_sorted(&run), "run must be strictly sorted");
+        HistoricalState { schema, run }
     }
 
-    /// The reference-counted entry map (for zero-copy sharing between
-    /// operator results).
-    pub(crate) fn shared_entries(&self) -> &Arc<BTreeMap<Tuple, TemporalElement>> {
-        &self.tuples
+    /// The reference-counted run (for zero-copy sharing between operator
+    /// results).
+    pub(crate) fn shared_run(&self) -> &Arc<Vec<Entry>> {
+        &self.run
     }
 
-    /// Applies a batch of removals and upserts *in place*, copying the
-    /// entry map only if it is shared (copy-on-write via [`Arc`]).
+    /// Applies a batch of removals and upserts as an in-place merge of
+    /// sorted runs.
     ///
     /// Upserts *replace* an existing entry's temporal element (they do not
-    /// union with it) — this is delta-replay semantics, not `hunion`.
+    /// union with it) — this is delta-replay semantics, not `hunion`. Like
+    /// [`SnapshotState::apply_delta`], a replay loop that uniquely owns
+    /// its working state pays one forward compaction pass for removals and
+    /// one backward gap merge for genuinely new tuples; present tuples are
+    /// revalued in place and untouched entries are moved, not cloned.
     /// Upserted tuples are checked against the scheme and their elements
     /// must be non-empty.
-    pub fn apply_delta(
-        &mut self,
-        removed: &[Tuple],
-        upserted: &[(Tuple, TemporalElement)],
-    ) -> Result<()> {
+    pub fn apply_delta(&mut self, removed: &[Tuple], upserted: &[Entry]) -> Result<()> {
         for (t, e) in upserted {
             t.check(&self.schema)?;
             if e.is_empty() {
                 return Err(HistoricalError::EmptyValidTime);
             }
         }
-        let map = Arc::make_mut(&mut self.tuples);
-        for t in removed {
-            map.remove(t);
+        if removed.is_empty() && upserted.is_empty() {
+            return Ok(());
         }
-        for (t, e) in upserted {
-            map.insert(t.clone(), e.clone());
+        let removed = normalize_tuples(removed);
+        let upserted = normalize_entries(upserted);
+        let run = Arc::make_mut(&mut self.run);
+        // Pass 1: removals. One galloping sweep locates the present ones
+        // (both runs are sorted, so each search costs O(log gap)), then
+        // compare-free swaps close the holes — untouched entries are
+        // moved, never cloned or re-compared.
+        if !removed.is_empty() {
+            let mut holes: Vec<usize> = Vec::with_capacity(removed.len());
+            let mut pos = 0;
+            for r in removed.iter() {
+                pos = gallop(run, pos, r);
+                if run.get(pos).map(|(t, _)| t) == Some(r) {
+                    holes.push(pos);
+                    pos += 1;
+                }
+            }
+            if !holes.is_empty() {
+                let mut d = holes[0];
+                for (h, &hole) in holes.iter().enumerate() {
+                    let next = holes.get(h + 1).copied().unwrap_or(run.len());
+                    for s in hole + 1..next {
+                        run.swap(d, s);
+                        d += 1;
+                    }
+                }
+                run.truncate(d);
+            }
         }
+        // Pass 2: upserts. The same sweep revalues present tuples where
+        // they stand (assignments never move entries) and records the
+        // insertion points of genuinely new ones. A tuple removed and
+        // re-upserted by the same delta is absent by now and re-enters as
+        // fresh — the upserts-win-ties rule.
+        if !upserted.is_empty() {
+            let mut ins: Vec<(usize, usize)> = Vec::with_capacity(upserted.len());
+            let mut pos = 0;
+            for (k, (t, e)) in upserted.iter().enumerate() {
+                pos = gallop(run, pos, t);
+                if run.get(pos).map(|(rt, _)| rt) == Some(t) {
+                    run[pos].1 = e.clone();
+                    pos += 1;
+                } else {
+                    ins.push((pos, k));
+                }
+            }
+            if !ins.is_empty() {
+                let m = run.len();
+                // Placeholder clones open the gap; every slot at or above
+                // the lowest insertion point is overwritten by the shift.
+                run.extend(upserted.iter().take(ins.len()).cloned());
+                let (mut s, mut d) = (m, m + ins.len());
+                for &(p, k) in ins.iter().rev() {
+                    while s > p {
+                        s -= 1;
+                        d -= 1;
+                        run.swap(d, s);
+                    }
+                    d -= 1;
+                    run[d] = upserted[k].clone();
+                }
+            }
+        }
+        debug_assert!(is_strictly_sorted(run));
         Ok(())
     }
 
@@ -132,34 +232,72 @@ impl HistoricalState {
 
     /// Number of distinct value tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.run.len()
     }
 
     /// Whether the state has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.run.is_empty()
     }
 
     /// The valid time of `tuple`, if it is present.
     pub fn valid_time(&self, tuple: &Tuple) -> Option<&TemporalElement> {
-        self.tuples.get(tuple)
+        self.run
+            .binary_search_by(|(t, _)| t.cmp(tuple))
+            .ok()
+            .map(|i| &self.run[i].1)
     }
 
     /// Iterates `(tuple, valid-time)` pairs in deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &TemporalElement)> {
-        self.tuples.iter()
+        self.run.iter().map(|(t, e)| (t, e))
     }
 
-    /// The underlying map.
-    pub fn entries(&self) -> &BTreeMap<Tuple, TemporalElement> {
-        &self.tuples
+    /// The sorted run: every entry in strictly increasing value-tuple
+    /// order.
+    pub fn run(&self) -> &[Entry] {
+        &self.run
+    }
+
+    /// Whether two states share the same physical run allocation — the
+    /// observable footprint of the operators' zero-copy shortcuts.
+    pub fn shares_run(&self, other: &HistoricalState) -> bool {
+        Arc::ptr_eq(&self.run, &other.run)
+    }
+
+    /// The entries as a `BTreeMap` — a compatibility accessor that
+    /// materializes a fresh tree from the run. Prefer
+    /// [`HistoricalState::run`] or [`HistoricalState::iter`] on hot paths.
+    pub fn entries(&self) -> BTreeMap<Tuple, TemporalElement> {
+        self.run.iter().cloned().collect()
+    }
+
+    /// A state equal to this one but with every string value drawn from
+    /// `pool` (see [`SnapshotState::interned`]). Returns a shallow clone
+    /// when nothing changes.
+    pub fn interned(&self, pool: &mut StrInterner) -> HistoricalState {
+        let mut changed = false;
+        let run: Vec<Entry> = self
+            .run
+            .iter()
+            .map(|(t, e)| {
+                let it = pool.intern_tuple(t);
+                changed |= it.values().as_ptr() != t.values().as_ptr();
+                (it, e.clone())
+            })
+            .collect();
+        if changed {
+            HistoricalState::from_sorted_vec(self.schema.clone(), run)
+        } else {
+            self.clone()
+        }
     }
 
     /// The timeslice at chronon `c`: the snapshot state of facts valid at
     /// `c`. This is the bridge from historical to snapshot semantics.
     pub fn timeslice(&self, c: Chronon) -> SnapshotState {
         let tuples: Vec<Tuple> = self
-            .tuples
+            .run
             .iter()
             .filter(|(_, e)| e.contains(c))
             .map(|(t, _)| t.clone())
@@ -173,18 +311,75 @@ impl HistoricalState {
         if valid.is_empty() {
             return Err(HistoricalError::EmptyValidTime);
         }
-        let map = state.iter().map(|t| (t.clone(), valid.clone())).collect();
-        Ok(HistoricalState::from_checked(state.schema().clone(), map))
+        // The snapshot run is already sorted; stamping preserves order.
+        let run = state.iter().map(|t| (t.clone(), valid.clone())).collect();
+        Ok(HistoricalState::from_sorted_vec(
+            state.schema().clone(),
+            run,
+        ))
     }
 
     /// Approximate footprint in bytes for space accounting.
     pub fn size_bytes(&self) -> usize {
         std::mem::size_of::<HistoricalState>()
             + self
-                .tuples
+                .run
                 .iter()
                 .map(|(t, e)| t.size_bytes() + e.size_bytes())
                 .sum::<usize>()
+    }
+}
+
+/// First index `i >= lo` whose entry tuple is `>= target`, found by
+/// exponential probing upward from `lo`. Delta events arrive in sorted
+/// order, so a sweep that restarts each search at the previous hit pays
+/// O(log gap) comparisons per event instead of O(log n).
+fn gallop(run: &[Entry], lo: usize, target: &Tuple) -> usize {
+    if lo >= run.len() || run[lo].0 >= *target {
+        return lo;
+    }
+    // Invariant: run[prev].0 < target.
+    let (mut prev, mut step) = (lo, 1usize);
+    while prev + step < run.len() && run[prev + step].0 < *target {
+        prev += step;
+        step *= 2;
+    }
+    let hi = (prev + step).min(run.len());
+    prev + 1 + run[prev + 1..hi].partition_point(|(t, _)| t < target)
+}
+
+/// Removal slices are usually already canonical; fall back to a local
+/// sort + dedup when they are not.
+fn normalize_tuples(run: &[Tuple]) -> Cow<'_, [Tuple]> {
+    if run.windows(2).all(|w| w[0] < w[1]) {
+        Cow::Borrowed(run)
+    } else {
+        let mut owned = run.to_vec();
+        owned.sort_unstable();
+        owned.dedup();
+        Cow::Owned(owned)
+    }
+}
+
+/// Upsert slices are usually already canonical; fall back to a local
+/// stable sort keeping the **last** entry per tuple (matching the
+/// last-write-wins semantics of sequential map inserts).
+fn normalize_entries(run: &[Entry]) -> Cow<'_, [Entry]> {
+    if is_strictly_sorted(run) {
+        Cow::Borrowed(run)
+    } else {
+        let mut owned = run.to_vec();
+        owned.sort_by(|a, b| a.0.cmp(&b.0));
+        // dedup_by keeps the FIRST of a duplicate group; reverse the
+        // stable order within groups by deduping from the back instead.
+        let mut deduped: Vec<Entry> = Vec::with_capacity(owned.len());
+        for entry in owned {
+            match deduped.last_mut() {
+                Some(last) if last.0 == entry.0 => *last = entry,
+                _ => deduped.push(entry),
+            }
+        }
+        Cow::Owned(deduped)
     }
 }
 
@@ -192,7 +387,7 @@ impl fmt::Display for HistoricalState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} {{", self.schema)?;
         let mut first = true;
-        for (t, e) in self.tuples.iter() {
+        for (t, e) in self.run.iter() {
             if !first {
                 write!(f, ",")?;
             }
@@ -249,6 +444,59 @@ mod tests {
             )],
         );
         assert!(matches!(r, Err(HistoricalError::Snapshot(_))));
+    }
+
+    #[test]
+    fn run_is_strictly_sorted_by_tuple() {
+        let s = HistoricalState::new(
+            schema(),
+            vec![
+                (t("zed"), TemporalElement::period(0, 1)),
+                (t("alice"), TemporalElement::period(1, 2)),
+                (t("mid"), TemporalElement::period(2, 3)),
+            ],
+        )
+        .unwrap();
+        assert!(is_strictly_sorted(s.run()));
+    }
+
+    #[test]
+    fn apply_delta_replaces_and_removes() {
+        let mut s = HistoricalState::new(
+            schema(),
+            vec![
+                (t("alice"), TemporalElement::period(0, 5)),
+                (t("bob"), TemporalElement::period(0, 5)),
+            ],
+        )
+        .unwrap();
+        s.apply_delta(
+            &[t("bob")],
+            &[
+                (t("alice"), TemporalElement::period(0, 9)),
+                (t("carol"), TemporalElement::period(1, 2)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s.valid_time(&t("alice")).unwrap(),
+            &TemporalElement::period(0, 9)
+        );
+        assert!(s.valid_time(&t("bob")).is_none());
+        assert!(is_strictly_sorted(s.run()));
+    }
+
+    #[test]
+    fn apply_delta_remove_then_upsert_keeps_tuple() {
+        let mut s =
+            HistoricalState::new(schema(), vec![(t("a"), TemporalElement::period(0, 5))]).unwrap();
+        s.apply_delta(&[t("a")], &[(t("a"), TemporalElement::period(2, 3))])
+            .unwrap();
+        assert_eq!(
+            s.valid_time(&t("a")).unwrap(),
+            &TemporalElement::period(2, 3)
+        );
     }
 
     #[test]

@@ -145,7 +145,7 @@ pub fn mutate_state(
 ) -> SnapshotState {
     let changes = ((state.len() as f64) * fraction).ceil() as usize;
     let changes = changes.max(1);
-    let mut tuples = state.tuples().clone();
+    let mut tuples = state.tuples();
     for _ in 0..changes {
         match rng.gen_range(0..3) {
             // insert

@@ -39,8 +39,10 @@
 pub mod domain;
 pub mod error;
 pub mod generate;
+pub mod intern;
 pub mod ops;
 pub mod predicate;
+pub mod reference;
 pub mod rng;
 pub mod schema;
 pub mod state;
@@ -49,6 +51,7 @@ pub mod value;
 
 pub use domain::DomainType;
 pub use error::SnapshotError;
+pub use intern::StrInterner;
 pub use predicate::{CompOp, CompiledPredicate, Operand, Predicate};
 pub use schema::{Attribute, Schema};
 pub use state::SnapshotState;

@@ -4,31 +4,34 @@
 //! product, projection, and selection; we implement them directly for
 //! efficiency but test them against their classical derivations.
 
-use std::collections::BTreeSet;
-
 use crate::error::SnapshotError;
+use crate::ops::merge::merge_intersect;
 use crate::predicate::Predicate;
 use crate::state::SnapshotState;
 use crate::tuple::Tuple;
 use crate::Result;
 
 impl SnapshotState {
-    /// Intersection `E₁ ∩ E₂ = E₁ − (E₁ − E₂)`.
+    /// Intersection `E₁ ∩ E₂ = E₁ − (E₁ − E₂)`, as a two-pointer merge
+    /// over the sorted runs. When every left tuple survives the left run
+    /// is shared as-is.
     pub fn intersect(&self, other: &SnapshotState) -> Result<SnapshotState> {
         self.schema().require_union_compatible(other.schema())?;
-        let tuples = self
-            .tuples()
-            .iter()
-            .filter(|t| other.contains(t))
-            .cloned()
-            .collect();
-        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+        let out = merge_intersect(self.run(), other.run());
+        if out.len() == self.len() {
+            return Ok(self.clone());
+        }
+        Ok(SnapshotState::from_sorted_vec(self.schema().clone(), out))
     }
 
-    /// Renames attribute `from` to `to`.
+    /// Renames attribute `from` to `to`. Tuples are untouched, so the
+    /// result shares this state's run (an O(1) `Arc` clone).
     pub fn rename(&self, from: &str, to: &str) -> Result<SnapshotState> {
         let schema = self.schema().rename(from, to)?;
-        Ok(SnapshotState::from_checked(schema, self.tuples().clone()))
+        Ok(SnapshotState::from_shared(
+            schema,
+            self.shared_run().clone(),
+        ))
     }
 
     /// Theta join `E₁ ⋈_F E₂ = σ_F(E₁ × E₂)`.
@@ -80,7 +83,9 @@ impl SnapshotState {
             .map(|c| other.schema().index_of(c).expect("common attr in right"))
             .collect();
 
-        let mut tuples = BTreeSet::new();
+        // The right-keep projection can break within-block ordering, so
+        // the collected matches go through a final sort + dedup.
+        let mut out = Vec::new();
         for l in self.iter() {
             for r in other.iter() {
                 let matches = left_common
@@ -92,11 +97,11 @@ impl SnapshotState {
                     for &i in &right_keep {
                         vals.push(r.get(i).clone());
                     }
-                    tuples.insert(Tuple::new(vals));
+                    out.push(Tuple::new(vals));
                 }
             }
         }
-        Ok(SnapshotState::from_checked(schema, tuples))
+        Ok(SnapshotState::from_unsorted_vec(schema, out))
     }
 
     /// Semijoin: the left tuples that join with at least one right tuple.
@@ -171,7 +176,9 @@ impl SnapshotState {
             .map(|n| divisor.schema().index_of(n).expect("divisor attr"))
             .collect();
 
-        let mut kept = BTreeSet::new();
+        // Candidates iterate in canonical order and `kept` is a filtered
+        // subsequence, so the result run is sorted by construction.
+        let mut kept = Vec::new();
         'candidate: for c in candidates.iter() {
             for d in divisor.iter() {
                 // Does some dividend tuple combine c with d?
@@ -186,9 +193,9 @@ impl SnapshotState {
                     continue 'candidate;
                 }
             }
-            kept.insert(c.clone());
+            kept.push(c.clone());
         }
-        Ok(SnapshotState::from_checked(
+        Ok(SnapshotState::from_sorted_vec(
             candidates.schema().clone(),
             kept,
         ))

@@ -1,14 +1,8 @@
 //! Set difference (−).
 
-use std::collections::HashSet;
-
+use crate::ops::merge::merge_difference;
 use crate::state::SnapshotState;
-use crate::tuple::Tuple;
 use crate::Result;
-
-/// Right-operand size at which a hashed probe set beats per-tuple
-/// `BTreeSet` lookups.
-const HASH_PROBE_THRESHOLD: usize = 16;
 
 impl SnapshotState {
     /// Set difference of two union-compatible states.
@@ -16,33 +10,26 @@ impl SnapshotState {
     /// `E₁ − E₂` contains the tuples of the left operand that do not
     /// appear in the right operand.
     ///
-    /// When the operands are disjoint (including an empty right operand)
-    /// the left tuple set is reused as-is — an O(1) `Arc` clone. Large
-    /// right operands are probed through a `HashSet` (O(1) per lookup);
-    /// the result is still assembled as a `BTreeSet`, so iteration,
-    /// display, and serialization order stay deterministic.
+    /// The kernel walks the left run once, galloping the right cursor
+    /// forward with binary jumps, so a large right operand costs
+    /// O(|left| · log |right|) in the worst case and a near-linear merge
+    /// when the operands interleave. When nothing is removed (including an
+    /// empty right operand) the left run is reused as-is — an O(1) `Arc`
+    /// clone.
     pub fn difference(&self, other: &SnapshotState) -> Result<SnapshotState> {
         self.schema().require_union_compatible(other.schema())?;
         if other.is_empty() || self.is_empty() {
             return Ok(self.clone());
         }
-        if std::ptr::eq(self.tuples(), other.tuples()) {
+        if self.shares_run(other) {
             return Ok(SnapshotState::empty(self.schema().clone()));
         }
-        let survivors: Vec<&Tuple> = if other.len() >= HASH_PROBE_THRESHOLD {
-            let probe: HashSet<&Tuple> = other.iter().collect();
-            self.iter().filter(|t| !probe.contains(*t)).collect()
-        } else {
-            self.iter().filter(|t| !other.contains(t)).collect()
-        };
-        if survivors.len() == self.len() {
-            // Disjoint operands: nothing was removed, share the left set.
+        let out = merge_difference(self.run(), other.run());
+        if out.len() == self.len() {
+            // Disjoint operands: nothing was removed, share the left run.
             return Ok(self.clone());
         }
-        // `survivors` preserves the left operand's sorted order, so the
-        // BTreeSet is rebuilt by an in-order bulk load.
-        let tuples = survivors.into_iter().cloned().collect();
-        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+        Ok(SnapshotState::from_sorted_vec(self.schema().clone(), out))
     }
 }
 
@@ -85,21 +72,21 @@ mod tests {
     }
 
     #[test]
-    fn difference_identity_cases_share_the_tuple_set() {
+    fn difference_identity_cases_share_the_run() {
         let s = state(&[1, 2]);
         let kept = s.difference(&state(&[])).unwrap();
-        assert!(std::ptr::eq(s.tuples(), kept.tuples()));
-        // Disjoint operands remove nothing, so the left set is shared.
+        assert!(s.shares_run(&kept));
+        // Disjoint operands remove nothing, so the left run is shared.
         let disjoint = s.difference(&state(&[7, 8])).unwrap();
-        assert!(std::ptr::eq(s.tuples(), disjoint.tuples()));
+        assert!(s.shares_run(&disjoint));
     }
 
     #[test]
-    fn difference_with_hashed_probe_matches_btree_path() {
-        // A right operand above the hash-probe threshold takes the
-        // HashSet path; the answer must be identical.
+    fn difference_against_large_right_operand() {
+        // A right operand much larger than the left exercises the
+        // galloping cursor; the answer must match the set semantics.
         let left: Vec<i64> = (0..64).collect();
-        let right: Vec<i64> = (0..64).filter(|v| v % 3 == 0).collect();
+        let right: Vec<i64> = (0..640).filter(|v| v % 3 == 0).collect();
         let expect: Vec<i64> = (0..64).filter(|v| v % 3 != 0).collect();
         assert_eq!(
             state(&left).difference(&state(&right)).unwrap(),

@@ -1,0 +1,114 @@
+//! Single-pass merge kernels over sorted runs.
+//!
+//! Every kernel here takes canonically-ordered (strictly sorted,
+//! duplicate-free) slices and produces a canonically-ordered `Vec` in one
+//! linear pass — no tree inserts, no per-element allocation beyond the
+//! output buffer. The sequential operators call them on whole runs; the
+//! partitioned kernels in [`super::par`] call them on aligned sub-ranges
+//! and concatenate.
+
+use std::cmp::Ordering;
+
+use crate::tuple::Tuple;
+
+/// Two-pointer union merge: every tuple in either input, once.
+pub(crate) fn merge_union(left: &[Tuple], right: &[Tuple]) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        match left[i].cmp(&right[j]) {
+            Ordering::Less => {
+                out.push(left[i].clone());
+                i += 1;
+            }
+            Ordering::Greater => {
+                out.push(right[j].clone());
+                j += 1;
+            }
+            Ordering::Equal => {
+                out.push(left[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&left[i..]);
+    out.extend_from_slice(&right[j..]);
+    out
+}
+
+/// Difference merge: tuples of `left` absent from `right`.
+///
+/// The right cursor advances by a galloping `partition_point` jump when it
+/// trails, so a small left operand against a huge right one costs
+/// O(|left| · log |right|) instead of a full right scan.
+pub(crate) fn merge_difference(left: &[Tuple], right: &[Tuple]) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(left.len());
+    let mut j = 0usize;
+    for t in left {
+        if right.get(j).is_some_and(|r| r < t) {
+            j += right[j..].partition_point(|r| r < t);
+        }
+        if right.get(j) != Some(t) {
+            out.push(t.clone());
+        }
+    }
+    out
+}
+
+/// Intersection merge: tuples present in both inputs.
+pub(crate) fn merge_intersect(left: &[Tuple], right: &[Tuple]) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(left.len().min(right.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        match left[i].cmp(&right[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                out.push(left[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn run(vals: &[i64]) -> Vec<Tuple> {
+        vals.iter()
+            .map(|&v| Tuple::new(vec![Value::Int(v)]))
+            .collect()
+    }
+
+    #[test]
+    fn union_merges_without_duplicates() {
+        let out = merge_union(&run(&[1, 3, 5]), &run(&[2, 3, 6]));
+        assert_eq!(out, run(&[1, 2, 3, 5, 6]));
+    }
+
+    #[test]
+    fn difference_gallops_over_large_right() {
+        let left = run(&[5, 500]);
+        let right: Vec<Tuple> = run(&(0..1000).filter(|v| v % 2 == 0).collect::<Vec<_>>());
+        let out = merge_difference(&left, &right);
+        assert_eq!(out, run(&[5]));
+    }
+
+    #[test]
+    fn intersect_keeps_common() {
+        let out = merge_intersect(&run(&[1, 2, 3, 4]), &run(&[2, 4, 8]));
+        assert_eq!(out, run(&[2, 4]));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_union(&[], &[]).is_empty());
+        assert!(merge_difference(&[], &run(&[1])).is_empty());
+        assert!(merge_intersect(&run(&[1]), &[]).is_empty());
+    }
+}

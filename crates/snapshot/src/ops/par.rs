@@ -2,10 +2,10 @@
 //!
 //! Each `*_par` kernel is observationally identical to its sequential
 //! twin — same result, same errors — and differs only in how the work is
-//! scheduled: the `BTreeSet`-backed operand is split into contiguous
-//! ranges of its canonical (lexicographic) order, the ranges are
-//! evaluated on scoped worker threads, and the per-range results are
-//! merged **in range order**.
+//! scheduled: the sorted run is split into contiguous index ranges (an
+//! O(1) slice operation — no tree walk, no per-tuple collection), the
+//! ranges are evaluated on scoped worker threads, and the per-range
+//! results are concatenated **in range order**.
 //!
 //! Why the merge is deterministic:
 //!
@@ -15,76 +15,115 @@
 //! * × chunks the *left* operand: distinct same-arity left tuples
 //!   `l₁ < l₂` concatenate to `l₁·x < l₂·y` for every `x`, `y`, so the
 //!   per-chunk sub-products are again disjoint sorted runs.
-//! * π and ∪ merge into a set, whose content does not depend on
-//!   insertion order; the merge itself runs on one thread in range order.
+//! * ∪ and − (two-operand merges) split both runs at aligned pivots:
+//!   the left run is cut at even indices and the right run is cut at the
+//!   `partition_point` of each pivot tuple, so every part sees exactly
+//!   the tuples of one disjoint key interval and the concatenated merge
+//!   outputs are the sequential merge.
+//! * π re-sorts the concatenated projection (unless the projection is an
+//!   order-preserving prefix), so the result does not depend on chunking.
 //!
 //! A one-thread pool evaluates every kernel inline on the calling thread
 //! (see [`ExecPool::map_chunks`]) — the exact sequential path.
 
-use std::collections::BTreeSet;
+use std::ops::Range;
 
 use txtime_exec::{ExecPool, OpKind};
 
+use crate::ops::merge::{merge_difference, merge_union};
+use crate::ops::project::is_identity_prefix;
 use crate::predicate::Predicate;
 use crate::state::SnapshotState;
 use crate::tuple::Tuple;
 use crate::Result;
 
 /// Minimum tuples per chunk for the tuple-at-a-time kernels; below
-/// 2 × this, spawn overhead beats the work.
-pub(crate) const SET_GRAIN: usize = 512;
+/// 2 × this, spawn overhead beats the work. Sourced from the shared
+/// per-kernel heuristic so the CLI/engine and kernels agree.
+pub(crate) const SET_GRAIN: usize = OpKind::Select.min_chunk();
 
 /// Minimum output *pairs* per chunk for the product kernel (its per-item
 /// cost scales with the right operand).
-pub(crate) const PRODUCT_PAIR_GRAIN: usize = 4096;
+pub(crate) const PRODUCT_PAIR_GRAIN: usize = OpKind::Product.min_chunk();
+
+/// Splits two sorted runs into at most `want` aligned part ranges: the
+/// left run is cut at (roughly) even indices, and the right run is cut at
+/// the `partition_point` of each left pivot, so part *i* of both runs
+/// covers the same disjoint key interval. O(want · log |right|).
+pub(crate) fn aligned_parts(
+    left: &[Tuple],
+    right: &[Tuple],
+    want: usize,
+) -> Vec<(Range<usize>, Range<usize>)> {
+    let want = want.max(1);
+    let mut cuts: Vec<(usize, usize)> = vec![(0, 0)];
+    for i in 1..want {
+        let l = (left.len() * i) / want;
+        let (prev_l, prev_r) = *cuts.last().expect("cuts is non-empty");
+        if l <= prev_l || l >= left.len() {
+            continue; // degenerate cut: fold into the neighbouring part
+        }
+        let pivot = &left[l];
+        let r = prev_r + right[prev_r..].partition_point(|t| t < pivot);
+        cuts.push((l, r));
+    }
+    cuts.push((left.len(), right.len()));
+    cuts.windows(2)
+        .map(|w| (w[0].0..w[1].0, w[0].1..w[1].1))
+        .collect()
+}
 
 impl SnapshotState {
-    /// [`SnapshotState::select`] evaluated over partitioned chunks.
+    /// [`SnapshotState::select`] evaluated over partitioned slice ranges.
     pub fn select_par(&self, predicate: &Predicate, pool: &ExecPool) -> Result<SnapshotState> {
         let compiled = predicate.compile(self.schema())?;
-        let items: Vec<&Tuple> = self.iter().collect();
-        let runs = pool.map_chunks(OpKind::Select, &items, SET_GRAIN, |chunk| {
+        let runs = pool.map_chunks(OpKind::Select, self.run(), SET_GRAIN, |chunk| {
             chunk
                 .iter()
                 .filter(|t| compiled.eval(t))
-                .map(|&t| t.clone())
+                .cloned()
                 .collect::<Vec<Tuple>>()
         });
-        // Disjoint ascending runs: in-order extension is a sorted bulk load.
-        let mut tuples = BTreeSet::new();
-        for run in runs {
-            tuples.extend(run);
+        let total: usize = runs.iter().map(Vec::len).sum();
+        if total == self.len() {
+            return Ok(self.clone());
         }
-        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+        // Disjoint ascending runs: in-order concatenation is sorted.
+        let mut out = Vec::with_capacity(total);
+        for run in runs {
+            out.extend(run);
+        }
+        Ok(SnapshotState::from_sorted_vec(self.schema().clone(), out))
     }
 
-    /// [`SnapshotState::project`] evaluated over partitioned chunks.
+    /// [`SnapshotState::project`] evaluated over partitioned slice ranges.
     pub fn project_par(&self, attrs: &[impl AsRef<str>], pool: &ExecPool) -> Result<SnapshotState> {
         let (schema, indices) = self.schema().project(attrs)?;
-        let items: Vec<&Tuple> = self.iter().collect();
-        let mut sets = pool
-            .map_chunks(OpKind::Project, &items, SET_GRAIN, |chunk| {
-                chunk
-                    .iter()
-                    .map(|t| t.project(&indices))
-                    .collect::<BTreeSet<Tuple>>()
-            })
-            .into_iter();
-        // Projected chunks may collide; set semantics make the merged
-        // content independent of merge order.
-        let mut tuples = sets.next().unwrap_or_default();
-        for set in sets {
-            tuples.extend(set);
+        let runs = pool.map_chunks(OpKind::Project, self.run(), SET_GRAIN, |chunk| {
+            chunk
+                .iter()
+                .map(|t| t.project(&indices))
+                .collect::<Vec<Tuple>>()
+        });
+        let mut out = Vec::with_capacity(self.len());
+        for run in runs {
+            out.extend(run);
         }
-        Ok(SnapshotState::from_checked(schema, tuples))
+        if is_identity_prefix(&indices) {
+            // In-order concatenation of an order-preserving projection is
+            // already sorted; only adjacent duplicates can occur.
+            out.dedup();
+            Ok(SnapshotState::from_sorted_vec(schema, out))
+        } else {
+            Ok(SnapshotState::from_unsorted_vec(schema, out))
+        }
     }
 
     /// [`SnapshotState::product`] with the left operand partitioned.
     pub fn product_par(&self, other: &SnapshotState, pool: &ExecPool) -> Result<SnapshotState> {
         let schema = self.schema().product(other.schema())?;
         let grain = (PRODUCT_PAIR_GRAIN / other.len().max(1)).max(1);
-        let items: Vec<&Tuple> = self.iter().collect();
-        let runs = pool.map_chunks(OpKind::Product, &items, grain, |chunk| {
+        let runs = pool.map_chunks(OpKind::Product, self.run(), grain, |chunk| {
             let mut pairs = Vec::with_capacity(chunk.len() * other.len());
             for l in chunk {
                 for r in other.iter() {
@@ -93,65 +132,78 @@ impl SnapshotState {
             }
             pairs
         });
-        let mut tuples = BTreeSet::new();
+        let mut out = Vec::with_capacity(self.len() * other.len());
         for run in runs {
-            tuples.extend(run);
+            out.extend(run);
         }
-        Ok(SnapshotState::from_checked(schema, tuples))
+        Ok(SnapshotState::from_sorted_vec(schema, out))
     }
 
-    /// [`SnapshotState::union`] with the membership probe partitioned
-    /// over the right operand.
+    /// [`SnapshotState::union`] as a merge over aligned partitions of
+    /// both runs.
     pub fn union_par(&self, other: &SnapshotState, pool: &ExecPool) -> Result<SnapshotState> {
         self.schema().require_union_compatible(other.schema())?;
-        if self.is_empty() || other.is_empty() || std::ptr::eq(self.tuples(), other.tuples()) {
+        if self.is_empty() || other.is_empty() || self.shares_run(other) {
             // Sequential identity shortcuts (O(1) Arc reuse).
             return self.union(other);
         }
-        let items: Vec<&Tuple> = other.iter().collect();
-        let runs = pool.map_chunks(OpKind::Union, &items, SET_GRAIN, |chunk| {
-            chunk
-                .iter()
-                .filter(|t| !self.contains(t))
-                .map(|&t| t.clone())
-                .collect::<Vec<Tuple>>()
+        let parts = aligned_parts(self.run(), other.run(), pool.threads());
+        let runs = pool.map_chunks(OpKind::Union, &parts, 1, |chunk| {
+            let mut out = Vec::new();
+            for (lr, rr) in chunk {
+                out.extend(merge_union(
+                    &self.run()[lr.clone()],
+                    &other.run()[rr.clone()],
+                ));
+            }
+            out
         });
-        if runs.iter().all(Vec::is_empty) {
-            // other ⊆ self: share the left set, like the sequential
-            // subsumption probe.
+        let total: usize = runs.iter().map(Vec::len).sum();
+        if total == self.len() {
+            // other ⊆ self: share the left run, like the sequential path.
             return Ok(self.clone());
         }
-        let mut tuples = self.tuples().clone();
-        for run in runs {
-            tuples.extend(run);
+        if total == other.len() {
+            return Ok(SnapshotState::from_shared(
+                self.schema().clone(),
+                other.shared_run().clone(),
+            ));
         }
-        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+        let mut out = Vec::with_capacity(total);
+        for run in runs {
+            out.extend(run);
+        }
+        Ok(SnapshotState::from_sorted_vec(self.schema().clone(), out))
     }
 
-    /// [`SnapshotState::difference`] with the survivor scan partitioned
-    /// over the left operand.
+    /// [`SnapshotState::difference`] as a merge over aligned partitions
+    /// of both runs.
     pub fn difference_par(&self, other: &SnapshotState, pool: &ExecPool) -> Result<SnapshotState> {
         self.schema().require_union_compatible(other.schema())?;
-        if self.is_empty() || other.is_empty() || std::ptr::eq(self.tuples(), other.tuples()) {
+        if self.is_empty() || other.is_empty() || self.shares_run(other) {
             return self.difference(other);
         }
-        let items: Vec<&Tuple> = self.iter().collect();
-        let runs = pool.map_chunks(OpKind::Difference, &items, SET_GRAIN, |chunk| {
-            chunk
-                .iter()
-                .filter(|t| !other.contains(t))
-                .map(|&t| t.clone())
-                .collect::<Vec<Tuple>>()
+        let parts = aligned_parts(self.run(), other.run(), pool.threads());
+        let runs = pool.map_chunks(OpKind::Difference, &parts, 1, |chunk| {
+            let mut out = Vec::new();
+            for (lr, rr) in chunk {
+                out.extend(merge_difference(
+                    &self.run()[lr.clone()],
+                    &other.run()[rr.clone()],
+                ));
+            }
+            out
         });
-        if runs.iter().map(Vec::len).sum::<usize>() == self.len() {
-            // Disjoint operands: nothing removed, share the left set.
+        let total: usize = runs.iter().map(Vec::len).sum();
+        if total == self.len() {
+            // Disjoint operands: nothing removed, share the left run.
             return Ok(self.clone());
         }
-        let mut tuples = BTreeSet::new();
+        let mut out = Vec::with_capacity(total);
         for run in runs {
-            tuples.extend(run);
+            out.extend(run);
         }
-        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+        Ok(SnapshotState::from_sorted_vec(self.schema().clone(), out))
     }
 }
 
@@ -180,6 +232,24 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(seed);
         random_state(&mut rng, &schema(prefix), &cfg)
+    }
+
+    #[test]
+    fn aligned_parts_cover_both_runs_in_order() {
+        let a = random(1, "a", 500);
+        let b = random(2, "a", 700);
+        for want in [1, 2, 3, 7] {
+            let parts = aligned_parts(a.run(), b.run(), want);
+            assert!(parts.len() <= want);
+            assert_eq!(parts.first().unwrap().0.start, 0);
+            assert_eq!(parts.first().unwrap().1.start, 0);
+            assert_eq!(parts.last().unwrap().0.end, a.len());
+            assert_eq!(parts.last().unwrap().1.end, b.len());
+            for w in parts.windows(2) {
+                assert_eq!(w[0].0.end, w[1].0.start);
+                assert_eq!(w[0].1.end, w[1].1.start);
+            }
+        }
     }
 
     /// Every kernel, at several thread counts, against its sequential
@@ -230,12 +300,13 @@ mod tests {
         let empty = SnapshotState::empty(schema("a"));
         let pool = ExecPool::new(4);
         let u = a.union_par(&empty, &pool).unwrap();
-        assert!(std::ptr::eq(a.tuples(), u.tuples()));
+        assert!(a.shares_run(&u));
         let d = a.difference_par(&empty, &pool).unwrap();
-        assert!(std::ptr::eq(a.tuples(), d.tuples()));
-        // Subsumption: a ∪ a (by value, not pointer) shares the left set.
-        let twin = a.clone();
+        assert!(a.shares_run(&d));
+        // Subsumption: a ∪ a (by value, not pointer) shares the left run.
+        let twin = SnapshotState::new(schema("a"), a.iter().cloned()).unwrap();
+        assert!(!a.shares_run(&twin));
         let u2 = a.union_par(&twin, &pool).unwrap();
-        assert!(std::ptr::eq(a.tuples(), u2.tuples()));
+        assert!(a.shares_run(&u2));
     }
 }

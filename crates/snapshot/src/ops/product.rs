@@ -1,7 +1,5 @@
 //! Cartesian product (×).
 
-use std::collections::BTreeSet;
-
 use crate::state::SnapshotState;
 use crate::Result;
 
@@ -11,15 +9,20 @@ impl SnapshotState {
     /// `E₁ × E₂` contains the concatenation `t₁ · t₂` for every pair of
     /// tuples from the operands. Use [`SnapshotState::rename`] first if
     /// the operands share attribute names.
+    ///
+    /// The kernel is a nested loop appending into an exactly-sized buffer:
+    /// distinct left tuples of equal arity differ before the concatenation
+    /// point, so the blocked output is already in canonical order — no
+    /// sort, no dedup, no per-pair tree insert.
     pub fn product(&self, other: &SnapshotState) -> Result<SnapshotState> {
         let schema = self.schema().product(other.schema())?;
-        let mut tuples = BTreeSet::new();
+        let mut out = Vec::with_capacity(self.len() * other.len());
         for l in self.iter() {
             for r in other.iter() {
-                tuples.insert(l.concat(r));
+                out.push(l.concat(r));
             }
         }
-        Ok(SnapshotState::from_checked(schema, tuples))
+        Ok(SnapshotState::from_sorted_vec(schema, out))
     }
 }
 

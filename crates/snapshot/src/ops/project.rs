@@ -1,22 +1,35 @@
 //! Projection (π).
 
-use std::collections::BTreeSet;
-
 use crate::state::SnapshotState;
 use crate::Result;
+
+/// Whether `indices` is the identity prefix `[0, 1, …, k-1]`, in which
+/// case projecting a sorted run keeps it sorted (lexicographic order on a
+/// prefix is the order induced by the full tuples) and only adjacent
+/// duplicates need collapsing.
+pub(crate) fn is_identity_prefix(indices: &[usize]) -> bool {
+    indices.iter().enumerate().all(|(pos, &i)| pos == i)
+}
 
 impl SnapshotState {
     /// Projection `π_X(E)` onto the named attributes, in the order given.
     ///
     /// Duplicate result tuples collapse (set semantics). Fails on unknown
     /// or repeated attribute names.
+    ///
+    /// The kernel is a single scan producing one projected tuple per input
+    /// tuple, then a sort + dedup to restore canonical order — skipped
+    /// entirely (bar an adjacent-dedup) when the projection keeps a prefix
+    /// of the attributes in order, which preserves sortedness.
     pub fn project(&self, attrs: &[impl AsRef<str>]) -> Result<SnapshotState> {
         let (schema, indices) = self.schema().project(attrs)?;
-        let mut tuples = BTreeSet::new();
-        for t in self.iter() {
-            tuples.insert(t.project(&indices));
+        let mut out: Vec<_> = self.iter().map(|t| t.project(&indices)).collect();
+        if is_identity_prefix(&indices) {
+            out.dedup();
+            Ok(SnapshotState::from_sorted_vec(schema, out))
+        } else {
+            Ok(SnapshotState::from_unsorted_vec(schema, out))
         }
-        Ok(SnapshotState::from_checked(schema, tuples))
     }
 }
 
@@ -52,6 +65,24 @@ mod tests {
     #[test]
     fn projection_collapses_duplicates() {
         let p = emp().project(&["dept"]).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn projection_prefix_fast_path_collapses_duplicates() {
+        // ("name", "dept") is the identity prefix [0, 1]; the sortedness
+        // fast path must still deduplicate adjacent collisions.
+        let schema = Schema::new(vec![("a", DomainType::Int), ("b", DomainType::Int)]).unwrap();
+        let s = SnapshotState::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(1)],
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(1)],
+            ],
+        )
+        .unwrap();
+        let p = s.project(&["a"]).unwrap();
         assert_eq!(p.len(), 2);
     }
 

@@ -8,16 +8,16 @@ impl SnapshotState {
     /// Selection `σ_F(E)`: the tuples satisfying predicate `F`.
     ///
     /// The predicate is validated against the state's scheme and compiled
-    /// once, then evaluated per tuple.
+    /// once, then evaluated in a single scan over the sorted run —
+    /// filtering preserves canonical order. When every tuple passes, the
+    /// input run is reused as-is (an O(1) `Arc` clone).
     pub fn select(&self, predicate: &Predicate) -> Result<SnapshotState> {
         let compiled = predicate.compile(self.schema())?;
-        let tuples = self
-            .tuples()
-            .iter()
-            .filter(|t| compiled.eval(t))
-            .cloned()
-            .collect();
-        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+        let out: Vec<_> = self.iter().filter(|t| compiled.eval(t)).cloned().collect();
+        if out.len() == self.len() {
+            return Ok(self.clone());
+        }
+        Ok(SnapshotState::from_sorted_vec(self.schema().clone(), out))
     }
 }
 

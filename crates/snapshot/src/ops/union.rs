@@ -1,5 +1,6 @@
 //! Set union (∪).
 
+use crate::ops::merge::merge_union;
 use crate::state::SnapshotState;
 use crate::Result;
 
@@ -9,38 +10,35 @@ impl SnapshotState {
     /// `E₁ ∪ E₂` contains every tuple in either operand; duplicates
     /// collapse by the set semantics of states.
     ///
-    /// When one operand is empty, already contains the other, or both
-    /// share the same underlying set, the surviving side's tuple set is
-    /// reused as-is — an O(1) `Arc` clone, no tuple is copied.
+    /// The kernel is a single two-pointer merge over the operands' sorted
+    /// runs. When one operand is empty, already contains the other, or
+    /// both share the same underlying run, the surviving side's run is
+    /// reused as-is — an O(1) `Arc` clone, no tuple is copied. Subsumption
+    /// is detected *after* the merge by comparing output and operand
+    /// lengths (|A ∪ B| = |A| exactly when B ⊆ A), so the common case
+    /// costs one pass and no probe.
     pub fn union(&self, other: &SnapshotState) -> Result<SnapshotState> {
         self.schema().require_union_compatible(other.schema())?;
-        if other.is_empty() || std::ptr::eq(self.tuples(), other.tuples()) {
+        if other.is_empty() || self.shares_run(other) {
             return Ok(self.clone());
         }
         if self.is_empty() {
             return Ok(SnapshotState::from_shared(
                 self.schema().clone(),
-                other.shared_tuples().clone(),
+                other.shared_run().clone(),
             ));
         }
-        // Subsumption probe: if the smaller operand is contained in the
-        // larger, the larger's set is the result. The probe costs at most
-        // |smaller| · O(log |larger|) — cheaper than the merge it avoids.
-        if other.len() <= self.len() {
-            if other.iter().all(|t| self.contains(t)) {
-                return Ok(self.clone());
-            }
-        } else if self.iter().all(|t| other.contains(t)) {
+        let out = merge_union(self.run(), other.run());
+        if out.len() == self.len() {
+            return Ok(self.clone());
+        }
+        if out.len() == other.len() {
             return Ok(SnapshotState::from_shared(
                 self.schema().clone(),
-                other.shared_tuples().clone(),
+                other.shared_run().clone(),
             ));
         }
-        let mut tuples = self.tuples().clone();
-        for t in other.iter() {
-            tuples.insert(t.clone());
-        }
-        Ok(SnapshotState::from_checked(self.schema().clone(), tuples))
+        Ok(SnapshotState::from_sorted_vec(self.schema().clone(), out))
     }
 }
 
@@ -91,14 +89,14 @@ mod tests {
     }
 
     #[test]
-    fn union_with_empty_shares_the_tuple_set() {
-        // The identity cases are O(1): the surviving operand's Arc'd
-        // tuple set is reused, not copied.
+    fn union_with_empty_shares_the_run() {
+        // The identity cases are O(1): the surviving operand's Arc'd run
+        // is reused, not copied.
         let s = state(&[1, 2]);
         let right_empty = s.union(&state(&[])).unwrap();
-        assert!(std::ptr::eq(s.tuples(), right_empty.tuples()));
+        assert!(s.shares_run(&right_empty));
         let left_empty = state(&[]).union(&s).unwrap();
-        assert!(std::ptr::eq(s.tuples(), left_empty.tuples()));
+        assert!(s.shares_run(&left_empty));
     }
 
     #[test]
@@ -106,11 +104,11 @@ mod tests {
         let big = state(&[1, 2, 3, 4]);
         let small = state(&[2, 3]);
         let r = big.union(&small).unwrap();
-        assert!(std::ptr::eq(big.tuples(), r.tuples()));
+        assert!(big.shares_run(&r));
         let l = small.union(&big).unwrap();
-        assert!(std::ptr::eq(big.tuples(), l.tuples()));
+        assert!(big.shares_run(&l));
         let same = big.union(&big).unwrap();
-        assert!(std::ptr::eq(big.tuples(), same.tuples()));
+        assert!(big.shares_run(&same));
     }
 
     #[test]

@@ -13,10 +13,31 @@ use crate::Result;
 /// The payload is reference-counted, so cloning a tuple — which the
 /// persistent full-copy semantics of rollback relations does constantly —
 /// is O(1).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tuple {
     values: Arc<[Value]>,
+}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    /// Lexicographic value order (same as the former derived order), with a
+    /// pointer fast path: a tuple compared against a clone of itself — the
+    /// common case inside sorted-run merge kernels, where both operands
+    /// often share tuples with a parent state — settles without touching
+    /// the payload.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.values, &other.values) {
+            std::cmp::Ordering::Equal
+        } else {
+            self.values.cmp(&other.values)
+        }
+    }
 }
 
 impl Tuple {
@@ -76,6 +97,12 @@ impl Tuple {
         v.extend_from_slice(&self.values);
         v.extend_from_slice(&other.values);
         Tuple::new(v)
+    }
+
+    /// Whether two tuples share the same payload allocation (used by the
+    /// interner to detect no-op rewrites).
+    pub(crate) fn shares_values(&self, other: &Tuple) -> bool {
+        Arc::ptr_eq(&self.values, &other.values)
     }
 
     /// Approximate footprint in bytes for space accounting.

@@ -78,8 +78,11 @@ impl fmt::Display for Real {
 
 /// A single attribute value drawn from one of the supported domains.
 ///
-/// Values are cheap to clone: strings are reference-counted.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// Values are cheap to clone: strings are reference-counted. With the
+/// per-relation interning pool (see [`crate::intern::StrInterner`]) equal
+/// strings share one allocation, so the manual [`Ord`] below can settle
+/// most string comparisons with a pointer check instead of a byte scan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// An element of the integer domain.
@@ -92,7 +95,45 @@ pub enum Value {
     Str(Arc<str>),
 }
 
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// The derived total order (variants in declaration order, payloads by
+    /// their own `Ord`), with one extra fast path: two `Str` values backed
+    /// by the *same* allocation — the common case once a relation's
+    /// strings are interned — compare equal without touching the bytes.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Real(a), Value::Real(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.cmp(b)
+                }
+            }
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
 impl Value {
+    /// Variant rank matching the declaration (and former derived) order.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Real(_) => 1,
+            Value::Bool(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
     /// Convenience constructor for string values.
     pub fn str(s: impl AsRef<str>) -> Value {
         Value::Str(Arc::from(s.as_ref()))
@@ -255,5 +296,29 @@ mod tests {
     #[test]
     fn str_size_accounts_for_payload() {
         assert!(Value::str("hello world").size_bytes() > Value::Int(0).size_bytes());
+    }
+
+    #[test]
+    fn ordering_across_domains_follows_declaration_order() {
+        let mut v = [
+            Value::str("a"),
+            Value::Bool(false),
+            Value::real(1.0),
+            Value::Int(5),
+        ];
+        v.sort();
+        assert!(matches!(v[0], Value::Int(_)));
+        assert!(matches!(v[1], Value::Real(_)));
+        assert!(matches!(v[2], Value::Bool(_)));
+        assert!(matches!(v[3], Value::Str(_)));
+    }
+
+    #[test]
+    fn shared_string_allocation_compares_equal() {
+        let a = Value::str("shared");
+        let b = a.clone();
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        // Distinct allocations with equal contents still compare equal.
+        assert_eq!(a.cmp(&Value::str("shared")), std::cmp::Ordering::Equal);
     }
 }

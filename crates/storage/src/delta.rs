@@ -2,7 +2,18 @@
 
 use txtime_core::StateValue;
 use txtime_historical::TemporalElement;
-use txtime_snapshot::Tuple;
+use txtime_snapshot::{StrInterner, Tuple};
+
+/// A state whose string values are all drawn from `pool` (see
+/// [`txtime_snapshot::SnapshotState::interned`]). Delta backends route
+/// every appended state through one per-relation pool, so replay compares
+/// interned strings by pointer instead of re-hashing bytes.
+pub(crate) fn intern_state(state: &StateValue, pool: &mut StrInterner) -> StateValue {
+    match state {
+        StateValue::Snapshot(s) => StateValue::Snapshot(s.interned(pool)),
+        StateValue::Historical(h) => StateValue::Historical(h.interned(pool)),
+    }
+}
 
 /// The difference between two states of the same kind.
 ///

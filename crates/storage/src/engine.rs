@@ -283,10 +283,13 @@ impl Engine {
         self.pool.threads()
     }
 
-    /// Replaces the worker pool with one of `threads` threads (0 is
-    /// clamped to 1 = sequential). Resets the exec counters.
+    /// Replaces the worker pool with one of `threads` threads, clamped
+    /// to the host's available parallelism (0 is clamped to 1 =
+    /// sequential) — asking for more threads than cores would only add
+    /// contention. Resets the exec counters. The effective (clamped)
+    /// budget is echoed by [`Engine::exec_stats`].
     pub fn set_threads(&mut self, threads: usize) {
-        self.pool = ExecPool::new(threads);
+        self.pool = ExecPool::clamped(threads);
     }
 
     /// Per-operator counters from the worker pool (wall time, calls,

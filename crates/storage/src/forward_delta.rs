@@ -8,9 +8,11 @@ use txtime_core::{EvalError, RollbackFilter, StateValue, TransactionNumber};
 use txtime_historical::HistoricalState;
 use txtime_snapshot::SnapshotState;
 
+use txtime_snapshot::StrInterner;
+
 use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
 use crate::cache::MaterializationCache;
-use crate::delta::StateDelta;
+use crate::delta::{intern_state, StateDelta};
 
 /// One entry in the forward chain.
 #[derive(Debug)]
@@ -36,6 +38,9 @@ pub struct ForwardDeltaStore {
     current: Option<StateValue>,
     /// Shared materialization cache and this relation's id within it.
     cache: Option<(Arc<MaterializationCache>, u64)>,
+    /// Per-relation string pool: every appended state is interned, so
+    /// replay compares strings by pointer and never re-hashes them.
+    interner: StrInterner,
 }
 
 impl ForwardDeltaStore {
@@ -55,6 +60,7 @@ impl ForwardDeltaStore {
             entries: Vec::new(),
             current: None,
             cache,
+            interner: StrInterner::new(),
         }
     }
 
@@ -121,13 +127,17 @@ impl ForwardDeltaStore {
 impl RollbackStore for ForwardDeltaStore {
     fn append(&mut self, state: &StateValue, tx: TransactionNumber) {
         debug_assert!(self.entries.last().is_none_or(|(_, t)| *t < tx));
+        // Intern once at the door: the delta (whose tuples are clones out
+        // of `state`) and every replayed reconstruction then share pooled
+        // string allocations with the prior versions.
+        let state = intern_state(state, &mut self.interner);
         let index = self.entries.len();
         let entry = match (&self.current, self.policy.is_checkpoint(index)) {
-            (Some(prev), false) => Entry::Delta(StateDelta::between(prev, state)),
+            (Some(prev), false) => Entry::Delta(StateDelta::between(prev, &state)),
             _ => Entry::Checkpoint(state.clone()),
         };
         self.entries.push((entry, tx));
-        self.current = Some(state.clone());
+        self.current = Some(state);
     }
 
     fn state_at(&self, tx: TransactionNumber) -> Option<StateValue> {
@@ -345,15 +355,19 @@ impl RollbackStore for ForwardDeltaStore {
     }
 
     fn space_bytes(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|(e, _)| {
-                8 + match e {
-                    Entry::Checkpoint(s) => s.size_bytes(),
-                    Entry::Delta(d) => d.size_bytes(),
-                }
-            })
-            .sum()
+        // The interner pool is real resident memory owned by this store;
+        // count it alongside the entries it deduplicates.
+        self.interner.size_bytes()
+            + self
+                .entries
+                .iter()
+                .map(|(e, _)| {
+                    8 + match e {
+                        Entry::Checkpoint(s) => s.size_bytes(),
+                        Entry::Delta(d) => d.size_bytes(),
+                    }
+                })
+                .sum::<usize>()
     }
 
     fn version_txs(&self) -> Vec<TransactionNumber> {

@@ -4,10 +4,11 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use txtime_core::{StateValue, TransactionNumber};
+use txtime_snapshot::StrInterner;
 
 use crate::backend::{BackendKind, RollbackStore};
 use crate::cache::MaterializationCache;
-use crate::delta::StateDelta;
+use crate::delta::{intern_state, StateDelta};
 
 /// Stores the current state materialized and, for each superseded version
 /// `i`, the reverse delta carrying version `i+1` back to version `i`.
@@ -27,6 +28,9 @@ pub struct ReverseDeltaStore {
     current: Option<StateValue>,
     /// Shared materialization cache and this relation's id within it.
     cache: Option<(Arc<MaterializationCache>, u64)>,
+    /// Per-relation string pool: every appended state is interned, so
+    /// replay compares strings by pointer and never re-hashes them.
+    interner: StrInterner,
 }
 
 impl ReverseDeltaStore {
@@ -48,11 +52,13 @@ impl ReverseDeltaStore {
 impl RollbackStore for ReverseDeltaStore {
     fn append(&mut self, state: &StateValue, tx: TransactionNumber) {
         debug_assert!(self.txs.last().is_none_or(|t| *t < tx));
+        // Intern once at the door (see ForwardDeltaStore::append).
+        let state = intern_state(state, &mut self.interner);
         if let Some(prev) = &self.current {
-            self.undo.push(StateDelta::between(state, prev));
+            self.undo.push(StateDelta::between(&state, prev));
         }
         self.txs.push(tx);
-        self.current = Some(state.clone());
+        self.current = Some(state);
     }
 
     fn state_at(&self, tx: TransactionNumber) -> Option<StateValue> {
@@ -181,9 +187,12 @@ impl RollbackStore for ReverseDeltaStore {
     }
 
     fn space_bytes(&self) -> usize {
+        // The interner pool is real resident memory owned by this store;
+        // count it alongside the deltas it deduplicates.
         self.current.as_ref().map_or(0, StateValue::size_bytes)
             + self.undo.iter().map(StateDelta::size_bytes).sum::<usize>()
             + self.txs.len() * 8
+            + self.interner.size_bytes()
     }
 
     fn version_txs(&self) -> Vec<TransactionNumber> {
