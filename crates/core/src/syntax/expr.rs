@@ -217,6 +217,40 @@ impl Expr {
         }
     }
 
+    /// Every ρ/ρ̂ leaf of the expression as an `(ident, spec)` pair, in
+    /// syntactic order and *without* deduplication — unlike
+    /// [`Expr::read_set`], which collapses to distinct identifiers. The
+    /// view memo uses the specs to decide which leaves a new transaction
+    /// can actually affect (`ρ(I, n)` with `n` below the new transaction
+    /// number is immutable under strictly increasing transaction
+    /// numbers).
+    pub fn reads(&self) -> Vec<(&str, TxSpec)> {
+        let mut out = Vec::new();
+        self.collect_spec_reads(&mut out);
+        out
+    }
+
+    fn collect_spec_reads<'a>(&'a self, out: &mut Vec<(&'a str, TxSpec)>) {
+        match self {
+            Expr::SnapshotConst(_) | Expr::HistoricalConst(_) => {}
+            Expr::Rollback(i, spec) | Expr::HRollback(i, spec) => out.push((i, *spec)),
+            Expr::Union(a, b)
+            | Expr::Difference(a, b)
+            | Expr::Product(a, b)
+            | Expr::HUnion(a, b)
+            | Expr::HDifference(a, b)
+            | Expr::HProduct(a, b) => {
+                a.collect_spec_reads(out);
+                b.collect_spec_reads(out);
+            }
+            Expr::Project(_, e)
+            | Expr::Select(_, e)
+            | Expr::HProject(_, e)
+            | Expr::HSelect(_, e)
+            | Expr::Delta(_, _, e) => e.collect_spec_reads(out),
+        }
+    }
+
     /// The node's direct *expression* operands, in syntactic order
     /// (empty for constants and rollbacks). Analyses that walk the tree
     /// generically — the static checker, span tables — use this instead
@@ -339,6 +373,21 @@ mod tests {
             .union(Expr::current("b"))
             .union(Expr::current("a"));
         assert_eq!(e.read_set(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn reads_keeps_specs_and_duplicates() {
+        let e = Expr::rollback("a", TxSpec::At(TransactionNumber(3)))
+            .union(Expr::current("b"))
+            .union(Expr::current("a"));
+        assert_eq!(
+            e.reads(),
+            vec![
+                ("a", TxSpec::At(TransactionNumber(3))),
+                ("b", TxSpec::Current),
+                ("a", TxSpec::Current),
+            ]
+        );
     }
 
     #[test]

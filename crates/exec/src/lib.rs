@@ -34,6 +34,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+pub mod memo;
+
+pub use memo::{MemoCounters, MemoStats};
+
 /// The operators whose work the pool schedules and accounts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
@@ -61,11 +65,13 @@ pub enum OpKind {
     Subtree,
     /// Batched rollback resolution (`Engine::resolve_many`).
     Resolve,
+    /// Delta propagation through memoized views (`modify_state`).
+    Propagate,
 }
 
 impl OpKind {
     /// Every operator kind, in display order.
-    pub const ALL: [OpKind; 12] = [
+    pub const ALL: [OpKind; 13] = [
         OpKind::Select,
         OpKind::Project,
         OpKind::Product,
@@ -78,6 +84,7 @@ impl OpKind {
         OpKind::HDifference,
         OpKind::Subtree,
         OpKind::Resolve,
+        OpKind::Propagate,
     ];
 
     /// The operator's display name.
@@ -95,6 +102,7 @@ impl OpKind {
             OpKind::HDifference => "hdifference",
             OpKind::Subtree => "subtree",
             OpKind::Resolve => "resolve",
+            OpKind::Propagate => "propagate",
         }
     }
 
@@ -118,8 +126,9 @@ impl OpKind {
             // One left item fans out over the whole right operand: the
             // grain is sized in output pairs, not input items.
             OpKind::Product | OpKind::HProduct => 4096,
-            // Units are whole subtrees / rollback targets.
-            OpKind::Subtree | OpKind::Resolve => 1,
+            // Units are whole subtrees / rollback targets / memoized
+            // views.
+            OpKind::Subtree | OpKind::Resolve | OpKind::Propagate => 1,
         }
     }
 

@@ -78,6 +78,25 @@ fn count_conjuncts(p: &txtime_snapshot::Predicate) -> usize {
     }
 }
 
+/// Decides whether propagating a delta of `delta_changes` changed
+/// tuples/entries through one memoized operator beats recomputing that
+/// operator from its (cached) inputs of `recompute_rows` total rows.
+///
+/// The same System-R-flavoured reasoning as [`estimate_cost`], collapsed
+/// to a ratio: a delta rule touches O(Δ) items (each with a log-factor
+/// membership probe against the sorted runs), a recompute touches every
+/// input row. The probe constant is folded into a 4× headroom factor, so
+/// propagation must be at least 4× smaller than the recompute before it
+/// is chosen — the view memo consults this for the operators whose delta
+/// rules have super-linear fan-out (×, ×̂) or where the delta can
+/// approach the input (δ after a large churn).
+pub fn delta_beats_reeval(delta_changes: usize, recompute_rows: usize) -> bool {
+    // A delta too large to even scale can never beat the recompute.
+    delta_changes
+        .checked_mul(4)
+        .is_some_and(|scaled| scaled <= recompute_rows)
+}
+
 /// Estimated total work of evaluating an expression: the sum of every
 /// node's output cardinality (each intermediate state must be
 /// materialized in the paper's semantics).
@@ -149,6 +168,18 @@ mod tests {
             .select(Predicate::gt_const("sal", Value::Int(10)));
         let optimized = crate::optimize(&original, &catalog);
         assert!(estimate_cost(&optimized, &model()) < estimate_cost(&original, &model()));
+    }
+
+    #[test]
+    fn delta_threshold_prefers_small_deltas() {
+        // A handful of changes against 10k rows: propagate.
+        assert!(delta_beats_reeval(16, 10_000));
+        // Delta comparable to the input: recompute.
+        assert!(!delta_beats_reeval(5_000, 10_000));
+        // Boundary and degenerate cases.
+        assert!(delta_beats_reeval(0, 0));
+        assert!(!delta_beats_reeval(1, 0));
+        assert!(!delta_beats_reeval(usize::MAX, usize::MAX));
     }
 
     #[test]

@@ -35,12 +35,14 @@
 //! ```
 
 pub mod cost;
+pub mod interner;
 pub mod laws;
 pub mod pushdown;
 pub mod rules;
 pub mod schema_infer;
 
-pub use cost::{estimate_cost, CostModel};
+pub use cost::{delta_beats_reeval, estimate_cost, CostModel};
+pub use interner::{ExprId, ExprInterner, ExprNode, NodeOp};
 pub use pushdown::pushdown;
 pub use rules::{optimize, optimize_with_trace, RewriteTrace};
 pub use schema_infer::SchemaCatalog;

@@ -7,6 +7,8 @@ use std::sync::Arc;
 use txtime_core::{EvalError, RollbackFilter, StateValue, TransactionNumber};
 
 use crate::cache::MaterializationCache;
+use crate::delta::StateDelta;
+use crate::metrics::InternerStats;
 
 /// The error from [`CheckpointPolicy::every_k`] for a zero interval.
 ///
@@ -61,6 +63,32 @@ pub trait RollbackStore: Send + Sync {
     /// Installs a new current state committed at `tx`. Transaction numbers
     /// must be presented in strictly increasing order.
     fn append(&mut self, state: &StateValue, tx: TransactionNumber);
+
+    /// [`RollbackStore::append`], additionally returning the
+    /// [`StateDelta`] that carries the previous current state to the new
+    /// one — the input to incremental view maintenance. An append to an
+    /// empty store returns a `Reschema` delta (there is no "from" state).
+    ///
+    /// The provided implementation diffs around the plain `append`; the
+    /// delta-based stores override it to hand back the delta they compute
+    /// for their own representation anyway, so a `modify_state` with
+    /// registered dependent views pays for at most one diff.
+    fn append_with_delta(&mut self, state: &StateValue, tx: TransactionNumber) -> StateDelta {
+        let prev = self.current();
+        self.append(state, tx);
+        let appended = self.current().expect("append installed a current state");
+        match prev {
+            Some(p) => StateDelta::between(&p, &appended),
+            None => StateDelta::Reschema(Box::new(appended)),
+        }
+    }
+
+    /// Size of the per-relation string pool, for stores that intern
+    /// appended states ([`crate::ForwardDeltaStore`],
+    /// [`crate::ReverseDeltaStore`]); `None` for stores without one.
+    fn interner_stats(&self) -> Option<InternerStats> {
+        None
+    }
 
     /// FINDSTATE: the state current at `tx`.
     fn state_at(&self, tx: TransactionNumber) -> Option<StateValue>;

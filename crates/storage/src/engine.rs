@@ -16,12 +16,14 @@ use txtime_core::{
     Command, CommandOutcome, CoreError, EvalError, Expr, RelationType, RollbackFilter, StateSource,
     StateValue, TransactionNumber, TxSpec,
 };
-use txtime_exec::{ExecPool, ExecStats, OpKind};
+use txtime_exec::{ExecPool, ExecStats, MemoStats, OpKind};
 use txtime_optimizer::pushdown;
 
 use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
 use crate::cache::MaterializationCache;
-use crate::metrics::{CacheStats, RelationSpace, SpaceReport};
+use crate::delta::StateDelta;
+use crate::memo::{MemoDecision, RelStamp, StampSource, ViewRegistry};
+use crate::metrics::{CacheStats, InternerStats, RelationSpace, SpaceReport};
 use crate::wal;
 
 /// An error from [`Engine::execute_script`].
@@ -75,6 +77,9 @@ pub struct Engine {
     /// The worker pool queries run on; one thread ⇒ the exact
     /// sequential evaluator.
     pool: ExecPool,
+    /// The view memo: cached states for repeatedly evaluated
+    /// expressions, maintained incrementally by `modify_state` deltas.
+    memo: ViewRegistry,
 }
 
 impl Engine {
@@ -90,6 +95,7 @@ impl Engine {
             cache: MaterializationCache::shared(),
             next_rel_id: 0,
             pool: ExecPool::from_env(),
+            memo: ViewRegistry::new(),
         }
     }
 
@@ -174,12 +180,27 @@ impl Engine {
     /// which is result- and error-identical to the sequential one (the
     /// parallel-determinism property tests pin this); one thread takes
     /// the exact sequential path.
+    ///
+    /// The view memo is consulted first: a repeatedly evaluated
+    /// expression whose input relations have not moved is answered from
+    /// its cached state (kept fresh by `modify_state` delta
+    /// propagation); an expression crossing the registration threshold
+    /// is evaluated node-wise so every subexpression's state is cached.
+    /// Both paths are observationally identical — value and error — to
+    /// the plain evaluation below; the memo differential tests pin this
+    /// on every backend.
     pub fn eval(&self, expr: &Expr) -> Result<StateValue, EvalError> {
-        let rewritten = pushdown(expr);
-        if self.pool.threads() > 1 {
-            rewritten.eval_with_pool(self, &self.pool)
-        } else {
-            rewritten.eval_with(self)
+        match self.memo.decide(expr, self) {
+            MemoDecision::Hit(state) => Ok(state),
+            MemoDecision::Evaluate { register: true } => self.memo.eval_and_register(expr, self),
+            MemoDecision::Evaluate { register: false } => {
+                let rewritten = pushdown(expr);
+                if self.pool.threads() > 1 {
+                    rewritten.eval_with_pool(self, &self.pool)
+                } else {
+                    rewritten.eval_with(self)
+                }
+            }
         }
     }
 
@@ -319,6 +340,47 @@ impl Engine {
         self.cache.reset_stats();
     }
 
+    /// Counters and gauges from the view memo.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.stats()
+    }
+
+    /// Zeroes the memo counters without dropping cached views.
+    pub fn reset_memo_stats(&self) {
+        self.memo.reset_stats();
+    }
+
+    /// Resizes the view memo's root capacity; 0 disables memoization
+    /// entirely (the benchmarks' from-scratch baseline).
+    pub fn set_memo_capacity(&self, capacity: usize) {
+        self.memo.set_capacity(capacity);
+    }
+
+    /// Sets how many evaluations an expression needs before it is
+    /// registered into the memo (1 = register immediately).
+    pub fn set_memo_register_after(&self, evals: u32) {
+        self.memo.set_register_after(evals);
+    }
+
+    /// Per-relation string-pool sizes, for the stores that intern their
+    /// appended states (the delta-replay backends) — `txtime stats`
+    /// reports these alongside the memo counters.
+    pub fn interner_report(&self) -> Vec<(String, InternerStats)> {
+        self.catalog
+            .iter()
+            .filter_map(|(name, rel)| match &rel.keeper {
+                Keeper::History(store) => store.interner_stats().map(|s| (name.clone(), s)),
+                Keeper::Single(_) => None,
+            })
+            .collect()
+    }
+
+    /// The memo's expression-interner footprint: (distinct nodes,
+    /// approximate bytes).
+    pub fn memo_interner_footprint(&self) -> (usize, usize) {
+        self.memo.interner_footprint()
+    }
+
     /// Parses and executes a script in the surface syntax, returning the
     /// outcomes in command order. Parse errors are reported with their
     /// source position; execution stops at the first failing command.
@@ -371,12 +433,41 @@ impl Engine {
                     });
                 }
                 let next = self.tx.next();
+                // Pay for a delta only when a cached view depends on
+                // this relation; the delta stores hand back the delta
+                // they compute for their own representation anyway.
+                let track = self.memo.has_readers(ident);
                 let rel = self.catalog.get_mut(ident).expect("checked above");
-                match &mut rel.keeper {
-                    Keeper::History(store) => store.append(&state, next),
-                    Keeper::Single(slot) => *slot = Some((state, next)),
-                }
+                let rel_id = rel.rel_id;
+                let delta = match &mut rel.keeper {
+                    Keeper::History(store) => {
+                        if track {
+                            Some(store.append_with_delta(&state, next))
+                        } else {
+                            store.append(&state, next);
+                            None
+                        }
+                    }
+                    Keeper::Single(slot) => {
+                        let prev = slot.take();
+                        let d = track.then(|| match &prev {
+                            Some((p, _)) => StateDelta::between(p, &state),
+                            None => StateDelta::Reschema(Box::new(state.clone())),
+                        });
+                        *slot = Some((state, next));
+                        d
+                    }
+                };
                 self.tx = next;
+                if let Some(delta) = delta {
+                    // Route through the pool for OpKind::Propagate
+                    // accounting (single chunk: propagation is a
+                    // sequential bottom-up walk).
+                    let this: &Engine = self;
+                    this.pool.map_chunks(OpKind::Propagate, &[()], 1, |_| {
+                        this.memo.apply_modify(ident, rel_id, &delta, next, this);
+                    });
+                }
                 Ok(CommandOutcome::Modified)
             }
             Command::DeleteRelation(ident) => {
@@ -386,6 +477,7 @@ impl Engine {
                 // Its versions can never be probed again (relation ids are
                 // never reused); free their cache slots now.
                 self.cache.purge_relation(removed.rel_id);
+                self.memo.purge_relation(ident);
                 self.tx = self.tx.next();
                 Ok(CommandOutcome::Deleted)
             }
@@ -410,6 +502,9 @@ impl Engine {
                     Keeper::Single(slot) => *slot = Some((new_state, next)),
                 }
                 self.tx = next;
+                // The scheme under every dependent view just changed;
+                // no delta rule applies.
+                self.memo.purge_relation(ident);
                 Ok(CommandOutcome::Evolved)
             }
             Command::Display(expr) => {
@@ -464,10 +559,16 @@ impl Engine {
             .catalog
             .get_mut(ident)
             .ok_or_else(|| CoreError::UndefinedRelation(ident.to_string()))?;
-        Ok(match &mut rel.keeper {
+        let dropped = match &mut rel.keeper {
             Keeper::History(store) => store.truncate_before(before),
             Keeper::Single(_) => 0,
-        })
+        };
+        if dropped > 0 {
+            // Views over past versions (`ρ(I, n)`) may name versions
+            // that no longer exist; their stamps cannot tell.
+            self.memo.purge_relation(ident);
+        }
+        Ok(dropped)
     }
 
     /// Space accounting across the catalog (experiment E3).
@@ -540,6 +641,16 @@ impl Engine {
             .and_then(|t| store.state_at(t))
             .ok_or_else(|| EvalError::EmptyRelation(ident.to_string()))?;
         Ok(first.empty_like())
+    }
+}
+
+impl StampSource for Engine {
+    fn relation_stamp(&self, ident: &str) -> Option<RelStamp> {
+        let rel = self.catalog.get(ident)?;
+        match &rel.keeper {
+            Keeper::History(store) => store.last_tx().map(|tx| (rel.rel_id, tx)),
+            Keeper::Single(slot) => slot.as_ref().map(|(_, tx)| (rel.rel_id, *tx)),
+        }
     }
 }
 
@@ -797,6 +908,9 @@ mod tests {
     #[test]
     fn repeated_rollback_probes_hit_the_cache() {
         let e = engine_with_history(BackendKind::ReverseDelta);
+        // This test pins the materialization-cache path; with the view
+        // memo on, repeated probes would be answered above it.
+        e.set_memo_capacity(0);
         let spec = TxSpec::At(TransactionNumber(2));
         let first = e.eval(&Expr::rollback("r", spec)).unwrap();
         let before = e.cache_stats();

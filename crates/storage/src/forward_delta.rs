@@ -13,6 +13,7 @@ use txtime_snapshot::StrInterner;
 use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
 use crate::cache::MaterializationCache;
 use crate::delta::{intern_state, StateDelta};
+use crate::metrics::InternerStats;
 
 /// One entry in the forward chain.
 #[derive(Debug)]
@@ -138,6 +139,33 @@ impl RollbackStore for ForwardDeltaStore {
         };
         self.entries.push((entry, tx));
         self.current = Some(state);
+    }
+
+    /// The forward-delta store computes exactly the wanted delta for its
+    /// own chain: reuse it instead of diffing twice. Checkpoint entries
+    /// (including the first version) fall back to one diff around the
+    /// checkpointed state.
+    fn append_with_delta(&mut self, state: &StateValue, tx: TransactionNumber) -> StateDelta {
+        let prev = self.current.clone();
+        self.append(state, tx);
+        match (self.entries.last(), prev) {
+            (Some((Entry::Delta(d), _)), _) => d.clone(),
+            (_, Some(p)) => {
+                let cur = self.current.as_ref().expect("append installed current");
+                StateDelta::between(&p, cur)
+            }
+            (_, None) => {
+                let cur = self.current.clone().expect("append installed current");
+                StateDelta::Reschema(Box::new(cur))
+            }
+        }
+    }
+
+    fn interner_stats(&self) -> Option<InternerStats> {
+        Some(InternerStats {
+            strings: self.interner.len(),
+            bytes: self.interner.size_bytes(),
+        })
     }
 
     fn state_at(&self, tx: TransactionNumber) -> Option<StateValue> {

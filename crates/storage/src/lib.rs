@@ -42,6 +42,7 @@ pub mod engine;
 pub mod equiv;
 pub mod forward_delta;
 pub mod full_copy;
+pub mod memo;
 pub mod metrics;
 pub mod recovery;
 pub mod reverse_delta;
@@ -56,7 +57,8 @@ pub use engine::{Engine, ScriptError};
 pub use equiv::check_equivalence;
 pub use forward_delta::ForwardDeltaStore;
 pub use full_copy::FullCopyStore;
-pub use metrics::{CacheStats, SpaceReport};
+pub use memo::{MemoDecision, StampSource, ViewRegistry, DEFAULT_MEMO_CAPACITY};
+pub use metrics::{CacheStats, InternerStats, SpaceReport};
 pub use reverse_delta::ReverseDeltaStore;
 pub use tuple_ts::TupleTimestampStore;
-pub use txtime_exec::{ExecPool, ExecStats, OpKind, OpStat};
+pub use txtime_exec::{ExecPool, ExecStats, MemoStats, OpKind, OpStat};

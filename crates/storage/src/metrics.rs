@@ -78,6 +78,34 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Size of one per-relation string pool
+/// ([`txtime_snapshot::StrInterner`]): the delta-based stores intern
+/// every appended state so replay compares strings by pointer. PR 4
+/// added the pools; this surfaces them through `txtime stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Distinct strings pooled.
+    pub strings: usize,
+    /// Approximate resident bytes of the pool.
+    pub bytes: usize,
+}
+
+impl InternerStats {
+    /// Component-wise sum, for catalog-level totals.
+    pub fn merged(self, other: InternerStats) -> InternerStats {
+        InternerStats {
+            strings: self.strings + other.strings,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+}
+
+impl fmt::Display for InternerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} strings / {} bytes", self.strings, self.bytes)
+    }
+}
+
 /// Space usage of one relation.
 #[derive(Debug, Clone)]
 pub struct RelationSpace {

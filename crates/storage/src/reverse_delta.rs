@@ -9,6 +9,7 @@ use txtime_snapshot::StrInterner;
 use crate::backend::{BackendKind, RollbackStore};
 use crate::cache::MaterializationCache;
 use crate::delta::{intern_state, StateDelta};
+use crate::metrics::InternerStats;
 
 /// Stores the current state materialized and, for each superseded version
 /// `i`, the reverse delta carrying version `i+1` back to version `i`.
@@ -172,6 +173,13 @@ impl RollbackStore for ReverseDeltaStore {
 
     fn current(&self) -> Option<StateValue> {
         self.current.clone()
+    }
+
+    fn interner_stats(&self) -> Option<InternerStats> {
+        Some(InternerStats {
+            strings: self.interner.len(),
+            bytes: self.interner.size_bytes(),
+        })
     }
 
     fn version_count(&self) -> usize {

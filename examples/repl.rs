@@ -7,7 +7,9 @@
 //! Enter commands terminated by `;`. Anything you `display(...)` is
 //! printed; everything else mutates the in-memory engine. `\q` quits,
 //! `\catalog` lists relations, `\versions r` shows a relation's recorded
-//! history.
+//! history, `\memo` shows the incremental view memo's counters (queries
+//! displayed more than once are registered automatically; later
+//! modifications update their cached answers by delta propagation).
 //!
 //! ```text
 //! txtime> define_relation(emp, rollback);
@@ -36,7 +38,9 @@ fn main() {
     let stdin = std::io::stdin();
     let mut buffer = String::new();
 
-    println!("txtime REPL — commands end with ';'. \\q quits, \\catalog lists relations.");
+    println!(
+        "txtime REPL — commands end with ';'. \\q quits, \\catalog lists relations, \\memo shows view-memo counters."
+    );
     print_prompt(&buffer);
     for line in stdin.lock().lines() {
         let line = match line {
@@ -57,6 +61,13 @@ fn main() {
                             engine.version_count(name).unwrap_or(0)
                         );
                     }
+                    print_prompt(&buffer);
+                    continue;
+                }
+                "\\memo" => {
+                    print!("{}", engine.memo_stats());
+                    let (nodes, bytes) = engine.memo_interner_footprint();
+                    println!("       expr interner: {nodes} nodes / {bytes} bytes");
                     print_prompt(&buffer);
                     continue;
                 }

@@ -263,6 +263,14 @@ fn stats(rest: &[String]) -> ExitCode {
     // Per-operator wall time and chunk counts from the worker pool (the
     // header echoes the thread budget the run used).
     print!("{}", engine.exec_stats());
+    // The view memo's counters, the hash-consed expression DAG behind
+    // it, and the per-relation string pools inside the delta backends.
+    print!("{}", engine.memo_stats());
+    let (nodes, bytes) = engine.memo_interner_footprint();
+    println!("       expr interner: {nodes} nodes / {bytes} bytes");
+    for (name, interner) in engine.interner_report() {
+        println!("pool:  {name}: {interner}");
+    }
     ExitCode::SUCCESS
 }
 

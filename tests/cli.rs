@@ -123,3 +123,25 @@ fn usage_on_bad_invocation() {
     let out = txtime(&["run"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn stats_reports_memo_and_interner_pools() {
+    let script = write_script("stats.txq", SCRIPT);
+    let out = txtime(&["stats", script.to_str().unwrap(), "--backend", "fwd-delta"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Space and cache counters from earlier milestones still lead.
+    assert!(stdout.contains("cache:"), "stdout: {stdout}");
+    // View-memo counters and the hash-consed expression DAG footprint.
+    assert!(stdout.contains("memo:"), "stdout: {stdout}");
+    assert!(stdout.contains("hit rate"), "stdout: {stdout}");
+    assert!(stdout.contains("expr interner:"), "stdout: {stdout}");
+    // The delta backends expose their per-relation string pools.
+    assert!(stdout.contains("pool:  emp:"), "stdout: {stdout}");
+    assert!(stdout.contains("strings"), "stdout: {stdout}");
+    let _ = std::fs::remove_file(&script);
+}
