@@ -104,6 +104,151 @@ impl fmt::Display for ErrorCode {
     }
 }
 
+/// The stable code of a lint judgment: a warning the abstract
+/// interpreter or the flow-sensitive command analysis can issue.
+///
+/// Unlike [`ErrorCode`]s, warnings never reject a sentence — every
+/// warned construct is legal and evaluates — but each one states a fact
+/// that holds in *every* execution (the snapshot-soundness contract the
+/// differential proptests enforce). Expression-level codes are
+/// `W001`–`W008`; flow-sensitive command-level codes are `W020`–`W022`.
+/// Codes are append-only: a published code never changes meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WarnCode {
+    /// σ/σ̂ whose predicate is false for every possible tuple of its
+    /// operand: the selection provably yields ∅.
+    UnsatisfiableSelect,
+    /// σ/σ̂ whose predicate is true for every possible tuple of its
+    /// operand: the selection provably returns its operand unchanged.
+    TautologicalSelect,
+    /// ∪/∪̂ with a provably-∅ operand (redundant), −/−̂ subtracting a
+    /// provably-∅ expression (redundant), or ×/×̂ with a provably-∅
+    /// operand (the product is provably ∅).
+    EmptyOperand,
+    /// `E − E` / `E −̂ E`: both operands intern to the same [`ExprId`],
+    /// so the difference provably yields ∅.
+    ///
+    /// [`ExprId`]: crate::interner::ExprId
+    SelfDifference,
+    /// π/π̂ listing the operand's full scheme in its original order: the
+    /// projection provably returns its operand unchanged.
+    IdentityProjection,
+    /// ρ/ρ̂ to a transaction number before the relation's first stored
+    /// version: FINDSTATE's boundary rule makes the result provably ∅
+    /// (with the earliest version's scheme forced onto it).
+    RollbackBeforeFirstState,
+    /// ρ/ρ̂ to a transaction number beyond the transaction clock at this
+    /// point in the sentence: it resolves to the current version, so
+    /// `rho(I, n)` is just an obfuscated `rho(I, inf)` here.
+    RollbackPastClock,
+    /// A `display` whose whole expression is provably ∅ (and no more
+    /// specific warning already explains why).
+    DeadDisplay,
+    /// A `modify_state` whose written version is provably never read: it
+    /// is overwritten (non-history relation) or the relation is deleted
+    /// before any command reads it.
+    DeadWrite,
+    /// A relation that is defined and later deleted without ever being
+    /// read in between: its entire lifetime is provably dead.
+    DeadRelation,
+    /// An `evolve_scheme` on a relation read by a query displayed often
+    /// enough to be a registered incremental view: the evolution
+    /// invalidates the view's cached state and forces a rebuild.
+    StaleView,
+}
+
+impl WarnCode {
+    /// The stable `W0xx` string for this code.
+    pub fn code(self) -> &'static str {
+        match self {
+            WarnCode::UnsatisfiableSelect => "W001",
+            WarnCode::TautologicalSelect => "W002",
+            WarnCode::EmptyOperand => "W003",
+            WarnCode::SelfDifference => "W004",
+            WarnCode::IdentityProjection => "W005",
+            WarnCode::RollbackBeforeFirstState => "W006",
+            WarnCode::RollbackPastClock => "W007",
+            WarnCode::DeadDisplay => "W008",
+            WarnCode::DeadWrite => "W020",
+            WarnCode::DeadRelation => "W021",
+            WarnCode::StaleView => "W022",
+        }
+    }
+
+    /// All codes, in numeric order (used by the golden tests and the
+    /// DESIGN.md catalogue check).
+    pub const ALL: [WarnCode; 11] = [
+        WarnCode::UnsatisfiableSelect,
+        WarnCode::TautologicalSelect,
+        WarnCode::EmptyOperand,
+        WarnCode::SelfDifference,
+        WarnCode::IdentityProjection,
+        WarnCode::RollbackBeforeFirstState,
+        WarnCode::RollbackPastClock,
+        WarnCode::DeadDisplay,
+        WarnCode::DeadWrite,
+        WarnCode::DeadRelation,
+        WarnCode::StaleView,
+    ];
+}
+
+impl fmt::Display for WarnCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding of the lint pass — same shape as [`Diagnostic`], but
+/// advisory: the sentence is legal and executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// The lint judgment that fired.
+    pub code: WarnCode,
+    /// Where in the source the warned construct starts (`0:0` when the
+    /// sentence was built programmatically and carries no spans).
+    pub span: Span,
+    /// What was found.
+    pub message: String,
+    /// What to do about it, when a fix is evident.
+    pub help: Option<String>,
+}
+
+impl Warning {
+    /// A warning without a help line.
+    pub fn new(code: WarnCode, span: Span, message: impl Into<String>) -> Warning {
+        Warning {
+            code,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Warning {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.span.is_known() {
+            write!(
+                f,
+                "warning[{}] at {}: {}",
+                self.code, self.span, self.message
+            )?;
+        } else {
+            write!(f, "warning[{}]: {}", self.code, self.message)?;
+        }
+        if let Some(h) = &self.help {
+            write!(f, "\n  help: {h}")?;
+        }
+        Ok(())
+    }
+}
+
 /// One finding of the static checker.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -163,6 +308,28 @@ mod tests {
         }
         assert_eq!(ErrorCode::UndefinedRelation.code(), "E001");
         assert_eq!(ErrorCode::InvalidSchemeChange.code(), "E023");
+    }
+
+    #[test]
+    fn warn_codes_are_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in WarnCode::ALL {
+            assert!(seen.insert(c.code()), "duplicate code {}", c.code());
+            assert!(c.code().starts_with('W'));
+        }
+        assert_eq!(WarnCode::UnsatisfiableSelect.code(), "W001");
+        assert_eq!(WarnCode::StaleView.code(), "W022");
+    }
+
+    #[test]
+    fn warning_display_includes_span_and_help() {
+        let w = Warning::new(WarnCode::SelfDifference, Span::new(2, 5), "E − E is empty")
+            .with_help("drop the whole difference");
+        let s = w.to_string();
+        assert!(s.contains("warning[W004] at 2:5"));
+        assert!(s.contains("help: drop"));
+        let u = Warning::new(WarnCode::SelfDifference, Span::unknown(), "x");
+        assert!(!u.to_string().contains("at "));
     }
 
     #[test]

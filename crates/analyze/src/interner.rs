@@ -1,4 +1,5 @@
-//! Hash-consed expression identities for the view memo.
+//! Hash-consed expression identities, shared by the view memo and the
+//! lint pass.
 //!
 //! Expressions are trees; memoizing their evaluated states needs a *key*
 //! that two structurally identical expressions share. [`ExprInterner`]

@@ -25,17 +25,33 @@
 //!   `run_unchecked` as the opt-out.
 //! * [`SchemaCatalog`]/[`infer_schema`] — flat database-snapshot schema
 //!   inference, shared with the optimizer.
+//! * [`interner`] — the hash-consed [`ExprId`] DAG (shared with the
+//!   optimizer's view memo).
+//! * [`stats`] — the abstract domains ([`CardInterval`], [`ValueRange`])
+//!   and the [`StatsCatalog`] of per-relation, per-version statistics.
+//! * [`lint`] — `txtime-lint`: abstract interpretation over the DAG plus
+//!   flow-sensitive dead-command analysis, reporting `W001`–`W022` as
+//!   non-fatal [`Warning`]s.
 
 pub mod catalog;
 pub mod check;
 pub mod diagnostic;
 pub mod infer;
+pub mod interner;
+pub mod lint;
 pub mod run;
 pub mod schema_infer;
+pub mod stats;
 
 pub use catalog::{Catalog, RelationFacts, StaticState};
 pub use check::{check_command, check_expr, check_sentence, Checker};
-pub use diagnostic::{Diagnostic, ErrorCode};
+pub use diagnostic::{Diagnostic, ErrorCode, WarnCode, Warning};
 pub use infer::{infer_expr, ExprFacts, StaticKind};
+pub use interner::{ExprId, ExprInterner, ExprNode, NodeOp};
+pub use lint::{
+    analyze_expr, claim_target, lint_sentence, Claim, ClaimKind, ExprAbstract, ExprAnalysis,
+    LintReport, Linter,
+};
 pub use run::{RunError, SentenceExt};
 pub use schema_infer::{infer_schema, SchemaCatalog};
+pub use stats::{Bound, CardInterval, RelStats, StatsCatalog, ValueRange, VersionStats};

@@ -1,0 +1,234 @@
+//! Golden tests: one warned sentence per `W0xx` code, asserting the
+//! reported code and the exact source span the parser threaded through —
+//! the W-series mirror of `golden_diagnostics.rs`.
+//!
+//! Column arithmetic: `display(` occupies columns 1–8, so a top-level
+//! expression starts at column 9; `modify_state(r, ` puts its expression
+//! at column 17 (for a one-character relation name); command keywords
+//! start at column 1.
+
+use txtime_analyze::{lint_sentence, LintReport, WarnCode, Warning};
+use txtime_core::Span;
+use txtime_parser::parse_sentence_spanned;
+
+fn report(src: &str) -> LintReport {
+    let (sentence, spans) = parse_sentence_spanned(src).expect("golden source parses");
+    let report = lint_sentence(&sentence, Some(&spans));
+    assert!(
+        report.diagnostics.is_empty(),
+        "golden source must check clean, got {:#?}",
+        report.diagnostics
+    );
+    report
+}
+
+/// Asserts the source yields exactly one warning with the given code and
+/// span.
+fn expect_one(src: &str, code: WarnCode, line: usize, col: usize) -> Warning {
+    let ws = report(src).warnings;
+    assert_eq!(
+        ws.len(),
+        1,
+        "expected exactly one warning for {code:?}, got {ws:#?}"
+    );
+    let w = ws.into_iter().next().unwrap();
+    assert_eq!(w.code, code, "wrong code: {w}");
+    assert_eq!(w.span, Span::new(line, col), "wrong span: {w}");
+    w
+}
+
+/// Two-state setup whose current version holds sal ∈ {50, 200}: selects
+/// over it are neither vacuous nor total unless the predicate makes
+/// them so.
+const EMP: &str = "define_relation(emp, rollback);\n\
+    modify_state(emp, {(name: str, sal: int): (\"alice\", 50), (\"bob\", 200)});\n";
+
+#[test]
+fn w001_unsatisfiable_select() {
+    // Contradictory conjunction: no sal satisfies both bounds.
+    expect_one(
+        &format!("{EMP}display(select[sal > 100 and sal < 60](rho(emp, inf)));"),
+        WarnCode::UnsatisfiableSelect,
+        3,
+        9,
+    );
+}
+
+#[test]
+fn w001_unsatisfiable_against_value_range() {
+    // Satisfiable in isolation, unsatisfiable against the stats
+    // catalog's range for sal ([50, 200]).
+    expect_one(
+        &format!("{EMP}display(select[sal > 300](rho(emp, inf)));"),
+        WarnCode::UnsatisfiableSelect,
+        3,
+        9,
+    );
+}
+
+#[test]
+fn w002_tautological_select() {
+    // Every stored sal is ≥ 50 > 10: provably total.
+    expect_one(
+        &format!("{EMP}display(select[sal > 10](rho(emp, inf)));"),
+        WarnCode::TautologicalSelect,
+        3,
+        9,
+    );
+}
+
+#[test]
+fn w003_empty_operand() {
+    // The ∅ constant is the right operand of the union, at column 32.
+    expect_one(
+        "display({(x: int): (1), (2)} union {(x: int): });",
+        WarnCode::EmptyOperand,
+        1,
+        36,
+    );
+}
+
+#[test]
+fn w004_self_difference() {
+    // Infix nodes anchor at the operator: `minus` starts at column 23.
+    expect_one(
+        &format!("{EMP}display(rho(emp, inf) minus rho(emp, inf));"),
+        WarnCode::SelfDifference,
+        3,
+        23,
+    );
+}
+
+#[test]
+fn w005_identity_projection() {
+    // The projection lists the full scheme in order.
+    expect_one(
+        &format!("{EMP}display(project[name, sal](rho(emp, inf)));"),
+        WarnCode::IdentityProjection,
+        3,
+        9,
+    );
+}
+
+#[test]
+fn w006_rollback_before_first_state() {
+    // define commits at tx 1, the first version at tx 2: ρ(emp, 1) is
+    // the forced-∅ FINDSTATE boundary. At the display's root, W006
+    // subsumes the generic W008.
+    expect_one(
+        &format!("{EMP}display(rho(emp, 1));"),
+        WarnCode::RollbackBeforeFirstState,
+        3,
+        9,
+    );
+}
+
+#[test]
+fn w007_rollback_past_clock() {
+    // The clock stands at 2; tx 99 resolves to the current version.
+    expect_one(
+        &format!("{EMP}display(select[sal > 60](rho(emp, 99)));"),
+        WarnCode::RollbackPastClock,
+        3,
+        26,
+    );
+}
+
+#[test]
+fn w008_dead_display() {
+    // ∅ is derived (subtracting from an empty left operand), not claimed
+    // at the root by any other warning, so only W008 fires — anchored at
+    // the root `minus` (column 22).
+    expect_one(
+        "display({(x: int): } minus {(x: int): (1), (2)});",
+        WarnCode::DeadDisplay,
+        1,
+        22,
+    );
+}
+
+#[test]
+fn w020_dead_write_overwritten() {
+    // Snapshot relations keep no history: the first write is gone
+    // before anything reads it. The warning anchors at the dead write.
+    expect_one(
+        "define_relation(s, snapshot);\n\
+         modify_state(s, {(x: int): (1)});\n\
+         modify_state(s, {(x: int): (2)});\n\
+         display(rho(s, inf));",
+        WarnCode::DeadWrite,
+        2,
+        1,
+    );
+}
+
+#[test]
+fn w021_dead_relation() {
+    // Defined, written, deleted — never read. The warning anchors at
+    // the delete that proves the lifetime dead.
+    expect_one(
+        "define_relation(tmp, rollback);\n\
+         modify_state(tmp, {(x: int): (1)});\n\
+         delete_relation(tmp);",
+        WarnCode::DeadRelation,
+        3,
+        1,
+    );
+}
+
+#[test]
+fn w022_stale_view() {
+    // Displayed twice, the query registers in the view memo; evolving
+    // its source invalidates the cached answer.
+    expect_one(
+        &format!(
+            "{EMP}display(select[sal > 60](rho(emp, inf)));\n\
+             display(select[sal > 60](rho(emp, inf)));\n\
+             evolve_scheme(emp, add dept: str default \"none\");"
+        ),
+        WarnCode::StaleView,
+        5,
+        1,
+    );
+}
+
+/// The W006 display is *not* additionally W008: the rollback warning
+/// already explains the emptiness at the root.
+#[test]
+fn root_cause_suppresses_dead_display() {
+    let ws = report(&format!("{EMP}display(rho(emp, 1));")).warnings;
+    assert_eq!(ws.len(), 1, "{ws:#?}");
+    assert_eq!(ws[0].code, WarnCode::RollbackBeforeFirstState);
+}
+
+/// A CSE-shared subexpression is warned once, not once per occurrence.
+#[test]
+fn shared_subexpressions_warn_once() {
+    let src = format!(
+        "{EMP}display(select[sal > 300](rho(emp, inf)) union select[sal > 300](rho(emp, inf)));"
+    );
+    let ws = report(&src).warnings;
+    let w001s = ws
+        .iter()
+        .filter(|w| w.code == WarnCode::UnsatisfiableSelect)
+        .count();
+    assert_eq!(w001s, 1, "{ws:#?}");
+}
+
+/// Every W-code has a golden case above; this test fails when a new code
+/// is added without one.
+#[test]
+fn every_code_has_a_golden_case() {
+    // One test per code keyed by code string; keep in sync with the
+    // cases above.
+    let covered = [
+        "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W008", "W020", "W021", "W022",
+    ];
+    assert_eq!(WarnCode::ALL.len(), covered.len());
+    for code in WarnCode::ALL {
+        assert!(
+            covered.contains(&code.code()),
+            "no golden case covers {code:?}"
+        );
+    }
+}

@@ -1005,6 +1005,10 @@ fn measure_resolve_batching(backend: BackendKind) -> (f64, f64) {
     // batching (one shared-chain replay per batch), not thread count.
     engine.set_threads(4);
     engine.set_cache_capacity(0);
+    // The view memo would otherwise register the repeated per-probe ρ
+    // queries and serve them from cache while `resolve_many` replays the
+    // chain for real, driving the reported speedup to ~0.
+    engine.set_memo_capacity(0);
     let mut rng = StdRng::seed_from_u64(SEED);
     let probes: Vec<(&str, TxSpec)> = (0..16)
         .map(|_| {

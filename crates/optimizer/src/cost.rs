@@ -35,6 +35,20 @@ impl CostModel {
         CostModel::default()
     }
 
+    /// A model seeded from the lint pass's statistics catalog: each
+    /// relation's current cardinality interval collapses to its point
+    /// estimate. This is the planned optimizer feed — the same
+    /// statistics that power the `W`-series warnings rank plans here.
+    pub fn from_stats(stats: &txtime_analyze::StatsCatalog) -> CostModel {
+        let mut model = CostModel::new();
+        for name in stats.names() {
+            if let Some(card) = stats.current_card(name) {
+                model.set_cardinality(name, card.estimate());
+            }
+        }
+        model
+    }
+
     /// Sets the cardinality statistic for a relation.
     pub fn set_cardinality(&mut self, relation: impl Into<String>, rows: f64) {
         self.cardinalities.insert(relation.into(), rows);
@@ -186,5 +200,25 @@ mod tests {
     fn unknown_relations_use_default() {
         let m = CostModel::new();
         assert_eq!(estimate_rows(&Expr::current("mystery"), &m), 100.0);
+    }
+
+    #[test]
+    fn model_from_stats_uses_interval_estimates() {
+        use txtime_analyze::{CardInterval, StatsCatalog};
+        use txtime_core::TransactionNumber;
+
+        let mut stats = StatsCatalog::new();
+        stats.define("emp");
+        stats.get_mut("emp").unwrap().push_version(
+            TransactionNumber(1),
+            CardInterval::exact(40),
+            None,
+            true,
+        );
+        // A defined relation without any version stays at the default.
+        stats.define("dept");
+        let m = CostModel::from_stats(&stats);
+        assert_eq!(estimate_rows(&Expr::current("emp"), &m), 40.0);
+        assert_eq!(estimate_rows(&Expr::current("dept"), &m), 100.0);
     }
 }

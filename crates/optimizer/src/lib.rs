@@ -35,11 +35,15 @@
 //! ```
 
 pub mod cost;
-pub mod interner;
 pub mod laws;
 pub mod pushdown;
 pub mod rules;
 pub mod schema_infer;
+
+/// The hash-consed expression arena now lives in `txtime-analyze` (the
+/// lint pass walks the same DAG); re-exported here so the memo layer and
+/// older callers keep their `txtime_optimizer::interner` paths.
+pub use txtime_analyze::interner;
 
 pub use cost::{delta_beats_reeval, estimate_cost, CostModel};
 pub use interner::{ExprId, ExprInterner, ExprNode, NodeOp};

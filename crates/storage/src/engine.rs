@@ -381,6 +381,50 @@ impl Engine {
         self.memo.interner_footprint()
     }
 
+    /// Harvests a [`StatsCatalog`](txtime_analyze::StatsCatalog) from
+    /// the live database: per relation, every stored version's exact
+    /// cardinality and per-attribute value ranges, plus the physical
+    /// counters (interner pool size, resident bytes) the lint pass and
+    /// the optimizer's
+    /// [`CostModel::from_stats`](txtime_optimizer::CostModel::from_stats)
+    /// seed their estimates from. Historical versions are materialized
+    /// through the store's batched `state_at_many` — one replay sweep
+    /// per relation, not one per version.
+    pub fn stats_catalog(&self) -> txtime_analyze::StatsCatalog {
+        let mut stats = txtime_analyze::StatsCatalog::new();
+        for (name, rel) in &self.catalog {
+            let mut rs = txtime_analyze::RelStats::default();
+            match &rel.keeper {
+                Keeper::History(store) => {
+                    let txs = store.version_txs();
+                    for (tx, state) in txs.iter().zip(store.state_at_many(&txs)) {
+                        if let Some(state) = state {
+                            let (card, ranges) = state_stats(&state);
+                            rs.versions.push(txtime_analyze::VersionStats {
+                                tx: *tx,
+                                card,
+                                ranges,
+                            });
+                        }
+                    }
+                    rs.interner_strings = store.interner_stats().map(|s| s.strings);
+                    rs.space_bytes = Some(store.space_bytes());
+                }
+                Keeper::Single(Some((state, tx))) => {
+                    let (card, ranges) = state_stats(state);
+                    rs.versions.push(txtime_analyze::VersionStats {
+                        tx: *tx,
+                        card,
+                        ranges,
+                    });
+                }
+                Keeper::Single(None) => {}
+            }
+            stats.insert(name.clone(), rs);
+        }
+        stats
+    }
+
     /// Parses and executes a script in the surface syntax, returning the
     /// outcomes in command order. Parse errors are reported with their
     /// source position; execution stops at the first failing command.
@@ -727,6 +771,31 @@ impl StateSource for Engine {
     }
 }
 
+/// The exact statistics of one materialized version: its cardinality and
+/// (for non-empty states) each attribute's value range.
+fn state_stats(
+    state: &StateValue,
+) -> (
+    txtime_analyze::CardInterval,
+    Option<Vec<txtime_analyze::ValueRange>>,
+) {
+    use txtime_analyze::{CardInterval, ValueRange};
+    let (len, arity, tuples): (usize, usize, Vec<&txtime_snapshot::Tuple>) = match state {
+        StateValue::Snapshot(s) => (s.len(), s.schema().arity(), s.iter().collect()),
+        StateValue::Historical(h) => (
+            h.len(),
+            h.schema().arity(),
+            h.iter().map(|(t, _)| t).collect(),
+        ),
+    };
+    let ranges = (!tuples.is_empty()).then(|| {
+        (0..arity)
+            .map(|i| ValueRange::spanning(tuples.iter().map(|t| t.get(i))))
+            .collect()
+    });
+    (CardInterval::exact(len as u64), ranges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -764,6 +833,32 @@ mod tests {
                 .into_snapshot()
                 .unwrap();
             assert_eq!(old, snap(&[1, 2]), "{backend}");
+        }
+    }
+
+    #[test]
+    fn stats_catalog_reports_exact_versions_on_every_backend() {
+        use txtime_analyze::CardInterval;
+        for backend in BackendKind::ALL {
+            let e = engine_with_history(backend);
+            let stats = e.stats_catalog();
+            let rs = stats.get("r").unwrap();
+            assert_eq!(
+                rs.versions.iter().map(|v| v.card).collect::<Vec<_>>(),
+                [1, 2, 1, 2].map(CardInterval::exact),
+                "{backend}"
+            );
+            // Version txs 2..=5: define commits at 1, writes at 2..=5.
+            assert_eq!(
+                rs.versions.iter().map(|v| v.tx.0).collect::<Vec<_>>(),
+                [2, 3, 4, 5],
+                "{backend}"
+            );
+            // The last version holds {2, 3}: the x range is [2, 3].
+            let ranges = rs.versions.last().unwrap().ranges.as_ref().unwrap();
+            assert!(ranges[0].contains(&Value::Int(2)) && ranges[0].contains(&Value::Int(3)));
+            assert!(!ranges[0].contains(&Value::Int(1)), "{backend}");
+            assert!(rs.space_bytes.is_some(), "{backend}");
         }
     }
 

@@ -9,7 +9,9 @@
 //! `\catalog` lists relations, `\versions r` shows a relation's recorded
 //! history, `\memo` shows the incremental view memo's counters (queries
 //! displayed more than once are registered automatically; later
-//! modifications update their cached answers by delta propagation).
+//! modifications update their cached answers by delta propagation), and
+//! `\lint` replays every warning the session's lint pass has issued.
+//! Lint warnings print as commands execute but never block them.
 //!
 //! ```text
 //! txtime> define_relation(emp, rollback);
@@ -20,7 +22,7 @@
 
 use std::io::{BufRead, Write};
 
-use txtime::analyze::Checker;
+use txtime::analyze::Linter;
 use txtime::core::{CommandOutcome, Expr, TxSpec};
 use txtime::parser::parse_command_spanned;
 use txtime::storage::{BackendKind, CheckpointPolicy, Engine};
@@ -30,16 +32,17 @@ fn main() {
         BackendKind::ForwardDelta,
         CheckpointPolicy::every_k(16).unwrap(),
     );
-    // The static checker shadows the engine: commands are checked against
-    // the state so far and rejected before evaluation; only commands the
-    // engine actually executes are committed to the checker's catalog, so
-    // the two can never drift apart.
-    let mut checker = Checker::new();
+    // The static linter (checker + lint pass) shadows the engine:
+    // commands are checked against the state so far and rejected before
+    // evaluation; only commands the engine actually executes are
+    // committed to the linter's catalog, so the two can never drift
+    // apart. Lint warnings are printed after execution and never block.
+    let mut linter = Linter::new();
     let stdin = std::io::stdin();
     let mut buffer = String::new();
 
     println!(
-        "txtime REPL — commands end with ';'. \\q quits, \\catalog lists relations, \\memo shows view-memo counters."
+        "txtime REPL — commands end with ';'. \\q quits, \\catalog lists relations, \\memo shows view-memo counters, \\lint lists this session's warnings."
     );
     print_prompt(&buffer);
     for line in stdin.lock().lines() {
@@ -68,6 +71,16 @@ fn main() {
                     print!("{}", engine.memo_stats());
                     let (nodes, bytes) = engine.memo_interner_footprint();
                     println!("       expr interner: {nodes} nodes / {bytes} bytes");
+                    print_prompt(&buffer);
+                    continue;
+                }
+                "\\lint" => {
+                    if linter.warnings().is_empty() {
+                        println!("  no lint warnings this session");
+                    }
+                    for w in linter.warnings() {
+                        println!("  {w}");
+                    }
                     print_prompt(&buffer);
                     continue;
                 }
@@ -100,18 +113,28 @@ fn main() {
             if !cmd_text.trim().is_empty() {
                 match parse_command_spanned(cmd_text) {
                     Ok((cmd, spans)) => {
-                        let diags = checker.check(&cmd, Some(&spans));
+                        let diags = linter.check(&cmd, Some(&spans));
                         if diags.is_empty() {
-                            match engine.execute(&cmd) {
+                            let executed = match engine.execute(&cmd) {
                                 Ok(CommandOutcome::Displayed(state)) => {
                                     println!("{state}");
-                                    checker.commit(&cmd);
+                                    true
                                 }
                                 Ok(outcome) => {
                                     println!("ok ({outcome:?}, clock at tx {})", engine.tx());
-                                    checker.commit(&cmd);
+                                    true
                                 }
-                                Err(e) => println!("error: {e}"),
+                                Err(e) => {
+                                    println!("error: {e}");
+                                    false
+                                }
+                            };
+                            if executed {
+                                // Non-fatal: the command already ran;
+                                // warnings only explain what it wasted.
+                                for w in linter.commit(&cmd, Some(&spans)) {
+                                    println!("{w}");
+                                }
                             }
                         } else {
                             for d in &diags {

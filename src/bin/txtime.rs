@@ -2,23 +2,28 @@
 //! against a storage engine.
 //!
 //! ```text
-//! txtime run script.txq                       # check + execute, print displays
-//! txtime run script.txq --no-check            # skip the static checker
+//! txtime run script.txq                       # check + lint + execute, print displays
+//! txtime run script.txq --no-check            # skip the static checker (and the lint)
 //! txtime run script.txq --backend fwd-delta   # choose physical design
 //! txtime run script.txq --wal journal.wal     # journal mutations
 //! txtime recover journal.wal                  # rebuild + summarize
 //! txtime check script.txq                     # static check + verify engine ≡ reference
+//! txtime check script.txq --lint              # also run txtime-lint (W-series warnings)
+//! txtime check script.txq --deny-warnings     # lint warnings become fatal
 //! txtime stats script.txq                     # execute, report space/cache/exec counters
 //! txtime stats script.txq --threads 4         # size the query worker pool
 //! ```
 //!
 //! `run` and `check` both start by parsing and statically checking the
-//! script; diagnostics are printed as `file:line:col: error[E0xx]: ...`.
-//! Exit code 0 on success, 1 on any parse/check/execution error.
+//! script; diagnostics are printed as `file:line:col: error[E0xx]: ...`
+//! and lint warnings as `file:line:col: warning[W0xx]: ...`. Exit code 0
+//! on success, 1 on any parse/check/execution error. Warnings do not
+//! affect the exit code unless `--deny-warnings` is given (which implies
+//! `--lint`).
 
 use std::process::ExitCode;
 
-use txtime::analyze::{check_sentence, Diagnostic};
+use txtime::analyze::{lint_sentence, Diagnostic, Warning};
 use txtime::core::{CommandOutcome, Sentence, SentenceSpans};
 use txtime::parser::parse_sentence_spanned;
 use txtime::storage::{
@@ -33,7 +38,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "check" => check(rest),
         Some((cmd, rest)) if cmd == "stats" => stats(rest),
         _ => {
-            eprintln!("usage: txtime <run|recover|check|stats> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--threads N] [--no-check]");
+            eprintln!("usage: txtime <run|recover|check|stats> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--threads N] [--no-check] [--lint] [--deny-warnings]");
             eprintln!("backends: full-copy (default), fwd-delta, rev-delta, tuple-ts");
             ExitCode::FAILURE
         }
@@ -46,6 +51,10 @@ struct Options {
     wal: Option<String>,
     checkpoint: CheckpointPolicy,
     no_check: bool,
+    /// Run the `txtime-lint` pass and print W-series warnings.
+    lint: bool,
+    /// Treat lint warnings as errors (implies `lint`).
+    deny_warnings: bool,
     /// Worker-pool size for query evaluation; `None` defers to the
     /// engine's default (`TXTIME_THREADS` / available parallelism).
     threads: Option<usize>,
@@ -57,11 +66,18 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
     let mut wal = None;
     let mut checkpoint = CheckpointPolicy::every_k(16).unwrap();
     let mut no_check = false;
+    let mut lint = false;
+    let mut deny_warnings = false;
     let mut threads = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--no-check" => no_check = true,
+            "--lint" => lint = true,
+            "--deny-warnings" => {
+                lint = true;
+                deny_warnings = true;
+            }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 let n: usize = v
@@ -101,14 +117,21 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         wal,
         checkpoint,
         no_check,
+        lint,
+        deny_warnings,
         threads,
     })
 }
 
-/// Parses the script with spans and runs the static checker, printing
-/// diagnostics. Returns the parsed sentence and whether it checked clean,
-/// or `None` on a parse error (already reported).
-fn parse_and_check(source: &str, file: &str) -> Option<(Sentence, SentenceSpans, bool)> {
+/// Parses the script with spans and runs the static checker (plus, when
+/// `lint`, the `txtime-lint` pass), printing diagnostics and warnings.
+/// Returns the parsed sentence, whether it checked clean, and the number
+/// of lint warnings — or `None` on a parse error (already reported).
+fn parse_and_check(
+    source: &str,
+    file: &str,
+    lint: bool,
+) -> Option<(Sentence, SentenceSpans, bool, usize)> {
     let (sentence, spans) = match parse_sentence_spanned(source) {
         Ok(pair) => pair,
         Err(e) => {
@@ -116,12 +139,21 @@ fn parse_and_check(source: &str, file: &str) -> Option<(Sentence, SentenceSpans,
             return None;
         }
     };
-    let diags = check_sentence(&sentence, Some(&spans));
-    for d in &diags {
+    // The linter embeds the checker, so one sentence replay produces
+    // both the E-series diagnostics and (when asked) the W-series.
+    let report = lint_sentence(&sentence, Some(&spans));
+    for d in &report.diagnostics {
         print_diagnostic(file, d);
     }
-    let clean = diags.is_empty();
-    Some((sentence, spans, clean))
+    let mut warnings = 0;
+    if lint {
+        for w in &report.warnings {
+            print_warning(file, w);
+        }
+        warnings = report.warnings.len();
+    }
+    let clean = report.diagnostics.is_empty();
+    Some((sentence, spans, clean, warnings))
 }
 
 fn print_diagnostic(file: &str, d: &Diagnostic) {
@@ -131,6 +163,17 @@ fn print_diagnostic(file: &str, d: &Diagnostic) {
         eprintln!("{file}: error[{}]: {}", d.code, d.message);
     }
     if let Some(h) = &d.help {
+        eprintln!("  help: {h}");
+    }
+}
+
+fn print_warning(file: &str, w: &Warning) {
+    if w.span.is_known() {
+        eprintln!("{file}:{}: warning[{}]: {}", w.span, w.code, w.message);
+    } else {
+        eprintln!("{file}: warning[{}]: {}", w.code, w.message);
+    }
+    if let Some(h) = &w.help {
         eprintln!("  help: {h}");
     }
 }
@@ -152,11 +195,17 @@ fn run(rest: &[String]) -> ExitCode {
     };
     // An engine always starts from the empty database (a WAL is appended
     // to, not replayed), so whole-sentence checking is exactly the state
-    // the script will execute against.
+    // the script will execute against. Lint warnings are printed but
+    // never stop a run unless --deny-warnings asks them to.
     if !opts.no_check {
-        match parse_and_check(&source, &opts.file) {
-            Some((_, _, true)) => {}
-            Some((_, _, false)) => {
+        match parse_and_check(&source, &opts.file, true) {
+            Some((_, _, true, warnings)) => {
+                if warnings > 0 && opts.deny_warnings {
+                    eprintln!("error: {warnings} lint warning(s) denied by --deny-warnings");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Some((_, _, false, _)) => {
                 eprintln!("error: static check failed (rerun with --no-check to force)");
                 return ExitCode::FAILURE;
             }
@@ -289,18 +338,29 @@ fn check(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let sentence = match parse_and_check(&source, &opts.file) {
-        Some((s, _, true)) => s,
-        Some((_, _, false)) => {
+    let (sentence, warnings) = match parse_and_check(&source, &opts.file, opts.lint) {
+        Some((s, _, true, w)) => (s, w),
+        Some((_, _, false, _)) => {
             eprintln!("static check: FAILED");
             return ExitCode::FAILURE;
         }
         None => return ExitCode::FAILURE,
     };
-    eprintln!(
-        "parse: ok ({} commands); static check: ok",
-        sentence.commands().len()
-    );
+    if opts.lint {
+        eprintln!(
+            "parse: ok ({} commands); static check: ok; lint: {warnings} warning(s)",
+            sentence.commands().len()
+        );
+    } else {
+        eprintln!(
+            "parse: ok ({} commands); static check: ok",
+            sentence.commands().len()
+        );
+    }
+    if warnings > 0 && opts.deny_warnings {
+        eprintln!("error: {warnings} lint warning(s) denied by --deny-warnings");
+        return ExitCode::FAILURE;
+    }
     let mut failed = false;
     for backend in BackendKind::ALL {
         match check_equivalence(sentence.commands(), backend, opts.checkpoint) {

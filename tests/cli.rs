@@ -115,6 +115,108 @@ fn check_verifies_all_backends() {
     let _ = std::fs::remove_file(&script);
 }
 
+/// A script that checks clean but trips W001 (contradictory select) and
+/// W021 (relation written then deleted, never read).
+const WARNED: &str = r#"
+    define_relation(emp, rollback);
+    modify_state(emp, {(name: str, sal: int): ("alice", 100), ("bob", 200)});
+    display(select[sal > 100 and sal < 60](rho(emp, inf)));
+    define_relation(tmp, rollback);
+    modify_state(tmp, {(x: int): (1)});
+    delete_relation(tmp);
+"#;
+
+#[test]
+fn check_lint_warns_but_exits_zero() {
+    let script = write_script("lint-warn.txq", WARNED);
+    let out = txtime(&["check", script.to_str().unwrap(), "--lint"]);
+    assert!(
+        out.status.success(),
+        "warnings alone must not fail the check: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning[W001]"), "stderr: {stderr}");
+    assert!(stderr.contains("warning[W021]"), "stderr: {stderr}");
+    assert!(stderr.contains("lint: 2 warning(s)"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn check_deny_warnings_exits_nonzero() {
+    let script = write_script("lint-deny.txq", WARNED);
+    let out = txtime(&["check", script.to_str().unwrap(), "--deny-warnings"]);
+    assert!(
+        !out.status.success(),
+        "--deny-warnings must fail on a warned script"
+    );
+    // The warnings are still printed so the user can see what to fix.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning[W001]"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn check_without_lint_ignores_warnings() {
+    let script = write_script("lint-off.txq", WARNED);
+    let out = txtime(&["check", script.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("warning[W"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn check_deny_warnings_still_reports_errors_first() {
+    // An erroring script under --deny-warnings fails for the E-series
+    // diagnostic, not the lint.
+    let script = write_script("lint-err.txq", "display(rho(ghost, inf));");
+    let out = txtime(&["check", script.to_str().unwrap(), "--deny-warnings"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error[E"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn run_lint_prints_warnings_and_still_executes() {
+    let script = write_script("lint-run.txq", WARNED);
+    let out = txtime(&["run", script.to_str().unwrap(), "--lint"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning[W001]"), "stderr: {stderr}");
+    // The provably-∅ display still ran and printed an empty state.
+    assert!(stderr.contains("clock at tx"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn bundled_example_scripts_pass_strict_lint() {
+    // The CI gate in words: every checked-in example script must parse,
+    // check, and lint clean under --deny-warnings on every backend.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/scripts");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("scripts directory exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("txq") {
+            continue;
+        }
+        seen += 1;
+        let out = txtime(&["check", path.to_str().unwrap(), "--lint", "--deny-warnings"]);
+        assert!(
+            out.status.success(),
+            "{}: {}",
+            path.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert!(seen >= 3, "expected the bundled scripts, found {seen}");
+}
+
 #[test]
 fn usage_on_bad_invocation() {
     let out = txtime(&[]);
