@@ -5,6 +5,7 @@
 //! cargo run --release -p txtime-bench --bin experiments e2 e3   # subset
 //! ```
 
+use std::num::NonZeroUsize;
 use std::time::Instant;
 
 use txtime_snapshot::rng::rngs::StdRng;
@@ -77,6 +78,9 @@ fn main() {
     if run("e15") {
         e15_incremental();
     }
+    if run("e16") {
+        e16_sharding();
+    }
     // Explicit-only: writes BENCH_2.json with the headline numbers.
     if args.iter().any(|a| a == "bench2") {
         bench2();
@@ -92,6 +96,10 @@ fn main() {
     // Explicit-only: writes BENCH_5.json (view-memo headline).
     if args.iter().any(|a| a == "bench5") {
         bench5();
+    }
+    // Explicit-only: writes BENCH_7.json (sharding + compaction headline).
+    if args.iter().any(|a| a == "bench7") {
+        bench7();
     }
 }
 
@@ -1535,6 +1543,15 @@ fn bench5() {
         if *label == "~16" {
             small_delta_speedup = speedup;
         }
+        // Write amplification guard: queuing a pending span on
+        // modify_state is O(1), so a memoized write must stay within an
+        // order of magnitude of the memo-disabled write. (Before the
+        // lazy queue, propagation ran inline and this ratio was ~2000x.)
+        assert!(
+            m_mod <= 10.0 * p_mod.max(1.0),
+            "view-memo write amplification regressed at delta {label}: \
+             memo_modify_us {m_mod:.1} > 10x scratch_modify_us {p_mod:.1}"
+        );
         if i > 0 {
             sweep.push_str(", ");
         }
@@ -1557,5 +1574,184 @@ fn bench5() {
         probe_memo / probe_cache.max(1e-9)
     );
     std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
+    println!("{json}");
+}
+
+// --------------------------------------------------------------------
+// E16: sharded states — σ-kernel scaling and LSM-style compaction.
+// --------------------------------------------------------------------
+
+/// The shard budgets the scaling sweep measures.
+const E16_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// σ over the current state of a 100k-tuple relation at 1/2/4/8 shards
+/// with an 8-thread budget (clamped to the host). Each shard holds its
+/// own sorted runs, so the filter fans out with zero intra-kernel
+/// coordination and the per-shard survivors merge once at the end.
+fn measure_sigma_shards() -> [f64; 4] {
+    let chain = version_chain(2, 100_000, 0.05);
+    // ~5% selectivity: the scan parallelizes across shards while the
+    // single serial merge of survivors stays small.
+    let q = Expr::current("r").select(Predicate::lt_const("grade", Value::Int(500)));
+    let mut out = [0.0f64; 4];
+    for (i, shards) in E16_SHARDS.into_iter().enumerate() {
+        let mut engine = Engine::new(
+            BackendKind::FullCopy,
+            CheckpointPolicy::every_k(16).unwrap(),
+        );
+        engine.set_shards(shards);
+        engine.set_threads(8);
+        engine
+            .execute(&Command::define_relation("r", RelationType::Rollback))
+            .expect("fresh engine");
+        for s in &chain {
+            engine
+                .execute(&Command::modify_state("r", Expr::snapshot_const(s.clone())))
+                .expect("valid modify");
+        }
+        // Raw kernel cost: no materialization cache, no view memo.
+        engine.set_cache_capacity(0);
+        engine.set_memo_capacity(0);
+        out[i] = time_median(|| engine.eval(&q).expect("σ probe").len(), 7);
+    }
+    out
+}
+
+/// The reverse-delta worst case — the `old` probe at 1024 versions with
+/// no checkpoints — before compaction, after `Engine::compact` with a
+/// checkpoint at every slot, and on the depth-insensitive full-copy
+/// baseline. Returns (uncompacted µs, compacted µs, full-copy µs,
+/// compact-pass µs, deltas folded by the pass).
+fn measure_compaction() -> (f64, f64, f64, f64, u64) {
+    let versions = 1024usize;
+    let chain = version_chain(versions, 200, 0.1);
+    let (_, old_tx) = probe_txs(versions)[0];
+
+    let mut engine = Engine::new(BackendKind::ReverseDelta, CheckpointPolicy::Never);
+    engine.set_auto_compact(None); // keep the full replay chain as the baseline
+    engine
+        .execute(&Command::define_relation("r", RelationType::Rollback))
+        .expect("fresh engine");
+    for s in &chain {
+        engine
+            .execute(&Command::modify_state("r", Expr::snapshot_const(s.clone())))
+            .expect("valid modify");
+    }
+    engine.set_cache_capacity(0); // raw reconstruction cost, as in E2
+    let probe = |e: &Engine| {
+        time_median(
+            || {
+                touch(
+                    &e.resolve_rollback("r", TxSpec::At(old_tx), false)
+                        .expect("probe answers"),
+                )
+            },
+            9,
+        )
+    };
+    let uncompacted = probe(&engine);
+
+    let t = Instant::now();
+    let stats = engine.compact(NonZeroUsize::new(1));
+    let compact_us = t.elapsed().as_secs_f64() * 1e6;
+    let compacted = probe(&engine);
+
+    let full = engine_with_chain(BackendKind::FullCopy, CheckpointPolicy::Never, &chain);
+    full.set_cache_capacity(0);
+    let full_copy = probe(&full);
+    (
+        uncompacted,
+        compacted,
+        full_copy,
+        compact_us,
+        stats.deltas_folded as u64,
+    )
+}
+
+fn e16_sharding() {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("E16. Sharded states: parallel σ kernel and LSM-style compaction");
+    println!("     (host reports {avail} available core(s); shard budgets are logical)");
+    println!("\nE16a. σ(ρ(r,∞)) over 100k tuples vs shard count, 8-thread budget (µs/query)");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "workload", "1S", "2S", "4S", "8S", "1S/4S"
+    );
+    let us = measure_sigma_shards();
+    println!(
+        "{:<24} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>8.2}x",
+        "σ grade<500",
+        us[0],
+        us[1],
+        us[2],
+        us[3],
+        us[0] / us[2].max(1e-9)
+    );
+    println!("\nE16b. Reverse-delta `old` probe, 1024 versions, no checkpoints (µs/query)");
+    let (uncompacted, compacted, full_copy, compact_us, folded) = measure_compaction();
+    println!("{:<28} {:>12.1}", "uncompacted (1023 replays)", uncompacted);
+    println!(
+        "{:<28} {:>12.1} {:>8.1}x vs uncompacted, {:.2}x full-copy",
+        "after compact(every=1)",
+        compacted,
+        uncompacted / compacted.max(1e-9),
+        compacted / full_copy.max(1e-9)
+    );
+    println!("{:<28} {:>12.1}", "full-copy baseline", full_copy);
+    println!(
+        "{:<28} {:>12.1} ({folded} deltas folded)",
+        "compaction pass", compact_us
+    );
+    println!("=> each shard owns its delta chain, so kernels fan out with no coordination\n   and the merge kernels recombine survivors once; compaction replays each\n   chain once, pinning checkpoints so later probes seed from a nearby clone\n   instead of replaying the whole history.\n");
+}
+
+// --------------------------------------------------------------------
+// bench7: BENCH_7.json with the sharding + compaction headline numbers.
+// --------------------------------------------------------------------
+fn bench7() {
+    println!("bench7. Writing BENCH_7.json (σ shard scaling + rev-delta compaction)");
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let us = measure_sigma_shards();
+    let mut scaling = String::new();
+    for (i, shards) in E16_SHARDS.into_iter().enumerate() {
+        if i > 0 {
+            scaling.push_str(", ");
+        }
+        scaling.push_str(&format!("\"s{shards}_us\": {:.1}", us[i]));
+    }
+    // host_cores rides along in every entry so downstream checks can
+    // judge each scaling number against the parallelism that was
+    // actually available when it was measured.
+    let sigma_speedup_4s = us[0] / us[2].max(1e-9);
+    scaling.push_str(&format!(
+        ", \"speedup_4s\": {sigma_speedup_4s:.2}, \"host_cores\": {avail}"
+    ));
+
+    let (uncompacted, compacted, full_copy, compact_us, folded) = measure_compaction();
+    let compacted_vs_full_copy = compacted / full_copy.max(1e-9);
+    assert!(
+        compacted_vs_full_copy <= 10.0,
+        "compacted old probe must land within 10x of full-copy, got {compacted_vs_full_copy:.2}x \
+         ({compacted:.1}us vs {full_copy:.1}us)"
+    );
+
+    let json = format!(
+        "{{\n  \"seed\": \"{SEED:#x}\",\n  \
+         \"host_cores\": {avail},\n  \
+         \"e16_sigma_shard_scaling\": {{{scaling}}},\n  \
+         \"e16_compaction_rev_delta_1024_versions\": {{\"uncompacted_old_us\": {uncompacted:.1}, \
+         \"compacted_old_us\": {compacted:.1}, \"full_copy_old_us\": {full_copy:.1}, \
+         \"compacted_vs_full_copy\": {compacted_vs_full_copy:.2}, \
+         \"compact_pass_us\": {compact_us:.1}, \"deltas_folded\": {folded}, \
+         \"host_cores\": {avail}}},\n  \
+         \"headline\": {{\"compacted_vs_full_copy\": {compacted_vs_full_copy:.2}, \
+         \"sigma_speedup_4s\": {sigma_speedup_4s:.2}}}\n}}\n"
+    );
+    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
     println!("{json}");
 }

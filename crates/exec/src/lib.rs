@@ -67,11 +67,15 @@ pub enum OpKind {
     Resolve,
     /// Delta propagation through memoized views (`modify_state`).
     Propagate,
+    /// Per-shard fan-out of a sharded store's rollback resolution.
+    Shard,
+    /// Delta-chain compaction (folding deltas into checkpoints).
+    Compact,
 }
 
 impl OpKind {
     /// Every operator kind, in display order.
-    pub const ALL: [OpKind; 13] = [
+    pub const ALL: [OpKind; 15] = [
         OpKind::Select,
         OpKind::Project,
         OpKind::Product,
@@ -85,6 +89,8 @@ impl OpKind {
         OpKind::Subtree,
         OpKind::Resolve,
         OpKind::Propagate,
+        OpKind::Shard,
+        OpKind::Compact,
     ];
 
     /// The operator's display name.
@@ -103,6 +109,8 @@ impl OpKind {
             OpKind::Subtree => "subtree",
             OpKind::Resolve => "resolve",
             OpKind::Propagate => "propagate",
+            OpKind::Shard => "shard",
+            OpKind::Compact => "compact",
         }
     }
 
@@ -127,8 +135,12 @@ impl OpKind {
             // grain is sized in output pairs, not input items.
             OpKind::Product | OpKind::HProduct => 4096,
             // Units are whole subtrees / rollback targets / memoized
-            // views.
-            OpKind::Subtree | OpKind::Resolve | OpKind::Propagate => 1,
+            // views / shards / chains.
+            OpKind::Subtree
+            | OpKind::Resolve
+            | OpKind::Propagate
+            | OpKind::Shard
+            | OpKind::Compact => 1,
         }
     }
 

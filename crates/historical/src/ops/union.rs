@@ -29,6 +29,25 @@ impl HistoricalState {
         let out = hmerge_union(self.run(), other.run());
         Ok(HistoricalState::from_sorted_vec(self.schema().clone(), out))
     }
+
+    /// Union of an ordered sequence of union-compatible states — the
+    /// merge entry point for horizontally partitioned (sharded) runs.
+    ///
+    /// A left fold over [`HistoricalState::hunion`]; the per-step
+    /// identity shortcuts (empty operand, shared run) apply, so merging
+    /// `K` shards with one survivor is `K − 1` Arc clones. Returns
+    /// `None` for an empty sequence (no schema to give the result).
+    pub fn hunion_many(states: &[HistoricalState]) -> Option<Result<HistoricalState>> {
+        let (first, rest) = states.split_first()?;
+        let mut acc = first.clone();
+        for s in rest {
+            match acc.hunion(s) {
+                Ok(u) => acc = u,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        Some(Ok(acc))
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +107,18 @@ mod tests {
         assert!(st(&[("a", 0, 1)])
             .hunion(&HistoricalState::empty(other))
             .is_err());
+    }
+
+    #[test]
+    fn hunion_many_folds_partitions() {
+        let parts = [
+            st(&[("a", 0, 5)]),
+            st(&[("a", 5, 10), ("b", 0, 2)]),
+            HistoricalState::empty(schema()),
+        ];
+        let u = HistoricalState::hunion_many(&parts).unwrap().unwrap();
+        assert_eq!(u, st(&[("a", 0, 10), ("b", 0, 2)]));
+        assert!(HistoricalState::hunion_many(&[]).is_none());
     }
 
     #[test]

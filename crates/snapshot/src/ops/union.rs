@@ -40,6 +40,26 @@ impl SnapshotState {
         }
         Ok(SnapshotState::from_sorted_vec(self.schema().clone(), out))
     }
+
+    /// Union of an ordered sequence of union-compatible states — the
+    /// merge entry point for horizontally partitioned (sharded) runs.
+    ///
+    /// A left fold over [`SnapshotState::union`], so all of its O(1)
+    /// identity shortcuts apply per step: merging `K` shards of which
+    /// only one is non-empty costs `K − 1` Arc clones and no tuple
+    /// copies. Returns `None` for an empty sequence (no schema to give
+    /// the result).
+    pub fn union_many(states: &[SnapshotState]) -> Option<Result<SnapshotState>> {
+        let (first, rest) = states.split_first()?;
+        let mut acc = first.clone();
+        for s in rest {
+            match acc.union(s) {
+                Ok(u) => acc = u,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        Some(Ok(acc))
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +136,16 @@ mod tests {
         let other = Schema::new(vec![("y", DomainType::Int)]).unwrap();
         let o = SnapshotState::empty(other);
         assert!(state(&[1]).union(&o).is_err());
+    }
+
+    #[test]
+    fn union_many_folds_partitions() {
+        let parts = [state(&[1, 4]), state(&[2]), state(&[]), state(&[3, 4])];
+        let u = SnapshotState::union_many(&parts).unwrap().unwrap();
+        assert_eq!(u, state(&[1, 2, 3, 4]));
+        assert!(SnapshotState::union_many(&[]).is_none());
+        let other = Schema::new(vec![("y", DomainType::Int)]).unwrap();
+        let bad = [state(&[1]), SnapshotState::empty(other)];
+        assert!(SnapshotState::union_many(&bad).unwrap().is_err());
     }
 }

@@ -5,10 +5,11 @@ use std::num::NonZeroUsize;
 use std::sync::Arc;
 
 use txtime_core::{EvalError, RollbackFilter, StateValue, TransactionNumber};
+use txtime_exec::ExecPool;
 
 use crate::cache::MaterializationCache;
 use crate::delta::StateDelta;
-use crate::metrics::InternerStats;
+use crate::metrics::{CompactionStats, InternerStats, ShardReport, ShardSlot};
 
 /// The error from [`CheckpointPolicy::every_k`] for a zero interval.
 ///
@@ -158,6 +159,38 @@ pub trait RollbackStore: Send + Sync {
     /// The commit transaction numbers of every stored version, ascending.
     fn version_txs(&self) -> Vec<TransactionNumber>;
 
+    /// Installs the worker pool the store may fan work out on (per-shard
+    /// resolution in [`crate::ShardedStore`]). Unsharded backends run
+    /// sequentially and ignore it.
+    fn set_pool(&mut self, _pool: &Arc<ExecPool>) {}
+
+    /// Folds the store's delta chain into materialized checkpoints so no
+    /// rollback probe replays more than `every` deltas — the compaction
+    /// pass bounding worst-case `state_at` latency. Backends without a
+    /// replay chain (full-copy, tuple-timestamp) have nothing to fold and
+    /// return zero counters.
+    fn compact(&mut self, _every: NonZeroUsize) -> CompactionStats {
+        CompactionStats::default()
+    }
+
+    /// Compaction counters accumulated over the store's lifetime.
+    fn compaction_stats(&self) -> CompactionStats {
+        CompactionStats::default()
+    }
+
+    /// Per-shard chain breakdown; a single-slot report for unsharded
+    /// backends.
+    fn shard_report(&self) -> ShardReport {
+        ShardReport {
+            shards: vec![ShardSlot {
+                versions: self.version_count(),
+                tuples: self.current().map(|s| s.len()).unwrap_or(0),
+                bytes: self.space_bytes(),
+            }],
+            compaction: self.compaction_stats(),
+        }
+    }
+
     /// Discards every version strictly older than the version current at
     /// `tx` (the floor version itself is retained, so `state_at(tx)` is
     /// unchanged at and after the floor). Returns the number of versions
@@ -209,7 +242,9 @@ impl BackendKind {
             BackendKind::ForwardDelta => {
                 Box::new(crate::ForwardDeltaStore::with_cache(checkpoints, cache))
             }
-            BackendKind::ReverseDelta => Box::new(crate::ReverseDeltaStore::with_cache(cache)),
+            BackendKind::ReverseDelta => {
+                Box::new(crate::ReverseDeltaStore::with_cache(checkpoints, cache))
+            }
             BackendKind::TupleTimestamp => Box::new(crate::TupleTimestampStore::new()),
         }
     }

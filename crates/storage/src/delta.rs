@@ -46,24 +46,61 @@ pub enum StateDelta {
 
 impl StateDelta {
     /// Computes the delta carrying `from` to `to`.
+    ///
+    /// Both states keep their tuples in strictly sorted runs, so the
+    /// symmetric difference falls out of one linear merge — O(|a| + |b|),
+    /// not one containment probe per tuple.
     pub fn between(from: &StateValue, to: &StateValue) -> StateDelta {
         match (from, to) {
             (StateValue::Snapshot(a), StateValue::Snapshot(b)) if a.schema() == b.schema() => {
-                let added = b.iter().filter(|t| !a.contains(t)).cloned().collect();
-                let removed = a.iter().filter(|t| !b.contains(t)).cloned().collect();
+                let mut added = Vec::new();
+                let mut removed = Vec::new();
+                let (mut ai, mut bi) = (a.iter().peekable(), b.iter().peekable());
+                loop {
+                    match (ai.peek(), bi.peek()) {
+                        (None, None) => break,
+                        (Some(_), None) => removed.push(ai.next().unwrap().clone()),
+                        (None, Some(_)) => added.push(bi.next().unwrap().clone()),
+                        (Some(t), Some(u)) => match t.cmp(u) {
+                            std::cmp::Ordering::Less => removed.push(ai.next().unwrap().clone()),
+                            std::cmp::Ordering::Greater => added.push(bi.next().unwrap().clone()),
+                            std::cmp::Ordering::Equal => {
+                                ai.next();
+                                bi.next();
+                            }
+                        },
+                    }
+                }
                 StateDelta::Snapshot { added, removed }
             }
             (StateValue::Historical(a), StateValue::Historical(b)) if a.schema() == b.schema() => {
-                let upserted = b
-                    .iter()
-                    .filter(|(t, e)| a.valid_time(t) != Some(e))
-                    .map(|(t, e)| (t.clone(), e.clone()))
-                    .collect();
-                let removed = a
-                    .iter()
-                    .filter(|(t, _)| b.valid_time(t).is_none())
-                    .map(|(t, _)| t.clone())
-                    .collect();
+                let mut upserted = Vec::new();
+                let mut removed = Vec::new();
+                let (mut ai, mut bi) = (a.iter().peekable(), b.iter().peekable());
+                loop {
+                    match (ai.peek(), bi.peek()) {
+                        (None, None) => break,
+                        (Some(_), None) => removed.push(ai.next().unwrap().0.clone()),
+                        (None, Some(_)) => {
+                            let (t, e) = bi.next().unwrap();
+                            upserted.push((t.clone(), e.clone()));
+                        }
+                        (Some((t, ea)), Some((u, eb))) => match t.cmp(u) {
+                            std::cmp::Ordering::Less => removed.push(ai.next().unwrap().0.clone()),
+                            std::cmp::Ordering::Greater => {
+                                let (u, eb) = bi.next().unwrap();
+                                upserted.push((u.clone(), eb.clone()));
+                            }
+                            std::cmp::Ordering::Equal => {
+                                if ea != eb {
+                                    upserted.push(((*u).clone(), (*eb).clone()));
+                                }
+                                ai.next();
+                                bi.next();
+                            }
+                        },
+                    }
+                }
                 StateDelta::Historical { upserted, removed }
             }
             _ => StateDelta::Reschema(Box::new(to.clone())),

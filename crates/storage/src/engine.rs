@@ -9,8 +9,9 @@
 
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use txtime_core::{
     Command, CommandOutcome, CoreError, EvalError, Expr, RelationType, RollbackFilter, StateSource,
@@ -21,10 +22,23 @@ use txtime_optimizer::pushdown;
 
 use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
 use crate::cache::MaterializationCache;
-use crate::delta::StateDelta;
 use crate::memo::{MemoDecision, RelStamp, StampSource, ViewRegistry};
-use crate::metrics::{CacheStats, InternerStats, RelationSpace, SpaceReport};
+use crate::metrics::{
+    CacheStats, CompactionStats, InternerStats, RelationSpace, ShardReport, SpaceReport,
+};
+use crate::shard::ShardedStore;
 use crate::wal;
+
+/// Default fold interval for [`Engine::compact`] when the engine's
+/// checkpoint policy is [`CheckpointPolicy::Never`]: compaction pins a
+/// checkpoint every this-many versions, bounding worst-case rollback
+/// replay to the same figure.
+pub const DEFAULT_COMPACT_EVERY: usize = 32;
+
+/// How many appends a relation accumulates before `modify_state`
+/// opportunistically compacts its chain (see
+/// [`Engine::set_auto_compact`]).
+pub const DEFAULT_AUTO_COMPACT: usize = 64;
 
 /// An error from [`Engine::execute_script`].
 #[derive(Debug)]
@@ -62,6 +76,10 @@ struct StoredRelation {
     /// fresh on every `define_relation`, so a deleted-and-redefined
     /// relation can never observe its predecessor's cached versions.
     rel_id: u64,
+    /// How many consecutive cache ids the relation owns — a sharded
+    /// store caches shard `i` under `rel_id + i`, so deletion must purge
+    /// the whole span.
+    rel_span: u64,
 }
 
 /// A database engine over pluggable physical storage.
@@ -75,11 +93,29 @@ pub struct Engine {
     cache: Arc<MaterializationCache>,
     next_rel_id: u64,
     /// The worker pool queries run on; one thread ⇒ the exact
-    /// sequential evaluator.
-    pool: ExecPool,
+    /// sequential evaluator. Shared (`Arc`) with every sharded store,
+    /// which fans per-shard resolution out on it.
+    pool: Arc<ExecPool>,
+    /// How many shards each *subsequently defined* history-keeping
+    /// relation is partitioned into; 1 = unsharded.
+    shards: NonZeroUsize,
+    /// Opportunistic compaction: every this-many appends to one
+    /// relation, `modify_state` folds its delta chain (`None` disables).
+    auto_compact: Option<NonZeroUsize>,
     /// The view memo: cached states for repeatedly evaluated
-    /// expressions, maintained incrementally by `modify_state` deltas.
+    /// expressions, maintained incrementally by `modify_state` deltas
+    /// (queued O(1) per write, folded and propagated on the next read).
     memo: ViewRegistry,
+}
+
+/// The shard budget from the environment: `TXTIME_SHARDS` if set to a
+/// positive integer, otherwise 1 (unsharded).
+fn shards_from_env() -> NonZeroUsize {
+    std::env::var("TXTIME_SHARDS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .and_then(NonZeroUsize::new)
+        .unwrap_or(NonZeroUsize::MIN)
 }
 
 impl Engine {
@@ -94,7 +130,9 @@ impl Engine {
             wal: None,
             cache: MaterializationCache::shared(),
             next_rel_id: 0,
-            pool: ExecPool::from_env(),
+            pool: Arc::new(ExecPool::from_env()),
+            shards: shards_from_env(),
+            auto_compact: NonZeroUsize::new(DEFAULT_AUTO_COMPACT),
             memo: ViewRegistry::new(),
         }
     }
@@ -310,7 +348,87 @@ impl Engine {
     /// contention. Resets the exec counters. The effective (clamped)
     /// budget is echoed by [`Engine::exec_stats`].
     pub fn set_threads(&mut self, threads: usize) {
-        self.pool = ExecPool::clamped(threads);
+        self.pool = Arc::new(ExecPool::clamped(threads));
+        // Sharded stores fan per-shard work out on the engine's pool;
+        // hand every store the replacement.
+        for rel in self.catalog.values_mut() {
+            if let Keeper::History(store) = &mut rel.keeper {
+                store.set_pool(&self.pool);
+            }
+        }
+    }
+
+    /// The shard budget for relations defined from now on (existing
+    /// relations keep their layout — resharding in place would change
+    /// physical ids under live cache entries).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = NonZeroUsize::new(shards).unwrap_or(NonZeroUsize::MIN);
+    }
+
+    /// The engine's shard budget for newly defined relations.
+    pub fn shards(&self) -> usize {
+        self.shards.get()
+    }
+
+    /// Reconfigures opportunistic compaction: every `every` appends to a
+    /// relation, `modify_state` folds its delta chain; `None` disables
+    /// (the benchmarks' uncompacted baseline).
+    pub fn set_auto_compact(&mut self, every: Option<NonZeroUsize>) {
+        self.auto_compact = every;
+    }
+
+    /// The fold interval [`Engine::compact`] uses when none is given:
+    /// the checkpoint policy's own `k`, or [`DEFAULT_COMPACT_EVERY`]
+    /// under [`CheckpointPolicy::Never`].
+    pub fn default_compact_every(&self) -> NonZeroUsize {
+        match self.checkpoints {
+            CheckpointPolicy::EveryK(k) => k,
+            CheckpointPolicy::Never => {
+                NonZeroUsize::new(DEFAULT_COMPACT_EVERY).expect("constant is non-zero")
+            }
+        }
+    }
+
+    /// Folds every history-keeping relation's delta chain into
+    /// materialized checkpoints so no rollback probe replays more than
+    /// `every` deltas (default: [`Engine::default_compact_every`]).
+    /// Relations compact concurrently on the worker pool
+    /// (`OpKind::Compact` in [`Engine::exec_stats`]); answers are
+    /// unchanged — compaction only pins states the chain already
+    /// determines. Returns the merged counters for this pass.
+    pub fn compact(&mut self, every: Option<NonZeroUsize>) -> CompactionStats {
+        let every = every.unwrap_or_else(|| self.default_compact_every());
+        let stores: Vec<Mutex<&mut Box<dyn RollbackStore>>> = self
+            .catalog
+            .values_mut()
+            .filter_map(|rel| match &mut rel.keeper {
+                Keeper::History(store) => Some(Mutex::new(store)),
+                Keeper::Single(_) => None,
+            })
+            .collect();
+        let merged = self
+            .pool
+            .map_chunks(OpKind::Compact, &stores, 1, |chunk| {
+                chunk.iter().fold(CompactionStats::default(), |acc, m| {
+                    let stats = m.lock().unwrap_or_else(|e| e.into_inner()).compact(every);
+                    acc.merged(stats)
+                })
+            })
+            .into_iter()
+            .fold(CompactionStats::default(), |acc, s| acc.merged(s));
+        merged
+    }
+
+    /// Per-relation shard/compaction breakdown for the history-keeping
+    /// relations — `txtime stats` and the REPL's `\shards` read this.
+    pub fn shard_reports(&self) -> Vec<(String, ShardReport)> {
+        self.catalog
+            .iter()
+            .filter_map(|(name, rel)| match &rel.keeper {
+                Keeper::History(store) => Some((name.clone(), store.shard_report())),
+                Keeper::Single(_) => None,
+            })
+            .collect()
     }
 
     /// Per-operator counters from the worker pool (wall time, calls,
@@ -444,22 +562,36 @@ impl Engine {
                     return Err(CoreError::AlreadyDefined(ident.clone()));
                 }
                 let rel_id = self.next_rel_id;
-                self.next_rel_id += 1;
-                let keeper =
-                    if rtype.keeps_history() {
-                        Keeper::History(self.backend.new_store_with_cache(
+                let (keeper, rel_span) = if rtype.keeps_history() {
+                    let k = self.shards;
+                    let store: Box<dyn RollbackStore> = if k.get() > 1 {
+                        Box::new(ShardedStore::new(
+                            self.backend,
+                            k,
                             self.checkpoints,
                             Some((self.cache.clone(), rel_id)),
+                            self.pool.clone(),
                         ))
                     } else {
-                        Keeper::Single(None)
+                        self.backend.new_store_with_cache(
+                            self.checkpoints,
+                            Some((self.cache.clone(), rel_id)),
+                        )
                     };
+                    // A sharded store caches shard `i` under
+                    // `rel_id + i`; reserve the whole id span.
+                    (Keeper::History(store), k.get() as u64)
+                } else {
+                    (Keeper::Single(None), 1)
+                };
+                self.next_rel_id += rel_span;
                 self.catalog.insert(
                     ident.clone(),
                     StoredRelation {
                         rtype: *rtype,
                         keeper,
                         rel_id,
+                        rel_span,
                     },
                 );
                 self.tx = self.tx.next();
@@ -477,41 +609,37 @@ impl Engine {
                     });
                 }
                 let next = self.tx.next();
-                // Pay for a delta only when a cached view depends on
-                // this relation; the delta stores hand back the delta
-                // they compute for their own representation anyway.
-                let track = self.memo.has_readers(ident);
+                let auto_compact = self.auto_compact;
+                let fold = self.default_compact_every();
                 let rel = self.catalog.get_mut(ident).expect("checked above");
                 let rel_id = rel.rel_id;
-                let delta = match &mut rel.keeper {
+                let prev = match &mut rel.keeper {
                     Keeper::History(store) => {
-                        if track {
-                            Some(store.append_with_delta(&state, next))
-                        } else {
-                            store.append(&state, next);
-                            None
+                        let prev = store.current();
+                        store.append(&state, next);
+                        // Opportunistic compaction: fold the chain every
+                        // `auto_compact` appends so no later rollback
+                        // probe replays more than `fold` deltas. The
+                        // pass is incremental — already-pinned
+                        // checkpoints make it a near-no-op.
+                        if let Some(auto) = auto_compact {
+                            if store.version_count().is_multiple_of(auto.get()) {
+                                store.compact(fold);
+                            }
                         }
+                        prev
                     }
                     Keeper::Single(slot) => {
-                        let prev = slot.take();
-                        let d = track.then(|| match &prev {
-                            Some((p, _)) => StateDelta::between(p, &state),
-                            None => StateDelta::Reschema(Box::new(state.clone())),
-                        });
-                        *slot = Some((state, next));
-                        d
+                        let prev = slot.take().map(|(p, _)| p);
+                        *slot = Some((state.clone(), next));
+                        prev
                     }
                 };
                 self.tx = next;
-                if let Some(delta) = delta {
-                    // Route through the pool for OpKind::Propagate
-                    // accounting (single chunk: propagation is a
-                    // sequential bottom-up walk).
-                    let this: &Engine = self;
-                    this.pool.map_chunks(OpKind::Propagate, &[()], 1, |_| {
-                        this.memo.apply_modify(ident, rel_id, &delta, next, this);
-                    });
-                }
+                // O(1) enqueue: the memo diffs and propagates the whole
+                // span of queued writes once, on its next read.
+                self.memo
+                    .queue_modify(ident, rel_id, prev.as_ref(), &state, next);
                 Ok(CommandOutcome::Modified)
             }
             Command::DeleteRelation(ident) => {
@@ -519,8 +647,11 @@ impl Engine {
                     return Err(CoreError::UndefinedRelation(ident.clone()));
                 };
                 // Its versions can never be probed again (relation ids are
-                // never reused); free their cache slots now.
-                self.cache.purge_relation(removed.rel_id);
+                // never reused); free their cache slots now — every id in
+                // the span, one per shard.
+                for id in removed.rel_id..removed.rel_id + removed.rel_span {
+                    self.cache.purge_relation(id);
+                }
                 self.memo.purge_relation(ident);
                 self.tx = self.tx.next();
                 Ok(CommandOutcome::Deleted)
@@ -1002,9 +1133,18 @@ mod tests {
 
     #[test]
     fn repeated_rollback_probes_hit_the_cache() {
-        let e = engine_with_history(BackendKind::ReverseDelta);
-        // This test pins the materialization-cache path; with the view
-        // memo on, repeated probes would be answered above it.
+        // `Never` keeps the reverse-delta chain checkpoint-free, so the
+        // probe below must replay — this test pins the materialization
+        // cache, not the checkpoint shortcut.
+        let mut e = Engine::new(BackendKind::ReverseDelta, CheckpointPolicy::Never);
+        e.execute(&Command::define_relation("r", RelationType::Rollback))
+            .unwrap();
+        for v in [vec![1], vec![1, 2], vec![2], vec![2, 3]] {
+            e.execute(&Command::modify_state("r", Expr::snapshot_const(snap(&v))))
+                .unwrap();
+        }
+        // With the view memo on, repeated probes would be answered above
+        // the cache.
         e.set_memo_capacity(0);
         let spec = TxSpec::At(TransactionNumber(2));
         let first = e.eval(&Expr::rollback("r", spec)).unwrap();

@@ -2,6 +2,7 @@
 //! checkpoints.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::num::NonZeroUsize;
 use std::sync::Arc;
 
 use txtime_core::{EvalError, RollbackFilter, StateValue, TransactionNumber};
@@ -13,7 +14,7 @@ use txtime_snapshot::StrInterner;
 use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
 use crate::cache::MaterializationCache;
 use crate::delta::{intern_state, StateDelta};
-use crate::metrics::InternerStats;
+use crate::metrics::{CompactionStats, InternerStats};
 
 /// One entry in the forward chain.
 #[derive(Debug)]
@@ -35,6 +36,8 @@ enum Entry {
 pub struct ForwardDeltaStore {
     policy: CheckpointPolicy,
     entries: Vec<(Entry, TransactionNumber)>,
+    /// Lifetime compaction counters.
+    compaction: CompactionStats,
     /// The current state, cached for O(1) appends and current-state reads.
     current: Option<StateValue>,
     /// Shared materialization cache and this relation's id within it.
@@ -59,6 +62,7 @@ impl ForwardDeltaStore {
         ForwardDeltaStore {
             policy,
             entries: Vec::new(),
+            compaction: CompactionStats::default(),
             current: None,
             cache,
             interner: StrInterner::new(),
@@ -402,6 +406,50 @@ impl RollbackStore for ForwardDeltaStore {
         self.entries.iter().map(|(_, t)| *t).collect()
     }
 
+    fn compact(&mut self, every: NonZeroUsize) -> CompactionStats {
+        // Promote the delta entry at every `every`-th chain position to a
+        // materialized checkpoint, so no later probe replays more than
+        // `every` deltas. One forward replay visits the whole chain.
+        let wanted = |i: usize| i.is_multiple_of(every.get());
+        if !self
+            .entries
+            .iter()
+            .enumerate()
+            .any(|(i, (e, _))| wanted(i) && matches!(e, Entry::Delta(_)))
+        {
+            return CompactionStats::default();
+        }
+        let mut pass = CompactionStats {
+            runs: 1,
+            ..CompactionStats::default()
+        };
+        let mut state: Option<StateValue> = None;
+        for i in 0..self.entries.len() {
+            let folded = match &self.entries[i].0 {
+                Entry::Checkpoint(s) => {
+                    state = Some(s.clone());
+                    false
+                }
+                Entry::Delta(d) => {
+                    d.apply_in_place(state.as_mut().expect("chain starts with a checkpoint"));
+                    pass.deltas_folded += 1;
+                    true
+                }
+            };
+            if folded && wanted(i) {
+                let s = state.clone().expect("replayed above");
+                pass.tuples_folded += s.len() as u64;
+                self.entries[i].0 = Entry::Checkpoint(s);
+            }
+        }
+        self.compaction = self.compaction.merged(pass);
+        pass
+    }
+
+    fn compaction_stats(&self) -> CompactionStats {
+        self.compaction
+    }
+
     fn truncate_before(&mut self, tx: TransactionNumber) -> usize {
         let idx = self.entries.partition_point(|(_, t)| *t <= tx);
         match idx.checked_sub(1) {
@@ -467,6 +515,23 @@ mod tests {
                 "at tx {t}"
             );
         }
+    }
+
+    #[test]
+    fn compact_promotes_deltas_without_changing_answers() {
+        let mut s = ForwardDeltaStore::new(CheckpointPolicy::Never);
+        for v in 1..=60u64 {
+            s.append(&snap(&[v as i64]), TransactionNumber(v));
+        }
+        let before: Vec<_> = (0..=61).map(|v| s.state_at(TransactionNumber(v))).collect();
+        let pass = s.compact(NonZeroUsize::new(5).unwrap());
+        assert_eq!(pass.runs, 1);
+        assert!(pass.deltas_folded > 0);
+        assert!(pass.tuples_folded > 0);
+        let after: Vec<_> = (0..=61).map(|v| s.state_at(TransactionNumber(v))).collect();
+        assert_eq!(before, after);
+        assert_eq!(s.compact(NonZeroUsize::new(5).unwrap()).runs, 0);
+        assert_eq!(s.compaction_stats().runs, 1);
     }
 
     #[test]

@@ -20,15 +20,22 @@
 //!   cached state is *the* state the expression denotes — including for
 //!   `ρ(I, n)` leaves with `n` in the past, which are immutable once the
 //!   clock passes `n`.
-//! * **Maintenance.** `modify_state` hands the registry the
-//!   [`StateDelta`] the command applied. The registry walks its cached
-//!   nodes in ascending id order (ids are topological: children precede
-//!   parents) and updates each affected view with a per-operator delta
-//!   rule — O(changes · log n) single-pass work over the sorted runs —
-//!   falling back to a targeted re-evaluation from the (already updated)
-//!   cached children when a rule does not apply: ×/×̂/δ over the
-//!   [`delta_beats_reeval`] threshold, or a child whose own delta was
-//!   unknown.
+//! * **Maintenance.** `modify_state` *queues* an O(1) record — the
+//!   relation's state handles before and after the append — via
+//!   [`ViewRegistry::queue_modify`]; nothing is diffed or walked on the
+//!   write path. On the next memo read ([`ViewRegistry::decide`] or
+//!   [`ViewRegistry::eval_and_register`]) the queue is flushed: each
+//!   relation's span of queued modifies folds into a single
+//!   [`StateDelta`] (`between(first_prev, last_new)` — one linear merge
+//!   over the sorted runs), and the registry walks its cached nodes in
+//!   ascending id order (ids are topological: children precede parents),
+//!   updating each affected view with a per-operator delta rule —
+//!   O(changes · log n) single-pass work — falling back to a targeted
+//!   re-evaluation from the (already updated) cached children when a
+//!   rule does not apply: ×/×̂/δ over the [`delta_beats_reeval`]
+//!   threshold, or a child whose own delta was unknown. A write-heavy
+//!   burst between reads therefore pays one propagation, not one per
+//!   write (the BENCH_5 `memo_modify` write-amplification fix).
 //!
 //! Node-wise evaluation applies the plain operators rather than the
 //! pushdown shapes the engine's un-memoized path uses; the two are
@@ -138,6 +145,19 @@ enum Status {
 type SnapDelta<'a> = (&'a [Tuple], &'a [Tuple]);
 type HistDelta<'a> = (&'a [Entry], &'a [Tuple]);
 
+/// One relation's queued-but-unflushed span of `modify_state`s: the
+/// state handles before the first queued modify and after the last,
+/// plus the commit transactions bracketing the span. Enqueueing is O(1)
+/// (states are reference-counted handles); the diff is computed once,
+/// at flush.
+struct PendingSpan {
+    rel_id: u64,
+    prev: StateValue,
+    new: StateValue,
+    first_tx: TransactionNumber,
+    last_tx: TransactionNumber,
+}
+
 struct Inner {
     interner: ExprInterner,
     /// Cached states, keyed by node id. Iterating the map ascending is a
@@ -147,6 +167,9 @@ struct Inner {
     roots: BTreeMap<ExprId, u64>,
     /// Missed-evaluation counts, for the registration threshold.
     seen: HashMap<ExprId, u32>,
+    /// Deferred `modify_state` spans, folded per relation; flushed on
+    /// the next read.
+    pending: BTreeMap<String, PendingSpan>,
     capacity: usize,
     register_after: u32,
     tick: u64,
@@ -188,6 +211,8 @@ impl Inner {
     /// Drops every view (and root) whose subtree reads `ident`; returns
     /// the number of views dropped.
     fn purge_relation(&mut self, ident: &str) -> usize {
+        // Any queued span for the relation is moot once its readers go.
+        self.pending.remove(ident);
         let interner = &self.interner;
         let before = self.views.len();
         self.views
@@ -334,13 +359,39 @@ impl Inner {
             })
     }
 
-    /// One `modify_state` against relation `ident`, already applied to
-    /// the store: update every cached view that reads it.
+    /// Settles every queued modify span: one folded delta propagation
+    /// per touched relation. Called at the top of each memo read.
+    fn flush_pending(&mut self, src: &dyn StampSource, counters: &MemoCounters) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        for (ident, span) in pending {
+            let delta = StateDelta::between(&span.prev, &span.new);
+            self.propagate(
+                &ident,
+                span.rel_id,
+                &delta,
+                span.first_tx,
+                span.last_tx,
+                src,
+                counters,
+            );
+        }
+    }
+
+    /// A span of `modify_state`s against relation `ident`, already
+    /// applied to the store and folded into one delta: update every
+    /// cached view that reads it. `span_start` is the commit transaction
+    /// of the span's first modify, `new_tx` of its last (the eager
+    /// single-modify path passes them equal).
+    #[allow(clippy::too_many_arguments)]
     fn propagate(
         &mut self,
         ident: &str,
         rel_id: u64,
         rel_delta: &StateDelta,
+        span_start: TransactionNumber,
         new_tx: TransactionNumber,
         src: &dyn StampSource,
         counters: &MemoCounters,
@@ -365,11 +416,22 @@ impl Inner {
             }
             match &node.op {
                 NodeOp::Rollback(_, spec) | NodeOp::HRollback(_, spec) => {
-                    // `state_at(n)` with `n` below the new transaction
-                    // resolves to a version this append cannot have
+                    // `state_at(n)` with `n` below the whole span
+                    // resolves to a version these appends cannot have
                     // touched (appends only add strictly newer
                     // versions): the value is immutable, only the stamp
-                    // moves.
+                    // moves. A probe at or past the span's last
+                    // transaction sees exactly the folded delta. A probe
+                    // landing *inside* the span (several modifies folded
+                    // into one flush) names an intermediate version the
+                    // fold skipped — drop the view and leave no status,
+                    // so parents recompute and the next evaluation
+                    // re-resolves the probe from the store.
+                    if matches!(spec, TxSpec::At(n) if *n >= span_start && *n < new_tx) {
+                        self.views.remove(&id);
+                        counters.add_invalidations(1);
+                        continue;
+                    }
                     let affected = match spec {
                         TxSpec::Current => true,
                         TxSpec::At(n) => *n >= new_tx,
@@ -921,6 +983,7 @@ impl ViewRegistry {
                 views: BTreeMap::new(),
                 roots: BTreeMap::new(),
                 seen: HashMap::new(),
+                pending: BTreeMap::new(),
                 capacity,
                 register_after: DEFAULT_REGISTER_AFTER,
                 tick: 0,
@@ -938,10 +1001,20 @@ impl ViewRegistry {
     /// Consults the memo for `expr`: a stamp-valid cached state, or the
     /// instruction to evaluate (and whether to register the result).
     pub fn decide(&self, expr: &Expr, src: &dyn StampSource) -> MemoDecision {
+        // Relation-free expressions — notably the constant literal every
+        // `modify_state` evaluates — can never be stamped or
+        // invalidated, so they are never worth a view. Deciding them
+        // before touching the interner keeps the write path from
+        // hashing multi-thousand-tuple constant payloads into the DAG
+        // (the `reads` walk visits operator nodes only, not payloads).
+        if expr.reads().is_empty() {
+            return MemoDecision::Evaluate { register: false };
+        }
         let mut inner = self.lock();
         if inner.capacity == 0 {
             return MemoDecision::Evaluate { register: false };
         }
+        inner.flush_pending(src, &self.counters);
         let id = inner.interner.intern(expr);
         if let Some(view) = inner.views.get(&id) {
             if view.valid(src) {
@@ -981,6 +1054,7 @@ impl ViewRegistry {
         src: &dyn StampSource,
     ) -> Result<StateValue, EvalError> {
         let mut inner = self.lock();
+        inner.flush_pending(src, &self.counters);
         let id = inner.interner.intern(expr);
         let result = inner.eval_node(id, src, &self.counters);
         if result.is_ok() {
@@ -1004,9 +1078,74 @@ impl ViewRegistry {
             .any(|id| inner.interner.node(*id).reads_relation(ident))
     }
 
+    /// Records one `modify_state` against `ident` (already applied to
+    /// the store, committed at `new_tx`) for deferred propagation — the
+    /// engine's write-path entry. `prev` is the relation's state just
+    /// before the append (`None` for its very first state).
+    ///
+    /// The call is O(1): states are reference-counted handles, and
+    /// consecutive modifies to one relation fold into a single span
+    /// whose diff is computed once, on the next memo read. A scheme or
+    /// state-kind boundary (no delta rule can cross it) is settled
+    /// immediately by purging the relation's readers.
+    pub fn queue_modify(
+        &self,
+        ident: &str,
+        rel_id: u64,
+        prev: Option<&StateValue>,
+        new: &StateValue,
+        new_tx: TransactionNumber,
+    ) {
+        let mut inner = self.lock();
+        if inner.capacity == 0 {
+            return;
+        }
+        let comparable = match (prev, new) {
+            (Some(StateValue::Snapshot(a)), StateValue::Snapshot(b)) => a.schema() == b.schema(),
+            (Some(StateValue::Historical(a)), StateValue::Historical(b)) => {
+                a.schema() == b.schema()
+            }
+            _ => false,
+        };
+        if !comparable {
+            let dropped = inner.purge_relation(ident);
+            self.counters.add_invalidations(dropped as u64);
+            return;
+        }
+        if let Some(span) = inner.pending.get_mut(ident) {
+            // Fold at enqueue: keep the span's opening state, advance
+            // its closing one — `between(prev, new)` at flush covers
+            // the whole run of modifies.
+            span.new = new.clone();
+            span.last_tx = new_tx;
+            return;
+        }
+        if !inner
+            .views
+            .keys()
+            .any(|id| inner.interner.node(*id).reads_relation(ident))
+        {
+            // No cached view reads the relation; anything registered
+            // later evaluates against the already-modified store.
+            return;
+        }
+        let prev = prev.expect("comparable implies a prior state").clone();
+        inner.pending.insert(
+            ident.to_string(),
+            PendingSpan {
+                rel_id,
+                prev,
+                new: new.clone(),
+                first_tx: new_tx,
+                last_tx: new_tx,
+            },
+        );
+    }
+
     /// Propagates the delta one `modify_state` applied to `ident`
     /// (already in the store, committed at `new_tx`) through every
-    /// cached view that reads it.
+    /// cached view that reads it — the eager path
+    /// ([`ViewRegistry::queue_modify`] is the engine's deferred one).
     pub fn apply_modify(
         &self,
         ident: &str,
@@ -1016,7 +1155,7 @@ impl ViewRegistry {
         src: &dyn StampSource,
     ) {
         let mut inner = self.lock();
-        inner.propagate(ident, rel_id, delta, new_tx, src, &self.counters);
+        inner.propagate(ident, rel_id, delta, new_tx, new_tx, src, &self.counters);
     }
 
     /// Drops every cached view whose subtree reads `ident` — the sound
@@ -1035,6 +1174,7 @@ impl ViewRegistry {
         inner.views.clear();
         inner.roots.clear();
         inner.seen.clear();
+        inner.pending.clear();
         self.counters.add_invalidations(dropped as u64);
     }
 
@@ -1048,6 +1188,7 @@ impl ViewRegistry {
             inner.views.clear();
             inner.roots.clear();
             inner.seen.clear();
+            inner.pending.clear();
             d
         } else {
             inner.enforce_capacity()
@@ -1238,6 +1379,74 @@ mod tests {
         let stats = memo.stats();
         assert_eq!(stats.roots, 1, "LRU eviction keeps one root");
         assert!(stats.views <= 2);
+    }
+
+    #[test]
+    fn queued_modifies_fold_and_flush_on_read() {
+        let mut db = FakeDb::new();
+        db.set("r", 7, 3, StateValue::Snapshot(snap(&[-1, 1, 2])));
+        let memo = ViewRegistry::new();
+        memo.set_register_after(1);
+        let expr = positive(Expr::current("r"));
+        memo.decide(&expr, &db);
+        memo.eval_and_register(&expr, &db).unwrap();
+
+        // A burst of writes between reads: each enqueue is O(1), and
+        // the flush on the next read folds the burst into one net-delta
+        // propagation (+3 +9 −1 through the select).
+        let chain = [
+            snap(&[-1, 1, 2, 3]),
+            snap(&[-1, 2, 3]),
+            snap(&[-1, 2, 3, 9]),
+        ];
+        let mut prev = StateValue::Snapshot(snap(&[-1, 1, 2]));
+        for (i, s) in chain.iter().enumerate() {
+            let s = StateValue::Snapshot(s.clone());
+            let tx = 4 + i as u64;
+            db.set("r", 7, tx, s.clone());
+            memo.queue_modify("r", 7, Some(&prev), &s, TransactionNumber(tx));
+            prev = s;
+        }
+        let MemoDecision::Hit(hit) = memo.decide(&expr, &db) else {
+            panic!("expected a post-flush hit");
+        };
+        assert_eq!(hit, StateValue::Snapshot(snap(&[2, 3, 9])));
+        let stats = memo.stats();
+        // The folded span carries 3 net changes; an eager scheme would
+        // have propagated each of the 3 writes separately.
+        assert!(
+            stats.propagations <= 6,
+            "one folded propagation pass, not one per write (saw {})",
+            stats.propagations
+        );
+    }
+
+    #[test]
+    fn queue_reschema_purges_readers_immediately() {
+        let mut db = FakeDb::new();
+        db.set("r", 1, 1, StateValue::Snapshot(snap(&[1])));
+        let memo = ViewRegistry::new();
+        memo.set_register_after(1);
+        let e = positive(Expr::current("r"));
+        memo.decide(&e, &db);
+        memo.eval_and_register(&e, &db).unwrap();
+        assert!(memo.has_readers("r"));
+
+        // A state-kind flip has no delta rule; the queue settles it on
+        // the spot rather than deferring an unusable span.
+        let hist = StateValue::Historical(
+            txtime_historical::HistoricalState::new(
+                Schema::new(vec![("x", DomainType::Int)]).unwrap(),
+                [(
+                    Tuple::new(vec![Value::Int(1)]),
+                    txtime_historical::TemporalElement::period(0, 5),
+                )],
+            )
+            .unwrap(),
+        );
+        let prev = StateValue::Snapshot(snap(&[1]));
+        memo.queue_modify("r", 1, Some(&prev), &hist, TransactionNumber(2));
+        assert!(!memo.has_readers("r"));
     }
 
     #[test]

@@ -106,6 +106,88 @@ impl fmt::Display for InternerStats {
     }
 }
 
+/// Counters from delta-chain compaction: how many passes ran and how
+/// much chain they folded into materialized checkpoints
+/// ([`crate::RollbackStore::compact`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Compaction passes completed.
+    pub runs: u64,
+    /// Deltas folded into checkpoints across all passes.
+    pub deltas_folded: u64,
+    /// Tuples/entries written into the materialized checkpoints.
+    pub tuples_folded: u64,
+}
+
+impl CompactionStats {
+    /// Component-wise sum, for shard- and catalog-level totals.
+    pub fn merged(self, other: CompactionStats) -> CompactionStats {
+        CompactionStats {
+            runs: self.runs + other.runs,
+            deltas_folded: self.deltas_folded + other.deltas_folded,
+            tuples_folded: self.tuples_folded + other.tuples_folded,
+        }
+    }
+}
+
+impl fmt::Display for CompactionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} run(s), {} deltas folded, {} tuples folded",
+            self.runs, self.deltas_folded, self.tuples_folded
+        )
+    }
+}
+
+/// One shard's row in a [`ShardReport`]: the length and footprint of its
+/// private delta chain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSlot {
+    /// Versions (chain entries) the shard stores.
+    pub versions: usize,
+    /// Tuples/entries in the shard's current state.
+    pub tuples: usize,
+    /// Approximate logical bytes of the shard's chain.
+    pub bytes: usize,
+}
+
+/// Per-shard breakdown of one relation's store — a single-slot report
+/// for unsharded backends ([`crate::RollbackStore::shard_report`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// One row per shard, in shard order.
+    pub shards: Vec<ShardSlot>,
+    /// Compaction counters accumulated across all shards.
+    pub compaction: CompactionStats,
+}
+
+impl ShardReport {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl fmt::Display for ShardReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} shard(s); compaction: {}",
+            self.shards.len(),
+            self.compaction
+        )?;
+        for (i, s) in self.shards.iter().enumerate() {
+            writeln!(
+                f,
+                "  shard {:>2}: {:>6} versions {:>8} tuples {:>10} bytes",
+                i, s.versions, s.tuples, s.bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Space usage of one relation.
 #[derive(Debug, Clone)]
 pub struct RelationSpace {

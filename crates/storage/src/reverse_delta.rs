@@ -1,24 +1,28 @@
 //! The reverse-delta backend: current state in full, deltas backwards.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::num::NonZeroUsize;
 use std::sync::Arc;
 
 use txtime_core::{StateValue, TransactionNumber};
 use txtime_snapshot::StrInterner;
 
-use crate::backend::{BackendKind, RollbackStore};
+use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
 use crate::cache::MaterializationCache;
 use crate::delta::{intern_state, StateDelta};
-use crate::metrics::InternerStats;
+use crate::metrics::{CompactionStats, InternerStats};
 
 /// Stores the current state materialized and, for each superseded version
 /// `i`, the reverse delta carrying version `i+1` back to version `i`.
 ///
 /// Current-state access is O(1); `state_at(tx)` walks backwards applying
-/// reverse deltas until it reaches the target version, so the cost of a
-/// rollback grows with how far in the past it reaches — the natural
-/// trade-off when most queries are about the present (the same trade-off
-/// made by, e.g., RCS and by Reed's versioned objects).
+/// reverse deltas until it reaches the target version (or a materialized
+/// checkpoint nearer to it), so the cost of a rollback grows with how far
+/// in the past it reaches — the natural trade-off when most queries are
+/// about the present (the same trade-off made by, e.g., RCS and by Reed's
+/// versioned objects). A [`CheckpointPolicy`] and the explicit
+/// [`RollbackStore::compact`] pass bound that replay length by pinning
+/// full states at interval version indices.
 #[derive(Debug, Default)]
 pub struct ReverseDeltaStore {
     /// Reverse deltas: `undo[i]` carries version `i+1` to version `i`.
@@ -27,6 +31,17 @@ pub struct ReverseDeltaStore {
     txs: Vec<TransactionNumber>,
     /// The materialized current state.
     current: Option<StateValue>,
+    /// Materialized checkpoints keyed by version index: replay seeds
+    /// closer to old targets than the current state. Installed at append
+    /// time under [`CheckpointPolicy::EveryK`] and retroactively by
+    /// [`RollbackStore::compact`].
+    ckpts: BTreeMap<usize, StateValue>,
+    /// When to checkpoint at append time. `Never` keeps the pure
+    /// reverse-delta representation: one current state, deltas all the
+    /// way back.
+    policy: Option<CheckpointPolicy>,
+    /// Lifetime compaction counters.
+    compaction: CompactionStats,
     /// Shared materialization cache and this relation's id within it.
     cache: Option<(Arc<MaterializationCache>, u64)>,
     /// Per-relation string pool: every appended state is interned, so
@@ -35,18 +50,32 @@ pub struct ReverseDeltaStore {
 }
 
 impl ReverseDeltaStore {
-    /// An empty store.
+    /// An empty store without append-time checkpoints.
     pub fn new() -> ReverseDeltaStore {
         ReverseDeltaStore::default()
     }
 
-    /// An empty store wired to a shared materialization cache under the
-    /// given relation id.
-    pub fn with_cache(cache: Option<(Arc<MaterializationCache>, u64)>) -> ReverseDeltaStore {
+    /// An empty store with the given checkpoint policy, wired to a shared
+    /// materialization cache under the given relation id.
+    pub fn with_cache(
+        policy: CheckpointPolicy,
+        cache: Option<(Arc<MaterializationCache>, u64)>,
+    ) -> ReverseDeltaStore {
         ReverseDeltaStore {
+            policy: Some(policy),
             cache,
             ..ReverseDeltaStore::default()
         }
+    }
+
+    /// The nearest replay seed strictly above `target` and below `limit`:
+    /// the closest checkpoint if one exists, else `limit` (whose state the
+    /// caller supplies).
+    fn checkpoint_seed(&self, target: usize, limit: usize) -> Option<(usize, StateValue)> {
+        self.ckpts
+            .range(target + 1..limit.max(target + 1))
+            .next()
+            .map(|(&j, s)| (j, s.clone()))
     }
 }
 
@@ -57,6 +86,16 @@ impl RollbackStore for ReverseDeltaStore {
         let state = intern_state(state, &mut self.interner);
         if let Some(prev) = &self.current {
             self.undo.push(StateDelta::between(&state, prev));
+        }
+        // Opportunistic checkpoint at the policy's interval: an O(1)
+        // clone of the state being installed, pinned as a future replay
+        // seed. (`Never` pins nothing — index 0 is the *base* for the
+        // forward store, but here it would defeat the representation.)
+        if let Some(CheckpointPolicy::EveryK(k)) = self.policy {
+            let idx = self.txs.len();
+            if idx.is_multiple_of(k.get()) {
+                self.ckpts.insert(idx, state.clone());
+            }
         }
         self.txs.push(tx);
         self.current = Some(state);
@@ -72,18 +111,25 @@ impl RollbackStore for ReverseDeltaStore {
                 return Some(state);
             }
         }
+        // An exact checkpoint answers without any replay.
+        if let Some(s) = self.ckpts.get(&target) {
+            return Some(s.clone());
+        }
         // Replay starts from the materialized current state (version
-        // `undo.len()`) unless a cached version nearer the target can
-        // seed it (uncounted, opportunistic probes).
+        // `undo.len()`) unless a checkpoint or a cached version nearer
+        // the target can seed it (uncounted, opportunistic probes).
         let mut seed = self.undo.len();
         let mut state = None;
+        if let Some((j, s)) = self.checkpoint_seed(target, seed) {
+            seed = j;
+            state = Some(s);
+        }
         if let Some((cache, rel)) = &self.cache {
-            for j in target + 1..self.undo.len() {
-                if let Some(s) = cache.peek(*rel, self.txs[j].0) {
-                    seed = j;
-                    state = Some(s);
-                    break;
-                }
+            if let Some((j, s)) =
+                (target + 1..seed).find_map(|j| cache.peek(*rel, self.txs[j].0).map(|s| (j, s)))
+            {
+                seed = j;
+                state = Some(s);
             }
         }
         let mut state =
@@ -127,20 +173,28 @@ impl RollbackStore for ReverseDeltaStore {
                     continue;
                 }
             }
+            if let Some(s) = self.ckpts.get(&floor) {
+                resolved.insert(floor, s.clone());
+                continue;
+            }
             missing.insert(floor);
         }
         if let (Some(&lo), Some(&hi)) = (missing.first(), missing.last()) {
             // Seed the walk at the materialized current state, or at a
-            // cached version just above the highest wanted one.
+            // checkpoint / cached version just above the highest wanted
+            // one.
             let mut seed = self.undo.len();
             let mut state = None;
+            if let Some((j, s)) = self.checkpoint_seed(hi, seed) {
+                seed = j;
+                state = Some(s);
+            }
             if let Some((cache, rel)) = &self.cache {
-                for j in hi + 1..self.undo.len() {
-                    if let Some(s) = cache.peek(*rel, self.txs[j].0) {
-                        seed = j;
-                        state = Some(s);
-                        break;
-                    }
+                if let Some((j, s)) =
+                    (hi + 1..seed).find_map(|j| cache.peek(*rel, self.txs[j].0).map(|s| (j, s)))
+                {
+                    seed = j;
+                    state = Some(s);
                 }
             }
             let mut state = state
@@ -199,8 +253,52 @@ impl RollbackStore for ReverseDeltaStore {
         // count it alongside the deltas it deduplicates.
         self.current.as_ref().map_or(0, StateValue::size_bytes)
             + self.undo.iter().map(StateDelta::size_bytes).sum::<usize>()
+            + self
+                .ckpts
+                .values()
+                .map(StateValue::size_bytes)
+                .sum::<usize>()
             + self.txs.len() * 8
             + self.interner.size_bytes()
+    }
+
+    fn compact(&mut self, every: NonZeroUsize) -> CompactionStats {
+        // Pin a checkpoint at every `every`-th version index, so no later
+        // probe replays more than `every` deltas. One backward replay
+        // from the nearest existing seed fills every missing slot.
+        let missing: Vec<usize> = (0..self.undo.len())
+            .filter(|i| i.is_multiple_of(every.get()) && !self.ckpts.contains_key(i))
+            .collect();
+        let (Some(&lo), Some(&hi)) = (missing.first(), missing.last()) else {
+            return CompactionStats::default();
+        };
+        let mut pass = CompactionStats {
+            runs: 1,
+            ..CompactionStats::default()
+        };
+        let (seed, mut state) = match self.checkpoint_seed(hi, self.undo.len()) {
+            Some((j, s)) => (j, s),
+            None => (
+                self.undo.len(),
+                self.current.clone().expect("undo implies a current state"),
+            ),
+        };
+        let mut want = missing.iter().rev().peekable();
+        for i in (lo..seed).rev() {
+            self.undo[i].apply_in_place(&mut state);
+            pass.deltas_folded += 1;
+            if want.peek() == Some(&&i) {
+                want.next();
+                pass.tuples_folded += state.len() as u64;
+                self.ckpts.insert(i, state.clone());
+            }
+        }
+        self.compaction = self.compaction.merged(pass);
+        pass
+    }
+
+    fn compaction_stats(&self) -> CompactionStats {
+        self.compaction
     }
 
     fn version_txs(&self) -> Vec<TransactionNumber> {
@@ -212,9 +310,16 @@ impl RollbackStore for ReverseDeltaStore {
         match idx.checked_sub(1) {
             Some(floor) if floor > 0 => {
                 // undo[i] carries version i+1 back to version i; dropping
-                // versions < floor means dropping undo[0..floor].
+                // versions < floor means dropping undo[0..floor] and
+                // re-indexing the surviving checkpoints by −floor.
                 self.undo.drain(..floor);
                 self.txs.drain(..floor);
+                self.ckpts = self
+                    .ckpts
+                    .split_off(&floor)
+                    .into_iter()
+                    .map(|(i, s)| (i - floor, s))
+                    .collect();
                 floor
             }
             _ => 0,
@@ -251,6 +356,61 @@ mod tests {
         assert_eq!(s.state_at(TransactionNumber(9)), Some(snap(&[2])));
         assert_eq!(s.current(), Some(snap(&[2])));
         assert_eq!(s.version_count(), 3);
+    }
+
+    #[test]
+    fn compact_pins_checkpoints_and_preserves_answers() {
+        let mut s = ReverseDeltaStore::new();
+        for v in 1..=100u64 {
+            s.append(&snap(&[v as i64]), TransactionNumber(v));
+        }
+        let before: Vec<_> = (0..=101)
+            .map(|v| s.state_at(TransactionNumber(v)))
+            .collect();
+        let pass = s.compact(NonZeroUsize::new(8).unwrap());
+        assert_eq!(pass.runs, 1);
+        assert!(pass.deltas_folded > 0);
+        assert!(pass.tuples_folded > 0);
+        let after: Vec<_> = (0..=101)
+            .map(|v| s.state_at(TransactionNumber(v)))
+            .collect();
+        assert_eq!(before, after);
+        // A second pass at the same interval finds nothing to fold.
+        assert_eq!(s.compact(NonZeroUsize::new(8).unwrap()).runs, 0);
+        assert_eq!(s.compaction_stats().runs, 1);
+        // Batched probes agree too.
+        let txs: Vec<TransactionNumber> = (0..=101).map(TransactionNumber).collect();
+        assert_eq!(s.state_at_many(&txs), before);
+    }
+
+    #[test]
+    fn append_time_checkpoints_match_never_policy_answers() {
+        let mut every = ReverseDeltaStore::with_cache(CheckpointPolicy::every_k(4).unwrap(), None);
+        let mut never = ReverseDeltaStore::new();
+        for v in 1..=33u64 {
+            let state = snap(&[v as i64, -(v as i64)]);
+            every.append(&state, TransactionNumber(v));
+            never.append(&state, TransactionNumber(v));
+        }
+        for v in 0..=34u64 {
+            assert_eq!(
+                every.state_at(TransactionNumber(v)),
+                never.state_at(TransactionNumber(v)),
+                "at tx {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncate_reindexes_checkpoints() {
+        let mut s = ReverseDeltaStore::with_cache(CheckpointPolicy::every_k(4).unwrap(), None);
+        for v in 1..=20u64 {
+            s.append(&snap(&[v as i64]), TransactionNumber(v));
+        }
+        assert!(s.truncate_before(TransactionNumber(10)) > 0);
+        for v in 10..=20u64 {
+            assert_eq!(s.state_at(TransactionNumber(v)), Some(snap(&[v as i64])));
+        }
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! `\catalog` lists relations, `\versions r` shows a relation's recorded
 //! history, `\memo` shows the incremental view memo's counters (queries
 //! displayed more than once are registered automatically; later
-//! modifications update their cached answers by delta propagation), and
-//! `\lint` replays every warning the session's lint pass has issued.
+//! modifications update their cached answers by delta propagation),
+//! `\shards` shows each relation's shard layout and compaction counters,
+//! and `\lint` replays every warning the session's lint pass has issued.
 //! Lint warnings print as commands execute but never block them.
 //!
 //! ```text
@@ -42,7 +43,7 @@ fn main() {
     let mut buffer = String::new();
 
     println!(
-        "txtime REPL — commands end with ';'. \\q quits, \\catalog lists relations, \\memo shows view-memo counters, \\lint lists this session's warnings."
+        "txtime REPL — commands end with ';'. \\q quits, \\catalog lists relations, \\memo shows view-memo counters, \\shards shows shard/compaction layout, \\lint lists this session's warnings."
     );
     print_prompt(&buffer);
     for line in stdin.lock().lines() {
@@ -71,6 +72,17 @@ fn main() {
                     print!("{}", engine.memo_stats());
                     let (nodes, bytes) = engine.memo_interner_footprint();
                     println!("       expr interner: {nodes} nodes / {bytes} bytes");
+                    print_prompt(&buffer);
+                    continue;
+                }
+                "\\shards" => {
+                    let reports = engine.shard_reports();
+                    if reports.is_empty() {
+                        println!("  no history-keeping relations");
+                    }
+                    for (name, report) in reports {
+                        print!("  {name}: {report}");
+                    }
                     print_prompt(&buffer);
                     continue;
                 }

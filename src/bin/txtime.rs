@@ -12,6 +12,8 @@
 //! txtime check script.txq --deny-warnings     # lint warnings become fatal
 //! txtime stats script.txq                     # execute, report space/cache/exec counters
 //! txtime stats script.txq --threads 4         # size the query worker pool
+//! txtime stats script.txq --shards 4          # shard each relation's store 4 ways
+//! txtime compact script.txq --every 8         # execute, then fold delta chains
 //! ```
 //!
 //! `run` and `check` both start by parsing and statically checking the
@@ -37,8 +39,9 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "recover" => recover_cmd(rest),
         Some((cmd, rest)) if cmd == "check" => check(rest),
         Some((cmd, rest)) if cmd == "stats" => stats(rest),
+        Some((cmd, rest)) if cmd == "compact" => compact(rest),
         _ => {
-            eprintln!("usage: txtime <run|recover|check|stats> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--threads N] [--no-check] [--lint] [--deny-warnings]");
+            eprintln!("usage: txtime <run|recover|check|stats|compact> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--threads N] [--shards K] [--every N] [--no-check] [--lint] [--deny-warnings]");
             eprintln!("backends: full-copy (default), fwd-delta, rev-delta, tuple-ts");
             ExitCode::FAILURE
         }
@@ -58,6 +61,12 @@ struct Options {
     /// Worker-pool size for query evaluation; `None` defers to the
     /// engine's default (`TXTIME_THREADS` / available parallelism).
     threads: Option<usize>,
+    /// Shards per history-keeping relation; `None` defers to the
+    /// engine's default (`TXTIME_SHARDS`, else unsharded).
+    shards: Option<usize>,
+    /// Fold interval for `txtime compact`; `None` defers to the
+    /// checkpoint policy's own interval.
+    every: Option<usize>,
 }
 
 fn parse_options(rest: &[String]) -> Result<Options, String> {
@@ -69,10 +78,32 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
     let mut lint = false;
     let mut deny_warnings = false;
     let mut threads = None;
+    let mut shards = None;
+    let mut every = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--no-check" => no_check = true,
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid shard count {v:?}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                shards = Some(n);
+            }
+            "--every" => {
+                let v = it.next().ok_or("--every needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid compaction interval {v:?}"))?;
+                if n == 0 {
+                    return Err("--every must be at least 1".to_string());
+                }
+                every = Some(n);
+            }
             "--lint" => lint = true,
             "--deny-warnings" => {
                 lint = true;
@@ -120,6 +151,8 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         lint,
         deny_warnings,
         threads,
+        shards,
+        every,
     })
 }
 
@@ -225,6 +258,9 @@ fn run(rest: &[String]) -> ExitCode {
     if let Some(n) = opts.threads {
         engine.set_threads(n);
     }
+    if let Some(k) = opts.shards {
+        engine.set_shards(k);
+    }
     match engine.execute_script(&source) {
         Ok(outcomes) => {
             for o in &outcomes {
@@ -303,6 +339,9 @@ fn stats(rest: &[String]) -> ExitCode {
     if let Some(n) = opts.threads {
         engine.set_threads(n);
     }
+    if let Some(k) = opts.shards {
+        engine.set_shards(k);
+    }
     if let Err(e) = engine.execute_script(&source) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
@@ -319,6 +358,54 @@ fn stats(rest: &[String]) -> ExitCode {
     println!("       expr interner: {nodes} nodes / {bytes} bytes");
     for (name, interner) in engine.interner_report() {
         println!("pool:  {name}: {interner}");
+    }
+    // Shard layout and compaction counters, one block per
+    // history-keeping relation.
+    for (name, report) in engine.shard_reports() {
+        print!("shards: {name}: {report}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Executes the script, then folds every relation's delta chain into
+/// materialized checkpoints (`--every N` overrides the checkpoint
+/// policy's own interval) and reports what the pass did.
+fn compact(rest: &[String]) -> ExitCode {
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut engine = Engine::new(opts.backend, opts.checkpoint);
+    if let Some(n) = opts.threads {
+        engine.set_threads(n);
+    }
+    if let Some(k) = opts.shards {
+        engine.set_shards(k);
+    }
+    if let Err(e) = engine.execute_script(&source) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let every = opts.every.and_then(std::num::NonZeroUsize::new);
+    let stats = engine.compact(every);
+    println!(
+        "compacted every {} versions: {stats}",
+        every
+            .unwrap_or_else(|| engine.default_compact_every())
+            .get()
+    );
+    for (name, report) in engine.shard_reports() {
+        print!("shards: {name}: {report}");
     }
     ExitCode::SUCCESS
 }

@@ -227,6 +227,65 @@ fn usage_on_bad_invocation() {
 }
 
 #[test]
+fn stats_reports_shard_layout_and_compact_folds_chains() {
+    let script = write_script("shards.txq", SCRIPT);
+    // --shards 4 partitions emp across 4 chains; stats shows one row per
+    // shard plus the compaction counters.
+    let out = txtime(&[
+        "stats",
+        script.to_str().unwrap(),
+        "--backend",
+        "rev-delta",
+        "--shards",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("shards: emp: 4 shard(s)"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("shard  3:"), "stdout: {stdout}");
+    assert!(stdout.contains("compaction:"), "stdout: {stdout}");
+
+    // compact folds the (tiny) chain and reports the pass. `--shards 1`
+    // is explicit so a `TXTIME_SHARDS` in the environment (the CI shard
+    // leg) cannot change the expected layout.
+    let out = txtime(&[
+        "compact",
+        script.to_str().unwrap(),
+        "--backend",
+        "rev-delta",
+        "--checkpoint",
+        "0",
+        "--every",
+        "1",
+        "--shards",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("compacted every 1 versions:"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("run(s)"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("shards: emp: 1 shard(s)"),
+        "stdout: {stdout}"
+    );
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
 fn stats_reports_memo_and_interner_pools() {
     let script = write_script("stats.txq", SCRIPT);
     let out = txtime(&["stats", script.to_str().unwrap(), "--backend", "fwd-delta"]);
