@@ -308,6 +308,41 @@ impl ValueRange {
             self.hi = Some(b);
         }
     }
+
+    /// The closed integer interval `[lo, hi]` this range denotes, when
+    /// both endpoints are integer-valued. Strict bounds are narrowed by
+    /// one; `None` for half-open, non-integer, or overflowing ranges.
+    /// The returned pair may be inverted (`lo > hi`) when the range is
+    /// empty — callers treat a non-positive width as selectivity 0.
+    pub fn int_bounds(&self) -> Option<(i64, i64)> {
+        let lo = match self.lo.as_ref() {
+            Some(Bound {
+                value: Value::Int(v),
+                strict,
+            }) => {
+                if *strict {
+                    v.checked_add(1)?
+                } else {
+                    *v
+                }
+            }
+            _ => return None,
+        };
+        let hi = match self.hi.as_ref() {
+            Some(Bound {
+                value: Value::Int(v),
+                strict,
+            }) => {
+                if *strict {
+                    v.checked_sub(1)?
+                } else {
+                    *v
+                }
+            }
+            _ => return None,
+        };
+        Some((lo, hi))
+    }
 }
 
 /// Statistics for one stored version of a relation.

@@ -71,11 +71,14 @@ pub enum OpKind {
     Shard,
     /// Delta-chain compaction (folding deltas into checkpoints).
     Compact,
+    /// Cost-based plan search (`Engine::eval` at optimize level 2);
+    /// recorded externally, chunks count the plans enumerated.
+    Optimize,
 }
 
 impl OpKind {
     /// Every operator kind, in display order.
-    pub const ALL: [OpKind; 15] = [
+    pub const ALL: [OpKind; 16] = [
         OpKind::Select,
         OpKind::Project,
         OpKind::Product,
@@ -91,6 +94,7 @@ impl OpKind {
         OpKind::Propagate,
         OpKind::Shard,
         OpKind::Compact,
+        OpKind::Optimize,
     ];
 
     /// The operator's display name.
@@ -111,6 +115,7 @@ impl OpKind {
             OpKind::Propagate => "propagate",
             OpKind::Shard => "shard",
             OpKind::Compact => "compact",
+            OpKind::Optimize => "optimize",
         }
     }
 
@@ -140,7 +145,8 @@ impl OpKind {
             | OpKind::Resolve
             | OpKind::Propagate
             | OpKind::Shard
-            | OpKind::Compact => 1,
+            | OpKind::Compact
+            | OpKind::Optimize => 1,
         }
     }
 
@@ -370,6 +376,13 @@ impl ExecPool {
         c.calls.fetch_add(1, Ordering::Relaxed);
         c.chunks.fetch_add(chunks, Ordering::Relaxed);
         c.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Accounts work measured outside the pool under `op`, so phases
+    /// the pool does not itself schedule (the engine's plan search)
+    /// appear in the same [`ExecStats`] table.
+    pub fn record_external(&self, op: OpKind, chunks: u64, elapsed: std::time::Duration) {
+        self.record(op, chunks, elapsed.as_nanos() as u64);
     }
 
     /// A snapshot of the per-operator counters.

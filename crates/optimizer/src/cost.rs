@@ -4,15 +4,34 @@
 //! constants over estimated cardinalities — because its job is to *rank*
 //! plans for experiment E7 and to show that the classical cost reasoning
 //! applies unchanged once ρ/ρ̂ are treated as base-relation leaves.
+//!
+//! PR 8 grows it in two directions, both fed by the lint pass's
+//! statistics substrate (`txtime-analyze`):
+//!
+//! - **value-range selectivity** — per-attribute [`ValueRange`]s turn a
+//!   comparison like `sal > 95` into a linear-interpolated fraction of
+//!   the attribute's observed `[lo, hi]` interval instead of the blanket
+//!   0.5 constant, which is what lets the plan searcher rank a product
+//!   ordering by how selective each side's conjuncts actually are;
+//! - **numeric hygiene** — every arithmetic combine point is routed
+//!   through [`sanitize_rows`], so deep products cannot overflow into
+//!   `inf`/NaN and poison the `<` comparisons the searcher ranks with,
+//!   and every selectivity is clamped to `[0, 1]`.
 
 use std::collections::BTreeMap;
 
+use txtime_analyze::ValueRange;
 use txtime_core::Expr;
+use txtime_snapshot::{CompOp, Operand, Predicate, Value};
 
-/// Per-relation cardinality statistics.
+/// Per-relation cardinality statistics plus per-attribute value ranges.
 #[derive(Debug, Clone)]
 pub struct CostModel {
     cardinalities: BTreeMap<String, f64>,
+    /// Observed value range per attribute name, joined (hulled) across
+    /// the relations that expose the attribute. Sound for selectivity
+    /// because a hull only widens the denominator.
+    attr_ranges: BTreeMap<String, ValueRange>,
     /// Cardinality assumed for relations without statistics.
     pub default_cardinality: f64,
     /// Selectivity assumed per selection predicate conjunct.
@@ -23,6 +42,7 @@ impl Default for CostModel {
     fn default() -> CostModel {
         CostModel {
             cardinalities: BTreeMap::new(),
+            attr_ranges: BTreeMap::new(),
             default_cardinality: 100.0,
             selectivity: 0.5,
         }
@@ -49,9 +69,46 @@ impl CostModel {
         model
     }
 
+    /// [`from_stats`](CostModel::from_stats) plus value ranges: the
+    /// catalog's per-version ranges are positional (aligned with the
+    /// scheme, no attribute names), so the schema catalog supplies the
+    /// names to key them by. Only relations with a known (stable)
+    /// schema contribute ranges.
+    pub fn from_stats_with_schemas(
+        stats: &txtime_analyze::StatsCatalog,
+        schemas: &crate::SchemaCatalog,
+    ) -> CostModel {
+        let mut model = CostModel::from_stats(stats);
+        let names: Vec<String> = stats.names().map(str::to_string).collect();
+        for name in names {
+            let (Some(rel), Some(schema)) = (stats.get(&name), schemas.get(&name)) else {
+                continue;
+            };
+            let Some(ranges) = rel.current().and_then(|v| v.ranges.as_ref()) else {
+                continue;
+            };
+            if ranges.len() != schema.arity() {
+                continue;
+            }
+            for (i, range) in ranges.iter().enumerate() {
+                model.note_attr_range(schema.attribute(i).name.to_string(), range.clone());
+            }
+        }
+        model
+    }
+
     /// Sets the cardinality statistic for a relation.
     pub fn set_cardinality(&mut self, relation: impl Into<String>, rows: f64) {
         self.cardinalities.insert(relation.into(), rows);
+    }
+
+    /// Records the observed value range of an attribute; a repeated
+    /// attribute name widens to the hull of both ranges.
+    pub fn note_attr_range(&mut self, attr: impl Into<String>, range: ValueRange) {
+        self.attr_ranges
+            .entry(attr.into())
+            .and_modify(|r| *r = r.join(&range))
+            .or_insert(range);
     }
 
     fn cardinality(&self, relation: &str) -> f64 {
@@ -60,11 +117,111 @@ impl CostModel {
             .copied()
             .unwrap_or(self.default_cardinality)
     }
+
+    /// Estimated fraction of input rows a predicate retains, always in
+    /// `[0, 1]`. Comparisons against integer constants interpolate over
+    /// the attribute's observed range when one is known; everything
+    /// else falls back to the per-conjunct [`selectivity`] constant.
+    /// Conjunctions multiply, disjunctions combine by inclusion–
+    /// exclusion, negation complements — the independence assumptions
+    /// of System R.
+    ///
+    /// [`selectivity`]: CostModel::selectivity
+    pub fn predicate_selectivity(&self, p: &Predicate) -> f64 {
+        let s = match p {
+            Predicate::True => 1.0,
+            Predicate::False => 0.0,
+            Predicate::And(a, b) => self.predicate_selectivity(a) * self.predicate_selectivity(b),
+            Predicate::Or(a, b) => {
+                let (sa, sb) = (self.predicate_selectivity(a), self.predicate_selectivity(b));
+                sa + sb - sa * sb
+            }
+            Predicate::Not(q) => 1.0 - self.predicate_selectivity(q),
+            Predicate::Comp(l, op, r) => self.comp_selectivity(l, *op, r),
+        };
+        if s.is_finite() {
+            s.clamp(0.0, 1.0)
+        } else {
+            self.selectivity
+        }
+    }
+
+    fn comp_selectivity(&self, l: &Operand, op: CompOp, r: &Operand) -> f64 {
+        // Normalize `const ⊙ attr` to `attr ⊙⁻¹ const`.
+        let (attr, op, value) = match (l, r) {
+            (Operand::Attr(a), Operand::Const(v)) => (a, op, v),
+            (Operand::Const(v), Operand::Attr(a)) => (a, flip(op), v),
+            (Operand::Const(a), Operand::Const(b)) => {
+                // Same-domain constant folds are exact; mixed domains
+                // would error at compile time, so stay neutral.
+                return match (a, b) {
+                    (Value::Int(_), Value::Int(_))
+                    | (Value::Real(_), Value::Real(_))
+                    | (Value::Bool(_), Value::Bool(_))
+                    | (Value::Str(_), Value::Str(_)) => {
+                        if op.apply(a, b) {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    _ => self.selectivity,
+                };
+            }
+            // attr-attr joins: the generic constant.
+            _ => return self.selectivity,
+        };
+        let bounds = self
+            .attr_ranges
+            .get(attr.as_ref())
+            .and_then(|r| r.int_bounds());
+        let (Some((lo, hi)), Value::Int(c)) = (bounds, value) else {
+            return self.selectivity;
+        };
+        // All arithmetic in f64: extreme i64 endpoints must not wrap.
+        let (lo, hi, c): (f64, f64, f64) = (lo as f64, hi as f64, *c as f64);
+        let width = hi - lo + 1.0;
+        if width <= 0.0 {
+            return 0.0; // provably-empty range: nothing satisfies anything
+        }
+        let eq = if lo <= c && c <= hi { 1.0 / width } else { 0.0 };
+        let frac = match op {
+            CompOp::Eq => eq,
+            CompOp::Ne => 1.0 - eq,
+            CompOp::Lt => (c - lo) / width,
+            CompOp::Le => (c - lo + 1.0) / width,
+            CompOp::Gt => (hi - c) / width,
+            CompOp::Ge => (hi - c + 1.0) / width,
+        };
+        frac.clamp(0.0, 1.0)
+    }
+}
+
+fn flip(op: CompOp) -> CompOp {
+    match op {
+        CompOp::Eq => CompOp::Eq,
+        CompOp::Ne => CompOp::Ne,
+        CompOp::Lt => CompOp::Gt,
+        CompOp::Le => CompOp::Ge,
+        CompOp::Gt => CompOp::Lt,
+        CompOp::Ge => CompOp::Le,
+    }
+}
+
+/// Clamps a row estimate to a finite non-negative value: deep product
+/// chains overflow `f64` into `inf`, and `0 × inf` poisons a whole plan
+/// ranking with NaN. `MAX` (not `inf`) keeps `<` comparisons total.
+pub fn sanitize_rows(rows: f64) -> f64 {
+    if rows.is_nan() {
+        f64::MAX
+    } else {
+        rows.clamp(0.0, f64::MAX)
+    }
 }
 
 /// Estimated output cardinality of an expression.
 pub fn estimate_rows(expr: &Expr, model: &CostModel) -> f64 {
-    match expr {
+    let rows = match expr {
         Expr::SnapshotConst(s) => s.len() as f64,
         Expr::HistoricalConst(h) => h.len() as f64,
         Expr::Rollback(i, _) | Expr::HRollback(i, _) => model.cardinality(i),
@@ -78,18 +235,11 @@ pub fn estimate_rows(expr: &Expr, model: &CostModel) -> f64 {
         }
         Expr::Project(_, e) | Expr::HProject(_, e) => estimate_rows(e, model) * 0.9,
         Expr::Select(p, e) | Expr::HSelect(p, e) => {
-            let conjunct_count = count_conjuncts(p) as i32;
-            estimate_rows(e, model) * model.selectivity.powi(conjunct_count)
+            estimate_rows(e, model) * model.predicate_selectivity(p)
         }
         Expr::Delta(_, _, e) => estimate_rows(e, model) * model.selectivity,
-    }
-}
-
-fn count_conjuncts(p: &txtime_snapshot::Predicate) -> usize {
-    match p {
-        txtime_snapshot::Predicate::And(a, b) => count_conjuncts(a) + count_conjuncts(b),
-        _ => 1,
-    }
+    };
+    sanitize_rows(rows)
 }
 
 /// Decides whether propagating a delta of `delta_changes` changed
@@ -133,13 +283,14 @@ pub fn estimate_cost(expr: &Expr, model: &CostModel) -> f64 {
         | Expr::HSelect(_, e)
         | Expr::Delta(_, _, e) => estimate_cost(e, model),
     };
-    own + children
+    sanitize_rows(own + children)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::schema_infer::SchemaCatalog;
+    use txtime_analyze::Bound;
     use txtime_snapshot::{DomainType, Predicate, Schema, Value};
 
     fn model() -> CostModel {
@@ -220,5 +371,108 @@ mod tests {
         let m = CostModel::from_stats(&stats);
         assert_eq!(estimate_rows(&Expr::current("emp"), &m), 40.0);
         assert_eq!(estimate_rows(&Expr::current("dept"), &m), 100.0);
+    }
+
+    fn int_range(lo: i64, hi: i64) -> ValueRange {
+        ValueRange {
+            lo: Some(Bound::closed(Value::Int(lo))),
+            hi: Some(Bound::closed(Value::Int(hi))),
+        }
+    }
+
+    #[test]
+    fn range_selectivity_interpolates_and_clamps() {
+        let mut m = CostModel::new();
+        m.note_attr_range("sal", int_range(0, 99));
+        let sel = |p: &Predicate| m.predicate_selectivity(p);
+        // sal > 89 keeps 10 of the 100 possible values.
+        assert!((sel(&Predicate::gt_const("sal", Value::Int(89))) - 0.1).abs() < 1e-9);
+        // Out-of-range comparisons clamp to [0, 1], never go negative.
+        assert_eq!(sel(&Predicate::gt_const("sal", Value::Int(1000))), 0.0);
+        assert_eq!(sel(&Predicate::lt_const("sal", Value::Int(1000))), 1.0);
+        // Eq inside the range is 1/width; outside, 0.
+        assert!((sel(&Predicate::eq_const("sal", Value::Int(5))) - 0.01).abs() < 1e-9);
+        assert_eq!(sel(&Predicate::eq_const("sal", Value::Int(-1))), 0.0);
+        // Attributes without statistics use the generic constant.
+        assert_eq!(sel(&Predicate::gt_const("age", Value::Int(0))), 0.5);
+    }
+
+    #[test]
+    fn connective_selectivities_stay_in_unit_interval() {
+        let mut m = CostModel::new();
+        m.note_attr_range("a", int_range(0, 9));
+        let p = Predicate::gt_const("a", Value::Int(4));
+        let q = Predicate::lt_const("a", Value::Int(2));
+        for pred in [
+            p.clone().and(q.clone()),
+            p.clone().or(q.clone()),
+            p.clone().not(),
+            p.clone().and(q.clone()).not().or(p.clone()),
+            Predicate::True,
+            Predicate::False,
+        ] {
+            let s = m.predicate_selectivity(&pred);
+            assert!((0.0..=1.0).contains(&s), "{pred:?} -> {s}");
+        }
+    }
+
+    #[test]
+    fn extreme_int_bounds_do_not_overflow() {
+        // i64::MIN..=i64::MAX would wrap in integer arithmetic; the
+        // f64 path must stay finite and in-range.
+        let mut m = CostModel::new();
+        m.note_attr_range("x", int_range(i64::MIN, i64::MAX));
+        let s = m.predicate_selectivity(&Predicate::gt_const("x", Value::Int(0)));
+        assert!((0.0..=1.0).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn empty_range_is_zero_selectivity() {
+        let mut m = CostModel::new();
+        m.note_attr_range("x", int_range(10, 5)); // contradiction range
+        assert_eq!(
+            m.predicate_selectivity(&Predicate::eq_const("x", Value::Int(7))),
+            0.0
+        );
+    }
+
+    #[test]
+    fn deep_product_chain_stays_finite() {
+        // 2^1000 rows overflows f64 into inf without the sanitizer;
+        // the estimate must clamp to MAX so plan ranking stays total.
+        let mut m = CostModel::new();
+        m.set_cardinality("big", 1e308);
+        let mut e = Expr::current("big");
+        for _ in 0..64 {
+            e = e.product(Expr::current("big"));
+        }
+        let rows = estimate_rows(&e, &m);
+        let cost = estimate_cost(&e, &m);
+        assert!(rows.is_finite() && rows == f64::MAX, "{rows}");
+        assert!(cost.is_finite(), "{cost}");
+        // A select over the overflowed product must not produce NaN.
+        let sel = e.select(Predicate::eq_const("zzz", Value::Int(0)));
+        assert!(estimate_rows(&sel, &m).is_finite());
+    }
+
+    #[test]
+    fn empty_plans_estimate_zero() {
+        use txtime_snapshot::SnapshotState;
+        let schema = Schema::new(vec![("x", DomainType::Int)]).unwrap();
+        let empty = Expr::SnapshotConst(SnapshotState::empty(schema));
+        let m = CostModel::new();
+        assert_eq!(estimate_rows(&empty, &m), 0.0);
+        let u = empty.clone().union(empty.clone()).product(empty.clone());
+        assert_eq!(estimate_rows(&u, &m), 0.0);
+        assert_eq!(estimate_cost(&u, &m), 0.0);
+    }
+
+    #[test]
+    fn sanitize_rows_boundaries() {
+        assert_eq!(sanitize_rows(f64::NAN), f64::MAX);
+        assert_eq!(sanitize_rows(f64::INFINITY), f64::MAX);
+        assert_eq!(sanitize_rows(f64::NEG_INFINITY), 0.0);
+        assert_eq!(sanitize_rows(-1.0), 0.0);
+        assert_eq!(sanitize_rows(42.0), 42.0);
     }
 }

@@ -141,7 +141,7 @@ fn pushdown_node(expr: Expr) -> Expr {
 /// only ever resolves to a snapshot state (the relation-type check plus
 /// `modify_state`'s kind check guarantee it), and the snapshot operators
 /// demand snapshot operands.
-fn is_snapshot_kind(e: &Expr) -> bool {
+pub(crate) fn is_snapshot_kind(e: &Expr) -> bool {
     matches!(
         e,
         Expr::SnapshotConst(_)
@@ -155,7 +155,7 @@ fn is_snapshot_kind(e: &Expr) -> bool {
 }
 
 /// Whether the expression's result kind is statically historical.
-fn is_historical_kind(e: &Expr) -> bool {
+pub(crate) fn is_historical_kind(e: &Expr) -> bool {
     !is_snapshot_kind(e)
 }
 

@@ -265,7 +265,7 @@ fn rewrite_select(
 }
 
 /// Flattens the top-level conjunction of a predicate.
-fn conjuncts(p: &Predicate) -> Vec<&Predicate> {
+pub(crate) fn conjuncts(p: &Predicate) -> Vec<&Predicate> {
     match p {
         Predicate::And(a, b) => {
             let mut out = conjuncts(a);
@@ -276,7 +276,7 @@ fn conjuncts(p: &Predicate) -> Vec<&Predicate> {
     }
 }
 
-fn subset(xs: &[String], ys: &[String]) -> bool {
+pub(crate) fn subset(xs: &[String], ys: &[String]) -> bool {
     xs.iter().all(|x| ys.contains(x))
 }
 

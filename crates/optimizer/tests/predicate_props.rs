@@ -1,0 +1,79 @@
+//! Property tests for `simplify_predicate` (satellite of the plan
+//! search PR): simplification is idempotent — a second pass finds
+//! nothing left to fold — and semantics-preserving in the optimizer's
+//! partial-correctness sense: wherever the original predicate selects
+//! successfully, the simplified predicate selects the same rows.
+
+use proptest::prelude::*;
+use txtime_optimizer::{simplify_predicate, RewriteTrace};
+use txtime_snapshot::generate::{random_predicate, random_state, GenConfig};
+use txtime_snapshot::rng::rngs::StdRng;
+use txtime_snapshot::rng::SeedableRng;
+use txtime_snapshot::{DomainType, Predicate, Schema};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ("a0", DomainType::Int),
+        ("a1", DomainType::Str),
+        ("a2", DomainType::Bool),
+    ])
+    .unwrap()
+}
+
+fn cfg() -> GenConfig {
+    GenConfig {
+        arity: 3,
+        cardinality: 12,
+        int_range: 10,
+        str_pool: 4,
+    }
+}
+
+fn simplify(p: &Predicate) -> Predicate {
+    simplify_predicate(p, &mut RewriteTrace::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// simplify(simplify(p)) == simplify(p): every fold the pass knows
+    /// about is fully applied on the first pass.
+    #[test]
+    fn simplify_predicate_is_idempotent(seed in any::<u64>(), depth in 0usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_predicate(&mut rng, &schema(), &cfg(), depth);
+        let once = simplify(&p);
+        let twice = simplify(&once);
+        prop_assert_eq!(&once, &twice, "not a fixpoint for {}", p);
+        // And a second pass fires no rules at all.
+        let mut trace = RewriteTrace::default();
+        simplify_predicate(&once, &mut trace);
+        prop_assert!(
+            trace.applied.is_empty(),
+            "second pass still fired {:?} on {}",
+            trace.applied,
+            once
+        );
+    }
+
+    /// Wherever σ_p succeeds, σ_{simplify(p)} succeeds with the same
+    /// rows (random predicates × random states, so every tuple in the
+    /// state is a random tuple the predicate is judged against).
+    #[test]
+    fn simplify_predicate_preserves_selection(
+        seed in any::<u64>(),
+        state_seed in any::<u64>(),
+        depth in 0usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_predicate(&mut rng, &schema(), &cfg(), depth);
+        let simplified = simplify(&p);
+        let mut srng = StdRng::seed_from_u64(state_seed);
+        let state = random_state(&mut srng, &schema(), &cfg());
+        if let Ok(want) = state.select(&p) {
+            let got = state.select(&simplified);
+            prop_assert!(got.is_ok(), "{} -> {} broke selection", p, simplified);
+            prop_assert_eq!(want, got.unwrap(), "{} vs {}", p, simplified);
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! write-ahead log for recovery. The equivalence is not assumed — it is
 //! established by the differential tests in [`crate::equiv`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
@@ -18,7 +18,10 @@ use txtime_core::{
     StateValue, TransactionNumber, TxSpec,
 };
 use txtime_exec::{ExecPool, ExecStats, MemoStats, OpKind};
-use txtime_optimizer::pushdown;
+use txtime_optimizer::{
+    pushdown, CostModel, ExprId, ExprInterner, OptimizerStats, PlanReport, SchemaCatalog,
+    SearchStats,
+};
 
 use crate::backend::{BackendKind, CheckpointPolicy, RollbackStore};
 use crate::cache::MaterializationCache;
@@ -82,6 +85,61 @@ struct StoredRelation {
     rel_span: u64,
 }
 
+/// What the planner tracks incrementally per relation — enough to build
+/// the cost-based searcher's schema catalog and cardinality model in
+/// O(catalog) at plan time, without materializing any history.
+#[derive(Default)]
+struct RelMeta {
+    /// The current version's schema, once one exists.
+    schema: Option<txtime_snapshot::Schema>,
+    /// Whether every version ever written shared that schema. Only
+    /// stable relations enter the planner's [`SchemaCatalog`]: the
+    /// searcher's rewrite guards require *exact* schema answers, and a
+    /// scheme-evolved relation's ρ-at-older-tx leaves would lie.
+    stable: bool,
+    /// The current version's cardinality.
+    card: usize,
+}
+
+impl RelMeta {
+    fn fresh() -> RelMeta {
+        RelMeta {
+            schema: None,
+            stable: true,
+            card: 0,
+        }
+    }
+}
+
+/// The per-generation plan cache: inputs snapshotted at the clock value
+/// `at_tx`, plans keyed by the canonical [`ExprId`] of the source
+/// expression. A mutation bumps the clock and invalidates everything.
+struct Planner {
+    at_tx: Option<TransactionNumber>,
+    catalog: SchemaCatalog,
+    model: CostModel,
+    interner: ExprInterner,
+    plans: HashMap<ExprId, Expr>,
+    searches: u64,
+    cache_hits: u64,
+    totals: SearchStats,
+}
+
+impl Planner {
+    fn new() -> Planner {
+        Planner {
+            at_tx: None,
+            catalog: SchemaCatalog::new(),
+            model: CostModel::new(),
+            interner: ExprInterner::new(),
+            plans: HashMap::new(),
+            searches: 0,
+            cache_hits: 0,
+            totals: SearchStats::default(),
+        }
+    }
+}
+
 /// A database engine over pluggable physical storage.
 pub struct Engine {
     backend: BackendKind,
@@ -106,6 +164,14 @@ pub struct Engine {
     /// expressions, maintained incrementally by `modify_state` deltas
     /// (queued O(1) per write, folded and propagated on the next read).
     memo: ViewRegistry,
+    /// Optimization level for `eval`: 0 = evaluate the expression as
+    /// written, 1 = error-preserving pushdown (the historical default),
+    /// 2 = cost-based plan search over the `ExprId` DAG.
+    optimize: u8,
+    /// Incremental planner statistics, maintained O(1) per mutation.
+    planner_meta: BTreeMap<String, RelMeta>,
+    /// The level-2 plan cache (interior mutability: `eval` is `&self`).
+    planner: Mutex<Planner>,
 }
 
 /// The shard budget from the environment: `TXTIME_SHARDS` if set to a
@@ -116,6 +182,16 @@ fn shards_from_env() -> NonZeroUsize {
         .and_then(|s| s.trim().parse::<usize>().ok())
         .and_then(NonZeroUsize::new)
         .unwrap_or(NonZeroUsize::MIN)
+}
+
+/// The optimization level from the environment: `TXTIME_OPTIMIZE` if set
+/// to 0/1/2, otherwise 1 (pushdown only — the pre-search behavior).
+fn optimize_from_env() -> u8 {
+    std::env::var("TXTIME_OPTIMIZE")
+        .ok()
+        .and_then(|s| s.trim().parse::<u8>().ok())
+        .map(|n| n.min(2))
+        .unwrap_or(1)
 }
 
 impl Engine {
@@ -134,6 +210,9 @@ impl Engine {
             shards: shards_from_env(),
             auto_compact: NonZeroUsize::new(DEFAULT_AUTO_COMPACT),
             memo: ViewRegistry::new(),
+            optimize: optimize_from_env(),
+            planner_meta: BTreeMap::new(),
+            planner: Mutex::new(Planner::new()),
         }
     }
 
@@ -228,11 +307,28 @@ impl Engine {
     /// the plain evaluation below; the memo differential tests pin this
     /// on every backend.
     pub fn eval(&self, expr: &Expr) -> Result<StateValue, EvalError> {
+        // Level 2: cost-based search first, so the memo keys (and
+        // registers views for) the *canonical* plan — every source
+        // expression in the plan's equivalence group maps to the same
+        // `ExprId`s and therefore hits the same cached views. The
+        // evaluator below is untouched, so sharded stores fan the chosen
+        // plan's ρ-leaves out exactly as they would the original's.
+        let planned;
+        let expr = if self.optimize >= 2 {
+            planned = self.plan(expr);
+            &planned
+        } else {
+            expr
+        };
         match self.memo.decide(expr, self) {
             MemoDecision::Hit(state) => Ok(state),
             MemoDecision::Evaluate { register: true } => self.memo.eval_and_register(expr, self),
             MemoDecision::Evaluate { register: false } => {
-                let rewritten = pushdown(expr);
+                let rewritten = if self.optimize == 0 {
+                    expr.clone()
+                } else {
+                    pushdown(expr)
+                };
                 if self.pool.threads() > 1 {
                     rewritten.eval_with_pool(self, &self.pool)
                 } else {
@@ -240,6 +336,140 @@ impl Engine {
                 }
             }
         }
+    }
+
+    /// The cost-based plan for `expr` at the current clock, answered
+    /// from the per-generation cache when the same expression (by
+    /// canonical `ExprId`) was already planned this generation.
+    fn plan(&self, expr: &Expr) -> Expr {
+        let mut planner = self.planner.lock().unwrap_or_else(|e| e.into_inner());
+        self.refresh_planner(&mut planner);
+        let id = planner.interner.intern(expr);
+        if let Some(plan) = planner.plans.get(&id).cloned() {
+            planner.cache_hits += 1;
+            return plan;
+        }
+        let started = std::time::Instant::now();
+        let report = txtime_optimizer::search(expr, &planner.catalog, &planner.model);
+        self.pool.record_external(
+            OpKind::Optimize,
+            report.stats.plans_enumerated.max(1),
+            started.elapsed(),
+        );
+        planner.searches += 1;
+        planner.totals.absorb(&report.stats);
+        planner.plans.insert(id, report.plan.clone());
+        report.plan
+    }
+
+    /// Rebuilds the planner's inputs when the clock has moved since they
+    /// were last snapshotted (any mutation bumps the clock, so a stale
+    /// catalog or model is impossible to observe).
+    fn refresh_planner(&self, planner: &mut Planner) {
+        if planner.at_tx == Some(self.tx) {
+            return;
+        }
+        planner.at_tx = Some(self.tx);
+        planner.plans.clear();
+        planner.interner = ExprInterner::new();
+        let mut catalog = SchemaCatalog::new();
+        let mut model = CostModel::new();
+        for (name, meta) in &self.planner_meta {
+            model.set_cardinality(name.clone(), meta.card as f64);
+            let (true, Some(schema)) = (meta.stable, &meta.schema) else {
+                continue;
+            };
+            catalog.insert(name.clone(), schema.clone());
+            // Current-version value ranges feed range selectivity. One
+            // state clone per stable relation per generation — only on
+            // the level-2 path, only when a query actually arrives.
+            if let Some(state) = self.current_state(name) {
+                let (_, ranges) = state_stats(&state);
+                if let Some(ranges) = ranges {
+                    for (attr, range) in schema.attributes().iter().zip(ranges) {
+                        model.note_attr_range(attr.name.to_string(), range);
+                    }
+                }
+            }
+        }
+        planner.catalog = catalog;
+        planner.model = model;
+    }
+
+    /// Records the schema and cardinality of `ident`'s newest version in
+    /// the planner's incremental statistics.
+    fn note_state_meta(&mut self, ident: &str, state: &StateValue) {
+        let (schema, card) = match state {
+            StateValue::Snapshot(s) => (s.schema().clone(), s.len()),
+            StateValue::Historical(h) => (h.schema().clone(), h.len()),
+        };
+        let meta = self
+            .planner_meta
+            .entry(ident.to_string())
+            .or_insert_with(RelMeta::fresh);
+        meta.card = card;
+        if let Some(prev) = &meta.schema {
+            if *prev != schema {
+                meta.stable = false;
+            }
+        }
+        meta.schema = Some(schema);
+    }
+
+    /// The optimization level `eval` runs at (see [`Engine::set_optimize`]).
+    pub fn optimize_level(&self) -> u8 {
+        self.optimize
+    }
+
+    /// Sets the optimization level: 0 evaluates expressions as written,
+    /// 1 applies the error-preserving pushdown rules (the default), 2
+    /// runs the cost-based plan search (`txtime --optimize`, REPL
+    /// `\optimize`, `TXTIME_OPTIMIZE`). Values above 2 clamp to 2.
+    pub fn set_optimize(&mut self, level: u8) {
+        self.optimize = level.min(2);
+        let mut planner = self.planner.lock().unwrap_or_else(|e| e.into_inner());
+        planner.at_tx = None; // force a refresh on the next plan
+    }
+
+    /// Lifetime optimizer counters — `txtime stats` and the REPL's
+    /// `\optimize` read this.
+    pub fn optimizer_stats(&self) -> OptimizerStats {
+        let planner = self.planner.lock().unwrap_or_else(|e| e.into_inner());
+        OptimizerStats {
+            level: self.optimize,
+            searches: planner.searches,
+            plan_cache_hits: planner.cache_hits,
+            totals: planner.totals,
+        }
+    }
+
+    /// The plan `eval` would run for `expr` at the current level, fully
+    /// rendered: the plan tree with per-node row/cost estimates, the
+    /// cost summary, and the rewrite trace (`txtime explain`, REPL
+    /// `\plan`).
+    pub fn explain(&self, expr: &Expr) -> String {
+        let mut planner = self.planner.lock().unwrap_or_else(|e| e.into_inner());
+        self.refresh_planner(&mut planner);
+        let report = match self.optimize {
+            2 => txtime_optimizer::search(expr, &planner.catalog, &planner.model),
+            level => {
+                // Levels 0/1 don't search; report the plan they run.
+                let plan = if level == 0 {
+                    expr.clone()
+                } else {
+                    pushdown(expr)
+                };
+                PlanReport {
+                    cost: txtime_optimizer::estimate_cost(&plan, &planner.model),
+                    rows: txtime_optimizer::estimate_rows(&plan, &planner.model),
+                    original_cost: txtime_optimizer::estimate_cost(expr, &planner.model),
+                    plan,
+                    trace: Default::default(),
+                    stats: SearchStats::default(),
+                }
+            }
+        };
+        txtime_optimizer::render_explain(self.optimize, expr, &report, &planner.model)
     }
 
     /// Resolves a batch of rollback probes — `(relation, tx)` pairs —
@@ -594,6 +824,7 @@ impl Engine {
                         rel_span,
                     },
                 );
+                self.planner_meta.insert(ident.clone(), RelMeta::fresh());
                 self.tx = self.tx.next();
                 Ok(CommandOutcome::Defined)
             }
@@ -636,6 +867,7 @@ impl Engine {
                     }
                 };
                 self.tx = next;
+                self.note_state_meta(ident, &state);
                 // O(1) enqueue: the memo diffs and propagates the whole
                 // span of queued writes once, on its next read.
                 self.memo
@@ -653,6 +885,7 @@ impl Engine {
                     self.cache.purge_relation(id);
                 }
                 self.memo.purge_relation(ident);
+                self.planner_meta.remove(ident);
                 self.tx = self.tx.next();
                 Ok(CommandOutcome::Deleted)
             }
@@ -670,6 +903,7 @@ impl Engine {
                     }
                 };
                 let next = self.tx.next();
+                self.note_state_meta(ident, &new_state);
                 let rel = self.catalog.get_mut(ident).expect("checked above");
                 debug_assert_eq!(rel.rtype, rtype);
                 match &mut rel.keeper {

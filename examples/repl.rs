@@ -11,8 +11,12 @@
 //! displayed more than once are registered automatically; later
 //! modifications update their cached answers by delta propagation),
 //! `\shards` shows each relation's shard layout and compaction counters,
-//! and `\lint` replays every warning the session's lint pass has issued.
-//! Lint warnings print as commands execute but never block them.
+//! `\optimize` shows (and `\optimize N` sets) the optimization level
+//! with the planner's counters, `\plan expr` prints the plan the engine
+//! would run for an expression — cost/cardinality estimates per node
+//! and the rewrites that produced it — and `\lint` replays every
+//! warning the session's lint pass has issued. Lint warnings print as
+//! commands execute but never block them.
 //!
 //! ```text
 //! txtime> define_relation(emp, rollback);
@@ -25,7 +29,7 @@ use std::io::{BufRead, Write};
 
 use txtime::analyze::Linter;
 use txtime::core::{CommandOutcome, Expr, TxSpec};
-use txtime::parser::parse_command_spanned;
+use txtime::parser::{parse_command_spanned, parse_expr};
 use txtime::storage::{BackendKind, CheckpointPolicy, Engine};
 
 fn main() {
@@ -43,7 +47,7 @@ fn main() {
     let mut buffer = String::new();
 
     println!(
-        "txtime REPL — commands end with ';'. \\q quits, \\catalog lists relations, \\memo shows view-memo counters, \\shards shows shard/compaction layout, \\lint lists this session's warnings."
+        "txtime REPL — commands end with ';'. \\q quits, \\catalog lists relations, \\memo shows view-memo counters, \\shards shows shard/compaction layout, \\optimize [N] shows/sets the plan level, \\plan EXPR explains a query, \\lint lists this session's warnings."
     );
     print_prompt(&buffer);
     for line in stdin.lock().lines() {
@@ -92,6 +96,38 @@ fn main() {
                     }
                     for w in linter.warnings() {
                         println!("  {w}");
+                    }
+                    print_prompt(&buffer);
+                    continue;
+                }
+                _ if trimmed.starts_with("\\optimize") => {
+                    let arg = trimmed.trim_start_matches("\\optimize").trim();
+                    if arg.is_empty() {
+                        print!("{}", engine.optimizer_stats());
+                    } else {
+                        match arg.parse::<u8>() {
+                            Ok(n) if n <= 2 => {
+                                engine.set_optimize(n);
+                                println!("  optimize level set to {}", engine.optimize_level());
+                            }
+                            _ => println!(
+                                "  \\optimize takes 0 (as written), 1 (pushdown), or 2 (cost-based search)"
+                            ),
+                        }
+                    }
+                    print_prompt(&buffer);
+                    continue;
+                }
+                _ if trimmed.starts_with("\\plan") => {
+                    let text = trimmed.trim_start_matches("\\plan").trim();
+                    let text = text.trim_end_matches(';');
+                    if text.is_empty() {
+                        println!("  usage: \\plan EXPR");
+                    } else {
+                        match parse_expr(text) {
+                            Ok(e) => println!("{}", engine.explain(&e)),
+                            Err(e) => println!("parse error: {e}"),
+                        }
                     }
                     print_prompt(&buffer);
                     continue;

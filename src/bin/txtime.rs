@@ -14,6 +14,8 @@
 //! txtime stats script.txq --threads 4         # size the query worker pool
 //! txtime stats script.txq --shards 4          # shard each relation's store 4 ways
 //! txtime compact script.txq --every 8         # execute, then fold delta chains
+//! txtime explain script.txq                   # print chosen plans for displays
+//! txtime explain script.txq --optimize 2      # ...under cost-based plan search
 //! ```
 //!
 //! `run` and `check` both start by parsing and statically checking the
@@ -26,7 +28,7 @@
 use std::process::ExitCode;
 
 use txtime::analyze::{lint_sentence, Diagnostic, Warning};
-use txtime::core::{CommandOutcome, Sentence, SentenceSpans};
+use txtime::core::{Command, CommandOutcome, Sentence, SentenceSpans};
 use txtime::parser::parse_sentence_spanned;
 use txtime::storage::{
     check_equivalence, recovery::recover, BackendKind, CheckpointPolicy, Engine,
@@ -40,8 +42,9 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "check" => check(rest),
         Some((cmd, rest)) if cmd == "stats" => stats(rest),
         Some((cmd, rest)) if cmd == "compact" => compact(rest),
+        Some((cmd, rest)) if cmd == "explain" => explain(rest),
         _ => {
-            eprintln!("usage: txtime <run|recover|check|stats|compact> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--threads N] [--shards K] [--every N] [--no-check] [--lint] [--deny-warnings]");
+            eprintln!("usage: txtime <run|recover|check|stats|compact|explain> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--threads N] [--shards K] [--every N] [--optimize L] [--no-check] [--lint] [--deny-warnings]");
             eprintln!("backends: full-copy (default), fwd-delta, rev-delta, tuple-ts");
             ExitCode::FAILURE
         }
@@ -67,6 +70,9 @@ struct Options {
     /// Fold interval for `txtime compact`; `None` defers to the
     /// checkpoint policy's own interval.
     every: Option<usize>,
+    /// Optimization level 0/1/2; `None` defers to the engine's default
+    /// (`TXTIME_OPTIMIZE`, else 1 = pushdown).
+    optimize: Option<u8>,
 }
 
 fn parse_options(rest: &[String]) -> Result<Options, String> {
@@ -80,6 +86,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
     let mut threads = None;
     let mut shards = None;
     let mut every = None;
+    let mut optimize = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -103,6 +110,19 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
                     return Err("--every must be at least 1".to_string());
                 }
                 every = Some(n);
+            }
+            "--optimize" => {
+                let v = it.next().ok_or("--optimize needs a value")?;
+                let n: u8 = v
+                    .parse()
+                    .map_err(|_| format!("invalid optimization level {v:?}"))?;
+                if n > 2 {
+                    return Err(
+                        "--optimize takes 0 (as written), 1 (pushdown), or 2 (cost-based search)"
+                            .to_string(),
+                    );
+                }
+                optimize = Some(n);
             }
             "--lint" => lint = true,
             "--deny-warnings" => {
@@ -153,7 +173,21 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         threads,
         shards,
         every,
+        optimize,
     })
+}
+
+/// Applies the `--threads`/`--shards`/`--optimize` tuning flags.
+fn tune(engine: &mut Engine, opts: &Options) {
+    if let Some(n) = opts.threads {
+        engine.set_threads(n);
+    }
+    if let Some(k) = opts.shards {
+        engine.set_shards(k);
+    }
+    if let Some(l) = opts.optimize {
+        engine.set_optimize(l);
+    }
 }
 
 /// Parses the script with spans and runs the static checker (plus, when
@@ -255,12 +289,7 @@ fn run(rest: &[String]) -> ExitCode {
         },
         None => Engine::new(opts.backend, opts.checkpoint),
     };
-    if let Some(n) = opts.threads {
-        engine.set_threads(n);
-    }
-    if let Some(k) = opts.shards {
-        engine.set_shards(k);
-    }
+    tune(&mut engine, &opts);
     match engine.execute_script(&source) {
         Ok(outcomes) => {
             for o in &outcomes {
@@ -336,12 +365,7 @@ fn stats(rest: &[String]) -> ExitCode {
         }
     };
     let mut engine = Engine::new(opts.backend, opts.checkpoint);
-    if let Some(n) = opts.threads {
-        engine.set_threads(n);
-    }
-    if let Some(k) = opts.shards {
-        engine.set_shards(k);
-    }
+    tune(&mut engine, &opts);
     if let Err(e) = engine.execute_script(&source) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
@@ -351,6 +375,10 @@ fn stats(rest: &[String]) -> ExitCode {
     // Per-operator wall time and chunk counts from the worker pool (the
     // header echoes the thread budget the run used).
     print!("{}", engine.exec_stats());
+    // The optimizer's counters: level, plan searches vs. plan-cache
+    // hits, and the summed search work (plans enumerated, groups
+    // memoized, rewrites fired).
+    print!("{}", engine.optimizer_stats());
     // The view memo's counters, the hash-consed expression DAG behind
     // it, and the per-relation string pools inside the delta backends.
     print!("{}", engine.memo_stats());
@@ -386,12 +414,7 @@ fn compact(rest: &[String]) -> ExitCode {
         }
     };
     let mut engine = Engine::new(opts.backend, opts.checkpoint);
-    if let Some(n) = opts.threads {
-        engine.set_threads(n);
-    }
-    if let Some(k) = opts.shards {
-        engine.set_shards(k);
-    }
+    tune(&mut engine, &opts);
     if let Err(e) = engine.execute_script(&source) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
@@ -407,6 +430,78 @@ fn compact(rest: &[String]) -> ExitCode {
     for (name, report) in engine.shard_reports() {
         print!("shards: {name}: {report}");
     }
+    ExitCode::SUCCESS
+}
+
+/// Executes the script's mutations, but for each `display` prints the
+/// plan the engine would run — the chosen tree annotated with per-node
+/// cardinality/cost estimates and the rewrites that produced it —
+/// instead of the evaluated state. Honors `--no-check`, `--lint`, and
+/// `--deny-warnings` exactly as `run` does.
+fn explain(rest: &[String]) -> ExitCode {
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let sentence = if opts.no_check {
+        match parse_sentence_spanned(&source) {
+            Ok((s, _)) => s,
+            Err(e) => {
+                eprintln!("parse error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match parse_and_check(&source, &opts.file, opts.lint || opts.deny_warnings) {
+            Some((s, _, true, warnings)) => {
+                if warnings > 0 && opts.deny_warnings {
+                    eprintln!("error: {warnings} lint warning(s) denied by --deny-warnings");
+                    return ExitCode::FAILURE;
+                }
+                s
+            }
+            Some((_, _, false, _)) => {
+                eprintln!("error: static check failed (rerun with --no-check to force)");
+                return ExitCode::FAILURE;
+            }
+            None => return ExitCode::FAILURE,
+        }
+    };
+    let mut engine = Engine::new(opts.backend, opts.checkpoint);
+    tune(&mut engine, &opts);
+    let mut shown = 0;
+    for cmd in sentence.commands() {
+        match cmd {
+            Command::Display(e) => {
+                if shown > 0 {
+                    println!();
+                }
+                println!("{}", engine.explain(e));
+                shown += 1;
+            }
+            other => {
+                if let Err(e) = engine.execute(other) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    eprintln!(
+        "ok: {} plan(s) explained at optimize level {}",
+        shown,
+        engine.optimize_level()
+    );
     ExitCode::SUCCESS
 }
 

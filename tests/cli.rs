@@ -306,3 +306,122 @@ fn stats_reports_memo_and_interner_pools() {
     assert!(stdout.contains("strings"), "stdout: {stdout}");
     let _ = std::fs::remove_file(&script);
 }
+
+/// A product-heavy script: the shape the cost-based searcher rewrites
+/// into a filtered join (conjuncts split across the product's operands).
+const PRODUCT: &str = r#"
+    define_relation(emp, rollback);
+    modify_state(emp, {(name: str, sal: int): ("alice", 50), ("bob", 70)});
+    define_relation(dept, rollback);
+    modify_state(dept, {(dno: int): (1), (2)});
+    display(select[sal > 60 and dno < 2](rho(emp, inf) times rho(dept, inf)));
+"#;
+
+#[test]
+fn explain_prints_costed_plan_and_rewrites() {
+    let script = write_script("explain.txq", PRODUCT);
+    let out = txtime(&["explain", script.to_str().unwrap(), "--optimize", "2"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The chosen tree, with per-node cardinality/cost annotations.
+    assert!(
+        stdout.contains("plan (optimize level 2):"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("rho(emp, inf)"), "stdout: {stdout}");
+    assert!(stdout.contains("rows≈"), "stdout: {stdout}");
+    assert!(stdout.contains("cost≈"), "stdout: {stdout}");
+    // The searcher split the conjunction across the product and says so.
+    assert!(
+        stdout.contains("select-through-product"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("estimated rows:"), "stdout: {stdout}");
+    // Plans, not states: the display's tuples are never printed.
+    assert!(!stdout.contains("alice"), "stdout: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("1 plan(s) explained at optimize level 2"),
+        "stderr: {stderr}"
+    );
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn explain_levels_change_the_printed_plan() {
+    let script = write_script("explain-levels.txq", PRODUCT);
+    // Level 0 explains the query exactly as written: σ over ×.
+    let out = txtime(&["explain", script.to_str().unwrap(), "--optimize", "0"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("plan (optimize level 0):"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("rewrites: none (original plan kept)"),
+        "stdout: {stdout}"
+    );
+    // Levels above 2 are rejected up front.
+    let out = txtime(&["explain", script.to_str().unwrap(), "--optimize", "3"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--optimize takes"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn explain_honors_check_and_lint_flags() {
+    // A script that fails the static checker: explain refuses...
+    let script = write_script("explain-bad.txq", "display(rho(ghost, inf));");
+    let out = txtime(&["explain", script.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("static check failed"), "stderr: {stderr}");
+    // ...unless --no-check forces it; the plan is still printable since
+    // explain estimates rather than evaluates.
+    let out = txtime(&["explain", script.to_str().unwrap(), "--no-check"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rho(ghost, inf)"), "stdout: {stdout}");
+    let _ = std::fs::remove_file(&script);
+
+    // Warned scripts explain fine, but --deny-warnings is fatal.
+    let script = write_script("explain-warned.txq", WARNED);
+    let out = txtime(&["explain", script.to_str().unwrap(), "--lint"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning[W001]"), "stderr: {stderr}");
+    let out = txtime(&["explain", script.to_str().unwrap(), "--deny-warnings"]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn stats_reports_optimizer_counters() {
+    let script = write_script("optim-stats.txq", PRODUCT);
+    let out = txtime(&["stats", script.to_str().unwrap(), "--optimize", "2"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("optim: level 2"), "stdout: {stdout}");
+    assert!(stdout.contains("search(es)"), "stdout: {stdout}");
+    assert!(stdout.contains("rewrite(s) fired"), "stdout: {stdout}");
+    // Levels 0/1 keep the line (house style: every subsystem reports).
+    let out = txtime(&["stats", script.to_str().unwrap(), "--optimize", "1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("optim: level 1"), "stdout: {stdout}");
+    let _ = std::fs::remove_file(&script);
+}
