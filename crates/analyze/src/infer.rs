@@ -105,6 +105,18 @@ pub fn infer_expr(
             product_like(facts, StaticKind::Historical, at(spans), diags)
         }
 
+        // A physical equi-join is σ_spec(E₁ × E₂), so its static facts
+        // are the product's (the spec's predicate is validated at
+        // evaluation against the concatenated scheme).
+        Expr::Join(_, a, b) => {
+            let facts = binary_operands(expr, a, b, StaticKind::Snapshot, catalog, spans, diags);
+            product_like(facts, StaticKind::Snapshot, at(spans), diags)
+        }
+        Expr::HJoin(_, a, b) => {
+            let facts = binary_operands(expr, a, b, StaticKind::Historical, catalog, spans, diags);
+            product_like(facts, StaticKind::Historical, at(spans), diags)
+        }
+
         Expr::Project(attrs, e) => {
             let inner = unary_operand(expr, e, StaticKind::Snapshot, catalog, spans, diags);
             project_like(expr, attrs, inner, StaticKind::Snapshot, at(spans), diags)

@@ -26,7 +26,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use txtime_core::{Expr, TxSpec};
+use txtime_core::{Expr, JoinSpec, TxSpec};
 use txtime_historical::{TemporalExpr, TemporalPred};
 use txtime_snapshot::Predicate;
 
@@ -78,6 +78,10 @@ pub enum NodeOp {
     Delta(TemporalPred, TemporalExpr),
     /// `ρ̂(I, N)`
     HRollback(String, TxSpec),
+    /// `join[spec](E₁, E₂)` — the physical equi-join, ≡ `σ_spec(E₁ × E₂)`
+    Join(JoinSpec),
+    /// `hjoin[spec](E₁, E₂)` — the hatted physical equi-join
+    HJoin(JoinSpec),
 }
 
 /// One interned node: its operator, children, and transitive read set.
@@ -212,6 +216,8 @@ fn tag_of(expr: &Expr) -> u8 {
         Expr::HSelect(..) => 12,
         Expr::Delta(..) => 13,
         Expr::HRollback(..) => 14,
+        Expr::Join(..) => 15,
+        Expr::HJoin(..) => 16,
     }
 }
 
@@ -236,6 +242,9 @@ fn payload_of(expr: &Expr) -> String {
             write!(s, "{ident}, {spec}").expect("write to String")
         }
         Expr::Delta(g, v, _) => write!(s, "{g}; {v}").expect("write to String"),
+        Expr::Join(spec, ..) | Expr::HJoin(spec, ..) => {
+            write!(s, "{spec}").expect("write to String")
+        }
     }
     s
 }
@@ -256,6 +265,8 @@ fn op_of(expr: &Expr) -> NodeOp {
         Expr::HSelect(p, _) => NodeOp::HSelect(p.clone()),
         Expr::Delta(g, v, _) => NodeOp::Delta(g.clone(), v.clone()),
         Expr::HRollback(ident, spec) => NodeOp::HRollback(ident.clone(), *spec),
+        Expr::Join(spec, ..) => NodeOp::Join(spec.clone()),
+        Expr::HJoin(spec, ..) => NodeOp::HJoin(spec.clone()),
     }
 }
 

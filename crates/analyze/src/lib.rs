@@ -54,4 +54,6 @@ pub use lint::{
 };
 pub use run::{RunError, SentenceExt};
 pub use schema_infer::{infer_schema, SchemaCatalog};
-pub use stats::{Bound, CardInterval, RelStats, StatsCatalog, ValueRange, VersionStats};
+pub use stats::{
+    Bound, CardInterval, ColumnStats, RelStats, StatsCatalog, ValueRange, VersionStats, MCV_SAMPLE,
+};

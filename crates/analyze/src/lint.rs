@@ -359,6 +359,44 @@ impl ExprPass<'_> {
                 }
             }
 
+            // A physical equi-join is σ_spec(E₁ × E₂): the product's
+            // scheme and ranges (sound for any subset), with the product
+            // cardinality as upper bound and 0 as lower (the keys may
+            // match nothing).
+            Expr::Join(..) | Expr::HJoin(..) => {
+                let fa = self.operand(expr, 0, spans, path);
+                let fb = self.operand(expr, 1, spans, path);
+                for f in [&fa, &fb] {
+                    if f.card.is_provably_empty() {
+                        self.claim(path, ClaimKind::Empty);
+                        self.claimed_empty.insert(id);
+                    }
+                }
+                let prod = if matches!(expr, Expr::Join(..)) {
+                    CardInterval::product_of(fa.card, fb.card)
+                } else {
+                    CardInterval::hproduct_of(fa.card, fb.card)
+                };
+                let card = CardInterval { lo: 0, hi: prod.hi };
+                let schema = match (&fa.schema, &fb.schema) {
+                    (Some(a), Some(b)) => a.product(b).ok(),
+                    _ => None,
+                };
+                let ranges = match (&schema, fa.ranges, fb.ranges) {
+                    (Some(_), Some(mut ra), Some(rb)) => {
+                        ra.extend(rb);
+                        Some(ra)
+                    }
+                    _ => None,
+                };
+                ExprAbstract {
+                    id,
+                    card,
+                    schema,
+                    ranges,
+                }
+            }
+
             Expr::Project(attrs, _) | Expr::HProject(attrs, _) => {
                 let f = self.operand(expr, 0, spans, path);
                 let mut full_scheme = false;

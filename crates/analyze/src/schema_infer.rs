@@ -76,7 +76,7 @@ pub fn infer_schema(expr: &Expr, catalog: &SchemaCatalog) -> Option<Schema> {
             let sb = infer_schema(b, catalog)?;
             (sa == sb).then_some(sa)
         }
-        Expr::Product(a, b) | Expr::HProduct(a, b) => {
+        Expr::Product(a, b) | Expr::HProduct(a, b) | Expr::Join(_, a, b) | Expr::HJoin(_, a, b) => {
             let sa = infer_schema(a, catalog)?;
             let sb = infer_schema(b, catalog)?;
             sa.product(&sb).ok()

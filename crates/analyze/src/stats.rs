@@ -345,6 +345,47 @@ impl ValueRange {
     }
 }
 
+/// Per-attribute statistics beyond value ranges: a distinct count plus a
+/// small most-common-values sample. Value ranges only help equality
+/// selectivity on integer domains (interpolation needs a width); strings
+/// and booleans need these instead — `=`/`≠` selectivity reads the
+/// matched MCV's frequency, or `1/distinct` for values outside the
+/// sample.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnStats {
+    /// Distinct values the attribute takes in the version's state.
+    pub distinct: u64,
+    /// The most common values with the fraction of rows holding each,
+    /// most frequent first. At most [`MCV_SAMPLE`] entries.
+    pub mcvs: Vec<(Value, f64)>,
+}
+
+/// Cap on the most-common-values sample per attribute.
+pub const MCV_SAMPLE: usize = 4;
+
+impl ColumnStats {
+    /// Harvests a column's statistics from its values: exact distinct
+    /// count and the top-[`MCV_SAMPLE`] values by frequency.
+    pub fn from_values<'a>(
+        values: impl IntoIterator<Item = &'a Value>,
+        rows: usize,
+    ) -> ColumnStats {
+        let mut counts: BTreeMap<&Value, usize> = BTreeMap::new();
+        for v in values {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let distinct = counts.len() as u64;
+        let mut by_freq: Vec<(&Value, usize)> = counts.into_iter().collect();
+        by_freq.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        let mcvs = by_freq
+            .into_iter()
+            .take(MCV_SAMPLE)
+            .map(|(v, n)| (v.clone(), n as f64 / rows.max(1) as f64))
+            .collect();
+        ColumnStats { distinct, mcvs }
+    }
+}
+
 /// Statistics for one stored version of a relation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VersionStats {
@@ -356,6 +397,10 @@ pub struct VersionStats {
     /// Per-attribute value ranges, aligned with the version's scheme
     /// (`None` when unknown).
     pub ranges: Option<Vec<ValueRange>>,
+    /// Per-attribute distinct counts and MCV samples, aligned with the
+    /// version's scheme (`None` when unknown — the static linter path
+    /// cannot count, only the engine harvest can).
+    pub columns: Option<Vec<ColumnStats>>,
 }
 
 /// Statistics for one relation: its version statistics plus physical
@@ -408,7 +453,12 @@ impl RelStats {
         if !keeps_history {
             self.versions.clear();
         }
-        self.versions.push(VersionStats { tx, card, ranges });
+        self.versions.push(VersionStats {
+            tx,
+            card,
+            ranges,
+            columns: None,
+        });
     }
 }
 

@@ -61,6 +61,16 @@ pub fn map_leaves(expr: &Expr, f: &impl Fn(&str, TxSpec, bool) -> Expr) -> Expr 
         Expr::HProject(attrs, e) => Expr::HProject(attrs.clone(), Box::new(map_leaves(e, f))),
         Expr::HSelect(p, e) => Expr::HSelect(p.clone(), Box::new(map_leaves(e, f))),
         Expr::Delta(g, v, e) => Expr::Delta(g.clone(), v.clone(), Box::new(map_leaves(e, f))),
+        Expr::Join(spec, a, b) => Expr::Join(
+            spec.clone(),
+            Box::new(map_leaves(a, f)),
+            Box::new(map_leaves(b, f)),
+        ),
+        Expr::HJoin(spec, a, b) => Expr::HJoin(
+            spec.clone(),
+            Box::new(map_leaves(a, f)),
+            Box::new(map_leaves(b, f)),
+        ),
     }
 }
 

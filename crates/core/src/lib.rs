@@ -78,7 +78,7 @@ pub use semantics::database::{Database, DatabaseState};
 pub use semantics::domains::{Relation, RelationType, StateValue, TransactionNumber, Version};
 pub use semantics::expr_eval::{RollbackFilter, StateSource};
 pub use syntax::command::{Command, CommandOutcome};
-pub use syntax::expr::{Expr, TxSpec};
+pub use syntax::expr::{Expr, JoinPhysical, JoinSpec, TxSpec};
 pub use syntax::sentence::Sentence;
 pub use syntax::span::{CommandSpans, ExprSpans, SentenceSpans, Span};
 

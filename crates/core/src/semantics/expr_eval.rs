@@ -285,6 +285,18 @@ impl Expr {
                 Ok(StateValue::Historical(h.delta(g, v)?))
             }
             Expr::HRollback(ident, spec) => db.resolve_rollback(ident, *spec, true),
+
+            Expr::Join(spec, a, b) => {
+                let (l, r) = (a.eval_snapshot(db, "join")?, b.eval_snapshot(db, "join")?);
+                Ok(StateValue::Snapshot(l.equi_join(&r, spec)?))
+            }
+            Expr::HJoin(spec, a, b) => {
+                let (l, r) = (
+                    a.eval_historical(db, "hjoin")?,
+                    b.eval_historical(db, "hjoin")?,
+                );
+                Ok(StateValue::Historical(l.hequi_join(&r, spec)?))
+            }
         }
     }
 
@@ -440,6 +452,23 @@ impl Expr {
                 Ok(StateValue::Historical(h.delta(g, v)?))
             }
             Expr::HRollback(ident, spec) => db.resolve_rollback(ident, *spec, true),
+
+            Expr::Join(spec, a, b) => {
+                let (l, r) = pool.join(
+                    OpKind::Subtree,
+                    || a.eval_snapshot_pool(db, pool, "join"),
+                    || b.eval_snapshot_pool(db, pool, "join"),
+                );
+                Ok(StateValue::Snapshot(l?.equi_join_par(&r?, spec, pool)?))
+            }
+            Expr::HJoin(spec, a, b) => {
+                let (l, r) = pool.join(
+                    OpKind::Subtree,
+                    || a.eval_historical_pool(db, pool, "hjoin"),
+                    || b.eval_historical_pool(db, pool, "hjoin"),
+                );
+                Ok(StateValue::Historical(l?.hequi_join_par(&r?, spec, pool)?))
+            }
         }
     }
 

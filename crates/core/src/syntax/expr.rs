@@ -15,6 +15,8 @@ use std::fmt;
 use txtime_historical::{HistoricalState, TemporalExpr, TemporalPred};
 use txtime_snapshot::{Predicate, SnapshotState};
 
+pub use txtime_snapshot::{JoinPhysical, JoinSpec};
+
 use crate::semantics::domains::TransactionNumber;
 
 /// The NUMERAL argument of a rollback operator: a transaction number or
@@ -79,6 +81,12 @@ pub enum Expr {
     Delta(TemporalPred, TemporalExpr, Box<Expr>),
     /// `ρ̂(I, N)` — the historical rollback operator.
     HRollback(String, TxSpec),
+    /// A physical equi-join, observationally `σ_spec(E₁ × E₂)`.
+    /// Emitted only by the plan search, never by the parser.
+    Join(JoinSpec, Box<Expr>, Box<Expr>),
+    /// The hatted physical equi-join, observationally `σ̂_spec(E₁ ×̂ E₂)`:
+    /// equi-keys match and transaction-time elements intersect.
+    HJoin(JoinSpec, Box<Expr>, Box<Expr>),
 }
 
 impl Expr {
@@ -167,6 +175,24 @@ impl Expr {
         Expr::HRollback(ident.into(), TxSpec::Current)
     }
 
+    /// `join[spec](self, other)`
+    pub fn join(self, spec: JoinSpec, other: Expr) -> Expr {
+        Expr::Join(spec, Box::new(self), Box::new(other))
+    }
+
+    /// `hjoin[spec](self, other)`
+    pub fn hjoin(self, spec: JoinSpec, other: Expr) -> Expr {
+        Expr::HJoin(spec, Box::new(self), Box::new(other))
+    }
+
+    /// Whether any node in the tree is a physical join. Engines route
+    /// join-bearing plans through the pool-scheduled evaluator so the
+    /// join counters are recorded even with a one-thread pool.
+    pub fn contains_join(&self) -> bool {
+        matches!(self, Expr::Join(..) | Expr::HJoin(..))
+            || self.operands().iter().any(|e| e.contains_join())
+    }
+
     /// Whether this expression produces an historical (vs snapshot)
     /// state. Purely syntactic: the outermost operator decides.
     pub fn is_historical(&self) -> bool {
@@ -180,6 +206,7 @@ impl Expr {
                 | Expr::HSelect(..)
                 | Expr::Delta(..)
                 | Expr::HRollback(..)
+                | Expr::HJoin(..)
         )
     }
 
@@ -205,7 +232,9 @@ impl Expr {
             | Expr::Product(a, b)
             | Expr::HUnion(a, b)
             | Expr::HDifference(a, b)
-            | Expr::HProduct(a, b) => {
+            | Expr::HProduct(a, b)
+            | Expr::Join(_, a, b)
+            | Expr::HJoin(_, a, b) => {
                 a.collect_reads(out);
                 b.collect_reads(out);
             }
@@ -239,7 +268,9 @@ impl Expr {
             | Expr::Product(a, b)
             | Expr::HUnion(a, b)
             | Expr::HDifference(a, b)
-            | Expr::HProduct(a, b) => {
+            | Expr::HProduct(a, b)
+            | Expr::Join(_, a, b)
+            | Expr::HJoin(_, a, b) => {
                 a.collect_spec_reads(out);
                 b.collect_spec_reads(out);
             }
@@ -266,7 +297,9 @@ impl Expr {
             | Expr::Product(a, b)
             | Expr::HUnion(a, b)
             | Expr::HDifference(a, b)
-            | Expr::HProduct(a, b) => vec![a, b],
+            | Expr::HProduct(a, b)
+            | Expr::Join(_, a, b)
+            | Expr::HJoin(_, a, b) => vec![a, b],
             Expr::Project(_, e)
             | Expr::Select(_, e)
             | Expr::HProject(_, e)
@@ -294,6 +327,8 @@ impl Expr {
             Expr::HSelect(..) => "hselect",
             Expr::Delta(..) => "delta",
             Expr::HRollback(..) => "hrho",
+            Expr::Join(..) => "join",
+            Expr::HJoin(..) => "hjoin",
         }
     }
 
@@ -310,7 +345,9 @@ impl Expr {
             | Expr::Product(a, b)
             | Expr::HUnion(a, b)
             | Expr::HDifference(a, b)
-            | Expr::HProduct(a, b) => 1 + a.node_count() + b.node_count(),
+            | Expr::HProduct(a, b)
+            | Expr::Join(_, a, b)
+            | Expr::HJoin(_, a, b) => 1 + a.node_count() + b.node_count(),
             Expr::Project(_, e)
             | Expr::Select(_, e)
             | Expr::HProject(_, e)
@@ -338,6 +375,8 @@ impl fmt::Display for Expr {
             Expr::HSelect(p, e) => write!(f, "hselect[{p}]({e})"),
             Expr::Delta(g, v, e) => write!(f, "delta[{g}; {v}]({e})"),
             Expr::HRollback(i, n) => write!(f, "hrho({i}, {n})"),
+            Expr::Join(spec, a, b) => write!(f, "join[{spec}]({a}, {b})"),
+            Expr::HJoin(spec, a, b) => write!(f, "hjoin[{spec}]({a}, {b})"),
         }
     }
 }

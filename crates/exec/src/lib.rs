@@ -74,19 +74,26 @@ pub enum OpKind {
     /// Cost-based plan search (`Engine::eval` at optimize level 2);
     /// recorded externally, chunks count the plans enumerated.
     Optimize,
+    /// Snapshot physical equi-join (hash or merge); chunks count probe
+    /// partitions.
+    Join,
+    /// Historical physical equi-join.
+    HJoin,
 }
 
 impl OpKind {
     /// Every operator kind, in display order.
-    pub const ALL: [OpKind; 16] = [
+    pub const ALL: [OpKind; 18] = [
         OpKind::Select,
         OpKind::Project,
         OpKind::Product,
+        OpKind::Join,
         OpKind::Union,
         OpKind::Difference,
         OpKind::HSelect,
         OpKind::HProject,
         OpKind::HProduct,
+        OpKind::HJoin,
         OpKind::HUnion,
         OpKind::HDifference,
         OpKind::Subtree,
@@ -116,6 +123,8 @@ impl OpKind {
             OpKind::Shard => "shard",
             OpKind::Compact => "compact",
             OpKind::Optimize => "optimize",
+            OpKind::Join => "join",
+            OpKind::HJoin => "hjoin",
         }
     }
 
@@ -139,6 +148,8 @@ impl OpKind {
             // One left item fans out over the whole right operand: the
             // grain is sized in output pairs, not input items.
             OpKind::Product | OpKind::HProduct => 4096,
+            // Per probe tuple: one hash lookup plus its matches.
+            OpKind::Join | OpKind::HJoin => 512,
             // Units are whole subtrees / rollback targets / memoized
             // views / shards / chains.
             OpKind::Subtree
@@ -220,6 +231,32 @@ impl std::fmt::Display for ExecStats {
     }
 }
 
+/// Accumulated physical-join gauges, beyond the generic per-operator
+/// call/chunk/time counters: how much was built, probed, and partitioned.
+/// Surfaced by `txtime stats` so join regressions are observable without
+/// a profiler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Join kernel invocations (snapshot and historical).
+    pub joins: u64,
+    /// Total build-side rows across all joins.
+    pub build_rows: u64,
+    /// Total probe-side rows across all joins.
+    pub probe_rows: u64,
+    /// Total probe partitions (chunks) scheduled.
+    pub partitions: u64,
+}
+
+impl std::fmt::Display for JoinStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "joins: {} ({} build rows, {} probe rows, {} partitions)",
+            self.joins, self.build_rows, self.probe_rows, self.partitions
+        )
+    }
+}
+
 /// A scoped worker pool with a fixed thread budget.
 ///
 /// The pool holds no threads while idle: each partition/merge call opens a
@@ -233,6 +270,7 @@ pub struct ExecPool {
     /// nested subtree parallelism to the thread budget.
     in_flight: AtomicUsize,
     counters: [OpCounters; OpKind::ALL.len()],
+    join_counters: [AtomicU64; 4],
 }
 
 impl std::fmt::Debug for ExecPool {
@@ -254,6 +292,7 @@ impl ExecPool {
             threads: threads.max(1),
             in_flight: AtomicUsize::new(0),
             counters: std::array::from_fn(|_| OpCounters::default()),
+            join_counters: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -385,6 +424,25 @@ impl ExecPool {
         self.record(op, chunks, elapsed.as_nanos() as u64);
     }
 
+    /// Accounts one physical-join invocation's build/probe/partition
+    /// volumes (the join kernels call this once per join).
+    pub fn note_join(&self, build_rows: u64, probe_rows: u64, partitions: u64) {
+        self.join_counters[0].fetch_add(1, Ordering::Relaxed);
+        self.join_counters[1].fetch_add(build_rows, Ordering::Relaxed);
+        self.join_counters[2].fetch_add(probe_rows, Ordering::Relaxed);
+        self.join_counters[3].fetch_add(partitions, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the physical-join gauges.
+    pub fn join_stats(&self) -> JoinStats {
+        JoinStats {
+            joins: self.join_counters[0].load(Ordering::Relaxed),
+            build_rows: self.join_counters[1].load(Ordering::Relaxed),
+            probe_rows: self.join_counters[2].load(Ordering::Relaxed),
+            partitions: self.join_counters[3].load(Ordering::Relaxed),
+        }
+    }
+
     /// A snapshot of the per-operator counters.
     pub fn stats(&self) -> ExecStats {
         ExecStats {
@@ -410,6 +468,9 @@ impl ExecPool {
             c.calls.store(0, Ordering::Relaxed);
             c.chunks.store(0, Ordering::Relaxed);
             c.nanos.store(0, Ordering::Relaxed);
+        }
+        for c in &self.join_counters {
+            c.store(0, Ordering::Relaxed);
         }
     }
 }

@@ -15,6 +15,7 @@ pub mod delta;
 pub mod derived;
 pub mod difference;
 pub(crate) mod hmerge;
+pub mod join;
 pub mod par;
 pub mod product;
 pub mod project;

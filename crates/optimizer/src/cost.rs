@@ -32,6 +32,12 @@ pub struct CostModel {
     /// the relations that expose the attribute. Sound for selectivity
     /// because a hull only widens the denominator.
     attr_ranges: BTreeMap<String, ValueRange>,
+    /// Distinct-value count per attribute name (max across relations —
+    /// the widest denominator keeps equality selectivity conservative).
+    attr_distincts: BTreeMap<String, f64>,
+    /// Most-common-values sample per attribute: `(value, frequency)`
+    /// pairs, most frequent first.
+    attr_mcvs: BTreeMap<String, Vec<(Value, f64)>>,
     /// Cardinality assumed for relations without statistics.
     pub default_cardinality: f64,
     /// Selectivity assumed per selection predicate conjunct.
@@ -43,6 +49,8 @@ impl Default for CostModel {
         CostModel {
             cardinalities: BTreeMap::new(),
             attr_ranges: BTreeMap::new(),
+            attr_distincts: BTreeMap::new(),
+            attr_mcvs: BTreeMap::new(),
             default_cardinality: 100.0,
             selectivity: 0.5,
         }
@@ -93,6 +101,19 @@ impl CostModel {
             for (i, range) in ranges.iter().enumerate() {
                 model.note_attr_range(schema.attribute(i).name.to_string(), range.clone());
             }
+            let Some(columns) = rel.current().and_then(|v| v.columns.as_ref()) else {
+                continue;
+            };
+            if columns.len() != schema.arity() {
+                continue;
+            }
+            for (i, col) in columns.iter().enumerate() {
+                let name = schema.attribute(i).name.to_string();
+                model.note_attr_distinct(name.clone(), col.distinct as f64);
+                if !col.mcvs.is_empty() {
+                    model.note_attr_mcvs(name, col.mcvs.clone());
+                }
+            }
         }
         model
     }
@@ -109,6 +130,22 @@ impl CostModel {
             .entry(attr.into())
             .and_modify(|r| *r = r.join(&range))
             .or_insert(range);
+    }
+
+    /// Records an attribute's distinct-value count; a repeated name
+    /// keeps the larger count (conservative: a wider denominator gives
+    /// the smaller, safer equality selectivity).
+    pub fn note_attr_distinct(&mut self, attr: impl Into<String>, count: f64) {
+        self.attr_distincts
+            .entry(attr.into())
+            .and_modify(|c| *c = c.max(count))
+            .or_insert(count);
+    }
+
+    /// Records an attribute's most-common-values sample (first writer
+    /// wins across relations sharing a name).
+    pub fn note_attr_mcvs(&mut self, attr: impl Into<String>, mcvs: Vec<(Value, f64)>) {
+        self.attr_mcvs.entry(attr.into()).or_insert(mcvs);
     }
 
     fn cardinality(&self, relation: &str) -> f64 {
@@ -168,15 +205,34 @@ impl CostModel {
                     _ => self.selectivity,
                 };
             }
-            // attr-attr joins: the generic constant.
-            _ => return self.selectivity,
+            // attr-attr comparisons: equality keys get the classical
+            // 1/max(d_l, d_r) from distinct counts — the estimate the
+            // join costing rides on.
+            (Operand::Attr(a), Operand::Attr(b)) => {
+                let (da, db) = (
+                    self.attr_distincts.get(a.as_ref()),
+                    self.attr_distincts.get(b.as_ref()),
+                );
+                let (Some(&da), Some(&db)) = (da, db) else {
+                    return self.selectivity;
+                };
+                let eq = 1.0 / da.max(db).max(1.0);
+                return match op {
+                    CompOp::Eq => eq,
+                    CompOp::Ne => 1.0 - eq,
+                    _ => self.selectivity,
+                };
+            }
         };
         let bounds = self
             .attr_ranges
             .get(attr.as_ref())
             .and_then(|r| r.int_bounds());
         let (Some((lo, hi)), Value::Int(c)) = (bounds, value) else {
-            return self.selectivity;
+            // No usable integer range (string/boolean/real domains, or
+            // no statistics): equality estimates come from the MCV
+            // sample and the distinct count instead of the fixed guess.
+            return self.eq_selectivity_from_columns(attr.as_ref(), op, value);
         };
         // All arithmetic in f64: extreme i64 endpoints must not wrap.
         let (lo, hi, c): (f64, f64, f64) = (lo as f64, hi as f64, *c as f64);
@@ -194,6 +250,38 @@ impl CostModel {
             CompOp::Ge => (hi - c + 1.0) / width,
         };
         frac.clamp(0.0, 1.0)
+    }
+
+    /// `=`/`≠` selectivity for `attr ⊙ const` on domains the integer
+    /// range interpolation cannot serve. A constant found in the MCV
+    /// sample answers with its observed frequency; otherwise the
+    /// remaining mass spreads evenly over the non-MCV distinct values.
+    fn eq_selectivity_from_columns(&self, attr: &str, op: CompOp, value: &Value) -> f64 {
+        if !matches!(op, CompOp::Eq | CompOp::Ne) {
+            return self.selectivity;
+        }
+        let mcvs = self.attr_mcvs.get(attr).map(Vec::as_slice).unwrap_or(&[]);
+        let eq = if let Some((_, freq)) = mcvs.iter().find(|(v, _)| v == value) {
+            *freq
+        } else if let Some(&distinct) = self.attr_distincts.get(attr) {
+            let covered: f64 = mcvs.iter().map(|(_, f)| f).sum();
+            let rest = (distinct - mcvs.len() as f64).max(1.0);
+            ((1.0 - covered).max(0.0) / rest).clamp(0.0, 1.0)
+        } else {
+            return self.selectivity;
+        };
+        match op {
+            CompOp::Eq => eq,
+            _ => 1.0 - eq,
+        }
+    }
+
+    /// The work of one physical equi-join beyond its children: scan the
+    /// build side once, probe with every left row, and materialize the
+    /// output. Linear in its inputs — the whole point over the
+    /// `|A| × |B|` product node it replaces.
+    pub fn join_cost(&self, left_rows: f64, right_rows: f64, out_rows: f64) -> f64 {
+        sanitize_rows(left_rows + right_rows + out_rows)
     }
 }
 
@@ -238,6 +326,11 @@ pub fn estimate_rows(expr: &Expr, model: &CostModel) -> f64 {
             estimate_rows(e, model) * model.predicate_selectivity(p)
         }
         Expr::Delta(_, _, e) => estimate_rows(e, model) * model.selectivity,
+        Expr::Join(spec, a, b) | Expr::HJoin(spec, a, b) => {
+            estimate_rows(a, model)
+                * estimate_rows(b, model)
+                * model.predicate_selectivity(&spec.as_predicate())
+        }
     };
     sanitize_rows(rows)
 }
@@ -263,8 +356,18 @@ pub fn delta_beats_reeval(delta_changes: usize, recompute_rows: usize) -> bool {
 
 /// Estimated total work of evaluating an expression: the sum of every
 /// node's output cardinality (each intermediate state must be
-/// materialized in the paper's semantics).
+/// materialized in the paper's semantics). A join node's own work is
+/// [`CostModel::join_cost`] — linear in its inputs plus its output,
+/// where the product it replaces pays the full `|A| × |B|`.
 pub fn estimate_cost(expr: &Expr, model: &CostModel) -> f64 {
+    if let Expr::Join(_, a, b) | Expr::HJoin(_, a, b) = expr {
+        let own = model.join_cost(
+            estimate_rows(a, model),
+            estimate_rows(b, model),
+            estimate_rows(expr, model),
+        );
+        return sanitize_rows(own + estimate_cost(a, model) + estimate_cost(b, model));
+    }
     let own = estimate_rows(expr, model);
     let children = match expr {
         Expr::SnapshotConst(_)
@@ -282,6 +385,7 @@ pub fn estimate_cost(expr: &Expr, model: &CostModel) -> f64 {
         | Expr::HProject(_, e)
         | Expr::HSelect(_, e)
         | Expr::Delta(_, _, e) => estimate_cost(e, model),
+        Expr::Join(..) | Expr::HJoin(..) => unreachable!("handled above"),
     };
     sanitize_rows(own + children)
 }
@@ -474,5 +578,73 @@ mod tests {
         assert_eq!(sanitize_rows(f64::NEG_INFINITY), 0.0);
         assert_eq!(sanitize_rows(-1.0), 0.0);
         assert_eq!(sanitize_rows(42.0), 42.0);
+    }
+
+    #[test]
+    fn distinct_counts_drive_attr_attr_equality() {
+        let mut m = CostModel::new();
+        m.note_attr_distinct("a", 20.0);
+        m.note_attr_distinct("b", 50.0);
+        let eq = m.predicate_selectivity(&Predicate::eq_attrs("a", "b"));
+        // 1 / max(distinct) — the System-R join-key estimate.
+        assert!((eq - 0.02).abs() < 1e-9, "{eq}");
+        let ne = m.predicate_selectivity(&Predicate::Comp(
+            Operand::attr("a"),
+            CompOp::Ne,
+            Operand::attr("b"),
+        ));
+        assert!((ne - 0.98).abs() < 1e-9, "{ne}");
+        // Without distincts the generic constant still answers.
+        let unknown = m.predicate_selectivity(&Predicate::eq_attrs("x", "y"));
+        assert_eq!(unknown, m.selectivity);
+    }
+
+    #[test]
+    fn mcv_sample_answers_string_equality() {
+        let mut m = CostModel::new();
+        m.note_attr_distinct("city", 10.0);
+        m.note_attr_mcvs(
+            "city",
+            vec![(Value::str("oslo"), 0.5), (Value::str("bergen"), 0.25)],
+        );
+        // An MCV hit answers with its observed frequency.
+        let s = m.predicate_selectivity(&Predicate::eq_const("city", Value::str("oslo")));
+        assert!((s - 0.5).abs() < 1e-9, "{s}");
+        // A miss spreads the uncovered mass over the remaining distincts:
+        // (1 - 0.75) / (10 - 2) = 0.03125.
+        let s = m.predicate_selectivity(&Predicate::eq_const("city", Value::str("tromso")));
+        assert!((s - 0.03125).abs() < 1e-9, "{s}");
+        // ≠ is the complement of the = estimate.
+        let s = m.predicate_selectivity(&Predicate::Comp(
+            Operand::attr("city"),
+            CompOp::Ne,
+            Operand::Const(Value::str("oslo")),
+        ));
+        assert!((s - 0.5).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn join_estimate_beats_product_select() {
+        use txtime_core::{JoinPhysical, JoinSpec};
+        let m = {
+            let mut m = model();
+            m.note_attr_distinct("sal", 100.0);
+            m.note_attr_distinct("dno", 25.0);
+            m
+        };
+        let spec = JoinSpec {
+            keys: vec![("sal".into(), "dno".into())],
+            residual: Predicate::True,
+            physical: JoinPhysical::Hash,
+        };
+        let join = Expr::current("emp").join(spec, Expr::current("dept"));
+        let product = Expr::current("emp")
+            .product(Expr::current("dept"))
+            .select(Predicate::eq_attrs("sal", "dno"));
+        // Same output estimate (both are σ_k(×) semantically)…
+        assert_eq!(estimate_rows(&join, &m), estimate_rows(&product, &m));
+        // …but the join pays build + probe + output, not |A|·|B|.
+        assert!(estimate_cost(&join, &m) < estimate_cost(&product, &m));
+        assert_eq!(m.join_cost(1000.0, 50.0, 500.0), 1550.0);
     }
 }

@@ -236,6 +236,29 @@ pub fn all_laws() -> Vec<Law> {
                 a.theta_join(&b, &f).unwrap() == a.product(&b).unwrap().select(&f).unwrap()
             },
         },
+        Law {
+            name: "⋈-physical-via-×σ",
+            statement: "A ⋈^{hash|merge}_{a0=b0} B = σ_{a0=b0}(A × B)",
+            check: |rng| {
+                use txtime_snapshot::{JoinPhysical, JoinSpec, Predicate};
+                let (a, b) = (st(rng), rst(rng));
+                let oracle = a
+                    .product(&b)
+                    .unwrap()
+                    .select(&Predicate::eq_attrs("a0", "b0"))
+                    .unwrap();
+                [JoinPhysical::Hash, JoinPhysical::Merge]
+                    .into_iter()
+                    .all(|physical| {
+                        let spec = JoinSpec {
+                            keys: vec![("a0".into(), "b0".into())],
+                            residual: Predicate::True,
+                            physical,
+                        };
+                        a.equi_join(&b, &spec).unwrap() == oracle
+                    })
+            },
+        },
     ]
 }
 
@@ -406,6 +429,45 @@ pub fn historical_laws() -> Vec<Law> {
                     == a.timeslice(c)
             },
         },
+        Law {
+            name: "⋈̂-via-×̂σ̂",
+            statement: "A ⋈̂^{hash|merge}_{a0=b0} B = σ̂_{a0=b0}(A ×̂ B)",
+            check: |rng| {
+                use txtime_snapshot::{JoinPhysical, JoinSpec, Predicate};
+                let (a, b) = (hst(rng), hrst(rng));
+                let oracle = a
+                    .hproduct(&b)
+                    .unwrap()
+                    .hselect(&Predicate::eq_attrs("a0", "b0"))
+                    .unwrap();
+                [JoinPhysical::Hash, JoinPhysical::Merge]
+                    .into_iter()
+                    .all(|physical| {
+                        let spec = JoinSpec {
+                            keys: vec![("a0".into(), "b0".into())],
+                            residual: Predicate::True,
+                            physical,
+                        };
+                        a.hequi_join(&b, &spec).unwrap() == oracle
+                    })
+            },
+        },
+        Law {
+            name: "⋈̂-timeslice",
+            statement: "τ_c(A ⋈̂_k B) = τ_c(A) ⋈_k τ_c(B)",
+            check: |rng| {
+                use txtime_snapshot::{JoinPhysical, JoinSpec, Predicate};
+                let (a, b) = (hst(rng), hrst(rng));
+                let c = random_chronon(rng);
+                let spec = JoinSpec {
+                    keys: vec![("a0".into(), "b0".into())],
+                    residual: Predicate::True,
+                    physical: JoinPhysical::Hash,
+                };
+                a.hequi_join(&b, &spec).unwrap().timeslice(c)
+                    == a.timeslice(c).equi_join(&b.timeslice(c), &spec).unwrap()
+            },
+        },
     ]
 }
 
@@ -431,7 +493,7 @@ mod tests {
 
     #[test]
     fn suites_are_nontrivial() {
-        assert!(all_laws().len() >= 14);
-        assert!(historical_laws().len() >= 12);
+        assert!(all_laws().len() >= 16);
+        assert!(historical_laws().len() >= 13);
     }
 }

@@ -88,6 +88,19 @@ fn pushdown_bottom_up(expr: &Expr) -> Expr {
         Expr::HProject(attrs, e) => Expr::HProject(attrs.clone(), Box::new(pushdown_bottom_up(e))),
         Expr::HSelect(p, e) => Expr::HSelect(p.clone(), Box::new(pushdown_bottom_up(e))),
         Expr::Delta(g, v, e) => Expr::Delta(g.clone(), v.clone(), Box::new(pushdown_bottom_up(e))),
+        // Physical joins appear when pushdown runs over an already
+        // searched plan; recurse so residual selections below the join
+        // still sink to their leaves.
+        Expr::Join(spec, a, b) => Expr::Join(
+            spec.clone(),
+            Box::new(pushdown_bottom_up(a)),
+            Box::new(pushdown_bottom_up(b)),
+        ),
+        Expr::HJoin(spec, a, b) => Expr::HJoin(
+            spec.clone(),
+            Box::new(pushdown_bottom_up(a)),
+            Box::new(pushdown_bottom_up(b)),
+        ),
         leaf => leaf.clone(),
     };
     pushdown_node(expr)
@@ -151,6 +164,7 @@ pub(crate) fn is_snapshot_kind(e: &Expr) -> bool {
             | Expr::Project(..)
             | Expr::Select(..)
             | Expr::Rollback(..)
+            | Expr::Join(..)
     )
 }
 

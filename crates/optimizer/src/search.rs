@@ -51,15 +51,16 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use txtime_core::Expr;
+use txtime_core::{Expr, JoinPhysical, JoinSpec};
 use txtime_historical::{TemporalExpr, TemporalPred};
-use txtime_snapshot::Predicate;
+use txtime_snapshot::{CompOp, Operand, Predicate};
 
 use crate::cost::{estimate_cost, estimate_rows, CostModel};
 use crate::interner::{ExprId, ExprInterner};
 use crate::pushdown::{is_historical_kind, is_snapshot_kind};
 use crate::rules::{conjuncts, subset, RewriteTrace};
 use crate::schema_infer::{infer_schema, SchemaCatalog};
+use txtime_snapshot::Schema;
 
 /// Work counters for one search (or, summed, for an engine's lifetime).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -215,6 +216,8 @@ impl Searcher<'_> {
             Expr::HProject(x, e) => self.best_plan(e).hproject(x.clone()),
             Expr::HSelect(p, e) => self.best_plan(e).hselect(p.clone()),
             Expr::Delta(g, v, e) => self.best_plan(e).delta(g.clone(), v.clone()),
+            Expr::Join(spec, a, b) => self.best_plan(a).join(spec.clone(), self.best_plan(b)),
+            Expr::HJoin(spec, a, b) => self.best_plan(a).hjoin(spec.clone(), self.best_plan(b)),
         }
     }
 }
@@ -249,6 +252,9 @@ fn root_alternatives(expr: &Expr, catalog: &SchemaCatalog) -> Vec<(&'static str,
                     if let Some(alt) = split_over_product(p, a, b, catalog, false) {
                         out.push(("select-through-product", alt));
                     }
+                    for (rule, alt) in lower_to_join(p, a, b, catalog, false) {
+                        out.push((rule, alt));
+                    }
                 }
                 _ => {}
             }
@@ -272,6 +278,9 @@ fn root_alternatives(expr: &Expr, catalog: &SchemaCatalog) -> Vec<(&'static str,
                 Expr::HProduct(a, b) => {
                     if let Some(alt) = split_over_product(p, a, b, catalog, true) {
                         out.push(("hselect-through-hproduct", alt));
+                    }
+                    for (rule, alt) in lower_to_join(p, a, b, catalog, true) {
+                        out.push((rule, alt));
                     }
                 }
                 _ => {}
@@ -423,6 +432,105 @@ fn split_over_product(
     })
 }
 
+/// A conjunct of the shape `l.a = r.b` with one attribute in each
+/// operand's scheme, normalized to `(left attr, right attr)`.
+fn equi_key(conj: &Predicate, sa: &Schema, sb: &Schema) -> Option<(String, String)> {
+    let Predicate::Comp(Operand::Attr(x), CompOp::Eq, Operand::Attr(y)) = conj else {
+        return None;
+    };
+    if sa.contains(x.as_ref()) && sb.contains(y.as_ref()) {
+        return Some((x.to_string(), y.to_string()));
+    }
+    if sa.contains(y.as_ref()) && sb.contains(x.as_ref()) {
+        return Some((y.to_string(), x.to_string()));
+    }
+    None
+}
+
+/// Lowers `σ_F(A × B)` (or the hatted form) to physical equi-join
+/// candidates: cross-operand `=` conjuncts become the key list,
+/// single-side conjuncts push onto their operand, and the rest rides as
+/// the join's residual. The same exact-schema guard as
+/// [`split_over_product`] keeps the rewrite observationally equivalent
+/// (the kernels are *defined* as `σ_spec(×)` — `laws.rs` pins this).
+/// Emits a hash join always and additionally a merge join when the
+/// single key is the first schema attribute on both sides (the only
+/// shape whose runs are already key-sorted).
+fn lower_to_join(
+    p: &Predicate,
+    a: &Expr,
+    b: &Expr,
+    catalog: &SchemaCatalog,
+    historical: bool,
+) -> Vec<(&'static str, Expr)> {
+    let (Some(sa), Some(sb)) = (infer_schema(a, catalog), infer_schema(b, catalog)) else {
+        return Vec::new();
+    };
+    let mut keys: Vec<(String, String)> = Vec::new();
+    let mut left: Option<Predicate> = None;
+    let mut right: Option<Predicate> = None;
+    let mut residual: Option<Predicate> = None;
+    for conj in conjuncts(p) {
+        if let Some(key) = equi_key(conj, &sa, &sb) {
+            keys.push(key);
+            continue;
+        }
+        let attrs = conj.attributes();
+        let target = if attrs.iter().all(|n| sa.contains(n)) {
+            &mut left
+        } else if attrs.iter().all(|n| sb.contains(n)) {
+            &mut right
+        } else {
+            &mut residual
+        };
+        *target = Some(match target.take() {
+            Some(acc) => acc.and(conj.clone()),
+            None => conj.clone(),
+        });
+    }
+    if keys.is_empty() {
+        return Vec::new();
+    }
+    let wrap = |f: Option<Predicate>, e: &Expr| match f {
+        Some(f) if historical => e.clone().hselect(f),
+        Some(f) => e.clone().select(f),
+        None => e.clone(),
+    };
+    let (la, rb) = (wrap(left, a), wrap(right, b));
+    let residual = residual.unwrap_or(Predicate::True);
+    let join_with = |physical: JoinPhysical| {
+        let spec = JoinSpec {
+            keys: keys.clone(),
+            residual: residual.clone(),
+            physical,
+        };
+        if historical {
+            la.clone().hjoin(spec, rb.clone())
+        } else {
+            la.clone().join(spec, rb.clone())
+        }
+    };
+    let mut out = vec![(
+        if historical {
+            "hselect-to-hash-join"
+        } else {
+            "select-to-hash-join"
+        },
+        join_with(JoinPhysical::Hash),
+    )];
+    if keys.len() == 1 && sa.index_of(&keys[0].0) == Some(0) && sb.index_of(&keys[0].1) == Some(0) {
+        out.push((
+            if historical {
+                "hselect-to-merge-join"
+            } else {
+                "select-to-merge-join"
+            },
+            join_with(JoinPhysical::Merge),
+        ));
+    }
+    out
+}
+
 // ---------------------------------------------------------------------
 // Explain rendering
 // ---------------------------------------------------------------------
@@ -446,6 +554,17 @@ fn node_label(expr: &Expr) -> String {
         Expr::HProject(x, _) => format!("hproject[{}]", x.join(", ")),
         Expr::HSelect(p, _) => format!("hselect[{p}]"),
         Expr::Delta(g, v, _) => format!("delta[{g}; {v}]"),
+        Expr::Join(spec, ..) | Expr::HJoin(spec, ..) => {
+            let name = if matches!(expr, Expr::Join(..)) {
+                "join"
+            } else {
+                "hjoin"
+            };
+            match spec.physical {
+                JoinPhysical::Hash => format!("{name}[{spec}; build=right, probe=left]"),
+                JoinPhysical::Merge => format!("{name}[{spec}; merge both runs]"),
+            }
+        }
     }
 }
 
@@ -610,6 +729,61 @@ mod tests {
             e.operands().iter().all(|c| no_sigma_over_product(c))
         }
         assert!(no_sigma_over_product(&report.plan), "{}", report.plan);
+    }
+
+    #[test]
+    fn equi_select_over_product_lowers_to_hash_join() {
+        let original = Expr::current("emp")
+            .product(Expr::current("dept"))
+            .select(Predicate::eq_attrs("sal", "dno"));
+        let report = search(&original, &catalog(), &model());
+        assert!(
+            report.trace.applied.contains(&"select-to-hash-join"),
+            "{:?}",
+            report.trace.applied
+        );
+        assert!(matches!(report.plan, Expr::Join(..)), "{}", report.plan);
+        assert!(report.cost < report.original_cost, "{report:?}");
+        // The searched join plan is a fixpoint too.
+        let second = search(&report.plan, &catalog(), &model());
+        assert_eq!(report.plan, second.plan);
+    }
+
+    #[test]
+    fn lowering_emits_merge_only_on_prefix_keys() {
+        let cat = catalog();
+        let (a, b) = (Expr::current("emp"), Expr::current("dept"));
+        // name/dname are column 0 on both sides: hash + merge candidates.
+        let alts = lower_to_join(&Predicate::eq_attrs("name", "dname"), &a, &b, &cat, false);
+        let rules: Vec<_> = alts.iter().map(|(r, _)| *r).collect();
+        assert_eq!(rules, vec!["select-to-hash-join", "select-to-merge-join"]);
+        // sal/dno are column 1: the merge kernel cannot ride the runs.
+        let alts = lower_to_join(&Predicate::eq_attrs("sal", "dno"), &a, &b, &cat, false);
+        let rules: Vec<_> = alts.iter().map(|(r, _)| *r).collect();
+        assert_eq!(rules, vec!["select-to-hash-join"]);
+        // No cross-operand equality: nothing to lower.
+        let alts = lower_to_join(
+            &Predicate::gt_const("sal", Value::Int(5)),
+            &a,
+            &b,
+            &cat,
+            false,
+        );
+        assert!(alts.is_empty());
+    }
+
+    #[test]
+    fn lowering_pushes_single_side_conjuncts_below_the_join() {
+        let cat = catalog();
+        let (a, b) = (Expr::current("emp"), Expr::current("dept"));
+        let p = Predicate::eq_attrs("sal", "dno").and(Predicate::gt_const("sal", Value::Int(5)));
+        let alts = lower_to_join(&p, &a, &b, &cat, false);
+        let Expr::Join(spec, left, _) = &alts[0].1 else {
+            panic!("expected a join, got {}", alts[0].1);
+        };
+        assert_eq!(spec.keys, vec![("sal".to_string(), "dno".to_string())]);
+        assert_eq!(spec.residual, Predicate::True);
+        assert!(matches!(**left, Expr::Select(..)), "{left}");
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub fn print_expr(e: &Expr) -> String {
             print_expr(e)
         ),
         Expr::HRollback(i, n) => format!("hrho({i}, {})", print_tx_spec(n)),
+        // Physical joins have no surface syntax (only the plan search
+        // constructs them); render them in the plan/explain notation.
+        Expr::Join(spec, a, b) => format!("join[{spec}]({}, {})", print_expr(a), print_expr(b)),
+        Expr::HJoin(spec, a, b) => format!("hjoin[{spec}]({}, {})", print_expr(a), print_expr(b)),
     }
 }
 

@@ -52,6 +52,7 @@ pub mod value;
 pub use domain::DomainType;
 pub use error::SnapshotError;
 pub use intern::StrInterner;
+pub use ops::join::{JoinPhysical, JoinSpec};
 pub use predicate::{CompOp, CompiledPredicate, Operand, Predicate};
 pub use schema::{Attribute, Schema};
 pub use state::SnapshotState;

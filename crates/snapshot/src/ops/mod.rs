@@ -14,6 +14,7 @@
 
 pub mod derived;
 pub mod difference;
+pub mod join;
 pub(crate) mod merge;
 pub mod par;
 pub mod product;

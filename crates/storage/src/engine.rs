@@ -329,7 +329,11 @@ impl Engine {
                 } else {
                     pushdown(expr)
                 };
-                if self.pool.threads() > 1 {
+                // Join-bearing plans always take the pool path: with a
+                // one-thread pool the kernels run inline (identical to
+                // the sequential evaluator), and the pool's join
+                // counters record build/probe sides either way.
+                if self.pool.threads() > 1 || rewritten.contains_join() {
                     rewritten.eval_with_pool(self, &self.pool)
                 } else {
                     rewritten.eval_with(self)
@@ -384,10 +388,16 @@ impl Engine {
             // state clone per stable relation per generation — only on
             // the level-2 path, only when a query actually arrives.
             if let Some(state) = self.current_state(name) {
-                let (_, ranges) = state_stats(&state);
+                let (_, ranges, columns) = state_stats(&state);
                 if let Some(ranges) = ranges {
                     for (attr, range) in schema.attributes().iter().zip(ranges) {
                         model.note_attr_range(attr.name.to_string(), range);
+                    }
+                }
+                if let Some(columns) = columns {
+                    for (attr, col) in schema.attributes().iter().zip(columns) {
+                        model.note_attr_distinct(attr.name.to_string(), col.distinct as f64);
+                        model.note_attr_mcvs(attr.name.to_string(), col.mcvs);
                     }
                 }
             }
@@ -667,6 +677,12 @@ impl Engine {
         self.pool.stats()
     }
 
+    /// Physical-join gauges (kernel invocations, build/probe rows,
+    /// probe partitions) — surfaced by `txtime stats` and the REPL.
+    pub fn join_stats(&self) -> txtime_exec::JoinStats {
+        self.pool.join_stats()
+    }
+
     /// Zeroes the worker pool's counters.
     pub fn reset_exec_stats(&self) {
         self.pool.reset_stats();
@@ -747,11 +763,12 @@ impl Engine {
                     let txs = store.version_txs();
                     for (tx, state) in txs.iter().zip(store.state_at_many(&txs)) {
                         if let Some(state) = state {
-                            let (card, ranges) = state_stats(&state);
+                            let (card, ranges, columns) = state_stats(&state);
                             rs.versions.push(txtime_analyze::VersionStats {
                                 tx: *tx,
                                 card,
                                 ranges,
+                                columns,
                             });
                         }
                     }
@@ -759,11 +776,12 @@ impl Engine {
                     rs.space_bytes = Some(store.space_bytes());
                 }
                 Keeper::Single(Some((state, tx))) => {
-                    let (card, ranges) = state_stats(state);
+                    let (card, ranges, columns) = state_stats(state);
                     rs.versions.push(txtime_analyze::VersionStats {
                         tx: *tx,
                         card,
                         ranges,
+                        columns,
                     });
                 }
                 Keeper::Single(None) => {}
@@ -1143,8 +1161,9 @@ fn state_stats(
 ) -> (
     txtime_analyze::CardInterval,
     Option<Vec<txtime_analyze::ValueRange>>,
+    Option<Vec<txtime_analyze::ColumnStats>>,
 ) {
-    use txtime_analyze::{CardInterval, ValueRange};
+    use txtime_analyze::{CardInterval, ColumnStats, ValueRange};
     let (len, arity, tuples): (usize, usize, Vec<&txtime_snapshot::Tuple>) = match state {
         StateValue::Snapshot(s) => (s.len(), s.schema().arity(), s.iter().collect()),
         StateValue::Historical(h) => (
@@ -1158,7 +1177,12 @@ fn state_stats(
             .map(|i| ValueRange::spanning(tuples.iter().map(|t| t.get(i))))
             .collect()
     });
-    (CardInterval::exact(len as u64), ranges)
+    let columns = (!tuples.is_empty()).then(|| {
+        (0..arity)
+            .map(|i| ColumnStats::from_values(tuples.iter().map(|t| t.get(i)), len))
+            .collect()
+    });
+    (CardInterval::exact(len as u64), ranges, columns)
 }
 
 #[cfg(test)]

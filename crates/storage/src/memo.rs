@@ -299,6 +299,16 @@ impl Inner {
                 let h = self.eval_hist(c(0), src, counters, "delta")?;
                 StateValue::Historical(h.delta(g, v)?)
             }
+            NodeOp::Join(spec) => {
+                let l = self.eval_snap(c(0), src, counters, "join")?;
+                let r = self.eval_snap(c(1), src, counters, "join")?;
+                StateValue::Snapshot(l.equi_join(&r, spec)?)
+            }
+            NodeOp::HJoin(spec) => {
+                let l = self.eval_hist(c(0), src, counters, "hjoin")?;
+                let r = self.eval_hist(c(1), src, counters, "hjoin")?;
+                StateValue::Historical(l.hequi_join(&r, spec)?)
+            }
         };
         let mut stamps: Vec<(String, RelStamp)> = Vec::new();
         let mut cacheable = true;
@@ -949,6 +959,9 @@ impl Inner {
                     StateDelta::Historical { upserted, removed },
                 ))
             }
+            // Joins have no incremental rule yet (a delta on either side
+            // re-probes the whole other side anyway): recompute.
+            NodeOp::Join(..) | NodeOp::HJoin(..) => None,
             NodeOp::Const(_) | NodeOp::Rollback(..) | NodeOp::HRollback(..) => None,
         }
     }

@@ -375,6 +375,9 @@ fn stats(rest: &[String]) -> ExitCode {
     // Per-operator wall time and chunk counts from the worker pool (the
     // header echoes the thread budget the run used).
     print!("{}", engine.exec_stats());
+    // Physical-join gauges: kernel invocations, build/probe volume, and
+    // how many probe partitions the pool scheduled.
+    println!("       {}", engine.join_stats());
     // The optimizer's counters: level, plan searches vs. plan-cache
     // hits, and the summed search work (plans enumerated, groups
     // memoized, rewrites fired).

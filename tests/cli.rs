@@ -425,3 +425,66 @@ fn stats_reports_optimizer_counters() {
     assert!(stdout.contains("optim: level 1"), "stdout: {stdout}");
     let _ = std::fs::remove_file(&script);
 }
+
+/// An equi-join script: the cross-operand key `sal = dno` is exactly
+/// the σ(×) shape the searcher lowers to a physical hash join. Three
+/// rows a side, because at 2×2 the join's build+probe cost ties the
+/// product's row count and the searcher keeps the original plan.
+const EQUIJOIN: &str = r#"
+    define_relation(emp, rollback);
+    modify_state(emp, {(name: str, sal: int): ("alice", 1), ("bob", 2), ("carol", 3)});
+    define_relation(dept, rollback);
+    modify_state(dept, {(dno: int): (1), (3), (4)});
+    display(select[sal = dno](rho(emp, inf) times rho(dept, inf)));
+"#;
+
+#[test]
+fn explain_lowers_equi_select_to_physical_join() {
+    let script = write_script("explain-join.txq", EQUIJOIN);
+    let out = txtime(&["explain", script.to_str().unwrap(), "--optimize", "2"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The chosen plan is a physical join node with labeled sides, not a
+    // filtered product; the lowering rule announces itself.
+    assert!(stdout.contains("join[hash"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("build=right, probe=left"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("select-to-hash-join"), "stdout: {stdout}");
+    // Level 0 explains the query exactly as written: σ over ×, no join.
+    let out = txtime(&["explain", script.to_str().unwrap(), "--optimize", "0"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("join["), "stdout: {stdout}");
+    assert!(stdout.contains("times"), "stdout: {stdout}");
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn stats_reports_join_counters() {
+    let script = write_script("join-stats.txq", EQUIJOIN);
+    let out = txtime(&["stats", script.to_str().unwrap(), "--optimize", "2"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The display query lowered to one hash join; the gauges record the
+    // build/probe sides it actually ran with.
+    assert!(stdout.contains("joins: 1 ("), "stdout: {stdout}");
+    assert!(stdout.contains("build rows"), "stdout: {stdout}");
+    assert!(stdout.contains("probe rows"), "stdout: {stdout}");
+    // Without the searcher the σ(×) shape never becomes a join, and the
+    // gauge stays at zero (house style: the line itself still prints).
+    let out = txtime(&["stats", script.to_str().unwrap(), "--optimize", "1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("joins: 0 ("), "stdout: {stdout}");
+    let _ = std::fs::remove_file(&script);
+}
