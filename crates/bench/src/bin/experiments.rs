@@ -115,6 +115,13 @@ fn main() {
     if args.iter().any(|a| a == "bench9") {
         bench9();
     }
+    if run("e19") {
+        e19_server();
+    }
+    // Explicit-only: writes BENCH_10.json (server group-commit headline).
+    if args.iter().any(|a| a == "bench10") {
+        bench10();
+    }
 }
 
 fn time_median<F: FnMut() -> usize>(mut f: F, reps: usize) -> f64 {
@@ -2088,5 +2095,333 @@ fn bench9() {
          \"headline\": {{\"join_speedup\": {join_speedup:.2}}}\n}}\n"
     );
     std::fs::write("BENCH_9.json", &json).expect("write BENCH_9.json");
+    println!("{json}");
+}
+
+// ---------------------------------------------------------------------------
+// e19: the multi-session server — group-commit scaling and MVCC read
+// latency under write-heavy load (see crates/server and DESIGN.md §14).
+
+/// Where the server benchmarks journal: under `target/` so the fsyncs
+/// hit the real disk the build uses, not a tmpfs.
+fn e19_wal(tag: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("target").join("bench10");
+    std::fs::create_dir_all(&dir).expect("bench10 dir");
+    let path = dir.join(format!("{tag}.wal"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn pctl(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+struct CommitRun {
+    throughput: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    commits_per_fsync: f64,
+}
+
+/// Closed-loop commit workload: `clients` sessions each issue
+/// `commits_per_client` small writes to their own relation, one
+/// outstanding request per session. Group commit on batches concurrent
+/// arrivals into one fsync; off is the per-commit-fsync baseline.
+fn e19_commit_run(clients: usize, commits_per_client: usize, group: bool) -> CommitRun {
+    use std::sync::{Barrier, Mutex};
+    let engine = Engine::new(
+        BackendKind::ForwardDelta,
+        CheckpointPolicy::every_k(8).unwrap(),
+    );
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let cfg = txtime_server::ServerConfig {
+        wal_path: Some(e19_wal(&format!(
+            "commit-{clients}c-{}",
+            if group { "group" } else { "single" }
+        ))),
+        group_commit: group,
+        ..txtime_server::ServerConfig::default()
+    };
+    let handle = txtime_server::serve(engine, listener, cfg).expect("server starts");
+    let addr = handle.addr();
+
+    let start = std::sync::Arc::new(Barrier::new(clients + 1));
+    let done = std::sync::Arc::new(Barrier::new(clients + 1));
+    let latencies = std::sync::Arc::new(Mutex::new(Vec::<f64>::new()));
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let start = start.clone();
+            let done = done.clone();
+            let latencies = latencies.clone();
+            std::thread::spawn(move || {
+                let mut c = txtime_server::Client::connect(addr).expect("connect");
+                let r = c
+                    .exec(&format!("define_relation(r{i}, rollback);"))
+                    .expect("define");
+                assert!(r.is_ok(), "{r:?}");
+                let mut local = Vec::with_capacity(commits_per_client);
+                start.wait();
+                for v in 0..commits_per_client {
+                    let cmd = format!("modify_state(r{i}, {{(x: int, v: int): ({i}, {v})}});");
+                    let t = Instant::now();
+                    let r = c.exec(&cmd).expect("commit");
+                    local.push(t.elapsed().as_secs_f64() * 1e6);
+                    assert!(r.is_ok(), "{r:?}");
+                }
+                done.wait();
+                latencies.lock().unwrap().extend(local);
+            })
+        })
+        .collect();
+    start.wait();
+    let t0 = Instant::now();
+    done.wait();
+    let wall = t0.elapsed().as_secs_f64();
+    for w in workers {
+        w.join().expect("client panicked");
+    }
+    handle.shutdown();
+    let report = handle.wait();
+    let mut lat = latencies.lock().unwrap().clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total = (clients * commits_per_client) as f64;
+    assert_eq!(report.group_commit.commits, total as u64 + clients as u64);
+    CommitRun {
+        throughput: total / wall,
+        p50_us: pctl(&lat, 0.50),
+        p95_us: pctl(&lat, 0.95),
+        p99_us: pctl(&lat, 0.99),
+        commits_per_fsync: report.group_commit.commits_per_fsync(),
+    }
+}
+
+/// Read-latency workload: one reader evaluates a selective query over a
+/// 2048-tuple relation `reads` times while `writers` sessions hammer
+/// commits. Returns the reader's sorted latencies (µs). The fsync
+/// happens outside the engine lock, so write-heavy load should leave
+/// read tails nearly untouched — the MVCC claim BENCH_10 gates.
+fn e19_read_run(writers: usize, reads: usize) -> Vec<f64> {
+    let engine = Engine::new(
+        BackendKind::ForwardDelta,
+        CheckpointPolicy::every_k(8).unwrap(),
+    );
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let cfg = txtime_server::ServerConfig {
+        wal_path: Some(e19_wal(&format!("read-{writers}w"))),
+        group_commit: true,
+        ..txtime_server::ServerConfig::default()
+    };
+    let handle = txtime_server::serve(engine, listener, cfg).expect("server starts");
+    let addr = handle.addr();
+
+    let mut setup = txtime_server::Client::connect(addr).expect("connect");
+    assert!(setup
+        .exec("define_relation(hot, rollback);")
+        .unwrap()
+        .is_ok());
+    let mut literal = String::from("{(a: int, b: int): ");
+    for i in 0..2048 {
+        if i > 0 {
+            literal.push_str(", ");
+        }
+        literal.push_str(&format!("({i}, {})", (i * 7) % 1000));
+    }
+    literal.push('}');
+    assert!(setup
+        .exec(&format!("modify_state(hot, {literal});"))
+        .unwrap()
+        .is_ok());
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer_threads: Vec<_> = (0..writers)
+        .map(|i| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut c = txtime_server::Client::connect(addr).expect("connect");
+                let r = c
+                    .exec(&format!("define_relation(w{i}, rollback);"))
+                    .expect("define");
+                assert!(r.is_ok(), "{r:?}");
+                let mut v = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let r = c
+                        .exec(&format!("modify_state(w{i}, {{(x: int): ({v})}});"))
+                        .expect("commit");
+                    assert!(r.is_ok(), "{r:?}");
+                    v += 1;
+                }
+            })
+        })
+        .collect();
+    // Let the writers reach steady state before sampling reads.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    let mut reader = txtime_server::Client::connect(addr).expect("connect");
+    let mut lat = Vec::with_capacity(reads);
+    for _ in 0..reads {
+        let t = Instant::now();
+        let r = reader
+            .exec("display(select[b > 500](rho(hot, inf)));")
+            .expect("read");
+        lat.push(t.elapsed().as_secs_f64() * 1e6);
+        assert!(r.is_ok(), "{r:?}");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in writer_threads {
+        w.join().expect("writer panicked");
+    }
+    handle.shutdown();
+    handle.wait();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lat
+}
+
+fn e19_server() {
+    println!("e19. txtime serve: group-commit scaling (closed-loop clients, fsync per group vs per commit)");
+    println!("    clients  mode    commits/s  p50 us  p95 us  p99 us  commits/fsync");
+    for clients in [1, 2, 4, 8] {
+        for group in [false, true] {
+            let run = e19_commit_run(clients, 150, group);
+            println!(
+                "    {clients:>7}  {:<6}  {:>9.0}  {:>6.0}  {:>6.0}  {:>6.0}  {:>13.2}",
+                if group { "group" } else { "single" },
+                run.throughput,
+                run.p50_us,
+                run.p95_us,
+                run.p99_us,
+                run.commits_per_fsync
+            );
+        }
+    }
+    println!("\n    snapshot read latency over 2048 tuples (1 reader, group commit on)");
+    println!("    writers  p50 us  p95 us  p99 us");
+    for writers in [0, 7] {
+        let lat = e19_read_run(writers, 300);
+        println!(
+            "    {writers:>7}  {:>6.0}  {:>6.0}  {:>6.0}",
+            pctl(&lat, 0.50),
+            pctl(&lat, 0.95),
+            pctl(&lat, 0.99)
+        );
+    }
+    println!();
+}
+
+// bench10: BENCH_10.json with the server headline numbers
+// (explicit-only arm).
+fn bench10() {
+    println!("bench10. Writing BENCH_10.json (e19 server group-commit headline)");
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut scaling = String::new();
+    let mut tput_8_group = 0.0;
+    let mut tput_8_single = 0.0;
+    let mut cpf_8_group = 0.0;
+    for clients in [1, 2, 4, 8] {
+        for group in [false, true] {
+            let run = e19_commit_run(clients, 150, group);
+            if clients == 8 {
+                if group {
+                    tput_8_group = run.throughput;
+                    cpf_8_group = run.commits_per_fsync;
+                } else {
+                    tput_8_single = run.throughput;
+                }
+            }
+            if !scaling.is_empty() {
+                scaling.push_str(", ");
+            }
+            scaling.push_str(&format!(
+                "{{\"clients\": {clients}, \"group_commit\": {group}, \
+                 \"commits_per_sec\": {:.0}, \"p50_us\": {:.0}, \"p95_us\": {:.0}, \
+                 \"p99_us\": {:.0}, \"commits_per_fsync\": {:.2}, \"host_cores\": {avail}}}",
+                run.throughput, run.p50_us, run.p95_us, run.p99_us, run.commits_per_fsync
+            ));
+        }
+    }
+    let speedup = tput_8_group / tput_8_single.max(1e-9);
+    // Unconditional witnesses — true on any host, any core count:
+    // batches actually form (the fsync count drops below the commit
+    // count), and amortizing the fsync beats paying it per commit.
+    assert!(
+        cpf_8_group >= 2.0,
+        "group commit never batched at 8 clients: {cpf_8_group:.2} commits/fsync"
+    );
+    assert!(
+        speedup >= 1.25,
+        "group commit must beat per-commit fsync at 8 clients, \
+         got {speedup:.2}x ({tput_8_group:.0}/s vs {tput_8_single:.0}/s)"
+    );
+    // The 3x scaling claim needs enough cores that group mode is
+    // fsync-bound rather than CPU-bound; on a 1-core host every mode
+    // converges on the same CPU ceiling. Gate it on host_cores, and
+    // record host_cores in every BENCH_10 entry so downstream checks
+    // (CI's bench-assert step) can apply the same gate.
+    if avail >= 4 {
+        assert!(
+            speedup >= 3.0,
+            "group commit must beat per-commit fsync by 3x at 8 clients \
+             on a {avail}-core host, got {speedup:.2}x \
+             ({tput_8_group:.0}/s vs {tput_8_single:.0}/s)"
+        );
+    } else {
+        println!(
+            "    SKIP strict 3x gate: host has {avail} core(s); \
+             measured {speedup:.2}x ({cpf_8_group:.2} commits/fsync)"
+        );
+    }
+
+    let idle = e19_read_run(0, 300);
+    let heavy = e19_read_run(7, 300);
+    let (idle_p95, heavy_p95) = (pctl(&idle, 0.95), pctl(&heavy, 0.95));
+    // Snapshot reads never wait on a group fsync (it happens outside the
+    // engine lock). Unconditional witness: if readers were blocked
+    // behind fsyncs the heavy tail would sit at multiple group-flush
+    // periods (several ms); 8x idle with a 2ms floor catches that
+    // regression while tolerating pure CPU timesharing.
+    assert!(
+        heavy_p95 <= (8.0 * idle_p95).max(2000.0),
+        "read p95 under 7 writers suggests reads block on the commit \
+         path: {heavy_p95:.0}us vs idle {idle_p95:.0}us"
+    );
+    // The tight ratio is a parallelism claim: it holds when the reader
+    // does not timeshare one core with 7 writers. The 300us floor
+    // absorbs scheduler jitter on sub-100us baselines.
+    let read_bound = (1.5 * idle_p95).max(300.0);
+    if avail >= 4 {
+        assert!(
+            heavy_p95 <= read_bound,
+            "read p95 under 7 writers must stay within 1.5x of idle \
+             (floor 300us) on a {avail}-core host, \
+             got {heavy_p95:.0}us vs idle {idle_p95:.0}us"
+        );
+    } else {
+        println!(
+            "    SKIP strict read-tail gate: host has {avail} core(s); \
+             measured {heavy_p95:.0}us vs idle {idle_p95:.0}us"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"seed\": \"{SEED:#x}\",\n  \
+         \"host_cores\": {avail},\n  \
+         \"e19_commit_scaling\": [{scaling}],\n  \
+         \"e19_read_latency\": {{\"idle_p50_us\": {:.0}, \"idle_p95_us\": {idle_p95:.0}, \
+         \"heavy_p50_us\": {:.0}, \"heavy_p95_us\": {heavy_p95:.0}, \"writers\": 7, \
+         \"host_cores\": {avail}}},\n  \
+         \"headline\": {{\"group_commit_speedup_8c\": {speedup:.2}, \
+         \"read_p95_ratio\": {:.2}}}\n}}\n",
+        pctl(&idle, 0.50),
+        pctl(&heavy, 0.50),
+        heavy_p95 / idle_p95.max(1e-9),
+    );
+    std::fs::write("BENCH_10.json", &json).expect("write BENCH_10.json");
     println!("{json}");
 }

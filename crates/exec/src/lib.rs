@@ -79,11 +79,14 @@ pub enum OpKind {
     Join,
     /// Historical physical equi-join.
     HJoin,
+    /// One served client request (parse→check→plan→execute); recorded
+    /// externally by `txtime serve`, chunks count requests.
+    Serve,
 }
 
 impl OpKind {
     /// Every operator kind, in display order.
-    pub const ALL: [OpKind; 18] = [
+    pub const ALL: [OpKind; 19] = [
         OpKind::Select,
         OpKind::Project,
         OpKind::Product,
@@ -102,6 +105,7 @@ impl OpKind {
         OpKind::Shard,
         OpKind::Compact,
         OpKind::Optimize,
+        OpKind::Serve,
     ];
 
     /// The operator's display name.
@@ -125,6 +129,7 @@ impl OpKind {
             OpKind::Optimize => "optimize",
             OpKind::Join => "join",
             OpKind::HJoin => "hjoin",
+            OpKind::Serve => "serve",
         }
     }
 
@@ -157,7 +162,8 @@ impl OpKind {
             | OpKind::Propagate
             | OpKind::Shard
             | OpKind::Compact
-            | OpKind::Optimize => 1,
+            | OpKind::Optimize
+            | OpKind::Serve => 1,
         }
     }
 

@@ -1,0 +1,145 @@
+//! A blocking client for the frame protocol — what the bench driver,
+//! the test suites, and `txtime stats --addr` speak.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame};
+
+/// One connection = one session. Requests are synchronous: each
+/// [`Client::request`] writes a frame and blocks for the response frame.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A response, split on the protocol's first-line status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `OK <detail>`
+    Ok(String),
+    /// `VAL` — the rendered state follows on later lines.
+    Val(String),
+    /// `ERR <kind>: <message>` (kind ∈ parse, check, exec, busy,
+    /// overloaded, proto, shutdown).
+    Err {
+        /// The error class.
+        kind: String,
+        /// Human-readable detail, possibly multi-line (diagnostics).
+        message: String,
+    },
+}
+
+impl Response {
+    /// Splits a raw response payload on the status prefix.
+    pub fn parse(raw: &str) -> Response {
+        if let Some(detail) = raw.strip_prefix("OK") {
+            Response::Ok(detail.trim_start().to_string())
+        } else if let Some(val) = raw.strip_prefix("VAL") {
+            Response::Val(val.strip_prefix('\n').unwrap_or(val).to_string())
+        } else if let Some(rest) = raw.strip_prefix("ERR ") {
+            let (kind, message) = rest.split_once(':').unwrap_or((rest, ""));
+            Response::Err {
+                kind: kind.trim().to_string(),
+                message: message.trim_start().to_string(),
+            }
+        } else {
+            Response::Err {
+                kind: "proto".to_string(),
+                message: format!("unrecognized response {raw:?}"),
+            }
+        }
+    }
+
+    /// Whether the response is any `OK`/`VAL`.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Err { .. })
+    }
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Connects with a timeout on the initial handshake-free connect.
+    pub fn connect_timeout(
+        addr: &std::net::SocketAddr,
+        timeout: Duration,
+    ) -> std::io::Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one raw request payload and blocks for the raw response
+    /// payload. An early close by the server (e.g. after `QUIT`) is an
+    /// `UnexpectedEof` error.
+    pub fn request_raw(&mut self, payload: &str) -> std::io::Result<String> {
+        write_frame(&mut self.writer, payload)?;
+        read_frame(&mut self.reader)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before responding",
+            )
+        })
+    }
+
+    /// Sends one request and parses the response.
+    pub fn request(&mut self, payload: &str) -> std::io::Result<Response> {
+        Ok(Response::parse(&self.request_raw(payload)?))
+    }
+
+    /// Executes one command (`EXEC <text>`).
+    pub fn exec(&mut self, command: &str) -> std::io::Result<Response> {
+        self.request(&format!("EXEC {command}"))
+    }
+
+    /// Pins this session's reads to the engine's current clock,
+    /// returning the pinned transaction number.
+    pub fn snapshot(&mut self) -> std::io::Result<Response> {
+        self.request("SNAPSHOT")
+    }
+
+    /// Asks the server for its gauge report.
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        self.request_raw("STATS")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_split_on_status() {
+        assert_eq!(
+            Response::parse("OK modified tx=5"),
+            Response::Ok("modified tx=5".into())
+        );
+        assert_eq!(
+            Response::parse("VAL\n(x: int) { (1) }"),
+            Response::Val("(x: int) { (1) }".into())
+        );
+        match Response::parse("ERR check: 1 diagnostic(s)\nerror[E001]: nope") {
+            Response::Err { kind, message } => {
+                assert_eq!(kind, "check");
+                assert!(message.contains("E001"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!Response::parse("garbage").is_ok());
+    }
+}

@@ -1,0 +1,140 @@
+//! The wire format: length-prefixed text frames.
+//!
+//! A frame is the payload's byte length in ASCII decimal, one space, the
+//! payload bytes, and a terminating newline:
+//!
+//! ```text
+//! 25 EXEC display(rho(r, inf))\n
+//! ```
+//!
+//! The length prefix lets payloads span lines (a displayed state, a
+//! batch of diagnostics) while the trailing newline keeps the stream
+//! greppable and the framing self-checking: a reader that loses sync
+//! fails loudly on the missing terminator instead of silently
+//! misparsing. Both requests and responses use the same frame; every
+//! request gets exactly one response.
+//!
+//! Request payloads are verb-prefixed text, deliberately shaped like the
+//! language's own commands so a future surface language can ride the
+//! same channel (see DESIGN.md §14 for the verb table). Response
+//! payloads start with `OK`, `VAL`, or `ERR <kind>:`.
+
+use std::io::{BufRead, Write};
+
+/// The largest payload either side accepts: big enough for any rendered
+/// state the benchmarks produce, small enough that a garbage length
+/// prefix cannot balloon an allocation.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Writes one frame and flushes the sink (a request or response is
+/// always complete on the wire when this returns).
+pub fn write_frame(out: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(payload.len() + 16);
+    buf.extend_from_slice(payload.len().to_string().as_bytes());
+    buf.push(b' ');
+    buf.extend_from_slice(payload.as_bytes());
+    buf.push(b'\n');
+    out.write_all(&buf)?;
+    out.flush()
+}
+
+fn proto_err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one frame. `Ok(None)` is a clean end of stream (the peer closed
+/// between frames); EOF inside a frame is an error.
+pub fn read_frame(input: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut len: usize = 0;
+    let mut any_digit = false;
+    loop {
+        let mut byte = [0u8; 1];
+        match input.read(&mut byte) {
+            Ok(0) => {
+                return if any_digit {
+                    Err(proto_err("EOF inside frame header"))
+                } else {
+                    Ok(None)
+                }
+            }
+            Ok(_) => {}
+            Err(e) => return Err(e),
+        }
+        match byte[0] {
+            b'0'..=b'9' => {
+                any_digit = true;
+                len = len
+                    .checked_mul(10)
+                    .and_then(|n| n.checked_add(usize::from(byte[0] - b'0')))
+                    .filter(|&n| n <= MAX_FRAME)
+                    .ok_or_else(|| proto_err("frame length exceeds MAX_FRAME"))?;
+            }
+            b' ' if any_digit => break,
+            // Tolerate blank lines between frames (a human poking the
+            // port with netcat).
+            b'\n' | b'\r' if !any_digit => {}
+            other => return Err(proto_err(format!("unexpected byte {other:#04x} in header"))),
+        }
+    }
+    let mut payload = vec![0u8; len];
+    input.read_exact(&mut payload)?;
+    let mut terminator = [0u8; 1];
+    input.read_exact(&mut terminator)?;
+    if terminator[0] != b'\n' {
+        return Err(proto_err("missing frame terminator"));
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| proto_err("frame payload is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let payloads = ["", "PING", "VAL\nline one\nline two", "EXEC x;"];
+        let mut wire = Vec::new();
+        for p in payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let mut cursor = Cursor::new(wire);
+        for p in payloads {
+            assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(p));
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn blank_lines_between_frames_are_tolerated() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"\r\n\n");
+        write_frame(&mut wire, "PING").unwrap();
+        let mut cursor = Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("PING"));
+    }
+
+    #[test]
+    fn torn_and_malformed_frames_fail_loudly() {
+        // EOF mid-header.
+        let mut c = Cursor::new(b"12".to_vec());
+        assert!(read_frame(&mut c).is_err());
+        // EOF mid-payload.
+        let mut c = Cursor::new(b"10 short".to_vec());
+        assert!(read_frame(&mut c).is_err());
+        // Missing terminator.
+        let mut c = Cursor::new(b"2 abX".to_vec());
+        assert!(read_frame(&mut c).is_err());
+        // Garbage header byte.
+        let mut c = Cursor::new(b"x PING\n".to_vec());
+        assert!(read_frame(&mut c).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocating() {
+        let mut c = Cursor::new(b"99999999999999999999 x\n".to_vec());
+        assert!(read_frame(&mut c).is_err());
+    }
+}

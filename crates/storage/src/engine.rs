@@ -147,6 +147,14 @@ pub struct Engine {
     tx: TransactionNumber,
     catalog: BTreeMap<String, StoredRelation>,
     wal: Option<(PathBuf, std::fs::File)>,
+    /// When set, `execute` journals into [`Engine::wal_pending`] instead
+    /// of the file; [`Engine::sync_wal`] writes the whole group with one
+    /// write and one fsync — the group-commit discipline.
+    wal_buffered: bool,
+    /// Journal lines buffered since the last [`Engine::sync_wal`].
+    wal_pending: Vec<u8>,
+    /// How many commands those lines hold.
+    wal_pending_cmds: usize,
     /// One materialization cache shared by every delta store.
     cache: Arc<MaterializationCache>,
     next_rel_id: u64,
@@ -194,6 +202,31 @@ fn optimize_from_env() -> u8 {
         .unwrap_or(1)
 }
 
+/// Parses an opportunistic-compaction threshold (`--auto-compact`,
+/// `TXTIME_AUTO_COMPACT`): a positive number of appends. Zero is
+/// rejected — it would ask `modify_state` to compact after *every*
+/// multiple of nothing; use [`Engine::set_auto_compact`]`(None)` to
+/// disable the opportunistic pass instead.
+pub fn parse_auto_compact(s: &str) -> Result<NonZeroUsize, String> {
+    match s.trim().parse::<usize>() {
+        Ok(0) => Err("auto-compact threshold must be at least 1".to_string()),
+        Ok(n) => Ok(NonZeroUsize::new(n).expect("checked non-zero")),
+        Err(_) => Err(format!("invalid auto-compact threshold {s:?}")),
+    }
+}
+
+/// The opportunistic-compaction threshold from the environment:
+/// `TXTIME_AUTO_COMPACT` if set to a positive integer, otherwise
+/// [`DEFAULT_AUTO_COMPACT`]. Rejected values (zero, non-numeric) keep
+/// the default — the CLI layer reports them as errors before an engine
+/// is built.
+fn auto_compact_from_env() -> Option<NonZeroUsize> {
+    std::env::var("TXTIME_AUTO_COMPACT")
+        .ok()
+        .and_then(|s| parse_auto_compact(&s).ok())
+        .or(NonZeroUsize::new(DEFAULT_AUTO_COMPACT))
+}
+
 impl Engine {
     /// An engine holding everything in memory with the given backend for
     /// history-keeping relations.
@@ -204,11 +237,14 @@ impl Engine {
             tx: TransactionNumber(0),
             catalog: BTreeMap::new(),
             wal: None,
+            wal_buffered: false,
+            wal_pending: Vec::new(),
+            wal_pending_cmds: 0,
             cache: MaterializationCache::shared(),
             next_rel_id: 0,
             pool: Arc::new(ExecPool::from_env()),
             shards: shards_from_env(),
-            auto_compact: NonZeroUsize::new(DEFAULT_AUTO_COMPACT),
+            auto_compact: auto_compact_from_env(),
             memo: ViewRegistry::new(),
             optimize: optimize_from_env(),
             planner_meta: BTreeMap::new(),
@@ -261,16 +297,83 @@ impl Engine {
     }
 
     /// Executes one command, journaling it if it mutates and succeeds.
+    /// In buffered-WAL mode (see [`Engine::set_wal_buffered`]) the
+    /// journal line lands in the pending group instead of the file; the
+    /// command is durable only after the next [`Engine::sync_wal`].
     pub fn execute(&mut self, cmd: &Command) -> Result<CommandOutcome, CoreError> {
         let outcome = self.apply(cmd)?;
-        if cmd.is_mutation() {
-            if let Some((_, file)) = &mut self.wal {
+        if cmd.is_mutation() && self.wal.is_some() {
+            if self.wal_buffered {
+                wal::append_command(&mut self.wal_pending, cmd)
+                    .map_err(|e| CoreError::SchemeChange(format!("WAL write failed: {e}")))?;
+                self.wal_pending_cmds += 1;
+            } else if let Some((_, file)) = &mut self.wal {
                 wal::append_command(file, cmd)
                     .map_err(|e| CoreError::SchemeChange(format!("WAL write failed: {e}")))?;
                 let _ = file.flush();
             }
         }
         Ok(outcome)
+    }
+
+    /// Switches the journal between write-through (the default: every
+    /// mutation is appended and flushed immediately) and group-buffered
+    /// mode, where mutations accumulate in memory until
+    /// [`Engine::sync_wal`] commits the whole group with one write and
+    /// one fsync. Turning buffering *off* flushes anything pending.
+    pub fn set_wal_buffered(&mut self, buffered: bool) {
+        self.wal_buffered = buffered;
+        if !buffered {
+            let _ = self.sync_wal();
+        }
+    }
+
+    /// How many journaled commands are buffered but not yet durable.
+    pub fn wal_pending_commands(&self) -> usize {
+        self.wal_pending_cmds
+    }
+
+    /// Forces the journal to durable storage: the pending group (if any)
+    /// is written with a single `write_all`, then the file is fsynced
+    /// once — the group-commit point. Callers without buffering get the
+    /// per-commit-fsync discipline by calling this after each `execute`.
+    /// Returns how many buffered commands the call made durable (the
+    /// fsync happens regardless). A no-op without a WAL.
+    pub fn sync_wal(&mut self) -> std::io::Result<usize> {
+        let Some((_, file)) = &mut self.wal else {
+            return Ok(0);
+        };
+        let flushed = self.wal_pending_cmds;
+        if !self.wal_pending.is_empty() {
+            file.write_all(&self.wal_pending)?;
+            self.wal_pending.clear();
+            self.wal_pending_cmds = 0;
+        }
+        file.flush()?;
+        file.sync_all()?;
+        Ok(flushed)
+    }
+
+    /// Attaches a journal at `path` (created or appended) to an engine
+    /// built without one — the serve path recovers an engine from an
+    /// existing journal first, then attaches the same file for append.
+    pub fn attach_wal(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path.as_ref())?;
+        self.wal = Some((path.as_ref().to_path_buf(), file));
+        Ok(())
+    }
+
+    /// Flushes everything an orderly shutdown must not lose: queued
+    /// view-memo spans are folded into their views, and the pending WAL
+    /// group is written and fsynced. `Drop` calls this, so an engine
+    /// going out of scope — `txtime serve` winding down, a panicking
+    /// test — never strands acked work in memory. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.memo.flush(self);
+        let _ = self.sync_wal();
     }
 
     /// Executes a batch; stops at the first error (the caller decides
@@ -615,6 +718,26 @@ impl Engine {
     /// (the benchmarks' uncompacted baseline).
     pub fn set_auto_compact(&mut self, every: Option<NonZeroUsize>) {
         self.auto_compact = every;
+    }
+
+    /// The opportunistic-compaction threshold in effect (`None` =
+    /// disabled). Defaults to `TXTIME_AUTO_COMPACT` when the environment
+    /// sets it to a positive integer, else [`DEFAULT_AUTO_COMPACT`].
+    pub fn auto_compact(&self) -> Option<NonZeroUsize> {
+        self.auto_compact
+    }
+
+    /// A handle to the engine's worker pool — the server sizes its
+    /// admission gate from the pool's thread budget and attributes
+    /// per-request service time to it (`OpKind::Serve`).
+    pub fn pool(&self) -> Arc<ExecPool> {
+        self.pool.clone()
+    }
+
+    /// How many relations have a queued, not-yet-propagated view-memo
+    /// write span (drained by reads and by [`Engine::shutdown`]).
+    pub fn memo_pending_spans(&self) -> usize {
+        self.memo.pending_spans()
     }
 
     /// The fold interval [`Engine::compact`] uses when none is given:
@@ -1071,6 +1194,15 @@ impl Engine {
     }
 }
 
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // The satellite fix behind `txtime serve`'s durability story: an
+        // engine dropped with a buffered WAL group or queued memo spans
+        // settles both. Cheap when there is nothing pending.
+        self.shutdown();
+    }
+}
+
 impl StampSource for Engine {
     fn relation_stamp(&self, ident: &str) -> Option<RelStamp> {
         let rel = self.catalog.get(ident)?;
@@ -1416,6 +1548,116 @@ mod tests {
         assert_eq!(
             after.replayed_deltas, before.replayed_deltas,
             "hits must not replay deltas"
+        );
+    }
+
+    #[test]
+    fn parse_auto_compact_rejects_zero_and_garbage() {
+        assert_eq!(parse_auto_compact("8").unwrap().get(), 8);
+        assert_eq!(parse_auto_compact(" 64 ").unwrap().get(), 64);
+        let zero = parse_auto_compact("0").unwrap_err();
+        assert!(zero.contains("at least 1"), "{zero}");
+        assert!(parse_auto_compact("none").is_err());
+        assert!(parse_auto_compact("-3").is_err());
+    }
+
+    #[test]
+    fn auto_compact_defaults_and_reconfigures() {
+        let mut e = Engine::new(BackendKind::ForwardDelta, CheckpointPolicy::Never);
+        // The environment may override the default in CI legs; either
+        // way the threshold is positive unless explicitly disabled.
+        assert!(e.auto_compact().is_some());
+        e.set_auto_compact(NonZeroUsize::new(8));
+        assert_eq!(e.auto_compact().map(NonZeroUsize::get), Some(8));
+        e.set_auto_compact(None);
+        assert_eq!(e.auto_compact(), None);
+    }
+
+    #[test]
+    fn buffered_wal_groups_commits_and_drop_flushes() {
+        let dir = std::env::temp_dir().join(format!("txtime-wal-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("group.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut e =
+                Engine::with_wal(BackendKind::FullCopy, CheckpointPolicy::Never, &path).unwrap();
+            e.set_wal_buffered(true);
+            e.execute(&Command::define_relation("r", RelationType::Rollback))
+                .unwrap();
+            e.execute(&Command::modify_state(
+                "r",
+                Expr::snapshot_const(snap(&[1])),
+            ))
+            .unwrap();
+            assert_eq!(e.wal_pending_commands(), 2);
+            // Nothing has reached the file yet: the group is pending.
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+            // Dropping the engine must not lose the buffered group.
+        }
+        let rec = crate::recovery::recover(&path, BackendKind::FullCopy, CheckpointPolicy::Never)
+            .unwrap();
+        assert_eq!(rec.replayed, 2);
+        assert_eq!(rec.engine.version_count("r"), Some(1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sync_wal_makes_the_group_durable_once() {
+        let dir = std::env::temp_dir().join(format!("txtime-wal-sync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sync.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut e =
+            Engine::with_wal(BackendKind::FullCopy, CheckpointPolicy::Never, &path).unwrap();
+        e.set_wal_buffered(true);
+        e.execute(&Command::define_relation("r", RelationType::Rollback))
+            .unwrap();
+        e.execute(&Command::modify_state(
+            "r",
+            Expr::snapshot_const(snap(&[1])),
+        ))
+        .unwrap();
+        assert_eq!(e.sync_wal().unwrap(), 2);
+        assert_eq!(e.wal_pending_commands(), 0);
+        // An empty group still fsyncs (the per-commit baseline path) but
+        // reports zero commands flushed.
+        assert_eq!(e.sync_wal().unwrap(), 0);
+        let rec = crate::recovery::recover(&path, BackendKind::FullCopy, CheckpointPolicy::Never)
+            .unwrap();
+        assert_eq!(rec.replayed, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shutdown_flushes_queued_memo_spans() {
+        let mut e = Engine::new(
+            BackendKind::ForwardDelta,
+            CheckpointPolicy::every_k(4).unwrap(),
+        );
+        e.set_memo_register_after(1);
+        e.execute(&Command::define_relation("r", RelationType::Rollback))
+            .unwrap();
+        e.execute(&Command::modify_state(
+            "r",
+            Expr::snapshot_const(snap(&[1])),
+        ))
+        .unwrap();
+        // Register a view, then write behind it: the write queues a span.
+        let expr = Expr::rollback("r", TxSpec::Current).select(txtime_snapshot::Predicate::True);
+        e.eval(&expr).unwrap();
+        e.execute(&Command::modify_state(
+            "r",
+            Expr::snapshot_const(snap(&[1, 2])),
+        ))
+        .unwrap();
+        assert_eq!(e.memo_pending_spans(), 1);
+        e.shutdown();
+        assert_eq!(e.memo_pending_spans(), 0);
+        // The settled view answers the post-write state.
+        assert_eq!(
+            e.eval(&expr).unwrap().into_snapshot().unwrap(),
+            snap(&[1, 2])
         );
     }
 

@@ -54,7 +54,7 @@ pub use archive::ArchiveReport;
 pub use backend::{BackendKind, CheckpointPolicy, RollbackStore, ZeroCheckpointInterval};
 pub use cache::{MaterializationCache, DEFAULT_CACHE_CAPACITY};
 pub use delta::StateDelta;
-pub use engine::{Engine, ScriptError};
+pub use engine::{parse_auto_compact, Engine, ScriptError};
 pub use equiv::check_equivalence;
 pub use forward_delta::ForwardDeltaStore;
 pub use full_copy::FullCopyStore;

@@ -1171,6 +1171,21 @@ impl ViewRegistry {
         inner.propagate(ident, rel_id, delta, new_tx, new_tx, src, &self.counters);
     }
 
+    /// Folds and propagates every queued `modify_state` span now — the
+    /// shutdown path. The lazy write path queues spans to be settled on
+    /// the next read; an engine going away with spans still queued must
+    /// settle them first so no cached view outlives the writes it has
+    /// not yet seen.
+    pub fn flush(&self, src: &dyn StampSource) {
+        let mut inner = self.lock();
+        inner.flush_pending(src, &self.counters);
+    }
+
+    /// How many relations have a queued, not-yet-propagated write span.
+    pub fn pending_spans(&self) -> usize {
+        self.lock().pending.len()
+    }
+
     /// Drops every cached view whose subtree reads `ident` — the sound
     /// response to deletion, scheme evolution, and history truncation.
     pub fn purge_relation(&self, ident: &str) {

@@ -62,6 +62,15 @@ pub fn check_serial_equivalence(
     }
 }
 
+/// The §3.2 monotonicity requirement on commit timestamps as a
+/// standalone check: every committed transaction's number must strictly
+/// exceed its predecessor's. The server's group-commit stage asserts
+/// this over each batch's acked clocks, and the crash-recovery tests
+/// assert it over the clocks a journal replay reconstructs.
+pub fn is_monotone(commit_txs: &[TransactionNumber]) -> bool {
+    commit_txs.windows(2).all(|w| w[0] < w[1])
+}
+
 /// Serially executes transactions in the given order (the trivial
 /// baseline executor for experiment E8).
 pub fn run_serial(
@@ -129,6 +138,16 @@ mod tests {
         let report = ConcurrentManager::new().run_from(init.clone(), txns.clone(), 4);
         check_serial_equivalence(&init, &txns, &report.commits, &report.database)
             .expect("concurrent run must be serially equivalent");
+    }
+
+    #[test]
+    fn monotone_commit_clocks() {
+        let t = |n| TransactionNumber(n);
+        assert!(is_monotone(&[]));
+        assert!(is_monotone(&[t(3)]));
+        assert!(is_monotone(&[t(1), t(2), t(5)]));
+        assert!(!is_monotone(&[t(1), t(1)]));
+        assert!(!is_monotone(&[t(2), t(1)]));
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod manager;
 pub mod transaction;
 
 pub use concurrent::{ConcurrentManager, ConcurrentReport};
-pub use history::{check_serial_equivalence, CommitRecord};
+pub use history::{check_serial_equivalence, is_monotone, CommitRecord};
 pub use manager::{TransactionManager, TxnReceipt};
 pub use transaction::Transaction;

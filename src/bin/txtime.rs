@@ -16,6 +16,10 @@
 //! txtime compact script.txq --every 8         # execute, then fold delta chains
 //! txtime explain script.txq                   # print chosen plans for displays
 //! txtime explain script.txq --optimize 2      # ...under cost-based plan search
+//! txtime serve --listen 127.0.0.1:7617        # multi-session TCP server
+//! txtime serve --wal journal.wal              # ...recovering + journaling durably
+//! txtime serve --no-group-commit              # fsync per commit (baseline)
+//! txtime stats --addr 127.0.0.1:7617          # gauges from a running server
 //! ```
 //!
 //! `run` and `check` both start by parsing and statically checking the
@@ -25,13 +29,15 @@
 //! affect the exit code unless `--deny-warnings` is given (which implies
 //! `--lint`).
 
+use std::num::NonZeroUsize;
 use std::process::ExitCode;
 
 use txtime::analyze::{lint_sentence, Diagnostic, Warning};
 use txtime::core::{Command, CommandOutcome, Sentence, SentenceSpans};
 use txtime::parser::parse_sentence_spanned;
+use txtime::server::{Client, Failpoint, ServerConfig};
 use txtime::storage::{
-    check_equivalence, recovery::recover, BackendKind, CheckpointPolicy, Engine,
+    check_equivalence, parse_auto_compact, recovery::recover, BackendKind, CheckpointPolicy, Engine,
 };
 
 fn main() -> ExitCode {
@@ -43,8 +49,11 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "stats" => stats(rest),
         Some((cmd, rest)) if cmd == "compact" => compact(rest),
         Some((cmd, rest)) if cmd == "explain" => explain(rest),
+        Some((cmd, rest)) if cmd == "serve" => serve_cmd(rest),
         _ => {
-            eprintln!("usage: txtime <run|recover|check|stats|compact|explain> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--threads N] [--shards K] [--every N] [--optimize L] [--no-check] [--lint] [--deny-warnings]");
+            eprintln!("usage: txtime <run|recover|check|stats|compact|explain|serve> <file> [--backend KIND] [--wal FILE] [--checkpoint K] [--threads N] [--shards K] [--every N] [--optimize L] [--auto-compact N] [--no-check] [--lint] [--deny-warnings]");
+            eprintln!("       txtime serve [--listen ADDR] [--wal FILE] [--no-group-commit] [--max-sessions N] [tuning flags]");
+            eprintln!("       txtime stats --addr ADDR    # gauges from a running server");
             eprintln!("backends: full-copy (default), fwd-delta, rev-delta, tuple-ts");
             ExitCode::FAILURE
         }
@@ -52,7 +61,9 @@ fn main() -> ExitCode {
 }
 
 struct Options {
-    file: String,
+    /// The script (or journal) file. Optional because `serve` and
+    /// `stats --addr` operate without one.
+    file: Option<String>,
     backend: BackendKind,
     wal: Option<String>,
     checkpoint: CheckpointPolicy,
@@ -73,6 +84,17 @@ struct Options {
     /// Optimization level 0/1/2; `None` defers to the engine's default
     /// (`TXTIME_OPTIMIZE`, else 1 = pushdown).
     optimize: Option<u8>,
+    /// Opportunistic compaction threshold; `None` defers to the engine's
+    /// default (`TXTIME_AUTO_COMPACT`, else 64).
+    auto_compact: Option<NonZeroUsize>,
+    /// `serve`: the address to listen on.
+    listen: String,
+    /// `serve`: fsync once per commit instead of once per group.
+    no_group_commit: bool,
+    /// `serve`: connection cap before `ERR busy`.
+    max_sessions: usize,
+    /// `stats`: query a running server instead of executing a script.
+    addr: Option<String>,
 }
 
 fn parse_options(rest: &[String]) -> Result<Options, String> {
@@ -87,6 +109,11 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
     let mut shards = None;
     let mut every = None;
     let mut optimize = None;
+    let mut auto_compact = None;
+    let mut listen = "127.0.0.1:7617".to_string();
+    let mut no_group_commit = false;
+    let mut max_sessions = 64usize;
+    let mut addr = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -124,6 +151,23 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
                 }
                 optimize = Some(n);
             }
+            "--auto-compact" => {
+                let v = it.next().ok_or("--auto-compact needs a value")?;
+                auto_compact = Some(parse_auto_compact(v)?);
+            }
+            "--listen" => listen = it.next().ok_or("--listen needs a value")?.clone(),
+            "--no-group-commit" => no_group_commit = true,
+            "--max-sessions" => {
+                let v = it.next().ok_or("--max-sessions needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid session cap {v:?}"))?;
+                if n == 0 {
+                    return Err("--max-sessions must be at least 1".to_string());
+                }
+                max_sessions = n;
+            }
+            "--addr" => addr = Some(it.next().ok_or("--addr needs a value")?.clone()),
             "--lint" => lint = true,
             "--deny-warnings" => {
                 lint = true;
@@ -163,7 +207,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         }
     }
     Ok(Options {
-        file: file.ok_or("missing input file")?,
+        file,
         backend,
         wal,
         checkpoint,
@@ -174,7 +218,21 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         shards,
         every,
         optimize,
+        auto_compact,
+        listen,
+        no_group_commit,
+        max_sessions,
+        addr,
     })
+}
+
+impl Options {
+    /// The positional file argument, for the subcommands that need one.
+    fn require_file(&self) -> Result<&str, String> {
+        self.file
+            .as_deref()
+            .ok_or_else(|| "missing input file".to_string())
+    }
 }
 
 /// Applies the `--threads`/`--shards`/`--optimize` tuning flags.
@@ -187,6 +245,9 @@ fn tune(engine: &mut Engine, opts: &Options) {
     }
     if let Some(l) = opts.optimize {
         engine.set_optimize(l);
+    }
+    if let Some(n) = opts.auto_compact {
+        engine.set_auto_compact(Some(n));
     }
 }
 
@@ -253,10 +314,17 @@ fn run(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let source = match std::fs::read_to_string(&opts.file) {
+    let file = match opts.require_file() {
+        Ok(f) => f.to_string(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&file) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot read {}: {e}", opts.file);
+            eprintln!("error: cannot read {file}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -265,7 +333,7 @@ fn run(rest: &[String]) -> ExitCode {
     // the script will execute against. Lint warnings are printed but
     // never stop a run unless --deny-warnings asks them to.
     if !opts.no_check {
-        match parse_and_check(&source, &opts.file, true) {
+        match parse_and_check(&source, &file, true) {
             Some((_, _, true, warnings)) => {
                 if warnings > 0 && opts.deny_warnings {
                     eprintln!("error: {warnings} lint warning(s) denied by --deny-warnings");
@@ -320,7 +388,14 @@ fn recover_cmd(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match recover(&opts.file, opts.backend, opts.checkpoint) {
+    let file = match opts.require_file() {
+        Ok(f) => f.to_string(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match recover(&file, opts.backend, opts.checkpoint) {
         Ok(rec) => {
             eprintln!(
                 "recovered {} commands; clock at tx {}; {} corrupt line(s) skipped",
@@ -349,6 +424,7 @@ fn recover_cmd(rest: &[String]) -> ExitCode {
 
 /// Executes the script and reports the physical picture: per-relation
 /// space usage and the materialization-cache counters the run produced.
+/// With `--addr`, instead asks a running `txtime serve` for its gauges.
 fn stats(rest: &[String]) -> ExitCode {
     let opts = match parse_options(rest) {
         Ok(o) => o,
@@ -357,10 +433,30 @@ fn stats(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let source = match std::fs::read_to_string(&opts.file) {
+    if let Some(addr) = &opts.addr {
+        return match Client::connect(addr.as_str()).and_then(|mut c| c.stats()) {
+            Ok(report) => {
+                let report = report.strip_prefix("OK stats\n").unwrap_or(&report);
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: cannot query {addr}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let file = match opts.require_file() {
+        Ok(f) => f.to_string(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&file) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot read {}: {e}", opts.file);
+            eprintln!("error: cannot read {file}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -409,10 +505,17 @@ fn compact(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let source = match std::fs::read_to_string(&opts.file) {
+    let file = match opts.require_file() {
+        Ok(f) => f.to_string(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&file) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot read {}: {e}", opts.file);
+            eprintln!("error: cannot read {file}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -449,10 +552,17 @@ fn explain(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let source = match std::fs::read_to_string(&opts.file) {
+    let file = match opts.require_file() {
+        Ok(f) => f.to_string(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&file) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot read {}: {e}", opts.file);
+            eprintln!("error: cannot read {file}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -465,7 +575,7 @@ fn explain(rest: &[String]) -> ExitCode {
             }
         }
     } else {
-        match parse_and_check(&source, &opts.file, opts.lint || opts.deny_warnings) {
+        match parse_and_check(&source, &file, opts.lint || opts.deny_warnings) {
             Some((s, _, true, warnings)) => {
                 if warnings > 0 && opts.deny_warnings {
                     eprintln!("error: {warnings} lint warning(s) denied by --deny-warnings");
@@ -516,14 +626,21 @@ fn check(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let source = match std::fs::read_to_string(&opts.file) {
-        Ok(s) => s,
+    let file = match opts.require_file() {
+        Ok(f) => f.to_string(),
         Err(e) => {
-            eprintln!("error: cannot read {}: {e}", opts.file);
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let (sentence, warnings) = match parse_and_check(&source, &opts.file, opts.lint) {
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (sentence, warnings) = match parse_and_check(&source, &file, opts.lint) {
         Some((s, _, true, w)) => (s, w),
         Some((_, _, false, _)) => {
             eprintln!("static check: FAILED");
@@ -561,4 +678,80 @@ fn check(rest: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Starts the multi-session server: recover the journal (if any), bind,
+/// and serve until a client sends `SHUTDOWN`. Group commit is on by
+/// default; `--no-group-commit` is the per-commit-fsync baseline.
+fn serve_cmd(rest: &[String]) -> ExitCode {
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A non-empty journal is replayed first so the transaction clock
+    // continues where the last process stopped; the committer then
+    // appends to the same file.
+    let mut engine = match &opts.wal {
+        Some(path)
+            if std::fs::metadata(path)
+                .map(|m| m.len() > 0)
+                .unwrap_or(false) =>
+        {
+            match recover(path, opts.backend, opts.checkpoint) {
+                Ok(rec) => {
+                    eprintln!(
+                        "recovered {} commands from {path}; clock at tx {}; {} corrupt line(s) skipped",
+                        rec.replayed,
+                        rec.engine.tx(),
+                        rec.skipped.len()
+                    );
+                    rec.engine
+                }
+                Err(e) => {
+                    eprintln!("error: cannot recover {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => Engine::new(opts.backend, opts.checkpoint),
+    };
+    tune(&mut engine, &opts);
+    let listener = match std::net::TcpListener::bind(&opts.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = ServerConfig {
+        wal_path: opts.wal.clone().map(std::path::PathBuf::from),
+        group_commit: !opts.no_group_commit,
+        max_sessions: opts.max_sessions,
+        failpoint: Failpoint::from_env(),
+        ..ServerConfig::default()
+    };
+    let handle = match txtime::server::serve(engine, listener, cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "listening on {} ({}, group commit {})",
+        handle.addr(),
+        opts.backend,
+        if opts.no_group_commit { "off" } else { "on" }
+    );
+    let report = handle.wait();
+    eprint!("{}{}", report.sessions, report.group_commit);
+    eprintln!(
+        "stopped: clock at tx {}, {} relation(s)",
+        report.engine.tx(),
+        report.engine.relations().len()
+    );
+    ExitCode::SUCCESS
 }

@@ -29,6 +29,8 @@
 //!   the paper's sequential commit-time semantics.
 //! * [`benzvi`] — Ben-Zvi's time-relational model and Time-View operator,
 //!   the baseline the paper compares against.
+//! * [`server`] — `txtime serve`: a multi-session TCP front end with
+//!   MVCC snapshot reads, group commit, and admission control.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -38,6 +40,7 @@ pub use txtime_core as core;
 pub use txtime_historical as historical;
 pub use txtime_optimizer as optimizer;
 pub use txtime_parser as parser;
+pub use txtime_server as server;
 pub use txtime_snapshot as snapshot;
 pub use txtime_storage as storage;
 pub use txtime_txn as txn;

@@ -488,3 +488,45 @@ fn stats_reports_join_counters() {
     assert!(stdout.contains("joins: 0 ("), "stdout: {stdout}");
     let _ = std::fs::remove_file(&script);
 }
+
+#[test]
+fn auto_compact_flag_rejects_zero_and_garbage() {
+    let script = write_script("auto-compact.txq", SCRIPT);
+    let out = txtime(&["run", script.to_str().unwrap(), "--auto-compact", "0"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("auto-compact threshold must be at least 1"),
+        "stderr: {stderr}"
+    );
+    let out = txtime(&["run", script.to_str().unwrap(), "--auto-compact", "soon"]);
+    assert!(!out.status.success());
+    // A valid threshold is accepted and the run succeeds.
+    let out = txtime(&["run", script.to_str().unwrap(), "--auto-compact", "2"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(&script);
+}
+
+#[test]
+fn serve_requires_a_bindable_listen_address() {
+    // An unparseable listen address fails fast with a clear error
+    // instead of hanging a server.
+    let out = txtime(&["serve", "--listen", "not-an-address"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot bind"), "stderr: {stderr}");
+}
+
+#[test]
+fn stats_addr_reports_unreachable_server() {
+    // --addr with nothing listening is a connection error, not a hang
+    // (port 1 is reserved and never bound in the test environment).
+    let out = txtime(&["stats", "--addr", "127.0.0.1:1"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot query"), "stderr: {stderr}");
+}
