@@ -22,7 +22,10 @@ pub enum Response {
     /// `VAL` — the rendered state follows on later lines.
     Val(String),
     /// `ERR <kind>: <message>` (kind ∈ parse, check, exec, busy,
-    /// overloaded, proto, shutdown).
+    /// overloaded, proto, shutdown, timeout). Every kind but `timeout`
+    /// is a *definite* failure; `timeout` means the outcome of a write
+    /// is unknown — it may still become durable, so blindly retrying it
+    /// can double-apply.
     Err {
         /// The error class.
         kind: String,
@@ -113,6 +116,14 @@ impl Client {
         self.request("SNAPSHOT")
     }
 
+    /// Pins this session's reads to the newest *durable* (fsynced)
+    /// transaction — crash-consistent reads that can never observe
+    /// state the server would lose by dying before a group commit's
+    /// fsync returns.
+    pub fn snapshot_durable(&mut self) -> std::io::Result<Response> {
+        self.request("SNAPSHOT DURABLE")
+    }
+
     /// Asks the server for its gauge report.
     pub fn stats(&mut self) -> std::io::Result<String> {
         self.request_raw("STATS")
@@ -138,6 +149,10 @@ mod tests {
                 assert_eq!(kind, "check");
                 assert!(message.contains("E001"));
             }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Response::parse("ERR timeout: commit outcome unknown (no ack within 60s)") {
+            Response::Err { kind, .. } => assert_eq!(kind, "timeout"),
             other => panic!("unexpected {other:?}"),
         }
         assert!(!Response::parse("garbage").is_ok());

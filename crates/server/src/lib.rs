@@ -20,6 +20,9 @@
 //!   ρ-at-`n`; its reads are then repeatable regardless of interleaved
 //!   commits, and hold the engine's read lock only while one expression
 //!   evaluates — never across requests, so readers never gate writers.
+//!   `SNAPSHOT DURABLE` pins to the newest *fsynced* transaction instead
+//!   of the applied clock, for clients that must never observe state a
+//!   crash could take back (DESIGN.md §14, "the durability window").
 //! * **Group commit** — all writes funnel through a single committer
 //!   thread: a batch is validated and applied under the write lock,
 //!   journal lines for the *successful* commands are formatted with
@@ -67,6 +70,11 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
 /// The most commits one group flushes (bounds write-lock hold time).
 const MAX_GROUP: usize = 64;
+/// How long a session waits for its commit ack before giving up. Hitting
+/// it does NOT mean the write failed — the commit may still be applied
+/// and become durable — so the response uses the dedicated `ERR timeout`
+/// kind, never `ERR exec` (which is reserved for definite failures).
+const ACK_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Crash injection points for the recovery tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -287,9 +295,10 @@ impl Shared {
             (eng.tx(), eng.relations().len(), eng.memo_pending_spans())
         };
         format!(
-            "{}{}engine: clock at tx {tx}, {relations} relation(s), {pending} memo span(s) queued\nwal: {}\n",
+            "{}{}engine: clock at tx {tx} (durable at tx {}), {relations} relation(s), {pending} memo span(s) queued\nwal: {}\n",
             self.sessions.snapshot(),
             self.commits.snapshot(),
+            self.commits.durable_tx(),
             self.cfg
                 .wal_path
                 .as_ref()
@@ -312,7 +321,10 @@ pub struct ServerHandle {
 /// the server journals through `cfg.wal_path` itself so the group fsync
 /// happens outside the engine's write lock — readers are never stalled
 /// behind a disk flush. Use [`txtime_storage::recovery::recover`] first
-/// to continue an existing journal.
+/// to continue an existing journal; before attaching it for append, the
+/// server truncates any corrupt tail ([`wal::truncate_to_verified_prefix`])
+/// so new commits extend exactly the prefix recovery replayed — appending
+/// after dead bytes would let the *next* recovery discard acked writes.
 pub fn serve(
     engine: Engine,
     listener: TcpListener,
@@ -327,12 +339,32 @@ pub fn serve(
         cfg.max_inflight
     };
     let wal_file = match &cfg.wal_path {
-        Some(path) => Some(
-            std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)?,
-        ),
+        Some(path) => {
+            // Recovery replays only the verified prefix of the journal;
+            // anything after the first corrupt line is dead bytes. They
+            // must be truncated *before* we attach in append mode —
+            // otherwise new (acked, fsynced) commits would land after
+            // the corruption and the next recovery would silently
+            // discard them.
+            if std::fs::metadata(path)
+                .map(|m| m.len() > 0)
+                .unwrap_or(false)
+            {
+                let dropped = wal::truncate_to_verified_prefix(path)?;
+                if dropped > 0 {
+                    eprintln!(
+                        "wal: truncated {dropped} corrupt trailing byte(s) from {} before appending",
+                        path.display()
+                    );
+                }
+            }
+            Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )
+        }
         None => None,
     };
     // Seed the checker's catalog from an engine that already has state
@@ -340,6 +372,11 @@ pub fn serve(
     // original commands, so instead start the linter from the live
     // catalog the engine exposes.
     let linter = seed_linter(&engine);
+    let commits = GroupCommitCounters::default();
+    // Everything the engine holds at startup came from the recovered
+    // journal (or is a fresh empty database): the durable clock starts
+    // at the engine clock, not 0.
+    commits.note_durable(engine.tx().0);
     let shared = Arc::new(Shared {
         engine: RwLock::new(engine),
         linter: Mutex::new(linter),
@@ -347,7 +384,7 @@ pub fn serve(
         queue: CommitQueue::new(cfg.commit_queue_depth),
         gate: Gate::new(inflight),
         sessions: SessionCounters::default(),
-        commits: GroupCommitCounters::default(),
+        commits,
         shutdown: AtomicBool::new(false),
         cfg,
     });
@@ -443,15 +480,38 @@ impl ServerHandle {
 /// knows the scheme and does not reject ρ of a recovered relation as
 /// stateless (E010).
 fn seed_linter(engine: &Engine) -> Linter {
+    // A synthetic seeding command that fails its own check means the
+    // rebuilt catalog is missing an entry the engine has — a restarted
+    // server would then `ERR check` commands a fresh one accepts. That
+    // must never be silent: loud in tests, logged in production.
+    fn seed(linter: &mut Linter, cmd: &Command, what: &str, name: &str) {
+        let diags = linter.check(cmd, None);
+        if diags.is_empty() {
+            let _ = linter.commit(cmd, None);
+        } else {
+            let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+            debug_assert!(
+                false,
+                "seed_linter: synthetic {what} for {name:?} rejected, catalog drifts from engine: {rendered:?}"
+            );
+            eprintln!(
+                "warning: linter catalog drift: synthetic {what} for {name:?} rejected ({}); \
+                 post-recovery checks of {name:?} may diverge from a fresh server",
+                rendered.join("; ")
+            );
+        }
+    }
     let mut linter = Linter::new();
     for name in engine.relations() {
         let Some(rtype) = engine.relation_type(name) else {
             continue;
         };
-        let cmd = Command::define_relation(name, rtype);
-        if linter.check(&cmd, None).is_empty() {
-            let _ = linter.commit(&cmd, None);
-        }
+        seed(
+            &mut linter,
+            &Command::define_relation(name, rtype),
+            "define_relation",
+            name,
+        );
         let current = engine
             .eval(&Expr::current(name))
             .or_else(|_| engine.eval(&Expr::HRollback(name.to_string(), TxSpec::Current)));
@@ -460,10 +520,12 @@ fn seed_linter(engine: &Engine) -> Linter {
                 txtime_core::StateValue::Snapshot(s) => Expr::SnapshotConst(s),
                 txtime_core::StateValue::Historical(h) => Expr::HistoricalConst(h),
             };
-            let synth = Command::modify_state(name, constant);
-            if linter.check(&synth, None).is_empty() {
-                let _ = linter.commit(&synth, None);
-            }
+            seed(
+                &mut linter,
+                &Command::modify_state(name, constant),
+                "modify_state",
+                name,
+            );
         }
     }
     linter
@@ -601,7 +663,7 @@ fn handle_request(
         shared.gate.release();
         let response = match outcome {
             ExecOutcome::Ready(r) => r,
-            ExecOutcome::Pending(rx) => match rx.recv_timeout(Duration::from_secs(60)) {
+            ExecOutcome::Pending(rx) => match rx.recv_timeout(ACK_TIMEOUT) {
                 Ok(Ok((outcome, tx, warnings))) => {
                     shared.sessions.writes.fetch_add(1, Ordering::Relaxed);
                     let mut out = format!("OK {} tx={}", outcome_name(&outcome), tx.0);
@@ -612,7 +674,13 @@ fn handle_request(
                     out
                 }
                 Ok(Err(e)) => format!("ERR exec: {e}"),
-                Err(_) => "ERR exec: commit stage unavailable".to_string(),
+                // No ack in time: the commit's outcome is UNKNOWN (it may
+                // yet be applied and fsynced), which is not the same
+                // thing as a definite `exec` failure — a client that
+                // retried on `exec` here could double-apply a write.
+                Err(_) => "ERR timeout: commit outcome unknown (no ack within 60s) — \
+                     the write may still become durable; consult the journal"
+                    .to_string(),
             },
         };
         return (response, false);
@@ -627,6 +695,14 @@ fn handle_request(
         }
         "SNAPSHOT" => {
             let tx = shared.read_engine().tx();
+            *snapshot = Some(tx);
+            (format!("OK snapshot tx={}", tx.0), false)
+        }
+        "SNAPSHOT DURABLE" => {
+            // Crash-consistent reads: pin to the newest transaction whose
+            // group fsync has returned, never to applied-but-unsynced
+            // state (the durability window DESIGN.md §14 documents).
+            let tx = TransactionNumber(shared.commits.durable_tx());
             *snapshot = Some(tx);
             (format!("OK snapshot tx={}", tx.0), false)
         }
@@ -648,7 +724,7 @@ fn handle_request(
         }
         other => (
             format!(
-                "ERR proto: unknown verb {:?} (EXEC, SNAPSHOT [AT n|OFF], PING, STATS, QUIT, SHUTDOWN)",
+                "ERR proto: unknown verb {:?} (EXEC, SNAPSHOT [AT n|DURABLE|OFF], PING, STATS, QUIT, SHUTDOWN)",
                 other.split_whitespace().next().unwrap_or("")
             ),
             false,
@@ -840,6 +916,18 @@ fn sync_group(shared: &Arc<Shared>, wal_file: &mut Option<std::fs::File>, group:
             // the silence as "unknown, consult the log".
             eprintln!("failpoint group-commit-ack: crashing before ack");
             std::process::exit(FAILPOINT_EXIT_CODE);
+        }
+        // The group's fsync has returned: advance the durable clock to
+        // the newest commit it covered, *before* any ack goes out — an
+        // acked commit is therefore always ≤ the durable gauge. (With no
+        // journal attached there is nothing more durable to wait for;
+        // the gauge then tracks the applied clock.)
+        if let Some(tx) = group
+            .iter()
+            .filter_map(|i| i.ack.as_ref().ok().map(|(_, tx, _)| tx.0))
+            .max()
+        {
+            shared.commits.note_durable(tx);
         }
     }
     shared.commits.record_group(committed);

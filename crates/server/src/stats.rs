@@ -81,6 +81,7 @@ pub(crate) struct GroupCommitCounters {
     pub fsyncs: AtomicU64,
     pub max_group: AtomicU64,
     pub queue_peak: AtomicU64,
+    pub durable_tx: AtomicU64,
 }
 
 impl GroupCommitCounters {
@@ -95,6 +96,18 @@ impl GroupCommitCounters {
         self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
     }
 
+    /// Advances the durable-clock gauge after a group's fsync returns
+    /// (before its acks go out, so an acked commit is always ≤ the
+    /// gauge). Acquire/Release so a reader that sees the gauge also sees
+    /// the states it covers.
+    pub fn note_durable(&self, tx: u64) {
+        self.durable_tx.fetch_max(tx, Ordering::Release);
+    }
+
+    pub fn durable_tx(&self) -> u64 {
+        self.durable_tx.load(Ordering::Acquire)
+    }
+
     pub fn snapshot(&self) -> GroupCommitStats {
         GroupCommitStats {
             groups: self.groups.load(Ordering::Relaxed),
@@ -102,6 +115,7 @@ impl GroupCommitCounters {
             fsyncs: self.fsyncs.load(Ordering::Relaxed),
             max_group: self.max_group.load(Ordering::Relaxed),
             queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            durable_tx: self.durable_tx(),
         }
     }
 }
@@ -119,6 +133,11 @@ pub struct GroupCommitStats {
     pub max_group: u64,
     /// The deepest the commit queue got.
     pub queue_peak: u64,
+    /// The highest transaction number whose group fsync has returned —
+    /// every commit at or below it survives a crash. The engine clock
+    /// may run ahead of this while a group is in flight (see DESIGN.md
+    /// §14, "the durability window"); `SNAPSHOT DURABLE` pins to it.
+    pub durable_tx: u64,
 }
 
 impl GroupCommitStats {
@@ -136,13 +155,14 @@ impl fmt::Display for GroupCommitStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "group commit: {} commits in {} groups ({} fsyncs, {:.2} commits/fsync, max group {}, queue peak {})",
+            "group commit: {} commits in {} groups ({} fsyncs, {:.2} commits/fsync, max group {}, queue peak {}, durable at tx {})",
             self.commits,
             self.groups,
             self.fsyncs,
             self.commits_per_fsync(),
             self.max_group,
-            self.queue_peak
+            self.queue_peak,
+            self.durable_tx
         )
     }
 }
@@ -158,12 +178,15 @@ mod tests {
         c.record_group(2);
         c.note_queue_depth(7);
         c.note_queue_depth(3);
+        c.note_durable(5);
+        c.note_durable(3); // never regresses
         let s = c.snapshot();
         assert_eq!(s.groups, 2);
         assert_eq!(s.commits, 6);
         assert_eq!(s.fsyncs, 2);
         assert_eq!(s.max_group, 4);
         assert_eq!(s.queue_peak, 7);
+        assert_eq!(s.durable_tx, 5);
         assert!((s.commits_per_fsync() - 3.0).abs() < 1e-9);
     }
 }

@@ -68,6 +68,32 @@ pub enum WalEntry {
     },
 }
 
+/// Classifies one raw journal line (terminator included, if present):
+/// `Ok(None)` = blank, `Ok(Some(cmd))` = verified command, `Err(reason)`
+/// = corrupt.
+fn classify_line(raw: &[u8]) -> Result<Option<Command>, String> {
+    let Ok(line) = std::str::from_utf8(raw) else {
+        return Err("invalid UTF-8".into());
+    };
+    let line = line.trim_end_matches('\n');
+    if line.trim().is_empty() {
+        return Ok(None);
+    }
+    let Some((sum, text)) = line.split_once(' ') else {
+        return Err("missing checksum field".into());
+    };
+    let Ok(expected) = u64::from_str_radix(sum, 16) else {
+        return Err("malformed checksum".into());
+    };
+    if fnv1a(text.as_bytes()) != expected {
+        return Err("checksum mismatch".into());
+    }
+    match txtime_parser::parse_command(text.trim_end_matches(';')) {
+        Ok(cmd) => Ok(Some(cmd)),
+        Err(e) => Err(format!("parse error: {e}")),
+    }
+}
+
 /// Reads a journal, yielding verified commands and flagging corrupt
 /// lines. Blank lines are ignored; bytes that are not valid UTF-8 (torn
 /// or overwritten sectors) flag the line as corrupt rather than aborting
@@ -82,47 +108,67 @@ pub fn read_journal(mut input: impl BufRead) -> std::io::Result<Vec<WalEntry>> {
             break;
         }
         lineno += 1;
-        let Ok(line) = std::str::from_utf8(&raw) else {
-            out.push(WalEntry::Corrupt {
+        match classify_line(&raw) {
+            Ok(None) => {}
+            Ok(Some(cmd)) => out.push(WalEntry::Command(cmd)),
+            Err(reason) => out.push(WalEntry::Corrupt {
                 line: lineno,
-                reason: "invalid UTF-8".into(),
-            });
-            continue;
-        };
-        let line = line.trim_end_matches('\n');
-        if line.trim().is_empty() {
-            continue;
-        }
-        let Some((sum, text)) = line.split_once(' ') else {
-            out.push(WalEntry::Corrupt {
-                line: lineno,
-                reason: "missing checksum field".into(),
-            });
-            continue;
-        };
-        let Ok(expected) = u64::from_str_radix(sum, 16) else {
-            out.push(WalEntry::Corrupt {
-                line: lineno,
-                reason: "malformed checksum".into(),
-            });
-            continue;
-        };
-        if fnv1a(text.as_bytes()) != expected {
-            out.push(WalEntry::Corrupt {
-                line: lineno,
-                reason: "checksum mismatch".into(),
-            });
-            continue;
-        }
-        match txtime_parser::parse_command(text.trim_end_matches(';')) {
-            Ok(cmd) => out.push(WalEntry::Command(cmd)),
-            Err(e) => out.push(WalEntry::Corrupt {
-                line: lineno,
-                reason: format!("parse error: {e}"),
+                reason,
             }),
         }
     }
     Ok(out)
+}
+
+/// Truncates the journal at `path` to its verified prefix: every byte
+/// from the first corrupt line on is dropped, and a verified final line
+/// missing its `\n` terminator (a torn write that stopped a byte short)
+/// is terminated in place. Returns the number of bytes dropped.
+///
+/// This is the repair that makes *recover, then append* safe. Recovery's
+/// prefix discipline replays nothing after the first corrupt line, so
+/// any process that reopens a torn journal in append mode would write
+/// new — acked, fsynced — commits after dead bytes; the next recovery
+/// would then discard them all. Truncating to the replayed prefix first
+/// means appends always extend exactly the history that was recovered.
+pub fn truncate_to_verified_prefix(path: impl AsRef<std::path::Path>) -> std::io::Result<u64> {
+    use std::io::{Seek, SeekFrom};
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path.as_ref())?;
+    let total = file.metadata()?.len();
+    let mut verified_end: u64 = 0;
+    let mut unterminated_tail = false;
+    {
+        let mut reader = std::io::BufReader::new(&mut file);
+        let mut raw = Vec::new();
+        loop {
+            raw.clear();
+            if reader.read_until(b'\n', &mut raw)? == 0 {
+                break;
+            }
+            if classify_line(&raw).is_err() {
+                break;
+            }
+            verified_end += raw.len() as u64;
+            unterminated_tail = raw.last() != Some(&b'\n');
+        }
+    }
+    let dropped = total - verified_end;
+    if dropped > 0 {
+        file.set_len(verified_end)?;
+    }
+    if unterminated_tail {
+        // The checksum covers the text only, so supplying the missing
+        // terminator re-validates the line without altering the command.
+        file.seek(SeekFrom::End(0))?;
+        file.write_all(b"\n")?;
+    }
+    if dropped > 0 || unterminated_tail {
+        file.sync_all()?;
+    }
+    Ok(dropped)
 }
 
 #[cfg(test)]
@@ -208,6 +254,96 @@ mod tests {
     fn blank_lines_are_ignored() {
         let entries = read_journal(Cursor::new(b"\n\n".to_vec())).unwrap();
         assert!(entries.is_empty());
+    }
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("txtime-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn truncation_drops_the_corrupt_tail_and_keeps_appends_recoverable() {
+        let path = tmpfile("truncate-tail");
+        let mut buf = Vec::new();
+        append_command(
+            &mut buf,
+            &Command::define_relation("e", RelationType::Rollback),
+        )
+        .unwrap();
+        let good_len = buf.len() as u64;
+        // A torn final write: half a line of garbage, no terminator.
+        buf.extend_from_slice(b"deadbeef torn garb");
+        std::fs::write(&path, &buf).unwrap();
+
+        let dropped = truncate_to_verified_prefix(&path).unwrap();
+        assert_eq!(dropped, 18);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
+
+        // The append-after-repair story: a new command lands on a fresh
+        // line and a second recovery replays BOTH commands — the exact
+        // acked-write-loss scenario the repair exists to prevent.
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        append_command(&mut file, &Command::delete_relation("e")).unwrap();
+        drop(file);
+        let entries = read_journal(Cursor::new(std::fs::read(&path).unwrap())).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(
+            entries.iter().all(|e| matches!(e, WalEntry::Command(_))),
+            "{entries:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_terminates_a_valid_unterminated_final_line() {
+        let path = tmpfile("truncate-unterminated");
+        let mut buf = Vec::new();
+        append_command(
+            &mut buf,
+            &Command::define_relation("e", RelationType::Rollback),
+        )
+        .unwrap();
+        // Tear off only the final newline: the line still verifies, but a
+        // naive append would merge the next entry into it.
+        buf.pop();
+        std::fs::write(&path, &buf).unwrap();
+
+        assert_eq!(truncate_to_verified_prefix(&path).unwrap(), 0);
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        append_command(&mut file, &Command::delete_relation("e")).unwrap();
+        drop(file);
+        let entries = read_journal(Cursor::new(std::fs::read(&path).unwrap())).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(
+            entries.iter().all(|e| matches!(e, WalEntry::Command(_))),
+            "{entries:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_is_a_noop_on_a_clean_journal() {
+        let path = tmpfile("truncate-clean");
+        let mut buf = Vec::new();
+        append_command(
+            &mut buf,
+            &Command::define_relation("e", RelationType::Rollback),
+        )
+        .unwrap();
+        append_command(&mut buf, &Command::delete_relation("e")).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        assert_eq!(truncate_to_verified_prefix(&path).unwrap(), 0);
+        assert_eq!(std::fs::read(&path).unwrap(), buf);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

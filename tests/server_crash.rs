@@ -140,3 +140,82 @@ fn crash_between_group_fsync_and_ack_recovers_the_durable_prefix() {
 
     let _ = std::fs::remove_file(&wal);
 }
+
+/// A server restarted over a journal with a torn tail must not append
+/// new commits after the dead bytes: recovery's prefix discipline would
+/// discard everything after the corruption on the *next* restart, losing
+/// acked-and-fsynced writes. The server truncates the tail before
+/// attaching the journal, so post-restart commits survive re-recovery.
+#[test]
+fn acked_commits_after_a_torn_tail_survive_the_next_recovery() {
+    let wal = tmp_wal("torn-tail");
+
+    // Phase 1: a healthy server commits a base history and shuts down.
+    let (mut child, addr) = spawn_server(&wal, &[]);
+    let mut c = Client::connect_timeout(&addr, std::time::Duration::from_secs(5)).expect("connect");
+    assert!(c.exec("define_relation(led, rollback);").unwrap().is_ok());
+    assert!(c
+        .exec("modify_state(led, {(x: int): (1)});")
+        .unwrap()
+        .is_ok());
+    assert!(c.request("SHUTDOWN").unwrap().is_ok());
+    assert!(child.wait().expect("server exits").success());
+
+    // Tear the journal's tail: a partial line with no terminator, the
+    // classic artifact of a crash mid-append.
+    let clean_len = std::fs::metadata(&wal).expect("wal exists").len();
+    let mut data = std::fs::read(&wal).unwrap();
+    data.extend_from_slice(b"deadbeef torn partial li");
+    std::fs::write(&wal, data).unwrap();
+
+    // Phase 2: restart over the torn journal and commit a new write. The
+    // server must truncate the dead bytes before appending — the new
+    // journal line may not merge into (or follow) the torn one.
+    let (mut child, addr) = spawn_server(&wal, &[]);
+    let mut c = Client::connect_timeout(&addr, std::time::Duration::from_secs(5)).expect("connect");
+    match c
+        .exec("modify_state(led, rho(led, inf) union {(x: int): (2)});")
+        .expect("post-restart write")
+    {
+        txtime::server::Response::Ok(detail) => {
+            assert!(detail.contains("tx=3"), "clock did not continue: {detail}")
+        }
+        other => panic!("post-restart write failed: {other:?}"),
+    }
+    assert!(c.request("SHUTDOWN").unwrap().is_ok());
+    assert!(child.wait().expect("server exits").success());
+    assert!(
+        std::fs::metadata(&wal).unwrap().len() > clean_len,
+        "the new commit was not journaled"
+    );
+
+    // Phase 3: recovery replays the base history AND the post-restart
+    // commit — nothing torn, nothing lost.
+    let rec = recover(
+        wal.to_str().unwrap(),
+        BackendKind::ForwardDelta,
+        CheckpointPolicy::every_k(8).unwrap(),
+    )
+    .expect("recovery succeeds");
+    assert_eq!(
+        rec.skipped.len(),
+        0,
+        "torn bytes still in the journal: {:?}",
+        rec.skipped
+    );
+    assert_eq!(rec.replayed, 3, "acked post-restart commit was discarded");
+    assert_eq!(rec.engine.tx(), TransactionNumber(3));
+    let state = rec
+        .engine
+        .eval(&txtime::core::Expr::current("led"))
+        .expect("recovered state evaluates");
+    let rendered = state.to_string();
+    for v in 1..=2 {
+        assert!(
+            rendered.contains(&format!("({v})")),
+            "lost tuple {v}: {rendered}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&wal);
+}

@@ -136,6 +136,43 @@ fn snapshot_reads_are_repeatable_under_concurrent_writes() {
     handle.wait();
 }
 
+/// `SNAPSHOT DURABLE` pins to the fsynced clock: after an acked write
+/// the durable gauge covers it (acks are sent only after the group's
+/// fsync returns), so the pin equals the applied clock here and the read
+/// can never observe state a crash would take back.
+#[test]
+fn snapshot_durable_pins_to_the_fsynced_clock() {
+    let engine = Engine::new(BackendKind::FullCopy, CheckpointPolicy::Never);
+    let handle = serve(engine, listener(), ServerConfig::default()).expect("server starts");
+    let addr = handle.addr();
+
+    let mut c = Client::connect(addr).expect("connect");
+    assert!(c.exec("define_relation(emp, rollback);").unwrap().is_ok());
+    assert!(c
+        .exec("modify_state(emp, {(x: int): (1)});")
+        .unwrap()
+        .is_ok());
+
+    // Both writes are acked, therefore durable: the pin is exactly tx 2.
+    match c.snapshot_durable().expect("snapshot durable") {
+        Response::Ok(detail) => assert_eq!(detail, "snapshot tx=2"),
+        other => panic!("snapshot durable failed: {other:?}"),
+    }
+    match c.exec("display(rho(emp, inf));").expect("read") {
+        Response::Val(state) => assert!(state.contains("(1)"), "durable read stale: {state}"),
+        other => panic!("read failed: {other:?}"),
+    }
+    assert_eq!(handle.group_commit_stats().durable_tx, 2);
+    let stats = c.stats().expect("stats");
+    assert!(
+        stats.contains("durable at tx 2"),
+        "durable gauge missing from STATS: {stats}"
+    );
+
+    handle.shutdown();
+    handle.wait();
+}
+
 /// Connections beyond `max_sessions` get `ERR busy` at the door.
 #[test]
 fn sessions_beyond_the_cap_are_rejected_busy() {
